@@ -1,0 +1,54 @@
+"""Shared fixtures and report helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures and prints a
+paper-vs-measured report (captured with ``pytest benchmarks/
+--benchmark-only -s`` or in the benchmark output file).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.epic import generate_epic_model, generate_scaleout_model
+from repro.sgml import SgmlModelSet, SgmlProcessor
+
+
+@pytest.fixture(scope="session")
+def epic_model_dir(tmp_path_factory) -> str:
+    directory = tmp_path_factory.mktemp("epic-bench")
+    return generate_epic_model(str(directory))
+
+
+@pytest.fixture(scope="session")
+def epic_model(epic_model_dir) -> SgmlModelSet:
+    return SgmlModelSet.from_directory(epic_model_dir)
+
+
+@pytest.fixture
+def epic_range(epic_model_dir):
+    model = SgmlModelSet.from_directory(epic_model_dir)
+    return SgmlProcessor(model).compile()
+
+
+@pytest.fixture(scope="session")
+def scaleout_dirs(tmp_path_factory) -> dict[int, str]:
+    """Model dirs for the scalability sweep: 1..5 substations."""
+    dirs = {}
+    counts = {1: 21, 2: 42, 3: 63, 4: 84, 5: 104}
+    for substations, ieds in counts.items():
+        directory = tmp_path_factory.mktemp(f"scale-{substations}")
+        dirs[substations] = generate_scaleout_model(
+            str(directory), substations=substations, total_ieds=ieds
+        )
+    return dirs
+
+
+def print_report(title: str, rows: list[str]) -> None:
+    width = max(len(title), *(len(row) for row in rows)) if rows else len(title)
+    print()
+    print("=" * (width + 4))
+    print(f"| {title}")
+    print("=" * (width + 4))
+    for row in rows:
+        print(f"| {row}")
+    print("=" * (width + 4))

@@ -1,0 +1,81 @@
+"""Fig. 4 — generated cyber network topology (EPIC model).
+
+The paper's figure (an ONOS view of the Mininet network) shows the EPIC
+segments' devices around switches.  The bench regenerates the topology
+from the SCD, reports the per-segment layout, and proves L2/L3
+connectivity by timing an MMS round trip across segments.
+"""
+
+from conftest import print_report
+
+from repro.kernel import SECOND, Simulator
+from repro.iec61850 import MmsClient, MmsServer
+from repro.sgml import SgmlModelSet, generate_network_plan
+from repro.scl.merge import merge_scd
+
+
+def test_fig4_topology_shape(benchmark, epic_model):
+    merged = merge_scd(epic_model.scds)
+
+    plan = benchmark(generate_network_plan, merged)
+
+    by_switch: dict[str, list[str]] = {}
+    for host in plan.hosts:
+        by_switch.setdefault(host.switch, []).append(host.name)
+    rows = ["segment LAN      hosts (paper Fig. 4 rounded rectangles)"]
+    for switch in sorted(by_switch):
+        rows.append(f"{switch:<16} {', '.join(sorted(by_switch[switch]))}")
+    uplinks = [
+        f"{link.node_a} ↔ {link.node_b}"
+        for link in plan.links
+        if link.node_a.startswith("sw-") and link.node_b.startswith("sw-")
+    ]
+    rows.append("inter-switch:    " + "; ".join(sorted(uplinks)))
+    print_report("Fig. 4 / EPIC cyber topology", rows)
+
+    assert by_switch["sw-GenLAN"] == ["GIED1", "GIED2"]
+    assert by_switch["sw-TransLAN"] == ["TIED1", "TIED2"]
+    assert by_switch["sw-MicroLAN"] == ["MIED1", "MIED2"]
+    assert by_switch["sw-HomeLAN"] == ["SHIED1", "SHIED2"]
+    assert sorted(by_switch["sw-CoreLAN"]) == ["CPLC", "SCADA1"]
+    assert len(uplinks) == 4  # each segment uplinked to the core
+
+
+def test_fig4_cross_segment_connectivity(benchmark, epic_model):
+    """Time an MMS association + read across two segments."""
+    merged = merge_scd(epic_model.scds)
+    plan = generate_network_plan(merged)
+
+    def mms_round_trip():
+        simulator = Simulator()
+        net = plan.build(simulator)
+
+        class Echo:
+            def mms_identify(self):
+                return {"vendor": "x"}
+
+            def mms_get_name_list(self, oc, domain):
+                return []
+
+            def mms_read(self, ref):
+                return 1.0
+
+            def mms_write(self, ref, value):
+                pass
+
+        MmsServer(net.host("GIED1"), Echo()).start()
+        client = MmsClient(net.host("SCADA1"), plan.host_ip("GIED1"))
+        client.connect()
+        out = {}
+        client.when_ready(
+            lambda: client.read(["any"], lambda r, e: out.update(r=r))
+        )
+        simulator.run_for(SECOND)
+        return out
+
+    out = benchmark(mms_round_trip)
+    print_report(
+        "Fig. 4 / cross-segment MMS (SCADA core → GenLAN IED)",
+        [f"read result: {out.get('r')}"],
+    )
+    assert out["r"][0] == {"value": 1.0}

@@ -1,0 +1,62 @@
+"""Fig. 5 — generated power system topology (EPIC model, Pandapower view).
+
+Regenerates the power model from the SSD, solves it, and reports the
+per-segment electrical layout and steady-state operating point the
+figure's annotations imply (generation, transmission, micro-grid with
+PV+battery, smart homes with loads).
+"""
+
+from conftest import print_report
+
+from repro.powersim import run_power_flow
+from repro.scl.merge import merge_ssd
+from repro.sgml import generate_power_network
+
+
+def test_fig5_power_model_shape(benchmark, epic_model):
+    merged = merge_ssd(epic_model.ssds)
+
+    net = benchmark(generate_power_network, merged)
+
+    summary = net.summary()
+    segments = {
+        "Generation": ["G1", "G2", "CB_G1", "CB_G2"],
+        "Transmission": ["CB_T1", "TL1"],
+        "Micro-grid": ["CB_M1", "ML1", "PV1", "BAT1"],
+        "Smart home": ["CB_SH1", "SHL1", "Load_SH1", "Load_SH2"],
+    }
+    rows = [f"component counts: {summary}"]
+    for segment, names in segments.items():
+        rows.append(f"{segment:<14} {', '.join(names)}")
+    print_report("Fig. 5 / EPIC power topology", rows)
+
+    assert summary["bus"] == 9
+    assert summary["switch"] == 5  # the five breakers
+    assert summary["line"] == 3
+    assert summary["load"] == 2
+    assert summary["sgen"] == 2  # PV + battery
+    assert summary["gen"] + summary["ext_grid"] == 2  # G1 (slack) + G2
+
+
+def test_fig5_steady_state_solution(benchmark, epic_model):
+    merged = merge_ssd(epic_model.ssds)
+    net = generate_power_network(merged)
+
+    result = benchmark(run_power_flow, net)
+
+    rows = [
+        f"converged in {result.iterations} NR iterations",
+        f"total load {result.total_load_mw * 1000:.1f} kW, "
+        f"losses {result.total_losses_mw * 1000:.3f} kW",
+        f"slack (G1) output {result.slack_p_mw * 1000:.1f} kW",
+        "bus voltages (pu):",
+    ]
+    for name, bus in sorted(result.buses.items()):
+        short = name.rsplit("/", 1)[-1]
+        rows.append(f"  {short:<6} {bus.vm_pu:.4f}")
+    print_report("Fig. 5 / EPIC steady state", rows)
+
+    assert result.converged
+    assert result.total_load_mw == 0.04
+    for bus in result.buses.values():
+        assert 0.98 < bus.vm_pu < 1.02

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Red-team exercise: the paper's §IV-B case studies on the EPIC range.
+
+Phases (a realistic kill chain):
+  1. reconnaissance  — ARP sweep + port scan from a foothold box,
+  2. false command injection — CrashOverride-style MMS breaker-open,
+  3. man-in-the-middle — ARP spoofing + measurement falsification so the
+     operator's HMI shows a healthy value while phase 2 repeats.
+
+Run with:  python examples/red_team_exercise.py
+"""
+
+import tempfile
+
+from repro.attacks import (
+    FalseCommandInjector,
+    MeasurementSpoofer,
+    MitmPipeline,
+    NetworkScanner,
+)
+from repro.epic import generate_epic_model
+from repro.sgml import SgmlModelSet, SgmlProcessor
+
+TBUS_VM = "meas/EPIC/VL1/TransmissionBay/TBUS/vm_pu"
+TIED1_V_REF = "TIED1LD0/MMXU1.PhV.phsA.cVal.mag.f"
+
+
+def main() -> None:
+    model_dir = generate_epic_model(tempfile.mkdtemp(prefix="sgml-redteam-"))
+    cyber_range = SgmlProcessor(SgmlModelSet.from_directory(model_dir)).compile()
+    cyber_range.start()
+    cyber_range.run_for(3.0)
+    hmi = cyber_range.hmis["SCADA1"]
+
+    # ------------------------------------------------------------------
+    print("== phase 1: reconnaissance ==")
+    foothold = cyber_range.add_attacker("sw-TransLAN", name="foothold")
+    scanner = NetworkScanner(foothold)
+    report = scanner.run_full_scan("10.0.1.0")
+    print(report.describe())
+    mms_targets = [ip for ip, ports in report.open_ports.items() if 102 in ports]
+    print(f"IEC 61850 MMS targets: {mms_targets}\n")
+
+    # ------------------------------------------------------------------
+    print("== phase 2: false command injection ==")
+    print(f"   TBUS voltage before: {cyber_range.measurement(TBUS_VM):.4f} pu")
+    injector = FalseCommandInjector(foothold)
+    result = injector.open_breaker("10.0.1.13", "TIED1")
+    cyber_range.run_for(1.0)
+    print(f"   CB-open accepted by TIED1: {result.accepted} "
+          f"({(result.completed_at_us - result.sent_at_us) / 1000:.2f} ms)")
+    print(f"   TBUS voltage after:  {cyber_range.measurement(TBUS_VM):.4f} pu")
+    print(f"   HMI alarms: {[e.describe() for e in hmi.events if e.kind == 'LOW']}")
+    print("   operator recloses the breaker ...")
+    hmi.operate("CB_T1", True)
+    cyber_range.run_for(2.0)
+    print(f"   TBUS voltage restored: {cyber_range.measurement(TBUS_VM):.4f} pu\n")
+
+    # ------------------------------------------------------------------
+    print("== phase 3: MITM — blind the operator, then strike again ==")
+    spy = cyber_range.add_attacker("sw-CoreLAN", name="spy")
+    # Freeze the HMI's direct voltage reading at a healthy value.
+    spoofer = MeasurementSpoofer({TIED1_V_REF: 0.9987})
+    mitm = MitmPipeline(spy, "10.0.1.100", "10.0.1.13", transform=spoofer)
+    mitm.start()
+    cyber_range.run_for(3.0)
+    injector.open_breaker("10.0.1.13", "TIED1")
+    cyber_range.run_for(3.0)
+    truth = cyber_range.measurement(TBUS_VM)
+    seen = hmi.value_of("TBUS_V_DIRECT")
+    print(f"   ground truth TBUS voltage: {truth:.4f} pu (dead bus)")
+    print(f"   HMI's direct MMS reading:  {seen:.4f} pu (falsified)")
+    print(f"   frames intercepted={mitm.intercepted} "
+          f"rewritten={spoofer.rewritten_count}")
+    print("   → the outage is hidden from the direct measurement path;")
+    print("     only the Modbus path via the CPLC still tells the truth:")
+    print(f"     HMI TBUS_V_PU (via CPLC): {hmi.value_of('TBUS_V_PU'):.4f} pu")
+
+    # ------------------------------------------------------------------
+    print("\n== forensics ==")
+    for write in cyber_range.pointdb.command_history:
+        if write.value is False:
+            print(f"   [{write.time_us / 1e6:8.3f}s] {write.key} "
+                  f"← False  (writer: {write.writer})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy shim: the offline environment lacks the `wheel` package, so
+editable installs use `setup.py develop` via --no-use-pep517."""
+from setuptools import setup
+
+setup()

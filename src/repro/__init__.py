@@ -1,0 +1,39 @@
+"""SG-ML: automated generation of smart grid cyber ranges.
+
+Reproduction of "Towards Automated Generation of Smart Grid Cyber Range for
+Cybersecurity Experiments and Training" (DSN 2023, arXiv:2404.00869).
+
+The package is organised as a stack of substrates (power flow simulation,
+network emulation, IEC 61850 / IEC 61131 / Modbus protocol implementations,
+virtual devices) with the paper's contribution — the SG-ML modelling language
+and its processor toolchain — on top:
+
+* :mod:`repro.sgml` — the SG-ML model set and the SG-ML Processor that
+  "compiles" SCL + supplementary XML into an operational cyber range.
+* :mod:`repro.scl` — IEC 61850 SCL (SSD/SCD/ICD/SED) object model, parsers,
+  writers and the SSD/SCD mergers.
+* :mod:`repro.powersim` — steady-state AC power flow (Pandapower substitute).
+* :mod:`repro.netem` — discrete-event L2/L3 network emulator (Mininet
+  substitute).
+* :mod:`repro.iec61850` — MMS, GOOSE, R-GOOSE and R-SV protocol stacks.
+* :mod:`repro.iec61131` — Structured Text interpreter + PLCopen XML loader.
+* :mod:`repro.ied`, :mod:`repro.plc`, :mod:`repro.scada` — virtual devices.
+* :mod:`repro.range` — the operational cyber range runtime.
+* :mod:`repro.attacks` — attack tooling for the case studies (FCI, MITM).
+* :mod:`repro.epic` — EPIC-testbed-style demonstration model generator.
+
+Quickstart::
+
+    from repro.epic import generate_epic_model
+    from repro.sgml import SgmlModelSet, SgmlProcessor
+
+    model_dir = generate_epic_model("/tmp/epic")
+    model = SgmlModelSet.from_directory(model_dir)
+    cyber_range = SgmlProcessor(model).compile()
+    cyber_range.start()
+    cyber_range.run_for(seconds=2.0)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

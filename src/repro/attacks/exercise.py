@@ -1,0 +1,109 @@
+"""Scripted training exercises (the paper's "hands-on training" use case).
+
+A :class:`ExercisePlaybook` schedules attack/defence actions at virtual
+times on a running cyber range and collects an after-action report — the
+artifact a trainer reviews with trainees.  Actions are plain callables so
+playbooks compose the attack primitives from this package with operator
+actions (HMI commands) and observations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.kernel import SECOND
+from repro.range import CyberRange
+
+ActionFn = Callable[[CyberRange], Any]
+
+
+@dataclass
+class ExerciseAction:
+    """One scheduled step of the exercise."""
+
+    time_s: float
+    description: str
+    execute: ActionFn
+    #: "red" (attacker), "blue" (defender/operator), "white" (observer).
+    team: str = "red"
+
+
+@dataclass(frozen=True)
+class ExerciseLogEntry:
+    time_s: float
+    team: str
+    description: str
+    result: str
+
+
+@dataclass
+class ExercisePlaybook:
+    """An ordered script of actions plus the resulting after-action log."""
+
+    name: str = "exercise"
+    actions: list[ExerciseAction] = field(default_factory=list)
+    log: list[ExerciseLogEntry] = field(default_factory=list)
+
+    def add(
+        self,
+        time_s: float,
+        description: str,
+        execute: ActionFn,
+        team: str = "red",
+    ) -> "ExercisePlaybook":
+        """Append an action; returns self for chaining."""
+        self.actions.append(
+            ExerciseAction(
+                time_s=time_s, description=description,
+                execute=execute, team=team,
+            )
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    def run(self, cyber_range: CyberRange, duration_s: float) -> None:
+        """Schedule every action and run the range for ``duration_s``.
+
+        Must be called on a started range.  Action exceptions are caught
+        and logged (a failed attack step is a legitimate exercise outcome,
+        not a harness crash).
+        """
+        base = cyber_range.simulator.now
+
+        def make_runner(action: ExerciseAction) -> Callable[[], None]:
+            def runner() -> None:
+                try:
+                    outcome = action.execute(cyber_range)
+                    result = "ok" if outcome is None else str(outcome)
+                except Exception as exc:  # after-action visibility
+                    result = f"FAILED: {exc}"
+                self.log.append(
+                    ExerciseLogEntry(
+                        time_s=(cyber_range.simulator.now - base) / SECOND,
+                        team=action.team,
+                        description=action.description,
+                        result=result,
+                    )
+                )
+
+            return runner
+
+        for action in sorted(self.actions, key=lambda a: a.time_s):
+            cyber_range.simulator.schedule(
+                int(action.time_s * SECOND),
+                make_runner(action),
+                label=f"exercise:{self.name}",
+            )
+        cyber_range.run_for(duration_s)
+
+    # ------------------------------------------------------------------
+    def after_action_report(self) -> str:
+        """Human-readable report of what happened, in order."""
+        lines = [f"=== after-action report: {self.name} ==="]
+        for entry in self.log:
+            lines.append(
+                f"[{entry.time_s:8.3f}s] ({entry.team:>5}) "
+                f"{entry.description} -> {entry.result}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""False command injection (paper §IV-B).
+
+"Assuming that the attacker has compromised one of the nodes in the system
+and run malwares like CrashOverride to transmit fake IEC 61850 MMS
+commands ... Once the IED receives a circuit breaker (CB) open command,
+for instance, the corresponding CB is operated, and the power flow change
+is calculated by the power flow simulator."
+
+The injector is nothing more than a legitimate MMS client on a node the
+attacker controls — which is exactly the point: the protocol has no
+authentication, so a standard-compliant write is indistinguishable from an
+operator action.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.iec61850.mms import MmsClient
+from repro.netem.host import Host
+
+
+@dataclass
+class InjectionResult:
+    """Outcome of one injected command."""
+
+    reference: str
+    value: object
+    sent_at_us: int
+    completed_at_us: int = -1
+    error: Optional[str] = None
+
+    @property
+    def accepted(self) -> bool:
+        return self.completed_at_us >= 0 and self.error is None
+
+
+@dataclass
+class FalseCommandInjector:
+    """Drives fake MMS control writes from a compromised host."""
+
+    host: Host
+    results: list[InjectionResult] = field(default_factory=list)
+    _clients: dict[str, MmsClient] = field(default_factory=dict)
+
+    def _client(self, server_ip: str) -> MmsClient:
+        client = self._clients.get(server_ip)
+        if client is None:
+            client = MmsClient(self.host, server_ip, name=f"fci:{self.host.name}")
+            client.connect()
+            self._clients[server_ip] = client
+        return client
+
+    def inject(
+        self, server_ip: str, reference: str, value: object
+    ) -> InjectionResult:
+        """Send one MMS write; result completes asynchronously."""
+        result = InjectionResult(
+            reference=reference, value=value, sent_at_us=self.host.simulator.now
+        )
+        self.results.append(result)
+        client = self._client(server_ip)
+
+        def fire() -> None:
+            client.write(reference, value, on_reply=self._on_reply(result))
+
+        client.when_ready(fire)
+        return result
+
+    def open_breaker(self, server_ip: str, ied_name: str) -> InjectionResult:
+        """Convenience: emit the classic CB-open against an IED."""
+        return self.inject(
+            server_ip, f"{ied_name}LD0/XCBR1.Oper.ctlVal", False
+        )
+
+    def close_breaker(self, server_ip: str, ied_name: str) -> InjectionResult:
+        return self.inject(server_ip, f"{ied_name}LD0/XCBR1.Oper.ctlVal", True)
+
+    def _on_reply(self, result: InjectionResult):
+        def callback(_value, error: Optional[str]) -> None:
+            result.completed_at_us = self.host.simulator.now
+            result.error = error
+
+        return callback
+
+    @property
+    def accepted_count(self) -> int:
+        return sum(1 for result in self.results if result.accepted)

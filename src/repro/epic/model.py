@@ -1,0 +1,733 @@
+"""EPIC-testbed-style SG-ML model set generator (paper §IV-A).
+
+Electrical layout (single substation ``EPIC``, 0.4 kV, Fig. 5 shape):
+
+* **Generation** — generators ``G1`` (grid-forming / slack) and ``G2``
+  behind breakers ``CB_G1`` / ``CB_G2`` onto the generation bus ``GBUS``.
+* **Transmission** — breaker ``CB_T1`` and line ``TL1`` from ``GBUS`` to
+  the transmission bus ``TBUS``.
+* **Micro-grid** — breaker ``CB_M1`` + line ``ML1`` to ``MBUS`` hosting PV
+  ``PV1`` and battery ``BAT1``.
+* **Smart home** — breaker ``CB_SH1`` + line ``SHL1`` to ``SHBUS`` hosting
+  controllable loads ``Load_SH1`` / ``Load_SH2``.
+
+Cyber layout (Fig. 4 shape): four segment LANs (GenLAN, TransLAN,
+MicroLAN, HomeLAN) uplinked to a CoreLAN carrying the SCADA HMI and the
+mediating ``CPLC`` — "in the cyber range we consider one PLC that mediates
+communication between SCADA HMI and IEDs (called CPLC)".
+
+Eight IEDs (two per segment, EPIC naming): GIED1/2, TIED1/2, MIED1/2,
+SHIED1/2, each with the protection functions of Table II configured via
+IED Config XML.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.iec61131.ast import VarDeclaration
+from repro.iec61131.plcopen import PlcOpenDocument, PlcPou, PlcTask, write_plcopen
+from repro.ied.config import (
+    GooseLinkConfig,
+    IedRuntimeConfig,
+    PointMapping,
+    ProtectionSettings,
+)
+from repro.scl.model import (
+    AccessPoint,
+    Bay,
+    CommunicationSection,
+    ConductingEquipment,
+    ConnectedAp,
+    ConnectivityNode,
+    Header,
+    Ied,
+    LDevice,
+    LogicalNode,
+    SclDocument,
+    SubNetwork,
+    Substation,
+    Terminal,
+    VoltageLevel,
+)
+from repro.scl.writer import write_scl_file
+from repro.sgml.ied_config import write_ied_config
+from repro.sgml.plc_config import PlcConfig, PlcMmsBind, write_plc_config
+from repro.sgml.ps_extra import write_ps_extra_config
+from repro.sgml.scada_config import ScadaConfigXml, write_scada_config
+from repro.powersim.timeseries import (
+    LoadProfile,
+    ProfilePoint,
+    SimulationScenario,
+)
+
+#: The eight EPIC IEDs, by segment.
+EPIC_IED_NAMES = [
+    "GIED1", "GIED2", "TIED1", "TIED2", "MIED1", "MIED2", "SHIED1", "SHIED2",
+]
+
+_SUB = "EPIC"
+_VL = "VL1"
+
+#: Segment → (bay name, LAN name).
+_SEGMENTS = {
+    "generation": ("GenerationBay", "GenLAN"),
+    "transmission": ("TransmissionBay", "TransLAN"),
+    "microgrid": ("MicrogridBay", "MicroLAN"),
+    "smarthome": ("SmartHomeBay", "HomeLAN"),
+}
+
+
+def _node(bay: str, name: str) -> str:
+    return f"{_SUB}/{_VL}/{bay}/{name}"
+
+
+# Connectivity-node paths used across the model.
+GBUS = _node("GenerationBay", "GBUS")
+GN1 = _node("GenerationBay", "GN1")
+GN2 = _node("GenerationBay", "GN2")
+TN1 = _node("TransmissionBay", "TN1")
+TBUS = _node("TransmissionBay", "TBUS")
+MN1 = _node("MicrogridBay", "MN1")
+MBUS = _node("MicrogridBay", "MBUS")
+SHN1 = _node("SmartHomeBay", "SHN1")
+SHBUS = _node("SmartHomeBay", "SHBUS")
+
+
+def generate_epic_model(directory: str) -> str:
+    """Write the complete EPIC SG-ML model set into ``directory``."""
+    os.makedirs(directory, exist_ok=True)
+    ssd = _build_ssd()
+    write_scl_file(ssd, os.path.join(directory, "epic.ssd"))
+    icds = {name: _build_icd(name) for name in EPIC_IED_NAMES}
+    for name, icd in icds.items():
+        write_scl_file(icd, os.path.join(directory, f"{name.lower()}.icd"))
+    scd = _build_scd(ssd, icds)
+    write_scl_file(scd, os.path.join(directory, "epic.scd"))
+    _write(directory, "epic_ied_config.xml", write_ied_config(_ied_configs()))
+    _write(
+        directory, "epic_scada_config.xml", write_scada_config(_scada_config())
+    )
+    _write(
+        directory, "epic_ps_config.xml", write_ps_extra_config(_scenario())
+    )
+    _write(directory, "epic_plc_config.xml", write_plc_config(_plc_config()))
+    _write(directory, "epic_plc.xml", write_plcopen(_plc_logic()))
+    return directory
+
+
+def _write(directory: str, filename: str, content: str) -> None:
+    with open(os.path.join(directory, filename), "w", encoding="utf-8") as fh:
+        fh.write(content)
+
+
+# ---------------------------------------------------------------------------
+# SSD (power topology)
+# ---------------------------------------------------------------------------
+
+
+def _equipment(
+    name: str,
+    eq_type: str,
+    nodes: list[str],
+    params: dict[str, str],
+    desc: str = "",
+) -> ConductingEquipment:
+    return ConductingEquipment(
+        name=name,
+        type=eq_type,
+        desc=desc,
+        terminals=[Terminal(connectivity_node=node) for node in nodes],
+        attributes=params,
+    )
+
+
+def _build_ssd() -> SclDocument:
+    generation = Bay(
+        name="GenerationBay",
+        desc="EPIC generation segment",
+        connectivity_nodes=[
+            ConnectivityNode("GN1", GN1),
+            ConnectivityNode("GN2", GN2),
+            ConnectivityNode("GBUS", GBUS),
+        ],
+        equipment=[
+            _equipment(
+                "G1", "GEN", [GN1],
+                {"p_mw": "0.030", "vm_pu": "1.0", "slack": "true"},
+                desc="Diesel generator 1 (grid forming)",
+            ),
+            _equipment(
+                "G2", "GEN", [GN2], {"p_mw": "0.020", "vm_pu": "1.0"},
+                desc="Diesel generator 2",
+            ),
+            _equipment("CB_G1", "CBR", [GN1, GBUS], {}),
+            _equipment("CB_G2", "CBR", [GN2, GBUS], {}),
+        ],
+    )
+    transmission = Bay(
+        name="TransmissionBay",
+        desc="EPIC transmission segment",
+        connectivity_nodes=[
+            ConnectivityNode("TN1", TN1),
+            ConnectivityNode("TBUS", TBUS),
+        ],
+        equipment=[
+            _equipment("CB_T1", "CBR", [GBUS, TN1], {}),
+            _equipment(
+                "TL1", "LIN", [TN1, TBUS],
+                {
+                    "r_ohm": "0.005", "x_ohm": "0.010", "b_us": "0",
+                    "max_i_ka": "0.10", "length_km": "0.2",
+                },
+                desc="Transmission line",
+            ),
+        ],
+    )
+    microgrid = Bay(
+        name="MicrogridBay",
+        desc="EPIC micro-grid segment (PV + battery)",
+        connectivity_nodes=[
+            ConnectivityNode("MN1", MN1),
+            ConnectivityNode("MBUS", MBUS),
+        ],
+        equipment=[
+            _equipment("CB_M1", "CBR", [TBUS, MN1], {}),
+            _equipment(
+                "ML1", "LIN", [MN1, MBUS],
+                {
+                    "r_ohm": "0.008", "x_ohm": "0.012", "b_us": "0",
+                    "max_i_ka": "0.06", "length_km": "0.1",
+                },
+            ),
+            _equipment(
+                "PV1", "GEN", [MBUS],
+                {"p_mw": "0.010", "model": "sgen", "kind": "pv"},
+                desc="PV array",
+            ),
+            _equipment(
+                "BAT1", "BAT", [MBUS], {"p_mw": "0.005", "q_mvar": "0"},
+                desc="Battery storage",
+            ),
+        ],
+    )
+    smarthome = Bay(
+        name="SmartHomeBay",
+        desc="EPIC smart home segment (controllable loads)",
+        connectivity_nodes=[
+            ConnectivityNode("SHN1", SHN1),
+            ConnectivityNode("SHBUS", SHBUS),
+        ],
+        equipment=[
+            _equipment("CB_SH1", "CBR", [TBUS, SHN1], {}),
+            _equipment(
+                "SHL1", "LIN", [SHN1, SHBUS],
+                {
+                    "r_ohm": "0.008", "x_ohm": "0.012", "b_us": "0",
+                    "max_i_ka": "0.08", "length_km": "0.1",
+                },
+            ),
+            _equipment(
+                "Load_SH1", "MOT", [SHBUS],
+                {"p_mw": "0.025", "q_mvar": "0.005"},
+                desc="Smart home load 1",
+            ),
+            _equipment(
+                "Load_SH2", "MOT", [SHBUS],
+                {"p_mw": "0.015", "q_mvar": "0.003"},
+                desc="Smart home load 2",
+            ),
+        ],
+    )
+    substation = Substation(
+        name=_SUB,
+        desc="EPIC testbed replica",
+        voltage_levels=[
+            VoltageLevel(
+                name=_VL,
+                voltage_kv=0.4,
+                bays=[generation, transmission, microgrid, smarthome],
+            )
+        ],
+    )
+    return SclDocument(
+        header=Header(id="EPIC-SSD", tool_id="SG-ML"),
+        substations=[substation],
+    )
+
+
+# ---------------------------------------------------------------------------
+# ICDs
+# ---------------------------------------------------------------------------
+
+#: IED → protection LN classes in its ICD (drives feature enablement).
+_IED_PROTECTION_LNS = {
+    "GIED1": ["PTOC"],
+    "GIED2": ["PTOC", "CILO"],
+    "TIED1": ["PTOV", "PTUV"],
+    "TIED2": ["PTOC"],
+    "MIED1": ["PTUV"],
+    "MIED2": ["PTOC"],
+    "SHIED1": ["PTOC"],
+    "SHIED2": ["PTUV"],
+}
+
+
+def _build_icd(ied_name: str) -> SclDocument:
+    nodes = [
+        LogicalNode(ln_class="LLN0", inst="", is_ln0=True),
+        LogicalNode(ln_class="LPHD", inst="1"),
+        LogicalNode(ln_class="MMXU", inst="1"),
+        LogicalNode(ln_class="XCBR", inst="1"),
+        LogicalNode(ln_class="CSWI", inst="1"),
+    ]
+    for index, ln_class in enumerate(_IED_PROTECTION_LNS[ied_name], start=1):
+        nodes.append(LogicalNode(ln_class=ln_class, inst=str(index)))
+    ied = Ied(
+        name=ied_name,
+        type="VirtualIED",
+        manufacturer="SG-ML",
+        desc=f"EPIC {ied_name}",
+        access_points=[
+            AccessPoint(
+                name="AP1",
+                server_ldevices=[LDevice(inst="LD0", logical_nodes=nodes)],
+            )
+        ],
+    )
+    return SclDocument(header=Header(id=f"{ied_name}-ICD"), ieds=[ied])
+
+
+# ---------------------------------------------------------------------------
+# SCD (cyber topology + everything)
+# ---------------------------------------------------------------------------
+
+_IED_IPS = {
+    "GIED1": "10.0.1.11",
+    "GIED2": "10.0.1.12",
+    "TIED1": "10.0.1.13",
+    "TIED2": "10.0.1.14",
+    "MIED1": "10.0.1.15",
+    "MIED2": "10.0.1.16",
+    "SHIED1": "10.0.1.17",
+    "SHIED2": "10.0.1.18",
+    "CPLC": "10.0.1.20",
+    "SCADA1": "10.0.1.100",
+}
+
+_SEGMENT_OF_IED = {
+    "GIED1": "GenLAN", "GIED2": "GenLAN",
+    "TIED1": "TransLAN", "TIED2": "TransLAN",
+    "MIED1": "MicroLAN", "MIED2": "MicroLAN",
+    "SHIED1": "HomeLAN", "SHIED2": "HomeLAN",
+    "CPLC": "CoreLAN", "SCADA1": "CoreLAN",
+}
+
+
+def _build_scd(ssd: SclDocument, icds: dict[str, SclDocument]) -> SclDocument:
+    scd = SclDocument(
+        header=Header(id="EPIC-SCD", tool_id="SG-ML"),
+        substations=[ssd.substations[0]],
+    )
+    communication = CommunicationSection()
+    lans: dict[str, SubNetwork] = {}
+    core = SubNetwork(name="CoreLAN", type="8-MMS", desc="SCADA/PLC core LAN")
+    lans["CoreLAN"] = core
+    for segment, (_, lan_name) in _SEGMENTS.items():
+        lans[lan_name] = SubNetwork(
+            name=lan_name,
+            type="8-MMS",
+            desc=f"EPIC {segment} LAN",
+            attributes={"uplink": "CoreLAN"},
+        )
+    for index, (name, ip) in enumerate(_IED_IPS.items(), start=1):
+        lan = lans[_SEGMENT_OF_IED[name]]
+        lan.connected_aps.append(
+            ConnectedAp(
+                ied_name=name,
+                ap_name="AP1",
+                address={
+                    "IP": ip,
+                    "IP-SUBNET": "255.0.0.0",
+                    "IP-GATEWAY": _IED_IPS["CPLC"],
+                    "MAC-Address": f"00:1a:10:00:00:{index:02x}",
+                },
+            )
+        )
+    communication.subnetworks = [core] + [
+        lans[lan_name] for _, lan_name in _SEGMENTS.values()
+    ]
+    scd.communication = communication
+    # IED sections: the eight protection IEDs plus PLC and SCADA entries.
+    for name in EPIC_IED_NAMES:
+        scd.ieds.append(icds[name].ieds[0])
+    scd.ieds.append(Ied(name="CPLC", type="PLC", manufacturer="SG-ML"))
+    scd.ieds.append(Ied(name="SCADA1", type="SCADA", manufacturer="SG-ML"))
+    return scd
+
+
+# ---------------------------------------------------------------------------
+# IED Config XML
+# ---------------------------------------------------------------------------
+
+
+def _mmxu(ied: str, do_path: str) -> str:
+    return f"{ied}LD0/MMXU1.{do_path}"
+
+
+def _xcbr(ied: str, do_path: str) -> str:
+    return f"{ied}LD0/XCBR1.{do_path}"
+
+
+def _gocb(ied: str) -> str:
+    return f"{ied}LD0/LLN0$GO$gcb1"
+
+
+def _standard_points(
+    ied: str, breaker: str, bus_path: str, line: str = "", power_of: str = ""
+) -> list[PointMapping]:
+    """The common point map: voltage, current, power, breaker status+cmd."""
+    points = [
+        PointMapping(
+            scl_ref=_mmxu(ied, "PhV.phsA.cVal.mag.f"),
+            db_key=f"meas/{bus_path}/vm_pu",
+        ),
+        PointMapping(
+            scl_ref=_xcbr(ied, "Pos.stVal"),
+            db_key=f"status/{breaker}/closed",
+        ),
+        PointMapping(
+            scl_ref=_xcbr(ied, "Oper.ctlVal"),
+            db_key=f"cmd/{breaker}/close",
+            direction="write",
+        ),
+    ]
+    if line:
+        points.append(
+            PointMapping(
+                scl_ref=_mmxu(ied, "A.phsA.cVal.mag.f"),
+                db_key=f"meas/{line}/i_ka",
+            )
+        )
+    if power_of:
+        points.append(
+            PointMapping(
+                scl_ref=_mmxu(ied, "TotW.mag.f"),
+                db_key=f"meas/{power_of}/p_mw",
+            )
+        )
+    return points
+
+
+def _ied_configs() -> dict[str, IedRuntimeConfig]:
+    configs: dict[str, IedRuntimeConfig] = {}
+
+    def add(config: IedRuntimeConfig) -> None:
+        config.goose = GooseLinkConfig(
+            gocb_ref=_gocb(config.ied_name), dataset="dsStatus"
+        )
+        configs[config.ied_name] = config
+
+    add(
+        IedRuntimeConfig(
+            ied_name="GIED1",
+            points=_standard_points("GIED1", "CB_G1", GBUS, line="TL1",
+                                    power_of="G1"),
+            protections=[
+                ProtectionSettings(
+                    ln_name="PTOC1", fn_type="PTOC", breaker="CB_G1",
+                    meas_ref=_mmxu("GIED1", "A.phsA.cVal.mag.f"),
+                    threshold=0.20, delay_ms=300,
+                ),
+            ],
+        )
+    )
+    add(
+        IedRuntimeConfig(
+            ied_name="GIED2",
+            points=_standard_points("GIED2", "CB_G2", GBUS, line="TL1",
+                                    power_of="G2"),
+            protections=[
+                ProtectionSettings(
+                    ln_name="PTOC1", fn_type="PTOC", breaker="CB_G2",
+                    meas_ref=_mmxu("GIED2", "A.phsA.cVal.mag.f"),
+                    threshold=0.22, delay_ms=350,
+                ),
+                ProtectionSettings(
+                    ln_name="CILO1", fn_type="CILO", breaker="CB_G2",
+                    interlock_breaker="CB_G1",
+                ),
+            ],
+            goose_subscriptions=[_gocb("GIED1")],
+        )
+    )
+    add(
+        IedRuntimeConfig(
+            ied_name="TIED1",
+            points=_standard_points("TIED1", "CB_T1", TBUS),
+            protections=[
+                ProtectionSettings(
+                    ln_name="PTOV1", fn_type="PTOV", breaker="CB_T1",
+                    meas_ref=_mmxu("TIED1", "PhV.phsA.cVal.mag.f"),
+                    threshold=1.10, delay_ms=100,
+                ),
+                ProtectionSettings(
+                    ln_name="PTUV1", fn_type="PTUV", breaker="CB_T1",
+                    meas_ref=_mmxu("TIED1", "PhV.phsA.cVal.mag.f"),
+                    threshold=0.85, delay_ms=200,
+                ),
+            ],
+        )
+    )
+    add(
+        IedRuntimeConfig(
+            ied_name="TIED2",
+            points=_standard_points("TIED2", "CB_T1", TBUS, line="TL1"),
+            protections=[
+                ProtectionSettings(
+                    ln_name="PTOC1", fn_type="PTOC", breaker="CB_T1",
+                    meas_ref=_mmxu("TIED2", "A.phsA.cVal.mag.f"),
+                    threshold=0.25, delay_ms=250,
+                ),
+            ],
+        )
+    )
+    add(
+        IedRuntimeConfig(
+            ied_name="MIED1",
+            points=_standard_points("MIED1", "CB_M1", MBUS, power_of="PV1"),
+            protections=[
+                ProtectionSettings(
+                    ln_name="PTUV1", fn_type="PTUV", breaker="CB_M1",
+                    meas_ref=_mmxu("MIED1", "PhV.phsA.cVal.mag.f"),
+                    threshold=0.80, delay_ms=200,
+                ),
+            ],
+        )
+    )
+    add(
+        IedRuntimeConfig(
+            ied_name="MIED2",
+            points=_standard_points("MIED2", "CB_M1", MBUS, line="ML1",
+                                    power_of="BAT1"),
+            protections=[
+                ProtectionSettings(
+                    ln_name="PTOC1", fn_type="PTOC", breaker="CB_M1",
+                    meas_ref=_mmxu("MIED2", "A.phsA.cVal.mag.f"),
+                    threshold=0.05, delay_ms=150,
+                ),
+            ],
+        )
+    )
+    add(
+        IedRuntimeConfig(
+            ied_name="SHIED1",
+            points=_standard_points("SHIED1", "CB_SH1", SHBUS, line="SHL1",
+                                    power_of="Load_SH1"),
+            protections=[
+                ProtectionSettings(
+                    ln_name="PTOC1", fn_type="PTOC", breaker="CB_SH1",
+                    meas_ref=_mmxu("SHIED1", "A.phsA.cVal.mag.f"),
+                    threshold=0.07, delay_ms=100,
+                ),
+            ],
+        )
+    )
+    add(
+        IedRuntimeConfig(
+            ied_name="SHIED2",
+            points=_standard_points("SHIED2", "CB_SH1", SHBUS,
+                                    power_of="Load_SH2"),
+            protections=[
+                ProtectionSettings(
+                    ln_name="PTUV1", fn_type="PTUV", breaker="CB_SH1",
+                    meas_ref=_mmxu("SHIED2", "PhV.phsA.cVal.mag.f"),
+                    threshold=0.80, delay_ms=200,
+                ),
+            ],
+        )
+    )
+    return configs
+
+
+# ---------------------------------------------------------------------------
+# PLC (CPLC): mediates SCADA <-> IEDs
+# ---------------------------------------------------------------------------
+
+_CPLC_ST = """
+(* EPIC CPLC: mediates between SCADA (Modbus) and IEDs (MMS).
+   SCADA writes breaker commands into coils %IX0.x; the logic forwards
+   them to the owning IED over MMS.  IED measurements arrive via MMS
+   read bindings and are exposed to SCADA as input registers. *)
+g1_p_out := g1_p;
+g2_p_out := g2_p;
+pv_p_out := pv_p;
+tbus_v_out := tbus_v;
+total_gen := g1_p + g2_p + pv_p;
+cb_g1_st_out := cb_g1_st;
+cb_g2_st_out := cb_g2_st;
+cb_t1_st_out := cb_t1_st;
+cb_m1_st_out := cb_m1_st;
+cb_sh1_st_out := cb_sh1_st;
+cb_g1_w := cb_g1_cmd;
+cb_g2_w := cb_g2_cmd;
+cb_t1_w := cb_t1_cmd;
+cb_m1_w := cb_m1_cmd;
+cb_sh1_w := cb_sh1_cmd;
+"""
+
+
+def _plc_logic() -> PlcOpenDocument:
+    def var(name: str, type_name: str, location: str = "", kind: str = "VAR",
+            initial=None) -> VarDeclaration:
+        from repro.iec61131.ast import Literal
+
+        return VarDeclaration(
+            name=name,
+            type_name=type_name,
+            kind=kind,
+            location=location,
+            initial=Literal(initial) if initial is not None else None,
+        )
+
+    declarations = [
+        # MMS-bound measurement inputs.
+        var("g1_p", "REAL"), var("g2_p", "REAL"), var("pv_p", "REAL"),
+        var("tbus_v", "REAL"),
+        var("cb_g1_st", "BOOL", initial=True),
+        var("cb_g2_st", "BOOL", initial=True),
+        var("cb_t1_st", "BOOL", initial=True),
+        var("cb_m1_st", "BOOL", initial=True),
+        var("cb_sh1_st", "BOOL", initial=True),
+        # SCADA-facing outputs (input registers / discrete inputs).
+        var("g1_p_out", "REAL", "%QD0"), var("g2_p_out", "REAL", "%QD2"),
+        var("pv_p_out", "REAL", "%QD4"), var("tbus_v_out", "REAL", "%QD6"),
+        var("total_gen", "REAL", "%QD8"),
+        var("cb_g1_st_out", "BOOL", "%QX0.0", initial=True),
+        var("cb_g2_st_out", "BOOL", "%QX0.1", initial=True),
+        var("cb_t1_st_out", "BOOL", "%QX0.2", initial=True),
+        var("cb_m1_st_out", "BOOL", "%QX0.3", initial=True),
+        var("cb_sh1_st_out", "BOOL", "%QX0.4", initial=True),
+        # SCADA-written commands (coils).
+        var("cb_g1_cmd", "BOOL", "%IX0.0", initial=True),
+        var("cb_g2_cmd", "BOOL", "%IX0.1", initial=True),
+        var("cb_t1_cmd", "BOOL", "%IX0.2", initial=True),
+        var("cb_m1_cmd", "BOOL", "%IX0.3", initial=True),
+        var("cb_sh1_cmd", "BOOL", "%IX0.4", initial=True),
+        # MMS-bound command outputs.
+        var("cb_g1_w", "BOOL", initial=True),
+        var("cb_g2_w", "BOOL", initial=True),
+        var("cb_t1_w", "BOOL", initial=True),
+        var("cb_m1_w", "BOOL", initial=True),
+        var("cb_sh1_w", "BOOL", initial=True),
+    ]
+    pou = PlcPou(name="cplc", declarations=declarations, st_body=_CPLC_ST)
+    return PlcOpenDocument(
+        pous=[pou],
+        tasks=[PlcTask(name="main", interval_us=100_000, pou_name="cplc")],
+    )
+
+
+def _plc_config() -> dict[str, PlcConfig]:
+    binds = [
+        PlcMmsBind("g1_p", "GIED1", _mmxu("GIED1", "TotW.mag.f")),
+        PlcMmsBind("g2_p", "GIED2", _mmxu("GIED2", "TotW.mag.f")),
+        PlcMmsBind("pv_p", "MIED1", _mmxu("MIED1", "TotW.mag.f")),
+        PlcMmsBind("tbus_v", "TIED1", _mmxu("TIED1", "PhV.phsA.cVal.mag.f")),
+        PlcMmsBind("cb_g1_st", "GIED1", _xcbr("GIED1", "Pos.stVal")),
+        PlcMmsBind("cb_g2_st", "GIED2", _xcbr("GIED2", "Pos.stVal")),
+        PlcMmsBind("cb_t1_st", "TIED1", _xcbr("TIED1", "Pos.stVal")),
+        PlcMmsBind("cb_m1_st", "MIED1", _xcbr("MIED1", "Pos.stVal")),
+        PlcMmsBind("cb_sh1_st", "SHIED1", _xcbr("SHIED1", "Pos.stVal")),
+        PlcMmsBind("cb_g1_w", "GIED1", _xcbr("GIED1", "Oper.ctlVal"), "write"),
+        PlcMmsBind("cb_g2_w", "GIED2", _xcbr("GIED2", "Oper.ctlVal"), "write"),
+        PlcMmsBind("cb_t1_w", "TIED1", _xcbr("TIED1", "Oper.ctlVal"), "write"),
+        PlcMmsBind("cb_m1_w", "MIED1", _xcbr("MIED1", "Oper.ctlVal"), "write"),
+        PlcMmsBind(
+            "cb_sh1_w", "SHIED1", _xcbr("SHIED1", "Oper.ctlVal"), "write"
+        ),
+    ]
+    return {
+        "CPLC": PlcConfig(
+            plc_name="CPLC", pou="cplc", scan_interval_ms=100, binds=binds
+        )
+    }
+
+
+# ---------------------------------------------------------------------------
+# SCADA Config XML
+# ---------------------------------------------------------------------------
+
+
+def _scada_config() -> ScadaConfigXml:
+    config = ScadaConfigXml(name="EPIC-HMI", scada_node="SCADA1")
+    config.sources = [
+        {
+            "name": "CPLC", "type": "MODBUS", "host": "CPLC",
+            "updatePeriodMs": "1000",
+        },
+        {
+            "name": "TIED1-direct", "type": "MMS", "host": "TIED1",
+            "updatePeriodMs": "1000",
+        },
+    ]
+    def analog(name, offset, **extra):
+        point = {
+            "name": name, "dataSource": "CPLC", "pointType": "analog",
+            "modbusTable": "input_float", "offset": str(offset),
+        }
+        point.update({k: str(v) for k, v in extra.items()})
+        return point
+
+    def breaker(name, bit):
+        return {
+            "name": name, "dataSource": "CPLC", "pointType": "binary",
+            "modbusTable": "discrete", "offset": str(bit),
+            "settable": "true", "writeTable": "coil", "writeOffset": str(bit),
+        }
+
+    config.points = [
+        analog("G1_P_MW", 0, alarmHigh="0.045"),
+        analog("G2_P_MW", 2),
+        analog("PV_P_MW", 4),
+        analog("TBUS_V_PU", 6, alarmLow="0.9", alarmHigh="1.1"),
+        analog("TOTAL_GEN_MW", 8),
+        breaker("CB_G1", 0),
+        breaker("CB_G2", 1),
+        breaker("CB_T1", 2),
+        breaker("CB_M1", 3),
+        breaker("CB_SH1", 4),
+        {
+            "name": "TBUS_V_DIRECT", "dataSource": "TIED1-direct",
+            "pointType": "analog",
+            "objectRef": _mmxu("TIED1", "PhV.phsA.cVal.mag.f"),
+        },
+    ]
+    return config
+
+
+# ---------------------------------------------------------------------------
+# Power System Extra Config
+# ---------------------------------------------------------------------------
+
+
+def _scenario() -> SimulationScenario:
+    return SimulationScenario(
+        name="epic-day",
+        profiles=[
+            LoadProfile(
+                target="Load_SH1",
+                kind="load",
+                points=[
+                    ProfilePoint(0.0, 1.0),
+                    ProfilePoint(30.0, 1.3),
+                    ProfilePoint(60.0, 0.8),
+                ],
+            ),
+            LoadProfile(
+                target="PV1",
+                kind="sgen",
+                points=[ProfilePoint(0.0, 1.0), ProfilePoint(45.0, 0.6)],
+            ),
+        ],
+    )

@@ -1,0 +1,55 @@
+"""IEC 61131-3 Structured Text runtime + PLCopen XML loader.
+
+The paper's virtual PLC (OpenPLC61850) executes control logic "programmed
+according to IEC 61131", shipped as PLCopen XML.  This package implements
+the language substrate:
+
+* :mod:`repro.iec61131.lexer` / :mod:`repro.iec61131.parser` — Structured
+  Text front end (IF/CASE/FOR/WHILE/REPEAT, full operator precedence,
+  typed and TIME literals).
+* :mod:`repro.iec61131.interpreter` — scan-cycle execution with typed
+  variables, located variables (``%IX/%QX/%IW/%QW/%ID/%QD``), arrays and
+  function-block instances.
+* :mod:`repro.iec61131.stdlib` — standard function blocks (TON, TOF, TP,
+  R_TRIG, F_TRIG, SR, RS, CTU, CTD, CTUD) and functions (ABS, MIN, MAX,
+  LIMIT, SEL, type conversions...).
+* :mod:`repro.iec61131.plcopen` — IEC 61131-3 PLCopen XML reader/writer.
+"""
+
+from repro.iec61131.errors import (
+    StLexError,
+    StParseError,
+    StRuntimeError,
+    StTypeError,
+)
+from repro.iec61131.interpreter import Program, VarKind, Variable
+from repro.iec61131.parser import parse_program, parse_statements
+from repro.iec61131.plcopen import (
+    PlcOpenDocument,
+    PlcPou,
+    PlcTask,
+    parse_plcopen,
+    parse_plcopen_file,
+    write_plcopen,
+)
+from repro.iec61131.types import IecType, parse_time_literal
+
+__all__ = [
+    "IecType",
+    "PlcOpenDocument",
+    "PlcPou",
+    "PlcTask",
+    "Program",
+    "StLexError",
+    "StParseError",
+    "StRuntimeError",
+    "StTypeError",
+    "VarKind",
+    "Variable",
+    "parse_plcopen",
+    "parse_plcopen_file",
+    "parse_program",
+    "parse_statements",
+    "parse_time_literal",
+    "write_plcopen",
+]

@@ -1,0 +1,167 @@
+"""AST node definitions for Structured Text."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Union
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: Any  # bool | int | float | str (TIME already as int µs)
+
+
+@dataclass(frozen=True)
+class VarRef:
+    """Variable reference with optional member / array access.
+
+    ``accessors`` is a sequence of ``("member", name)`` or
+    ``("index", expression)`` applied left to right: ``timer.Q`` →
+    ``VarRef("timer", (("member", "Q"),))``.
+    """
+
+    name: str
+    accessors: tuple = ()
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    op: str  # "-" | "NOT" | "+"
+    operand: "Expression"
+
+
+@dataclass(frozen=True)
+class BinOp:
+    op: str  # + - * / MOD ** = <> < <= > >= AND OR XOR
+    left: "Expression"
+    right: "Expression"
+
+
+@dataclass(frozen=True)
+class FunctionCall:
+    name: str
+    args: tuple = ()  # positional Expression list
+
+
+Expression = Union[Literal, VarRef, UnaryOp, BinOp, FunctionCall]
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Assignment:
+    target: VarRef
+    value: Expression
+
+
+@dataclass(frozen=True)
+class IfStatement:
+    #: (condition, body) pairs: IF + every ELSIF.
+    branches: tuple
+    else_body: tuple = ()
+
+
+@dataclass(frozen=True)
+class CaseBranch:
+    #: Literal match values and/or (low, high) inclusive ranges.
+    labels: tuple
+    body: tuple
+
+
+@dataclass(frozen=True)
+class CaseStatement:
+    selector: Expression
+    branches: tuple
+    else_body: tuple = ()
+
+
+@dataclass(frozen=True)
+class ForStatement:
+    variable: str
+    start: Expression
+    stop: Expression
+    step: Optional[Expression]
+    body: tuple
+
+
+@dataclass(frozen=True)
+class WhileStatement:
+    condition: Expression
+    body: tuple
+
+
+@dataclass(frozen=True)
+class RepeatStatement:
+    body: tuple
+    until: Expression
+
+
+@dataclass(frozen=True)
+class FbCall:
+    """Function-block invocation: ``timer(IN := x, PT := T#1s);``"""
+
+    instance: str
+    params: tuple = ()  # (name, Expression) pairs
+
+
+@dataclass(frozen=True)
+class ExitStatement:
+    pass
+
+
+@dataclass(frozen=True)
+class ReturnStatement:
+    pass
+
+
+Statement = Union[
+    Assignment,
+    IfStatement,
+    CaseStatement,
+    ForStatement,
+    WhileStatement,
+    RepeatStatement,
+    FbCall,
+    ExitStatement,
+    ReturnStatement,
+]
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class VarDeclaration:
+    """One declared variable (possibly located or an FB instance)."""
+
+    name: str
+    type_name: str  # IEC type, FB type name, or "ARRAY"
+    kind: str = "VAR"  # VAR | VAR_INPUT | VAR_OUTPUT | VAR_IN_OUT | VAR_GLOBAL
+    location: str = ""  # %QX0.0 ...
+    initial: Optional[Expression] = None
+    array_low: int = 0
+    array_high: int = -1  # inclusive; -1 means "not an array"
+    element_type: str = ""  # for arrays
+
+    @property
+    def is_array(self) -> bool:
+        return self.array_high >= self.array_low and self.element_type != ""
+
+
+@dataclass
+class ProgramDecl:
+    """A parsed POU: declarations + body statements."""
+
+    name: str
+    declarations: list[VarDeclaration] = field(default_factory=list)
+    body: tuple = ()

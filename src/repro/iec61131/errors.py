@@ -1,0 +1,21 @@
+"""Exception hierarchy for the Structured Text runtime."""
+
+
+class StError(Exception):
+    """Base class for all IEC 61131-3 failures."""
+
+
+class StLexError(StError):
+    """Invalid token in Structured Text source."""
+
+
+class StParseError(StError):
+    """Structurally invalid Structured Text."""
+
+
+class StTypeError(StError):
+    """Type mismatch at declaration or assignment."""
+
+
+class StRuntimeError(StError):
+    """Execution failure (unknown variable, division by zero, ...)."""

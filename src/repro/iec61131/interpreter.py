@@ -1,0 +1,446 @@
+"""Structured Text interpreter with scan-cycle semantics.
+
+A :class:`Program` instance owns typed variables (including located
+variables bound to the PLC's I/O image) and function-block instances.  The
+PLC runtime calls :meth:`Program.scan` once per cycle with the current
+virtual time; timers measure real scan-to-scan elapsed time, exactly like a
+hardware PLC.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.iec61131.ast import (
+    Assignment,
+    BinOp,
+    CaseStatement,
+    ExitStatement,
+    Expression,
+    FbCall,
+    ForStatement,
+    FunctionCall,
+    IfStatement,
+    Literal,
+    ProgramDecl,
+    RepeatStatement,
+    ReturnStatement,
+    UnaryOp,
+    VarRef,
+    WhileStatement,
+)
+from repro.iec61131.errors import StRuntimeError, StTypeError
+from repro.iec61131.parser import parse_program
+from repro.iec61131.stdlib import FB_REGISTRY, FUNCTION_REGISTRY, FunctionBlock
+from repro.iec61131.types import IecType, coerce, default_value
+
+_MAX_LOOP_ITERATIONS = 1_000_000
+
+
+def _trunc_div(left: int, right: int) -> int:
+    """Integer division truncating toward zero (IEC semantics)."""
+    quotient = abs(left) // abs(right)
+    return quotient if (left >= 0) == (right >= 0) else -quotient
+
+
+class VarKind(enum.Enum):
+    INTERNAL = "VAR"
+    INPUT = "VAR_INPUT"
+    OUTPUT = "VAR_OUTPUT"
+    IN_OUT = "VAR_IN_OUT"
+    GLOBAL = "VAR_GLOBAL"
+    EXTERNAL = "VAR_EXTERNAL"
+
+
+@dataclass
+class Variable:
+    """A declared scalar or array variable."""
+
+    name: str
+    iec_type: IecType
+    kind: VarKind
+    location: str = ""
+    value: Any = None
+    is_array: bool = False
+    array_low: int = 0
+    array_values: list = field(default_factory=list)
+
+    @property
+    def located(self) -> bool:
+        return bool(self.location)
+
+
+class _ExitLoop(Exception):
+    pass
+
+
+class _ReturnProgram(Exception):
+    pass
+
+
+class Program:
+    """An executable POU instance."""
+
+    def __init__(self, declaration: ProgramDecl) -> None:
+        self.name = declaration.name
+        self.body = declaration.body
+        self.variables: dict[str, Variable] = {}
+        self.function_blocks: dict[str, FunctionBlock] = {}
+        self._now_us = 0
+        self.scan_count = 0
+        for decl in declaration.declarations:
+            self._declare(decl)
+
+    @classmethod
+    def from_source(cls, source: str) -> "Program":
+        return cls(parse_program(source))
+
+    # ------------------------------------------------------------------
+    # Declaration handling
+    # ------------------------------------------------------------------
+    def _declare(self, decl) -> None:
+        key = decl.name.lower()
+        if key in self.variables or key in self.function_blocks:
+            raise StTypeError(f"duplicate declaration {decl.name!r}")
+        type_upper = decl.type_name.upper()
+        if type_upper in FB_REGISTRY:
+            self.function_blocks[key] = FB_REGISTRY[type_upper]()
+            return
+        kind = VarKind(decl.kind) if decl.kind in VarKind._value2member_map_ \
+            else VarKind.INTERNAL
+        if decl.is_array:
+            element_type = IecType.from_name(decl.element_type)
+            size = decl.array_high - decl.array_low + 1
+            if size <= 0:
+                raise StTypeError(
+                    f"array {decl.name!r} has non-positive size {size}"
+                )
+            variable = Variable(
+                name=decl.name,
+                iec_type=element_type,
+                kind=kind,
+                is_array=True,
+                array_low=decl.array_low,
+                array_values=[default_value(element_type)] * size,
+            )
+        else:
+            iec_type = IecType.from_name(decl.type_name)
+            initial = default_value(iec_type)
+            if decl.initial is not None:
+                initial = coerce(
+                    self._eval(decl.initial), iec_type, context=decl.name
+                )
+            variable = Variable(
+                name=decl.name,
+                iec_type=iec_type,
+                kind=kind,
+                location=decl.location,
+                value=initial,
+            )
+        self.variables[key] = variable
+        if decl.location:
+            self.variables[decl.location.lower()] = variable
+
+    # ------------------------------------------------------------------
+    # Public accessors (the PLC runtime's I/O image uses these)
+    # ------------------------------------------------------------------
+    def get_value(self, name: str) -> Any:
+        variable = self._lookup(name)
+        if variable.is_array:
+            return list(variable.array_values)
+        return variable.value
+
+    def set_value(self, name: str, value: Any) -> None:
+        variable = self._lookup(name)
+        if variable.is_array:
+            raise StRuntimeError(f"cannot assign whole array {name!r}")
+        variable.value = coerce(value, variable.iec_type, context=name)
+
+    def located_variables(self) -> list[Variable]:
+        seen: set[int] = set()
+        result = []
+        for variable in self.variables.values():
+            if variable.located and id(variable) not in seen:
+                seen.add(id(variable))
+                result.append(variable)
+        return result
+
+    def inputs(self) -> list[Variable]:
+        return [
+            v
+            for v in self._unique_variables()
+            if v.kind in (VarKind.INPUT, VarKind.IN_OUT)
+        ]
+
+    def outputs(self) -> list[Variable]:
+        return [
+            v
+            for v in self._unique_variables()
+            if v.kind in (VarKind.OUTPUT, VarKind.IN_OUT)
+        ]
+
+    def _unique_variables(self) -> list[Variable]:
+        seen: set[int] = set()
+        unique = []
+        for variable in self.variables.values():
+            if id(variable) not in seen:
+                seen.add(id(variable))
+                unique.append(variable)
+        return unique
+
+    def _lookup(self, name: str) -> Variable:
+        variable = self.variables.get(name.lower())
+        if variable is None:
+            raise StRuntimeError(f"unknown variable {name!r}")
+        return variable
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def scan(self, now_us: int) -> None:
+        """Execute the program body once."""
+        self._now_us = now_us
+        self.scan_count += 1
+        try:
+            self._exec_block(self.body)
+        except _ReturnProgram:
+            pass
+
+    def _exec_block(self, statements: tuple) -> None:
+        for statement in statements:
+            self._exec(statement)
+
+    def _exec(self, statement) -> None:
+        if isinstance(statement, Assignment):
+            self._assign(statement.target, self._eval(statement.value))
+        elif isinstance(statement, IfStatement):
+            for condition, body in statement.branches:
+                if self._truthy(self._eval(condition)):
+                    self._exec_block(body)
+                    return
+            self._exec_block(statement.else_body)
+        elif isinstance(statement, CaseStatement):
+            self._exec_case(statement)
+        elif isinstance(statement, ForStatement):
+            self._exec_for(statement)
+        elif isinstance(statement, WhileStatement):
+            self._exec_while(statement)
+        elif isinstance(statement, RepeatStatement):
+            self._exec_repeat(statement)
+        elif isinstance(statement, FbCall):
+            self._exec_fb_call(statement)
+        elif isinstance(statement, ExitStatement):
+            raise _ExitLoop()
+        elif isinstance(statement, ReturnStatement):
+            raise _ReturnProgram()
+        else:  # pragma: no cover - parser produces only the above
+            raise StRuntimeError(f"unknown statement {type(statement).__name__}")
+
+    def _exec_case(self, statement: CaseStatement) -> None:
+        selector = self._eval(statement.selector)
+        for branch in statement.branches:
+            for label in branch.labels:
+                if isinstance(label, tuple):
+                    low, high = label
+                    matched = low <= selector <= high
+                else:
+                    matched = selector == label
+                if matched:
+                    self._exec_block(branch.body)
+                    return
+        self._exec_block(statement.else_body)
+
+    def _exec_for(self, statement: ForStatement) -> None:
+        variable = self._lookup(statement.variable)
+        current = int(self._eval(statement.start))
+        stop = int(self._eval(statement.stop))
+        step = int(self._eval(statement.step)) if statement.step else 1
+        if step == 0:
+            raise StRuntimeError("FOR loop with BY 0")
+        iterations = 0
+        try:
+            while (step > 0 and current <= stop) or (step < 0 and current >= stop):
+                variable.value = coerce(current, variable.iec_type)
+                self._exec_block(statement.body)
+                current = int(variable.value) + step
+                iterations += 1
+                if iterations > _MAX_LOOP_ITERATIONS:
+                    raise StRuntimeError("FOR loop exceeded iteration budget")
+        except _ExitLoop:
+            pass
+
+    def _exec_while(self, statement: WhileStatement) -> None:
+        iterations = 0
+        try:
+            while self._truthy(self._eval(statement.condition)):
+                self._exec_block(statement.body)
+                iterations += 1
+                if iterations > _MAX_LOOP_ITERATIONS:
+                    raise StRuntimeError("WHILE loop exceeded iteration budget")
+        except _ExitLoop:
+            pass
+
+    def _exec_repeat(self, statement: RepeatStatement) -> None:
+        iterations = 0
+        try:
+            while True:
+                self._exec_block(statement.body)
+                if self._truthy(self._eval(statement.until)):
+                    break
+                iterations += 1
+                if iterations > _MAX_LOOP_ITERATIONS:
+                    raise StRuntimeError("REPEAT loop exceeded iteration budget")
+        except _ExitLoop:
+            pass
+
+    def _exec_fb_call(self, statement: FbCall) -> None:
+        block = self.function_blocks.get(statement.instance.lower())
+        if block is None:
+            raise StRuntimeError(
+                f"unknown function block instance {statement.instance!r}"
+            )
+        for name, expression in statement.params:
+            block.set_input(name.upper(), self._eval(expression))
+        block.execute(self._now_us)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def _eval(self, expression: Expression) -> Any:
+        if isinstance(expression, Literal):
+            return expression.value
+        if isinstance(expression, VarRef):
+            return self._eval_var_ref(expression)
+        if isinstance(expression, UnaryOp):
+            operand = self._eval(expression.operand)
+            if expression.op == "-":
+                return -operand
+            if expression.op == "NOT":
+                if isinstance(operand, bool):
+                    return not operand
+                return ~int(operand)
+            return operand
+        if isinstance(expression, BinOp):
+            return self._eval_binop(expression)
+        if isinstance(expression, FunctionCall):
+            return self._eval_function(expression)
+        raise StRuntimeError(
+            f"cannot evaluate {type(expression).__name__}"
+        )  # pragma: no cover
+
+    def _eval_var_ref(self, ref: VarRef) -> Any:
+        key = ref.name.lower()
+        if key in self.function_blocks:
+            block = self.function_blocks[key]
+            value: Any = block
+            for access_kind, accessor in ref.accessors:
+                if access_kind != "member" or not isinstance(value, FunctionBlock):
+                    raise StRuntimeError(
+                        f"bad access on function block {ref.name!r}"
+                    )
+                value = value.get(accessor.upper())
+            if isinstance(value, FunctionBlock):
+                raise StRuntimeError(
+                    f"function block {ref.name!r} used as a value"
+                )
+            return value
+        variable = self._lookup(ref.name)
+        if not ref.accessors:
+            if variable.is_array:
+                raise StRuntimeError(f"array {ref.name!r} used without index")
+            return variable.value
+        if len(ref.accessors) == 1 and ref.accessors[0][0] == "index":
+            index = int(self._eval(ref.accessors[0][1]))
+            return variable.array_values[self._array_offset(variable, index)]
+        raise StRuntimeError(f"unsupported accessor path on {ref.name!r}")
+
+    def _assign(self, target: VarRef, value: Any) -> None:
+        variable = self._lookup(target.name)
+        if not target.accessors:
+            if variable.is_array:
+                raise StRuntimeError(f"cannot assign whole array {target.name!r}")
+            variable.value = coerce(value, variable.iec_type, context=target.name)
+            return
+        if len(target.accessors) == 1 and target.accessors[0][0] == "index":
+            if not variable.is_array:
+                raise StRuntimeError(f"{target.name!r} is not an array")
+            index = int(self._eval(target.accessors[0][1]))
+            offset = self._array_offset(variable, index)
+            variable.array_values[offset] = coerce(
+                value, variable.iec_type, context=target.name
+            )
+            return
+        raise StRuntimeError(f"unsupported assignment target {target.name!r}")
+
+    @staticmethod
+    def _array_offset(variable: Variable, index: int) -> int:
+        offset = index - variable.array_low
+        if not 0 <= offset < len(variable.array_values):
+            raise StRuntimeError(
+                f"index {index} out of bounds for array {variable.name!r}"
+            )
+        return offset
+
+    def _eval_binop(self, expression: BinOp) -> Any:
+        op = expression.op
+        left = self._eval(expression.left)
+        # Short-circuit logic operators.
+        if op == "AND":
+            if not self._truthy(left):
+                return False
+            return self._truthy(self._eval(expression.right))
+        if op == "OR":
+            if self._truthy(left):
+                return True
+            return self._truthy(self._eval(expression.right))
+        right = self._eval(expression.right)
+        if op == "XOR":
+            return self._truthy(left) != self._truthy(right)
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                raise StRuntimeError("division by zero")
+            if isinstance(left, int) and isinstance(right, int):
+                return _trunc_div(left, right)
+            return left / right
+        if op == "MOD":
+            if right == 0:
+                raise StRuntimeError("MOD by zero")
+            # IEC semantics: result takes the sign of the dividend.
+            return int(left) - int(right) * _trunc_div(int(left), int(right))
+        if op == "**":
+            return left**right
+        if op == "=":
+            return left == right
+        if op == "<>":
+            return left != right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+        raise StRuntimeError(f"unknown operator {op!r}")  # pragma: no cover
+
+    def _eval_function(self, call: FunctionCall) -> Any:
+        function = FUNCTION_REGISTRY.get(call.name)
+        if function is None:
+            raise StRuntimeError(f"unknown function {call.name!r}")
+        args = [self._eval(argument) for argument in call.args]
+        try:
+            return function(*args)
+        except (TypeError, ValueError) as exc:
+            raise StRuntimeError(f"{call.name}: {exc}") from exc
+
+    @staticmethod
+    def _truthy(value: Any) -> bool:
+        return bool(value)

@@ -1,0 +1,201 @@
+"""Structured Text tokenizer.
+
+Handles the full literal zoo: integers (decimal, ``16#FF`` based), reals
+(with exponents), typed literals (``INT#5``), TIME literals (``T#1s500ms``),
+strings ('single quoted'), ``(* block *)`` and ``//`` line comments.
+Keywords are case-insensitive per the standard.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Any
+
+from repro.iec61131.errors import StLexError
+from repro.iec61131.types import parse_time_literal
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    INT = "int"
+    REAL = "real"
+    TIME = "time"
+    STRING = "string"
+    BOOL = "bool"
+    OPERATOR = "op"
+    LOCATION = "location"  # %IX0.0 etc.
+    EOF = "eof"
+
+
+KEYWORDS = {
+    "PROGRAM", "END_PROGRAM", "FUNCTION", "END_FUNCTION", "FUNCTION_BLOCK",
+    "END_FUNCTION_BLOCK", "VAR", "VAR_INPUT", "VAR_OUTPUT", "VAR_IN_OUT",
+    "VAR_GLOBAL", "VAR_EXTERNAL", "END_VAR", "AT", "RETAIN", "CONSTANT",
+    "IF", "THEN", "ELSIF", "ELSE", "END_IF", "CASE", "OF", "END_CASE",
+    "FOR", "TO", "BY", "DO", "END_FOR", "WHILE", "END_WHILE", "REPEAT",
+    "UNTIL", "END_REPEAT", "EXIT", "RETURN", "ARRAY", "AND", "OR", "XOR",
+    "NOT", "MOD", "TRUE", "FALSE",
+}
+
+_OPERATORS = [
+    ":=", "<=", ">=", "<>", "**", "..", "=", "<", ">", "+", "-", "*", "/",
+    "(", ")", "[", "]", ",", ";", ":", ".", "#",
+]
+
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_LOCATION_RE = re.compile(r"%[IQM][XBWDL]?\d+(\.\d+)*")
+_BASED_INT_RE = re.compile(r"(\d+)#([0-9A-Fa-f_]+)")
+_NUMBER_RE = re.compile(r"\d[\d_]*(\.\d[\d_]*)?([eE][+-]?\d+)?")
+_TIME_RE = re.compile(r"(T|TIME)#-?[\d._a-zA-Z]+", re.IGNORECASE)
+_TYPED_LITERAL_RE = re.compile(
+    r"(BOOL|SINT|INT|DINT|LINT|USINT|UINT|UDINT|ULINT|BYTE|WORD|DWORD|LWORD"
+    r"|REAL|LREAL)#", re.IGNORECASE
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    value: Any
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text == word
+
+    def is_op(self, op: str) -> bool:
+        return self.kind is TokenKind.OPERATOR and self.text == op
+
+    def describe(self) -> str:
+        return f"{self.text!r} at line {self.line}"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize Structured Text source into a token list ending with EOF."""
+    tokens: list[Token] = []
+    position = 0
+    line = 1
+    line_start = 0
+    length = len(source)
+
+    def column() -> int:
+        return position - line_start + 1
+
+    while position < length:
+        char = source[position]
+        # Whitespace.
+        if char in " \t\r":
+            position += 1
+            continue
+        if char == "\n":
+            position += 1
+            line += 1
+            line_start = position
+            continue
+        # Comments.
+        if source.startswith("(*", position):
+            end = source.find("*)", position + 2)
+            if end < 0:
+                raise StLexError(f"unterminated comment at line {line}")
+            line += source.count("\n", position, end)
+            if "\n" in source[position:end]:
+                line_start = source.rfind("\n", position, end) + 1
+            position = end + 2
+            continue
+        if source.startswith("//", position):
+            end = source.find("\n", position)
+            position = length if end < 0 else end
+            continue
+        # Strings.
+        if char == "'":
+            end = source.find("'", position + 1)
+            if end < 0:
+                raise StLexError(f"unterminated string at line {line}")
+            text = source[position : end + 1]
+            tokens.append(
+                Token(TokenKind.STRING, text, source[position + 1 : end], line, column())
+            )
+            position = end + 1
+            continue
+        # Located variable (%QX0.0 ...).
+        if char == "%":
+            match = _LOCATION_RE.match(source, position)
+            if not match:
+                raise StLexError(f"malformed location at line {line}")
+            tokens.append(
+                Token(TokenKind.LOCATION, match.group(0), match.group(0), line, column())
+            )
+            position = match.end()
+            continue
+        # TIME literals.
+        time_match = _TIME_RE.match(source, position)
+        if time_match:
+            text = time_match.group(0)
+            tokens.append(
+                Token(TokenKind.TIME, text, parse_time_literal(text), line, column())
+            )
+            position = time_match.end()
+            continue
+        # Typed literals (INT#5, REAL#1.5) — tokenize prefix, keep value.
+        typed_match = _TYPED_LITERAL_RE.match(source, position)
+        if typed_match:
+            position = typed_match.end()
+            continue  # type prefix is advisory; the literal follows
+        # Based integers (16#FF).
+        based_match = _BASED_INT_RE.match(source, position)
+        if based_match:
+            base = int(based_match.group(1))
+            digits = based_match.group(2).replace("_", "")
+            try:
+                value = int(digits, base)
+            except ValueError as exc:
+                raise StLexError(
+                    f"bad base-{base} literal at line {line}: {digits!r}"
+                ) from exc
+            tokens.append(
+                Token(TokenKind.INT, based_match.group(0), value, line, column())
+            )
+            position = based_match.end()
+            continue
+        # Numbers.
+        if char.isdigit():
+            match = _NUMBER_RE.match(source, position)
+            text = match.group(0)
+            clean = text.replace("_", "")
+            if "." in clean or "e" in clean or "E" in clean:
+                tokens.append(
+                    Token(TokenKind.REAL, text, float(clean), line, column())
+                )
+            else:
+                tokens.append(Token(TokenKind.INT, text, int(clean), line, column()))
+            position = match.end()
+            continue
+        # Identifiers / keywords.
+        if char.isalpha() or char == "_":
+            match = _IDENT_RE.match(source, position)
+            text = match.group(0)
+            upper = text.upper()
+            if upper in ("TRUE", "FALSE"):
+                tokens.append(
+                    Token(TokenKind.BOOL, text, upper == "TRUE", line, column())
+                )
+            elif upper in KEYWORDS:
+                tokens.append(Token(TokenKind.KEYWORD, upper, upper, line, column()))
+            else:
+                tokens.append(Token(TokenKind.IDENT, text, text, line, column()))
+            position = match.end()
+            continue
+        # Operators (longest match first).
+        for op in _OPERATORS:
+            if source.startswith(op, position):
+                tokens.append(Token(TokenKind.OPERATOR, op, op, line, column()))
+                position += len(op)
+                break
+        else:
+            raise StLexError(f"unexpected character {char!r} at line {line}")
+    tokens.append(Token(TokenKind.EOF, "", None, line, column()))
+    return tokens

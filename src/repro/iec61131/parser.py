@@ -1,0 +1,503 @@
+"""Recursive-descent parser for Structured Text.
+
+Grammar follows IEC 61131-3 third edition, restricted to the statement and
+expression forms (the graphical languages are out of scope).  Operator
+precedence, loosest to tightest: ``OR`` < ``XOR`` < ``AND`` < comparison
+< add < multiply < power < unary.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.iec61131.ast import (
+    Assignment,
+    BinOp,
+    CaseBranch,
+    CaseStatement,
+    ExitStatement,
+    Expression,
+    FbCall,
+    ForStatement,
+    FunctionCall,
+    IfStatement,
+    Literal,
+    ProgramDecl,
+    RepeatStatement,
+    ReturnStatement,
+    Statement,
+    UnaryOp,
+    VarDeclaration,
+    VarRef,
+    WhileStatement,
+)
+from repro.iec61131.errors import StParseError
+from repro.iec61131.lexer import Token, TokenKind, tokenize
+
+_VAR_BLOCK_KINDS = {
+    "VAR", "VAR_INPUT", "VAR_OUTPUT", "VAR_IN_OUT", "VAR_GLOBAL", "VAR_EXTERNAL",
+}
+
+
+def parse_program(source: str) -> ProgramDecl:
+    """Parse a full POU: ``PROGRAM name ... END_PROGRAM`` (wrappers optional)."""
+    return _Parser(tokenize(source)).parse_program()
+
+
+def parse_statements(source: str) -> tuple:
+    """Parse a bare statement list (used for PLCopen ST bodies)."""
+    return _Parser(tokenize(source)).parse_statement_list(stop_keywords=frozenset())
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._position = 0
+
+    # ------------------------------------------------------------------
+    # Token plumbing
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._position]
+
+    def _advance(self) -> Token:
+        token = self.current
+        if token.kind is not TokenKind.EOF:
+            self._position += 1
+        return token
+
+    def _expect_op(self, op: str) -> Token:
+        if not self.current.is_op(op):
+            raise StParseError(f"expected {op!r}, got {self.current.describe()}")
+        return self._advance()
+
+    def _expect_keyword(self, word: str) -> Token:
+        if not self.current.is_keyword(word):
+            raise StParseError(f"expected {word}, got {self.current.describe()}")
+        return self._advance()
+
+    def _expect_ident(self) -> Token:
+        if self.current.kind is not TokenKind.IDENT:
+            raise StParseError(
+                f"expected identifier, got {self.current.describe()}"
+            )
+        return self._advance()
+
+    def _accept_op(self, op: str) -> bool:
+        if self.current.is_op(op):
+            self._advance()
+            return True
+        return False
+
+    def _accept_keyword(self, word: str) -> bool:
+        if self.current.is_keyword(word):
+            self._advance()
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # POU structure
+    # ------------------------------------------------------------------
+    def parse_program(self) -> ProgramDecl:
+        name = "main"
+        wrapped = False
+        if self._accept_keyword("PROGRAM") or self._accept_keyword(
+            "FUNCTION_BLOCK"
+        ):
+            wrapped = True
+            name = self._expect_ident().text
+        declarations = []
+        while self.current.kind is TokenKind.KEYWORD and (
+            self.current.text in _VAR_BLOCK_KINDS
+        ):
+            declarations.extend(self._parse_var_block())
+        stops = frozenset({"END_PROGRAM", "END_FUNCTION_BLOCK"})
+        body = self.parse_statement_list(stop_keywords=stops)
+        if wrapped:
+            if self.current.kind is TokenKind.KEYWORD and self.current.text in stops:
+                self._advance()
+            else:
+                raise StParseError(
+                    f"missing END_PROGRAM, got {self.current.describe()}"
+                )
+        if self.current.kind is not TokenKind.EOF:
+            raise StParseError(f"trailing input: {self.current.describe()}")
+        return ProgramDecl(name=name, declarations=declarations, body=body)
+
+    def _parse_var_block(self) -> list[VarDeclaration]:
+        kind = self._advance().text  # VAR / VAR_INPUT / ...
+        # Qualifiers we accept and ignore.
+        while self.current.is_keyword("RETAIN") or self.current.is_keyword(
+            "CONSTANT"
+        ):
+            self._advance()
+        declarations = []
+        while not self.current.is_keyword("END_VAR"):
+            declarations.extend(self._parse_var_declaration(kind))
+        self._expect_keyword("END_VAR")
+        return declarations
+
+    def _parse_var_declaration(self, kind: str) -> list[VarDeclaration]:
+        names = [self._expect_ident().text]
+        while self._accept_op(","):
+            names.append(self._expect_ident().text)
+        location = ""
+        if self._accept_keyword("AT"):
+            if self.current.kind is not TokenKind.LOCATION:
+                raise StParseError(
+                    f"expected %location after AT, got {self.current.describe()}"
+                )
+            location = self._advance().text
+        self._expect_op(":")
+        type_name, array_low, array_high, element_type = self._parse_type()
+        initial: Optional[Expression] = None
+        if self._accept_op(":="):
+            initial = self.parse_expression()
+        self._expect_op(";")
+        return [
+            VarDeclaration(
+                name=name,
+                type_name=type_name,
+                kind=kind,
+                location=location if len(names) == 1 else "",
+                initial=initial,
+                array_low=array_low,
+                array_high=array_high,
+                element_type=element_type,
+            )
+            for name in names
+        ]
+
+    def _parse_type(self) -> tuple[str, int, int, str]:
+        if self._accept_keyword("ARRAY"):
+            self._expect_op("[")
+            low = self._parse_int_literal()
+            self._expect_op("..")
+            high = self._parse_int_literal()
+            self._expect_op("]")
+            self._expect_keyword("OF")
+            element = self._expect_type_name()
+            return "ARRAY", low, high, element
+        return self._expect_type_name(), 0, -1, ""
+
+    def _expect_type_name(self) -> str:
+        token = self.current
+        if token.kind is TokenKind.IDENT:
+            self._advance()
+            name = token.text
+            # STRING[n] length specifier.
+            if name.upper() == "STRING" and self._accept_op("["):
+                self._parse_int_literal()
+                self._expect_op("]")
+            return name
+        raise StParseError(f"expected type name, got {token.describe()}")
+
+    def _parse_int_literal(self) -> int:
+        negative = self._accept_op("-")
+        token = self.current
+        if token.kind is not TokenKind.INT:
+            raise StParseError(f"expected integer, got {token.describe()}")
+        self._advance()
+        return -token.value if negative else token.value
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def parse_statement_list(self, stop_keywords: frozenset) -> tuple:
+        statements: list[Statement] = []
+        while True:
+            token = self.current
+            if token.kind is TokenKind.EOF:
+                break
+            if token.kind is TokenKind.KEYWORD and token.text in stop_keywords:
+                break
+            if token.kind is TokenKind.KEYWORD and token.text in (
+                "ELSE", "ELSIF", "UNTIL", "END_IF", "END_CASE", "END_FOR",
+                "END_WHILE", "END_REPEAT", "END_PROGRAM", "END_FUNCTION_BLOCK",
+            ):
+                break
+            if self._accept_op(";"):
+                continue  # empty statement
+            statements.append(self._parse_statement())
+        return tuple(statements)
+
+    def _parse_statement(self) -> Statement:
+        token = self.current
+        if token.is_keyword("IF"):
+            return self._parse_if()
+        if token.is_keyword("CASE"):
+            return self._parse_case()
+        if token.is_keyword("FOR"):
+            return self._parse_for()
+        if token.is_keyword("WHILE"):
+            return self._parse_while()
+        if token.is_keyword("REPEAT"):
+            return self._parse_repeat()
+        if token.is_keyword("EXIT"):
+            self._advance()
+            self._accept_op(";")
+            return ExitStatement()
+        if token.is_keyword("RETURN"):
+            self._advance()
+            self._accept_op(";")
+            return ReturnStatement()
+        if token.kind is TokenKind.IDENT or token.kind is TokenKind.LOCATION:
+            return self._parse_assignment_or_call()
+        raise StParseError(f"unexpected token {token.describe()}")
+
+    def _parse_assignment_or_call(self) -> Statement:
+        # Look ahead: IDENT '(' → FB call; otherwise variable := expr.
+        if (
+            self.current.kind is TokenKind.IDENT
+            and self._tokens[self._position + 1].is_op("(")
+        ):
+            return self._parse_fb_call()
+        target = self._parse_var_ref()
+        self._expect_op(":=")
+        value = self.parse_expression()
+        self._expect_op(";")
+        return Assignment(target=target, value=value)
+
+    def _parse_fb_call(self) -> FbCall:
+        instance = self._expect_ident().text
+        self._expect_op("(")
+        params = []
+        if not self.current.is_op(")"):
+            while True:
+                name_token = self._expect_ident()
+                self._expect_op(":=")
+                params.append((name_token.text, self.parse_expression()))
+                if not self._accept_op(","):
+                    break
+        self._expect_op(")")
+        self._expect_op(";")
+        return FbCall(instance=instance, params=tuple(params))
+
+    def _parse_if(self) -> IfStatement:
+        self._expect_keyword("IF")
+        branches = []
+        condition = self.parse_expression()
+        self._expect_keyword("THEN")
+        body = self.parse_statement_list(frozenset())
+        branches.append((condition, body))
+        else_body: tuple = ()
+        while self.current.is_keyword("ELSIF"):
+            self._advance()
+            condition = self.parse_expression()
+            self._expect_keyword("THEN")
+            branches.append((condition, self.parse_statement_list(frozenset())))
+        if self._accept_keyword("ELSE"):
+            else_body = self.parse_statement_list(frozenset())
+        self._expect_keyword("END_IF")
+        self._accept_op(";")
+        return IfStatement(branches=tuple(branches), else_body=else_body)
+
+    def _parse_case(self) -> CaseStatement:
+        self._expect_keyword("CASE")
+        selector = self.parse_expression()
+        self._expect_keyword("OF")
+        branches = []
+        else_body: tuple = ()
+        while not self.current.is_keyword("END_CASE"):
+            if self._accept_keyword("ELSE"):
+                else_body = self.parse_statement_list(frozenset())
+                break
+            labels = [self._parse_case_label()]
+            while self._accept_op(","):
+                labels.append(self._parse_case_label())
+            self._expect_op(":")
+            body = self._parse_case_body()
+            branches.append(CaseBranch(labels=tuple(labels), body=body))
+        self._expect_keyword("END_CASE")
+        self._accept_op(";")
+        return CaseStatement(
+            selector=selector, branches=tuple(branches), else_body=else_body
+        )
+
+    def _parse_case_body(self) -> tuple:
+        """Statements of one CASE branch: stop at the next label/ELSE/END."""
+        statements: list[Statement] = []
+        while True:
+            token = self.current
+            if token.kind is TokenKind.EOF:
+                break
+            if token.kind is TokenKind.KEYWORD and token.text in (
+                "ELSE", "END_CASE",
+            ):
+                break
+            # A new case label starts with an (optionally negated) integer.
+            if token.kind is TokenKind.INT:
+                break
+            if token.is_op("-") and (
+                self._tokens[self._position + 1].kind is TokenKind.INT
+            ):
+                break
+            if self._accept_op(";"):
+                continue
+            statements.append(self._parse_statement())
+        return tuple(statements)
+
+    def _parse_case_label(self):
+        low = self._parse_int_literal()
+        if self._accept_op(".."):
+            high = self._parse_int_literal()
+            return (low, high)
+        return low
+
+    def _parse_for(self) -> ForStatement:
+        self._expect_keyword("FOR")
+        variable = self._expect_ident().text
+        self._expect_op(":=")
+        start = self.parse_expression()
+        self._expect_keyword("TO")
+        stop = self.parse_expression()
+        step = None
+        if self._accept_keyword("BY"):
+            step = self.parse_expression()
+        self._expect_keyword("DO")
+        body = self.parse_statement_list(frozenset())
+        self._expect_keyword("END_FOR")
+        self._accept_op(";")
+        return ForStatement(
+            variable=variable, start=start, stop=stop, step=step, body=body
+        )
+
+    def _parse_while(self) -> WhileStatement:
+        self._expect_keyword("WHILE")
+        condition = self.parse_expression()
+        self._expect_keyword("DO")
+        body = self.parse_statement_list(frozenset())
+        self._expect_keyword("END_WHILE")
+        self._accept_op(";")
+        return WhileStatement(condition=condition, body=body)
+
+    def _parse_repeat(self) -> RepeatStatement:
+        self._expect_keyword("REPEAT")
+        body = self.parse_statement_list(frozenset())
+        self._expect_keyword("UNTIL")
+        until = self.parse_expression()
+        self._expect_keyword("END_REPEAT")
+        self._accept_op(";")
+        return RepeatStatement(body=body, until=until)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def parse_expression(self) -> Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expression:
+        left = self._parse_xor()
+        while self.current.is_keyword("OR"):
+            self._advance()
+            left = BinOp("OR", left, self._parse_xor())
+        return left
+
+    def _parse_xor(self) -> Expression:
+        left = self._parse_and()
+        while self.current.is_keyword("XOR"):
+            self._advance()
+            left = BinOp("XOR", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expression:
+        left = self._parse_comparison()
+        while self.current.is_keyword("AND"):
+            self._advance()
+            left = BinOp("AND", left, self._parse_comparison())
+        return left
+
+    def _parse_comparison(self) -> Expression:
+        left = self._parse_additive()
+        while self.current.kind is TokenKind.OPERATOR and self.current.text in (
+            "=", "<>", "<", "<=", ">", ">=",
+        ):
+            op = self._advance().text
+            left = BinOp(op, left, self._parse_additive())
+        return left
+
+    def _parse_additive(self) -> Expression:
+        left = self._parse_multiplicative()
+        while self.current.kind is TokenKind.OPERATOR and self.current.text in (
+            "+", "-",
+        ):
+            op = self._advance().text
+            left = BinOp(op, left, self._parse_multiplicative())
+        return left
+
+    def _parse_multiplicative(self) -> Expression:
+        left = self._parse_power()
+        while (
+            self.current.kind is TokenKind.OPERATOR
+            and self.current.text in ("*", "/")
+        ) or self.current.is_keyword("MOD"):
+            op = self._advance().text
+            left = BinOp(op, left, self._parse_power())
+        return left
+
+    def _parse_power(self) -> Expression:
+        left = self._parse_unary()
+        if self.current.is_op("**"):
+            self._advance()
+            return BinOp("**", left, self._parse_power())  # right associative
+        return left
+
+    def _parse_unary(self) -> Expression:
+        if self.current.is_op("-"):
+            self._advance()
+            return UnaryOp("-", self._parse_unary())
+        if self.current.is_op("+"):
+            self._advance()
+            return self._parse_unary()
+        if self.current.is_keyword("NOT"):
+            self._advance()
+            return UnaryOp("NOT", self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expression:
+        token = self.current
+        if token.kind in (TokenKind.INT, TokenKind.REAL, TokenKind.TIME,
+                          TokenKind.STRING, TokenKind.BOOL):
+            self._advance()
+            return Literal(token.value)
+        if token.is_op("("):
+            self._advance()
+            inner = self.parse_expression()
+            self._expect_op(")")
+            return inner
+        if token.kind is TokenKind.LOCATION:
+            self._advance()
+            return VarRef(name=token.text)
+        if token.kind is TokenKind.IDENT:
+            if self._tokens[self._position + 1].is_op("("):
+                return self._parse_function_call()
+            return self._parse_var_ref()
+        raise StParseError(f"unexpected token in expression: {token.describe()}")
+
+    def _parse_function_call(self) -> FunctionCall:
+        name = self._expect_ident().text
+        self._expect_op("(")
+        args = []
+        if not self.current.is_op(")"):
+            while True:
+                args.append(self.parse_expression())
+                if not self._accept_op(","):
+                    break
+        self._expect_op(")")
+        return FunctionCall(name=name.upper(), args=tuple(args))
+
+    def _parse_var_ref(self) -> VarRef:
+        if self.current.kind is TokenKind.LOCATION:
+            return VarRef(name=self._advance().text)
+        name = self._expect_ident().text
+        accessors = []
+        while True:
+            if self._accept_op("."):
+                accessors.append(("member", self._expect_ident().text))
+            elif self._accept_op("["):
+                accessors.append(("index", self.parse_expression()))
+                self._expect_op("]")
+            else:
+                break
+        return VarRef(name=name, accessors=tuple(accessors))

@@ -1,0 +1,333 @@
+"""IEC 61131-3 PLCopen XML (TC6) reader and writer.
+
+The paper's SG-ML model set includes "IEC 61131-3 PLCopen XML, which
+expresses the control logic and variable definitions" (§III-A).  The reader
+extracts POUs with Structured Text bodies and their interface declarations;
+the writer emits the same structure (used by the EPIC model generator).
+
+Namespace handling mirrors :mod:`repro.scl.parser`: namespaces are stripped
+on ingest.
+"""
+
+from __future__ import annotations
+
+import os
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import Optional
+from xml.dom import minidom
+
+from repro.iec61131.ast import ProgramDecl, VarDeclaration
+from repro.iec61131.errors import StParseError
+from repro.iec61131.interpreter import Program
+from repro.iec61131.parser import parse_statements
+
+PLCOPEN_NAMESPACE = "http://www.plcopen.org/xml/tc6_0201"
+
+_KIND_BY_SECTION = {
+    "localVars": "VAR",
+    "inputVars": "VAR_INPUT",
+    "outputVars": "VAR_OUTPUT",
+    "inOutVars": "VAR_IN_OUT",
+    "globalVars": "VAR_GLOBAL",
+    "externalVars": "VAR_EXTERNAL",
+}
+
+
+@dataclass
+class PlcPou:
+    """One program organisation unit with an ST body."""
+
+    name: str
+    pou_type: str = "program"
+    declarations: list[VarDeclaration] = field(default_factory=list)
+    st_body: str = ""
+
+    def to_program_decl(self) -> ProgramDecl:
+        return ProgramDecl(
+            name=self.name,
+            declarations=self.declarations,
+            body=parse_statements(self.st_body),
+        )
+
+    def instantiate(self) -> Program:
+        return Program(self.to_program_decl())
+
+
+@dataclass
+class PlcTask:
+    """A cyclic task binding a POU instance to a scan interval."""
+
+    name: str
+    interval_us: int
+    pou_name: str
+    priority: int = 0
+
+
+@dataclass
+class PlcOpenDocument:
+    pous: list[PlcPou] = field(default_factory=list)
+    tasks: list[PlcTask] = field(default_factory=list)
+
+    def find_pou(self, name: str) -> Optional[PlcPou]:
+        for pou in self.pous:
+            if pou.name == name:
+                return pou
+        return None
+
+
+def _local(tag: str) -> str:
+    return tag.rsplit("}", 1)[-1]
+
+
+def _find(element: ET.Element, *names: str) -> Optional[ET.Element]:
+    current = element
+    for name in names:
+        found = None
+        for child in current:
+            if _local(child.tag) == name:
+                found = child
+                break
+        if found is None:
+            return None
+        current = found
+    return current
+
+
+def _findall(element: ET.Element, name: str) -> list[ET.Element]:
+    return [child for child in element.iter() if _local(child.tag) == name]
+
+
+def parse_plcopen_file(path: str) -> PlcOpenDocument:
+    if not os.path.exists(path):
+        raise StParseError(f"PLCopen XML file not found: {path}")
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_plcopen(handle.read())
+
+
+def parse_plcopen(xml_text: str) -> PlcOpenDocument:
+    try:
+        root = ET.fromstring(xml_text)
+    except ET.ParseError as exc:
+        raise StParseError(f"malformed PLCopen XML: {exc}") from exc
+    if _local(root.tag) != "project":
+        raise StParseError(
+            f"root element is <{_local(root.tag)}>, expected <project>"
+        )
+    document = PlcOpenDocument()
+    for pou_el in _findall(root, "pou"):
+        document.pous.append(_parse_pou(pou_el))
+    for task_el in _findall(root, "task"):
+        interval_text = task_el.get("interval", "T#100ms")
+        from repro.iec61131.types import parse_time_literal
+
+        try:
+            interval_us = parse_time_literal(interval_text)
+        except Exception:
+            interval_us = 100_000
+        pou_name = ""
+        instance = _find(task_el, "pouInstance")
+        if instance is not None:
+            pou_name = instance.get("typeName", instance.get("name", ""))
+        document.tasks.append(
+            PlcTask(
+                name=task_el.get("name", "task0"),
+                interval_us=interval_us,
+                pou_name=pou_name,
+                priority=int(task_el.get("priority", "0")),
+            )
+        )
+    return document
+
+
+def _parse_pou(pou_el: ET.Element) -> PlcPou:
+    pou = PlcPou(
+        name=pou_el.get("name", "main"),
+        pou_type=pou_el.get("pouType", "program"),
+    )
+    interface = _find(pou_el, "interface")
+    if interface is not None:
+        for section in interface:
+            kind = _KIND_BY_SECTION.get(_local(section.tag))
+            if kind is None:
+                continue
+            for variable_el in section:
+                if _local(variable_el.tag) != "variable":
+                    continue
+                declaration = _parse_variable(variable_el, kind)
+                if declaration is not None:
+                    pou.declarations.append(declaration)
+    st_el = _find(pou_el, "body", "ST")
+    if st_el is not None:
+        # The ST body text may be directly inside or wrapped in xhtml.
+        text_parts = [st_el.text or ""]
+        for child in st_el.iter():
+            if child is not st_el and child.text:
+                text_parts.append(child.text)
+        pou.st_body = "\n".join(part for part in text_parts if part.strip())
+    return pou
+
+
+def _parse_variable(
+    variable_el: ET.Element, kind: str
+) -> Optional[VarDeclaration]:
+    name = variable_el.get("name", "")
+    if not name:
+        return None
+    location = variable_el.get("address", "")
+    type_el = _find(variable_el, "type")
+    type_name = "BOOL"
+    array_low, array_high, element_type = 0, -1, ""
+    if type_el is not None and len(type_el):
+        first = type_el[0]
+        tag = _local(first.tag)
+        if tag == "derived":
+            type_name = first.get("name", "BOOL")
+        elif tag == "array":
+            dimension = _find(first, "dimension")
+            if dimension is not None:
+                array_low = int(dimension.get("lower", "0"))
+                array_high = int(dimension.get("upper", "0"))
+            base = _find(first, "baseType")
+            element_type = _local(base[0].tag) if base is not None and len(base) \
+                else "INT"
+            type_name = "ARRAY"
+        else:
+            type_name = tag
+    initial = None
+    initial_el = _find(variable_el, "initialValue", "simpleValue")
+    if initial_el is not None:
+        raw = initial_el.get("value", "")
+        if raw:
+            from repro.iec61131.lexer import tokenize
+            from repro.iec61131.parser import _Parser
+
+            try:
+                initial = _Parser(tokenize(raw)).parse_expression()
+            except Exception:
+                initial = None
+    return VarDeclaration(
+        name=name,
+        type_name=type_name,
+        kind=kind,
+        location=location,
+        initial=initial,
+        array_low=array_low,
+        array_high=array_high,
+        element_type=element_type,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Writer
+# ---------------------------------------------------------------------------
+
+
+def write_plcopen(document: PlcOpenDocument) -> str:
+    """Serialise to PLCopen TC6 XML."""
+    root = ET.Element("project", {"xmlns": PLCOPEN_NAMESPACE})
+    ET.SubElement(
+        root,
+        "fileHeader",
+        {
+            "companyName": "SG-ML",
+            "productName": "CyberRange",
+            "productVersion": "1.0",
+        },
+    )
+    types_el = ET.SubElement(root, "types")
+    pous_el = ET.SubElement(types_el, "pous")
+    for pou in document.pous:
+        pou_el = ET.SubElement(
+            pous_el, "pou", {"name": pou.name, "pouType": pou.pou_type}
+        )
+        interface = ET.SubElement(pou_el, "interface")
+        sections: dict[str, ET.Element] = {}
+        for declaration in pou.declarations:
+            section_name = _section_for_kind(declaration.kind)
+            section = sections.get(section_name)
+            if section is None:
+                section = ET.SubElement(interface, section_name)
+                sections[section_name] = section
+            attrs = {"name": declaration.name}
+            if declaration.location:
+                attrs["address"] = declaration.location
+            variable_el = ET.SubElement(section, "variable", attrs)
+            if declaration.initial is not None:
+                initial_text = _initial_to_text(declaration.initial)
+                if initial_text:
+                    initial_el = ET.SubElement(variable_el, "initialValue")
+                    ET.SubElement(
+                        initial_el, "simpleValue", {"value": initial_text}
+                    )
+            type_el = ET.SubElement(variable_el, "type")
+            if declaration.is_array:
+                array_el = ET.SubElement(type_el, "array")
+                ET.SubElement(
+                    array_el,
+                    "dimension",
+                    {
+                        "lower": str(declaration.array_low),
+                        "upper": str(declaration.array_high),
+                    },
+                )
+                base = ET.SubElement(array_el, "baseType")
+                ET.SubElement(base, declaration.element_type)
+            elif declaration.type_name.upper() in (
+                "TON", "TOF", "TP", "R_TRIG", "F_TRIG", "SR", "RS", "CTU",
+                "CTD", "CTUD",
+            ):
+                ET.SubElement(type_el, "derived", {"name": declaration.type_name})
+            else:
+                ET.SubElement(type_el, declaration.type_name)
+        body_el = ET.SubElement(pou_el, "body")
+        st_el = ET.SubElement(body_el, "ST")
+        st_el.text = pou.st_body
+    instances = ET.SubElement(root, "instances")
+    configurations = ET.SubElement(instances, "configurations")
+    configuration = ET.SubElement(configurations, "configuration", {"name": "config"})
+    resource = ET.SubElement(configuration, "resource", {"name": "resource1"})
+    for task in document.tasks:
+        from repro.iec61131.types import format_time
+
+        task_el = ET.SubElement(
+            resource,
+            "task",
+            {
+                "name": task.name,
+                "interval": format_time(task.interval_us),
+                "priority": str(task.priority),
+            },
+        )
+        ET.SubElement(
+            task_el,
+            "pouInstance",
+            {"name": f"{task.pou_name}_instance", "typeName": task.pou_name},
+        )
+    text = ET.tostring(root, encoding="unicode")
+    pretty = minidom.parseString(text).toprettyxml(indent="  ")
+    lines = [line for line in pretty.splitlines() if line.strip()]
+    return "\n".join(lines) + "\n"
+
+
+def _initial_to_text(expression) -> str:
+    """Serialise an initial-value expression (literals only)."""
+    from repro.iec61131.ast import Literal
+
+    if not isinstance(expression, Literal):
+        return ""
+    value = expression.value
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, str):
+        return f"'{value}'"
+    return ""
+
+
+def _section_for_kind(kind: str) -> str:
+    for section, mapped in _KIND_BY_SECTION.items():
+        if mapped == kind:
+            return section
+    return "localVars"

@@ -1,0 +1,355 @@
+"""IEC 61131-3 standard function blocks and functions.
+
+Function blocks keep state across scans (timers, edge triggers, counters);
+functions are pure.  Timers take the current scan's timestamp in
+microseconds, so TIME values interoperate with the simulation kernel.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable
+
+from repro.iec61131.errors import StRuntimeError, StTypeError
+from repro.iec61131.types import IecType, coerce
+
+
+class FunctionBlock:
+    """Base: named inputs/outputs accessed as attributes."""
+
+    INPUTS: tuple[str, ...] = ()
+    OUTPUTS: tuple[str, ...] = ()
+
+    def set_input(self, name: str, value: Any) -> None:
+        if name not in self.INPUTS:
+            raise StRuntimeError(
+                f"{type(self).__name__} has no input {name!r}"
+            )
+        setattr(self, name, value)
+
+    def get(self, name: str) -> Any:
+        if name not in self.INPUTS and name not in self.OUTPUTS:
+            raise StRuntimeError(
+                f"{type(self).__name__} has no member {name!r}"
+            )
+        return getattr(self, name)
+
+    def execute(self, now_us: int) -> None:
+        raise NotImplementedError
+
+
+class TON(FunctionBlock):
+    """On-delay timer: Q rises PT after IN rises."""
+
+    INPUTS = ("IN", "PT")
+    OUTPUTS = ("Q", "ET")
+
+    def __init__(self) -> None:
+        self.IN = False
+        self.PT = 0
+        self.Q = False
+        self.ET = 0
+        self._start_us: int | None = None
+
+    def execute(self, now_us: int) -> None:
+        if self.IN:
+            if self._start_us is None:
+                self._start_us = now_us
+            self.ET = min(now_us - self._start_us, self.PT)
+            self.Q = self.ET >= self.PT
+        else:
+            self._start_us = None
+            self.ET = 0
+            self.Q = False
+
+
+class TOF(FunctionBlock):
+    """Off-delay timer: Q falls PT after IN falls."""
+
+    INPUTS = ("IN", "PT")
+    OUTPUTS = ("Q", "ET")
+
+    def __init__(self) -> None:
+        self.IN = False
+        self.PT = 0
+        self.Q = False
+        self.ET = 0
+        self._fall_us: int | None = None
+
+    def execute(self, now_us: int) -> None:
+        if self.IN:
+            self.Q = True
+            self._fall_us = None
+            self.ET = 0
+        elif self.Q:
+            if self._fall_us is None:
+                self._fall_us = now_us
+            self.ET = min(now_us - self._fall_us, self.PT)
+            if self.ET >= self.PT:
+                self.Q = False
+
+
+class TP(FunctionBlock):
+    """Pulse timer: Q high for exactly PT after a rising edge on IN."""
+
+    INPUTS = ("IN", "PT")
+    OUTPUTS = ("Q", "ET")
+
+    def __init__(self) -> None:
+        self.IN = False
+        self.PT = 0
+        self.Q = False
+        self.ET = 0
+        self._start_us: int | None = None
+        self._prev_in = False
+
+    def execute(self, now_us: int) -> None:
+        rising = self.IN and not self._prev_in
+        self._prev_in = self.IN
+        if rising and self._start_us is None:
+            self._start_us = now_us
+        if self._start_us is not None:
+            self.ET = min(now_us - self._start_us, self.PT)
+            self.Q = self.ET < self.PT
+            if self.ET >= self.PT and not self.IN:
+                self._start_us = None
+                self.ET = 0
+        else:
+            self.Q = False
+            self.ET = 0
+
+
+class R_TRIG(FunctionBlock):
+    """Rising-edge detector."""
+
+    INPUTS = ("CLK",)
+    OUTPUTS = ("Q",)
+
+    def __init__(self) -> None:
+        self.CLK = False
+        self.Q = False
+        self._prev = False
+
+    def execute(self, now_us: int) -> None:
+        self.Q = bool(self.CLK) and not self._prev
+        self._prev = bool(self.CLK)
+
+
+class F_TRIG(FunctionBlock):
+    """Falling-edge detector."""
+
+    INPUTS = ("CLK",)
+    OUTPUTS = ("Q",)
+
+    def __init__(self) -> None:
+        self.CLK = False
+        self.Q = False
+        self._prev = False
+
+    def execute(self, now_us: int) -> None:
+        self.Q = not bool(self.CLK) and self._prev
+        self._prev = bool(self.CLK)
+
+
+class SR(FunctionBlock):
+    """Set-dominant latch."""
+
+    INPUTS = ("S1", "R")
+    OUTPUTS = ("Q1",)
+
+    def __init__(self) -> None:
+        self.S1 = False
+        self.R = False
+        self.Q1 = False
+
+    def execute(self, now_us: int) -> None:
+        self.Q1 = bool(self.S1) or (self.Q1 and not bool(self.R))
+
+
+class RS(FunctionBlock):
+    """Reset-dominant latch."""
+
+    INPUTS = ("S", "R1")
+    OUTPUTS = ("Q1",)
+
+    def __init__(self) -> None:
+        self.S = False
+        self.R1 = False
+        self.Q1 = False
+
+    def execute(self, now_us: int) -> None:
+        self.Q1 = (bool(self.S) or self.Q1) and not bool(self.R1)
+
+
+class CTU(FunctionBlock):
+    """Up counter."""
+
+    INPUTS = ("CU", "R", "PV")
+    OUTPUTS = ("Q", "CV")
+
+    def __init__(self) -> None:
+        self.CU = False
+        self.R = False
+        self.PV = 0
+        self.Q = False
+        self.CV = 0
+        self._prev_cu = False
+
+    def execute(self, now_us: int) -> None:
+        if self.R:
+            self.CV = 0
+        elif self.CU and not self._prev_cu:
+            self.CV += 1
+        self._prev_cu = bool(self.CU)
+        self.Q = self.CV >= self.PV
+
+
+class CTD(FunctionBlock):
+    """Down counter."""
+
+    INPUTS = ("CD", "LD", "PV")
+    OUTPUTS = ("Q", "CV")
+
+    def __init__(self) -> None:
+        self.CD = False
+        self.LD = False
+        self.PV = 0
+        self.Q = False
+        self.CV = 0
+        self._prev_cd = False
+
+    def execute(self, now_us: int) -> None:
+        if self.LD:
+            self.CV = int(self.PV)
+        elif self.CD and not self._prev_cd and self.CV > 0:
+            self.CV -= 1
+        self._prev_cd = bool(self.CD)
+        self.Q = self.CV <= 0
+
+
+class CTUD(FunctionBlock):
+    """Up/down counter."""
+
+    INPUTS = ("CU", "CD", "R", "LD", "PV")
+    OUTPUTS = ("QU", "QD", "CV")
+
+    def __init__(self) -> None:
+        self.CU = False
+        self.CD = False
+        self.R = False
+        self.LD = False
+        self.PV = 0
+        self.QU = False
+        self.QD = False
+        self.CV = 0
+        self._prev_cu = False
+        self._prev_cd = False
+
+    def execute(self, now_us: int) -> None:
+        if self.R:
+            self.CV = 0
+        elif self.LD:
+            self.CV = int(self.PV)
+        else:
+            if self.CU and not self._prev_cu:
+                self.CV += 1
+            if self.CD and not self._prev_cd and self.CV > 0:
+                self.CV -= 1
+        self._prev_cu = bool(self.CU)
+        self._prev_cd = bool(self.CD)
+        self.QU = self.CV >= self.PV
+        self.QD = self.CV <= 0
+
+
+FB_REGISTRY: dict[str, type[FunctionBlock]] = {
+    "TON": TON,
+    "TOF": TOF,
+    "TP": TP,
+    "R_TRIG": R_TRIG,
+    "F_TRIG": F_TRIG,
+    "SR": SR,
+    "RS": RS,
+    "CTU": CTU,
+    "CTD": CTD,
+    "CTUD": CTUD,
+}
+
+
+# ---------------------------------------------------------------------------
+# Standard functions
+# ---------------------------------------------------------------------------
+
+
+def _limit(minimum, value, maximum):
+    return max(minimum, min(value, maximum))
+
+
+def _sel(selector, if_false, if_true):
+    return if_true if selector else if_false
+
+
+def _mux(selector, *choices):
+    index = int(selector)
+    if not 0 <= index < len(choices):
+        raise StRuntimeError(f"MUX selector {index} out of range")
+    return choices[index]
+
+
+def _sqrt(value):
+    if value < 0:
+        raise StRuntimeError(f"SQRT of negative value {value}")
+    return math.sqrt(value)
+
+
+def _make_conversion(target: IecType) -> Callable:
+    def convert(value):
+        return coerce(value, target, context=f"TO_{target.value}")
+
+    return convert
+
+
+def _trunc(value):
+    return int(value)
+
+
+def _shift_left(value, bits):
+    return int(value) << int(bits)
+
+
+def _shift_right(value, bits):
+    return int(value) >> int(bits)
+
+
+FUNCTION_REGISTRY: dict[str, Callable] = {
+    "ABS": abs,
+    "SQRT": _sqrt,
+    "LN": math.log,
+    "LOG": math.log10,
+    "EXP": math.exp,
+    "SIN": math.sin,
+    "COS": math.cos,
+    "TAN": math.tan,
+    "MIN": min,
+    "MAX": max,
+    "LIMIT": _limit,
+    "SEL": _sel,
+    "MUX": _mux,
+    "TRUNC": _trunc,
+    "SHL": _shift_left,
+    "SHR": _shift_right,
+}
+
+# Type-conversion functions: <SRC>_TO_<DST> for every elementary pair.
+_CONVERTIBLE = [
+    "BOOL", "SINT", "INT", "DINT", "LINT", "USINT", "UINT", "UDINT",
+    "ULINT", "BYTE", "WORD", "DWORD", "REAL", "LREAL", "TIME",
+]
+for _src in _CONVERTIBLE:
+    for _dst in _CONVERTIBLE:
+        if _src == _dst:
+            continue
+        try:
+            _target = IecType.from_name(_dst)
+        except StTypeError:  # pragma: no cover - names are static
+            continue
+        FUNCTION_REGISTRY[f"{_src}_TO_{_dst}"] = _make_conversion(_target)

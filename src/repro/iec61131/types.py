@@ -1,0 +1,169 @@
+"""IEC 61131-3 elementary types and literal handling.
+
+TIME values are represented as integer microseconds, matching the kernel's
+clock, so timer function blocks compare directly against simulator time.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from typing import Any
+
+from repro.iec61131.errors import StTypeError
+
+
+class IecType(enum.Enum):
+    BOOL = "BOOL"
+    SINT = "SINT"
+    INT = "INT"
+    DINT = "DINT"
+    LINT = "LINT"
+    USINT = "USINT"
+    UINT = "UINT"
+    UDINT = "UDINT"
+    ULINT = "ULINT"
+    BYTE = "BYTE"
+    WORD = "WORD"
+    DWORD = "DWORD"
+    LWORD = "LWORD"
+    REAL = "REAL"
+    LREAL = "LREAL"
+    TIME = "TIME"
+    STRING = "STRING"
+
+    @classmethod
+    def from_name(cls, name: str) -> "IecType":
+        try:
+            return cls[name.upper()]
+        except KeyError:
+            raise StTypeError(f"unknown IEC type {name!r}") from None
+
+
+_INTEGER_TYPES = {
+    IecType.SINT: (-(2**7), 2**7 - 1),
+    IecType.INT: (-(2**15), 2**15 - 1),
+    IecType.DINT: (-(2**31), 2**31 - 1),
+    IecType.LINT: (-(2**63), 2**63 - 1),
+    IecType.USINT: (0, 2**8 - 1),
+    IecType.UINT: (0, 2**16 - 1),
+    IecType.UDINT: (0, 2**32 - 1),
+    IecType.ULINT: (0, 2**64 - 1),
+    IecType.BYTE: (0, 2**8 - 1),
+    IecType.WORD: (0, 2**16 - 1),
+    IecType.DWORD: (0, 2**32 - 1),
+    IecType.LWORD: (0, 2**64 - 1),
+}
+
+_REAL_TYPES = {IecType.REAL, IecType.LREAL}
+
+
+def is_integer_type(iec_type: IecType) -> bool:
+    return iec_type in _INTEGER_TYPES
+
+
+def is_numeric_type(iec_type: IecType) -> bool:
+    return iec_type in _INTEGER_TYPES or iec_type in _REAL_TYPES
+
+
+def default_value(iec_type: IecType) -> Any:
+    if iec_type is IecType.BOOL:
+        return False
+    if iec_type in _REAL_TYPES:
+        return 0.0
+    if iec_type is IecType.STRING:
+        return ""
+    return 0  # integers and TIME
+
+
+def coerce(value: Any, iec_type: IecType, context: str = "") -> Any:
+    """Convert ``value`` to the Python representation of ``iec_type``.
+
+    Integer types wrap into their declared range (IEC semantics on
+    overflow are implementation-defined; wrapping matches common runtimes
+    including OpenPLC's matiec output).
+    """
+    where = f" ({context})" if context else ""
+    if iec_type is IecType.BOOL:
+        if isinstance(value, (bool, int, float)):
+            return bool(value)
+        raise StTypeError(f"cannot coerce {value!r} to BOOL{where}")
+    if iec_type in _INTEGER_TYPES:
+        if isinstance(value, bool):
+            number = int(value)
+        elif isinstance(value, (int, float)):
+            number = int(value)
+        else:
+            raise StTypeError(f"cannot coerce {value!r} to {iec_type.value}{where}")
+        low, high = _INTEGER_TYPES[iec_type]
+        span = high - low + 1
+        return (number - low) % span + low
+    if iec_type in _REAL_TYPES:
+        if isinstance(value, (bool, int, float)):
+            return float(value)
+        raise StTypeError(f"cannot coerce {value!r} to {iec_type.value}{where}")
+    if iec_type is IecType.TIME:
+        if isinstance(value, bool):
+            raise StTypeError(f"cannot coerce BOOL to TIME{where}")
+        if isinstance(value, (int, float)):
+            return int(value)
+        raise StTypeError(f"cannot coerce {value!r} to TIME{where}")
+    if iec_type is IecType.STRING:
+        if isinstance(value, str):
+            return value
+        raise StTypeError(f"cannot coerce {value!r} to STRING{where}")
+    raise StTypeError(f"unsupported type {iec_type}{where}")
+
+
+_TIME_COMPONENT = re.compile(r"(\d+(?:\.\d+)?)(ms|us|s|m|h|d)", re.IGNORECASE)
+_TIME_FACTORS_US = {
+    "us": 1,
+    "ms": 1_000,
+    "s": 1_000_000,
+    "m": 60_000_000,
+    "h": 3_600_000_000,
+    "d": 86_400_000_000,
+}
+
+
+def parse_time_literal(text: str) -> int:
+    """``T#1h30m``, ``TIME#500ms``, ``T#1.5s`` → integer microseconds."""
+    body = text
+    for prefix in ("TIME#", "time#", "T#", "t#"):
+        if body.startswith(prefix):
+            body = body[len(prefix) :]
+            break
+    else:
+        raise StTypeError(f"not a TIME literal: {text!r}")
+    negative = body.startswith("-")
+    if negative:
+        body = body[1:]
+    total_us = 0.0
+    matched_len = 0
+    for match in _TIME_COMPONENT.finditer(body):
+        if match.start() != matched_len:
+            raise StTypeError(f"malformed TIME literal: {text!r}")
+        magnitude = float(match.group(1))
+        unit = match.group(2).lower()
+        total_us += magnitude * _TIME_FACTORS_US[unit]
+        matched_len = match.end()
+    if matched_len != len(body) or matched_len == 0:
+        raise StTypeError(f"malformed TIME literal: {text!r}")
+    result = int(round(total_us))
+    return -result if negative else result
+
+
+def format_time(us: int) -> str:
+    """Integer microseconds → ``T#...`` literal (for diagnostics)."""
+    if us == 0:
+        return "T#0s"
+    sign = "-" if us < 0 else ""
+    remaining = abs(us)
+    parts = []
+    for unit, factor in (("d", 86_400_000_000), ("h", 3_600_000_000),
+                         ("m", 60_000_000), ("s", 1_000_000), ("ms", 1_000),
+                         ("us", 1)):
+        amount, remaining = divmod(remaining, factor)
+        if amount:
+            parts.append(f"{amount}{unit}")
+    return f"T#{sign}{''.join(parts)}"

@@ -1,0 +1,69 @@
+"""IEC 61850 communication stack (libiec61850 substitute).
+
+Implements the four protocols the paper's virtual IEDs speak (§III-B):
+
+* **MMS** (:mod:`repro.iec61850.mms`) — client/server over TCP port 102;
+  used by SCADA→IED/PLC and PLC→IED for interrogation and control.
+* **GOOSE** (:mod:`repro.iec61850.goose`) — publisher/subscriber over L2
+  multicast (ethertype ``0x88B8``) with the standard stNum/sqNum
+  retransmission scheme; used IED↔IED for status exchange.
+* **R-GOOSE / R-SV** (:mod:`repro.iec61850.rgoose`) — the routable variants
+  over UDP/IP multicast (IEC 61850-90-5); used for inter-substation
+  protection (PDIF/CILO).
+* **SV** (:mod:`repro.iec61850.sv`) — sampled measurement streams.
+
+Wire format: a structurally faithful BER-style TLV encoding
+(:mod:`repro.iec61850.codec`).  Messages really are byte strings on the
+virtual wire — an attacker tap can parse and rewrite them, which the MITM
+case study does.
+"""
+
+from repro.iec61850.codec import CodecError, decode_value, encode_value
+from repro.iec61850.goose import (
+    GOOSE_MAX_INTERVAL_US,
+    GOOSE_MIN_INTERVAL_US,
+    GooseMessage,
+    GoosePublisher,
+    GooseSubscriber,
+)
+from repro.iec61850.mms import (
+    MMS_PORT,
+    MmsClient,
+    MmsDataProvider,
+    MmsError,
+    MmsServer,
+    MmsValue,
+)
+from repro.iec61850.rgoose import (
+    RGOOSE_PORT,
+    RGoosePublisher,
+    RGooseSubscriber,
+    RSvPublisher,
+    RSvSubscriber,
+)
+from repro.iec61850.sv import SvMessage, SvPublisher, SvSubscriber
+
+__all__ = [
+    "CodecError",
+    "GOOSE_MAX_INTERVAL_US",
+    "GOOSE_MIN_INTERVAL_US",
+    "GooseMessage",
+    "GoosePublisher",
+    "GooseSubscriber",
+    "MMS_PORT",
+    "MmsClient",
+    "MmsDataProvider",
+    "MmsError",
+    "MmsServer",
+    "MmsValue",
+    "RGOOSE_PORT",
+    "RGoosePublisher",
+    "RGooseSubscriber",
+    "RSvPublisher",
+    "RSvSubscriber",
+    "SvMessage",
+    "SvPublisher",
+    "SvSubscriber",
+    "decode_value",
+    "encode_value",
+]

@@ -1,0 +1,157 @@
+"""BER-style TLV codec for protocol payloads.
+
+A compact tag-length-value encoding in the spirit of the ASN.1 BER used by
+MMS and GOOSE.  It is not byte-compatible with ISO 9506 (a non-goal, see
+DESIGN.md), but it has the properties the cyber range needs:
+
+* messages on the virtual wire are real byte strings,
+* they can be decoded without a schema (self-describing tags),
+* tampering mid-flight (the MITM pipeline) works on bytes, not objects.
+
+Supported value types: ``None``, ``bool``, ``int``, ``float``, ``str``,
+``bytes``, ``list`` (heterogeneous) and ``dict`` with string keys.
+
+Wire layout: ``tag(1) | length(varint) | value``.  Lengths use the BER
+definite form: one byte below 128, else ``0x80 | n`` followed by ``n``
+length bytes.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+TAG_NULL = 0x05
+TAG_BOOL = 0x01
+TAG_INT = 0x02
+TAG_FLOAT = 0x09
+TAG_OCTETS = 0x04
+TAG_STRING = 0x0C
+TAG_SEQUENCE = 0x30
+TAG_MAP = 0x31
+
+
+class CodecError(Exception):
+    """Raised on malformed TLV input."""
+
+
+def encode_value(value: Any) -> bytes:
+    """Encode a Python value to TLV bytes."""
+    if value is None:
+        return _tlv(TAG_NULL, b"")
+    if isinstance(value, bool):  # bool before int: bool is an int subclass
+        return _tlv(TAG_BOOL, b"\x01" if value else b"\x00")
+    if isinstance(value, int):
+        return _tlv(TAG_INT, _encode_int(value))
+    if isinstance(value, float):
+        return _tlv(TAG_FLOAT, struct.pack(">d", value))
+    if isinstance(value, bytes):
+        return _tlv(TAG_OCTETS, value)
+    if isinstance(value, str):
+        return _tlv(TAG_STRING, value.encode("utf-8"))
+    if isinstance(value, (list, tuple)):
+        body = b"".join(encode_value(item) for item in value)
+        return _tlv(TAG_SEQUENCE, body)
+    if isinstance(value, dict):
+        parts = []
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise CodecError(f"map keys must be str, got {type(key).__name__}")
+            parts.append(encode_value(key))
+            parts.append(encode_value(item))
+        return _tlv(TAG_MAP, b"".join(parts))
+    raise CodecError(f"cannot encode type {type(value).__name__}")
+
+
+def decode_value(data: bytes) -> Any:
+    """Decode TLV bytes produced by :func:`encode_value`."""
+    value, consumed = _decode_at(data, 0)
+    if consumed != len(data):
+        raise CodecError(
+            f"trailing bytes after value: consumed {consumed} of {len(data)}"
+        )
+    return value
+
+
+# ---------------------------------------------------------------------------
+
+
+def _tlv(tag: int, body: bytes) -> bytes:
+    return bytes([tag]) + _encode_length(len(body)) + body
+
+
+def _encode_length(length: int) -> bytes:
+    if length < 0x80:
+        return bytes([length])
+    raw = length.to_bytes((length.bit_length() + 7) // 8, "big")
+    return bytes([0x80 | len(raw)]) + raw
+
+
+def _encode_int(value: int) -> bytes:
+    length = max(1, (value.bit_length() + 8) // 8)
+    return value.to_bytes(length, "big", signed=True)
+
+
+def _decode_length(data: bytes, offset: int) -> tuple[int, int]:
+    if offset >= len(data):
+        raise CodecError("truncated length")
+    first = data[offset]
+    if first < 0x80:
+        return first, offset + 1
+    count = first & 0x7F
+    end = offset + 1 + count
+    if count == 0 or end > len(data):
+        raise CodecError("malformed long-form length")
+    return int.from_bytes(data[offset + 1 : end], "big"), end
+
+
+def _decode_at(data: bytes, offset: int) -> tuple[Any, int]:
+    if offset >= len(data):
+        raise CodecError("truncated value")
+    tag = data[offset]
+    length, body_start = _decode_length(data, offset + 1)
+    body_end = body_start + length
+    if body_end > len(data):
+        raise CodecError(f"value body extends past buffer (tag 0x{tag:02x})")
+    body = data[body_start:body_end]
+    if tag == TAG_NULL:
+        if body:
+            raise CodecError("null with non-empty body")
+        return None, body_end
+    if tag == TAG_BOOL:
+        if len(body) != 1:
+            raise CodecError("bool body must be a single byte")
+        return body[0] != 0, body_end
+    if tag == TAG_INT:
+        if not body:
+            raise CodecError("empty integer body")
+        return int.from_bytes(body, "big", signed=True), body_end
+    if tag == TAG_FLOAT:
+        if len(body) != 8:
+            raise CodecError("float body must be 8 bytes")
+        return struct.unpack(">d", body)[0], body_end
+    if tag == TAG_OCTETS:
+        return body, body_end
+    if tag == TAG_STRING:
+        try:
+            return body.decode("utf-8"), body_end
+        except UnicodeDecodeError as exc:
+            raise CodecError(f"invalid UTF-8 string: {exc}") from exc
+    if tag == TAG_SEQUENCE:
+        items = []
+        cursor = 0
+        while cursor < len(body):
+            item, cursor = _decode_at(body, cursor)
+            items.append(item)
+        return items, body_end
+    if tag == TAG_MAP:
+        mapping = {}
+        cursor = 0
+        while cursor < len(body):
+            key, cursor = _decode_at(body, cursor)
+            if not isinstance(key, str):
+                raise CodecError("map key is not a string")
+            value, cursor = _decode_at(body, cursor)
+            mapping[key] = value
+        return mapping, body_end
+    raise CodecError(f"unknown tag 0x{tag:02x}")

@@ -1,0 +1,341 @@
+"""MMS (Manufacturing Message Specification) client and server.
+
+The paper's virtual IEDs expose their IEC 61850 data model over MMS
+(TCP port 102); SCADA and PLCs interrogate and control them through it.
+Implemented services (the subset the cyber range exercises):
+
+* ``initiate``      — association setup after TCP connect,
+* ``identify``      — vendor/model/revision,
+* ``getNameList``   — browse logical devices / named variables,
+* ``read``          — read one or more object references,
+* ``write``         — write an object reference (includes controls: writing
+  to a controllable object's ``Oper.ctlVal`` triggers the IED's operate
+  path, which is how false-command-injection attacks work),
+* ``infoReport``    — unsolicited server→client value reports.
+
+Framing: 4-byte big-endian length prefix, then one TLV map per message —
+a simplification of RFC 1006/ISO COTP framing that preserves the
+stream-of-messages behaviour on top of TCP.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Callable, Optional, Protocol
+
+from repro.iec61850.codec import CodecError, decode_value, encode_value
+from repro.netem.host import Host
+from repro.netem.tcp import TcpConnection
+
+MMS_PORT = 102
+
+MmsValue = Any
+"""An MMS value: ``bool | int | float | str | bytes | list | None``."""
+
+
+class MmsError(Exception):
+    """Service-level failure (unknown reference, access denied, ...)."""
+
+
+class MmsDataProvider(Protocol):
+    """What an MMS server serves.  Virtual IEDs and PLCs implement this."""
+
+    def mms_identify(self) -> dict:  # pragma: no cover - interface
+        """Vendor / model / revision information."""
+        ...
+
+    def mms_get_name_list(self, object_class: str, domain: str) -> list[str]:
+        """Browse: domain names, or variable names within a domain."""
+        ...  # pragma: no cover - interface
+
+    def mms_read(self, reference: str) -> MmsValue:  # pragma: no cover
+        """Read an object reference; raises :class:`MmsError` if unknown."""
+        ...
+
+    def mms_write(self, reference: str, value: MmsValue) -> None:
+        """Write an object reference; raises :class:`MmsError` on reject."""
+        ...  # pragma: no cover - interface
+
+
+class _Framer:
+    """Splits a TCP byte stream into length-prefixed messages."""
+
+    def __init__(self) -> None:
+        self._buffer = b""
+
+    def feed(self, data: bytes) -> list[bytes]:
+        self._buffer += data
+        messages = []
+        while len(self._buffer) >= 4:
+            (length,) = struct.unpack(">I", self._buffer[:4])
+            if len(self._buffer) < 4 + length:
+                break
+            messages.append(self._buffer[4 : 4 + length])
+            self._buffer = self._buffer[4 + length :]
+        return messages
+
+
+def _frame(message: dict) -> bytes:
+    body = encode_value(message)
+    return struct.pack(">I", len(body)) + body
+
+
+# ---------------------------------------------------------------------------
+# Server
+# ---------------------------------------------------------------------------
+
+
+class MmsServer:
+    """Serves a :class:`MmsDataProvider` over the host's TCP stack."""
+
+    def __init__(
+        self, host: Host, provider: MmsDataProvider, port: int = MMS_PORT
+    ) -> None:
+        self.host = host
+        self.provider = provider
+        self.port = port
+        self._connections: list[TcpConnection] = []
+        self._framers: dict[int, _Framer] = {}
+        self._report_subscribers: list[TcpConnection] = []
+        self.request_count = 0
+        self.started = False
+
+    def start(self) -> None:
+        if self.started:
+            return
+        self.host.tcp.listen(self.port, self._on_accept)
+        self.started = True
+
+    @property
+    def connection_count(self) -> int:
+        return len(self._connections)
+
+    def _on_accept(self, connection: TcpConnection) -> None:
+        self._connections.append(connection)
+        framer = _Framer()
+        self._framers[id(connection)] = framer
+        connection.on_data = lambda data: self._on_data(connection, framer, data)
+        connection.on_close = lambda: self._on_close(connection)
+
+    def _on_close(self, connection: TcpConnection) -> None:
+        if connection in self._connections:
+            self._connections.remove(connection)
+        if connection in self._report_subscribers:
+            self._report_subscribers.remove(connection)
+        self._framers.pop(id(connection), None)
+
+    def _on_data(
+        self, connection: TcpConnection, framer: _Framer, data: bytes
+    ) -> None:
+        for raw in framer.feed(data):
+            try:
+                request = decode_value(raw)
+            except CodecError:
+                continue  # garbage on the wire (e.g. fuzzing) is ignored
+            if isinstance(request, dict):
+                self._serve(connection, request)
+
+    def _serve(self, connection: TcpConnection, request: dict) -> None:
+        self.request_count += 1
+        invoke_id = request.get("invokeId", 0)
+        service = request.get("service", "")
+        response: dict = {"invokeId": invoke_id, "service": service}
+        try:
+            response["result"] = self._dispatch(connection, service, request)
+            response["error"] = None
+        except MmsError as exc:
+            response["result"] = None
+            response["error"] = str(exc)
+        connection.send(_frame(response))
+
+    def _dispatch(
+        self, connection: TcpConnection, service: str, request: dict
+    ) -> MmsValue:
+        if service == "initiate":
+            return {"maxPduSize": 65000, "version": 1}
+        if service == "identify":
+            return self.provider.mms_identify()
+        if service == "getNameList":
+            return self.provider.mms_get_name_list(
+                request.get("objectClass", "namedVariable"),
+                request.get("domain", ""),
+            )
+        if service == "read":
+            references = request.get("references", [])
+            results = []
+            for reference in references:
+                try:
+                    results.append({"value": self.provider.mms_read(reference)})
+                except MmsError as exc:
+                    results.append({"error": str(exc)})
+            return results
+        if service == "write":
+            self.provider.mms_write(
+                request.get("reference", ""), request.get("value")
+            )
+            return True
+        if service == "enableReports":
+            if connection not in self._report_subscribers:
+                self._report_subscribers.append(connection)
+            return True
+        raise MmsError(f"unsupported service {service!r}")
+
+    # ------------------------------------------------------------------
+    def send_report(self, values: dict[str, MmsValue]) -> None:
+        """Unsolicited information report to subscribed clients."""
+        message = {
+            "invokeId": 0,
+            "service": "infoReport",
+            "result": values,
+            "error": None,
+        }
+        for connection in list(self._report_subscribers):
+            if connection.established:
+                connection.send(_frame(message))
+
+
+# ---------------------------------------------------------------------------
+# Client
+# ---------------------------------------------------------------------------
+
+
+class MmsClient:
+    """Asynchronous MMS client (used by SCADA, PLCs and attackers alike)."""
+
+    def __init__(
+        self, host: Host, server_ip: str, port: int = MMS_PORT, name: str = ""
+    ) -> None:
+        self.host = host
+        self.server_ip = server_ip
+        self.port = port
+        self.name = name or f"mms-client:{host.name}"
+        self._connection: Optional[TcpConnection] = None
+        self._framer = _Framer()
+        self._pending: dict[int, Callable[[MmsValue, Optional[str]], None]] = {}
+        self._invoke_id = 0
+        self._ready_callbacks: list[Callable[[], None]] = []
+        self.on_report: Optional[Callable[[dict], None]] = None
+        self.on_disconnect: Optional[Callable[[], None]] = None
+        self.associated = False
+
+    # ------------------------------------------------------------------
+    def connect(self) -> None:
+        """Open TCP and send the MMS initiate request."""
+        if self._connection is not None:
+            return
+        self._connection = self.host.tcp.connect(
+            self.server_ip,
+            self.port,
+            on_open=self._on_open,
+            on_data=self._on_data,
+            on_close=self._on_close,
+        )
+
+    @property
+    def connected(self) -> bool:
+        return self.associated
+
+    def when_ready(self, callback: Callable[[], None]) -> None:
+        """Run ``callback`` once the association is up (immediately if so)."""
+        if self.associated:
+            callback()
+        else:
+            self._ready_callbacks.append(callback)
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+
+    # ------------------------------------------------------------------
+    # Services
+    # ------------------------------------------------------------------
+    def request(
+        self,
+        service: str,
+        params: Optional[dict] = None,
+        on_reply: Optional[Callable[[MmsValue, Optional[str]], None]] = None,
+    ) -> int:
+        if self._connection is None or not self._connection.established:
+            raise MmsError(f"{self.name}: not connected")
+        self._invoke_id += 1
+        message = {"invokeId": self._invoke_id, "service": service}
+        if params:
+            message.update(params)
+        if on_reply is not None:
+            self._pending[self._invoke_id] = on_reply
+        self._connection.send(_frame(message))
+        return self._invoke_id
+
+    def read(
+        self,
+        references: list[str],
+        on_reply: Callable[[list, Optional[str]], None],
+    ) -> int:
+        return self.request("read", {"references": references}, on_reply)
+
+    def write(
+        self,
+        reference: str,
+        value: MmsValue,
+        on_reply: Optional[Callable[[MmsValue, Optional[str]], None]] = None,
+    ) -> int:
+        return self.request(
+            "write", {"reference": reference, "value": value}, on_reply
+        )
+
+    def get_name_list(
+        self,
+        on_reply: Callable[[list, Optional[str]], None],
+        object_class: str = "namedVariable",
+        domain: str = "",
+    ) -> int:
+        return self.request(
+            "getNameList",
+            {"objectClass": object_class, "domain": domain},
+            on_reply,
+        )
+
+    def identify(self, on_reply: Callable[[dict, Optional[str]], None]) -> int:
+        return self.request("identify", {}, on_reply)
+
+    def enable_reports(
+        self, on_reply: Optional[Callable[[MmsValue, Optional[str]], None]] = None
+    ) -> int:
+        return self.request("enableReports", {}, on_reply)
+
+    # ------------------------------------------------------------------
+    def _on_open(self) -> None:
+        self._invoke_id += 1
+        self._pending[self._invoke_id] = self._on_initiate_reply
+        self._connection.send(
+            _frame({"invokeId": self._invoke_id, "service": "initiate"})
+        )
+
+    def _on_initiate_reply(self, result: MmsValue, error: Optional[str]) -> None:
+        if error is None:
+            self.associated = True
+            callbacks, self._ready_callbacks = self._ready_callbacks, []
+            for callback in callbacks:
+                callback()
+
+    def _on_data(self, data: bytes) -> None:
+        for raw in self._framer.feed(data):
+            try:
+                message = decode_value(raw)
+            except CodecError:
+                continue
+            if not isinstance(message, dict):
+                continue
+            if message.get("service") == "infoReport":
+                if self.on_report is not None:
+                    self.on_report(message.get("result") or {})
+                continue
+            callback = self._pending.pop(message.get("invokeId", -1), None)
+            if callback is not None:
+                callback(message.get("result"), message.get("error"))
+
+    def _on_close(self) -> None:
+        self._connection = None
+        self.associated = False
+        if self.on_disconnect is not None:
+            self.on_disconnect()

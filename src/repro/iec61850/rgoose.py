@@ -1,0 +1,243 @@
+"""R-GOOSE and R-SV: routable GOOSE / Sampled Values (IEC 61850-90-5).
+
+For inter-substation protection (the paper's PDIF differential protection
+and CILO interlocking across substations) the L2 multicast payloads are
+wrapped in a session header and carried over UDP/IP multicast so routers/
+the WAN can forward them.  Port 102 is used per IEC 61850-90-5.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.iec61850.codec import CodecError, decode_value, encode_value
+from repro.iec61850.goose import GooseMessage, GoosePublisher
+from repro.iec61850.sv import SvMessage
+from repro.kernel import MS, SECOND
+from repro.netem.host import Host, UdpSocket
+
+RGOOSE_PORT = 102
+#: Default multicast groups for routable traffic.
+DEFAULT_RGOOSE_GROUP = "239.192.0.1"
+DEFAULT_RSV_GROUP = "239.192.0.2"
+
+_SESSION_RGOOSE = "r-goose"
+_SESSION_RSV = "r-sv"
+
+
+def _wrap(session_type: str, payload: bytes) -> bytes:
+    return encode_value({"sessionType": session_type, "payload": payload})
+
+
+def _unwrap(data: bytes) -> tuple[str, bytes]:
+    decoded = decode_value(data)
+    if not isinstance(decoded, dict):
+        raise CodecError("session wrapper is not a map")
+    return decoded.get("sessionType", ""), decoded.get("payload", b"")
+
+
+class _UdpMulticastEndpoint:
+    """Shared UDP socket + multicast membership per host."""
+
+    def __init__(self, host: Host) -> None:
+        self.host = host
+        self.handlers: list[Callable[[str, bytes], None]] = []
+        self.socket: UdpSocket = host.udp_bind(RGOOSE_PORT, self._on_datagram)
+
+    @classmethod
+    def for_host(cls, host: Host) -> "_UdpMulticastEndpoint":
+        endpoint = getattr(host, "_rgoose_endpoint", None)
+        if endpoint is None:
+            endpoint = cls(host)
+            host._rgoose_endpoint = endpoint
+        return endpoint
+
+    def _on_datagram(self, src_ip: str, src_port: int, payload: bytes) -> None:
+        for handler in list(self.handlers):
+            handler(src_ip, payload)
+
+
+class RGoosePublisher(GoosePublisher):
+    """GOOSE state machine, UDP multicast transport."""
+
+    def __init__(
+        self,
+        host: Host,
+        gocb_ref: str,
+        dat_set: str,
+        go_id: str = "",
+        group_ip: str = DEFAULT_RGOOSE_GROUP,
+    ) -> None:
+        super().__init__(host, gocb_ref, dat_set, go_id)
+        self.group_ip = group_ip
+        self._endpoint = _UdpMulticastEndpoint.for_host(host)
+
+    def _publish_now(self) -> None:  # override the L2 send with UDP
+        message = GooseMessage(
+            gocb_ref=self.gocb_ref,
+            dat_set=self.dat_set,
+            go_id=self.go_id,
+            st_num=self.st_num,
+            sq_num=self.sq_num,
+            time_allowed_to_live_ms=max(2 * self._interval_us // MS, 10),
+            test=False,
+            conf_rev=self.conf_rev,
+            timestamp_us=self.simulator.now,
+            all_data=self._values,
+        )
+        self._endpoint.socket.sendto(
+            self.group_ip, RGOOSE_PORT, _wrap(_SESSION_RGOOSE, message.to_bytes())
+        )
+        self.tx_count += 1
+        self.sq_num += 1
+        self._retransmit_event = self.simulator.schedule(
+            self._interval_us, self._on_timer, label=f"rgoose:{self.go_id}"
+        )
+        from repro.iec61850.goose import GOOSE_MAX_INTERVAL_US
+
+        self._interval_us = min(self._interval_us * 2, GOOSE_MAX_INTERVAL_US)
+
+
+class RGooseSubscriber:
+    """Subscribes to a gocbRef on a UDP multicast group."""
+
+    def __init__(
+        self,
+        host: Host,
+        gocb_ref: str,
+        on_update: Callable[[GooseMessage], None],
+        group_ip: str = DEFAULT_RGOOSE_GROUP,
+        stale_timeout_us: int = 3 * SECOND,
+    ) -> None:
+        self.host = host
+        self.gocb_ref = gocb_ref
+        self.on_update = on_update
+        self.stale_timeout_us = stale_timeout_us
+        self.last_message: Optional[GooseMessage] = None
+        self.last_seen_us = -1
+        self.rx_count = 0
+        host.join_multicast_group(group_ip)
+        endpoint = _UdpMulticastEndpoint.for_host(host)
+        endpoint.handlers.append(self._on_payload)
+
+    @property
+    def values(self) -> list:
+        return self.last_message.all_data if self.last_message else []
+
+    @property
+    def healthy(self) -> bool:
+        if self.last_seen_us < 0:
+            return False
+        return self.host.simulator.now - self.last_seen_us <= self.stale_timeout_us
+
+    def _on_payload(self, src_ip: str, data: bytes) -> None:
+        try:
+            session_type, payload = _unwrap(data)
+            if session_type != _SESSION_RGOOSE:
+                return
+            message = GooseMessage.from_bytes(payload)
+        except CodecError:
+            return
+        if message.gocb_ref != self.gocb_ref:
+            return
+        self.rx_count += 1
+        self.last_seen_us = self.host.simulator.now
+        is_change = (
+            self.last_message is None or message.st_num != self.last_message.st_num
+        )
+        self.last_message = message
+        if is_change:
+            self.on_update(message)
+
+
+class RSvPublisher:
+    """Routable Sampled Values: periodic measurement stream over UDP."""
+
+    def __init__(
+        self,
+        host: Host,
+        sv_id: str,
+        group_ip: str = DEFAULT_RSV_GROUP,
+        interval_us: int = 100 * MS,
+    ) -> None:
+        self.host = host
+        self.sv_id = sv_id
+        self.group_ip = group_ip
+        self.interval_us = interval_us
+        self.smp_cnt = 0
+        self.tx_count = 0
+        self._endpoint = _UdpMulticastEndpoint.for_host(host)
+        self._task = None
+        self._sample_source: Optional[Callable[[], list]] = None
+
+    def start(self, sample_source: Callable[[], list]) -> None:
+        """Begin streaming; ``sample_source`` is polled each interval."""
+        if self._task is not None:
+            return
+        self._sample_source = sample_source
+        self._task = self.host.simulator.every(
+            self.interval_us, self._publish, label=f"rsv:{self.sv_id}"
+        )
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    def _publish(self) -> None:
+        samples = self._sample_source() if self._sample_source else []
+        message = SvMessage(
+            sv_id=self.sv_id,
+            smp_cnt=self.smp_cnt,
+            timestamp_us=self.host.simulator.now,
+            samples=list(samples),
+        )
+        self.smp_cnt = (self.smp_cnt + 1) & 0xFFFF
+        self.tx_count += 1
+        self._endpoint.socket.sendto(
+            self.group_ip, RGOOSE_PORT, _wrap(_SESSION_RSV, message.to_bytes())
+        )
+
+
+class RSvSubscriber:
+    """Receives a routable SV stream by svID."""
+
+    def __init__(
+        self,
+        host: Host,
+        sv_id: str,
+        on_samples: Callable[[SvMessage], None],
+        group_ip: str = DEFAULT_RSV_GROUP,
+        stale_timeout_us: int = 1 * SECOND,
+    ) -> None:
+        self.host = host
+        self.sv_id = sv_id
+        self.on_samples = on_samples
+        self.stale_timeout_us = stale_timeout_us
+        self.last_message: Optional[SvMessage] = None
+        self.last_seen_us = -1
+        self.rx_count = 0
+        host.join_multicast_group(group_ip)
+        endpoint = _UdpMulticastEndpoint.for_host(host)
+        endpoint.handlers.append(self._on_payload)
+
+    @property
+    def healthy(self) -> bool:
+        if self.last_seen_us < 0:
+            return False
+        return self.host.simulator.now - self.last_seen_us <= self.stale_timeout_us
+
+    def _on_payload(self, src_ip: str, data: bytes) -> None:
+        try:
+            session_type, payload = _unwrap(data)
+            if session_type != _SESSION_RSV:
+                return
+            message = SvMessage.from_bytes(payload)
+        except CodecError:
+            return
+        if message.sv_id != self.sv_id:
+            return
+        self.rx_count += 1
+        self.last_seen_us = self.host.simulator.now
+        self.last_message = message
+        self.on_samples(message)

@@ -1,0 +1,123 @@
+"""Sampled Values (IEC 61850-9-2) — measurement streaming.
+
+L2 variant on ethertype ``0x88BA``; the routable variant lives in
+:mod:`repro.iec61850.rgoose`.  The cyber range uses SV for sharing analogue
+measurements between IEDs (e.g. the two ends of a differential-protection
+zone).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.iec61850.codec import CodecError, decode_value, encode_value
+from repro.kernel import MS
+from repro.netem.frames import ETHERTYPE_SV, EthernetFrame
+from repro.netem.host import Host
+
+DEFAULT_SV_MAC = "01:0c:cd:04:00:01"
+
+
+@dataclass
+class SvMessage:
+    """One sampled-values APDU."""
+
+    sv_id: str
+    smp_cnt: int
+    timestamp_us: int
+    samples: list  # list of floats (or [name, value] pairs)
+
+    def to_bytes(self) -> bytes:
+        return encode_value(
+            {
+                "svID": self.sv_id,
+                "smpCnt": self.smp_cnt,
+                "t": self.timestamp_us,
+                "seqData": self.samples,
+            }
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "SvMessage":
+        decoded = decode_value(data)
+        if not isinstance(decoded, dict):
+            raise CodecError("SV payload is not a map")
+        return cls(
+            sv_id=decoded.get("svID", ""),
+            smp_cnt=int(decoded.get("smpCnt", 0)),
+            timestamp_us=int(decoded.get("t", 0)),
+            samples=list(decoded.get("seqData", [])),
+        )
+
+
+class SvPublisher:
+    """Streams samples on the L2 multicast bus at a fixed rate."""
+
+    def __init__(
+        self,
+        host: Host,
+        sv_id: str,
+        dst_mac: str = DEFAULT_SV_MAC,
+        interval_us: int = 100 * MS,
+    ) -> None:
+        self.host = host
+        self.sv_id = sv_id
+        self.dst_mac = dst_mac
+        self.interval_us = interval_us
+        self.smp_cnt = 0
+        self.tx_count = 0
+        self._task = None
+        self._sample_source: Optional[Callable[[], list]] = None
+
+    def start(self, sample_source: Callable[[], list]) -> None:
+        if self._task is not None:
+            return
+        self._sample_source = sample_source
+        self._task = self.host.simulator.every(
+            self.interval_us, self._publish, label=f"sv:{self.sv_id}"
+        )
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    def _publish(self) -> None:
+        samples = self._sample_source() if self._sample_source else []
+        message = SvMessage(
+            sv_id=self.sv_id,
+            smp_cnt=self.smp_cnt,
+            timestamp_us=self.host.simulator.now,
+            samples=list(samples),
+        )
+        self.smp_cnt = (self.smp_cnt + 1) & 0xFFFF
+        self.tx_count += 1
+        self.host.send_ethernet(self.dst_mac, ETHERTYPE_SV, message.to_bytes())
+
+
+class SvSubscriber:
+    """Receives an L2 SV stream by svID."""
+
+    def __init__(
+        self, host: Host, sv_id: str, on_samples: Callable[[SvMessage], None]
+    ) -> None:
+        self.host = host
+        self.sv_id = sv_id
+        self.on_samples = on_samples
+        self.last_message: Optional[SvMessage] = None
+        self.rx_count = 0
+        host.register_ethertype_handler(ETHERTYPE_SV, self._on_frame)
+
+    def _on_frame(self, frame: EthernetFrame) -> None:
+        if not isinstance(frame.payload, bytes):
+            return
+        try:
+            message = SvMessage.from_bytes(frame.payload)
+        except CodecError:
+            return
+        if message.sv_id != self.sv_id:
+            return
+        self.rx_count += 1
+        self.last_message = message
+        self.on_samples(message)

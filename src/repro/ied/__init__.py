@@ -1,0 +1,53 @@
+"""Virtual IED (intelligent electronic device).
+
+The paper's virtual IEDs are C programs built on libiec61850, instantiated
+from ICD files: "if the ICD file contains definition of logical node PTOV,
+over-voltage protection function is enabled" (§III-B).  This package
+reproduces the complete device:
+
+* :mod:`repro.ied.datamodel` — IEC 61850 data model instance built from an
+  ICD (logical devices → logical nodes → data objects → attributes).
+* :mod:`repro.ied.protection` — the Table II protection functions: PTOC,
+  PTOV, PTUV, PDIF and CILO interlocking.
+* :mod:`repro.ied.device` — :class:`VirtualIed` wiring the data model to
+  MMS (server), GOOSE (status publishing/subscription), R-SV (measurement
+  exchange for PDIF) and the point database (power-simulator coupling).
+"""
+
+from repro.ied.config import (
+    GooseLinkConfig,
+    IedRuntimeConfig,
+    PointMapping,
+    ProtectionSettings,
+)
+from repro.ied.datamodel import DataModelError, IedDataModel, Leaf
+from repro.ied.device import VirtualIed
+from repro.ied.protection import (
+    Cilo,
+    Pdif,
+    ProtectionEngine,
+    ProtectionFunction,
+    Ptoc,
+    Ptov,
+    Ptuv,
+    TripEvent,
+)
+
+__all__ = [
+    "Cilo",
+    "DataModelError",
+    "GooseLinkConfig",
+    "IedDataModel",
+    "IedRuntimeConfig",
+    "Leaf",
+    "Pdif",
+    "PointMapping",
+    "ProtectionEngine",
+    "ProtectionFunction",
+    "ProtectionSettings",
+    "Ptoc",
+    "Ptov",
+    "Ptuv",
+    "TripEvent",
+    "VirtualIed",
+]

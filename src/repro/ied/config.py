@@ -1,0 +1,82 @@
+"""Runtime configuration dataclasses for a virtual IED.
+
+These are the in-memory form of the SG-ML *IED Config XML* (paper §III-A):
+protection thresholds and the cyber↔physical point mapping that SCL files
+do not carry.  :mod:`repro.sgml.ied_config` parses the XML into these
+structures; the Virtual IED Builder hands them to :class:`VirtualIed`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class PointMapping:
+    """Maps an IEC 61850 object reference to a point-database key.
+
+    ``direction`` is from the IED's point of view: ``read`` points are
+    measurements/statuses synced database→data-model each scan; ``write``
+    points are command outputs (breaker open/close).
+    """
+
+    scl_ref: str  # e.g. "GIED1LD0/MMXU1.TotW.mag.f"
+    db_key: str  # e.g. "meas/LineG1/p_mw"
+    direction: str = "read"  # "read" | "write"
+    scale: float = 1.0
+
+
+@dataclass(frozen=True)
+class ProtectionSettings:
+    """Thresholds for one protection logical node (paper Table II).
+
+    Fields by function type:
+
+    * ``PTOC`` — ``threshold`` is the current limit (kA); ``meas_ref`` the
+      local current measurement reference.
+    * ``PTOV``/``PTUV`` — ``threshold`` is the bus-voltage limit (pu).
+    * ``PDIF`` — ``threshold`` is the differential current limit (kA);
+      ``remote_sv_id`` names the R-SV stream carrying the far-end current.
+    * ``CILO`` — ``interlock_breaker`` must be closed for ``breaker`` to be
+      allowed to close (no threshold).
+    """
+
+    ln_name: str  # e.g. "PTOC1"
+    fn_type: str  # PTOC | PTOV | PTUV | PDIF | CILO
+    breaker: str  # point-db breaker name this function operates
+    meas_ref: str = ""  # data-model reference of the driving measurement
+    threshold: float = 0.0
+    delay_ms: float = 100.0
+    remote_sv_id: str = ""  # PDIF only
+    interlock_breaker: str = ""  # CILO only
+
+
+@dataclass(frozen=True)
+class GooseLinkConfig:
+    """GOOSE publishing configuration for the IED."""
+
+    gocb_ref: str
+    dataset: str
+    #: Data-model references whose values form the dataset, in order.
+    members: tuple[str, ...] = ()
+
+
+@dataclass
+class IedRuntimeConfig:
+    """Everything the Virtual IED Builder assembles for one IED."""
+
+    ied_name: str
+    points: list[PointMapping] = field(default_factory=list)
+    protections: list[ProtectionSettings] = field(default_factory=list)
+    goose: GooseLinkConfig | None = None
+    #: gocbRefs of peers this IED subscribes to (breaker-status sharing).
+    goose_subscriptions: list[str] = field(default_factory=list)
+    #: R-SV stream published by this IED: (sv_id, measurement reference).
+    sv_publish: tuple[str, str] | None = None
+    scan_interval_ms: float = 20.0
+
+    def read_points(self) -> list[PointMapping]:
+        return [point for point in self.points if point.direction == "read"]
+
+    def write_points(self) -> list[PointMapping]:
+        return [point for point in self.points if point.direction == "write"]

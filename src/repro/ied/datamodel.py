@@ -1,0 +1,260 @@
+"""IEC 61850 data model instance, built from an ICD file.
+
+The model is a flat map of fully qualified object references
+(``<IED><LDinst>/<LN>.<DO>.<da path>``) to typed leaves.  Flatness makes
+MMS read/write and browse trivial while the reference strings preserve the
+standard's hierarchy.
+
+For each logical node the builder instantiates the data objects named in
+the ICD's ``LNodeType`` template when available, and falls back to the
+standard content of the LN class (IEC 61850-7-4) otherwise — real ICDs are
+frequently sparse, and the paper's toolchain likewise enables features per
+LN class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.scl.model import DataTypeTemplates, Ied, LogicalNode
+from repro.scl.paths import ldevice_name
+
+
+class DataModelError(Exception):
+    """Unknown reference or invalid write."""
+
+
+@dataclass
+class Leaf:
+    """One data attribute with its functional constraint."""
+
+    reference: str
+    value: Any
+    fc: str = "ST"  # ST status, MX measurement, CO control, SP setpoint, CF config
+    b_type: str = "BOOLEAN"
+
+    def typed(self, value: Any) -> Any:
+        if self.b_type == "BOOLEAN":
+            return bool(value)
+        if self.b_type in ("INT8", "INT16", "INT32", "INT64", "Enum"):
+            return int(value)
+        if self.b_type in ("FLOAT32", "FLOAT64"):
+            return float(value)
+        return value
+
+
+#: Standard data objects instantiated per LN class:
+#: DO name → list of (attribute path, fc, bType, default).
+CLASS_CONTENT: dict[str, dict[str, list[tuple[str, str, str, Any]]]] = {
+    "LLN0": {
+        "Mod": [("stVal", "ST", "Enum", 1)],
+        "Beh": [("stVal", "ST", "Enum", 1)],
+        "Health": [("stVal", "ST", "Enum", 1)],
+    },
+    "LPHD": {
+        "PhyHealth": [("stVal", "ST", "Enum", 1)],
+        "Proxy": [("stVal", "ST", "BOOLEAN", False)],
+    },
+    "XCBR": {
+        "Pos": [
+            ("stVal", "ST", "BOOLEAN", True),  # True = closed
+            ("q", "ST", "INT16", 0),
+            ("ctlVal", "CO", "BOOLEAN", True),
+        ],
+        "Oper": [("ctlVal", "CO", "BOOLEAN", True)],
+        "BlkOpn": [("stVal", "ST", "BOOLEAN", False)],
+        "BlkCls": [("stVal", "ST", "BOOLEAN", False)],
+        "OpCnt": [("stVal", "ST", "INT32", 0)],
+    },
+    "XSWI": {
+        "Pos": [
+            ("stVal", "ST", "BOOLEAN", True),
+            ("ctlVal", "CO", "BOOLEAN", True),
+        ],
+        "Oper": [("ctlVal", "CO", "BOOLEAN", True)],
+    },
+    "CSWI": {
+        "Pos": [
+            ("stVal", "ST", "BOOLEAN", True),
+            ("ctlVal", "CO", "BOOLEAN", True),
+        ],
+        "Oper": [("ctlVal", "CO", "BOOLEAN", True)],
+    },
+    "CILO": {
+        "EnaOpn": [("stVal", "ST", "BOOLEAN", True)],
+        "EnaCls": [("stVal", "ST", "BOOLEAN", True)],
+    },
+    "MMXU": {
+        "TotW": [("mag.f", "MX", "FLOAT32", 0.0)],
+        "TotVAr": [("mag.f", "MX", "FLOAT32", 0.0)],
+        "Hz": [("mag.f", "MX", "FLOAT32", 50.0)],
+        "A": [("phsA.cVal.mag.f", "MX", "FLOAT32", 0.0)],
+        "PhV": [("phsA.cVal.mag.f", "MX", "FLOAT32", 0.0)],
+    },
+    "MMTR": {
+        "TotWh": [("actVal", "ST", "INT64", 0)],
+    },
+    "PTOC": {
+        "Str": [("general", "ST", "BOOLEAN", False)],
+        "Op": [("general", "ST", "BOOLEAN", False)],
+        "StrVal": [("setMag.f", "SP", "FLOAT32", 0.0)],
+        "OpDlTmms": [("setVal", "SP", "INT32", 100)],
+    },
+    "PTOV": {
+        "Str": [("general", "ST", "BOOLEAN", False)],
+        "Op": [("general", "ST", "BOOLEAN", False)],
+        "StrVal": [("setMag.f", "SP", "FLOAT32", 0.0)],
+        "OpDlTmms": [("setVal", "SP", "INT32", 100)],
+    },
+    "PTUV": {
+        "Str": [("general", "ST", "BOOLEAN", False)],
+        "Op": [("general", "ST", "BOOLEAN", False)],
+        "StrVal": [("setMag.f", "SP", "FLOAT32", 0.0)],
+        "OpDlTmms": [("setVal", "SP", "INT32", 100)],
+    },
+    "PDIF": {
+        "Str": [("general", "ST", "BOOLEAN", False)],
+        "Op": [("general", "ST", "BOOLEAN", False)],
+        "DifAClc": [("mag.f", "MX", "FLOAT32", 0.0)],
+        "StrVal": [("setMag.f", "SP", "FLOAT32", 0.0)],
+        "OpDlTmms": [("setVal", "SP", "INT32", 100)],
+    },
+    "GGIO": {
+        "Ind1": [("stVal", "ST", "BOOLEAN", False)],
+        "Ind2": [("stVal", "ST", "BOOLEAN", False)],
+        "AnIn1": [("mag.f", "MX", "FLOAT32", 0.0)],
+        "AnIn2": [("mag.f", "MX", "FLOAT32", 0.0)],
+        "SPCSO1": [("stVal", "ST", "BOOLEAN", False), ("ctlVal", "CO", "BOOLEAN", False)],
+    },
+}
+
+#: DOType CDC → default attribute layout when templates are present but thin.
+_FALLBACK_ATTRIBUTE = [("stVal", "ST", "BOOLEAN", False)]
+
+
+class IedDataModel:
+    """All leaves of one IED, addressable by object reference."""
+
+    def __init__(self, ied_name: str) -> None:
+        self.ied_name = ied_name
+        self.leaves: dict[str, Leaf] = {}
+        self.ldevices: list[str] = []
+        self.ln_references: dict[str, str] = {}  # LN name → "LD/LN" prefix
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_icd(
+        cls, ied: Ied, templates: Optional[DataTypeTemplates] = None
+    ) -> "IedDataModel":
+        model = cls(ied.name)
+        for ldevice in ied.iter_ldevices():
+            ld_name = ldevice_name(ied.name, ldevice.inst)
+            model.ldevices.append(ld_name)
+            for node in ldevice.logical_nodes:
+                model._instantiate_ln(ld_name, node, templates)
+        return model
+
+    def _instantiate_ln(
+        self,
+        ld_name: str,
+        node: LogicalNode,
+        templates: Optional[DataTypeTemplates],
+    ) -> None:
+        ln_name = node.name if not node.is_ln0 else "LLN0"
+        self.ln_references[f"{ld_name}/{ln_name}"] = node.ln_class
+        content = CLASS_CONTENT.get(node.ln_class, {})
+        do_names: list[str] = list(content.keys())
+        # Honour the LNodeType template's DO list when available.
+        if templates is not None and node.ln_type in templates.lnode_types:
+            template_dos = list(templates.lnode_types[node.ln_type].dos.keys())
+            if template_dos:
+                do_names = template_dos
+        for do_name in do_names:
+            attributes = content.get(do_name, _FALLBACK_ATTRIBUTE)
+            for da_path, fc, b_type, default in attributes:
+                reference = f"{ld_name}/{ln_name}.{do_name}.{da_path}"
+                self.leaves[reference] = Leaf(
+                    reference=reference, value=default, fc=fc, b_type=b_type
+                )
+        # Apply DOI/DAI initial values from the ICD.
+        for doi in node.dois:
+            for attribute in doi.attributes:
+                reference = f"{ld_name}/{ln_name}.{doi.name}.{attribute.name}"
+                if attribute.value == "":
+                    continue
+                existing = self.leaves.get(reference)
+                value = _parse_initial(attribute.value)
+                if existing is not None:
+                    existing.value = existing.typed(value)
+                else:
+                    self.leaves[reference] = Leaf(
+                        reference=reference,
+                        value=value,
+                        fc=attribute.fc or "ST",
+                        b_type=attribute.b_type or _infer_btype(value),
+                    )
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def read(self, reference: str) -> Any:
+        leaf = self.leaves.get(reference)
+        if leaf is None:
+            raise DataModelError(f"unknown reference {reference!r}")
+        return leaf.value
+
+    def write(self, reference: str, value: Any) -> None:
+        leaf = self.leaves.get(reference)
+        if leaf is None:
+            raise DataModelError(f"unknown reference {reference!r}")
+        leaf.value = leaf.typed(value)
+
+    def exists(self, reference: str) -> bool:
+        return reference in self.leaves
+
+    def references(self, prefix: str = "") -> list[str]:
+        if not prefix:
+            return sorted(self.leaves)
+        return sorted(ref for ref in self.leaves if ref.startswith(prefix))
+
+    def ln_classes(self) -> set[str]:
+        return set(self.ln_references.values())
+
+    def find_ln(self, ln_class: str) -> list[str]:
+        """All ``LD/LN`` prefixes whose class matches."""
+        return sorted(
+            prefix
+            for prefix, klass in self.ln_references.items()
+            if klass == ln_class
+        )
+
+    def snapshot(self) -> dict[str, Any]:
+        return {reference: leaf.value for reference, leaf in self.leaves.items()}
+
+
+def _parse_initial(text: str) -> Any:
+    lowered = text.strip().lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def _infer_btype(value: Any) -> str:
+    if isinstance(value, bool):
+        return "BOOLEAN"
+    if isinstance(value, int):
+        return "INT32"
+    if isinstance(value, float):
+        return "FLOAT32"
+    return "VisString255"

@@ -1,0 +1,242 @@
+"""Protection functions (paper Table II).
+
+Each function follows the standard start/operate sequence: when the
+measured quantity crosses its threshold the function *starts* (``Str``);
+if the condition persists for the configured operate delay it *operates*
+(``Op``) and trips its breaker.  Dropping below the threshold before the
+delay elapses resets the start.
+
+Functions read measurements through callables so they are agnostic about
+where values come from (data model, R-SV stream, point database).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.kernel import MS, SimTime
+
+
+@dataclass(frozen=True)
+class TripEvent:
+    """Emitted when a protection function operates."""
+
+    time_us: int
+    ied_name: str
+    function: str  # LN name, e.g. "PTOC1"
+    fn_type: str
+    breaker: str
+    measured: float
+    threshold: float
+
+    def describe(self) -> str:
+        return (
+            f"[{self.time_us / 1e6:.3f}s] {self.ied_name}/{self.function} "
+            f"({self.fn_type}) tripped breaker {self.breaker}: "
+            f"measured {self.measured:.4g} vs threshold {self.threshold:.4g}"
+        )
+
+
+class ProtectionFunction:
+    """Base start/operate timing logic shared by the threshold functions."""
+
+    fn_type = "BASE"
+
+    def __init__(
+        self,
+        ln_name: str,
+        breaker: str,
+        threshold: float,
+        delay_ms: float,
+        measure: Callable[[], float],
+    ) -> None:
+        self.ln_name = ln_name
+        self.breaker = breaker
+        self.threshold = threshold
+        self.delay_us = int(delay_ms * MS)
+        self.measure = measure
+        self.started = False
+        self.operated = False
+        self._start_time_us: Optional[int] = None
+        self.last_measured = 0.0
+
+    # Subclasses define the pickup condition.
+    def _pickup(self, value: float) -> bool:
+        raise NotImplementedError
+
+    def evaluate(self, now_us: SimTime) -> Optional[TripEvent]:
+        """Advance the start/operate state machine; maybe emit a trip."""
+        value = self.measure()
+        self.last_measured = value
+        if not self._pickup(value):
+            self.started = False
+            self._start_time_us = None
+            # A cleared condition resets a previous operate so the function
+            # can act again after reclosing.
+            self.operated = False
+            return None
+        if not self.started:
+            self.started = True
+            self._start_time_us = now_us
+            if self.delay_us > 0:
+                return None
+        if self.operated:
+            return None
+        assert self._start_time_us is not None
+        if now_us - self._start_time_us >= self.delay_us:
+            self.operated = True
+            return TripEvent(
+                time_us=now_us,
+                ied_name="",
+                function=self.ln_name,
+                fn_type=self.fn_type,
+                breaker=self.breaker,
+                measured=value,
+                threshold=self.threshold,
+            )
+        return None
+
+
+class Ptoc(ProtectionFunction):
+    """Time over-current: trips when current exceeds the threshold."""
+
+    fn_type = "PTOC"
+
+    def _pickup(self, value: float) -> bool:
+        return value > self.threshold
+
+
+class Ptov(ProtectionFunction):
+    """Over-voltage: trips when bus voltage exceeds the threshold."""
+
+    fn_type = "PTOV"
+
+    def _pickup(self, value: float) -> bool:
+        return value > self.threshold
+
+
+class Ptuv(ProtectionFunction):
+    """Under-voltage: trips when bus voltage drops below the threshold.
+
+    A fully dead bus (0 voltage) does not trip — the breaker is presumed
+    already open / the bay de-energized, matching practical relay behaviour
+    (dead-line blocking).
+    """
+
+    fn_type = "PTUV"
+
+    def _pickup(self, value: float) -> bool:
+        return 0.0 < value < self.threshold
+
+
+class Pdif(ProtectionFunction):
+    """Differential protection across two measurement points.
+
+    ``measure`` returns the local current; ``remote`` the far-end current
+    (delivered by R-SV from the partner substation's IED, per §III-B).
+    Trips when ``|local - remote|`` exceeds the threshold.  Returns no trip
+    while the remote stream is stale (``remote_healthy`` false) — a
+    differential scheme without channel data must block.
+    """
+
+    fn_type = "PDIF"
+
+    def __init__(
+        self,
+        ln_name: str,
+        breaker: str,
+        threshold: float,
+        delay_ms: float,
+        measure: Callable[[], float],
+        remote: Callable[[], float],
+        remote_healthy: Callable[[], bool],
+    ) -> None:
+        super().__init__(ln_name, breaker, threshold, delay_ms, measure)
+        self.remote = remote
+        self.remote_healthy = remote_healthy
+        self.last_differential = 0.0
+
+    def _pickup(self, value: float) -> bool:
+        if not self.remote_healthy():
+            self.last_differential = 0.0
+            return False
+        self.last_differential = abs(value - self.remote())
+        return self.last_differential > self.threshold
+
+
+class Cilo:
+    """Interlocking: blocks closing a breaker while a dependency is open.
+
+    Paper Table II: "Prevents a circuit breaker to be closed when a certain
+    circuit breaker is open."  Consulted by the IED's operate path rather
+    than by the scan loop.
+    """
+
+    fn_type = "CILO"
+
+    def __init__(
+        self,
+        ln_name: str,
+        breaker: str,
+        interlock_breaker: str,
+        interlock_closed: Callable[[], bool],
+    ) -> None:
+        self.ln_name = ln_name
+        self.breaker = breaker
+        self.interlock_breaker = interlock_breaker
+        self.interlock_closed = interlock_closed
+        self.blocked_count = 0
+
+    def close_permitted(self) -> bool:
+        permitted = bool(self.interlock_closed())
+        if not permitted:
+            self.blocked_count += 1
+        return permitted
+
+    def open_permitted(self) -> bool:
+        return True  # opening is always allowed
+
+
+class ProtectionEngine:
+    """Evaluates all protection functions each IED scan."""
+
+    def __init__(self, ied_name: str) -> None:
+        self.ied_name = ied_name
+        self.functions: list[ProtectionFunction] = []
+        self.interlocks: list[Cilo] = []
+        self.trips: list[TripEvent] = []
+        self.on_trip: Optional[Callable[[TripEvent], None]] = None
+
+    def add(self, function: ProtectionFunction) -> None:
+        self.functions.append(function)
+
+    def add_interlock(self, interlock: Cilo) -> None:
+        self.interlocks.append(interlock)
+
+    def interlocks_for(self, breaker: str) -> list[Cilo]:
+        return [ilk for ilk in self.interlocks if ilk.breaker == breaker]
+
+    def close_permitted(self, breaker: str) -> bool:
+        """All CILO functions guarding ``breaker`` must permit the close."""
+        return all(ilk.close_permitted() for ilk in self.interlocks_for(breaker))
+
+    def evaluate(self, now_us: SimTime) -> list[TripEvent]:
+        events = []
+        for function in self.functions:
+            event = function.evaluate(now_us)
+            if event is not None:
+                event = TripEvent(
+                    time_us=event.time_us,
+                    ied_name=self.ied_name,
+                    function=event.function,
+                    fn_type=event.fn_type,
+                    breaker=event.breaker,
+                    measured=event.measured,
+                    threshold=event.threshold,
+                )
+                self.trips.append(event)
+                events.append(event)
+                if self.on_trip is not None:
+                    self.on_trip(event)
+        return events

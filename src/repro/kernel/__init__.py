@@ -1,0 +1,34 @@
+"""Discrete-event simulation kernel underpinning the cyber range.
+
+Every component of the cyber range — the network emulator, virtual IEDs,
+PLCs, the SCADA HMI and the power-flow co-simulation loop — runs on a single
+:class:`Simulator`.  Virtual time is kept in integer microseconds so event
+ordering is exact and runs are bit-for-bit reproducible, which the test suite
+and the benchmark harness both rely on.
+
+The paper's artifact runs on wall-clock time (Mininet + real processes); the
+kernel optionally paces virtual time against the wall clock via
+:meth:`Simulator.run_realtime` so interactive use behaves the same way.
+"""
+
+from repro.kernel.simulator import (
+    MS,
+    SECOND,
+    US,
+    Event,
+    PeriodicTask,
+    SimTime,
+    Simulator,
+    SimulatorError,
+)
+
+__all__ = [
+    "Event",
+    "MS",
+    "PeriodicTask",
+    "SECOND",
+    "SimTime",
+    "Simulator",
+    "SimulatorError",
+    "US",
+]

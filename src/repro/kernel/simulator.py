@@ -1,0 +1,249 @@
+"""Deterministic discrete-event simulator.
+
+Design notes
+------------
+* Time is an integer count of **microseconds** (``SimTime``).  Floating point
+  time would make event ordering platform dependent; integer time keeps the
+  co-simulation loop exactly periodic (the paper re-runs the power flow every
+  100 ms — here that is exactly 100_000 ticks).
+* Events scheduled for the same instant fire in scheduling order (a
+  monotonically increasing sequence number breaks ties), so a run is fully
+  deterministic regardless of heap internals.
+* Cancellation is lazy: :meth:`Event.cancel` marks the event and the main
+  loop skips it when popped.  This keeps the hot path allocation-free.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time as _wallclock
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+SimTime = int
+"""Virtual time in integer microseconds."""
+
+#: Convenience conversion constants.
+US = 1
+MS = 1_000
+SECOND = 1_000_000
+
+
+class SimulatorError(RuntimeError):
+    """Raised on kernel misuse (e.g. scheduling into the past)."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.  Returned by :meth:`Simulator.schedule`."""
+
+    when: SimTime
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Safe to call more than once."""
+        self.cancelled = True
+
+
+class PeriodicTask:
+    """A callback re-armed every ``period`` microseconds until stopped.
+
+    The callback receives no arguments; it can read the owning simulator's
+    clock via the ``simulator.now`` property.  Used for IED/PLC scan cycles,
+    SCADA polling and the power-flow tick.
+    """
+
+    def __init__(
+        self,
+        simulator: "Simulator",
+        period: SimTime,
+        callback: Callable[[], None],
+        label: str = "",
+        start_offset: SimTime = 0,
+    ) -> None:
+        if period <= 0:
+            raise SimulatorError(f"period must be positive, got {period}")
+        self._simulator = simulator
+        self.period = period
+        self.callback = callback
+        self.label = label
+        self._event: Optional[Event] = None
+        self._stopped = False
+        self._fired = 0
+        self._arm(start_offset if start_offset > 0 else period)
+
+    @property
+    def fired(self) -> int:
+        """Number of times the callback has run."""
+        return self._fired
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+    def stop(self) -> None:
+        """Stop re-arming; a pending occurrence is cancelled."""
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _arm(self, delay: SimTime) -> None:
+        self._event = self._simulator.schedule(delay, self._fire, label=self.label)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._fired += 1
+        # Re-arm before running the callback so a callback that raises does
+        # not silently kill the task, and so the period is drift-free.
+        self._arm(self.period)
+        self.callback()
+
+
+class Simulator:
+    """Deterministic event loop with integer-microsecond virtual time."""
+
+    def __init__(self) -> None:
+        self._now: SimTime = 0
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._processed = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> SimTime:
+        """Current virtual time in microseconds."""
+        return self._now
+
+    @property
+    def now_seconds(self) -> float:
+        """Current virtual time in seconds (for display only)."""
+        return self._now / SECOND
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events in the queue."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    @property
+    def processed(self) -> int:
+        """Total events executed since construction."""
+        return self._processed
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self, delay: SimTime, callback: Callable[[], None], label: str = ""
+    ) -> Event:
+        """Run ``callback`` after ``delay`` microseconds of virtual time."""
+        if delay < 0:
+            raise SimulatorError(f"cannot schedule into the past (delay={delay})")
+        event = Event(self._now + int(delay), next(self._seq), callback, label)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(
+        self, when: SimTime, callback: Callable[[], None], label: str = ""
+    ) -> Event:
+        """Run ``callback`` at absolute virtual time ``when``."""
+        return self.schedule(when - self._now, callback, label)
+
+    def every(
+        self,
+        period: SimTime,
+        callback: Callable[[], None],
+        label: str = "",
+        start_offset: SimTime = 0,
+    ) -> PeriodicTask:
+        """Create a :class:`PeriodicTask` owned by this simulator."""
+        return PeriodicTask(self, period, callback, label, start_offset)
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the single next event.  Returns ``False`` when idle."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if event.when < self._now:
+                raise SimulatorError(
+                    f"event {event.label!r} scheduled at {event.when} "
+                    f"but clock already at {self._now}"
+                )
+            self._now = event.when
+            self._processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run_until(self, deadline: SimTime) -> None:
+        """Run all events with ``when <= deadline``, then set clock there."""
+        if deadline < self._now:
+            raise SimulatorError(
+                f"deadline {deadline} is before current time {self._now}"
+            )
+        while self._queue:
+            head = self._peek()
+            if head is None or head.when > deadline:
+                break
+            self.step()
+        self._now = deadline
+
+    def run_for(self, duration: SimTime) -> None:
+        """Advance virtual time by ``duration`` microseconds."""
+        self.run_until(self._now + int(duration))
+
+    def run_to_completion(self, max_events: int = 1_000_000) -> int:
+        """Drain the queue entirely; returns events executed.
+
+        Guarded by ``max_events`` because periodic tasks never complete —
+        use :meth:`run_until` for ranges with periodic activity.
+        """
+        executed = 0
+        while executed < max_events and self.step():
+            executed += 1
+        if executed >= max_events and self._peek() is not None:
+            raise SimulatorError(f"exceeded max_events={max_events}; queue not idle")
+        return executed
+
+    def run_realtime(
+        self,
+        duration: SimTime,
+        speed: float = 1.0,
+        sleep: Callable[[float], None] = _wallclock.sleep,
+    ) -> None:
+        """Advance virtual time pacing against the wall clock.
+
+        ``speed`` > 1 runs faster than real time; < 1 slower.  Used by the
+        interactive CLI so HMI observers see second-level dynamics, matching
+        the deployment mode of the paper's artifact.
+        """
+        if speed <= 0:
+            raise SimulatorError(f"speed must be positive, got {speed}")
+        deadline = self._now + int(duration)
+        wall_start = _wallclock.monotonic()
+        sim_start = self._now
+        while self._now < deadline:
+            head = self._peek()
+            next_when = deadline if head is None else min(head.when, deadline)
+            target_wall = wall_start + (next_when - sim_start) / SECOND / speed
+            lag = target_wall - _wallclock.monotonic()
+            if lag > 0:
+                sleep(lag)
+            self.run_until(next_when)
+
+    def _peek(self) -> Optional[Event]:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0] if self._queue else None

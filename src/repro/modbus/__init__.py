@@ -1,0 +1,34 @@
+"""Modbus/TCP client and server.
+
+OpenPLC61850 (the paper's virtual PLC) speaks Modbus northbound to the
+SCADA HMI and MMS southbound to IEDs; this package provides the Modbus leg
+with real MBAP/PDU byte framing (function codes 1-6, 15, 16).
+"""
+
+from repro.modbus.databank import ModbusDataBank
+from repro.modbus.protocol import (
+    MODBUS_PORT,
+    ExceptionCode,
+    FunctionCode,
+    ModbusError,
+    build_request,
+    build_response,
+    parse_request,
+    parse_response,
+)
+from repro.modbus.client import ModbusClient
+from repro.modbus.server import ModbusServer
+
+__all__ = [
+    "ExceptionCode",
+    "FunctionCode",
+    "MODBUS_PORT",
+    "ModbusClient",
+    "ModbusDataBank",
+    "ModbusError",
+    "ModbusServer",
+    "build_request",
+    "build_response",
+    "parse_request",
+    "parse_response",
+]

@@ -1,0 +1,174 @@
+"""Asynchronous Modbus/TCP client (the SCADA HMI's data-source driver)."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.modbus.protocol import (
+    FrameBuffer,
+    FunctionCode,
+    MODBUS_PORT,
+    ModbusError,
+    ModbusRequest,
+    ModbusResponse,
+    build_request,
+    parse_response,
+)
+from repro.netem.host import Host
+from repro.netem.tcp import TcpConnection
+
+ReplyCallback = Callable[[ModbusResponse], None]
+
+
+class ModbusClient:
+    """One TCP connection to a Modbus server, with transaction matching."""
+
+    def __init__(
+        self, host: Host, server_ip: str, port: int = MODBUS_PORT, unit_id: int = 1
+    ) -> None:
+        self.host = host
+        self.server_ip = server_ip
+        self.port = port
+        self.unit_id = unit_id
+        self._connection: Optional[TcpConnection] = None
+        self._buffer = FrameBuffer()
+        self._pending: dict[int, tuple[ModbusRequest, ReplyCallback]] = {}
+        self._transaction_id = 0
+        self._ready_callbacks: list[Callable[[], None]] = []
+        self.on_disconnect: Optional[Callable[[], None]] = None
+
+    def connect(self) -> None:
+        if self._connection is not None:
+            return
+        self._connection = self.host.tcp.connect(
+            self.server_ip,
+            self.port,
+            on_open=self._on_open,
+            on_data=self._on_data,
+            on_close=self._on_close,
+        )
+
+    @property
+    def connected(self) -> bool:
+        return self._connection is not None and self._connection.established
+
+    def when_ready(self, callback: Callable[[], None]) -> None:
+        if self.connected:
+            callback()
+        else:
+            self._ready_callbacks.append(callback)
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    def read_coils(self, address: int, count: int, on_reply: ReplyCallback) -> None:
+        self._send(FunctionCode.READ_COILS, address, count=count, on_reply=on_reply)
+
+    def read_discrete_inputs(
+        self, address: int, count: int, on_reply: ReplyCallback
+    ) -> None:
+        self._send(
+            FunctionCode.READ_DISCRETE_INPUTS, address, count=count, on_reply=on_reply
+        )
+
+    def read_holding_registers(
+        self, address: int, count: int, on_reply: ReplyCallback
+    ) -> None:
+        self._send(
+            FunctionCode.READ_HOLDING_REGISTERS,
+            address,
+            count=count,
+            on_reply=on_reply,
+        )
+
+    def read_input_registers(
+        self, address: int, count: int, on_reply: ReplyCallback
+    ) -> None:
+        self._send(
+            FunctionCode.READ_INPUT_REGISTERS, address, count=count, on_reply=on_reply
+        )
+
+    def write_coil(
+        self, address: int, value: int, on_reply: Optional[ReplyCallback] = None
+    ) -> None:
+        self._send(
+            FunctionCode.WRITE_SINGLE_COIL,
+            address,
+            values=[1 if value else 0],
+            on_reply=on_reply,
+        )
+
+    def write_register(
+        self, address: int, value: int, on_reply: Optional[ReplyCallback] = None
+    ) -> None:
+        self._send(
+            FunctionCode.WRITE_SINGLE_REGISTER,
+            address,
+            values=[value],
+            on_reply=on_reply,
+        )
+
+    def write_registers(
+        self,
+        address: int,
+        values: list[int],
+        on_reply: Optional[ReplyCallback] = None,
+    ) -> None:
+        self._send(
+            FunctionCode.WRITE_MULTIPLE_REGISTERS,
+            address,
+            values=values,
+            on_reply=on_reply,
+        )
+
+    # ------------------------------------------------------------------
+    def _send(
+        self,
+        function: FunctionCode,
+        address: int,
+        count: int = 0,
+        values: Optional[list[int]] = None,
+        on_reply: Optional[ReplyCallback] = None,
+    ) -> None:
+        if not self.connected:
+            raise ModbusError(f"{self.host.name}: modbus client not connected")
+        self._transaction_id = (self._transaction_id + 1) & 0xFFFF
+        request = ModbusRequest(
+            transaction_id=self._transaction_id,
+            unit_id=self.unit_id,
+            function=function,
+            address=address,
+            count=count,
+            values=values or [],
+        )
+        if on_reply is not None:
+            self._pending[request.transaction_id] = (request, on_reply)
+        self._connection.send(build_request(request))
+
+    def _on_open(self) -> None:
+        callbacks, self._ready_callbacks = self._ready_callbacks, []
+        for callback in callbacks:
+            callback()
+
+    def _on_data(self, data: bytes) -> None:
+        for frame in self._buffer.feed(data):
+            transaction_id = int.from_bytes(frame[:2], "big")
+            pending = self._pending.pop(transaction_id, None)
+            if pending is None:
+                continue
+            request, callback = pending
+            try:
+                response = parse_response(frame, request)
+            except ModbusError:
+                continue
+            callback(response)
+
+    def _on_close(self) -> None:
+        self._connection = None
+        self._pending.clear()
+        if self.on_disconnect is not None:
+            self.on_disconnect()

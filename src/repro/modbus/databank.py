@@ -1,0 +1,102 @@
+"""Modbus data model: coils, discrete inputs, holding/input registers.
+
+The PLC runtime maps its IEC 61131 located variables (%QX/%IX/%QW/%IW) into
+a databank; the SCADA HMI polls it over Modbus/TCP.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Optional
+
+
+class ModbusDataBank:
+    """Sparse address → value storage for the four Modbus tables."""
+
+    def __init__(self, size: int = 65536) -> None:
+        self.size = size
+        self.coils: dict[int, int] = {}
+        self.discrete_inputs: dict[int, int] = {}
+        self.holding_registers: dict[int, int] = {}
+        self.input_registers: dict[int, int] = {}
+        #: Called after a client writes a coil/register: (table, address, value).
+        self.on_write: Optional[Callable[[str, int, int], None]] = None
+
+    # -- bits ----------------------------------------------------------
+    def read_coils(self, address: int, count: int) -> list[int]:
+        self._check(address, count)
+        return [self.coils.get(address + i, 0) for i in range(count)]
+
+    def read_discrete_inputs(self, address: int, count: int) -> list[int]:
+        self._check(address, count)
+        return [self.discrete_inputs.get(address + i, 0) for i in range(count)]
+
+    def write_coil(self, address: int, value: int) -> None:
+        self._check(address, 1)
+        self.coils[address] = 1 if value else 0
+        if self.on_write:
+            self.on_write("coil", address, self.coils[address])
+
+    def set_discrete_input(self, address: int, value: int) -> None:
+        self._check(address, 1)
+        self.discrete_inputs[address] = 1 if value else 0
+
+    # -- registers -----------------------------------------------------
+    def read_holding_registers(self, address: int, count: int) -> list[int]:
+        self._check(address, count)
+        return [self.holding_registers.get(address + i, 0) for i in range(count)]
+
+    def read_input_registers(self, address: int, count: int) -> list[int]:
+        self._check(address, count)
+        return [self.input_registers.get(address + i, 0) for i in range(count)]
+
+    def write_register(self, address: int, value: int) -> None:
+        self._check(address, 1)
+        self.holding_registers[address] = value & 0xFFFF
+        if self.on_write:
+            self.on_write("holding", address, value & 0xFFFF)
+
+    def set_input_register(self, address: int, value: int) -> None:
+        self._check(address, 1)
+        self.input_registers[address] = value & 0xFFFF
+
+    def set_holding_register(self, address: int, value: int) -> None:
+        """Server-side update that does not fire ``on_write``."""
+        self._check(address, 1)
+        self.holding_registers[address] = value & 0xFFFF
+
+    # -- float helpers (two registers, big-endian IEEE 754) -------------
+    def set_input_float(self, address: int, value: float) -> None:
+        high, low = struct.unpack(">HH", struct.pack(">f", value))
+        self.set_input_register(address, high)
+        self.set_input_register(address + 1, low)
+
+    def read_input_float(self, address: int) -> float:
+        high = self.input_registers.get(address, 0)
+        low = self.input_registers.get(address + 1, 0)
+        return struct.unpack(">f", struct.pack(">HH", high, low))[0]
+
+    def set_holding_float(self, address: int, value: float) -> None:
+        high, low = struct.unpack(">HH", struct.pack(">f", value))
+        self.set_holding_register(address, high)
+        self.set_holding_register(address + 1, low)
+
+    def read_holding_float(self, address: int) -> float:
+        high = self.holding_registers.get(address, 0)
+        low = self.holding_registers.get(address + 1, 0)
+        return struct.unpack(">f", struct.pack(">HH", high, low))[0]
+
+    # ------------------------------------------------------------------
+    def _check(self, address: int, count: int) -> None:
+        if address < 0 or count < 0 or address + count > self.size:
+            raise IndexError(f"modbus address range {address}+{count} out of bounds")
+
+
+def float_to_registers(value: float) -> tuple[int, int]:
+    """IEEE 754 float32 → (high word, low word)."""
+    high, low = struct.unpack(">HH", struct.pack(">f", value))
+    return high, low
+
+
+def registers_to_float(high: int, low: int) -> float:
+    return struct.unpack(">f", struct.pack(">HH", high & 0xFFFF, low & 0xFFFF))[0]

@@ -1,0 +1,283 @@
+"""Modbus/TCP wire format: MBAP header + PDU.
+
+MBAP: transaction id (2 bytes), protocol id (2, always 0), length (2),
+unit id (1).  PDU: function code (1) + function-specific data.  Exception
+responses set the high bit of the function code.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field
+from typing import Optional
+
+MODBUS_PORT = 502
+_MBAP = struct.Struct(">HHHB")
+
+
+class ModbusError(Exception):
+    """Malformed frame or protocol violation."""
+
+
+class FunctionCode(enum.IntEnum):
+    READ_COILS = 1
+    READ_DISCRETE_INPUTS = 2
+    READ_HOLDING_REGISTERS = 3
+    READ_INPUT_REGISTERS = 4
+    WRITE_SINGLE_COIL = 5
+    WRITE_SINGLE_REGISTER = 6
+    WRITE_MULTIPLE_COILS = 15
+    WRITE_MULTIPLE_REGISTERS = 16
+
+
+class ExceptionCode(enum.IntEnum):
+    ILLEGAL_FUNCTION = 1
+    ILLEGAL_DATA_ADDRESS = 2
+    ILLEGAL_DATA_VALUE = 3
+    SERVER_DEVICE_FAILURE = 4
+
+
+_READ_CODES = {
+    FunctionCode.READ_COILS,
+    FunctionCode.READ_DISCRETE_INPUTS,
+    FunctionCode.READ_HOLDING_REGISTERS,
+    FunctionCode.READ_INPUT_REGISTERS,
+}
+
+
+@dataclass
+class ModbusRequest:
+    transaction_id: int
+    unit_id: int
+    function: FunctionCode
+    address: int
+    count: int = 0  # reads and multiple-writes
+    values: list[int] = field(default_factory=list)  # writes
+
+    @property
+    def is_read(self) -> bool:
+        return self.function in _READ_CODES
+
+
+@dataclass
+class ModbusResponse:
+    transaction_id: int
+    unit_id: int
+    function: int
+    values: list[int] = field(default_factory=list)  # read results
+    address: int = 0  # echoed for writes
+    count: int = 0
+    exception: Optional[ExceptionCode] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.exception is None
+
+
+# ---------------------------------------------------------------------------
+# Building
+# ---------------------------------------------------------------------------
+
+
+def build_request(request: ModbusRequest) -> bytes:
+    function = request.function
+    if request.is_read:
+        pdu = struct.pack(">BHH", function, request.address, request.count)
+    elif function == FunctionCode.WRITE_SINGLE_COIL:
+        value = 0xFF00 if request.values and request.values[0] else 0x0000
+        pdu = struct.pack(">BHH", function, request.address, value)
+    elif function == FunctionCode.WRITE_SINGLE_REGISTER:
+        pdu = struct.pack(
+            ">BHH", function, request.address, request.values[0] & 0xFFFF
+        )
+    elif function == FunctionCode.WRITE_MULTIPLE_COILS:
+        packed = _pack_bits(request.values)
+        pdu = (
+            struct.pack(
+                ">BHHB", function, request.address, len(request.values), len(packed)
+            )
+            + packed
+        )
+    elif function == FunctionCode.WRITE_MULTIPLE_REGISTERS:
+        payload = b"".join(
+            struct.pack(">H", value & 0xFFFF) for value in request.values
+        )
+        pdu = (
+            struct.pack(
+                ">BHHB",
+                function,
+                request.address,
+                len(request.values),
+                len(payload),
+            )
+            + payload
+        )
+    else:
+        raise ModbusError(f"cannot build request for function {function}")
+    return _mbap(request.transaction_id, request.unit_id, pdu)
+
+
+def build_response(
+    request: ModbusRequest,
+    values: Optional[list[int]] = None,
+    exception: Optional[ExceptionCode] = None,
+) -> bytes:
+    if exception is not None:
+        pdu = struct.pack(">BB", request.function | 0x80, exception)
+        return _mbap(request.transaction_id, request.unit_id, pdu)
+    values = values or []
+    function = request.function
+    if function in (FunctionCode.READ_COILS, FunctionCode.READ_DISCRETE_INPUTS):
+        packed = _pack_bits(values)
+        pdu = struct.pack(">BB", function, len(packed)) + packed
+    elif function in (
+        FunctionCode.READ_HOLDING_REGISTERS,
+        FunctionCode.READ_INPUT_REGISTERS,
+    ):
+        payload = b"".join(struct.pack(">H", value & 0xFFFF) for value in values)
+        pdu = struct.pack(">BB", function, len(payload)) + payload
+    elif function == FunctionCode.WRITE_SINGLE_COIL:
+        value = 0xFF00 if request.values and request.values[0] else 0x0000
+        pdu = struct.pack(">BHH", function, request.address, value)
+    elif function == FunctionCode.WRITE_SINGLE_REGISTER:
+        pdu = struct.pack(
+            ">BHH", function, request.address, request.values[0] & 0xFFFF
+        )
+    elif function in (
+        FunctionCode.WRITE_MULTIPLE_COILS,
+        FunctionCode.WRITE_MULTIPLE_REGISTERS,
+    ):
+        pdu = struct.pack(">BHH", function, request.address, len(request.values))
+    else:
+        raise ModbusError(f"cannot build response for function {function}")
+    return _mbap(request.transaction_id, request.unit_id, pdu)
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+
+class FrameBuffer:
+    """Reassembles MBAP frames from a TCP stream."""
+
+    def __init__(self) -> None:
+        self._buffer = b""
+
+    def feed(self, data: bytes) -> list[bytes]:
+        self._buffer += data
+        frames = []
+        while len(self._buffer) >= 7:
+            _, _, length, _ = _MBAP.unpack(self._buffer[:7])
+            total = 6 + length
+            if len(self._buffer) < total:
+                break
+            frames.append(self._buffer[:total])
+            self._buffer = self._buffer[total:]
+        return frames
+
+
+def parse_request(frame: bytes) -> ModbusRequest:
+    transaction_id, unit_id, pdu = _split(frame)
+    if not pdu:
+        raise ModbusError("empty PDU")
+    try:
+        function = FunctionCode(pdu[0])
+    except ValueError as exc:
+        raise ModbusError(f"unsupported function code {pdu[0]}") from exc
+    request = ModbusRequest(
+        transaction_id=transaction_id, unit_id=unit_id, function=function, address=0
+    )
+    if function in _READ_CODES:
+        request.address, request.count = struct.unpack(">HH", pdu[1:5])
+    elif function == FunctionCode.WRITE_SINGLE_COIL:
+        address, raw = struct.unpack(">HH", pdu[1:5])
+        request.address = address
+        request.values = [1 if raw == 0xFF00 else 0]
+    elif function == FunctionCode.WRITE_SINGLE_REGISTER:
+        request.address, value = struct.unpack(">HH", pdu[1:5])
+        request.values = [value]
+    elif function == FunctionCode.WRITE_MULTIPLE_COILS:
+        address, count, byte_count = struct.unpack(">HHB", pdu[1:6])
+        request.address = address
+        request.values = _unpack_bits(pdu[6 : 6 + byte_count], count)
+    elif function == FunctionCode.WRITE_MULTIPLE_REGISTERS:
+        address, count, byte_count = struct.unpack(">HHB", pdu[1:6])
+        request.address = address
+        request.values = [
+            struct.unpack(">H", pdu[6 + 2 * i : 8 + 2 * i])[0] for i in range(count)
+        ]
+    return request
+
+
+def parse_response(frame: bytes, request: ModbusRequest) -> ModbusResponse:
+    transaction_id, unit_id, pdu = _split(frame)
+    if not pdu:
+        raise ModbusError("empty PDU")
+    function = pdu[0]
+    if function & 0x80:
+        return ModbusResponse(
+            transaction_id=transaction_id,
+            unit_id=unit_id,
+            function=function & 0x7F,
+            exception=ExceptionCode(pdu[1]),
+        )
+    response = ModbusResponse(
+        transaction_id=transaction_id, unit_id=unit_id, function=function
+    )
+    code = FunctionCode(function)
+    if code in (FunctionCode.READ_COILS, FunctionCode.READ_DISCRETE_INPUTS):
+        byte_count = pdu[1]
+        response.values = _unpack_bits(pdu[2 : 2 + byte_count], request.count)
+    elif code in (
+        FunctionCode.READ_HOLDING_REGISTERS,
+        FunctionCode.READ_INPUT_REGISTERS,
+    ):
+        byte_count = pdu[1]
+        response.values = [
+            struct.unpack(">H", pdu[2 + 2 * i : 4 + 2 * i])[0]
+            for i in range(byte_count // 2)
+        ]
+    elif code in (FunctionCode.WRITE_SINGLE_COIL, FunctionCode.WRITE_SINGLE_REGISTER):
+        response.address, value = struct.unpack(">HH", pdu[1:5])
+        response.values = [value]
+    elif code in (
+        FunctionCode.WRITE_MULTIPLE_COILS,
+        FunctionCode.WRITE_MULTIPLE_REGISTERS,
+    ):
+        response.address, response.count = struct.unpack(">HH", pdu[1:5])
+    return response
+
+
+# ---------------------------------------------------------------------------
+
+
+def _mbap(transaction_id: int, unit_id: int, pdu: bytes) -> bytes:
+    return _MBAP.pack(transaction_id, 0, len(pdu) + 1, unit_id) + pdu
+
+
+def _split(frame: bytes) -> tuple[int, int, bytes]:
+    if len(frame) < 8:
+        raise ModbusError(f"frame too short ({len(frame)} bytes)")
+    transaction_id, protocol_id, length, unit_id = _MBAP.unpack(frame[:7])
+    if protocol_id != 0:
+        raise ModbusError(f"bad protocol id {protocol_id}")
+    pdu = frame[7 : 6 + length]
+    return transaction_id, unit_id, pdu
+
+
+def _pack_bits(values: list[int]) -> bytes:
+    packed = bytearray((len(values) + 7) // 8)
+    for i, value in enumerate(values):
+        if value:
+            packed[i // 8] |= 1 << (i % 8)
+    return bytes(packed)
+
+
+def _unpack_bits(data: bytes, count: int) -> list[int]:
+    bits = []
+    for i in range(count):
+        byte = data[i // 8] if i // 8 < len(data) else 0
+        bits.append((byte >> (i % 8)) & 1)
+    return bits

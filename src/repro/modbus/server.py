@@ -1,0 +1,99 @@
+"""Modbus/TCP server bound to a virtual host."""
+
+from __future__ import annotations
+
+from repro.modbus.databank import ModbusDataBank
+from repro.modbus.protocol import (
+    ExceptionCode,
+    FrameBuffer,
+    FunctionCode,
+    MODBUS_PORT,
+    ModbusError,
+    ModbusRequest,
+    build_response,
+    parse_request,
+)
+from repro.netem.host import Host
+from repro.netem.tcp import TcpConnection
+
+
+class ModbusServer:
+    """Serves a :class:`ModbusDataBank` on TCP port 502."""
+
+    def __init__(
+        self, host: Host, databank: ModbusDataBank, port: int = MODBUS_PORT
+    ) -> None:
+        self.host = host
+        self.databank = databank
+        self.port = port
+        self.request_count = 0
+        self.started = False
+
+    def start(self) -> None:
+        if self.started:
+            return
+        self.host.tcp.listen(self.port, self._on_accept)
+        self.started = True
+
+    def _on_accept(self, connection: TcpConnection) -> None:
+        buffer = FrameBuffer()
+        connection.on_data = lambda data: self._on_data(connection, buffer, data)
+
+    def _on_data(
+        self, connection: TcpConnection, buffer: FrameBuffer, data: bytes
+    ) -> None:
+        for frame in buffer.feed(data):
+            try:
+                request = parse_request(frame)
+            except ModbusError:
+                continue
+            connection.send(self._serve(request))
+
+    def _serve(self, request: ModbusRequest) -> bytes:
+        self.request_count += 1
+        bank = self.databank
+        try:
+            if request.function == FunctionCode.READ_COILS:
+                return build_response(
+                    request, bank.read_coils(request.address, request.count)
+                )
+            if request.function == FunctionCode.READ_DISCRETE_INPUTS:
+                return build_response(
+                    request,
+                    bank.read_discrete_inputs(request.address, request.count),
+                )
+            if request.function == FunctionCode.READ_HOLDING_REGISTERS:
+                return build_response(
+                    request,
+                    bank.read_holding_registers(request.address, request.count),
+                )
+            if request.function == FunctionCode.READ_INPUT_REGISTERS:
+                return build_response(
+                    request,
+                    bank.read_input_registers(request.address, request.count),
+                )
+            if request.function == FunctionCode.WRITE_SINGLE_COIL:
+                bank.write_coil(request.address, request.values[0])
+                return build_response(request)
+            if request.function == FunctionCode.WRITE_SINGLE_REGISTER:
+                bank.write_register(request.address, request.values[0])
+                return build_response(request)
+            if request.function == FunctionCode.WRITE_MULTIPLE_COILS:
+                for offset, value in enumerate(request.values):
+                    bank.write_coil(request.address + offset, value)
+                return build_response(request)
+            if request.function == FunctionCode.WRITE_MULTIPLE_REGISTERS:
+                for offset, value in enumerate(request.values):
+                    bank.write_register(request.address + offset, value)
+                return build_response(request)
+            return build_response(
+                request, exception=ExceptionCode.ILLEGAL_FUNCTION
+            )
+        except IndexError:
+            return build_response(
+                request, exception=ExceptionCode.ILLEGAL_DATA_ADDRESS
+            )
+        except Exception:
+            return build_response(
+                request, exception=ExceptionCode.SERVER_DEVICE_FAILURE
+            )

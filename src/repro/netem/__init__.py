@@ -1,0 +1,80 @@
+"""Discrete-event L2/L3 network emulator (Mininet substitute).
+
+The paper launches its cyber topology on Mininet: hosts for IEDs/PLC/SCADA
+connected through Ethernet switches, as extracted from the SCD file.  This
+package reproduces that environment inside the simulation kernel:
+
+* :class:`VirtualNetwork` — container; builds hosts, switches and links.
+* :class:`Host` — full ARP + IPv4 + UDP + TCP endpoint with raw-Ethernet
+  hooks (used by GOOSE) and attacker-grade facilities: promiscuous packet
+  interception, IP forwarding, and forged-frame transmission.
+* :class:`Switch` — transparent learning bridge; floods unknown unicast,
+  broadcast and multicast (GOOSE uses multicast MACs).
+* :class:`Link` — propagation latency + serialisation delay from the
+  configured bandwidth, plus failure/loss injection hooks.
+
+Determinism: all delivery happens on the shared :class:`repro.kernel.Simulator`;
+loss injection uses a seeded RNG, so experiments replay exactly.
+
+Vulnerability realism: ARP caches accept unsolicited replies, exactly the
+weakness the paper's MITM case study (Fig. 6) exploits.
+"""
+
+from repro.netem.addresses import (
+    BROADCAST_MAC,
+    format_mac,
+    ip_in_subnet,
+    is_multicast_mac,
+    mac_for_index,
+)
+from repro.netem.frames import (
+    ArpOp,
+    ArpPacket,
+    ETHERTYPE_ARP,
+    ETHERTYPE_GOOSE,
+    ETHERTYPE_IPV4,
+    ETHERTYPE_SV,
+    EthernetFrame,
+    Ipv4Packet,
+    PROTO_TCP,
+    PROTO_UDP,
+    TcpFlags,
+    TcpSegment,
+    UdpDatagram,
+)
+from repro.netem.capture import CapturedFrame, PacketCapture
+from repro.netem.host import Host, UdpSocket
+from repro.netem.link import Link
+from repro.netem.network import NetemError, VirtualNetwork
+from repro.netem.switch import Switch
+from repro.netem.tcp import TcpConnection
+
+__all__ = [
+    "ArpOp",
+    "ArpPacket",
+    "BROADCAST_MAC",
+    "CapturedFrame",
+    "ETHERTYPE_ARP",
+    "ETHERTYPE_GOOSE",
+    "ETHERTYPE_IPV4",
+    "ETHERTYPE_SV",
+    "EthernetFrame",
+    "Host",
+    "Ipv4Packet",
+    "Link",
+    "NetemError",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "PacketCapture",
+    "Switch",
+    "TcpConnection",
+    "TcpFlags",
+    "TcpSegment",
+    "UdpDatagram",
+    "UdpSocket",
+    "VirtualNetwork",
+    "format_mac",
+    "ip_in_subnet",
+    "is_multicast_mac",
+    "mac_for_index",
+]

@@ -1,0 +1,84 @@
+"""MAC / IPv4 address helpers.
+
+Addresses are plain strings (``"00:1a:22:00:00:01"``, ``"10.0.1.11"``) so
+they round-trip unchanged from SCL ``Address`` elements; helpers validate and
+compute with them.
+"""
+
+from __future__ import annotations
+
+import re
+
+BROADCAST_MAC = "ff:ff:ff:ff:ff:ff"
+
+#: IEC 61850 GOOSE destination multicast range starts at 01:0c:cd:01.
+GOOSE_MULTICAST_PREFIX = "01:0c:cd:01"
+#: Sampled Values multicast range.
+SV_MULTICAST_PREFIX = "01:0c:cd:04"
+
+_MAC_RE = re.compile(r"^([0-9a-fA-F]{2}:){5}[0-9a-fA-F]{2}$")
+_IP_RE = re.compile(r"^(\d{1,3})\.(\d{1,3})\.(\d{1,3})\.(\d{1,3})$")
+
+
+def is_valid_mac(mac: str) -> bool:
+    return bool(_MAC_RE.match(mac))
+
+
+def is_valid_ip(ip: str) -> bool:
+    match = _IP_RE.match(ip)
+    if not match:
+        return False
+    return all(0 <= int(octet) <= 255 for octet in match.groups())
+
+
+def format_mac(value: int) -> str:
+    """48-bit integer → colon-separated MAC string."""
+    if not 0 <= value < 1 << 48:
+        raise ValueError(f"MAC value out of range: {value}")
+    raw = value.to_bytes(6, "big")
+    return ":".join(f"{byte:02x}" for byte in raw)
+
+
+def mac_for_index(index: int, oui: str = "00:1a:22") -> str:
+    """Deterministic locally-administered MAC for generated nodes."""
+    if not 0 <= index < 1 << 24:
+        raise ValueError(f"index out of range for MAC generation: {index}")
+    tail = index.to_bytes(3, "big")
+    return oui + ":" + ":".join(f"{byte:02x}" for byte in tail)
+
+
+def is_multicast_mac(mac: str) -> bool:
+    """True for group-addressed frames (includes broadcast)."""
+    try:
+        first_octet = int(mac.split(":", 1)[0], 16)
+    except (ValueError, IndexError):
+        return False
+    return bool(first_octet & 0x01)
+
+
+def ip_to_int(ip: str) -> int:
+    if not is_valid_ip(ip):
+        raise ValueError(f"invalid IPv4 address {ip!r}")
+    octets = [int(part) for part in ip.split(".")]
+    return (octets[0] << 24) | (octets[1] << 16) | (octets[2] << 8) | octets[3]
+
+
+def int_to_ip(value: int) -> str:
+    if not 0 <= value < 1 << 32:
+        raise ValueError(f"IPv4 value out of range: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def ip_in_subnet(ip: str, network_ip: str, mask: str) -> bool:
+    """True when ``ip`` is inside ``network_ip``/``mask``."""
+    mask_int = ip_to_int(mask)
+    return (ip_to_int(ip) & mask_int) == (ip_to_int(network_ip) & mask_int)
+
+
+def is_multicast_ip(ip: str) -> bool:
+    """224.0.0.0/4 — used by R-GOOSE / R-SV group delivery."""
+    try:
+        first_octet = int(ip.split(".", 1)[0])
+    except (ValueError, IndexError):
+        return False
+    return 224 <= first_octet <= 239

@@ -1,0 +1,71 @@
+"""Packet capture — the emulator's tcpdump.
+
+A :class:`PacketCapture` can be attached to any link; every frame crossing
+the link in either direction is recorded with its virtual timestamp.  Used
+by tests, by attack forensics in the examples, and by the MITM bench to show
+the falsified measurement on the wire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.netem.frames import EthernetFrame
+
+
+@dataclass(frozen=True)
+class CapturedFrame:
+    time_us: int
+    link: str
+    direction: str  # "a->b" or "b->a"
+    frame: EthernetFrame
+
+    def describe(self) -> str:
+        return f"[{self.time_us / 1e6:.6f}s {self.link} {self.direction}] {self.frame.describe()}"
+
+
+class PacketCapture:
+    """Accumulates frames matching an optional filter predicate."""
+
+    def __init__(
+        self,
+        name: str = "capture",
+        frame_filter: Optional[Callable[[EthernetFrame], bool]] = None,
+        max_frames: int = 100_000,
+    ) -> None:
+        self.name = name
+        self.frames: list[CapturedFrame] = []
+        self._filter = frame_filter
+        self._max_frames = max_frames
+
+    def record(
+        self, time_us: int, link: str, direction: str, frame: EthernetFrame
+    ) -> None:
+        if self._filter is not None and not self._filter(frame):
+            return
+        if len(self.frames) >= self._max_frames:
+            return
+        self.frames.append(CapturedFrame(time_us, link, direction, frame))
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    def clear(self) -> None:
+        self.frames.clear()
+
+    def by_ethertype(self, ethertype: int) -> list[CapturedFrame]:
+        return [
+            captured
+            for captured in self.frames
+            if captured.frame.ethertype == ethertype
+        ]
+
+    def summary(self) -> dict[int, int]:
+        """Ethertype → frame count."""
+        counts: dict[int, int] = {}
+        for captured in self.frames:
+            counts[captured.frame.ethertype] = (
+                counts.get(captured.frame.ethertype, 0) + 1
+            )
+        return counts

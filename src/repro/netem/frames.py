@@ -1,0 +1,151 @@
+"""Frame / packet dataclasses for the emulated network.
+
+Payloads are Python ``bytes`` produced by the protocol codecs
+(:mod:`repro.iec61850.codec`, :mod:`repro.modbus`), so what travels over the
+virtual wire is a real byte string an attacker tap can inspect or rewrite —
+the property the MITM case study needs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional, Union
+
+ETHERTYPE_IPV4 = 0x0800
+ETHERTYPE_ARP = 0x0806
+ETHERTYPE_GOOSE = 0x88B8
+ETHERTYPE_SV = 0x88BA
+
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+#: Fixed header overheads used for serialisation-delay accounting (bytes).
+ETHERNET_OVERHEAD = 18
+IPV4_OVERHEAD = 20
+UDP_OVERHEAD = 8
+TCP_OVERHEAD = 20
+
+
+class ArpOp(enum.IntEnum):
+    REQUEST = 1
+    REPLY = 2
+
+
+@dataclass(frozen=True)
+class ArpPacket:
+    """ARP request/reply body."""
+
+    op: ArpOp
+    sender_mac: str
+    sender_ip: str
+    target_mac: str
+    target_ip: str
+
+    @property
+    def size(self) -> int:
+        return 28
+
+
+@dataclass(frozen=True)
+class UdpDatagram:
+    src_port: int
+    dst_port: int
+    payload: bytes
+
+    @property
+    def size(self) -> int:
+        return UDP_OVERHEAD + len(self.payload)
+
+
+class TcpFlags(enum.IntFlag):
+    NONE = 0
+    SYN = 1
+    ACK = 2
+    FIN = 4
+    RST = 8
+
+
+@dataclass(frozen=True)
+class TcpSegment:
+    src_port: int
+    dst_port: int
+    seq: int
+    ack: int
+    flags: TcpFlags
+    payload: bytes = b""
+
+    @property
+    def size(self) -> int:
+        return TCP_OVERHEAD + len(self.payload)
+
+    def describe(self) -> str:
+        names = [flag.name for flag in TcpFlags if flag and flag in self.flags]
+        return (
+            f"TCP {self.src_port}->{self.dst_port} "
+            f"[{'|'.join(names) or '.'}] seq={self.seq} ack={self.ack} "
+            f"len={len(self.payload)}"
+        )
+
+
+@dataclass(frozen=True)
+class Ipv4Packet:
+    src_ip: str
+    dst_ip: str
+    protocol: int
+    payload: Union[UdpDatagram, TcpSegment, bytes]
+    ttl: int = 64
+
+    @property
+    def size(self) -> int:
+        inner = (
+            self.payload.size
+            if isinstance(self.payload, (UdpDatagram, TcpSegment))
+            else len(self.payload)
+        )
+        return IPV4_OVERHEAD + inner
+
+    def decremented(self) -> "Ipv4Packet":
+        return replace(self, ttl=self.ttl - 1)
+
+
+@dataclass(frozen=True)
+class EthernetFrame:
+    """An Ethernet II frame on the virtual wire."""
+
+    src_mac: str
+    dst_mac: str
+    ethertype: int
+    payload: Union[ArpPacket, Ipv4Packet, bytes]
+    #: Optional VLAN id (GOOSE traffic is commonly VLAN-tagged).
+    vlan: Optional[int] = None
+    #: Metadata for captures; not visible to receivers.
+    meta: dict = field(default_factory=dict, compare=False)
+
+    @property
+    def size(self) -> int:
+        inner = (
+            self.payload.size
+            if isinstance(self.payload, (ArpPacket, Ipv4Packet))
+            else len(self.payload)
+        )
+        return ETHERNET_OVERHEAD + inner + (4 if self.vlan is not None else 0)
+
+    def describe(self) -> str:
+        if self.ethertype == ETHERTYPE_ARP and isinstance(self.payload, ArpPacket):
+            arp = self.payload
+            kind = "request" if arp.op == ArpOp.REQUEST else "reply"
+            return (
+                f"ARP {kind} {arp.sender_ip}({arp.sender_mac}) -> {arp.target_ip}"
+            )
+        if self.ethertype == ETHERTYPE_IPV4 and isinstance(self.payload, Ipv4Packet):
+            packet = self.payload
+            proto = {PROTO_TCP: "TCP", PROTO_UDP: "UDP"}.get(
+                packet.protocol, str(packet.protocol)
+            )
+            return f"IPv4 {packet.src_ip} -> {packet.dst_ip} {proto}"
+        if self.ethertype == ETHERTYPE_GOOSE:
+            return f"GOOSE {self.src_mac} -> {self.dst_mac}"
+        if self.ethertype == ETHERTYPE_SV:
+            return f"SV {self.src_mac} -> {self.dst_mac}"
+        return f"ETH 0x{self.ethertype:04x} {self.src_mac} -> {self.dst_mac}"

@@ -1,0 +1,386 @@
+"""Virtual host: ARP + IPv4 + UDP + TCP endpoint with attack hooks.
+
+Every device of the cyber range (virtual IED, PLC, SCADA HMI, attacker box)
+is a :class:`Host`.  The ARP implementation is deliberately faithful to the
+protocol's trusting design: caches accept unsolicited replies, which is the
+vulnerability the paper's MITM case study (ARP spoofing) exploits.
+
+Attack-relevant facilities:
+
+* ``packet_interceptor`` — a hook that sees every incoming frame first and
+  may consume it (used by the MITM pipeline to rewrite measurements).
+* ``ip_forward`` — forward packets not addressed to this host (so a
+  spoofing attacker can remain transparent).
+* :meth:`send_frame` — emit an arbitrary forged frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.kernel import MS, Simulator
+from repro.netem.addresses import (
+    BROADCAST_MAC,
+    ip_in_subnet,
+    is_multicast_ip,
+    is_multicast_mac,
+)
+from repro.netem.frames import (
+    ArpOp,
+    ArpPacket,
+    ETHERTYPE_ARP,
+    ETHERTYPE_IPV4,
+    EthernetFrame,
+    Ipv4Packet,
+    PROTO_TCP,
+    PROTO_UDP,
+    TcpSegment,
+    UdpDatagram,
+)
+from repro.netem.node import Node, Port
+from repro.netem.tcp import TcpStack
+
+ARP_RETRY_US = 100 * MS
+ARP_MAX_RETRIES = 3
+#: Cache entries expire after this long (Linux default reachable time is
+#: ~30 s); expiry is what lets a network *recover* after ARP spoofing stops.
+ARP_CACHE_TTL_US = 30 * 1_000_000
+
+
+def multicast_ip_to_mac(ip: str) -> str:
+    """RFC 1112 mapping of a multicast IP to its group MAC."""
+    octets = [int(part) for part in ip.split(".")]
+    return (
+        f"01:00:5e:{octets[1] & 0x7F:02x}:{octets[2]:02x}:{octets[3]:02x}"
+    )
+
+
+@dataclass
+class _PendingArp:
+    packets: list[Ipv4Packet] = field(default_factory=list)
+    retries: int = 0
+
+
+class UdpSocket:
+    """A bound UDP port delivering datagrams to a callback."""
+
+    def __init__(
+        self,
+        host: "Host",
+        port: int,
+        on_datagram: Callable[[str, int, bytes], None],
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.on_datagram = on_datagram
+        self.rx_count = 0
+
+    def sendto(self, dst_ip: str, dst_port: int, payload: bytes) -> None:
+        datagram = UdpDatagram(
+            src_port=self.port, dst_port=dst_port, payload=payload
+        )
+        self.host.send_ip(dst_ip, PROTO_UDP, datagram)
+
+    def close(self) -> None:
+        self.host._udp_sockets.pop(self.port, None)
+
+
+class Host(Node):
+    """An endpoint with one network interface (port 0)."""
+
+    def __init__(
+        self,
+        name: str,
+        simulator: Simulator,
+        mac: str,
+        ip: str,
+        subnet_mask: str = "255.255.255.0",
+        gateway: str = "",
+    ) -> None:
+        super().__init__(name, simulator)
+        self.mac = mac
+        self.ip = ip
+        self.subnet_mask = subnet_mask
+        self.gateway = gateway
+        self.add_port()
+        # ARP.
+        self.arp_table: dict[str, str] = {}
+        self.arp_ttl_us = ARP_CACHE_TTL_US
+        self._arp_learned: dict[str, int] = {}
+        self._pending_arp: dict[str, _PendingArp] = {}
+        self.arp_events: list[tuple[int, ArpPacket]] = []  # forensics
+        # Transport.
+        self._udp_sockets: dict[int, UdpSocket] = {}
+        self.tcp = TcpStack(self)
+        self._multicast_groups: set[str] = set()
+        # Raw Ethernet (GOOSE / SV).
+        self._ethertype_handlers: dict[int, list[Callable[[EthernetFrame], None]]] = {}
+        # Attack hooks.
+        self.packet_interceptor: Optional[Callable[[EthernetFrame], bool]] = None
+        self.ip_forward = False
+        self.promiscuous = False
+        # Counters.
+        self.rx_dropped = 0
+        self.forwarded = 0
+
+    @property
+    def port(self) -> Port:
+        return self.ports[0]
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send_frame(self, frame: EthernetFrame) -> None:
+        """Emit a raw (possibly forged) frame on the wire."""
+        self.port.send(frame)
+
+    def send_ethernet(
+        self, dst_mac: str, ethertype: int, payload: bytes
+    ) -> None:
+        """L2 send with this host's real MAC (GOOSE publishers use this)."""
+        self.send_frame(
+            EthernetFrame(
+                src_mac=self.mac,
+                dst_mac=dst_mac,
+                ethertype=ethertype,
+                payload=payload,
+            )
+        )
+
+    def send_ip(self, dst_ip: str, protocol: int, payload) -> None:
+        """Route an IPv4 payload: local subnet direct, else via gateway."""
+        packet = Ipv4Packet(
+            src_ip=self.ip, dst_ip=dst_ip, protocol=protocol, payload=payload
+        )
+        self._route(packet)
+
+    def _route(self, packet: Ipv4Packet) -> None:
+        dst_ip = packet.dst_ip
+        if is_multicast_ip(dst_ip):
+            self._transmit_ip(packet, multicast_ip_to_mac(dst_ip))
+            return
+        if dst_ip == "255.255.255.255":
+            self._transmit_ip(packet, BROADCAST_MAC)
+            return
+        if ip_in_subnet(dst_ip, self.ip, self.subnet_mask) or not self.gateway:
+            next_hop = dst_ip
+        else:
+            next_hop = self.gateway
+        mac = self._arp_lookup(next_hop)
+        if mac is None:
+            self._queue_for_arp(next_hop, packet)
+            return
+        self._transmit_ip(packet, mac)
+
+    def _arp_lookup(self, ip: str) -> Optional[str]:
+        """Cache lookup honouring the entry TTL (expired → None)."""
+        mac = self.arp_table.get(ip)
+        if mac is None:
+            return None
+        learned = self._arp_learned.get(ip, 0)
+        if self.simulator.now - learned > self.arp_ttl_us:
+            del self.arp_table[ip]
+            self._arp_learned.pop(ip, None)
+            return None
+        return mac
+
+    def _transmit_ip(self, packet: Ipv4Packet, dst_mac: str) -> None:
+        self.send_frame(
+            EthernetFrame(
+                src_mac=self.mac,
+                dst_mac=dst_mac,
+                ethertype=ETHERTYPE_IPV4,
+                payload=packet,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # ARP
+    # ------------------------------------------------------------------
+    def _queue_for_arp(self, next_hop: str, packet: Ipv4Packet) -> None:
+        pending = self._pending_arp.get(next_hop)
+        if pending is None:
+            pending = _PendingArp()
+            self._pending_arp[next_hop] = pending
+            self._send_arp_request(next_hop)
+            self._arm_arp_retry(next_hop)
+        pending.packets.append(packet)
+
+    def _send_arp_request(self, target_ip: str) -> None:
+        request = ArpPacket(
+            op=ArpOp.REQUEST,
+            sender_mac=self.mac,
+            sender_ip=self.ip,
+            target_mac="00:00:00:00:00:00",
+            target_ip=target_ip,
+        )
+        self.send_frame(
+            EthernetFrame(
+                src_mac=self.mac,
+                dst_mac=BROADCAST_MAC,
+                ethertype=ETHERTYPE_ARP,
+                payload=request,
+            )
+        )
+
+    def _arm_arp_retry(self, target_ip: str) -> None:
+        def retry() -> None:
+            pending = self._pending_arp.get(target_ip)
+            if pending is None:
+                return
+            if target_ip in self.arp_table:
+                return
+            pending.retries += 1
+            if pending.retries > ARP_MAX_RETRIES:
+                self.rx_dropped += len(pending.packets)
+                del self._pending_arp[target_ip]
+                return
+            self._send_arp_request(target_ip)
+            self._arm_arp_retry(target_ip)
+
+        self.simulator.schedule(ARP_RETRY_US, retry, label=f"arp-retry:{self.name}")
+
+    def send_gratuitous_arp(
+        self, claimed_ip: str, claimed_mac: Optional[str] = None
+    ) -> None:
+        """Announce ``claimed_ip`` is at ``claimed_mac`` (default: our MAC).
+
+        This is the ARP-spoofing primitive: announcing someone else's IP
+        poisons every listening cache on the segment.
+        """
+        mac = claimed_mac or self.mac
+        reply = ArpPacket(
+            op=ArpOp.REPLY,
+            sender_mac=mac,
+            sender_ip=claimed_ip,
+            target_mac=BROADCAST_MAC,
+            target_ip=claimed_ip,
+        )
+        self.send_frame(
+            EthernetFrame(
+                src_mac=self.mac,
+                dst_mac=BROADCAST_MAC,
+                ethertype=ETHERTYPE_ARP,
+                payload=reply,
+            )
+        )
+
+    def _handle_arp(self, frame: EthernetFrame) -> None:
+        arp = frame.payload
+        if not isinstance(arp, ArpPacket):
+            return
+        self.arp_events.append((self.simulator.now, arp))
+        # Trusting cache update — this is ARP's real (insecure) behaviour.
+        if arp.sender_ip and arp.sender_ip != self.ip:
+            self.arp_table[arp.sender_ip] = arp.sender_mac
+            self._arp_learned[arp.sender_ip] = self.simulator.now
+            self._flush_pending(arp.sender_ip)
+        if arp.op == ArpOp.REQUEST and arp.target_ip == self.ip:
+            reply = ArpPacket(
+                op=ArpOp.REPLY,
+                sender_mac=self.mac,
+                sender_ip=self.ip,
+                target_mac=arp.sender_mac,
+                target_ip=arp.sender_ip,
+            )
+            self.send_frame(
+                EthernetFrame(
+                    src_mac=self.mac,
+                    dst_mac=arp.sender_mac,
+                    ethertype=ETHERTYPE_ARP,
+                    payload=reply,
+                )
+            )
+
+    def _flush_pending(self, next_hop: str) -> None:
+        pending = self._pending_arp.pop(next_hop, None)
+        if pending is None:
+            return
+        mac = self.arp_table[next_hop]
+        for packet in pending.packets:
+            self._transmit_ip(packet, mac)
+
+    # ------------------------------------------------------------------
+    # UDP / multicast
+    # ------------------------------------------------------------------
+    def udp_bind(
+        self, port: int, on_datagram: Callable[[str, int, bytes], None]
+    ) -> UdpSocket:
+        if port in self._udp_sockets:
+            raise ValueError(f"{self.name}: UDP port {port} already bound")
+        socket = UdpSocket(self, port, on_datagram)
+        self._udp_sockets[port] = socket
+        return socket
+
+    def join_multicast_group(self, group_ip: str) -> None:
+        self._multicast_groups.add(group_ip)
+
+    def leave_multicast_group(self, group_ip: str) -> None:
+        self._multicast_groups.discard(group_ip)
+
+    # ------------------------------------------------------------------
+    # Raw ethertype handlers (GOOSE / SV subscribers)
+    # ------------------------------------------------------------------
+    def register_ethertype_handler(
+        self, ethertype: int, handler: Callable[[EthernetFrame], None]
+    ) -> None:
+        self._ethertype_handlers.setdefault(ethertype, []).append(handler)
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+    def on_frame(self, frame: EthernetFrame, port: Port) -> None:
+        if self.packet_interceptor is not None and self.packet_interceptor(frame):
+            return
+        if frame.ethertype == ETHERTYPE_ARP:
+            self._handle_arp(frame)
+            return
+        handlers = self._ethertype_handlers.get(frame.ethertype)
+        if handlers:
+            for handler in list(handlers):
+                handler(frame)
+            return
+        if frame.ethertype == ETHERTYPE_IPV4:
+            self._handle_ipv4(frame)
+            return
+        self.rx_dropped += 1
+
+    def _handle_ipv4(self, frame: EthernetFrame) -> None:
+        packet = frame.payload
+        if not isinstance(packet, Ipv4Packet):
+            return
+        addressed_to_us = frame.dst_mac == self.mac or is_multicast_mac(
+            frame.dst_mac
+        )
+        if not addressed_to_us and not self.promiscuous:
+            self.rx_dropped += 1
+            return
+        for_our_ip = (
+            packet.dst_ip == self.ip
+            or packet.dst_ip == "255.255.255.255"
+            or packet.dst_ip in self._multicast_groups
+        )
+        if for_our_ip:
+            self._deliver_ipv4(packet)
+        elif self.ip_forward and packet.ttl > 1:
+            self.forwarded += 1
+            self._route(packet.decremented())
+        else:
+            self.rx_dropped += 1
+
+    def _deliver_ipv4(self, packet: Ipv4Packet) -> None:
+        if packet.protocol == PROTO_UDP and isinstance(packet.payload, UdpDatagram):
+            datagram = packet.payload
+            socket = self._udp_sockets.get(datagram.dst_port)
+            if socket is not None:
+                socket.rx_count += 1
+                socket.on_datagram(
+                    packet.src_ip, datagram.src_port, datagram.payload
+                )
+            else:
+                self.rx_dropped += 1
+        elif packet.protocol == PROTO_TCP and isinstance(packet.payload, TcpSegment):
+            self.tcp.handle_segment(packet.src_ip, packet.payload)
+        else:
+            self.rx_dropped += 1

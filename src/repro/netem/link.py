@@ -1,0 +1,115 @@
+"""Point-to-point link with latency, bandwidth and failure injection.
+
+Delivery time = serialisation delay (frame size / bandwidth, queued behind
+frames already in flight in the same direction) + propagation latency.
+Loss injection uses a seeded RNG so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Optional
+
+from repro.kernel import MS, Simulator
+from repro.netem.capture import PacketCapture
+from repro.netem.frames import EthernetFrame
+from repro.netem.node import Port
+
+
+class Link:
+    """Full-duplex link between two ports."""
+
+    def __init__(
+        self,
+        name: str,
+        simulator: Simulator,
+        port_a: Port,
+        port_b: Port,
+        latency_us: int = 50,
+        bandwidth_mbps: float = 100.0,
+        drop_probability: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if port_a.link is not None or port_b.link is not None:
+            raise ValueError(f"link {name!r}: port already attached")
+        if latency_us < 0:
+            raise ValueError(f"link {name!r}: negative latency")
+        if bandwidth_mbps <= 0:
+            raise ValueError(f"link {name!r}: bandwidth must be positive")
+        if not 0.0 <= drop_probability <= 1.0:
+            raise ValueError(f"link {name!r}: drop probability out of range")
+        self.name = name
+        self.simulator = simulator
+        self.port_a = port_a
+        self.port_b = port_b
+        port_a.link = self
+        port_b.link = self
+        self.latency_us = latency_us
+        self.bandwidth_mbps = bandwidth_mbps
+        self.drop_probability = drop_probability
+        self.up = True
+        self.captures: list[PacketCapture] = []
+        # zlib.crc32 (not hash()) so drop patterns are stable across runs
+        # and processes — Python string hashing is salted per process.
+        self._rng = random.Random(seed ^ zlib.crc32(name.encode()))
+        # Per-direction time the transmitter is busy until (serialisation).
+        self._busy_until = {id(port_a): 0, id(port_b): 0}
+        self.tx_count = 0
+        self.drop_count = 0
+
+    # ------------------------------------------------------------------
+    def attach_capture(self, capture: PacketCapture) -> PacketCapture:
+        self.captures.append(capture)
+        return capture
+
+    def set_down(self) -> None:
+        """Fail the link: all in-flight and future frames are lost."""
+        self.up = False
+
+    def set_up(self) -> None:
+        self.up = True
+
+    def other_end(self, port: Port) -> Port:
+        if port is self.port_a:
+            return self.port_b
+        if port is self.port_b:
+            return self.port_a
+        raise ValueError(f"port {port.name} is not attached to link {self.name}")
+
+    # ------------------------------------------------------------------
+    def transmit(self, frame: EthernetFrame, from_port: Port) -> None:
+        """Schedule delivery of ``frame`` at the opposite port."""
+        self.tx_count += 1
+        direction = "a->b" if from_port is self.port_a else "b->a"
+        for capture in self.captures:
+            capture.record(self.simulator.now, self.name, direction, frame)
+        if not self.up:
+            self.drop_count += 1
+            return
+        if self.drop_probability > 0 and self._rng.random() < self.drop_probability:
+            self.drop_count += 1
+            return
+        serialisation_us = int(frame.size * 8 / self.bandwidth_mbps)
+        start = max(self.simulator.now, self._busy_until[id(from_port)])
+        done = start + serialisation_us
+        self._busy_until[id(from_port)] = done
+        arrival_delay = (done - self.simulator.now) + self.latency_us
+        destination = self.other_end(from_port)
+        self.simulator.schedule(
+            arrival_delay,
+            lambda: self._deliver(destination, frame),
+            label=f"link:{self.name}",
+        )
+
+    def _deliver(self, port: Port, frame: EthernetFrame) -> None:
+        if not self.up:
+            self.drop_count += 1
+            return
+        port.deliver(frame)
+
+
+#: Default latency used for LAN segments inside a substation.
+DEFAULT_LAN_LATENCY_US = 50
+#: Default latency used for the single-switch WAN abstraction.
+DEFAULT_WAN_LATENCY_US = 5 * MS

@@ -1,0 +1,66 @@
+"""Base classes for network nodes and their ports."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.kernel import Simulator
+from repro.netem.frames import EthernetFrame
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.netem.link import Link
+
+
+class Port:
+    """One attachment point of a node; connected to at most one link."""
+
+    def __init__(self, node: "Node", index: int) -> None:
+        self.node = node
+        self.index = index
+        self.link: Optional["Link"] = None
+        self.tx_frames = 0
+        self.rx_frames = 0
+
+    @property
+    def name(self) -> str:
+        return f"{self.node.name}.eth{self.index}"
+
+    @property
+    def connected(self) -> bool:
+        return self.link is not None
+
+    def send(self, frame: EthernetFrame) -> None:
+        """Put a frame on the attached link (silently dropped if detached)."""
+        if self.link is None:
+            return
+        self.tx_frames += 1
+        self.link.transmit(frame, self)
+
+    def deliver(self, frame: EthernetFrame) -> None:
+        """Called by the link when a frame arrives at this port."""
+        self.rx_frames += 1
+        self.node.on_frame(frame, self)
+
+
+class Node:
+    """A device with ports: switches and hosts derive from this."""
+
+    def __init__(self, name: str, simulator: Simulator) -> None:
+        self.name = name
+        self.simulator = simulator
+        self.ports: list[Port] = []
+
+    def add_port(self) -> Port:
+        port = Port(self, len(self.ports))
+        self.ports.append(port)
+        return port
+
+    def free_port(self) -> Port:
+        """An unconnected port, creating one if necessary."""
+        for port in self.ports:
+            if not port.connected:
+                return port
+        return self.add_port()
+
+    def on_frame(self, frame: EthernetFrame, port: Port) -> None:
+        raise NotImplementedError

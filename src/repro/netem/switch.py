@@ -1,0 +1,61 @@
+"""Transparent learning Ethernet switch.
+
+Behaviour mirrors a commodity L2 switch (and therefore Mininet's default
+OVS bridge in standalone mode):
+
+* source MACs are learned per port with an ageing time,
+* known unicast is forwarded out of the learned port only,
+* unknown unicast, broadcast and multicast are flooded,
+* multicast group addresses are never learned (GOOSE/SV rely on flooding).
+
+The MAC table being *learned* rather than configured is what makes ARP
+spoofing effective — after the attacker sends forged frames, traffic to the
+victim's IP flows to the attacker's port, exactly as on real switched LANs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernel import SECOND, Simulator
+from repro.netem.addresses import is_multicast_mac
+from repro.netem.frames import EthernetFrame
+from repro.netem.node import Node, Port
+
+MAC_AGEING_US = 300 * SECOND  # 300 s, the common switch default
+
+
+@dataclass
+class _MacEntry:
+    port: Port
+    learned_at: int
+
+
+class Switch(Node):
+    """Learning bridge with flooding semantics."""
+
+    def __init__(self, name: str, simulator: Simulator) -> None:
+        super().__init__(name, simulator)
+        self.mac_table: dict[str, _MacEntry] = {}
+        self.forwarded = 0
+        self.flooded = 0
+
+    def on_frame(self, frame: EthernetFrame, port: Port) -> None:
+        now = self.simulator.now
+        if not is_multicast_mac(frame.src_mac):
+            self.mac_table[frame.src_mac] = _MacEntry(port=port, learned_at=now)
+        if not is_multicast_mac(frame.dst_mac):
+            entry = self.mac_table.get(frame.dst_mac)
+            if entry is not None and now - entry.learned_at <= MAC_AGEING_US:
+                if entry.port is not port:
+                    self.forwarded += 1
+                    entry.port.send(frame)
+                return
+        self.flooded += 1
+        for out_port in self.ports:
+            if out_port is not port and out_port.connected:
+                out_port.send(frame)
+
+    def table_snapshot(self) -> dict[str, str]:
+        """MAC → port name view for diagnostics and tests."""
+        return {mac: entry.port.name for mac, entry in self.mac_table.items()}

@@ -1,0 +1,370 @@
+"""Minimal but real TCP: handshake, ordered reliable delivery, teardown.
+
+MMS (ISO transport over TCP port 102) and Modbus/TCP (port 502) both ride on
+this.  The implementation keeps the parts of TCP that matter for a cyber
+range — connection state, sequence/ack bookkeeping, retransmission on loss,
+in-order reassembly, RST on refused ports — and omits congestion control
+and window scaling (links are fast and flows are small).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.kernel import MS
+from repro.netem.frames import PROTO_TCP, TcpFlags, TcpSegment
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.netem.host import Host
+
+MSS = 1200
+RTO_US = 200 * MS
+MAX_RETRIES = 8
+EPHEMERAL_BASE = 49152
+
+
+class TcpState(enum.Enum):
+    CLOSED = "closed"
+    LISTEN = "listen"
+    SYN_SENT = "syn-sent"
+    SYN_RCVD = "syn-rcvd"
+    ESTABLISHED = "established"
+    FIN_WAIT = "fin-wait"
+    CLOSE_WAIT = "close-wait"
+
+
+class TcpConnection:
+    """One endpoint of a TCP connection."""
+
+    def __init__(
+        self,
+        stack: "TcpStack",
+        local_port: int,
+        remote_ip: str,
+        remote_port: int,
+        initial_seq: int,
+    ) -> None:
+        self.stack = stack
+        self.local_port = local_port
+        self.remote_ip = remote_ip
+        self.remote_port = remote_port
+        self.state = TcpState.CLOSED
+        # Send side.
+        self.snd_next = initial_seq
+        self.snd_una = initial_seq
+        self._unacked: list[TcpSegment] = []
+        self._retries = 0
+        self._retransmit_event = None
+        # Receive side.
+        self.rcv_next = 0
+        self._out_of_order: dict[int, TcpSegment] = {}
+        # Application callbacks.
+        self.on_data: Optional[Callable[[bytes], None]] = None
+        self.on_open: Optional[Callable[[], None]] = None
+        self.on_close: Optional[Callable[[], None]] = None
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def key(self) -> tuple[int, str, int]:
+        return (self.local_port, self.remote_ip, self.remote_port)
+
+    @property
+    def established(self) -> bool:
+        return self.state is TcpState.ESTABLISHED
+
+    def describe(self) -> str:
+        return (
+            f"{self.stack.host.ip}:{self.local_port} <-> "
+            f"{self.remote_ip}:{self.remote_port} [{self.state.value}]"
+        )
+
+    # ------------------------------------------------------------------
+    # Application API
+    # ------------------------------------------------------------------
+    def send(self, data: bytes) -> None:
+        """Queue application bytes for reliable, ordered delivery."""
+        if self.state not in (TcpState.ESTABLISHED, TcpState.CLOSE_WAIT):
+            raise ConnectionError(f"send on non-established connection: {self.describe()}")
+        offset = 0
+        while offset < len(data):
+            chunk = data[offset : offset + MSS]
+            segment = TcpSegment(
+                src_port=self.local_port,
+                dst_port=self.remote_port,
+                seq=self.snd_next,
+                ack=self.rcv_next,
+                flags=TcpFlags.ACK,
+                payload=chunk,
+            )
+            self.snd_next += len(chunk)
+            self.bytes_sent += len(chunk)
+            self._unacked.append(segment)
+            self._transmit(segment)
+            offset += len(chunk)
+        self._arm_retransmit()
+
+    def close(self) -> None:
+        """Half-close; the peer's FIN completes the teardown."""
+        if self.state in (TcpState.ESTABLISHED, TcpState.CLOSE_WAIT):
+            fin = TcpSegment(
+                src_port=self.local_port,
+                dst_port=self.remote_port,
+                seq=self.snd_next,
+                ack=self.rcv_next,
+                flags=TcpFlags.FIN | TcpFlags.ACK,
+            )
+            self.snd_next += 1
+            self._transmit(fin)
+            self.state = (
+                TcpState.FIN_WAIT
+                if self.state is TcpState.ESTABLISHED
+                else TcpState.CLOSED
+            )
+            if self.state is TcpState.CLOSED:
+                self._finish()
+
+    def abort(self) -> None:
+        """Send RST and drop the connection immediately."""
+        rst = TcpSegment(
+            src_port=self.local_port,
+            dst_port=self.remote_port,
+            seq=self.snd_next,
+            ack=self.rcv_next,
+            flags=TcpFlags.RST,
+        )
+        self._transmit(rst)
+        self._finish()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _start_connect(self) -> None:
+        self.state = TcpState.SYN_SENT
+        syn = TcpSegment(
+            src_port=self.local_port,
+            dst_port=self.remote_port,
+            seq=self.snd_next,
+            ack=0,
+            flags=TcpFlags.SYN,
+        )
+        self.snd_next += 1
+        self._unacked.append(syn)
+        self._transmit(syn)
+        self._arm_retransmit()
+
+    def _transmit(self, segment: TcpSegment) -> None:
+        self.stack.host.send_ip(self.remote_ip, PROTO_TCP, segment)
+
+    def _arm_retransmit(self) -> None:
+        if self._retransmit_event is not None:
+            self._retransmit_event.cancel()
+        if not self._unacked:
+            self._retransmit_event = None
+            return
+        self._retransmit_event = self.stack.host.simulator.schedule(
+            RTO_US, self._on_retransmit_timer, label=f"tcp-rto:{self.local_port}"
+        )
+
+    def _on_retransmit_timer(self) -> None:
+        self._retransmit_event = None
+        if not self._unacked:
+            return
+        self._retries += 1
+        if self._retries > MAX_RETRIES:
+            self.abort()
+            return
+        for segment in self._unacked:
+            self._transmit(segment)
+        self._arm_retransmit()
+
+    def _handle(self, segment: TcpSegment) -> None:
+        if segment.flags & TcpFlags.RST:
+            self._finish()
+            return
+        if self.state is TcpState.SYN_SENT:
+            self._handle_syn_sent(segment)
+            return
+        if self.state is TcpState.SYN_RCVD and segment.flags & TcpFlags.ACK:
+            if segment.ack >= self.snd_next:
+                self.state = TcpState.ESTABLISHED
+                self._ack_received(segment.ack)
+                if self.on_open:
+                    self.on_open()
+        if segment.flags & TcpFlags.ACK:
+            self._ack_received(segment.ack)
+        if segment.payload:
+            self._receive_data(segment)
+        if segment.flags & TcpFlags.FIN:
+            self._handle_fin(segment)
+
+    def _handle_syn_sent(self, segment: TcpSegment) -> None:
+        expected = TcpFlags.SYN | TcpFlags.ACK
+        if segment.flags & expected == expected and segment.ack == self.snd_next:
+            self.rcv_next = segment.seq + 1
+            self._ack_received(segment.ack)
+            self.state = TcpState.ESTABLISHED
+            self._send_ack()
+            if self.on_open:
+                self.on_open()
+
+    def _ack_received(self, ack: int) -> None:
+        before = len(self._unacked)
+        self._unacked = [
+            seg
+            for seg in self._unacked
+            if seg.seq + max(len(seg.payload), 1 if seg.flags & TcpFlags.SYN else 0)
+            > ack
+        ]
+        if len(self._unacked) != before:
+            self._retries = 0
+            self.snd_una = max(self.snd_una, ack)
+            self._arm_retransmit()
+
+    def _receive_data(self, segment: TcpSegment) -> None:
+        if segment.seq == self.rcv_next:
+            self._deliver(segment)
+            # Drain any buffered in-order continuation.
+            while self.rcv_next in self._out_of_order:
+                self._deliver(self._out_of_order.pop(self.rcv_next))
+            self._send_ack()
+        elif segment.seq > self.rcv_next:
+            self._out_of_order[segment.seq] = segment
+            self._send_ack()  # duplicate ack
+        else:
+            self._send_ack()  # retransmission of already-received data
+
+    def _deliver(self, segment: TcpSegment) -> None:
+        self.rcv_next = segment.seq + len(segment.payload)
+        self.bytes_received += len(segment.payload)
+        if self.on_data:
+            self.on_data(segment.payload)
+
+    def _handle_fin(self, segment: TcpSegment) -> None:
+        self.rcv_next = max(self.rcv_next, segment.seq + 1)
+        self._send_ack()
+        if self.state is TcpState.ESTABLISHED:
+            self.state = TcpState.CLOSE_WAIT
+            self.close()
+        elif self.state is TcpState.FIN_WAIT:
+            self._finish()
+
+    def _send_ack(self) -> None:
+        ack = TcpSegment(
+            src_port=self.local_port,
+            dst_port=self.remote_port,
+            seq=self.snd_next,
+            ack=self.rcv_next,
+            flags=TcpFlags.ACK,
+        )
+        self._transmit(ack)
+
+    def _finish(self) -> None:
+        if self._retransmit_event is not None:
+            self._retransmit_event.cancel()
+            self._retransmit_event = None
+        already_closed = self.state is TcpState.CLOSED
+        self.state = TcpState.CLOSED
+        self.stack.connections.pop(self.key, None)
+        if not already_closed and self.on_close:
+            self.on_close()
+
+
+class TcpStack:
+    """Per-host TCP connection table and listener registry."""
+
+    def __init__(self, host: "Host") -> None:
+        self.host = host
+        self.listeners: dict[int, Callable[[TcpConnection], None]] = {}
+        self.connections: dict[tuple[int, str, int], TcpConnection] = {}
+        self._next_ephemeral = EPHEMERAL_BASE
+        self._isn = 1000  # deterministic initial sequence numbers
+
+    def listen(self, port: int, on_accept: Callable[[TcpConnection], None]) -> None:
+        if port in self.listeners:
+            raise ValueError(f"{self.host.name}: port {port} already listening")
+        self.listeners[port] = on_accept
+
+    def connect(
+        self,
+        remote_ip: str,
+        remote_port: int,
+        on_open: Optional[Callable[[], None]] = None,
+        on_data: Optional[Callable[[bytes], None]] = None,
+        on_close: Optional[Callable[[], None]] = None,
+    ) -> TcpConnection:
+        local_port = self._allocate_port()
+        connection = TcpConnection(
+            self, local_port, remote_ip, remote_port, self._next_isn()
+        )
+        connection.on_open = on_open
+        connection.on_data = on_data
+        connection.on_close = on_close
+        self.connections[connection.key] = connection
+        connection._start_connect()
+        return connection
+
+    # ------------------------------------------------------------------
+    def handle_segment(self, src_ip: str, segment: TcpSegment) -> None:
+        key = (segment.dst_port, src_ip, segment.src_port)
+        connection = self.connections.get(key)
+        if connection is not None:
+            connection._handle(segment)
+            return
+        if segment.flags & TcpFlags.SYN and not segment.flags & TcpFlags.ACK:
+            self._handle_incoming_syn(src_ip, segment)
+            return
+        if not segment.flags & TcpFlags.RST:
+            # No matching connection: refuse.
+            rst = TcpSegment(
+                src_port=segment.dst_port,
+                dst_port=segment.src_port,
+                seq=segment.ack,
+                ack=segment.seq + 1,
+                flags=TcpFlags.RST,
+            )
+            self.host.send_ip(src_ip, PROTO_TCP, rst)
+
+    def _handle_incoming_syn(self, src_ip: str, segment: TcpSegment) -> None:
+        on_accept = self.listeners.get(segment.dst_port)
+        if on_accept is None:
+            rst = TcpSegment(
+                src_port=segment.dst_port,
+                dst_port=segment.src_port,
+                seq=0,
+                ack=segment.seq + 1,
+                flags=TcpFlags.RST,
+            )
+            self.host.send_ip(src_ip, PROTO_TCP, rst)
+            return
+        connection = TcpConnection(
+            self, segment.dst_port, src_ip, segment.src_port, self._next_isn()
+        )
+        connection.rcv_next = segment.seq + 1
+        connection.state = TcpState.SYN_RCVD
+        self.connections[connection.key] = connection
+        on_accept(connection)  # app installs on_data/on_close here
+        syn_ack = TcpSegment(
+            src_port=connection.local_port,
+            dst_port=connection.remote_port,
+            seq=connection.snd_next,
+            ack=connection.rcv_next,
+            flags=TcpFlags.SYN | TcpFlags.ACK,
+        )
+        connection.snd_next += 1
+        connection._unacked.append(syn_ack)
+        connection._transmit(syn_ack)
+        connection._arm_retransmit()
+
+    def _allocate_port(self) -> int:
+        port = self._next_ephemeral
+        self._next_ephemeral += 1
+        if self._next_ephemeral > 65535:
+            self._next_ephemeral = EPHEMERAL_BASE
+        return port
+
+    def _next_isn(self) -> int:
+        self._isn += 64_000
+        return self._isn

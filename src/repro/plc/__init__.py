@@ -1,0 +1,21 @@
+"""Virtual PLC runtime (OpenPLC61850 substitute).
+
+Per the paper (§III-B): "OpenPLC61850 supports Modbus communication
+protocol (for interacting with SCADA) and IEC 61850 MMS protocol towards
+IEDs.  OpenPLC61850 requires a set of ICD files corresponding to the IEDs
+that it interacts with, as well as an IEC 61131-3 PLCopen XML file that
+contains control logic."
+
+:class:`VirtualPlc` reproduces that runtime: an IEC 61131-3 Structured Text
+program executed on a scan cycle, a Modbus/TCP server northbound, and MMS
+client bindings southbound.
+"""
+
+from repro.plc.runtime import (
+    MmsBinding,
+    PlcError,
+    VirtualPlc,
+    parse_location,
+)
+
+__all__ = ["MmsBinding", "PlcError", "VirtualPlc", "parse_location"]

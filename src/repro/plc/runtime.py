@@ -1,0 +1,291 @@
+"""PLC scan-cycle runtime with Modbus northbound and MMS southbound.
+
+I/O image conventions (documented here because IEC 61131 leaves the fieldbus
+mapping to the implementation):
+
+* ``%IX<byte>.<bit>`` — bit inputs *to* the PLC.  Exposed as Modbus coils,
+  so the SCADA master writes commands into them.
+* ``%QX<byte>.<bit>`` — bit outputs *from* the PLC.  Exposed as Modbus
+  discrete inputs (master reads).
+* ``%IW<n>`` — word inputs to the PLC: Modbus holding registers (master
+  writes setpoints).
+* ``%QW<n>`` — word outputs: Modbus input registers (master reads).
+* ``%QD<n>`` — float outputs occupying input registers ``n`` and ``n+1``
+  (IEEE 754 big-endian pair, the common Modbus float convention).
+* ``%ID<n>`` — float inputs from holding registers ``n`` and ``n+1``.
+
+MMS bindings attach program variables to IED object references: ``read``
+bindings poll the IED every scan and update the variable before the program
+runs; ``write`` bindings push the variable to the IED when its value
+changes (deadband 0) after the program runs.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.iec61131.interpreter import Program, Variable
+from repro.iec61131.plcopen import PlcOpenDocument
+from repro.iec61850.mms import MmsClient
+from repro.kernel import MS
+from repro.modbus import ModbusDataBank, ModbusServer
+from repro.netem.host import Host
+
+_LOCATION_RE = re.compile(r"^%([IQ])([XWD])(\d+)(?:\.(\d+))?$")
+
+
+class PlcError(Exception):
+    """Configuration or runtime failure in the PLC."""
+
+
+@dataclass(frozen=True)
+class ParsedLocation:
+    direction: str  # "I" | "Q"
+    width: str  # "X" bit | "W" word | "D" double/float
+    index: int
+    bit: int = 0
+
+    @property
+    def bit_address(self) -> int:
+        return self.index * 8 + self.bit
+
+
+def parse_location(text: str) -> ParsedLocation:
+    """Parse ``%QX0.1`` / ``%IW3`` / ``%QD4`` into components."""
+    match = _LOCATION_RE.match(text)
+    if not match:
+        raise PlcError(f"unsupported location {text!r}")
+    direction, width, index, bit = match.groups()
+    return ParsedLocation(
+        direction=direction,
+        width=width,
+        index=int(index),
+        bit=int(bit) if bit else 0,
+    )
+
+
+@dataclass
+class MmsBinding:
+    """Couples a program variable to an IED object reference."""
+
+    variable: str
+    server_ip: str
+    object_ref: str
+    direction: str = "read"  # "read" (IED→PLC) | "write" (PLC→IED)
+
+
+class VirtualPlc:
+    """Scan-cycle PLC with Modbus server + MMS client bindings."""
+
+    def __init__(
+        self,
+        host: Host,
+        program: Program,
+        scan_interval_ms: float = 100.0,
+        name: str = "",
+    ) -> None:
+        self.host = host
+        self.program = program
+        self.name = name or f"plc:{host.name}"
+        self.scan_interval_us = int(scan_interval_ms * MS)
+        self.databank = ModbusDataBank()
+        self.modbus_server = ModbusServer(host, self.databank)
+        self.bindings: list[MmsBinding] = []
+        self._clients: dict[str, MmsClient] = {}
+        self._read_cache: dict[str, Any] = {}
+        self._written: dict[str, Any] = {}
+        self._written_at: dict[str, int] = {}
+        #: Optional blind integrity refresh (µs); 0 disables.  Off by
+        #: default: blind re-assertion can reclose a protection-tripped
+        #: breaker onto a fault.
+        self.write_refresh_us = 0
+        # Operator (Modbus master) writes re-arm every bound write: an
+        # explicit command must reach the device even if the PLC's cached
+        # value matches — the device's state may have been changed behind
+        # the PLC's back (attack, manual operation, restart).
+        self.databank.on_write = self._on_master_write
+        self._scan_task = None
+        self.scan_count = 0
+        self.mms_write_count = 0
+        self._locations: list[tuple[Variable, ParsedLocation]] = []
+        self._index_locations()
+
+    @classmethod
+    def from_plcopen(
+        cls,
+        host: Host,
+        document: PlcOpenDocument,
+        pou_name: str = "",
+        name: str = "",
+    ) -> "VirtualPlc":
+        """Build from a PLCopen XML document (first task's POU by default)."""
+        if not document.pous:
+            raise PlcError("PLCopen document contains no POUs")
+        interval_ms = 100.0
+        selected = pou_name
+        if document.tasks:
+            task = document.tasks[0]
+            interval_ms = task.interval_us / MS
+            if not selected:
+                selected = task.pou_name
+        pou = document.find_pou(selected) if selected else document.pous[0]
+        if pou is None:
+            raise PlcError(f"POU {selected!r} not found in PLCopen document")
+        return cls(host, pou.instantiate(), scan_interval_ms=interval_ms, name=name)
+
+    # ------------------------------------------------------------------
+    def _index_locations(self) -> None:
+        for variable in self.program.located_variables():
+            location = parse_location(variable.location)
+            self._locations.append((variable, location))
+            # Seed the Modbus image from declared initial values so the
+            # first scan does not read zeros where the program expects the
+            # declared defaults (e.g. breaker commands initialised TRUE).
+            if location.direction != "I":
+                continue
+            if location.width == "X":
+                self.databank.coils[location.bit_address] = (
+                    1 if variable.value else 0
+                )
+            elif location.width == "W":
+                self.databank.set_holding_register(
+                    location.index, int(variable.value or 0)
+                )
+            else:
+                self.databank.set_holding_float(
+                    location.index, float(variable.value or 0.0)
+                )
+
+    def bind_mms(
+        self, variable: str, server_ip: str, object_ref: str, direction: str = "read"
+    ) -> None:
+        if direction not in ("read", "write"):
+            raise PlcError(f"binding direction must be read/write: {direction!r}")
+        self.bindings.append(
+            MmsBinding(
+                variable=variable,
+                server_ip=server_ip,
+                object_ref=object_ref,
+                direction=direction,
+            )
+        )
+
+    def _client(self, server_ip: str) -> MmsClient:
+        client = self._clients.get(server_ip)
+        if client is None:
+            client = MmsClient(self.host, server_ip)
+            client.connect()
+            self._clients[server_ip] = client
+        return client
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self.modbus_server.start()
+        for binding in self.bindings:
+            self._client(binding.server_ip)  # pre-connect
+        self._scan_task = self.host.simulator.every(
+            self.scan_interval_us, self.scan, label=f"plc-scan:{self.name}"
+        )
+
+    def stop(self) -> None:
+        if self._scan_task is not None:
+            self._scan_task.stop()
+            self._scan_task = None
+
+    # ------------------------------------------------------------------
+    # Scan cycle
+    # ------------------------------------------------------------------
+    def scan(self) -> None:
+        self.scan_count += 1
+        self._read_inputs()
+        self.program.scan(self.host.simulator.now)
+        self._write_outputs()
+
+    def _read_inputs(self) -> None:
+        # Located inputs from the Modbus image (SCADA-written).
+        for variable, location in self._locations:
+            if location.direction != "I":
+                continue
+            if location.width == "X":
+                value: Any = bool(self.databank.coils.get(location.bit_address, 0))
+            elif location.width == "W":
+                value = self.databank.holding_registers.get(location.index, 0)
+            else:  # "D" float pair
+                value = self.databank.read_holding_float(location.index)
+            self.program.set_value(variable.name, value)
+        # MMS read bindings: issue a read, apply the latest cached value.
+        for binding in self.bindings:
+            if binding.direction != "read":
+                continue
+            cached = self._read_cache.get(binding.variable)
+            if cached is not None:
+                try:
+                    self.program.set_value(binding.variable, cached)
+                except Exception:
+                    pass
+            client = self._client(binding.server_ip)
+            if not client.connected:
+                client.connect()  # re-dial after a drop; no-op mid-handshake
+                continue
+            client.read(
+                [binding.object_ref],
+                lambda results, error, b=binding: self._on_mms_read(
+                    b, results, error
+                ),
+            )
+
+    def _on_mms_read(
+        self, binding: MmsBinding, results: Any, error: Optional[str]
+    ) -> None:
+        if error or not isinstance(results, list) or not results:
+            return
+        entry = results[0]
+        if isinstance(entry, dict) and "value" in entry:
+            self._read_cache[binding.variable] = entry["value"]
+
+    def _write_outputs(self) -> None:
+        for variable, location in self._locations:
+            if location.direction != "Q":
+                continue
+            value = self.program.get_value(variable.name)
+            if location.width == "X":
+                self.databank.set_discrete_input(
+                    location.bit_address, 1 if value else 0
+                )
+            elif location.width == "W":
+                self.databank.set_input_register(location.index, int(value))
+            else:
+                self.databank.set_input_float(location.index, float(value))
+        for binding in self.bindings:
+            if binding.direction != "write":
+                continue
+            value = self.program.get_value(binding.variable)
+            now = self.host.simulator.now
+            if binding.variable in self._written:
+                if self._written[binding.variable] == value:
+                    refresh_due = (
+                        self.write_refresh_us > 0
+                        and now - self._written_at.get(binding.variable, 0)
+                        >= self.write_refresh_us
+                    )
+                    if not refresh_due:
+                        continue
+            client = self._client(binding.server_ip)
+            if not client.connected:
+                client.connect()
+                continue  # value stays pending until the link is back
+            client.write(binding.object_ref, value)
+            self._written[binding.variable] = value
+            self._written_at[binding.variable] = now
+            self.mms_write_count += 1
+
+    def _on_master_write(self, table: str, address: int, value: int) -> None:
+        """A Modbus master wrote a coil/register: re-arm bound writes."""
+        self._written.clear()
+
+    # ------------------------------------------------------------------
+    def mms_clients(self) -> dict[str, MmsClient]:
+        """Server IP → client (diagnostics / tests)."""
+        return dict(self._clients)

@@ -1,0 +1,21 @@
+"""Point database — the cyber↔physical coupling cache.
+
+The paper's cyber range connects virtual IEDs to the power-system simulator
+"through an open-sourced MySQL database.  This works as a 'cache' storing a
+set of key-value pairs, for reading power grid measurements (voltages,
+power flow, etc.) and executing control (e.g., opening/closing circuit
+breakers)."  :class:`PointDatabase` reproduces that contract in-process.
+
+Key naming convention (produced by the SSD parser and consumed via the
+IED Config XML mapping):
+
+* ``meas/<bus>/vm_pu``, ``meas/<bus>/va_deg``        — bus voltages
+* ``meas/<line>/p_mw|q_mvar|i_ka|loading``           — branch flows
+* ``status/<breaker>/closed``                        — breaker positions
+* ``cmd/<breaker>/close``                            — breaker commands
+  (written by IEDs, drained by the co-simulation loop each tick)
+"""
+
+from repro.pointdb.database import PointDatabase, PointWrite
+
+__all__ = ["PointDatabase", "PointWrite"]

@@ -1,0 +1,104 @@
+"""In-process key-value store with a command-drain queue.
+
+Reads are wait-free snapshots; command writes are recorded in arrival order
+so the co-simulation loop can apply them to the power network exactly once
+per tick (the paper's 100 ms granularity, §III-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class PointWrite:
+    """One recorded write: who wrote what, when."""
+
+    time_us: int
+    key: str
+    value: Any
+    writer: str
+
+
+class PointDatabase:
+    """Key-value cache between the cyber side and the physical side."""
+
+    def __init__(self) -> None:
+        self._data: dict[str, Any] = {}
+        self._command_log: list[PointWrite] = []
+        self._drained = 0
+        self._subscribers: dict[str, list[Callable[[str, Any], None]]] = {}
+        self.read_count = 0
+        self.write_count = 0
+
+    # ------------------------------------------------------------------
+    # Measurement side (power simulator publishes, IEDs read)
+    # ------------------------------------------------------------------
+    def set(self, key: str, value: Any) -> None:
+        self._data[key] = value
+        for callback in self._subscribers.get(key, []):
+            callback(key, value)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        self.read_count += 1
+        return self._data.get(key, default)
+
+    def get_float(self, key: str, default: float = 0.0) -> float:
+        value = self.get(key, default)
+        try:
+            return float(value)
+        except (TypeError, ValueError):
+            return default
+
+    def get_bool(self, key: str, default: bool = False) -> bool:
+        value = self.get(key, default)
+        return bool(value)
+
+    def exists(self, key: str) -> bool:
+        return key in self._data
+
+    def keys(self, prefix: str = "") -> list[str]:
+        if not prefix:
+            return sorted(self._data)
+        return sorted(key for key in self._data if key.startswith(prefix))
+
+    def snapshot(self, prefix: str = "") -> dict[str, Any]:
+        return {key: self._data[key] for key in self.keys(prefix)}
+
+    # ------------------------------------------------------------------
+    # Command side (IEDs write, co-simulation loop drains)
+    # ------------------------------------------------------------------
+    def write_command(
+        self, key: str, value: Any, writer: str = "", time_us: int = 0
+    ) -> None:
+        """Record a control command; also visible immediately via ``get``."""
+        self.write_count += 1
+        self._data[key] = value
+        self._command_log.append(
+            PointWrite(time_us=time_us, key=key, value=value, writer=writer)
+        )
+        for callback in self._subscribers.get(key, []):
+            callback(key, value)
+
+    def drain_commands(self) -> list[PointWrite]:
+        """Commands recorded since the previous drain (arrival order)."""
+        fresh = self._command_log[self._drained :]
+        self._drained = len(self._command_log)
+        return fresh
+
+    @property
+    def command_history(self) -> list[PointWrite]:
+        """Full audit log of every command ever written (forensics)."""
+        return list(self._command_log)
+
+    # ------------------------------------------------------------------
+    def subscribe(self, key: str, callback: Callable[[str, Any], None]) -> None:
+        """Invoke ``callback(key, value)`` on every update of ``key``."""
+        self._subscribers.setdefault(key, []).append(callback)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._data))

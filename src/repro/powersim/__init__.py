@@ -1,0 +1,73 @@
+"""Steady-state AC power-flow simulation (Pandapower substitute).
+
+The paper couples its cyber range to Pandapower, "a steady-state power flow
+simulation software ... a one-time solver that provides a snapshot of power
+grid status", re-run periodically (e.g. every 100 ms) with updated breaker
+states and load profiles (§III-C).  This package reproduces exactly that
+contract:
+
+* :class:`Network` — component tables (buses, lines, transformers, loads,
+  generators, static generators, external grids, switches).
+* :func:`run_power_flow` — Newton-Raphson AC power flow returning a
+  :class:`PowerFlowResult` snapshot.
+* :class:`TimeSeriesRunner` — applies load profiles and scenario events
+  (contingencies: generator loss, line loss, breaker operations) between
+  snapshots, as configured by the Power System Extra Config XML.
+
+Bus fusion across closed bus-bus switches matches Pandapower semantics, so a
+circuit-breaker open/close from the cyber side changes the next snapshot.
+"""
+
+from repro.powersim.network import (
+    Bus,
+    ExternalGrid,
+    Generator,
+    Line,
+    Load,
+    Network,
+    PowerSimError,
+    Shunt,
+    StaticGenerator,
+    Switch,
+    SwitchType,
+    Transformer,
+)
+from repro.powersim.results import (
+    BranchFlow,
+    BusResult,
+    PowerFlowResult,
+    PowerFlowDiverged,
+)
+from repro.powersim.solver import run_power_flow
+from repro.powersim.timeseries import (
+    LoadProfile,
+    ProfilePoint,
+    ScenarioEvent,
+    SimulationScenario,
+    TimeSeriesRunner,
+)
+
+__all__ = [
+    "BranchFlow",
+    "Bus",
+    "BusResult",
+    "ExternalGrid",
+    "Generator",
+    "Line",
+    "Load",
+    "LoadProfile",
+    "Network",
+    "PowerFlowDiverged",
+    "PowerFlowResult",
+    "PowerSimError",
+    "ProfilePoint",
+    "ScenarioEvent",
+    "Shunt",
+    "SimulationScenario",
+    "StaticGenerator",
+    "Switch",
+    "SwitchType",
+    "TimeSeriesRunner",
+    "Transformer",
+    "run_power_flow",
+]

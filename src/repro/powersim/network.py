@@ -1,0 +1,406 @@
+"""Power network component model.
+
+Component tables follow Pandapower's element vocabulary (bus, line, trafo,
+load, gen, sgen, ext_grid, switch, shunt) so the SSD Parser's output maps
+one-to-one onto what the paper's artifact generates.  All quantities are in
+engineering units (kV, MW, MVAr, ohm); the solver converts to per-unit.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class PowerSimError(Exception):
+    """Raised on malformed networks or solver misuse."""
+
+
+class SwitchType(enum.Enum):
+    """What the switch connects: two buses, or a bus to a line end."""
+
+    BUS_BUS = "b"
+    BUS_LINE = "l"
+
+
+@dataclass
+class Bus:
+    index: int
+    name: str
+    vn_kv: float
+    in_service: bool = True
+    #: Free-form grouping used for reporting (e.g. EPIC segment name).
+    zone: str = ""
+
+
+@dataclass
+class Line:
+    index: int
+    name: str
+    from_bus: int
+    to_bus: int
+    r_ohm: float
+    x_ohm: float
+    b_us: float = 0.0  # total charging susceptance, microsiemens
+    max_i_ka: float = 1.0
+    length_km: float = 1.0
+    in_service: bool = True
+
+
+@dataclass
+class Transformer:
+    index: int
+    name: str
+    hv_bus: int
+    lv_bus: int
+    sn_mva: float
+    vn_hv_kv: float
+    vn_lv_kv: float
+    vk_percent: float = 10.0  # short-circuit voltage
+    vkr_percent: float = 0.5  # resistive part
+    tap_pos: int = 0
+    tap_step_percent: float = 1.25
+    in_service: bool = True
+
+
+@dataclass
+class Load:
+    index: int
+    name: str
+    bus: int
+    p_mw: float
+    q_mvar: float = 0.0
+    scaling: float = 1.0
+    in_service: bool = True
+
+
+@dataclass
+class StaticGenerator:
+    """PQ-injection source: PV arrays, batteries, small DG (sgen)."""
+
+    index: int
+    name: str
+    bus: int
+    p_mw: float
+    q_mvar: float = 0.0
+    scaling: float = 1.0
+    in_service: bool = True
+    #: "pv", "battery", ... — reporting only.
+    kind: str = "sgen"
+
+
+@dataclass
+class Generator:
+    """Voltage-controlled (PV-bus) machine."""
+
+    index: int
+    name: str
+    bus: int
+    p_mw: float
+    vm_pu: float = 1.0
+    min_q_mvar: float = -1e9
+    max_q_mvar: float = 1e9
+    in_service: bool = True
+
+
+@dataclass
+class ExternalGrid:
+    """Slack connection (infeeding line / upstream grid)."""
+
+    index: int
+    name: str
+    bus: int
+    vm_pu: float = 1.0
+    va_degree: float = 0.0
+    in_service: bool = True
+
+
+@dataclass
+class Shunt:
+    index: int
+    name: str
+    bus: int
+    q_mvar: float  # positive = inductive consumption at 1 pu
+    p_mw: float = 0.0
+    in_service: bool = True
+
+
+@dataclass
+class Switch:
+    """Circuit breaker / disconnector.
+
+    ``BUS_BUS`` switches fuse their two buses when closed.  ``BUS_LINE``
+    switches connect ``bus`` to line ``element``; an open one takes the line
+    out of service (single-sided opening is modelled as full isolation,
+    matching how the cyber range operates breakers).
+    """
+
+    index: int
+    name: str
+    type: SwitchType
+    bus: int
+    other_bus: int = -1  # BUS_BUS only
+    element: int = -1  # line index, BUS_LINE only
+    closed: bool = True
+
+
+class Network:
+    """Container of component tables with name-indexed lookup."""
+
+    def __init__(self, name: str = "network", sn_mva: float = 100.0) -> None:
+        if sn_mva <= 0:
+            raise PowerSimError(f"system base sn_mva must be positive: {sn_mva}")
+        self.name = name
+        self.sn_mva = sn_mva
+        self.buses: list[Bus] = []
+        self.lines: list[Line] = []
+        self.transformers: list[Transformer] = []
+        self.loads: list[Load] = []
+        self.sgens: list[StaticGenerator] = []
+        self.gens: list[Generator] = []
+        self.ext_grids: list[ExternalGrid] = []
+        self.shunts: list[Shunt] = []
+        self.switches: list[Switch] = []
+        self._bus_names: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+    def add_bus(self, name: str, vn_kv: float, zone: str = "") -> int:
+        if name in self._bus_names:
+            raise PowerSimError(f"duplicate bus name {name!r}")
+        if vn_kv <= 0:
+            raise PowerSimError(f"bus {name!r}: vn_kv must be positive ({vn_kv})")
+        index = len(self.buses)
+        self.buses.append(Bus(index=index, name=name, vn_kv=vn_kv, zone=zone))
+        self._bus_names[name] = index
+        return index
+
+    def add_line(
+        self,
+        name: str,
+        from_bus: int,
+        to_bus: int,
+        r_ohm: float,
+        x_ohm: float,
+        b_us: float = 0.0,
+        max_i_ka: float = 1.0,
+        length_km: float = 1.0,
+    ) -> int:
+        self._check_bus(from_bus, f"line {name!r} from_bus")
+        self._check_bus(to_bus, f"line {name!r} to_bus")
+        if from_bus == to_bus:
+            raise PowerSimError(f"line {name!r} connects a bus to itself")
+        if x_ohm == 0 and r_ohm == 0:
+            raise PowerSimError(f"line {name!r} has zero impedance")
+        index = len(self.lines)
+        self.lines.append(
+            Line(
+                index=index,
+                name=name,
+                from_bus=from_bus,
+                to_bus=to_bus,
+                r_ohm=r_ohm,
+                x_ohm=x_ohm,
+                b_us=b_us,
+                max_i_ka=max_i_ka,
+                length_km=length_km,
+            )
+        )
+        return index
+
+    def add_transformer(
+        self,
+        name: str,
+        hv_bus: int,
+        lv_bus: int,
+        sn_mva: float,
+        vk_percent: float = 10.0,
+        vkr_percent: float = 0.5,
+        tap_pos: int = 0,
+        tap_step_percent: float = 1.25,
+    ) -> int:
+        self._check_bus(hv_bus, f"trafo {name!r} hv_bus")
+        self._check_bus(lv_bus, f"trafo {name!r} lv_bus")
+        if sn_mva <= 0:
+            raise PowerSimError(f"trafo {name!r}: sn_mva must be positive")
+        index = len(self.transformers)
+        self.transformers.append(
+            Transformer(
+                index=index,
+                name=name,
+                hv_bus=hv_bus,
+                lv_bus=lv_bus,
+                sn_mva=sn_mva,
+                vn_hv_kv=self.buses[hv_bus].vn_kv,
+                vn_lv_kv=self.buses[lv_bus].vn_kv,
+                vk_percent=vk_percent,
+                vkr_percent=vkr_percent,
+                tap_pos=tap_pos,
+                tap_step_percent=tap_step_percent,
+            )
+        )
+        return index
+
+    def add_load(
+        self, name: str, bus: int, p_mw: float, q_mvar: float = 0.0
+    ) -> int:
+        self._check_bus(bus, f"load {name!r}")
+        index = len(self.loads)
+        self.loads.append(
+            Load(index=index, name=name, bus=bus, p_mw=p_mw, q_mvar=q_mvar)
+        )
+        return index
+
+    def add_sgen(
+        self,
+        name: str,
+        bus: int,
+        p_mw: float,
+        q_mvar: float = 0.0,
+        kind: str = "sgen",
+    ) -> int:
+        self._check_bus(bus, f"sgen {name!r}")
+        index = len(self.sgens)
+        self.sgens.append(
+            StaticGenerator(
+                index=index, name=name, bus=bus, p_mw=p_mw, q_mvar=q_mvar, kind=kind
+            )
+        )
+        return index
+
+    def add_gen(
+        self, name: str, bus: int, p_mw: float, vm_pu: float = 1.0
+    ) -> int:
+        self._check_bus(bus, f"gen {name!r}")
+        index = len(self.gens)
+        self.gens.append(
+            Generator(index=index, name=name, bus=bus, p_mw=p_mw, vm_pu=vm_pu)
+        )
+        return index
+
+    def add_ext_grid(
+        self, name: str, bus: int, vm_pu: float = 1.0, va_degree: float = 0.0
+    ) -> int:
+        self._check_bus(bus, f"ext_grid {name!r}")
+        index = len(self.ext_grids)
+        self.ext_grids.append(
+            ExternalGrid(
+                index=index, name=name, bus=bus, vm_pu=vm_pu, va_degree=va_degree
+            )
+        )
+        return index
+
+    def add_shunt(
+        self, name: str, bus: int, q_mvar: float, p_mw: float = 0.0
+    ) -> int:
+        self._check_bus(bus, f"shunt {name!r}")
+        index = len(self.shunts)
+        self.shunts.append(
+            Shunt(index=index, name=name, bus=bus, q_mvar=q_mvar, p_mw=p_mw)
+        )
+        return index
+
+    def add_switch_bus_bus(
+        self, name: str, bus: int, other_bus: int, closed: bool = True
+    ) -> int:
+        self._check_bus(bus, f"switch {name!r}")
+        self._check_bus(other_bus, f"switch {name!r}")
+        if bus == other_bus:
+            raise PowerSimError(f"switch {name!r} connects a bus to itself")
+        index = len(self.switches)
+        self.switches.append(
+            Switch(
+                index=index,
+                name=name,
+                type=SwitchType.BUS_BUS,
+                bus=bus,
+                other_bus=other_bus,
+                closed=closed,
+            )
+        )
+        return index
+
+    def add_switch_bus_line(
+        self, name: str, bus: int, line: int, closed: bool = True
+    ) -> int:
+        self._check_bus(bus, f"switch {name!r}")
+        if not 0 <= line < len(self.lines):
+            raise PowerSimError(f"switch {name!r} references unknown line {line}")
+        index = len(self.switches)
+        self.switches.append(
+            Switch(
+                index=index,
+                name=name,
+                type=SwitchType.BUS_LINE,
+                bus=bus,
+                element=line,
+                closed=closed,
+            )
+        )
+        return index
+
+    # ------------------------------------------------------------------
+    # Lookup / mutation helpers (the cyber-side writes through these)
+    # ------------------------------------------------------------------
+    def bus_index(self, name: str) -> int:
+        try:
+            return self._bus_names[name]
+        except KeyError:
+            raise PowerSimError(f"unknown bus {name!r}") from None
+
+    def find_switch(self, name: str) -> Optional[Switch]:
+        for switch in self.switches:
+            if switch.name == name:
+                return switch
+        return None
+
+    def find_load(self, name: str) -> Optional[Load]:
+        for load in self.loads:
+            if load.name == name:
+                return load
+        return None
+
+    def find_line(self, name: str) -> Optional[Line]:
+        for line in self.lines:
+            if line.name == name:
+                return line
+        return None
+
+    def find_gen(self, name: str) -> Optional[Generator]:
+        for gen in self.gens:
+            if gen.name == name:
+                return gen
+        return None
+
+    def find_sgen(self, name: str) -> Optional[StaticGenerator]:
+        for sgen in self.sgens:
+            if sgen.name == name:
+                return sgen
+        return None
+
+    def set_switch(self, name: str, closed: bool) -> None:
+        switch = self.find_switch(name)
+        if switch is None:
+            raise PowerSimError(f"unknown switch {name!r}")
+        switch.closed = closed
+
+    # ------------------------------------------------------------------
+    def summary(self) -> dict[str, int]:
+        """Component counts — used by the Fig. 5 bench report."""
+        return {
+            "bus": len(self.buses),
+            "line": len(self.lines),
+            "trafo": len(self.transformers),
+            "load": len(self.loads),
+            "sgen": len(self.sgens),
+            "gen": len(self.gens),
+            "ext_grid": len(self.ext_grids),
+            "shunt": len(self.shunts),
+            "switch": len(self.switches),
+        }
+
+    def _check_bus(self, index: int, context: str) -> None:
+        if not 0 <= index < len(self.buses):
+            raise PowerSimError(f"{context}: unknown bus index {index}")

@@ -1,0 +1,90 @@
+"""Power-flow result snapshot.
+
+A :class:`PowerFlowResult` is the "snapshot of power grid status" the paper
+describes: the cyber range publishes selected values (bus voltages, line
+currents/powers, breaker states) into the point database after every solve,
+and virtual IEDs read them from there.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+class PowerFlowDiverged(Exception):
+    """Newton-Raphson failed to converge within the iteration budget."""
+
+
+@dataclass
+class BusResult:
+    name: str
+    vm_pu: float
+    va_degree: float
+    p_mw: float  # net injection (generation positive)
+    q_mvar: float
+    energized: bool = True
+
+    @property
+    def vn_kv_actual(self) -> float:  # pragma: no cover - display helper
+        return self.vm_pu
+
+
+@dataclass
+class BranchFlow:
+    """Flow on a line or transformer."""
+
+    name: str
+    from_bus: str
+    to_bus: str
+    p_from_mw: float
+    q_from_mvar: float
+    p_to_mw: float
+    q_to_mvar: float
+    i_from_ka: float
+    i_to_ka: float
+    loading_percent: float
+    in_service: bool = True
+
+    @property
+    def pl_mw(self) -> float:
+        """Active losses on the branch."""
+        return self.p_from_mw + self.p_to_mw
+
+
+@dataclass
+class PowerFlowResult:
+    """Complete solved snapshot."""
+
+    converged: bool
+    iterations: int
+    buses: dict[str, BusResult] = field(default_factory=dict)
+    lines: dict[str, BranchFlow] = field(default_factory=dict)
+    transformers: dict[str, BranchFlow] = field(default_factory=dict)
+    #: Slack active power (total import from external grids), MW.
+    slack_p_mw: float = 0.0
+    slack_q_mvar: float = 0.0
+
+    def bus(self, name: str) -> BusResult:
+        return self.buses[name]
+
+    def line(self, name: str) -> BranchFlow:
+        return self.lines[name]
+
+    @property
+    def total_load_mw(self) -> float:
+        return self._total_load_p
+
+    @property
+    def total_losses_mw(self) -> float:
+        losses = 0.0
+        for flow in list(self.lines.values()) + list(self.transformers.values()):
+            if flow.in_service and not math.isnan(flow.p_from_mw):
+                losses += flow.pl_mw
+        return losses
+
+    # Filled by the solver; kept private-ish to keep the dataclass simple.
+    _total_load_p: float = 0.0
+
+    def energized_bus_count(self) -> int:
+        return sum(1 for bus in self.buses.values() if bus.energized)

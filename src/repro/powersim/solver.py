@@ -1,0 +1,557 @@
+"""Newton-Raphson AC power flow.
+
+Implementation notes
+--------------------
+* Closed bus-bus switches fuse buses (union-find), so operating a circuit
+  breaker from the cyber side restructures the next snapshot — the coupling
+  mechanism the paper's case studies rely on.
+* Per-unit conversion uses the system base (``Network.sn_mva``) and each
+  bus's nominal voltage.  Transformers use the standard off-nominal-tap
+  branch model.
+* Islands without an in-service external grid (or with all sources
+  disconnected) are de-energized: their buses report 0 voltage, which the
+  virtual IEDs observe as a dead bus — the physically meaningful outcome of
+  e.g. a breaker-open attack.
+* The Jacobian uses the standard complex-matrix formulation (dS/dVa,
+  dS/dVm).  Networks at cyber-range scale are small, so dense algebra is
+  both simplest and fastest.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.powersim.network import Network, PowerSimError, SwitchType
+from repro.powersim.results import (
+    BranchFlow,
+    BusResult,
+    PowerFlowDiverged,
+    PowerFlowResult,
+)
+
+# Bus type codes.
+_PQ, _PV, _SLACK = 0, 1, 2
+
+
+@dataclass
+class _Branch:
+    """Reduced-system branch (line or transformer) ready for Ybus."""
+
+    name: str
+    kind: str  # "line" | "trafo"
+    from_node: int
+    to_node: int
+    ys: complex  # series admittance, pu
+    b_charging: float  # total shunt susceptance, pu
+    tap: float  # off-nominal ratio on the from (HV) side
+    from_bus: int  # original bus indices, for reporting
+    to_bus: int
+    max_i_ka: float = 0.0
+    sn_mva: float = 0.0  # trafo rating, for loading
+
+
+class _UnionFind:
+    def __init__(self, size: int) -> None:
+        self.parent = list(range(size))
+
+    def find(self, item: int) -> int:
+        root = item
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[item] != root:
+            self.parent[item], item = root, self.parent[item]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[max(ra, rb)] = min(ra, rb)
+
+
+def run_power_flow(
+    net: Network, tol: float = 1e-8, max_iter: int = 30
+) -> PowerFlowResult:
+    """Solve the network; returns a :class:`PowerFlowResult` snapshot."""
+    n_bus = len(net.buses)
+    if n_bus == 0:
+        raise PowerSimError("network has no buses")
+
+    fused = _fuse_buses(net)
+    rep_of = [fused.find(i) for i in range(n_bus)]
+    branches = _build_branches(net, rep_of)
+    nodes = sorted({rep_of[b.index] for b in net.buses if b.in_service})
+    node_index = {rep: i for i, rep in enumerate(nodes)}
+    n = len(nodes)
+
+    p_spec, q_spec, bus_type, vm_spec, va_spec = _injections(net, rep_of, node_index)
+    energized = _energized_nodes(branches, node_index, bus_type, n)
+
+    # Restrict the solve to energized nodes.
+    solve_nodes = [i for i in range(n) if energized[i]]
+    solve_index = {node: k for k, node in enumerate(solve_nodes)}
+    ns = len(solve_nodes)
+
+    result = PowerFlowResult(converged=True, iterations=0)
+    vm = np.zeros(n)
+    va = np.zeros(n)
+
+    if ns:
+        ybus = _build_ybus(net, branches, node_index, solve_index, ns)
+        v0 = np.ones(ns, dtype=complex)
+        types = np.array([bus_type[i] for i in solve_nodes])
+        for k, node in enumerate(solve_nodes):
+            if bus_type[node] in (_PV, _SLACK):
+                v0[k] = vm_spec[node] * np.exp(1j * va_spec[node])
+        s_spec = np.array(
+            [p_spec[i] + 1j * q_spec[i] for i in solve_nodes], dtype=complex
+        )
+        voltages, iterations = _newton_raphson(
+            ybus, v0, s_spec, types, tol, max_iter
+        )
+        result.iterations = iterations
+        for k, node in enumerate(solve_nodes):
+            vm[node] = abs(voltages[k])
+            va[node] = math.degrees(np.angle(voltages[k]))
+    else:
+        voltages = np.zeros(0, dtype=complex)
+
+    _fill_bus_results(net, result, rep_of, node_index, energized, vm, va)
+    _fill_branch_flows(
+        net, result, branches, node_index, solve_index, energized, voltages
+    )
+    _fill_slack_summary(
+        net, result, rep_of, node_index, solve_index, energized, voltages, branches
+    )
+    result._total_load_p = sum(
+        load.p_mw * load.scaling
+        for load in net.loads
+        if load.in_service
+        and energized.get(node_index.get(rep_of[load.bus], -1), False)
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Topology processing
+# ---------------------------------------------------------------------------
+
+
+def _fuse_buses(net: Network) -> _UnionFind:
+    fused = _UnionFind(len(net.buses))
+    for switch in net.switches:
+        if switch.type is SwitchType.BUS_BUS and switch.closed:
+            if (
+                net.buses[switch.bus].in_service
+                and net.buses[switch.other_bus].in_service
+            ):
+                fused.union(switch.bus, switch.other_bus)
+    return fused
+
+
+def _line_in_service(net: Network, line_index: int) -> bool:
+    line = net.lines[line_index]
+    if not line.in_service:
+        return False
+    if not net.buses[line.from_bus].in_service:
+        return False
+    if not net.buses[line.to_bus].in_service:
+        return False
+    for switch in net.switches:
+        if (
+            switch.type is SwitchType.BUS_LINE
+            and switch.element == line_index
+            and not switch.closed
+        ):
+            return False
+    return True
+
+
+def _build_branches(net: Network, rep_of: list[int]) -> list[_Branch]:
+    branches: list[_Branch] = []
+    for line in net.lines:
+        if not _line_in_service(net, line.index):
+            continue
+        from_node, to_node = rep_of[line.from_bus], rep_of[line.to_bus]
+        if from_node == to_node:
+            continue  # shorted by closed switches; zero-impedance jumper
+        vn = net.buses[line.from_bus].vn_kv
+        z_base = vn * vn / net.sn_mva
+        z = complex(line.r_ohm, line.x_ohm) / z_base
+        b_pu = line.b_us * 1e-6 * z_base
+        branches.append(
+            _Branch(
+                name=line.name,
+                kind="line",
+                from_node=from_node,
+                to_node=to_node,
+                ys=1.0 / z,
+                b_charging=b_pu,
+                tap=1.0,
+                from_bus=line.from_bus,
+                to_bus=line.to_bus,
+                max_i_ka=line.max_i_ka,
+            )
+        )
+    for trafo in net.transformers:
+        if not trafo.in_service:
+            continue
+        if not (
+            net.buses[trafo.hv_bus].in_service and net.buses[trafo.lv_bus].in_service
+        ):
+            continue
+        from_node, to_node = rep_of[trafo.hv_bus], rep_of[trafo.lv_bus]
+        if from_node == to_node:
+            continue
+        z_mag = trafo.vk_percent / 100.0 * net.sn_mva / trafo.sn_mva
+        r = trafo.vkr_percent / 100.0 * net.sn_mva / trafo.sn_mva
+        x = math.sqrt(max(z_mag * z_mag - r * r, 1e-12))
+        tap = 1.0 + trafo.tap_pos * trafo.tap_step_percent / 100.0
+        branches.append(
+            _Branch(
+                name=trafo.name,
+                kind="trafo",
+                from_node=from_node,
+                to_node=to_node,
+                ys=1.0 / complex(r, x),
+                b_charging=0.0,
+                tap=tap,
+                from_bus=trafo.hv_bus,
+                to_bus=trafo.lv_bus,
+                sn_mva=trafo.sn_mva,
+            )
+        )
+    return branches
+
+
+def _injections(
+    net: Network, rep_of: list[int], node_index: dict[int, int]
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    n = len(node_index)
+    p_spec = np.zeros(n)
+    q_spec = np.zeros(n)
+    bus_type = np.full(n, _PQ)
+    vm_spec = np.ones(n)
+    va_spec = np.zeros(n)
+
+    def node(bus: int) -> int:
+        return node_index[rep_of[bus]]
+
+    for load in net.loads:
+        if load.in_service and net.buses[load.bus].in_service:
+            p_spec[node(load.bus)] -= load.p_mw * load.scaling / net.sn_mva
+            q_spec[node(load.bus)] -= load.q_mvar * load.scaling / net.sn_mva
+    for sgen in net.sgens:
+        if sgen.in_service and net.buses[sgen.bus].in_service:
+            p_spec[node(sgen.bus)] += sgen.p_mw * sgen.scaling / net.sn_mva
+            q_spec[node(sgen.bus)] += sgen.q_mvar * sgen.scaling / net.sn_mva
+    for shunt in net.shunts:
+        if shunt.in_service and net.buses[shunt.bus].in_service:
+            p_spec[node(shunt.bus)] -= shunt.p_mw / net.sn_mva
+            q_spec[node(shunt.bus)] -= shunt.q_mvar / net.sn_mva
+    for gen in net.gens:
+        if gen.in_service and net.buses[gen.bus].in_service:
+            idx = node(gen.bus)
+            p_spec[idx] += gen.p_mw / net.sn_mva
+            if bus_type[idx] != _SLACK:
+                bus_type[idx] = _PV
+            vm_spec[idx] = gen.vm_pu
+    for grid in net.ext_grids:
+        if grid.in_service and net.buses[grid.bus].in_service:
+            idx = node(grid.bus)
+            vm_spec[idx] = grid.vm_pu
+            va_spec[idx] = math.radians(grid.va_degree)
+            bus_type[idx] = _SLACK
+    return p_spec, q_spec, bus_type, vm_spec, va_spec
+
+
+def _energized_nodes(
+    branches: list[_Branch],
+    node_index: dict[int, int],
+    bus_type: np.ndarray,
+    n: int,
+) -> dict[int, bool]:
+    """BFS from slack nodes over in-service branches."""
+    adjacency: dict[int, list[int]] = {i: [] for i in range(n)}
+    for branch in branches:
+        a = node_index[branch.from_node]
+        b = node_index[branch.to_node]
+        adjacency[a].append(b)
+        adjacency[b].append(a)
+    energized = {i: False for i in range(n)}
+    frontier = [i for i in range(n) if bus_type[i] == _SLACK]
+    for start in frontier:
+        energized[start] = True
+    while frontier:
+        current = frontier.pop()
+        for neighbour in adjacency[current]:
+            if not energized[neighbour]:
+                energized[neighbour] = True
+                frontier.append(neighbour)
+    return energized
+
+
+def _build_ybus(
+    net: Network,
+    branches: list[_Branch],
+    node_index: dict[int, int],
+    solve_index: dict[int, int],
+    ns: int,
+) -> np.ndarray:
+    ybus = np.zeros((ns, ns), dtype=complex)
+    for branch in branches:
+        a = node_index[branch.from_node]
+        b = node_index[branch.to_node]
+        if a not in solve_index or b not in solve_index:
+            continue
+        i, j = solve_index[a], solve_index[b]
+        ys = branch.ys
+        bc = 1j * branch.b_charging / 2.0
+        tap = branch.tap
+        ybus[i, i] += (ys + bc) / (tap * tap)
+        ybus[j, j] += ys + bc
+        ybus[i, j] -= ys / tap
+        ybus[j, i] -= ys / tap
+    return ybus
+
+
+# ---------------------------------------------------------------------------
+# Newton-Raphson core
+# ---------------------------------------------------------------------------
+
+
+def _newton_raphson(
+    ybus: np.ndarray,
+    v0: np.ndarray,
+    s_spec: np.ndarray,
+    types: np.ndarray,
+    tol: float,
+    max_iter: int,
+) -> tuple[np.ndarray, int]:
+    v = v0.copy()
+    pv = np.flatnonzero(types == _PV)
+    pq = np.flatnonzero(types == _PQ)
+    pvpq = np.concatenate([pv, pq])
+
+    if pvpq.size == 0:
+        return v, 0
+
+    for iteration in range(1, max_iter + 1):
+        i_bus = ybus @ v
+        s_calc = v * np.conj(i_bus)
+        mismatch = s_calc - s_spec
+        f = np.concatenate([mismatch[pvpq].real, mismatch[pq].imag])
+        if np.max(np.abs(f)) < tol:
+            return v, iteration - 1
+
+        diag_v = np.diag(v)
+        diag_i = np.diag(i_bus)
+        v_norm = v / np.abs(v)
+        diag_vnorm = np.diag(v_norm)
+        ds_dva = 1j * diag_v @ np.conj(diag_i - ybus @ diag_v)
+        ds_dvm = diag_v @ np.conj(ybus @ diag_vnorm) + np.conj(diag_i) @ diag_vnorm
+
+        j11 = ds_dva[np.ix_(pvpq, pvpq)].real
+        j12 = ds_dvm[np.ix_(pvpq, pq)].real
+        j21 = ds_dva[np.ix_(pq, pvpq)].imag
+        j22 = ds_dvm[np.ix_(pq, pq)].imag
+        jacobian = np.block([[j11, j12], [j21, j22]])
+
+        try:
+            dx = np.linalg.solve(jacobian, f)
+        except np.linalg.LinAlgError as exc:
+            raise PowerFlowDiverged(f"singular Jacobian: {exc}") from exc
+
+        n_pvpq = pvpq.size
+        va = np.angle(v)
+        vm = np.abs(v)
+        va[pvpq] -= dx[:n_pvpq]
+        vm[pq] -= dx[n_pvpq:]
+        v = vm * np.exp(1j * va)
+
+    raise PowerFlowDiverged(
+        f"no convergence after {max_iter} iterations "
+        f"(max mismatch {np.max(np.abs(f)):.3e})"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Result assembly
+# ---------------------------------------------------------------------------
+
+
+def _fill_bus_results(
+    net: Network,
+    result: PowerFlowResult,
+    rep_of: list[int],
+    node_index: dict[int, int],
+    energized: dict[int, bool],
+    vm: np.ndarray,
+    va: np.ndarray,
+) -> None:
+    for bus in net.buses:
+        if not bus.in_service:
+            result.buses[bus.name] = BusResult(
+                name=bus.name, vm_pu=0.0, va_degree=0.0, p_mw=0.0, q_mvar=0.0,
+                energized=False,
+            )
+            continue
+        node = node_index[rep_of[bus.index]]
+        is_on = energized[node]
+        p_inj = 0.0
+        q_inj = 0.0
+        for load in net.loads:
+            if load.bus == bus.index and load.in_service:
+                p_inj -= load.p_mw * load.scaling
+                q_inj -= load.q_mvar * load.scaling
+        for sgen in net.sgens:
+            if sgen.bus == bus.index and sgen.in_service:
+                p_inj += sgen.p_mw * sgen.scaling
+                q_inj += sgen.q_mvar * sgen.scaling
+        for gen in net.gens:
+            if gen.bus == bus.index and gen.in_service:
+                p_inj += gen.p_mw
+        result.buses[bus.name] = BusResult(
+            name=bus.name,
+            vm_pu=float(vm[node]) if is_on else 0.0,
+            va_degree=float(va[node]) if is_on else 0.0,
+            p_mw=p_inj if is_on else 0.0,
+            q_mvar=q_inj if is_on else 0.0,
+            energized=is_on,
+        )
+
+
+def _fill_branch_flows(
+    net: Network,
+    result: PowerFlowResult,
+    branches: list[_Branch],
+    node_index: dict[int, int],
+    solve_index: dict[int, int],
+    energized: dict[int, bool],
+    voltages: np.ndarray,
+) -> None:
+    live = {branch.name: branch for branch in branches}
+
+    def flow_for(branch: _Branch) -> BranchFlow:
+        a = node_index[branch.from_node]
+        b = node_index[branch.to_node]
+        from_name = net.buses[branch.from_bus].name
+        to_name = net.buses[branch.to_bus].name
+        if not (energized.get(a) and energized.get(b)):
+            return _dead_flow(branch.name, from_name, to_name, in_service=True)
+        vf = voltages[solve_index[a]]
+        vt = voltages[solve_index[b]]
+        ys = branch.ys
+        bc = 1j * branch.b_charging / 2.0
+        tap = branch.tap
+        i_from = (ys + bc) / (tap * tap) * vf - ys / tap * vt
+        i_to = (ys + bc) * vt - ys / tap * vf
+        s_from = vf * np.conj(i_from) * net.sn_mva
+        s_to = vt * np.conj(i_to) * net.sn_mva
+        i_base_from = net.sn_mva / (math.sqrt(3.0) * net.buses[branch.from_bus].vn_kv)
+        i_base_to = net.sn_mva / (math.sqrt(3.0) * net.buses[branch.to_bus].vn_kv)
+        i_from_ka = abs(i_from) * i_base_from
+        i_to_ka = abs(i_to) * i_base_to
+        if branch.kind == "line":
+            limit = branch.max_i_ka if branch.max_i_ka > 0 else 1.0
+            loading = max(i_from_ka, i_to_ka) / limit * 100.0
+        else:
+            loading = max(abs(s_from), abs(s_to)) / branch.sn_mva * 100.0
+        return BranchFlow(
+            name=branch.name,
+            from_bus=from_name,
+            to_bus=to_name,
+            p_from_mw=float(s_from.real),
+            q_from_mvar=float(s_from.imag),
+            p_to_mw=float(s_to.real),
+            q_to_mvar=float(s_to.imag),
+            i_from_ka=float(i_from_ka),
+            i_to_ka=float(i_to_ka),
+            loading_percent=float(loading),
+        )
+
+    for line in net.lines:
+        branch = live.get(line.name)
+        if branch is not None and branch.kind == "line":
+            result.lines[line.name] = flow_for(branch)
+        else:
+            in_service = _line_in_service(net, line.index)
+            result.lines[line.name] = _dead_flow(
+                line.name,
+                net.buses[line.from_bus].name,
+                net.buses[line.to_bus].name,
+                in_service=in_service,
+            )
+    for trafo in net.transformers:
+        branch = live.get(trafo.name)
+        if branch is not None and branch.kind == "trafo":
+            result.transformers[trafo.name] = flow_for(branch)
+        else:
+            result.transformers[trafo.name] = _dead_flow(
+                trafo.name,
+                net.buses[trafo.hv_bus].name,
+                net.buses[trafo.lv_bus].name,
+                in_service=trafo.in_service,
+            )
+
+
+def _dead_flow(
+    name: str, from_bus: str, to_bus: str, in_service: bool
+) -> BranchFlow:
+    return BranchFlow(
+        name=name,
+        from_bus=from_bus,
+        to_bus=to_bus,
+        p_from_mw=0.0,
+        q_from_mvar=0.0,
+        p_to_mw=0.0,
+        q_to_mvar=0.0,
+        i_from_ka=0.0,
+        i_to_ka=0.0,
+        loading_percent=0.0,
+        in_service=in_service,
+    )
+
+
+def _fill_slack_summary(
+    net: Network,
+    result: PowerFlowResult,
+    rep_of: list[int],
+    node_index: dict[int, int],
+    solve_index: dict[int, int],
+    energized: dict[int, bool],
+    voltages: np.ndarray,
+    branches: list[_Branch],
+) -> None:
+    """Slack power = total losses + load - specified generation."""
+    if voltages.size == 0:
+        return
+    ybus = _build_ybus(net, branches, node_index, solve_index, len(voltages))
+    s_calc = voltages * np.conj(ybus @ voltages) * net.sn_mva
+    slack_p = 0.0
+    slack_q = 0.0
+    slack_nodes = set()
+    for grid in net.ext_grids:
+        if grid.in_service and net.buses[grid.bus].in_service:
+            node = node_index[rep_of[grid.bus]]
+            if energized.get(node) and node in solve_index:
+                slack_nodes.add(node)
+    for node in slack_nodes:
+        injected = s_calc[solve_index[node]]
+        # Subtract the other specified injections co-located at the node.
+        spec = 0.0 + 0.0j
+        for load in net.loads:
+            if load.in_service and node_index.get(rep_of[load.bus]) == node:
+                spec -= complex(load.p_mw * load.scaling, load.q_mvar * load.scaling)
+        for sgen in net.sgens:
+            if sgen.in_service and node_index.get(rep_of[sgen.bus]) == node:
+                spec += complex(sgen.p_mw * sgen.scaling, sgen.q_mvar * sgen.scaling)
+        for gen in net.gens:
+            if gen.in_service and node_index.get(rep_of[gen.bus]) == node:
+                spec += complex(gen.p_mw, 0.0)
+        slack_p += injected.real - spec.real
+        slack_q += injected.imag - spec.imag
+    result.slack_p_mw = slack_p
+    result.slack_q_mvar = slack_q

@@ -1,0 +1,193 @@
+"""Time-series simulation: load profiles and disturbance scenarios.
+
+The Power System Extra Config XML (paper §III-A) "specifies the amount of
+load and circuit breaker status in a time series for each component in the
+simulation model.  The power system simulator in the cyber range reads these
+parameters at each step of the simulation."  This module implements that
+runtime: a :class:`SimulationScenario` holds profiles and events; the
+:class:`TimeSeriesRunner` applies them before each periodic solve.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.powersim.network import Network, PowerSimError
+from repro.powersim.results import PowerFlowDiverged, PowerFlowResult
+from repro.powersim.solver import run_power_flow
+
+
+@dataclass(frozen=True)
+class ProfilePoint:
+    """One step of a piecewise-constant profile."""
+
+    time_s: float
+    value: float
+
+
+@dataclass
+class LoadProfile:
+    """Piecewise-constant scaling profile for a load or static generator.
+
+    ``target`` is the element name; ``kind`` selects the table ("load" or
+    "sgen").  Values are multipliers applied to the element's base power.
+    """
+
+    target: str
+    kind: str = "load"
+    points: list[ProfilePoint] = field(default_factory=list)
+
+    def sorted_points(self) -> list[ProfilePoint]:
+        return sorted(self.points, key=lambda point: point.time_s)
+
+    def value_at(self, time_s: float) -> Optional[float]:
+        """Step interpolation; ``None`` before the first point."""
+        ordered = self.sorted_points()
+        times = [point.time_s for point in ordered]
+        position = bisect.bisect_right(times, time_s) - 1
+        if position < 0:
+            return None
+        return ordered[position].value
+
+
+@dataclass(frozen=True)
+class ScenarioEvent:
+    """A discrete disturbance at ``time_s``.
+
+    Supported actions (mirroring the paper's "generator loss, line loss,
+    etc." contingency vocabulary):
+
+    * ``open_switch`` / ``close_switch`` — operate a breaker by name,
+    * ``line_out`` / ``line_in``          — line loss / restoration,
+    * ``gen_out`` / ``gen_in``            — generator loss / restoration,
+    * ``sgen_out`` / ``sgen_in``          — PV/battery loss / restoration,
+    * ``scale_load``                      — set a load's scaling factor.
+    """
+
+    time_s: float
+    action: str
+    target: str
+    value: float = 0.0
+
+
+_EVENT_ACTIONS = {
+    "open_switch",
+    "close_switch",
+    "line_out",
+    "line_in",
+    "gen_out",
+    "gen_in",
+    "sgen_out",
+    "sgen_in",
+    "scale_load",
+}
+
+
+@dataclass
+class SimulationScenario:
+    """Scenario = profiles + ordered disturbance events."""
+
+    name: str = "default"
+    profiles: list[LoadProfile] = field(default_factory=list)
+    events: list[ScenarioEvent] = field(default_factory=list)
+
+    def validate(self, net: Network) -> list[str]:
+        problems = []
+        for profile in self.profiles:
+            if profile.kind == "load" and net.find_load(profile.target) is None:
+                problems.append(f"profile targets unknown load {profile.target!r}")
+            if profile.kind == "sgen" and net.find_sgen(profile.target) is None:
+                problems.append(f"profile targets unknown sgen {profile.target!r}")
+        for event in self.events:
+            if event.action not in _EVENT_ACTIONS:
+                problems.append(f"unknown event action {event.action!r}")
+        return problems
+
+
+class TimeSeriesRunner:
+    """Applies scenario state to the network and re-solves on demand.
+
+    The cyber range calls :meth:`step` every power-flow interval (default
+    100 ms per the paper).  Between solves the cyber side may have operated
+    breakers directly on the network; ``step`` layers the scenario's
+    profile values and any newly due events on top, then solves.
+    """
+
+    def __init__(self, net: Network, scenario: Optional[SimulationScenario] = None):
+        self.net = net
+        self.scenario = scenario or SimulationScenario()
+        problems = self.scenario.validate(net)
+        if problems:
+            raise PowerSimError("invalid scenario: " + "; ".join(problems))
+        self._pending = sorted(self.scenario.events, key=lambda e: e.time_s)
+        self._cursor = 0
+        self.last_result: Optional[PowerFlowResult] = None
+        self.solve_count = 0
+        self.diverged_count = 0
+
+    def step(self, time_s: float) -> PowerFlowResult:
+        """Apply scenario state for ``time_s`` and solve."""
+        self._apply_profiles(time_s)
+        self._apply_due_events(time_s)
+        try:
+            result = run_power_flow(self.net)
+        except PowerFlowDiverged:
+            self.diverged_count += 1
+            raise
+        self.solve_count += 1
+        self.last_result = result
+        return result
+
+    # ------------------------------------------------------------------
+    def _apply_profiles(self, time_s: float) -> None:
+        for profile in self.scenario.profiles:
+            value = profile.value_at(time_s)
+            if value is None:
+                continue
+            if profile.kind == "load":
+                load = self.net.find_load(profile.target)
+                if load is not None:
+                    load.scaling = value
+            elif profile.kind == "sgen":
+                sgen = self.net.find_sgen(profile.target)
+                if sgen is not None:
+                    sgen.scaling = value
+
+    def _apply_due_events(self, time_s: float) -> None:
+        while self._cursor < len(self._pending):
+            event = self._pending[self._cursor]
+            if event.time_s > time_s:
+                break
+            self._apply_event(event)
+            self._cursor += 1
+
+    def _apply_event(self, event: ScenarioEvent) -> None:
+        net = self.net
+        if event.action == "open_switch":
+            net.set_switch(event.target, closed=False)
+        elif event.action == "close_switch":
+            net.set_switch(event.target, closed=True)
+        elif event.action in ("line_out", "line_in"):
+            line = net.find_line(event.target)
+            if line is None:
+                raise PowerSimError(f"event targets unknown line {event.target!r}")
+            line.in_service = event.action == "line_in"
+        elif event.action in ("gen_out", "gen_in"):
+            gen = net.find_gen(event.target)
+            if gen is None:
+                raise PowerSimError(f"event targets unknown gen {event.target!r}")
+            gen.in_service = event.action == "gen_in"
+        elif event.action in ("sgen_out", "sgen_in"):
+            sgen = net.find_sgen(event.target)
+            if sgen is None:
+                raise PowerSimError(f"event targets unknown sgen {event.target!r}")
+            sgen.in_service = event.action == "sgen_in"
+        elif event.action == "scale_load":
+            load = net.find_load(event.target)
+            if load is None:
+                raise PowerSimError(f"event targets unknown load {event.target!r}")
+            load.scaling = event.value
+        else:  # pragma: no cover - guarded by validate()
+            raise PowerSimError(f"unknown event action {event.action!r}")

@@ -1,0 +1,14 @@
+"""The operational cyber range runtime.
+
+A :class:`CyberRange` is what the SG-ML Processor produces: the emulated
+cyber network populated with virtual IEDs / PLC / SCADA, coupled to the
+power-flow simulator through the point database, with the periodic
+co-simulation loop of the paper's §III-C ("our cyber range runs it
+periodically (e.g., every 100ms) with the updated configuration and load
+profile").
+"""
+
+from repro.range.cosim import PowerCoupling
+from repro.range.range import CyberRange, RangeError
+
+__all__ = ["CyberRange", "PowerCoupling", "RangeError"]

@@ -1,0 +1,116 @@
+"""Cyber↔physical coupling: the periodic power-flow tick.
+
+Each tick (default 100 ms, §III-C):
+
+1. drain breaker commands written by IEDs into the point database and
+   apply them to the power network's switches,
+2. advance the scenario (load profiles, contingency events) and re-solve
+   the power flow,
+3. publish the fresh snapshot back into the point database under the key
+   conventions of :mod:`repro.pointdb`.
+
+Key conventions published per element (names are the SCL equipment names):
+
+* buses:      ``meas/<bus>/vm_pu``, ``meas/<bus>/va_deg``
+* lines:      ``meas/<line>/p_mw``, ``q_mvar``, ``i_ka``, ``loading``
+* trafos:     ``meas/<trafo>/p_mw``, ``q_mvar``, ``loading``
+* switches:   ``status/<switch>/closed``
+* gens/sgens: ``meas/<name>/p_mw``
+* loads:      ``meas/<name>/p_mw`` (scaled)
+* system:     ``meas/system/hz``, ``meas/system/slack_p_mw``
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.powersim import Network, PowerFlowDiverged, PowerFlowResult
+from repro.powersim.timeseries import TimeSeriesRunner
+from repro.pointdb import PointDatabase
+
+
+class PowerCoupling:
+    """Owns the tick: commands in, snapshot out."""
+
+    def __init__(
+        self,
+        net: Network,
+        runner: TimeSeriesRunner,
+        pointdb: PointDatabase,
+    ) -> None:
+        self.net = net
+        self.runner = runner
+        self.pointdb = pointdb
+        self.tick_count = 0
+        self.applied_commands = 0
+        self.unknown_commands: list[str] = []
+        self.diverged_ticks = 0
+        self.last_result: Optional[PowerFlowResult] = None
+
+    # ------------------------------------------------------------------
+    def tick(self, time_s: float) -> Optional[PowerFlowResult]:
+        """One co-simulation step at scenario time ``time_s``."""
+        self.tick_count += 1
+        self._apply_commands()
+        try:
+            result = self.runner.step(time_s)
+        except PowerFlowDiverged:
+            self.diverged_ticks += 1
+            return None
+        self.last_result = result
+        self.publish(result)
+        return result
+
+    # ------------------------------------------------------------------
+    def _apply_commands(self) -> None:
+        for command in self.pointdb.drain_commands():
+            parts = command.key.split("/")
+            if len(parts) != 3 or parts[0] != "cmd":
+                continue
+            target, action = parts[1], parts[2]
+            if action == "close":
+                switch = self.net.find_switch(target)
+                if switch is None:
+                    self.unknown_commands.append(command.key)
+                    continue
+                switch.closed = bool(command.value)
+                self.applied_commands += 1
+            elif action == "scale":
+                load = self.net.find_load(target)
+                if load is None:
+                    self.unknown_commands.append(command.key)
+                    continue
+                load.scaling = float(command.value)
+                self.applied_commands += 1
+
+    # ------------------------------------------------------------------
+    def publish(self, result: PowerFlowResult) -> None:
+        db = self.pointdb
+        for name, bus in result.buses.items():
+            db.set(f"meas/{name}/vm_pu", bus.vm_pu)
+            db.set(f"meas/{name}/va_deg", bus.va_degree)
+        for name, flow in result.lines.items():
+            db.set(f"meas/{name}/p_mw", flow.p_from_mw)
+            db.set(f"meas/{name}/q_mvar", flow.q_from_mvar)
+            db.set(f"meas/{name}/i_ka", flow.i_from_ka)
+            db.set(f"meas/{name}/i_to_ka", flow.i_to_ka)
+            db.set(f"meas/{name}/loading", flow.loading_percent)
+        for name, flow in result.transformers.items():
+            db.set(f"meas/{name}/p_mw", flow.p_from_mw)
+            db.set(f"meas/{name}/q_mvar", flow.q_from_mvar)
+            db.set(f"meas/{name}/loading", flow.loading_percent)
+        for switch in self.net.switches:
+            db.set(f"status/{switch.name}/closed", switch.closed)
+        for gen in self.net.gens:
+            db.set(f"meas/{gen.name}/p_mw", gen.p_mw if gen.in_service else 0.0)
+        for grid in self.net.ext_grids:
+            db.set(f"meas/{grid.name}/p_mw", result.slack_p_mw)
+        for sgen in self.net.sgens:
+            value = sgen.p_mw * sgen.scaling if sgen.in_service else 0.0
+            db.set(f"meas/{sgen.name}/p_mw", value)
+        for load in self.net.loads:
+            value = load.p_mw * load.scaling if load.in_service else 0.0
+            db.set(f"meas/{load.name}/p_mw", value)
+        db.set("meas/system/hz", 50.0)
+        db.set("meas/system/slack_p_mw", result.slack_p_mw)
+        db.set("meas/system/losses_mw", result.total_losses_mw)

@@ -1,0 +1,170 @@
+"""The cyber range object produced by the SG-ML Processor."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.kernel import MS, SECOND, Simulator
+from repro.netem import Host, PacketCapture, VirtualNetwork
+from repro.plc import VirtualPlc
+from repro.pointdb import PointDatabase
+from repro.powersim import Network
+from repro.powersim.timeseries import TimeSeriesRunner
+from repro.range.cosim import PowerCoupling
+from repro.ied import VirtualIed
+from repro.scada import ScadaHmi
+
+
+class RangeError(Exception):
+    """Runtime misuse of the cyber range."""
+
+
+class CyberRange:
+    """An operational smart grid cyber range (paper Fig. 1 architecture)."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        network: VirtualNetwork,
+        power_net: Network,
+        runner: TimeSeriesRunner,
+        pointdb: PointDatabase,
+        sim_interval_ms: float = 100.0,
+    ) -> None:
+        self.simulator = simulator
+        self.network = network
+        self.power_net = power_net
+        self.pointdb = pointdb
+        self.coupling = PowerCoupling(power_net, runner, pointdb)
+        self.sim_interval_ms = sim_interval_ms
+        self.ieds: dict[str, VirtualIed] = {}
+        self.plcs: dict[str, VirtualPlc] = {}
+        self.hmis: dict[str, ScadaHmi] = {}
+        self._tick_task = None
+        self.started = False
+        self._attacker_count = 0
+
+    # ------------------------------------------------------------------
+    # Composition (used by the processor / tests)
+    # ------------------------------------------------------------------
+    def add_ied(self, ied: VirtualIed) -> VirtualIed:
+        if ied.name in self.ieds:
+            raise RangeError(f"duplicate IED {ied.name!r}")
+        self.ieds[ied.name] = ied
+        return ied
+
+    def add_plc(self, name: str, plc: VirtualPlc) -> VirtualPlc:
+        if name in self.plcs:
+            raise RangeError(f"duplicate PLC {name!r}")
+        self.plcs[name] = plc
+        return plc
+
+    def add_hmi(self, name: str, hmi: ScadaHmi) -> ScadaHmi:
+        if name in self.hmis:
+            raise RangeError(f"duplicate HMI {name!r}")
+        self.hmis[name] = hmi
+        return hmi
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start every device and the co-simulation tick."""
+        if self.started:
+            return
+        self.started = True
+        # Publish an initial snapshot so devices see sane values at boot.
+        self.coupling.tick(0.0)
+        # Servers first (IEDs), then clients (PLC, SCADA).
+        for ied in self.ieds.values():
+            ied.start()
+        for plc in self.plcs.values():
+            plc.start()
+        for hmi in self.hmis.values():
+            hmi.start()
+        interval = int(self.sim_interval_ms * MS)
+        self._tick_task = self.simulator.every(
+            interval, self._on_tick, label="powerflow-tick"
+        )
+
+    def stop(self) -> None:
+        if self._tick_task is not None:
+            self._tick_task.stop()
+            self._tick_task = None
+        for ied in self.ieds.values():
+            ied.stop()
+        for plc in self.plcs.values():
+            plc.stop()
+        for hmi in self.hmis.values():
+            hmi.stop()
+        self.started = False
+
+    def _on_tick(self) -> None:
+        self.coupling.tick(self.simulator.now / SECOND)
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run_for(self, seconds: float) -> None:
+        """Advance the whole range by ``seconds`` of virtual time."""
+        if not self.started:
+            raise RangeError("call start() before run_for()")
+        self.simulator.run_for(int(seconds * SECOND))
+
+    def run_realtime(self, seconds: float, speed: float = 1.0) -> None:
+        """Advance pacing against the wall clock (interactive exercises)."""
+        if not self.started:
+            raise RangeError("call start() before run_realtime()")
+        self.simulator.run_realtime(int(seconds * SECOND), speed=speed)
+
+    # ------------------------------------------------------------------
+    # Attack / observation surface
+    # ------------------------------------------------------------------
+    def host(self, name: str) -> Host:
+        return self.network.host(name)
+
+    def add_attacker(
+        self, switch_name: str, name: str = "", ip: str = ""
+    ) -> Host:
+        """Attach an attacker box to a switch, like plugging in a laptop.
+
+        The paper: "Users can utilize any penetration testing tool ... on a
+        virtual node of the cyber range or on their own devices connected
+        to the cyber range."
+        """
+        self._attacker_count += 1
+        host_name = name or f"attacker{self._attacker_count}"
+        host_ip = ip or f"10.66.66.{self._attacker_count}"
+        attacker = self.network.add_host(
+            host_name, ip=host_ip, subnet_mask="255.0.0.0"
+        )
+        self.network.add_link(host_name, switch_name)
+        return attacker
+
+    def capture(self, link_name: str) -> PacketCapture:
+        return self.network.capture(link_name)
+
+    def capture_all(self) -> PacketCapture:
+        return self.network.capture_all()
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def architecture_summary(self) -> dict[str, int]:
+        """Counts of each Fig. 1 component (bench/report helper)."""
+        return {
+            "ieds": len(self.ieds),
+            "plcs": len(self.plcs),
+            "hmis": len(self.hmis),
+            "hosts": len(self.network.hosts),
+            "switches": len(self.network.switches),
+            "links": len(self.network.links),
+            "buses": len(self.power_net.buses),
+            "power_switches": len(self.power_net.switches),
+        }
+
+    def breaker_state(self, breaker: str) -> bool:
+        return self.pointdb.get_bool(f"status/{breaker}/closed", True)
+
+    def measurement(self, key: str) -> float:
+        return self.pointdb.get_float(key)

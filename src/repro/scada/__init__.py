@@ -1,0 +1,41 @@
+"""Virtual SCADA HMI (SCADABR substitute).
+
+The paper's cyber range uses SCADABR: "The settings on data source (e.g.,
+PLCs) and data points has to be configured ... We have implemented a script
+to translate the SCADA Config XML into a JSON format that SCADABR can
+import" (§III-B).  This package reproduces both halves:
+
+* :class:`ScadaHmi` — the HMI runtime: polls data sources (Modbus to PLCs,
+  MMS to IEDs), maintains point values with quality, raises/clears alarms,
+  keeps an operator event log, and issues manual control commands.
+* :func:`import_scadabr_json` — ingests the JSON produced by the SG-ML
+  SCADA Config Parser (:mod:`repro.sgml.scada_config`).
+"""
+
+from repro.scada.config import (
+    AlarmLimits,
+    DataPointConfig,
+    DataSourceConfig,
+    ScadaConfig,
+)
+from repro.scada.hmi import (
+    AlarmEvent,
+    PointQuality,
+    PointValue,
+    ScadaError,
+    ScadaHmi,
+)
+from repro.scada.importer import import_scadabr_json
+
+__all__ = [
+    "AlarmEvent",
+    "AlarmLimits",
+    "DataPointConfig",
+    "DataSourceConfig",
+    "PointQuality",
+    "PointValue",
+    "ScadaConfig",
+    "ScadaError",
+    "ScadaHmi",
+    "import_scadabr_json",
+]

@@ -1,0 +1,100 @@
+"""SCADA configuration model (data sources and data points)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class AlarmLimits:
+    """High/low alarm thresholds on an analogue point."""
+
+    high: Optional[float] = None
+    low: Optional[float] = None
+
+    def violated(self, value: float) -> Optional[str]:
+        if self.high is not None and value > self.high:
+            return "HIGH"
+        if self.low is not None and value < self.low:
+            return "LOW"
+        return None
+
+
+@dataclass
+class DataSourceConfig:
+    """One polled data source: a PLC (Modbus) or an IED (MMS)."""
+
+    name: str
+    protocol: str  # "MODBUS" | "MMS"
+    host_ip: str
+    port: int = 0  # 0 = protocol default
+    poll_interval_ms: float = 1000.0  # paper: second-level HMI granularity
+
+
+@dataclass
+class DataPointConfig:
+    """One monitored/controlled point.
+
+    Modbus points address ``table`` (coil / discrete / holding / input) and
+    ``address``; MMS points address ``object_ref``.  ``writable`` points
+    accept operator commands, routed back over the source protocol.
+    """
+
+    name: str
+    source: str
+    kind: str = "analog"  # "analog" | "binary"
+    # Modbus addressing:
+    table: str = ""  # "coil"|"discrete"|"holding"|"input"|"input_float"|"holding_float"
+    address: int = 0
+    # MMS addressing:
+    object_ref: str = ""
+    scale: float = 1.0
+    writable: bool = False
+    #: For writable points, where commands go (defaults to the same address
+    #: / reference the point reads from).
+    write_table: str = ""
+    write_address: int = -1
+    write_object_ref: str = ""
+    alarms: AlarmLimits = field(default_factory=AlarmLimits)
+
+
+@dataclass
+class ScadaConfig:
+    """Complete HMI configuration."""
+
+    name: str = "scada"
+    sources: list[DataSourceConfig] = field(default_factory=list)
+    points: list[DataPointConfig] = field(default_factory=list)
+
+    def find_source(self, name: str) -> Optional[DataSourceConfig]:
+        for source in self.sources:
+            if source.name == name:
+                return source
+        return None
+
+    def find_point(self, name: str) -> Optional[DataPointConfig]:
+        for point in self.points:
+            if point.name == name:
+                return point
+        return None
+
+    def validate(self) -> list[str]:
+        problems = []
+        source_names = {source.name for source in self.sources}
+        for source in self.sources:
+            if source.protocol not in ("MODBUS", "MMS"):
+                problems.append(
+                    f"source {source.name!r}: unknown protocol {source.protocol!r}"
+                )
+        seen_points: set[str] = set()
+        for point in self.points:
+            if point.name in seen_points:
+                problems.append(f"duplicate point name {point.name!r}")
+            seen_points.add(point.name)
+            if point.source not in source_names:
+                problems.append(
+                    f"point {point.name!r} references unknown source "
+                    f"{point.source!r}"
+                )
+        return problems

@@ -1,0 +1,283 @@
+"""SCADA HMI runtime: polling, alarms, event log, operator commands."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.iec61850.mms import MmsClient
+from repro.kernel import MS, SECOND
+from repro.modbus import ModbusClient
+from repro.netem.host import Host
+from repro.scada.config import DataPointConfig, DataSourceConfig, ScadaConfig
+
+
+class ScadaError(Exception):
+    """Configuration or command failure in the HMI."""
+
+
+class PointQuality(enum.Enum):
+    INIT = "init"  # never polled successfully
+    GOOD = "good"
+    STALE = "stale"  # no fresh value within 3 poll intervals
+
+
+@dataclass
+class PointValue:
+    value: Any
+    time_us: int
+    quality: PointQuality = PointQuality.INIT
+
+
+@dataclass(frozen=True)
+class AlarmEvent:
+    time_us: int
+    point: str
+    kind: str  # "HIGH" | "LOW" | "RETURN_TO_NORMAL" | "COMMAND" | "QUALITY"
+    value: Any
+
+    def describe(self) -> str:
+        return f"[{self.time_us / 1e6:.3f}s] {self.point}: {self.kind} ({self.value})"
+
+
+class ScadaHmi:
+    """The operator's view of the plant, fed by polling data sources."""
+
+    def __init__(self, host: Host, config: ScadaConfig) -> None:
+        problems = config.validate()
+        if problems:
+            raise ScadaError("invalid SCADA config: " + "; ".join(problems))
+        self.host = host
+        self.config = config
+        self.values: dict[str, PointValue] = {
+            point.name: PointValue(value=None, time_us=0)
+            for point in config.points
+        }
+        self.events: list[AlarmEvent] = []
+        self.active_alarms: dict[str, str] = {}
+        self._modbus: dict[str, ModbusClient] = {}
+        self._mms: dict[str, MmsClient] = {}
+        self._tasks = []
+        self.poll_count = 0
+        self.command_count = 0
+        self.started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self.started:
+            return
+        self.started = True
+        for source in self.config.sources:
+            self._connect_source(source)
+            interval = int(source.poll_interval_ms * MS)
+            task = self.host.simulator.every(
+                interval,
+                lambda s=source: self._poll_source(s),
+                label=f"scada-poll:{source.name}",
+            )
+            self._tasks.append(task)
+
+    def stop(self) -> None:
+        for task in self._tasks:
+            task.stop()
+        self._tasks.clear()
+        self.started = False
+
+    def _connect_source(self, source: DataSourceConfig) -> None:
+        if source.protocol == "MODBUS":
+            client = ModbusClient(
+                self.host, source.host_ip, port=source.port or 502
+            )
+            client.connect()
+            self._modbus[source.name] = client
+        else:
+            client = MmsClient(self.host, source.host_ip, port=source.port or 102)
+            client.connect()
+            self._mms[source.name] = client
+
+    # ------------------------------------------------------------------
+    # Polling
+    # ------------------------------------------------------------------
+    def _poll_source(self, source: DataSourceConfig) -> None:
+        self.poll_count += 1
+        points = [p for p in self.config.points if p.source == source.name]
+        self._reconnect_if_needed(source)
+        if source.protocol == "MODBUS":
+            self._poll_modbus(source, points)
+        else:
+            self._poll_mms(source, points)
+        self._update_quality(source, points)
+
+    def _reconnect_if_needed(self, source: DataSourceConfig) -> None:
+        """Sources drop on network faults/attacks; polling re-dials them."""
+        if source.protocol == "MODBUS":
+            client = self._modbus[source.name]
+        else:
+            client = self._mms[source.name]
+        if not client.connected:
+            client.connect()
+
+    def _poll_modbus(
+        self, source: DataSourceConfig, points: list[DataPointConfig]
+    ) -> None:
+        client = self._modbus[source.name]
+        if not client.connected:
+            return
+        for point in points:
+            callback = self._make_updater(point)
+            if point.table == "coil":
+                client.read_coils(
+                    point.address, 1, lambda r, cb=callback: cb(_first(r.values))
+                )
+            elif point.table == "discrete":
+                client.read_discrete_inputs(
+                    point.address, 1, lambda r, cb=callback: cb(_first(r.values))
+                )
+            elif point.table == "holding":
+                client.read_holding_registers(
+                    point.address, 1, lambda r, cb=callback: cb(_first(r.values))
+                )
+            elif point.table == "input":
+                client.read_input_registers(
+                    point.address, 1, lambda r, cb=callback: cb(_first(r.values))
+                )
+            elif point.table == "input_float":
+                client.read_input_registers(
+                    point.address, 2, lambda r, cb=callback: cb(_to_float(r.values))
+                )
+            elif point.table == "holding_float":
+                client.read_holding_registers(
+                    point.address, 2, lambda r, cb=callback: cb(_to_float(r.values))
+                )
+
+    def _poll_mms(
+        self, source: DataSourceConfig, points: list[DataPointConfig]
+    ) -> None:
+        client = self._mms[source.name]
+        if not client.connected:
+            return
+        references = [point.object_ref for point in points if point.object_ref]
+        if not references:
+            return
+        by_ref = {point.object_ref: point for point in points}
+
+        def on_reply(results: Any, error: Optional[str]) -> None:
+            if error or not isinstance(results, list):
+                return
+            for reference, entry in zip(references, results):
+                if isinstance(entry, dict) and "value" in entry:
+                    point = by_ref.get(reference)
+                    if point is not None:
+                        self._make_updater(point)(entry["value"])
+
+        client.read(references, on_reply)
+
+    def _make_updater(self, point: DataPointConfig):
+        def update(raw: Any) -> None:
+            if raw is None:
+                return
+            if point.kind == "binary":
+                value: Any = bool(raw)
+            else:
+                try:
+                    value = float(raw) * point.scale
+                except (TypeError, ValueError):
+                    return
+            now = self.host.simulator.now
+            self.values[point.name] = PointValue(
+                value=value, time_us=now, quality=PointQuality.GOOD
+            )
+            self._check_alarms(point, value, now)
+
+        return update
+
+    def _check_alarms(self, point: DataPointConfig, value: Any, now: int) -> None:
+        if point.kind != "analog":
+            return
+        violation = point.alarms.violated(float(value))
+        active = self.active_alarms.get(point.name)
+        if violation and violation != active:
+            self.active_alarms[point.name] = violation
+            self.events.append(AlarmEvent(now, point.name, violation, value))
+        elif not violation and active:
+            del self.active_alarms[point.name]
+            self.events.append(
+                AlarmEvent(now, point.name, "RETURN_TO_NORMAL", value)
+            )
+
+    def _update_quality(
+        self, source: DataSourceConfig, points: list[DataPointConfig]
+    ) -> None:
+        now = self.host.simulator.now
+        stale_after = int(source.poll_interval_ms * MS) * 3
+        for point in points:
+            current = self.values[point.name]
+            if current.quality is PointQuality.INIT:
+                continue
+            if now - current.time_us > stale_after:
+                if current.quality is not PointQuality.STALE:
+                    current.quality = PointQuality.STALE
+                    self.events.append(
+                        AlarmEvent(now, point.name, "QUALITY", "stale")
+                    )
+
+    # ------------------------------------------------------------------
+    # Operator view / commands
+    # ------------------------------------------------------------------
+    def value_of(self, point_name: str) -> Any:
+        point_value = self.values.get(point_name)
+        return None if point_value is None else point_value.value
+
+    def panel(self) -> dict[str, Any]:
+        """Current HMI screen: point → value."""
+        return {name: pv.value for name, pv in sorted(self.values.items())}
+
+    def operate(self, point_name: str, value: Any) -> None:
+        """Operator command on a writable point (e.g. breaker open/close)."""
+        point = self.config.find_point(point_name)
+        if point is None:
+            raise ScadaError(f"unknown point {point_name!r}")
+        if not point.writable:
+            raise ScadaError(f"point {point_name!r} is not writable")
+        source = self.config.find_source(point.source)
+        assert source is not None  # validated at construction
+        now = self.host.simulator.now
+        self.command_count += 1
+        self.events.append(AlarmEvent(now, point_name, "COMMAND", value))
+        if source.protocol == "MODBUS":
+            client = self._modbus[source.name]
+            if not client.connected:
+                raise ScadaError(f"source {source.name!r} not connected")
+            table = point.write_table or point.table
+            address = (
+                point.write_address if point.write_address >= 0 else point.address
+            )
+            if table == "coil":
+                client.write_coil(address, 1 if value else 0)
+            elif table in ("holding", "holding_float"):
+                client.write_register(address, int(value) & 0xFFFF)
+            else:
+                raise ScadaError(
+                    f"point {point_name!r}: table {table!r} is not writable"
+                )
+        else:
+            client = self._mms[source.name]
+            if not client.connected:
+                raise ScadaError(f"source {source.name!r} not connected")
+            reference = point.write_object_ref or point.object_ref
+            client.write(reference, value)
+
+
+def _first(values: list[int]) -> Optional[int]:
+    return values[0] if values else None
+
+
+def _to_float(values: list[int]) -> Optional[float]:
+    if len(values) < 2:
+        return None
+    from repro.modbus.databank import registers_to_float
+
+    return registers_to_float(values[0], values[1])

@@ -1,0 +1,89 @@
+"""SCADABR-style JSON import.
+
+The SG-ML SCADA Config Parser translates SCADA Config XML into a JSON
+document (mirroring the paper's XML→JSON→SCADABR flow); this module turns
+that JSON into a runnable :class:`ScadaConfig`.
+
+JSON layout::
+
+    {
+      "name": "EPIC-HMI",
+      "dataSources": [
+        {"name": "CPLC", "type": "MODBUS", "host": "10.0.1.20",
+         "port": 502, "updatePeriodMs": 1000}
+      ],
+      "dataPoints": [
+        {"name": "G1_P_MW", "dataSource": "CPLC", "pointType": "analog",
+         "modbusTable": "input_float", "offset": 0, "scale": 1.0,
+         "settable": false, "alarmHigh": 12.0, "alarmLow": null}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Union
+
+from repro.scada.config import (
+    AlarmLimits,
+    DataPointConfig,
+    DataSourceConfig,
+    ScadaConfig,
+)
+from repro.scada.hmi import ScadaError
+
+
+def import_scadabr_json(document: Union[str, dict]) -> ScadaConfig:
+    """Parse SCADABR-import JSON (text or already-decoded dict)."""
+    if isinstance(document, str):
+        try:
+            document = json.loads(document)
+        except json.JSONDecodeError as exc:
+            raise ScadaError(f"malformed SCADA JSON: {exc}") from exc
+    if not isinstance(document, dict):
+        raise ScadaError("SCADA JSON root must be an object")
+    config = ScadaConfig(name=document.get("name", "scada"))
+    for raw in document.get("dataSources", []):
+        config.sources.append(
+            DataSourceConfig(
+                name=raw.get("name", ""),
+                protocol=raw.get("type", "MODBUS").upper(),
+                host_ip=raw.get("host", ""),
+                port=int(raw.get("port", 0)),
+                poll_interval_ms=float(raw.get("updatePeriodMs", 1000)),
+            )
+        )
+    for raw in document.get("dataPoints", []):
+        config.points.append(_parse_point(raw))
+    problems = config.validate()
+    if problems:
+        raise ScadaError("invalid SCADA JSON: " + "; ".join(problems))
+    return config
+
+
+def _parse_point(raw: dict[str, Any]) -> DataPointConfig:
+    alarms = AlarmLimits(
+        high=_optional_float(raw.get("alarmHigh")),
+        low=_optional_float(raw.get("alarmLow")),
+    )
+    return DataPointConfig(
+        name=raw.get("name", ""),
+        source=raw.get("dataSource", ""),
+        kind=raw.get("pointType", "analog"),
+        table=raw.get("modbusTable", ""),
+        address=int(raw.get("offset", 0)),
+        object_ref=raw.get("objectRef", ""),
+        scale=float(raw.get("scale", 1.0)),
+        writable=bool(raw.get("settable", False)),
+        write_table=raw.get("writeTable", ""),
+        write_address=int(raw.get("writeOffset", -1)),
+        write_object_ref=raw.get("writeObjectRef", ""),
+        alarms=alarms,
+    )
+
+
+def _optional_float(value: Any) -> Union[float, None]:
+    if value is None:
+        return None
+    return float(value)

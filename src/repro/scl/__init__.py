@@ -1,0 +1,93 @@
+"""IEC 61850 SCL (System Configuration description Language) support.
+
+Implements the four SCL file kinds the paper's Table I relies on:
+
+* **SSD** (System Specification Description) — substation single-line
+  diagram, voltage levels, bays, primary equipment.  Consumed by the SSD
+  Parser to generate the power-system simulation model.
+* **SCD** (System Configuration Description) — full system description
+  including every IED and the Communication section.  Consumed by the
+  network-topology generator (Mininet Launcher equivalent).
+* **ICD** (IED Capability Description) — one IED's logical devices, logical
+  nodes and data type templates.  Consumed by the Virtual IED Builder.
+* **SED** (System Exchange Description) — electrical tie lines and WAN links
+  between substations.  Consumed by the SSD/SCD mergers to build
+  multi-substation models.
+
+The object model lives in :mod:`repro.scl.model`; parsing and serialisation
+are namespace tolerant (they accept both namespaced and plain SCL files).
+"""
+
+from repro.scl.errors import SclError, SclParseError, SclValidationError
+from repro.scl.merge import merge_scd, merge_ssd
+from repro.scl.model import (
+    AccessPoint,
+    Bay,
+    CommunicationSection,
+    ConductingEquipment,
+    ConnectedAp,
+    ConnectivityNode,
+    DataTypeTemplates,
+    DoType,
+    DataAttribute,
+    DataObject,
+    EnumType,
+    Header,
+    Ied,
+    LDevice,
+    LNode,
+    LNodeType,
+    LogicalNode,
+    PowerTransformer,
+    SclDocument,
+    SclFileKind,
+    SubNetwork,
+    Substation,
+    Terminal,
+    TieLine,
+    TransformerWinding,
+    VoltageLevel,
+    WanLink,
+)
+from repro.scl.parser import parse_scl, parse_scl_file
+from repro.scl.paths import ObjectReference
+from repro.scl.writer import write_scl
+
+__all__ = [
+    "AccessPoint",
+    "Bay",
+    "CommunicationSection",
+    "ConductingEquipment",
+    "ConnectedAp",
+    "ConnectivityNode",
+    "DataAttribute",
+    "DataObject",
+    "DataTypeTemplates",
+    "DoType",
+    "EnumType",
+    "Header",
+    "Ied",
+    "LDevice",
+    "LNode",
+    "LNodeType",
+    "LogicalNode",
+    "ObjectReference",
+    "PowerTransformer",
+    "SclDocument",
+    "SclError",
+    "SclFileKind",
+    "SclParseError",
+    "SclValidationError",
+    "SubNetwork",
+    "Substation",
+    "Terminal",
+    "TieLine",
+    "TransformerWinding",
+    "VoltageLevel",
+    "WanLink",
+    "merge_scd",
+    "merge_ssd",
+    "parse_scl",
+    "parse_scl_file",
+    "write_scl",
+]

@@ -1,0 +1,14 @@
+"""Exception hierarchy for the SCL subsystem."""
+
+
+class SclError(Exception):
+    """Base class for all SCL-related failures."""
+
+
+class SclParseError(SclError):
+    """The XML could not be interpreted as a valid SCL document."""
+
+
+class SclValidationError(SclError):
+    """A structurally valid document violates a semantic constraint
+    (e.g. a Terminal referencing a ConnectivityNode that does not exist)."""

@@ -1,0 +1,153 @@
+"""SSD Merger and SCD Merger (paper Fig. 3, first two toolchain modules).
+
+For multi-substation models the SG-ML Processor first consolidates the
+per-substation files:
+
+* :func:`merge_ssd` combines several SSD files plus the tie-line content of
+  SED files into one consolidated SSD, which the SSD Parser then processes
+  exactly like a single-substation file (paper §III-B, "Generation of Power
+  System Simulation Model").
+* :func:`merge_scd` combines several SCD files into one consolidated SCD.
+  Per the paper, the WAN between substations "is abstracted as a single
+  switch connected to all substations": the merger inserts one ``WAN``
+  subnetwork whose attached access points are the substation gateways.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Optional, Sequence
+
+from repro.scl.errors import SclValidationError
+from repro.scl.model import (
+    CommunicationSection,
+    ConnectedAp,
+    Header,
+    SclDocument,
+    SubNetwork,
+)
+
+#: Name of the synthetic WAN subnetwork inserted by the SCD merger.
+WAN_SUBNETWORK = "WAN"
+
+
+def merge_ssd(
+    ssds: Sequence[SclDocument], sed: Optional[SclDocument] = None
+) -> SclDocument:
+    """Combine SSD documents (plus SED tie lines) into a consolidated SSD."""
+    if not ssds:
+        raise SclValidationError("merge_ssd requires at least one SSD document")
+    merged = SclDocument(
+        header=Header(id="+".join(doc.header.id or "ssd" for doc in ssds))
+    )
+    seen: set[str] = set()
+    for document in ssds:
+        for substation in document.substations:
+            if substation.name in seen:
+                raise SclValidationError(
+                    f"duplicate substation {substation.name!r} across SSD files"
+                )
+            seen.add(substation.name)
+            merged.substations.append(copy.deepcopy(substation))
+        # Templates may be needed downstream; last writer wins on id clash.
+        merged.templates.lnode_types.update(document.templates.lnode_types)
+        merged.templates.do_types.update(document.templates.do_types)
+        merged.templates.enum_types.update(document.templates.enum_types)
+    if sed is not None:
+        _check_tie_endpoints(merged, sed)
+        merged.tie_lines.extend(copy.deepcopy(sed.tie_lines))
+    return merged
+
+
+def merge_scd(
+    scds: Sequence[SclDocument],
+    sed: Optional[SclDocument] = None,
+    wan_latency_ms: float = 5.0,
+    wan_bandwidth_mbps: float = 100.0,
+) -> SclDocument:
+    """Combine SCD documents into a consolidated SCD with one WAN subnet."""
+    if not scds:
+        raise SclValidationError("merge_scd requires at least one SCD document")
+    merged = merge_ssd(scds, sed=sed)
+    merged.communication = CommunicationSection()
+    seen_ieds: set[str] = set()
+    seen_subnets: set[str] = set()
+    gateways: list[ConnectedAp] = []
+    for document in scds:
+        for ied in document.ieds:
+            if ied.name in seen_ieds:
+                raise SclValidationError(
+                    f"duplicate IED {ied.name!r} across SCD files"
+                )
+            seen_ieds.add(ied.name)
+            merged.ieds.append(copy.deepcopy(ied))
+        if document.communication is None:
+            continue
+        for subnet in document.communication.subnetworks:
+            if subnet.name in seen_subnets:
+                raise SclValidationError(
+                    f"duplicate subnetwork {subnet.name!r} across SCD files"
+                )
+            seen_subnets.add(subnet.name)
+            merged.communication.subnetworks.append(copy.deepcopy(subnet))
+            gateway = _subnet_gateway(subnet)
+            if gateway is not None:
+                gateways.append(gateway)
+
+    if len(scds) > 1 or (sed is not None and sed.wan_links):
+        # Paper §III-B: substations are joined by a WAN abstracted as a
+        # single switch.  Attach each substation's gateway AP to it.
+        wan = SubNetwork(
+            name=WAN_SUBNETWORK,
+            type="8-MMS",
+            desc="Inter-substation WAN (single-switch abstraction)",
+            attributes={
+                "latencyMs": f"{wan_latency_ms:g}",
+                "bandwidthMbps": f"{wan_bandwidth_mbps:g}",
+            },
+        )
+        if sed is not None and sed.wan_links:
+            first = sed.wan_links[0]
+            wan.attributes["latencyMs"] = f"{first.latency_ms:g}"
+            wan.attributes["bandwidthMbps"] = f"{first.bandwidth_mbps:g}"
+        wan.connected_aps = gateways
+        merged.communication.subnetworks.append(wan)
+    return merged
+
+
+def _subnet_gateway(subnet: SubNetwork) -> Optional[ConnectedAp]:
+    """The AP representing the subnet's WAN gateway.
+
+    Convention: an AP whose address carries an ``IP-GATEWAY`` equal to its
+    own IP is the gateway node; otherwise the first AP with a gateway entry
+    stands in (every station subnet has one in generated models).
+    """
+    candidate: Optional[ConnectedAp] = None
+    for ap in subnet.connected_aps:
+        gateway = ap.address.get("IP-GATEWAY", "")
+        if not gateway:
+            continue
+        if gateway == ap.ip:
+            return ConnectedAp(
+                ied_name=ap.ied_name, ap_name=ap.ap_name, address=dict(ap.address)
+            )
+        if candidate is None:
+            candidate = ap
+    if candidate is None:
+        return None
+    return ConnectedAp(
+        ied_name=candidate.ied_name,
+        ap_name=candidate.ap_name,
+        address=dict(candidate.address),
+    )
+
+
+def _check_tie_endpoints(merged: SclDocument, sed: SclDocument) -> None:
+    names = {substation.name for substation in merged.substations}
+    for tie in sed.tie_lines:
+        for end in (tie.from_substation, tie.to_substation):
+            if end not in names:
+                raise SclValidationError(
+                    f"SED tie line {tie.name!r} references substation "
+                    f"{end!r} not present in the merged model"
+                )

@@ -1,0 +1,633 @@
+"""Object model for IEC 61850 SCL documents.
+
+The model covers the subset of IEC 61850-6 that the SG-ML toolchain consumes:
+the Substation section (single-line diagram), the Communication section
+(subnetworks and access-point addresses), the IED section (logical
+devices / logical nodes) and DataTypeTemplates.  SED-specific content
+(tie lines and WAN links between substations) is carried in dedicated
+elements as permitted by the SCL ``Private`` extension mechanism.
+
+Everything is a plain dataclass; identity is by name, matching SCL semantics.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.scl.errors import SclValidationError
+
+
+class SclFileKind(enum.Enum):
+    """The four SCL file types of the paper's Table I."""
+
+    SSD = "SSD"
+    SCD = "SCD"
+    ICD = "ICD"
+    SED = "SED"
+
+    @classmethod
+    def from_suffix(cls, filename: str) -> Optional["SclFileKind"]:
+        """Infer the kind from a filename extension, if recognisable."""
+        lowered = filename.lower()
+        for kind in cls:
+            if lowered.endswith("." + kind.value.lower()):
+                return kind
+        if lowered.endswith(".cid") or lowered.endswith(".iid"):
+            return cls.ICD
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Header
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Header:
+    """SCL Header element."""
+
+    id: str = ""
+    version: str = "1"
+    revision: str = "A"
+    tool_id: str = "SG-ML"
+
+
+# ---------------------------------------------------------------------------
+# Substation section (single-line diagram)
+# ---------------------------------------------------------------------------
+
+#: Conducting-equipment type codes used by the toolchain (IEC 61850-6 table).
+EQUIPMENT_TYPES = {
+    "CBR": "circuit breaker",
+    "DIS": "disconnector",
+    "CTR": "current transformer",
+    "VTR": "voltage transformer",
+    "GEN": "generator",
+    "BAT": "battery",
+    "CAP": "capacitor bank",
+    "REA": "reactor",
+    "IFL": "infeeding line",
+    "MOT": "motor / controllable load",
+    "LIN": "power line segment",
+    "SAR": "surge arrester",
+}
+
+
+@dataclass
+class Terminal:
+    """Connection of one equipment terminal to a connectivity node."""
+
+    name: str = ""
+    connectivity_node: str = ""  # full path, e.g. "S1/VL1/Bay1/CN1"
+    c_node_name: str = ""  # short name of the node
+
+    def __post_init__(self) -> None:
+        if not self.c_node_name and self.connectivity_node:
+            self.c_node_name = self.connectivity_node.rsplit("/", 1)[-1]
+
+
+@dataclass
+class ConnectivityNode:
+    """A node of the single-line diagram (equipment meets here)."""
+
+    name: str
+    path_name: str = ""
+
+
+@dataclass
+class LNode:
+    """Reference from a primary-equipment function to an IED logical node."""
+
+    ied_name: str = ""
+    ld_inst: str = ""
+    ln_class: str = ""
+    ln_inst: str = ""
+    prefix: str = ""
+
+
+@dataclass
+class ConductingEquipment:
+    """Primary equipment inside a bay (breaker, generator, line, ...)."""
+
+    name: str
+    type: str
+    desc: str = ""
+    terminals: list[Terminal] = field(default_factory=list)
+    lnodes: list[LNode] = field(default_factory=list)
+    #: SG-ML private attributes (ratings, load profile ids, etc.).
+    attributes: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class Bay:
+    """A bay groups equipment and connectivity nodes in a voltage level."""
+
+    name: str
+    desc: str = ""
+    equipment: list[ConductingEquipment] = field(default_factory=list)
+    connectivity_nodes: list[ConnectivityNode] = field(default_factory=list)
+    lnodes: list[LNode] = field(default_factory=list)
+
+    def equipment_by_type(self, type_code: str) -> list[ConductingEquipment]:
+        return [e for e in self.equipment if e.type == type_code]
+
+    def find_equipment(self, name: str) -> Optional[ConductingEquipment]:
+        for item in self.equipment:
+            if item.name == name:
+                return item
+        return None
+
+
+@dataclass
+class TransformerWinding:
+    """One winding of a power transformer."""
+
+    name: str
+    terminals: list[Terminal] = field(default_factory=list)
+    rated_kv: float = 0.0
+    rated_mva: float = 0.0
+
+
+@dataclass
+class PowerTransformer:
+    """Two-winding power transformer (substation level or voltage level)."""
+
+    name: str
+    desc: str = ""
+    windings: list[TransformerWinding] = field(default_factory=list)
+    attributes: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class VoltageLevel:
+    """Voltage level containing bays; carries the nominal voltage."""
+
+    name: str
+    voltage_kv: float = 0.0
+    desc: str = ""
+    bays: list[Bay] = field(default_factory=list)
+
+    def find_bay(self, name: str) -> Optional[Bay]:
+        for bay in self.bays:
+            if bay.name == name:
+                return bay
+        return None
+
+
+@dataclass
+class Substation:
+    """Substation section root — the single-line diagram."""
+
+    name: str
+    desc: str = ""
+    voltage_levels: list[VoltageLevel] = field(default_factory=list)
+    power_transformers: list[PowerTransformer] = field(default_factory=list)
+
+    def find_voltage_level(self, name: str) -> Optional[VoltageLevel]:
+        for level in self.voltage_levels:
+            if level.name == name:
+                return level
+        return None
+
+    def iter_bays(self) -> Iterator[tuple[VoltageLevel, Bay]]:
+        for level in self.voltage_levels:
+            for bay in level.bays:
+                yield level, bay
+
+    def iter_equipment(
+        self,
+    ) -> Iterator[tuple[VoltageLevel, Bay, ConductingEquipment]]:
+        for level, bay in self.iter_bays():
+            for item in bay.equipment:
+                yield level, bay, item
+
+    def connectivity_node_paths(self) -> set[str]:
+        paths: set[str] = set()
+        for level, bay in self.iter_bays():
+            for node in bay.connectivity_nodes:
+                paths.add(
+                    node.path_name
+                    or f"{self.name}/{level.name}/{bay.name}/{node.name}"
+                )
+        return paths
+
+
+# ---------------------------------------------------------------------------
+# Communication section
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ConnectedAp:
+    """An IED access point attached to a subnetwork, with its addresses."""
+
+    ied_name: str
+    ap_name: str = "AP1"
+    #: P-type → value, e.g. {"IP": "10.0.1.11", "MAC-Address": "..."}
+    address: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ip(self) -> str:
+        return self.address.get("IP", "")
+
+    @property
+    def mac(self) -> str:
+        return self.address.get("MAC-Address", "")
+
+    @property
+    def subnet_mask(self) -> str:
+        return self.address.get("IP-SUBNET", "255.255.255.0")
+
+    @property
+    def gateway(self) -> str:
+        return self.address.get("IP-GATEWAY", "")
+
+
+@dataclass
+class SubNetwork:
+    """A subnetwork (station bus / process bus / WAN) with attached APs."""
+
+    name: str
+    type: str = "8-MMS"
+    desc: str = ""
+    connected_aps: list[ConnectedAp] = field(default_factory=list)
+    #: SG-ML private attributes (switch fanout, link latency, ...).
+    attributes: dict[str, str] = field(default_factory=dict)
+
+    def find_ap(self, ied_name: str, ap_name: str = "") -> Optional[ConnectedAp]:
+        for ap in self.connected_aps:
+            if ap.ied_name == ied_name and (not ap_name or ap.ap_name == ap_name):
+                return ap
+        return None
+
+
+@dataclass
+class CommunicationSection:
+    """Communication section root."""
+
+    subnetworks: list[SubNetwork] = field(default_factory=list)
+
+    def find_subnetwork(self, name: str) -> Optional[SubNetwork]:
+        for subnet in self.subnetworks:
+            if subnet.name == name:
+                return subnet
+        return None
+
+    def iter_aps(self) -> Iterator[tuple[SubNetwork, ConnectedAp]]:
+        for subnet in self.subnetworks:
+            for ap in subnet.connected_aps:
+                yield subnet, ap
+
+
+# ---------------------------------------------------------------------------
+# IED section
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DataAttribute:
+    """DAI element — an instantiated data attribute with an initial value."""
+
+    name: str
+    value: str = ""
+    fc: str = ""  # functional constraint (ST, MX, CO, SP, CF)
+    b_type: str = ""  # basic type (BOOLEAN, FLOAT32, INT32, Enum, ...)
+
+
+@dataclass
+class DataObject:
+    """DOI element — an instantiated data object (e.g. ``Pos``, ``Op``)."""
+
+    name: str
+    attributes: list[DataAttribute] = field(default_factory=list)
+    sub_objects: list["DataObject"] = field(default_factory=list)
+
+    def find_attribute(self, name: str) -> Optional[DataAttribute]:
+        for attr in self.attributes:
+            if attr.name == name:
+                return attr
+        return None
+
+
+@dataclass
+class LogicalNode:
+    """LN / LN0 element.
+
+    ``ln_class`` carries the IEC 61850-7-4 class (PTOC, XCBR, MMXU, CSWI,
+    CILO, ...) which drives which features the Virtual IED Builder enables —
+    exactly the mechanism described in the paper's §III-B.
+    """
+
+    ln_class: str
+    inst: str = "1"
+    prefix: str = ""
+    ln_type: str = ""
+    desc: str = ""
+    is_ln0: bool = False
+    dois: list[DataObject] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        """Concatenated LN name, e.g. ``PTOC1`` or ``Q1XCBR1``."""
+        return f"{self.prefix}{self.ln_class}{self.inst}"
+
+    def find_doi(self, name: str) -> Optional[DataObject]:
+        for doi in self.dois:
+            if doi.name == name:
+                return doi
+        return None
+
+
+@dataclass
+class LDevice:
+    """Logical device inside a server."""
+
+    inst: str
+    desc: str = ""
+    logical_nodes: list[LogicalNode] = field(default_factory=list)
+
+    @property
+    def ln0(self) -> Optional[LogicalNode]:
+        for node in self.logical_nodes:
+            if node.is_ln0:
+                return node
+        return None
+
+    def find_ln(
+        self, ln_class: str, inst: str = "", prefix: str = ""
+    ) -> Optional[LogicalNode]:
+        for node in self.logical_nodes:
+            if node.ln_class != ln_class:
+                continue
+            if inst and node.inst != inst:
+                continue
+            if prefix and node.prefix != prefix:
+                continue
+            return node
+        return None
+
+    def ln_classes(self) -> set[str]:
+        return {node.ln_class for node in self.logical_nodes}
+
+
+@dataclass
+class AccessPoint:
+    """IED access point; ``server_ldevices`` is empty for client-only APs."""
+
+    name: str = "AP1"
+    server_ldevices: list[LDevice] = field(default_factory=list)
+
+
+@dataclass
+class Ied:
+    """IED section element."""
+
+    name: str
+    type: str = ""
+    manufacturer: str = "SG-ML"
+    config_version: str = "1.0"
+    desc: str = ""
+    access_points: list[AccessPoint] = field(default_factory=list)
+
+    def iter_ldevices(self) -> Iterator[LDevice]:
+        for ap in self.access_points:
+            yield from ap.server_ldevices
+
+    def iter_lns(self) -> Iterator[tuple[LDevice, LogicalNode]]:
+        for ldevice in self.iter_ldevices():
+            for node in ldevice.logical_nodes:
+                yield ldevice, node
+
+    def ln_classes(self) -> set[str]:
+        """All LN classes in the IED — drives feature enablement."""
+        return {node.ln_class for _, node in self.iter_lns()}
+
+    def find_ldevice(self, inst: str) -> Optional[LDevice]:
+        for ldevice in self.iter_ldevices():
+            if ldevice.inst == inst:
+                return ldevice
+        return None
+
+
+# ---------------------------------------------------------------------------
+# DataTypeTemplates
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LNodeType:
+    """LNodeType template: LN class plus its data-object names."""
+
+    id: str
+    ln_class: str
+    dos: dict[str, str] = field(default_factory=dict)  # DO name → DOType id
+
+
+@dataclass
+class DoType:
+    """DOType template: CDC plus attribute name → basic type."""
+
+    id: str
+    cdc: str = ""
+    das: dict[str, str] = field(default_factory=dict)  # DA name → bType
+
+
+@dataclass
+class EnumType:
+    """EnumType template: ordinal → symbolic name."""
+
+    id: str
+    values: dict[int, str] = field(default_factory=dict)
+
+
+@dataclass
+class DataTypeTemplates:
+    lnode_types: dict[str, LNodeType] = field(default_factory=dict)
+    do_types: dict[str, DoType] = field(default_factory=dict)
+    enum_types: dict[str, EnumType] = field(default_factory=dict)
+
+
+# ---------------------------------------------------------------------------
+# SED content (SG-ML usage: inter-substation ties)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TieLine:
+    """Electrical connection between two substations (SED content).
+
+    ``from_node`` / ``to_node`` are connectivity-node paths
+    (``Substation/VoltageLevel/Bay/Node``).  Impedances are in ohms, total
+    for the tie.
+    """
+
+    name: str
+    from_substation: str
+    from_node: str
+    to_substation: str
+    to_node: str
+    r_ohm: float = 0.5
+    x_ohm: float = 2.0
+    b_us: float = 0.0  # total line charging susceptance, microsiemens
+    length_km: float = 10.0
+    max_i_ka: float = 1.0
+
+
+@dataclass
+class WanLink:
+    """Communication link between two substation subnetworks (SED)."""
+
+    from_subnetwork: str
+    to_subnetwork: str
+    bandwidth_mbps: float = 100.0
+    latency_ms: float = 5.0
+
+
+# ---------------------------------------------------------------------------
+# Document root
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SclDocument:
+    """Root of a parsed SCL file (any of the four kinds)."""
+
+    header: Header = field(default_factory=Header)
+    substations: list[Substation] = field(default_factory=list)
+    communication: Optional[CommunicationSection] = None
+    ieds: list[Ied] = field(default_factory=list)
+    templates: DataTypeTemplates = field(default_factory=DataTypeTemplates)
+    tie_lines: list[TieLine] = field(default_factory=list)
+    wan_links: list[WanLink] = field(default_factory=list)
+    source_path: str = ""
+
+    # ------------------------------------------------------------------
+    def find_substation(self, name: str) -> Optional[Substation]:
+        for substation in self.substations:
+            if substation.name == name:
+                return substation
+        return None
+
+    def find_ied(self, name: str) -> Optional[Ied]:
+        for ied in self.ieds:
+            if ied.name == name:
+                return ied
+        return None
+
+    @property
+    def kind(self) -> SclFileKind:
+        """Infer the SCL file kind from document content (Table I)."""
+        if self.tie_lines or self.wan_links:
+            return SclFileKind.SED
+        has_substation = bool(self.substations)
+        has_ieds = bool(self.ieds)
+        has_comm = self.communication is not None and bool(
+            self.communication.subnetworks
+        )
+        if has_substation and has_ieds and has_comm:
+            return SclFileKind.SCD
+        if has_ieds and not has_substation:
+            return SclFileKind.ICD
+        return SclFileKind.SSD
+
+    # ------------------------------------------------------------------
+    def validate(self) -> list[str]:
+        """Semantic checks; returns a list of problems (empty = valid)."""
+        problems: list[str] = []
+        problems.extend(self._validate_terminals())
+        problems.extend(self._validate_communication())
+        problems.extend(self._validate_ieds())
+        problems.extend(self._validate_ties())
+        return problems
+
+    def validate_or_raise(self) -> None:
+        problems = self.validate()
+        if problems:
+            raise SclValidationError(
+                f"{len(problems)} problem(s): " + "; ".join(problems[:10])
+            )
+
+    def _validate_terminals(self) -> list[str]:
+        problems = []
+        for substation in self.substations:
+            known = substation.connectivity_node_paths()
+            for level, bay, item in substation.iter_equipment():
+                for terminal in item.terminals:
+                    if terminal.connectivity_node and (
+                        terminal.connectivity_node not in known
+                    ):
+                        problems.append(
+                            f"{substation.name}/{level.name}/{bay.name}/"
+                            f"{item.name}: terminal references unknown node "
+                            f"{terminal.connectivity_node!r}"
+                        )
+            for transformer in substation.power_transformers:
+                for winding in transformer.windings:
+                    for terminal in winding.terminals:
+                        if terminal.connectivity_node and (
+                            terminal.connectivity_node not in known
+                        ):
+                            problems.append(
+                                f"{substation.name}/{transformer.name}/"
+                                f"{winding.name}: terminal references unknown "
+                                f"node {terminal.connectivity_node!r}"
+                            )
+        return problems
+
+    def _validate_communication(self) -> list[str]:
+        problems = []
+        if self.communication is None:
+            return problems
+        ied_names = {ied.name for ied in self.ieds}
+        seen_ips: dict[str, str] = {}
+        seen_macs: dict[str, str] = {}
+        for subnet, ap in self.communication.iter_aps():
+            if self.ieds and ap.ied_name not in ied_names:
+                problems.append(
+                    f"subnetwork {subnet.name}: ConnectedAP references "
+                    f"unknown IED {ap.ied_name!r}"
+                )
+            if ap.ip:
+                owner = seen_ips.setdefault(ap.ip, ap.ied_name)
+                if owner != ap.ied_name:
+                    problems.append(
+                        f"duplicate IP {ap.ip} on {owner!r} and {ap.ied_name!r}"
+                    )
+            if ap.mac:
+                owner = seen_macs.setdefault(ap.mac, ap.ied_name)
+                if owner != ap.ied_name:
+                    problems.append(
+                        f"duplicate MAC {ap.mac} on {owner!r} and {ap.ied_name!r}"
+                    )
+        return problems
+
+    def _validate_ieds(self) -> list[str]:
+        problems = []
+        seen: set[str] = set()
+        for ied in self.ieds:
+            if ied.name in seen:
+                problems.append(f"duplicate IED name {ied.name!r}")
+            seen.add(ied.name)
+            for _, node in ied.iter_lns():
+                if node.ln_type and node.ln_type not in self.templates.lnode_types:
+                    # Only a problem when templates are present at all.
+                    if self.templates.lnode_types:
+                        problems.append(
+                            f"IED {ied.name}: LN {node.name} references "
+                            f"missing LNodeType {node.ln_type!r}"
+                        )
+        return problems
+
+    def _validate_ties(self) -> list[str]:
+        problems = []
+        names = {substation.name for substation in self.substations}
+        for tie in self.tie_lines:
+            for end in (tie.from_substation, tie.to_substation):
+                if names and end not in names:
+                    problems.append(
+                        f"tie line {tie.name!r} references unknown "
+                        f"substation {end!r}"
+                    )
+        return problems

@@ -1,0 +1,380 @@
+"""SCL XML → object model parser.
+
+Namespace handling: real-world SCL files use the
+``http://www.iec.ch/61850/2003/SCL`` namespace, hand-written ones frequently
+do not.  The parser strips namespaces on ingest so both are accepted; the
+writer re-emits the standard namespace.
+"""
+
+from __future__ import annotations
+
+import os
+import xml.etree.ElementTree as ET
+from typing import Optional
+
+from repro.scl.errors import SclParseError
+from repro.scl.model import (
+    AccessPoint,
+    Bay,
+    CommunicationSection,
+    ConductingEquipment,
+    ConnectedAp,
+    ConnectivityNode,
+    DataAttribute,
+    DataObject,
+    DataTypeTemplates,
+    DoType,
+    EnumType,
+    Header,
+    Ied,
+    LDevice,
+    LNode,
+    LNodeType,
+    LogicalNode,
+    PowerTransformer,
+    SclDocument,
+    SubNetwork,
+    Substation,
+    Terminal,
+    TieLine,
+    TransformerWinding,
+    VoltageLevel,
+    WanLink,
+)
+
+#: Multipliers for SCL Voltage elements (IEC 61850-6 value kinds).
+_VOLTAGE_MULTIPLIERS = {"": 1.0, "k": 1e3, "M": 1e6, "m": 1e-3, "G": 1e9}
+
+
+def _local(tag: str) -> str:
+    """Strip ``{namespace}`` prefix from an element tag."""
+    return tag.rsplit("}", 1)[-1]
+
+
+def _children(element: ET.Element, name: str) -> list[ET.Element]:
+    return [child for child in element if _local(child.tag) == name]
+
+def _child(element: ET.Element, name: str) -> Optional[ET.Element]:
+    found = _children(element, name)
+    return found[0] if found else None
+
+
+def _float_attr(element: ET.Element, name: str, default: float = 0.0) -> float:
+    raw = element.get(name)
+    if raw is None or raw == "":
+        return default
+    try:
+        return float(raw)
+    except ValueError as exc:
+        raise SclParseError(
+            f"<{_local(element.tag)}> attribute {name}={raw!r} is not numeric"
+        ) from exc
+
+
+def parse_scl_file(path: str) -> SclDocument:
+    """Parse an SCL file from disk."""
+    if not os.path.exists(path):
+        raise SclParseError(f"SCL file not found: {path}")
+    with open(path, "r", encoding="utf-8") as handle:
+        document = parse_scl(handle.read())
+    document.source_path = path
+    return document
+
+
+def parse_scl(xml_text: str) -> SclDocument:
+    """Parse SCL XML text into an :class:`SclDocument`."""
+    try:
+        root = ET.fromstring(xml_text)
+    except ET.ParseError as exc:
+        raise SclParseError(f"malformed XML: {exc}") from exc
+    if _local(root.tag) != "SCL":
+        raise SclParseError(f"root element is <{_local(root.tag)}>, expected <SCL>")
+
+    document = SclDocument()
+    header = _child(root, "Header")
+    if header is not None:
+        document.header = Header(
+            id=header.get("id", ""),
+            version=header.get("version", "1"),
+            revision=header.get("revision", "A"),
+            tool_id=header.get("toolID", "SG-ML"),
+        )
+    for element in _children(root, "Substation"):
+        document.substations.append(_parse_substation(element))
+    communication = _child(root, "Communication")
+    if communication is not None:
+        document.communication = _parse_communication(communication)
+    for element in _children(root, "IED"):
+        document.ieds.append(_parse_ied(element))
+    templates = _child(root, "DataTypeTemplates")
+    if templates is not None:
+        document.templates = _parse_templates(templates)
+    _parse_sgml_private(root, document)
+    return document
+
+
+# ---------------------------------------------------------------------------
+# Substation section
+# ---------------------------------------------------------------------------
+
+
+def _parse_substation(element: ET.Element) -> Substation:
+    substation = Substation(
+        name=element.get("name", ""), desc=element.get("desc", "")
+    )
+    for vl_el in _children(element, "VoltageLevel"):
+        substation.voltage_levels.append(_parse_voltage_level(vl_el))
+    for tr_el in _children(element, "PowerTransformer"):
+        substation.power_transformers.append(_parse_power_transformer(tr_el))
+    return substation
+
+
+def _parse_voltage_level(element: ET.Element) -> VoltageLevel:
+    level = VoltageLevel(
+        name=element.get("name", ""), desc=element.get("desc", "")
+    )
+    voltage = _child(element, "Voltage")
+    if voltage is not None:
+        multiplier = _VOLTAGE_MULTIPLIERS.get(voltage.get("multiplier", ""), 1.0)
+        try:
+            value = float(voltage.text or "0")
+        except ValueError:
+            value = 0.0
+        level.voltage_kv = value * multiplier / 1e3
+    for bay_el in _children(element, "Bay"):
+        level.bays.append(_parse_bay(bay_el))
+    return level
+
+
+def _parse_bay(element: ET.Element) -> Bay:
+    bay = Bay(name=element.get("name", ""), desc=element.get("desc", ""))
+    for node_el in _children(element, "ConnectivityNode"):
+        bay.connectivity_nodes.append(
+            ConnectivityNode(
+                name=node_el.get("name", ""),
+                path_name=node_el.get("pathName", ""),
+            )
+        )
+    for eq_el in _children(element, "ConductingEquipment"):
+        bay.equipment.append(_parse_equipment(eq_el))
+    for ln_el in _children(element, "LNode"):
+        bay.lnodes.append(_parse_lnode(ln_el))
+    return bay
+
+
+def _parse_equipment(element: ET.Element) -> ConductingEquipment:
+    equipment = ConductingEquipment(
+        name=element.get("name", ""),
+        type=element.get("type", ""),
+        desc=element.get("desc", ""),
+    )
+    for terminal_el in _children(element, "Terminal"):
+        equipment.terminals.append(_parse_terminal(terminal_el))
+    for ln_el in _children(element, "LNode"):
+        equipment.lnodes.append(_parse_lnode(ln_el))
+    for private in _children(element, "Private"):
+        if private.get("type", "").startswith("SG-ML"):
+            for param in _children(private, "Param"):
+                equipment.attributes[param.get("name", "")] = param.get("value", "")
+    return equipment
+
+
+def _parse_terminal(element: ET.Element) -> Terminal:
+    return Terminal(
+        name=element.get("name", ""),
+        connectivity_node=element.get("connectivityNode", ""),
+        c_node_name=element.get("cNodeName", ""),
+    )
+
+
+def _parse_lnode(element: ET.Element) -> LNode:
+    return LNode(
+        ied_name=element.get("iedName", ""),
+        ld_inst=element.get("ldInst", ""),
+        ln_class=element.get("lnClass", ""),
+        ln_inst=element.get("lnInst", ""),
+        prefix=element.get("prefix", ""),
+    )
+
+
+def _parse_power_transformer(element: ET.Element) -> PowerTransformer:
+    transformer = PowerTransformer(
+        name=element.get("name", ""), desc=element.get("desc", "")
+    )
+    for winding_el in _children(element, "TransformerWinding"):
+        winding = TransformerWinding(name=winding_el.get("name", ""))
+        for terminal_el in _children(winding_el, "Terminal"):
+            winding.terminals.append(_parse_terminal(terminal_el))
+        winding.rated_kv = _float_attr(winding_el, "ratedKV")
+        winding.rated_mva = _float_attr(winding_el, "ratedMVA")
+        transformer.windings.append(winding)
+    for private in _children(element, "Private"):
+        if private.get("type", "").startswith("SG-ML"):
+            for param in _children(private, "Param"):
+                transformer.attributes[param.get("name", "")] = param.get(
+                    "value", ""
+                )
+    return transformer
+
+
+# ---------------------------------------------------------------------------
+# Communication section
+# ---------------------------------------------------------------------------
+
+
+def _parse_communication(element: ET.Element) -> CommunicationSection:
+    communication = CommunicationSection()
+    for subnet_el in _children(element, "SubNetwork"):
+        subnet = SubNetwork(
+            name=subnet_el.get("name", ""),
+            type=subnet_el.get("type", "8-MMS"),
+            desc=subnet_el.get("desc", ""),
+        )
+        for ap_el in _children(subnet_el, "ConnectedAP"):
+            ap = ConnectedAp(
+                ied_name=ap_el.get("iedName", ""),
+                ap_name=ap_el.get("apName", "AP1"),
+            )
+            address = _child(ap_el, "Address")
+            if address is not None:
+                for p_el in _children(address, "P"):
+                    ap.address[p_el.get("type", "")] = (p_el.text or "").strip()
+            subnet.connected_aps.append(ap)
+        for private in _children(subnet_el, "Private"):
+            if private.get("type", "").startswith("SG-ML"):
+                for param in _children(private, "Param"):
+                    subnet.attributes[param.get("name", "")] = param.get(
+                        "value", ""
+                    )
+        communication.subnetworks.append(subnet)
+    return communication
+
+
+# ---------------------------------------------------------------------------
+# IED section
+# ---------------------------------------------------------------------------
+
+
+def _parse_ied(element: ET.Element) -> Ied:
+    ied = Ied(
+        name=element.get("name", ""),
+        type=element.get("type", ""),
+        manufacturer=element.get("manufacturer", "SG-ML"),
+        config_version=element.get("configVersion", "1.0"),
+        desc=element.get("desc", ""),
+    )
+    for ap_el in _children(element, "AccessPoint"):
+        access_point = AccessPoint(name=ap_el.get("name", "AP1"))
+        server = _child(ap_el, "Server")
+        if server is not None:
+            for ld_el in _children(server, "LDevice"):
+                access_point.server_ldevices.append(_parse_ldevice(ld_el))
+        ied.access_points.append(access_point)
+    return ied
+
+
+def _parse_ldevice(element: ET.Element) -> LDevice:
+    ldevice = LDevice(inst=element.get("inst", ""), desc=element.get("desc", ""))
+    ln0_el = _child(element, "LN0")
+    if ln0_el is not None:
+        ldevice.logical_nodes.append(_parse_ln(ln0_el, is_ln0=True))
+    for ln_el in _children(element, "LN"):
+        ldevice.logical_nodes.append(_parse_ln(ln_el, is_ln0=False))
+    return ldevice
+
+
+def _parse_ln(element: ET.Element, is_ln0: bool) -> LogicalNode:
+    node = LogicalNode(
+        ln_class=element.get("lnClass", "LLN0" if is_ln0 else ""),
+        inst=element.get("inst", "" if is_ln0 else "1"),
+        prefix=element.get("prefix", ""),
+        ln_type=element.get("lnType", ""),
+        desc=element.get("desc", ""),
+        is_ln0=is_ln0,
+    )
+    for doi_el in _children(element, "DOI"):
+        node.dois.append(_parse_doi(doi_el))
+    return node
+
+
+def _parse_doi(element: ET.Element) -> DataObject:
+    data_object = DataObject(name=element.get("name", ""))
+    for dai_el in _children(element, "DAI"):
+        value_el = _child(dai_el, "Val")
+        data_object.attributes.append(
+            DataAttribute(
+                name=dai_el.get("name", ""),
+                value=(value_el.text or "").strip() if value_el is not None else "",
+                fc=dai_el.get("fc", ""),
+                b_type=dai_el.get("bType", ""),
+            )
+        )
+    for sdi_el in _children(element, "SDI"):
+        data_object.sub_objects.append(_parse_doi(sdi_el))
+    return data_object
+
+
+# ---------------------------------------------------------------------------
+# DataTypeTemplates
+# ---------------------------------------------------------------------------
+
+
+def _parse_templates(element: ET.Element) -> DataTypeTemplates:
+    templates = DataTypeTemplates()
+    for lnt_el in _children(element, "LNodeType"):
+        lnode_type = LNodeType(
+            id=lnt_el.get("id", ""), ln_class=lnt_el.get("lnClass", "")
+        )
+        for do_el in _children(lnt_el, "DO"):
+            lnode_type.dos[do_el.get("name", "")] = do_el.get("type", "")
+        templates.lnode_types[lnode_type.id] = lnode_type
+    for dot_el in _children(element, "DOType"):
+        do_type = DoType(id=dot_el.get("id", ""), cdc=dot_el.get("cdc", ""))
+        for da_el in _children(dot_el, "DA"):
+            do_type.das[da_el.get("name", "")] = da_el.get("bType", "")
+        templates.do_types[do_type.id] = do_type
+    for enum_el in _children(element, "EnumType"):
+        enum_type = EnumType(id=enum_el.get("id", ""))
+        for val_el in _children(enum_el, "EnumVal"):
+            try:
+                ordinal = int(val_el.get("ord", "0"))
+            except ValueError:
+                continue
+            enum_type.values[ordinal] = (val_el.text or "").strip()
+        templates.enum_types[enum_type.id] = enum_type
+    return templates
+
+
+# ---------------------------------------------------------------------------
+# SG-ML SED private content (tie lines and WAN links)
+# ---------------------------------------------------------------------------
+
+
+def _parse_sgml_private(root: ET.Element, document: SclDocument) -> None:
+    for private in _children(root, "Private"):
+        if private.get("type", "") != "SG-ML:SED":
+            continue
+        for tie_el in _children(private, "TieLine"):
+            document.tie_lines.append(
+                TieLine(
+                    name=tie_el.get("name", ""),
+                    from_substation=tie_el.get("fromSubstation", ""),
+                    from_node=tie_el.get("fromNode", ""),
+                    to_substation=tie_el.get("toSubstation", ""),
+                    to_node=tie_el.get("toNode", ""),
+                    r_ohm=_float_attr(tie_el, "r", 0.5),
+                    x_ohm=_float_attr(tie_el, "x", 2.0),
+                    b_us=_float_attr(tie_el, "b", 0.0),
+                    length_km=_float_attr(tie_el, "length", 10.0),
+                    max_i_ka=_float_attr(tie_el, "maxI", 1.0),
+                )
+            )
+        for wan_el in _children(private, "WanLink"):
+            document.wan_links.append(
+                WanLink(
+                    from_subnetwork=wan_el.get("fromSubNetwork", ""),
+                    to_subnetwork=wan_el.get("toSubNetwork", ""),
+                    bandwidth_mbps=_float_attr(wan_el, "bandwidthMbps", 100.0),
+                    latency_ms=_float_attr(wan_el, "latencyMs", 5.0),
+                )
+            )

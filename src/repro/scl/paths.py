@@ -1,0 +1,63 @@
+"""IEC 61850 object references.
+
+An object reference identifies a data attribute inside an IED's data model,
+e.g. ``GIED1LD0/MMXU1.TotW.mag.f``:
+
+* ``GIED1LD0``  — logical-device name (IED name + LDevice inst),
+* ``MMXU1``     — logical node (prefix + class + instance),
+* ``TotW.mag.f`` — data object, then nested data attributes.
+
+These references are the addressing scheme of MMS reads/writes and of the
+SG-ML IED-config point mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.scl.errors import SclError
+
+
+@dataclass(frozen=True)
+class ObjectReference:
+    """Parsed IEC 61850 object reference."""
+
+    ldevice: str
+    ln_name: str
+    path: tuple[str, ...]  # DO name followed by DA names
+
+    def __str__(self) -> str:
+        tail = ".".join(self.path)
+        if tail:
+            return f"{self.ldevice}/{self.ln_name}.{tail}"
+        return f"{self.ldevice}/{self.ln_name}"
+
+    @property
+    def do_name(self) -> str:
+        return self.path[0] if self.path else ""
+
+    @property
+    def da_path(self) -> tuple[str, ...]:
+        return self.path[1:]
+
+    @classmethod
+    def parse(cls, text: str) -> "ObjectReference":
+        """Parse ``LD/LN.DO.da...`` into components."""
+        if "/" not in text:
+            raise SclError(f"object reference {text!r} missing '/' separator")
+        ldevice, remainder = text.split("/", 1)
+        if not ldevice:
+            raise SclError(f"object reference {text!r} has empty logical device")
+        parts = remainder.split(".")
+        if not parts or not parts[0]:
+            raise SclError(f"object reference {text!r} has empty logical node")
+        return cls(ldevice=ldevice, ln_name=parts[0], path=tuple(parts[1:]))
+
+    def child(self, *names: str) -> "ObjectReference":
+        """Extend the attribute path (e.g. ``ref.child('mag', 'f')``)."""
+        return ObjectReference(self.ldevice, self.ln_name, self.path + names)
+
+
+def ldevice_name(ied_name: str, ld_inst: str) -> str:
+    """MMS logical-device name: IED name concatenated with LDevice inst."""
+    return f"{ied_name}{ld_inst}"

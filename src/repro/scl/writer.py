@@ -1,0 +1,316 @@
+"""Object model → SCL XML serialiser.
+
+Round-trips with :mod:`repro.scl.parser`: ``parse_scl(write_scl(doc))``
+produces an equivalent document.  Used by the SSD/SCD mergers (which emit
+consolidated files, as in the paper's Fig. 3) and by the EPIC model
+generator.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from xml.dom import minidom
+
+from repro.scl.model import (
+    Bay,
+    ConductingEquipment,
+    DataObject,
+    Ied,
+    LNode,
+    PowerTransformer,
+    SclDocument,
+    Substation,
+    Terminal,
+)
+
+SCL_NAMESPACE = "http://www.iec.ch/61850/2003/SCL"
+
+
+def write_scl(document: SclDocument, pretty: bool = True) -> str:
+    """Serialise an :class:`SclDocument` to XML text."""
+    root = ET.Element("SCL", {"xmlns": SCL_NAMESPACE, "version": "2007"})
+    ET.SubElement(
+        root,
+        "Header",
+        {
+            "id": document.header.id,
+            "version": document.header.version,
+            "revision": document.header.revision,
+            "toolID": document.header.tool_id,
+        },
+    )
+    for substation in document.substations:
+        root.append(_substation_element(substation))
+    if document.communication is not None:
+        communication = ET.SubElement(root, "Communication")
+        for subnet in document.communication.subnetworks:
+            subnet_el = ET.SubElement(
+                communication,
+                "SubNetwork",
+                {"name": subnet.name, "type": subnet.type},
+            )
+            if subnet.desc:
+                subnet_el.set("desc", subnet.desc)
+            _write_private_params(subnet_el, subnet.attributes)
+            for ap in subnet.connected_aps:
+                ap_el = ET.SubElement(
+                    subnet_el,
+                    "ConnectedAP",
+                    {"iedName": ap.ied_name, "apName": ap.ap_name},
+                )
+                if ap.address:
+                    address_el = ET.SubElement(ap_el, "Address")
+                    for p_type, value in ap.address.items():
+                        p_el = ET.SubElement(address_el, "P", {"type": p_type})
+                        p_el.text = value
+    for ied in document.ieds:
+        root.append(_ied_element(ied))
+    if (
+        document.templates.lnode_types
+        or document.templates.do_types
+        or document.templates.enum_types
+    ):
+        root.append(_templates_element(document))
+    if document.tie_lines or document.wan_links:
+        root.append(_sed_private_element(document))
+
+    text = ET.tostring(root, encoding="unicode")
+    if not pretty:
+        return text
+    parsed = minidom.parseString(text)
+    pretty_text = parsed.toprettyxml(indent="  ")
+    # minidom adds blank lines between elements; strip them.
+    lines = [line for line in pretty_text.splitlines() if line.strip()]
+    return "\n".join(lines) + "\n"
+
+
+def write_scl_file(document: SclDocument, path: str) -> str:
+    """Serialise to disk; returns ``path`` for chaining."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(write_scl(document))
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Substation
+# ---------------------------------------------------------------------------
+
+
+def _substation_element(substation: Substation) -> ET.Element:
+    element = ET.Element("Substation", {"name": substation.name})
+    if substation.desc:
+        element.set("desc", substation.desc)
+    for transformer in substation.power_transformers:
+        element.append(_transformer_element(transformer))
+    for level in substation.voltage_levels:
+        level_el = ET.SubElement(element, "VoltageLevel", {"name": level.name})
+        if level.desc:
+            level_el.set("desc", level.desc)
+        voltage_el = ET.SubElement(
+            level_el, "Voltage", {"unit": "V", "multiplier": "k"}
+        )
+        voltage_el.text = f"{level.voltage_kv:g}"
+        for bay in level.bays:
+            level_el.append(_bay_element(bay))
+    return element
+
+
+def _bay_element(bay: Bay) -> ET.Element:
+    element = ET.Element("Bay", {"name": bay.name})
+    if bay.desc:
+        element.set("desc", bay.desc)
+    for lnode in bay.lnodes:
+        element.append(_lnode_element(lnode))
+    for equipment in bay.equipment:
+        element.append(_equipment_element(equipment))
+    for node in bay.connectivity_nodes:
+        node_el = ET.SubElement(element, "ConnectivityNode", {"name": node.name})
+        if node.path_name:
+            node_el.set("pathName", node.path_name)
+    return element
+
+
+def _equipment_element(equipment: ConductingEquipment) -> ET.Element:
+    element = ET.Element(
+        "ConductingEquipment", {"name": equipment.name, "type": equipment.type}
+    )
+    if equipment.desc:
+        element.set("desc", equipment.desc)
+    for lnode in equipment.lnodes:
+        element.append(_lnode_element(lnode))
+    for terminal in equipment.terminals:
+        element.append(_terminal_element(terminal))
+    _write_private_params(element, equipment.attributes)
+    return element
+
+
+def _terminal_element(terminal: Terminal) -> ET.Element:
+    attrs = {"connectivityNode": terminal.connectivity_node}
+    if terminal.name:
+        attrs["name"] = terminal.name
+    if terminal.c_node_name:
+        attrs["cNodeName"] = terminal.c_node_name
+    return ET.Element("Terminal", attrs)
+
+
+def _lnode_element(lnode: LNode) -> ET.Element:
+    attrs = {"lnClass": lnode.ln_class}
+    if lnode.ied_name:
+        attrs["iedName"] = lnode.ied_name
+    if lnode.ld_inst:
+        attrs["ldInst"] = lnode.ld_inst
+    if lnode.ln_inst:
+        attrs["lnInst"] = lnode.ln_inst
+    if lnode.prefix:
+        attrs["prefix"] = lnode.prefix
+    return ET.Element("LNode", attrs)
+
+
+def _transformer_element(transformer: PowerTransformer) -> ET.Element:
+    element = ET.Element("PowerTransformer", {"name": transformer.name, "type": "PTR"})
+    if transformer.desc:
+        element.set("desc", transformer.desc)
+    for winding in transformer.windings:
+        winding_el = ET.SubElement(
+            element,
+            "TransformerWinding",
+            {
+                "name": winding.name,
+                "type": "PTW",
+                "ratedKV": f"{winding.rated_kv:g}",
+                "ratedMVA": f"{winding.rated_mva:g}",
+            },
+        )
+        for terminal in winding.terminals:
+            winding_el.append(_terminal_element(terminal))
+    _write_private_params(element, transformer.attributes)
+    return element
+
+
+def _write_private_params(parent: ET.Element, attributes: dict[str, str]) -> None:
+    if not attributes:
+        return
+    private = ET.SubElement(parent, "Private", {"type": "SG-ML:Params"})
+    for name, value in attributes.items():
+        ET.SubElement(private, "Param", {"name": name, "value": value})
+
+
+# ---------------------------------------------------------------------------
+# IED
+# ---------------------------------------------------------------------------
+
+
+def _ied_element(ied: Ied) -> ET.Element:
+    element = ET.Element(
+        "IED",
+        {
+            "name": ied.name,
+            "type": ied.type,
+            "manufacturer": ied.manufacturer,
+            "configVersion": ied.config_version,
+        },
+    )
+    if ied.desc:
+        element.set("desc", ied.desc)
+    for access_point in ied.access_points:
+        ap_el = ET.SubElement(element, "AccessPoint", {"name": access_point.name})
+        if access_point.server_ldevices:
+            server_el = ET.SubElement(ap_el, "Server")
+            for ldevice in access_point.server_ldevices:
+                ld_el = ET.SubElement(server_el, "LDevice", {"inst": ldevice.inst})
+                if ldevice.desc:
+                    ld_el.set("desc", ldevice.desc)
+                for node in ldevice.logical_nodes:
+                    tag = "LN0" if node.is_ln0 else "LN"
+                    ln_el = ET.SubElement(
+                        ld_el,
+                        tag,
+                        {"lnClass": node.ln_class, "inst": node.inst},
+                    )
+                    if node.prefix:
+                        ln_el.set("prefix", node.prefix)
+                    if node.ln_type:
+                        ln_el.set("lnType", node.ln_type)
+                    if node.desc:
+                        ln_el.set("desc", node.desc)
+                    for doi in node.dois:
+                        ln_el.append(_doi_element(doi))
+    return element
+
+
+def _doi_element(data_object: DataObject, tag: str = "DOI") -> ET.Element:
+    element = ET.Element(tag, {"name": data_object.name})
+    for attribute in data_object.attributes:
+        dai_el = ET.SubElement(element, "DAI", {"name": attribute.name})
+        if attribute.fc:
+            dai_el.set("fc", attribute.fc)
+        if attribute.b_type:
+            dai_el.set("bType", attribute.b_type)
+        if attribute.value != "":
+            val_el = ET.SubElement(dai_el, "Val")
+            val_el.text = attribute.value
+    for sub in data_object.sub_objects:
+        element.append(_doi_element(sub, tag="SDI"))
+    return element
+
+
+# ---------------------------------------------------------------------------
+# DataTypeTemplates and SED private
+# ---------------------------------------------------------------------------
+
+
+def _templates_element(document: SclDocument) -> ET.Element:
+    element = ET.Element("DataTypeTemplates")
+    for lnode_type in document.templates.lnode_types.values():
+        lnt_el = ET.SubElement(
+            element,
+            "LNodeType",
+            {"id": lnode_type.id, "lnClass": lnode_type.ln_class},
+        )
+        for do_name, do_type in lnode_type.dos.items():
+            ET.SubElement(lnt_el, "DO", {"name": do_name, "type": do_type})
+    for do_type in document.templates.do_types.values():
+        dot_el = ET.SubElement(
+            element, "DOType", {"id": do_type.id, "cdc": do_type.cdc}
+        )
+        for da_name, b_type in do_type.das.items():
+            ET.SubElement(dot_el, "DA", {"name": da_name, "bType": b_type})
+    for enum_type in document.templates.enum_types.values():
+        enum_el = ET.SubElement(element, "EnumType", {"id": enum_type.id})
+        for ordinal, symbol in enum_type.values.items():
+            val_el = ET.SubElement(enum_el, "EnumVal", {"ord": str(ordinal)})
+            val_el.text = symbol
+    return element
+
+
+def _sed_private_element(document: SclDocument) -> ET.Element:
+    private = ET.Element("Private", {"type": "SG-ML:SED"})
+    for tie in document.tie_lines:
+        ET.SubElement(
+            private,
+            "TieLine",
+            {
+                "name": tie.name,
+                "fromSubstation": tie.from_substation,
+                "fromNode": tie.from_node,
+                "toSubstation": tie.to_substation,
+                "toNode": tie.to_node,
+                "r": f"{tie.r_ohm:g}",
+                "x": f"{tie.x_ohm:g}",
+                "b": f"{tie.b_us:g}",
+                "length": f"{tie.length_km:g}",
+                "maxI": f"{tie.max_i_ka:g}",
+            },
+        )
+    for wan in document.wan_links:
+        ET.SubElement(
+            private,
+            "WanLink",
+            {
+                "fromSubNetwork": wan.from_subnetwork,
+                "toSubNetwork": wan.to_subnetwork,
+                "bandwidthMbps": f"{wan.bandwidth_mbps:g}",
+                "latencyMs": f"{wan.latency_ms:g}",
+            },
+        )
+    return private

@@ -1,0 +1,72 @@
+"""SG-ML: the Smart Grid Modelling Language and its Processor.
+
+This is the paper's contribution.  An SG-ML model set consists of:
+
+* IEC 61850 SCL files — SSD (per substation), SCD (per substation), ICD
+  (per IED type), SED (inter-substation ties),
+* IEC 61131-3 PLCopen XML — PLC control logic,
+* supplementary schemas defined by SG-ML:
+
+  - **IED Config XML** (:mod:`repro.sgml.ied_config`) — protection
+    thresholds (Table II) and the cyber↔physical point mapping,
+  - **SCADA Config XML** (:mod:`repro.sgml.scada_config`) — HMI data
+    sources and data points,
+  - **Power System Extra Config XML** (:mod:`repro.sgml.ps_extra`) — load
+    profiles and disturbance scenarios,
+  - **PLC Config XML** (:mod:`repro.sgml.plc_config`) — the MMS bindings
+    of the PLC runtime (the paper's OpenPLC61850 likewise needs the ICD
+    files of the IEDs it talks to).
+
+The **SG-ML Processor** (:class:`repro.sgml.processor.SgmlProcessor`)
+"compiles" a model set into an operational cyber range, running the same
+toolchain stages as the paper's Fig. 3: SSD Merger → SCD Merger → SSD
+Parser → network launcher → Virtual IED Builder → PLC/SCADA configuration.
+"""
+
+from repro.sgml.deploy import (
+    DeploymentPlan,
+    build_deployment_plan,
+    export_compose_bundle,
+)
+from repro.sgml.errors import SgmlError, SgmlValidationError
+from repro.sgml.ied_config import (
+    parse_ied_config,
+    parse_ied_config_file,
+    write_ied_config,
+)
+from repro.sgml.modelset import SgmlModelSet
+from repro.sgml.network_gen import NetworkPlan, generate_network_plan
+from repro.sgml.plc_config import PlcConfig, parse_plc_config, write_plc_config
+from repro.sgml.powersim_gen import generate_power_network
+from repro.sgml.processor import CompiledArtifacts, SgmlProcessor
+from repro.sgml.ps_extra import parse_ps_extra_config, write_ps_extra_config
+from repro.sgml.scada_config import (
+    parse_scada_config,
+    scada_config_to_json,
+    write_scada_config,
+)
+
+__all__ = [
+    "CompiledArtifacts",
+    "DeploymentPlan",
+    "NetworkPlan",
+    "build_deployment_plan",
+    "export_compose_bundle",
+    "PlcConfig",
+    "SgmlError",
+    "SgmlModelSet",
+    "SgmlProcessor",
+    "SgmlValidationError",
+    "generate_network_plan",
+    "generate_power_network",
+    "parse_ied_config",
+    "parse_ied_config_file",
+    "parse_plc_config",
+    "parse_ps_extra_config",
+    "parse_scada_config",
+    "scada_config_to_json",
+    "write_ied_config",
+    "write_plc_config",
+    "write_ps_extra_config",
+    "write_scada_config",
+]

@@ -1,0 +1,9 @@
+"""Exception hierarchy for the SG-ML toolchain."""
+
+
+class SgmlError(Exception):
+    """Base class for SG-ML processing failures."""
+
+
+class SgmlValidationError(SgmlError):
+    """A model set is inconsistent (cross-file references broken, ...)."""

@@ -1,0 +1,203 @@
+"""IED Config XML — SG-ML supplementary schema (paper §III-A).
+
+"Parameters for IEDs' protection functions, such as alarm and trip
+thresholds, and the mapping between the cyber-side devices and
+physical-side device or information (e.g., which IED is measuring or
+controlling which transmission lines) are not included in the SCL files.
+Thus, we defined IED Config XML to incorporate the missing parameters."
+
+Schema::
+
+    <IEDConfigs>
+      <IEDConfig ied="GIED1" scanIntervalMs="20">
+        <PointMap>
+          <Point sclRef="GIED1LD0/MMXU1.A.phsA.cVal.mag.f"
+                 dbKey="meas/LineG1/i_ka" direction="read" scale="1.0"/>
+          <Point sclRef="GIED1LD0/XCBR1.Oper.ctlVal"
+                 dbKey="cmd/CB_G1/close" direction="write"/>
+        </PointMap>
+        <Protection>
+          <Function ln="PTOC1" type="PTOC" breaker="CB_G1"
+                    measRef="GIED1LD0/MMXU1.A.phsA.cVal.mag.f"
+                    threshold="1.2" delayMs="100"/>
+          <Function ln="CILO1" type="CILO" breaker="CB_G1"
+                    interlockBreaker="CB_MAIN"/>
+          <Function ln="PDIF1" type="PDIF" breaker="CB_T1"
+                    measRef="..." threshold="0.2" remoteSvId="S2-I"/>
+        </Protection>
+        <Goose gocbRef="GIED1LD0/LLN0$GO$gcb1" dataset="dsStatus"/>
+        <GooseSubscribe gocbRef="TIED1LD0/LLN0$GO$gcb1"/>
+        <SvPublish svId="S1-I" measRef="GIED1LD0/MMXU1.A.phsA.cVal.mag.f"/>
+      </IEDConfig>
+    </IEDConfigs>
+"""
+
+from __future__ import annotations
+
+import os
+import xml.etree.ElementTree as ET
+from xml.dom import minidom
+
+from repro.ied.config import (
+    GooseLinkConfig,
+    IedRuntimeConfig,
+    PointMapping,
+    ProtectionSettings,
+)
+from repro.sgml.errors import SgmlError
+
+_PROTECTION_TYPES = {"PTOC", "PTOV", "PTUV", "PDIF", "CILO"}
+
+
+def _local(tag: str) -> str:
+    return tag.rsplit("}", 1)[-1]
+
+
+def parse_ied_config_file(path: str) -> dict[str, IedRuntimeConfig]:
+    if not os.path.exists(path):
+        raise SgmlError(f"IED config file not found: {path}")
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_ied_config(handle.read())
+
+
+def parse_ied_config(xml_text: str) -> dict[str, IedRuntimeConfig]:
+    """Parse IED Config XML → IED name → runtime config."""
+    try:
+        root = ET.fromstring(xml_text)
+    except ET.ParseError as exc:
+        raise SgmlError(f"malformed IED config XML: {exc}") from exc
+    if _local(root.tag) not in ("IEDConfigs", "IEDConfig"):
+        raise SgmlError(
+            f"root element is <{_local(root.tag)}>, expected <IEDConfigs>"
+        )
+    elements = (
+        [root] if _local(root.tag) == "IEDConfig"
+        else [el for el in root if _local(el.tag) == "IEDConfig"]
+    )
+    configs: dict[str, IedRuntimeConfig] = {}
+    for element in elements:
+        config = _parse_one(element)
+        if config.ied_name in configs:
+            raise SgmlError(f"duplicate IEDConfig for {config.ied_name!r}")
+        configs[config.ied_name] = config
+    return configs
+
+
+def _parse_one(element: ET.Element) -> IedRuntimeConfig:
+    ied_name = element.get("ied", "")
+    if not ied_name:
+        raise SgmlError("<IEDConfig> missing 'ied' attribute")
+    config = IedRuntimeConfig(
+        ied_name=ied_name,
+        scan_interval_ms=float(element.get("scanIntervalMs", "20")),
+    )
+    for child in element:
+        tag = _local(child.tag)
+        if tag == "PointMap":
+            for point_el in child:
+                if _local(point_el.tag) != "Point":
+                    continue
+                config.points.append(
+                    PointMapping(
+                        scl_ref=point_el.get("sclRef", ""),
+                        db_key=point_el.get("dbKey", ""),
+                        direction=point_el.get("direction", "read"),
+                        scale=float(point_el.get("scale", "1.0")),
+                    )
+                )
+        elif tag == "Protection":
+            for fn_el in child:
+                if _local(fn_el.tag) != "Function":
+                    continue
+                fn_type = fn_el.get("type", "").upper()
+                if fn_type not in _PROTECTION_TYPES:
+                    raise SgmlError(
+                        f"IED {ied_name}: unknown protection type {fn_type!r}"
+                    )
+                config.protections.append(
+                    ProtectionSettings(
+                        ln_name=fn_el.get("ln", fn_type + "1"),
+                        fn_type=fn_type,
+                        breaker=fn_el.get("breaker", ""),
+                        meas_ref=fn_el.get("measRef", ""),
+                        threshold=float(fn_el.get("threshold", "0")),
+                        delay_ms=float(fn_el.get("delayMs", "100")),
+                        remote_sv_id=fn_el.get("remoteSvId", ""),
+                        interlock_breaker=fn_el.get("interlockBreaker", ""),
+                    )
+                )
+        elif tag == "Goose":
+            config.goose = GooseLinkConfig(
+                gocb_ref=child.get("gocbRef", ""),
+                dataset=child.get("dataset", "ds1"),
+            )
+        elif tag == "GooseSubscribe":
+            config.goose_subscriptions.append(child.get("gocbRef", ""))
+        elif tag == "SvPublish":
+            config.sv_publish = (
+                child.get("svId", ""),
+                child.get("measRef", ""),
+            )
+    return config
+
+
+def write_ied_config(configs: dict[str, IedRuntimeConfig]) -> str:
+    """Serialise runtime configs back to IED Config XML."""
+    root = ET.Element("IEDConfigs")
+    for config in configs.values():
+        element = ET.SubElement(
+            root,
+            "IEDConfig",
+            {
+                "ied": config.ied_name,
+                "scanIntervalMs": f"{config.scan_interval_ms:g}",
+            },
+        )
+        if config.points:
+            point_map = ET.SubElement(element, "PointMap")
+            for point in config.points:
+                ET.SubElement(
+                    point_map,
+                    "Point",
+                    {
+                        "sclRef": point.scl_ref,
+                        "dbKey": point.db_key,
+                        "direction": point.direction,
+                        "scale": f"{point.scale:g}",
+                    },
+                )
+        if config.protections:
+            protection = ET.SubElement(element, "Protection")
+            for settings in config.protections:
+                attrs = {
+                    "ln": settings.ln_name,
+                    "type": settings.fn_type,
+                    "breaker": settings.breaker,
+                }
+                if settings.meas_ref:
+                    attrs["measRef"] = settings.meas_ref
+                if settings.fn_type != "CILO":
+                    attrs["threshold"] = f"{settings.threshold:g}"
+                    attrs["delayMs"] = f"{settings.delay_ms:g}"
+                if settings.remote_sv_id:
+                    attrs["remoteSvId"] = settings.remote_sv_id
+                if settings.interlock_breaker:
+                    attrs["interlockBreaker"] = settings.interlock_breaker
+                ET.SubElement(protection, "Function", attrs)
+        if config.goose is not None:
+            ET.SubElement(
+                element,
+                "Goose",
+                {"gocbRef": config.goose.gocb_ref, "dataset": config.goose.dataset},
+            )
+        for gocb_ref in config.goose_subscriptions:
+            ET.SubElement(element, "GooseSubscribe", {"gocbRef": gocb_ref})
+        if config.sv_publish is not None:
+            ET.SubElement(
+                element,
+                "SvPublish",
+                {"svId": config.sv_publish[0], "measRef": config.sv_publish[1]},
+            )
+    text = ET.tostring(root, encoding="unicode")
+    pretty = minidom.parseString(text).toprettyxml(indent="  ")
+    return "\n".join(line for line in pretty.splitlines() if line.strip()) + "\n"

@@ -1,0 +1,143 @@
+"""SG-ML model set: the collection of files defining one cyber range.
+
+Directory layout discovered by :meth:`SgmlModelSet.from_directory` (file
+roles by extension / suffix, mirroring the paper's Fig. 2 inputs):
+
+* ``*.ssd``            — one SSD per substation
+* ``*.scd``            — one SCD per substation
+* ``*.icd``            — IED capability descriptions
+* ``*.sed``            — inter-substation exchange description
+* ``*_ied_config.xml`` / ``ied_config.xml``     — IED Config XML
+* ``*_scada_config.xml`` / ``scada_config.xml`` — SCADA Config XML
+* ``*_ps_config.xml`` / ``ps_config.xml``       — Power System Extra Config
+* ``*_plc_config.xml`` / ``plc_config.xml``     — PLC Config XML
+* ``*_plc.xml`` / ``plc_logic.xml``             — IEC 61131-3 PLCopen XML
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.iec61131.plcopen import PlcOpenDocument, parse_plcopen_file
+from repro.ied.config import IedRuntimeConfig
+from repro.powersim.timeseries import SimulationScenario
+from repro.scl.model import SclDocument, SclFileKind
+from repro.scl.parser import parse_scl_file
+from repro.sgml.errors import SgmlError, SgmlValidationError
+from repro.sgml.ied_config import parse_ied_config_file
+from repro.sgml.plc_config import PlcConfig, parse_plc_config_file
+from repro.sgml.ps_extra import parse_ps_extra_config_file
+from repro.sgml.scada_config import ScadaConfigXml, parse_scada_config_file
+
+
+@dataclass
+class SgmlModelSet:
+    """All parsed inputs for one cyber-range compilation."""
+
+    ssds: list[SclDocument] = field(default_factory=list)
+    scds: list[SclDocument] = field(default_factory=list)
+    icds: list[SclDocument] = field(default_factory=list)
+    sed: Optional[SclDocument] = None
+    ied_configs: dict[str, IedRuntimeConfig] = field(default_factory=dict)
+    scada_config: Optional[ScadaConfigXml] = None
+    scenario: Optional[SimulationScenario] = None
+    plc_configs: dict[str, PlcConfig] = field(default_factory=dict)
+    plc_logic: Optional[PlcOpenDocument] = None
+    source_dir: str = ""
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_directory(cls, directory: str) -> "SgmlModelSet":
+        """Discover and parse every model file in ``directory``."""
+        if not os.path.isdir(directory):
+            raise SgmlError(f"model directory not found: {directory}")
+        model = cls(source_dir=directory)
+        for filename in sorted(os.listdir(directory)):
+            path = os.path.join(directory, filename)
+            if not os.path.isfile(path):
+                continue
+            lowered = filename.lower()
+            if lowered.endswith(".ssd"):
+                model.ssds.append(parse_scl_file(path))
+            elif lowered.endswith(".scd"):
+                model.scds.append(parse_scl_file(path))
+            elif lowered.endswith((".icd", ".cid", ".iid")):
+                model.icds.append(parse_scl_file(path))
+            elif lowered.endswith(".sed"):
+                if model.sed is not None:
+                    raise SgmlError("multiple SED files found; expected one")
+                model.sed = parse_scl_file(path)
+            elif lowered.endswith("ied_config.xml"):
+                model.ied_configs.update(parse_ied_config_file(path))
+            elif lowered.endswith("scada_config.xml"):
+                model.scada_config = parse_scada_config_file(path)
+            elif lowered.endswith("ps_config.xml"):
+                model.scenario = parse_ps_extra_config_file(path)
+            elif lowered.endswith("plc_config.xml"):
+                model.plc_configs.update(parse_plc_config_file(path))
+            elif lowered.endswith(("plc.xml", "plc_logic.xml")):
+                model.plc_logic = parse_plcopen_file(path)
+        if not model.ssds and not model.scds:
+            raise SgmlError(f"no SSD/SCD files found in {directory}")
+        return model
+
+    # ------------------------------------------------------------------
+    def all_icd_ieds(self):
+        """IED sections from every ICD file (name → (Ied, templates))."""
+        by_name = {}
+        for icd in self.icds:
+            for ied in icd.ieds:
+                by_name[ied.name] = (ied, icd.templates)
+        return by_name
+
+    def validate(self) -> list[str]:
+        """Cross-file consistency checks; returns problems (empty = ok)."""
+        problems: list[str] = []
+        for document in self.ssds:
+            if document.kind not in (SclFileKind.SSD, SclFileKind.SCD):
+                problems.append(
+                    f"{document.source_path}: expected SSD content, "
+                    f"found {document.kind.value}"
+                )
+            problems.extend(document.validate())
+        scd_ied_names: set[str] = set()
+        for document in self.scds:
+            problems.extend(document.validate())
+            scd_ied_names.update(ied.name for ied in document.ieds)
+        icd_names = set(self.all_icd_ieds())
+        for name in self.ied_configs:
+            if scd_ied_names and name not in scd_ied_names and (
+                name not in icd_names
+            ):
+                problems.append(
+                    f"IED config references unknown IED {name!r}"
+                )
+        for plc_name, plc_config in self.plc_configs.items():
+            if scd_ied_names and plc_name not in scd_ied_names:
+                problems.append(
+                    f"PLC config references unknown node {plc_name!r}"
+                )
+            for bind in plc_config.binds:
+                if scd_ied_names and bind.ied not in scd_ied_names:
+                    problems.append(
+                        f"PLC {plc_name}: bind references unknown IED "
+                        f"{bind.ied!r}"
+                    )
+        if self.scada_config is not None:
+            if self.scada_config.scada_node and scd_ied_names and (
+                self.scada_config.scada_node not in scd_ied_names
+            ):
+                problems.append(
+                    f"SCADA config node {self.scada_config.scada_node!r} "
+                    f"not found in SCD"
+                )
+        return problems
+
+    def validate_or_raise(self) -> None:
+        problems = self.validate()
+        if problems:
+            raise SgmlValidationError(
+                f"{len(problems)} problem(s): " + "; ".join(problems[:10])
+            )

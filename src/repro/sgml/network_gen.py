@@ -1,0 +1,224 @@
+"""Network topology generator — the "Mininet Launcher" stage (Fig. 3).
+
+Per the paper (§IV-A): "The scripts in our toolchain parse an SCD file
+(consolidated SCD, in case of multi-substation model) and then extract
+necessary information into an intermediate JSON file, which is then passed
+to the script to configure and start the Mininet emulator."
+
+:func:`generate_network_plan` produces that intermediate JSON
+(:class:`NetworkPlan`), and :meth:`NetworkPlan.build` instantiates it on
+the discrete-event network emulator.
+
+Topology shape: one Ethernet switch per SCL SubNetwork; each ConnectedAP
+becomes a host attached to its subnetwork's switch.  The synthetic ``WAN``
+subnetwork created by the SCD merger becomes the single WAN switch the
+paper describes, linked to each substation's switch.  A subnetwork may
+carry an SG-ML private param ``uplink="<other subnetwork>"`` to chain
+segment switches (the EPIC model uses this for its four segments around a
+core LAN, matching the paper's Fig. 4).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.kernel import MS, Simulator
+from repro.netem import VirtualNetwork
+from repro.scl.merge import WAN_SUBNETWORK
+from repro.scl.model import SclDocument
+from repro.sgml.errors import SgmlValidationError
+
+DEFAULT_LAN_LATENCY_US = 50
+DEFAULT_LAN_BANDWIDTH_MBPS = 100.0
+
+
+@dataclass
+class PlannedHost:
+    name: str
+    ip: str
+    mac: str
+    subnet_mask: str
+    gateway: str
+    switch: str
+
+
+@dataclass
+class PlannedSwitch:
+    name: str
+    subnetwork: str
+    latency_us: int = DEFAULT_LAN_LATENCY_US
+    bandwidth_mbps: float = DEFAULT_LAN_BANDWIDTH_MBPS
+
+
+@dataclass
+class PlannedLink:
+    node_a: str
+    node_b: str
+    latency_us: int
+    bandwidth_mbps: float
+
+
+@dataclass
+class NetworkPlan:
+    """The intermediate JSON, as a typed object."""
+
+    hosts: list[PlannedHost] = field(default_factory=list)
+    switches: list[PlannedSwitch] = field(default_factory=list)
+    links: list[PlannedLink] = field(default_factory=list)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "hosts": [vars(host) for host in self.hosts],
+                "switches": [vars(switch) for switch in self.switches],
+                "links": [vars(link) for link in self.links],
+            },
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "NetworkPlan":
+        raw = json.loads(text)
+        plan = cls()
+        plan.hosts = [PlannedHost(**host) for host in raw.get("hosts", [])]
+        plan.switches = [
+            PlannedSwitch(**switch) for switch in raw.get("switches", [])
+        ]
+        plan.links = [PlannedLink(**link) for link in raw.get("links", [])]
+        return plan
+
+    def host_ip(self, name: str) -> str:
+        for host in self.hosts:
+            if host.name == name:
+                return host.ip
+        return ""
+
+    def build(self, simulator: Simulator) -> VirtualNetwork:
+        """Instantiate the plan on the network emulator ("start Mininet")."""
+        net = VirtualNetwork(simulator, name="sgml")
+        for switch in self.switches:
+            net.add_switch(switch.name)
+        for host in self.hosts:
+            net.add_host(
+                host.name,
+                ip=host.ip,
+                mac=host.mac,
+                subnet_mask=host.subnet_mask,
+                gateway=host.gateway,
+            )
+        for link in self.links:
+            net.add_link(
+                link.node_a,
+                link.node_b,
+                latency_us=link.latency_us,
+                bandwidth_mbps=link.bandwidth_mbps,
+            )
+        return net
+
+
+def switch_name(subnetwork: str) -> str:
+    return f"sw-{subnetwork}"
+
+
+def generate_network_plan(scd: SclDocument) -> NetworkPlan:
+    """Extract the cyber topology from a (consolidated) SCD document."""
+    if scd.communication is None or not scd.communication.subnetworks:
+        raise SgmlValidationError("SCD contains no Communication section")
+    plan = NetworkPlan()
+    seen_hosts: set[str] = set()
+    wan_subnet = None
+    for subnet in scd.communication.subnetworks:
+        if subnet.name == WAN_SUBNETWORK:
+            wan_subnet = subnet
+        latency_us = int(
+            float(subnet.attributes.get("latencyMs", "0")) * MS
+        ) or DEFAULT_LAN_LATENCY_US
+        bandwidth = float(
+            subnet.attributes.get("bandwidthMbps", DEFAULT_LAN_BANDWIDTH_MBPS)
+        )
+        plan.switches.append(
+            PlannedSwitch(
+                name=switch_name(subnet.name),
+                subnetwork=subnet.name,
+                latency_us=latency_us,
+                bandwidth_mbps=bandwidth,
+            )
+        )
+    for subnet in scd.communication.subnetworks:
+        uplink = subnet.attributes.get("uplink", "")
+        if uplink:
+            plan.links.append(
+                PlannedLink(
+                    node_a=switch_name(subnet.name),
+                    node_b=switch_name(uplink),
+                    latency_us=DEFAULT_LAN_LATENCY_US,
+                    bandwidth_mbps=DEFAULT_LAN_BANDWIDTH_MBPS,
+                )
+            )
+    for subnet in scd.communication.subnetworks:
+        this_switch = switch_name(subnet.name)
+        latency_us = next(
+            s.latency_us for s in plan.switches if s.name == this_switch
+        )
+        bandwidth = next(
+            s.bandwidth_mbps for s in plan.switches if s.name == this_switch
+        )
+        for ap in subnet.connected_aps:
+            if not ap.ip:
+                raise SgmlValidationError(
+                    f"ConnectedAP {ap.ied_name!r} in {subnet.name!r} has no IP"
+                )
+            if ap.ied_name in seen_hosts:
+                # Same device on a second subnetwork (e.g. a WAN gateway):
+                # link its home switch to this switch instead of duplicating
+                # the host (single-interface host model).
+                plan.links.append(
+                    PlannedLink(
+                        node_a=_home_switch(plan, ap.ied_name),
+                        node_b=this_switch,
+                        latency_us=latency_us,
+                        bandwidth_mbps=bandwidth,
+                    )
+                )
+                continue
+            seen_hosts.add(ap.ied_name)
+            plan.hosts.append(
+                PlannedHost(
+                    name=ap.ied_name,
+                    ip=ap.ip,
+                    mac=ap.mac,
+                    subnet_mask=ap.subnet_mask,
+                    gateway=ap.gateway,
+                    switch=this_switch,
+                )
+            )
+            plan.links.append(
+                PlannedLink(
+                    node_a=ap.ied_name,
+                    node_b=this_switch,
+                    latency_us=latency_us,
+                    bandwidth_mbps=bandwidth,
+                )
+            )
+    _dedupe_switch_links(plan)
+    return plan
+
+
+def _home_switch(plan: NetworkPlan, host_name: str) -> str:
+    for host in plan.hosts:
+        if host.name == host_name:
+            return host.switch
+    raise SgmlValidationError(f"host {host_name!r} not planned yet")
+
+
+def _dedupe_switch_links(plan: NetworkPlan) -> None:
+    seen: set[tuple[str, str]] = set()
+    unique: list[PlannedLink] = []
+    for link in plan.links:
+        key = tuple(sorted((link.node_a, link.node_b)))
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(link)
+    plan.links = unique

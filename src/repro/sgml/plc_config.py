@@ -1,0 +1,127 @@
+"""PLC Config XML — SG-ML supplementary schema.
+
+The paper's OpenPLC61850 needs, besides the PLCopen logic, "a set of ICD
+files corresponding to the IEDs that it interacts with" — i.e. a mapping
+between PLC variables and IED object references.  SG-ML captures that
+mapping explicitly:
+
+Schema::
+
+    <PLCConfigs>
+      <PLCConfig plc="CPLC" pou="main" scanIntervalMs="100">
+        <MmsBind variable="g1_p" ied="GIED1"
+                 ref="GIED1LD0/MMXU1.TotW.mag.f" direction="read"/>
+        <MmsBind variable="cb_cmd" ied="GIED1"
+                 ref="GIED1LD0/XCBR1.Oper.ctlVal" direction="write"/>
+      </PLCConfig>
+    </PLCConfigs>
+
+IED names are resolved to IP addresses via the SCD by the processor.
+"""
+
+from __future__ import annotations
+
+import os
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from xml.dom import minidom
+
+from repro.sgml.errors import SgmlError
+
+
+def _local(tag: str) -> str:
+    return tag.rsplit("}", 1)[-1]
+
+
+@dataclass(frozen=True)
+class PlcMmsBind:
+    variable: str
+    ied: str
+    ref: str
+    direction: str = "read"
+
+
+@dataclass
+class PlcConfig:
+    plc_name: str
+    pou: str = ""
+    scan_interval_ms: float = 100.0
+    binds: list[PlcMmsBind] = field(default_factory=list)
+
+
+def parse_plc_config_file(path: str) -> dict[str, PlcConfig]:
+    if not os.path.exists(path):
+        raise SgmlError(f"PLC config file not found: {path}")
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_plc_config(handle.read())
+
+
+def parse_plc_config(xml_text: str) -> dict[str, PlcConfig]:
+    try:
+        root = ET.fromstring(xml_text)
+    except ET.ParseError as exc:
+        raise SgmlError(f"malformed PLC config XML: {exc}") from exc
+    if _local(root.tag) not in ("PLCConfigs", "PLCConfig"):
+        raise SgmlError(
+            f"root element is <{_local(root.tag)}>, expected <PLCConfigs>"
+        )
+    elements = (
+        [root] if _local(root.tag) == "PLCConfig"
+        else [el for el in root if _local(el.tag) == "PLCConfig"]
+    )
+    configs: dict[str, PlcConfig] = {}
+    for element in elements:
+        plc_name = element.get("plc", "")
+        if not plc_name:
+            raise SgmlError("<PLCConfig> missing 'plc' attribute")
+        config = PlcConfig(
+            plc_name=plc_name,
+            pou=element.get("pou", ""),
+            scan_interval_ms=float(element.get("scanIntervalMs", "100")),
+        )
+        for child in element:
+            if _local(child.tag) != "MmsBind":
+                continue
+            direction = child.get("direction", "read")
+            if direction not in ("read", "write"):
+                raise SgmlError(
+                    f"PLC {plc_name}: bad bind direction {direction!r}"
+                )
+            config.binds.append(
+                PlcMmsBind(
+                    variable=child.get("variable", ""),
+                    ied=child.get("ied", ""),
+                    ref=child.get("ref", ""),
+                    direction=direction,
+                )
+            )
+        configs[plc_name] = config
+    return configs
+
+
+def write_plc_config(configs: dict[str, PlcConfig]) -> str:
+    root = ET.Element("PLCConfigs")
+    for config in configs.values():
+        element = ET.SubElement(
+            root,
+            "PLCConfig",
+            {
+                "plc": config.plc_name,
+                "pou": config.pou,
+                "scanIntervalMs": f"{config.scan_interval_ms:g}",
+            },
+        )
+        for bind in config.binds:
+            ET.SubElement(
+                element,
+                "MmsBind",
+                {
+                    "variable": bind.variable,
+                    "ied": bind.ied,
+                    "ref": bind.ref,
+                    "direction": bind.direction,
+                },
+            )
+    text = ET.tostring(root, encoding="unicode")
+    pretty = minidom.parseString(text).toprettyxml(indent="  ")
+    return "\n".join(line for line in pretty.splitlines() if line.strip()) + "\n"

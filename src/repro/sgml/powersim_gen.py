@@ -1,0 +1,259 @@
+"""SSD Parser: IEC 61850 SSD → power-system simulation model (Fig. 3).
+
+Mapping conventions (the "missing parameters" ride in SG-ML ``Private``
+params on each equipment, since SCL single-line diagrams carry topology but
+not electrical ratings):
+
+=================  =========================================================
+SCL element        Power model element
+=================  =========================================================
+ConnectivityNode   bus (named by its path, ``Sub/VL/Bay/Node``); vn_kv from
+                   the VoltageLevel
+CBR / DIS          bus-bus switch (circuit breaker / disconnector); param
+                   ``normallyOpen="true"`` starts it open
+LIN                line; params ``r_ohm``, ``x_ohm``, ``b_us``,
+                   ``max_i_ka``, ``length_km``
+GEN                params ``p_mw``, ``vm_pu``; ``model="sgen"`` (e.g. PV
+                   inverters) makes it a static generator with ``kind``
+BAT                static generator, kind ``battery``; ``p_mw``, ``q_mvar``
+IFL                external grid (slack); param ``vm_pu``
+MOT                load; params ``p_mw``, ``q_mvar``
+CAP                shunt; param ``q_mvar``
+PowerTransformer   two-winding transformer; ``ratedMVA`` + params
+                   ``vk_percent`` / ``vkr_percent``
+SED TieLine        inter-substation line (after the SSD Merger)
+=================  =========================================================
+
+Equipment names become point-database names, so they must be unique across
+the (merged) model — the generator enforces this.
+"""
+
+from __future__ import annotations
+
+from repro.powersim import Network
+from repro.scl.model import ConductingEquipment, SclDocument, Substation
+from repro.sgml.errors import SgmlValidationError
+
+
+def generate_power_network(ssd: SclDocument, sn_mva: float = 100.0) -> Network:
+    """Build a solvable :class:`Network` from a (merged) SSD document."""
+    if not ssd.substations:
+        raise SgmlValidationError("SSD contains no Substation section")
+    net = Network(name=ssd.header.id or "sgml", sn_mva=sn_mva)
+    builder = _Builder(net)
+    for substation in ssd.substations:
+        builder.add_substation(substation)
+    builder.add_tie_lines(ssd)
+    builder.check()
+    return net
+
+
+class _Builder:
+    def __init__(self, net: Network) -> None:
+        self.net = net
+        self.bus_by_path: dict[str, int] = {}
+        self.used_names: set[str] = set()
+        self.slack_count = 0
+
+    # ------------------------------------------------------------------
+    def add_substation(self, substation: Substation) -> None:
+        for level, bay in substation.iter_bays():
+            for node in bay.connectivity_nodes:
+                path = node.path_name or (
+                    f"{substation.name}/{level.name}/{bay.name}/{node.name}"
+                )
+                if path in self.bus_by_path:
+                    raise SgmlValidationError(f"duplicate connectivity node {path!r}")
+                self.bus_by_path[path] = self.net.add_bus(
+                    path, vn_kv=level.voltage_kv or 1.0, zone=substation.name
+                )
+        for level, bay, equipment in substation.iter_equipment():
+            self._add_equipment(substation, equipment)
+        for transformer in substation.power_transformers:
+            self._add_transformer(substation, transformer)
+
+    # ------------------------------------------------------------------
+    def _terminal_buses(
+        self, equipment: ConductingEquipment, expected: int
+    ) -> list[int]:
+        buses = []
+        for terminal in equipment.terminals[:expected]:
+            path = terminal.connectivity_node
+            if path not in self.bus_by_path:
+                raise SgmlValidationError(
+                    f"equipment {equipment.name!r}: terminal references "
+                    f"unknown connectivity node {path!r}"
+                )
+            buses.append(self.bus_by_path[path])
+        if len(buses) < expected:
+            raise SgmlValidationError(
+                f"equipment {equipment.name!r} ({equipment.type}) needs "
+                f"{expected} terminal(s), has {len(equipment.terminals)}"
+            )
+        return buses
+
+    def _claim_name(self, name: str) -> str:
+        if name in self.used_names:
+            raise SgmlValidationError(
+                f"equipment name {name!r} is not unique across the model; "
+                f"point-database keys require unique names"
+            )
+        self.used_names.add(name)
+        return name
+
+    def _add_equipment(
+        self, substation: Substation, equipment: ConductingEquipment
+    ) -> None:
+        params = equipment.attributes
+        eq_type = equipment.type
+        if eq_type in ("CBR", "DIS"):
+            name = self._claim_name(equipment.name)
+            buses = self._terminal_buses(equipment, 2)
+            closed = params.get("normallyOpen", "false").lower() != "true"
+            self.net.add_switch_bus_bus(name, buses[0], buses[1], closed=closed)
+        elif eq_type == "LIN":
+            name = self._claim_name(equipment.name)
+            buses = self._terminal_buses(equipment, 2)
+            self.net.add_line(
+                name,
+                buses[0],
+                buses[1],
+                r_ohm=float(params.get("r_ohm", "0.1")),
+                x_ohm=float(params.get("x_ohm", "0.4")),
+                b_us=float(params.get("b_us", "0")),
+                max_i_ka=float(params.get("max_i_ka", "1.0")),
+                length_km=float(params.get("length_km", "1.0")),
+            )
+        elif eq_type == "GEN":
+            name = self._claim_name(equipment.name)
+            bus = self._terminal_buses(equipment, 1)[0]
+            if params.get("model", "gen") == "sgen":
+                self.net.add_sgen(
+                    name,
+                    bus,
+                    p_mw=float(params.get("p_mw", "1.0")),
+                    q_mvar=float(params.get("q_mvar", "0")),
+                    kind=params.get("kind", "pv"),
+                )
+            else:
+                index = self.net.add_gen(
+                    name,
+                    bus,
+                    p_mw=float(params.get("p_mw", "1.0")),
+                    vm_pu=float(params.get("vm_pu", "1.0")),
+                )
+                if params.get("slack", "false").lower() == "true":
+                    self.net.gens[index].is_slack_preferred = True
+        elif eq_type == "BAT":
+            name = self._claim_name(equipment.name)
+            bus = self._terminal_buses(equipment, 1)[0]
+            self.net.add_sgen(
+                name,
+                bus,
+                p_mw=float(params.get("p_mw", "0.5")),
+                q_mvar=float(params.get("q_mvar", "0")),
+                kind="battery",
+            )
+        elif eq_type == "IFL":
+            name = self._claim_name(equipment.name)
+            bus = self._terminal_buses(equipment, 1)[0]
+            self.net.add_ext_grid(
+                name, bus, vm_pu=float(params.get("vm_pu", "1.0"))
+            )
+            self.slack_count += 1
+        elif eq_type == "MOT":
+            name = self._claim_name(equipment.name)
+            bus = self._terminal_buses(equipment, 1)[0]
+            self.net.add_load(
+                name,
+                bus,
+                p_mw=float(params.get("p_mw", "1.0")),
+                q_mvar=float(params.get("q_mvar", "0.2")),
+            )
+        elif eq_type == "CAP":
+            name = self._claim_name(equipment.name)
+            bus = self._terminal_buses(equipment, 1)[0]
+            self.net.add_shunt(
+                name, bus, q_mvar=float(params.get("q_mvar", "-1.0"))
+            )
+        # CTR / VTR (instrument transformers) carry no power-flow model;
+        # their measurements come from the bus/line they observe.
+
+    def _add_transformer(self, substation: Substation, transformer) -> None:
+        if len(transformer.windings) < 2:
+            raise SgmlValidationError(
+                f"transformer {transformer.name!r} needs two windings"
+            )
+        name = self._claim_name(transformer.name)
+        ends = []
+        for winding in transformer.windings[:2]:
+            if not winding.terminals:
+                raise SgmlValidationError(
+                    f"transformer {transformer.name!r} winding "
+                    f"{winding.name!r} has no terminal"
+                )
+            path = winding.terminals[0].connectivity_node
+            if path not in self.bus_by_path:
+                raise SgmlValidationError(
+                    f"transformer {transformer.name!r}: unknown node {path!r}"
+                )
+            ends.append(self.bus_by_path[path])
+        params = transformer.attributes
+        sn_mva = float(
+            params.get("sn_mva", transformer.windings[0].rated_mva or 10.0)
+        )
+        # HV side is the higher-voltage bus.
+        hv, lv = ends
+        if self.net.buses[hv].vn_kv < self.net.buses[lv].vn_kv:
+            hv, lv = lv, hv
+        self.net.add_transformer(
+            name,
+            hv,
+            lv,
+            sn_mva=sn_mva,
+            vk_percent=float(params.get("vk_percent", "10.0")),
+            vkr_percent=float(params.get("vkr_percent", "0.5")),
+        )
+
+    # ------------------------------------------------------------------
+    def add_tie_lines(self, ssd: SclDocument) -> None:
+        for tie in ssd.tie_lines:
+            if tie.from_node not in self.bus_by_path:
+                raise SgmlValidationError(
+                    f"tie line {tie.name!r}: unknown node {tie.from_node!r}"
+                )
+            if tie.to_node not in self.bus_by_path:
+                raise SgmlValidationError(
+                    f"tie line {tie.name!r}: unknown node {tie.to_node!r}"
+                )
+            name = self._claim_name(tie.name)
+            self.net.add_line(
+                name,
+                self.bus_by_path[tie.from_node],
+                self.bus_by_path[tie.to_node],
+                r_ohm=tie.r_ohm,
+                x_ohm=tie.x_ohm,
+                b_us=tie.b_us,
+                max_i_ka=tie.max_i_ka,
+                length_km=tie.length_km,
+            )
+
+    def check(self) -> None:
+        if self.slack_count == 0:
+            if not self.net.gens:
+                raise SgmlValidationError(
+                    "model has no slack source: add an IFL equipment "
+                    "(external grid) or a generator"
+                )
+            # No external grid (e.g. islanded microgrids like EPIC): promote
+            # the first generator to the slack machine, as a grid-forming
+            # unit.  A GEN carrying Private param slack="true" wins.
+            chosen = self.net.gens[0]
+            for gen in self.net.gens:
+                if getattr(gen, "is_slack_preferred", False):
+                    chosen = gen
+                    break
+            self.net.gens.remove(chosen)
+            for index, gen in enumerate(self.net.gens):
+                gen.index = index
+            self.net.add_ext_grid(chosen.name, chosen.bus, vm_pu=chosen.vm_pu)

@@ -1,0 +1,110 @@
+"""Power System Extra Config XML — SG-ML supplementary schema (§III-A).
+
+"Dynamic behaviour of the system, e.g., load profile and disturbance
+scenarios, cannot be configured in the SCL files ... The XML file specifies
+the amount of load and circuit breaker status in a time series for each
+component in the simulation model."
+
+Schema::
+
+    <PowerSystemConfig name="day1">
+      <LoadProfile target="Load_SH1" kind="load">
+        <Step time="0"   value="1.0"/>
+        <Step time="30"  value="1.4"/>
+      </LoadProfile>
+      <Event time="10" action="open_switch"  target="CB_T1"/>
+      <Event time="20" action="gen_out"      target="G1"/>
+      <Event time="25" action="scale_load"   target="Load_SH1" value="0.5"/>
+    </PowerSystemConfig>
+
+Times are in seconds of scenario time.
+"""
+
+from __future__ import annotations
+
+import os
+import xml.etree.ElementTree as ET
+from xml.dom import minidom
+
+from repro.powersim.timeseries import (
+    LoadProfile,
+    ProfilePoint,
+    ScenarioEvent,
+    SimulationScenario,
+)
+from repro.sgml.errors import SgmlError
+
+
+def _local(tag: str) -> str:
+    return tag.rsplit("}", 1)[-1]
+
+
+def parse_ps_extra_config_file(path: str) -> SimulationScenario:
+    if not os.path.exists(path):
+        raise SgmlError(f"power system config file not found: {path}")
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_ps_extra_config(handle.read())
+
+
+def parse_ps_extra_config(xml_text: str) -> SimulationScenario:
+    try:
+        root = ET.fromstring(xml_text)
+    except ET.ParseError as exc:
+        raise SgmlError(f"malformed power system config XML: {exc}") from exc
+    if _local(root.tag) != "PowerSystemConfig":
+        raise SgmlError(
+            f"root element is <{_local(root.tag)}>, expected <PowerSystemConfig>"
+        )
+    scenario = SimulationScenario(name=root.get("name", "default"))
+    for child in root:
+        tag = _local(child.tag)
+        if tag == "LoadProfile":
+            profile = LoadProfile(
+                target=child.get("target", ""), kind=child.get("kind", "load")
+            )
+            for step in child:
+                if _local(step.tag) != "Step":
+                    continue
+                profile.points.append(
+                    ProfilePoint(
+                        time_s=float(step.get("time", "0")),
+                        value=float(step.get("value", "1")),
+                    )
+                )
+            scenario.profiles.append(profile)
+        elif tag == "Event":
+            scenario.events.append(
+                ScenarioEvent(
+                    time_s=float(child.get("time", "0")),
+                    action=child.get("action", ""),
+                    target=child.get("target", ""),
+                    value=float(child.get("value", "0")),
+                )
+            )
+    return scenario
+
+
+def write_ps_extra_config(scenario: SimulationScenario) -> str:
+    root = ET.Element("PowerSystemConfig", {"name": scenario.name})
+    for profile in scenario.profiles:
+        profile_el = ET.SubElement(
+            root, "LoadProfile", {"target": profile.target, "kind": profile.kind}
+        )
+        for point in profile.sorted_points():
+            ET.SubElement(
+                profile_el,
+                "Step",
+                {"time": f"{point.time_s:g}", "value": f"{point.value:g}"},
+            )
+    for event in sorted(scenario.events, key=lambda e: e.time_s):
+        attrs = {
+            "time": f"{event.time_s:g}",
+            "action": event.action,
+            "target": event.target,
+        }
+        if event.action == "scale_load":
+            attrs["value"] = f"{event.value:g}"
+        ET.SubElement(root, "Event", attrs)
+    text = ET.tostring(root, encoding="unicode")
+    pretty = minidom.parseString(text).toprettyxml(indent="  ")
+    return "\n".join(line for line in pretty.splitlines() if line.strip()) + "\n"

@@ -1,0 +1,147 @@
+"""SCADA Config XML — SG-ML supplementary schema (paper §III-A).
+
+"Data sources and data points for SCADA HMI are not part of the SCL files.
+Hence, these can be defined in another supplementary XML schema SCADA
+Config XML ... We have implemented a script to translate the SCADA Config
+XML into a JSON format that SCADABR can import."
+
+Schema::
+
+    <SCADAConfig name="EPIC-HMI" scada="SCADA1">
+      <DataSource name="CPLC" type="MODBUS" host="CPLC"
+                  updatePeriodMs="1000"/>
+      <DataPoint name="G1_P_MW" dataSource="CPLC" pointType="analog"
+                 modbusTable="input_float" offset="0"
+                 alarmHigh="12" settable="false"/>
+      <DataPoint name="CB_G1" dataSource="CPLC" pointType="binary"
+                 modbusTable="discrete" offset="0" settable="true"
+                 writeTable="coil" writeOffset="0"/>
+    </SCADAConfig>
+
+``host`` may name an IED/PLC from the SCD (resolved to its IP by the
+processor) or be a literal IP address.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+from xml.dom import minidom
+
+from repro.sgml.errors import SgmlError
+
+
+def _local(tag: str) -> str:
+    return tag.rsplit("}", 1)[-1]
+
+
+@dataclass
+class ScadaConfigXml:
+    """Parsed SCADA Config XML (pre-resolution form)."""
+
+    name: str = "scada"
+    scada_node: str = ""  # which SCD IED hosts the HMI
+    sources: list[dict] = field(default_factory=list)
+    points: list[dict] = field(default_factory=list)
+
+
+def parse_scada_config_file(path: str) -> ScadaConfigXml:
+    if not os.path.exists(path):
+        raise SgmlError(f"SCADA config file not found: {path}")
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_scada_config(handle.read())
+
+
+def parse_scada_config(xml_text: str) -> ScadaConfigXml:
+    try:
+        root = ET.fromstring(xml_text)
+    except ET.ParseError as exc:
+        raise SgmlError(f"malformed SCADA config XML: {exc}") from exc
+    if _local(root.tag) != "SCADAConfig":
+        raise SgmlError(
+            f"root element is <{_local(root.tag)}>, expected <SCADAConfig>"
+        )
+    config = ScadaConfigXml(
+        name=root.get("name", "scada"), scada_node=root.get("scada", "")
+    )
+    for child in root:
+        tag = _local(child.tag)
+        if tag == "DataSource":
+            config.sources.append(dict(child.attrib))
+        elif tag == "DataPoint":
+            config.points.append(dict(child.attrib))
+    return config
+
+
+def scada_config_to_json(
+    config: ScadaConfigXml,
+    resolve_host: Optional[Callable[[str], str]] = None,
+) -> str:
+    """The paper's SCADA Config Parser: XML → SCADABR-importable JSON.
+
+    ``resolve_host`` maps an IED/PLC name to its IP (from the SCD); literal
+    IPs pass through unchanged.
+    """
+    def host_ip(name: str) -> str:
+        if resolve_host is not None:
+            resolved = resolve_host(name)
+            if resolved:
+                return resolved
+        return name
+
+    document = {
+        "name": config.name,
+        "dataSources": [
+            {
+                "name": source.get("name", ""),
+                "type": source.get("type", "MODBUS").upper(),
+                "host": host_ip(source.get("host", "")),
+                "port": int(source.get("port", "0")),
+                "updatePeriodMs": float(source.get("updatePeriodMs", "1000")),
+            }
+            for source in config.sources
+        ],
+        "dataPoints": [
+            {
+                "name": point.get("name", ""),
+                "dataSource": point.get("dataSource", ""),
+                "pointType": point.get("pointType", "analog"),
+                "modbusTable": point.get("modbusTable", ""),
+                "offset": int(point.get("offset", "0")),
+                "objectRef": point.get("objectRef", ""),
+                "scale": float(point.get("scale", "1.0")),
+                "settable": point.get("settable", "false").lower() == "true",
+                "writeTable": point.get("writeTable", ""),
+                "writeOffset": int(point.get("writeOffset", "-1")),
+                "writeObjectRef": point.get("writeObjectRef", ""),
+                "alarmHigh": _optional(point.get("alarmHigh")),
+                "alarmLow": _optional(point.get("alarmLow")),
+            }
+            for point in config.points
+        ],
+    }
+    return json.dumps(document, indent=2)
+
+
+def _optional(raw: Optional[str]) -> Optional[float]:
+    if raw is None or raw == "":
+        return None
+    return float(raw)
+
+
+def write_scada_config(config: ScadaConfigXml) -> str:
+    """Serialise back to SCADA Config XML (used by model generators)."""
+    attrs = {"name": config.name}
+    if config.scada_node:
+        attrs["scada"] = config.scada_node
+    root = ET.Element("SCADAConfig", attrs)
+    for source in config.sources:
+        ET.SubElement(root, "DataSource", {k: str(v) for k, v in source.items()})
+    for point in config.points:
+        ET.SubElement(root, "DataPoint", {k: str(v) for k, v in point.items()})
+    text = ET.tostring(root, encoding="unicode")
+    pretty = minidom.parseString(text).toprettyxml(indent="  ")
+    return "\n".join(line for line in pretty.splitlines() if line.strip()) + "\n"

@@ -1,0 +1,75 @@
+"""Training-exercise playbook on the EPIC range."""
+
+import pytest
+
+from repro.attacks import ExercisePlaybook, FalseCommandInjector
+
+
+@pytest.fixture
+def playbook_run(running_epic):
+    cr = running_epic
+    attacker = cr.add_attacker("sw-TransLAN", name="red1")
+    injector = FalseCommandInjector(attacker)
+    playbook = ExercisePlaybook(name="cb-open-drill")
+    playbook.add(
+        1.0,
+        "red team injects CB_T1 open via MMS",
+        lambda r: injector.open_breaker("10.0.1.13", "TIED1").reference,
+    )
+    playbook.add(
+        3.0,
+        "white cell records TBUS voltage",
+        lambda r: f"{r.measurement('meas/EPIC/VL1/TransmissionBay/TBUS/vm_pu'):.3f} pu",
+        team="white",
+    )
+    playbook.add(
+        5.0,
+        "blue team recloses CB_T1 from the HMI",
+        lambda r: r.hmis["SCADA1"].operate("CB_T1", True),
+        team="blue",
+    )
+    playbook.add(
+        8.0,
+        "white cell records TBUS voltage after restoration",
+        lambda r: f"{r.measurement('meas/EPIC/VL1/TransmissionBay/TBUS/vm_pu'):.3f} pu",
+        team="white",
+    )
+    playbook.add(
+        9.0,
+        "red team tries a bogus reference (expected to fail)",
+        lambda r: (_ for _ in ()).throw(RuntimeError("target hardened")),
+    )
+    playbook.run(cr, duration_s=10.0)
+    return cr, playbook
+
+
+def test_playbook_executes_in_order(playbook_run):
+    _, playbook = playbook_run
+    assert len(playbook.log) == 5
+    times = [entry.time_s for entry in playbook.log]
+    assert times == sorted(times)
+    assert [entry.team for entry in playbook.log] == [
+        "red", "white", "blue", "white", "red",
+    ]
+
+
+def test_playbook_observes_attack_and_recovery(playbook_run):
+    cr, playbook = playbook_run
+    outage_reading = playbook.log[1].result
+    restored_reading = playbook.log[3].result
+    assert outage_reading.startswith("0.000")  # dead bus during the attack
+    assert restored_reading.startswith("0.99")  # restored by the blue team
+    assert cr.breaker_state("CB_T1") is True
+
+
+def test_playbook_logs_failures_without_crashing(playbook_run):
+    _, playbook = playbook_run
+    assert playbook.log[-1].result.startswith("FAILED: target hardened")
+
+
+def test_after_action_report_format(playbook_run):
+    _, playbook = playbook_run
+    report = playbook.after_action_report()
+    assert "after-action report: cb-open-drill" in report
+    assert "( blue)" in report or "(blue)" in report.replace(" ", "")
+    assert "FAILED" in report

@@ -1,0 +1,137 @@
+"""Failure injection: the range under faults, loss and partition.
+
+A cyber range exists to study abnormal conditions; these tests inject
+infrastructure failures (not attacks) and verify the system degrades and
+recovers the way the real protocols would.
+"""
+
+import pytest
+
+from repro.kernel import SECOND
+from repro.sgml import SgmlModelSet, SgmlProcessor
+
+
+@pytest.fixture
+def epic(epic_model_dir):
+    model = SgmlModelSet.from_directory(epic_model_dir)
+    cr = SgmlProcessor(model).compile()
+    cr.start()
+    cr.run_for(2.0)
+    return cr
+
+
+def test_segment_partition_stales_hmi_but_physics_continues(epic):
+    """Cutting the TransLAN uplink: the HMI loses TIED1's direct source,
+    but the physical simulation and other segments are unaffected."""
+    epic.network.links["sw-TransLAN--sw-CoreLAN"].set_down()
+    epic.run_for(6.0)
+    hmi = epic.hmis["SCADA1"]
+    from repro.scada import PointQuality
+
+    assert hmi.values["TBUS_V_DIRECT"].quality is PointQuality.STALE
+    # Physics keeps solving: ticks continue, no divergence.
+    assert epic.coupling.diverged_ticks == 0
+    assert epic.measurement("meas/TL1/p_mw") > 0.01
+    # Other-path points (via the CPLC on the core LAN) remain GOOD... the
+    # CPLC's own MMS reads to TIED1 are also cut, so its cached value
+    # freezes but the Modbus path stays healthy.
+    assert hmi.values["G1_P_MW"].quality is PointQuality.GOOD
+
+
+def test_segment_partition_recovers(epic):
+    link = epic.network.links["sw-TransLAN--sw-CoreLAN"]
+    link.set_down()
+    epic.run_for(6.0)
+    link.set_up()
+    epic.run_for(35.0)  # ARP TTL + reconnect
+    hmi = epic.hmis["SCADA1"]
+    from repro.scada import PointQuality
+
+    assert hmi.values["TBUS_V_DIRECT"].quality is PointQuality.GOOD
+    assert hmi.value_of("TBUS_V_DIRECT") == pytest.approx(
+        epic.measurement("meas/EPIC/VL1/TransmissionBay/TBUS/vm_pu"), abs=0.01
+    )
+
+
+def test_lossy_core_lan_protocols_survive(epic_model_dir):
+    """20% frame loss on the SCADA uplink: TCP retransmission keeps the
+    HMI fed (slower, not broken)."""
+    model = SgmlModelSet.from_directory(epic_model_dir)
+    cr = SgmlProcessor(model).compile()
+    cr.network.links["SCADA1--sw-CoreLAN"].drop_probability = 0.2
+    cr.start()
+    cr.run_for(10.0)
+    hmi = cr.hmis["SCADA1"]
+    assert hmi.value_of("TOTAL_GEN_MW") == pytest.approx(0.035, abs=0.01)
+    assert hmi.value_of("CB_T1") is True
+
+
+def test_goose_loss_tolerated_by_retransmission(epic):
+    """GOOSE rides on repeated multicast: 30% loss on the Gen segment
+    still delivers breaker-status updates to the subscriber."""
+    epic.network.links["GIED1--sw-GenLAN"].drop_probability = 0.3
+    gied2 = epic.ieds["GIED2"]
+    epic.ieds["GIED1"].operate_breaker("CB_G1", close=False, source="test")
+    epic.run_for(3.0)  # several retransmissions despite loss
+    assert gied2.peer_breaker_status.get("CB_G1") is False
+
+
+def test_ied_stop_freezes_its_function_only(epic):
+    """Stopping one IED (device crash) halts its protection and GOOSE,
+    but the rest of the range continues."""
+    tied1 = epic.ieds["TIED1"]
+    tied1.stop()
+    scans_at_stop = tied1.engine.trips
+    epic.run_for(2.0)
+    # Other devices keep scanning and the HMI keeps polling via CPLC.
+    assert epic.plcs["CPLC"].scan_count > 0
+    hmi = epic.hmis["SCADA1"]
+    assert hmi.value_of("G1_P_MW") is not None
+    # The stopped IED no longer serves fresh data; its MMS server is still
+    # bound (TCP accepts) but its model no longer syncs measurements.
+    assert tied1.engine.trips == scans_at_stop
+
+
+def test_power_divergence_tick_skipped_and_recovers(epic):
+    """An unsolvable snapshot (absurd load) is skipped; the loop recovers
+    when the condition clears — no crash, no stuck state."""
+    load = epic.power_net.find_load("Load_SH1")
+    original = load.p_mw
+    load.p_mw = 1e9
+    epic.run_for(0.5)
+    assert epic.coupling.diverged_ticks > 0
+    load.p_mw = original
+    epic.run_for(1.0)
+    diverged = epic.coupling.diverged_ticks
+    epic.run_for(1.0)
+    assert epic.coupling.diverged_ticks == diverged  # no new divergences
+    assert epic.measurement("meas/TL1/p_mw") > 0.01
+
+
+def test_switch_mac_table_survives_host_silence(epic):
+    """A silent host ages out of switch tables; traffic to it floods again
+    instead of being dropped (no blackholing)."""
+    switch = epic.network.switches["sw-GenLAN"]
+    assert switch.mac_table  # learned during the warm-up traffic
+    # Snapshot: all learned MACs map to real ports.
+    snapshot = switch.table_snapshot()
+    assert all(port.startswith("sw-GenLAN") for port in snapshot.values())
+
+
+def test_plc_survives_ied_restart(epic):
+    """Restarting an IED's MMS server mid-run: the PLC's southbound
+    client reconnects and values flow again."""
+    plc = epic.plcs["CPLC"]
+    epic.run_for(2.0)
+    before = plc.program.get_value("g1_p")
+    assert before == pytest.approx(0.005, abs=0.01)
+    # Hard-drop every TCP connection on GIED1's host (server side stays
+    # listening — like a process restart that keeps the listener).
+    gied1_host = epic.host("GIED1")
+    for connection in list(gied1_host.tcp.connections.values()):
+        connection.abort()
+    epic.run_for(5.0)
+    # The PLC re-dialled: fresh reads repopulate the cache.
+    assert plc.program.get_value("g1_p") == pytest.approx(before, abs=0.01)
+    client = plc.mms_clients()["10.0.1.11"]
+    assert client.connected

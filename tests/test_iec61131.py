@@ -1,0 +1,524 @@
+"""IEC 61131-3: lexer, parser, interpreter, stdlib FBs, PLCopen XML."""
+
+import pytest
+
+from repro.iec61131 import (
+    Program,
+    StLexError,
+    StParseError,
+    StRuntimeError,
+    StTypeError,
+    parse_plcopen,
+    parse_program,
+    parse_time_literal,
+    write_plcopen,
+)
+from repro.iec61131.ast import VarDeclaration
+from repro.iec61131.lexer import TokenKind, tokenize
+from repro.iec61131.plcopen import PlcOpenDocument, PlcPou, PlcTask
+from repro.iec61131.stdlib import CTU, R_TRIG, SR, TOF, TON, TP
+from repro.iec61131.types import IecType, coerce, format_time
+
+
+# ---------------------------------------------------------------------------
+# Types and literals
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "text,expected_us",
+    [
+        ("T#500ms", 500_000),
+        ("T#1s", 1_000_000),
+        ("T#1.5s", 1_500_000),
+        ("TIME#2m", 120_000_000),
+        ("T#1h30m", 5_400_000_000),
+        ("T#1d", 86_400_000_000),
+        ("T#-250ms", -250_000),
+        ("T#1s500ms", 1_500_000),
+        ("T#10us", 10),
+    ],
+)
+def test_time_literal_parsing(text, expected_us):
+    assert parse_time_literal(text) == expected_us
+
+
+@pytest.mark.parametrize("bad", ["T#", "T#5", "T#5x", "500ms", "T#ms5"])
+def test_time_literal_rejects_malformed(bad):
+    with pytest.raises(StTypeError):
+        parse_time_literal(bad)
+
+
+def test_format_time_round_trip():
+    assert parse_time_literal(format_time(5_400_000_000)) == 5_400_000_000
+    assert format_time(0) == "T#0s"
+
+
+def test_integer_coercion_wraps():
+    assert coerce(300, IecType.SINT) == 300 - 256
+    assert coerce(-1, IecType.UINT) == 65535
+    assert coerce(65536, IecType.UINT) == 0
+
+
+def test_bool_coercion():
+    assert coerce(1, IecType.BOOL) is True
+    assert coerce(0.0, IecType.BOOL) is False
+    with pytest.raises(StTypeError):
+        coerce("yes", IecType.BOOL)
+
+
+def test_unknown_type_rejected():
+    with pytest.raises(StTypeError):
+        IecType.from_name("FANCY")
+
+
+# ---------------------------------------------------------------------------
+# Lexer
+# ---------------------------------------------------------------------------
+
+
+def test_lexer_keywords_case_insensitive():
+    tokens = tokenize("if THEN eLsE end_if")
+    assert [t.text for t in tokens[:-1]] == ["IF", "THEN", "ELSE", "END_IF"]
+
+
+def test_lexer_numbers():
+    tokens = tokenize("42 3.5 1e3 16#FF 2#1010 1_000")
+    values = [t.value for t in tokens[:-1]]
+    assert values == [42, 3.5, 1000.0, 255, 10, 1000]
+
+
+def test_lexer_strings_and_comments():
+    tokens = tokenize("(* block *) 'text' // line\n5")
+    assert tokens[0].value == "text"
+    assert tokens[1].value == 5
+
+
+def test_lexer_locations():
+    tokens = tokenize("%QX0.1 %IW3 %QD10")
+    assert all(t.kind is TokenKind.LOCATION for t in tokens[:-1])
+
+
+def test_lexer_typed_literal_prefix_skipped():
+    tokens = tokenize("INT#5 REAL#2.5")
+    assert [t.value for t in tokens[:-1]] == [5, 2.5]
+
+
+def test_lexer_rejects_unterminated_comment():
+    with pytest.raises(StLexError):
+        tokenize("(* never closed")
+
+
+def test_lexer_rejects_unterminated_string():
+    with pytest.raises(StLexError):
+        tokenize("'oops")
+
+
+def test_lexer_operators_longest_match():
+    tokens = tokenize("a := b <= c ** 2")
+    ops = [t.text for t in tokens if t.kind is TokenKind.OPERATOR]
+    assert ops == [":=", "<=", "**"]
+
+
+# ---------------------------------------------------------------------------
+# Parser errors
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "x := ;",
+        "IF a THEN x := 1;",  # missing END_IF
+        "VAR x : INT END_VAR",  # missing semicolon
+        "FOR i := 1 TO DO END_FOR",
+        "PROGRAM p x := 1;",  # missing END_PROGRAM
+    ],
+)
+def test_parser_rejects_malformed(source):
+    with pytest.raises(StParseError):
+        parse_program(source)
+
+
+def test_parser_operator_precedence():
+    program = Program.from_source(
+        "VAR r : INT; END_VAR r := 2 + 3 * 4 - 1;"
+    )
+    program.scan(0)
+    assert program.get_value("r") == 13
+
+
+def test_parser_power_right_associative():
+    program = Program.from_source("VAR r : DINT; END_VAR r := 2 ** 3 ** 2;")
+    program.scan(0)
+    assert program.get_value("r") == 512
+
+
+def test_parser_parentheses():
+    program = Program.from_source("VAR r : INT; END_VAR r := (2 + 3) * 4;")
+    program.scan(0)
+    assert program.get_value("r") == 20
+
+
+# ---------------------------------------------------------------------------
+# Interpreter semantics
+# ---------------------------------------------------------------------------
+
+
+def _run(body: str, declarations: str = "", scans: int = 1) -> Program:
+    program = Program.from_source(f"{declarations}\n{body}")
+    for index in range(scans):
+        program.scan(index * 1000)
+    return program
+
+
+def test_if_elsif_else():
+    program = _run(
+        """
+        IF x > 10 THEN r := 1;
+        ELSIF x > 5 THEN r := 2;
+        ELSE r := 3;
+        END_IF;
+        """,
+        "VAR x : INT := 7; r : INT; END_VAR",
+    )
+    assert program.get_value("r") == 2
+
+
+def test_case_with_ranges_and_else():
+    source = """
+    VAR x : INT := 7; r : INT; END_VAR
+    CASE x OF
+      1, 2: r := 10;
+      5..9: r := 20;
+    ELSE r := 30;
+    END_CASE;
+    """
+    program = Program.from_source(source)
+    program.scan(0)
+    assert program.get_value("r") == 20
+
+
+def test_for_loop_with_by_and_exit():
+    program = _run(
+        """
+        FOR i := 10 TO 0 BY -2 DO
+          total := total + i;
+          IF i = 4 THEN EXIT; END_IF;
+        END_FOR;
+        """,
+        "VAR i : INT; total : INT; END_VAR",
+    )
+    assert program.get_value("total") == 10 + 8 + 6 + 4
+
+
+def test_while_and_repeat():
+    program = _run(
+        """
+        WHILE a < 5 DO a := a + 1; END_WHILE;
+        REPEAT b := b + 1; UNTIL b >= 3 END_REPEAT;
+        """,
+        "VAR a : INT; b : INT; END_VAR",
+    )
+    assert program.get_value("a") == 5
+    assert program.get_value("b") == 3
+
+
+def test_return_stops_program():
+    program = _run(
+        "r := 1; RETURN; r := 2;",
+        "VAR r : INT; END_VAR",
+    )
+    assert program.get_value("r") == 1
+
+
+def test_arrays_with_bounds():
+    program = _run(
+        """
+        arr[2] := 99;
+        r := arr[2] + arr[5];
+        """,
+        "VAR arr : ARRAY [2..5] OF INT; r : INT; END_VAR",
+    )
+    assert program.get_value("r") == 99
+
+
+def test_array_out_of_bounds_raises():
+    program = Program.from_source(
+        "VAR arr : ARRAY [0..3] OF INT; END_VAR arr[9] := 1;"
+    )
+    with pytest.raises(StRuntimeError):
+        program.scan(0)
+
+
+def test_division_semantics():
+    program = _run(
+        """
+        q := -7 / 2;
+        m := -7 MOD 2;
+        f := 7.0 / 2.0;
+        """,
+        "VAR q : INT; m : INT; f : REAL; END_VAR",
+    )
+    assert program.get_value("q") == -3  # trunc toward zero
+    assert program.get_value("m") == -1  # sign of dividend
+    assert program.get_value("f") == pytest.approx(3.5)
+
+
+def test_division_by_zero_raises():
+    program = Program.from_source("VAR r : INT; END_VAR r := 1 / 0;")
+    with pytest.raises(StRuntimeError):
+        program.scan(0)
+
+
+def test_logic_short_circuit():
+    # The right side would divide by zero if evaluated.
+    program = _run(
+        "ok := FALSE AND (1 / 0 > 0); ok2 := TRUE OR (1 / 0 > 0);",
+        "VAR ok : BOOL; ok2 : BOOL; END_VAR",
+    )
+    assert program.get_value("ok") is False
+    assert program.get_value("ok2") is True
+
+
+def test_builtin_functions():
+    program = _run(
+        """
+        a := ABS(-5);
+        b := MIN(3, 1, 2);
+        c := MAX(3.0, 9.5);
+        d := LIMIT(0, 15, 10);
+        e := SEL(TRUE, 1, 2);
+        f := MUX(1, 10, 20, 30);
+        g := SQRT(16.0);
+        h := INT_TO_REAL(4) / 8.0;
+        """,
+        "VAR a : INT; b : INT; c : REAL; d : INT; e : INT; f : INT;"
+        " g : REAL; h : REAL; END_VAR",
+    )
+    assert program.get_value("a") == 5
+    assert program.get_value("b") == 1
+    assert program.get_value("c") == 9.5
+    assert program.get_value("d") == 10
+    assert program.get_value("e") == 2
+    assert program.get_value("f") == 20
+    assert program.get_value("g") == 4.0
+    assert program.get_value("h") == 0.5
+
+
+def test_unknown_variable_raises():
+    program = Program.from_source("ghost := 1;")
+    with pytest.raises(StRuntimeError):
+        program.scan(0)
+
+
+def test_unknown_function_raises():
+    program = Program.from_source("VAR r : INT; END_VAR r := NOPE(1);")
+    with pytest.raises(StRuntimeError):
+        program.scan(0)
+
+
+def test_type_wrap_on_assignment():
+    program = _run("x := 70000;", "VAR x : INT; END_VAR")
+    assert program.get_value("x") == 70000 - 65536
+
+
+def test_duplicate_declaration_rejected():
+    with pytest.raises(StTypeError):
+        Program.from_source("VAR x : INT; x : BOOL; END_VAR")
+
+
+def test_located_variable_alias():
+    program = _run(
+        "flag := TRUE;",
+        "VAR flag AT %QX1.2 : BOOL; END_VAR",
+    )
+    assert program.get_value("%QX1.2") is True
+    located = program.located_variables()
+    assert len(located) == 1
+    assert located[0].location == "%QX1.2"
+
+
+# ---------------------------------------------------------------------------
+# Standard function blocks
+# ---------------------------------------------------------------------------
+
+
+def test_ton_timing():
+    timer = TON()
+    timer.set_input("IN", True)
+    timer.set_input("PT", 1000)
+    timer.execute(0)
+    assert not timer.Q
+    timer.execute(999)
+    assert not timer.Q
+    timer.execute(1000)
+    assert timer.Q and timer.ET == 1000
+    timer.set_input("IN", False)
+    timer.execute(1500)
+    assert not timer.Q and timer.ET == 0
+
+
+def test_tof_timing():
+    timer = TOF()
+    timer.set_input("PT", 500)
+    timer.set_input("IN", True)
+    timer.execute(0)
+    assert timer.Q
+    timer.set_input("IN", False)
+    timer.execute(100)
+    assert timer.Q  # still on during the off-delay
+    timer.execute(700)
+    assert not timer.Q
+
+
+def test_tp_pulse():
+    timer = TP()
+    timer.set_input("PT", 300)
+    timer.set_input("IN", True)
+    timer.execute(0)
+    assert timer.Q
+    timer.execute(299)
+    assert timer.Q
+    timer.set_input("IN", False)
+    timer.execute(301)
+    assert not timer.Q
+
+
+def test_r_trig_single_pulse():
+    trig = R_TRIG()
+    trig.set_input("CLK", True)
+    trig.execute(0)
+    assert trig.Q
+    trig.execute(1)
+    assert not trig.Q  # only one scan wide
+
+
+def test_sr_latch_set_dominant():
+    latch = SR()
+    latch.set_input("S1", True)
+    latch.set_input("R", True)
+    latch.execute(0)
+    assert latch.Q1  # set wins
+    latch.set_input("S1", False)
+    latch.execute(1)
+    assert not latch.Q1
+
+
+def test_ctu_counts_edges():
+    counter = CTU()
+    counter.set_input("PV", 2)
+    for clock in (True, False, True, True, False):
+        counter.set_input("CU", clock)
+        counter.execute(0)
+    assert counter.CV == 2
+    assert counter.Q
+    counter.set_input("R", True)
+    counter.execute(0)
+    assert counter.CV == 0
+
+
+def test_fb_in_program_with_members():
+    source = """
+    VAR t : TON; done : BOOL; run : BOOL := TRUE; END_VAR
+    t(IN := run, PT := T#100ms);
+    done := t.Q;
+    """
+    program = Program.from_source(source)
+    program.scan(0)
+    assert program.get_value("done") is False
+    program.scan(100_000)
+    assert program.get_value("done") is True
+
+
+def test_fb_unknown_input_rejected():
+    program = Program.from_source("VAR t : TON; END_VAR t(BOGUS := 1);")
+    with pytest.raises(StRuntimeError):
+        program.scan(0)
+
+
+def test_fb_as_value_rejected():
+    program = Program.from_source("VAR t : TON; x : INT; END_VAR x := t;")
+    with pytest.raises(StRuntimeError):
+        program.scan(0)
+
+
+# ---------------------------------------------------------------------------
+# PLCopen XML
+# ---------------------------------------------------------------------------
+
+
+def _sample_document() -> PlcOpenDocument:
+    pou = PlcPou(
+        name="main",
+        declarations=[
+            VarDeclaration(name="counter", type_name="INT", kind="VAR"),
+            VarDeclaration(
+                name="run", type_name="BOOL", kind="VAR_INPUT",
+                location="%IX0.0",
+            ),
+            VarDeclaration(
+                name="out", type_name="REAL", kind="VAR_OUTPUT",
+                location="%QD0",
+            ),
+            VarDeclaration(
+                name="buffer", type_name="ARRAY", kind="VAR",
+                array_low=0, array_high=7, element_type="INT",
+            ),
+            VarDeclaration(name="t1", type_name="TON", kind="VAR"),
+        ],
+        st_body=(
+            "IF run THEN counter := counter + 1; END_IF;\n"
+            "out := INT_TO_REAL(counter) * 1.5;"
+        ),
+    )
+    return PlcOpenDocument(
+        pous=[pou],
+        tasks=[PlcTask(name="t0", interval_us=50_000, pou_name="main")],
+    )
+
+
+def test_plcopen_round_trip_preserves_behaviour():
+    document = _sample_document()
+    parsed = parse_plcopen(write_plcopen(document))
+    assert parsed.tasks[0].interval_us == 50_000
+    program = parsed.find_pou("main").instantiate()
+    program.set_value("run", True)
+    for scan in range(4):
+        program.scan(scan)
+    assert program.get_value("counter") == 4
+    assert program.get_value("out") == pytest.approx(6.0)
+
+
+def test_plcopen_preserves_locations_and_arrays():
+    parsed = parse_plcopen(write_plcopen(_sample_document()))
+    pou = parsed.find_pou("main")
+    by_name = {declaration.name: declaration for declaration in pou.declarations}
+    assert by_name["run"].location == "%IX0.0"
+    assert by_name["buffer"].is_array
+    assert by_name["buffer"].array_high == 7
+    assert by_name["t1"].type_name == "TON"
+
+
+def test_plcopen_initial_values_survive():
+    pou = PlcPou(
+        name="p",
+        declarations=[
+            VarDeclaration(
+                name="x", type_name="INT", kind="VAR",
+                initial=__import__(
+                    "repro.iec61131.ast", fromlist=["Literal"]
+                ).Literal(41),
+            )
+        ],
+        st_body="x := x + 1;",
+    )
+    parsed = parse_plcopen(write_plcopen(PlcOpenDocument(pous=[pou])))
+    program = parsed.find_pou("p").instantiate()
+    program.scan(0)
+    assert program.get_value("x") == 42
+
+
+def test_plcopen_rejects_bad_xml():
+    with pytest.raises(StParseError):
+        parse_plcopen("<notproject/>")

@@ -1,0 +1,151 @@
+"""Kernel: deterministic event ordering, periodic tasks, realtime pacing."""
+
+import pytest
+
+from repro.kernel import MS, SECOND, Simulator, SimulatorError
+
+
+def test_clock_starts_at_zero(sim):
+    assert sim.now == 0
+    assert sim.now_seconds == 0.0
+
+
+def test_schedule_and_run(sim):
+    fired = []
+    sim.schedule(100, lambda: fired.append(sim.now))
+    sim.schedule(50, lambda: fired.append(sim.now))
+    sim.run_until(200)
+    assert fired == [50, 100]
+    assert sim.now == 200
+
+
+def test_same_instant_fifo_order(sim):
+    order = []
+    for tag in range(5):
+        sim.schedule(10, lambda t=tag: order.append(t))
+    sim.run_until(10)
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_negative_delay_rejected(sim):
+    with pytest.raises(SimulatorError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_run_until_past_deadline_rejected(sim):
+    sim.run_until(100)
+    with pytest.raises(SimulatorError):
+        sim.run_until(50)
+
+
+def test_cancel_prevents_firing(sim):
+    fired = []
+    event = sim.schedule(10, lambda: fired.append(1))
+    event.cancel()
+    sim.run_until(100)
+    assert fired == []
+    assert sim.pending == 0
+
+
+def test_events_scheduled_during_event_run_same_pass(sim):
+    fired = []
+
+    def outer():
+        sim.schedule(5, lambda: fired.append("inner"))
+
+    sim.schedule(10, outer)
+    sim.run_until(20)
+    assert fired == ["inner"]
+
+
+def test_run_for_advances_relative(sim):
+    sim.run_for(100)
+    sim.run_for(50)
+    assert sim.now == 150
+
+
+def test_periodic_task_fires_at_period(sim):
+    times = []
+    sim.every(100, lambda: times.append(sim.now))
+    sim.run_until(500)
+    assert times == [100, 200, 300, 400, 500]
+
+
+def test_periodic_task_stop(sim):
+    times = []
+    task = sim.every(100, lambda: times.append(sim.now))
+    sim.run_until(250)
+    task.stop()
+    sim.run_until(1000)
+    assert times == [100, 200]
+    assert task.stopped
+
+
+def test_periodic_task_start_offset(sim):
+    times = []
+    sim.every(100, lambda: times.append(sim.now), start_offset=30)
+    sim.run_until(300)
+    assert times == [30, 130, 230]
+
+
+def test_periodic_survives_callback_exception(sim):
+    count = [0]
+
+    def flaky():
+        count[0] += 1
+        if count[0] == 1:
+            raise ValueError("transient")
+
+    task = sim.every(10, flaky)
+    with pytest.raises(ValueError):
+        sim.run_until(10)
+    # The task re-armed before raising, so the next occurrence fires.
+    sim.run_until(30)
+    assert count[0] == 3
+    assert task.fired == 3
+
+
+def test_zero_period_rejected(sim):
+    with pytest.raises(SimulatorError):
+        sim.every(0, lambda: None)
+
+
+def test_run_to_completion_drains(sim):
+    fired = []
+    sim.schedule(1, lambda: fired.append(1))
+    sim.schedule(2, lambda: fired.append(2))
+    executed = sim.run_to_completion()
+    assert executed == 2
+    assert fired == [1, 2]
+
+
+def test_run_to_completion_budget_guard(sim):
+    def rearm():
+        sim.schedule(1, rearm)
+
+    sim.schedule(1, rearm)
+    with pytest.raises(SimulatorError):
+        sim.run_to_completion(max_events=100)
+
+
+def test_realtime_paces_with_injected_sleep(sim):
+    slept = []
+    fired = []
+    sim.schedule(100 * MS, lambda: fired.append(sim.now))
+    sim.run_realtime(1 * SECOND, speed=1000.0, sleep=slept.append)
+    assert fired == [100 * MS]
+    assert sim.now == 1 * SECOND
+    # Pacing requested at least one sleep (virtual time ahead of wall).
+    assert slept
+
+
+def test_realtime_bad_speed(sim):
+    with pytest.raises(SimulatorError):
+        sim.run_realtime(SECOND, speed=0)
+
+
+def test_processed_counter(sim):
+    for _ in range(7):
+        sim.schedule(5, lambda: None)
+    sim.run_until(10)
+    assert sim.processed == 7

@@ -1,0 +1,231 @@
+"""Modbus/TCP: wire format, databank, client/server over the emulator."""
+
+import pytest
+
+from repro.kernel import SECOND
+from repro.modbus import (
+    ExceptionCode,
+    FunctionCode,
+    ModbusClient,
+    ModbusDataBank,
+    ModbusError,
+    ModbusServer,
+    build_request,
+    parse_request,
+)
+from repro.modbus.databank import float_to_registers, registers_to_float
+from repro.modbus.protocol import ModbusRequest, build_response, parse_response
+
+
+# ---------------------------------------------------------------------------
+# Wire format
+# ---------------------------------------------------------------------------
+
+
+def _round_trip_request(function, address, count=0, values=None):
+    request = ModbusRequest(
+        transaction_id=7,
+        unit_id=1,
+        function=function,
+        address=address,
+        count=count,
+        values=values or [],
+    )
+    parsed = parse_request(build_request(request))
+    assert parsed.transaction_id == 7
+    assert parsed.function == function
+    assert parsed.address == address
+    return parsed
+
+
+def test_read_request_round_trip():
+    parsed = _round_trip_request(FunctionCode.READ_HOLDING_REGISTERS, 10, count=5)
+    assert parsed.count == 5
+
+
+def test_write_single_coil_round_trip():
+    parsed = _round_trip_request(FunctionCode.WRITE_SINGLE_COIL, 3, values=[1])
+    assert parsed.values == [1]
+    parsed = _round_trip_request(FunctionCode.WRITE_SINGLE_COIL, 3, values=[0])
+    assert parsed.values == [0]
+
+
+def test_write_multiple_registers_round_trip():
+    parsed = _round_trip_request(
+        FunctionCode.WRITE_MULTIPLE_REGISTERS, 100, values=[1, 2, 65535]
+    )
+    assert parsed.values == [1, 2, 65535]
+
+
+def test_write_multiple_coils_round_trip():
+    bits = [1, 0, 1, 1, 0, 0, 1, 0, 1]
+    parsed = _round_trip_request(
+        FunctionCode.WRITE_MULTIPLE_COILS, 0, values=bits
+    )
+    assert parsed.values == bits
+
+
+def test_read_response_round_trip():
+    request = ModbusRequest(
+        transaction_id=9, unit_id=1,
+        function=FunctionCode.READ_INPUT_REGISTERS, address=0, count=3,
+    )
+    frame = build_response(request, [10, 20, 30])
+    response = parse_response(frame, request)
+    assert response.ok
+    assert response.values == [10, 20, 30]
+
+
+def test_coil_response_round_trip():
+    request = ModbusRequest(
+        transaction_id=9, unit_id=1,
+        function=FunctionCode.READ_COILS, address=0, count=10,
+    )
+    bits = [1, 0, 0, 1, 1, 0, 1, 0, 0, 1]
+    response = parse_response(build_response(request, bits), request)
+    assert response.values == bits
+
+
+def test_exception_response():
+    request = ModbusRequest(
+        transaction_id=1, unit_id=1,
+        function=FunctionCode.READ_COILS, address=0, count=1,
+    )
+    frame = build_response(
+        request, exception=ExceptionCode.ILLEGAL_DATA_ADDRESS
+    )
+    response = parse_response(frame, request)
+    assert not response.ok
+    assert response.exception is ExceptionCode.ILLEGAL_DATA_ADDRESS
+
+
+def test_parse_rejects_short_frame():
+    with pytest.raises(ModbusError):
+        parse_request(b"\x00\x01")
+
+
+def test_parse_rejects_unknown_function():
+    frame = bytearray(
+        build_request(
+            ModbusRequest(
+                transaction_id=1, unit_id=1,
+                function=FunctionCode.READ_COILS, address=0, count=1,
+            )
+        )
+    )
+    frame[7] = 0x63  # bogus function code
+    with pytest.raises(ModbusError):
+        parse_request(bytes(frame))
+
+
+def test_float_register_conversion():
+    high, low = float_to_registers(3.14159)
+    assert registers_to_float(high, low) == pytest.approx(3.14159, rel=1e-6)
+
+
+# ---------------------------------------------------------------------------
+# Databank
+# ---------------------------------------------------------------------------
+
+
+def test_databank_defaults_zero():
+    bank = ModbusDataBank()
+    assert bank.read_coils(0, 4) == [0, 0, 0, 0]
+    assert bank.read_holding_registers(100, 2) == [0, 0]
+
+
+def test_databank_write_callback():
+    bank = ModbusDataBank()
+    seen = []
+    bank.on_write = lambda table, addr, value: seen.append((table, addr, value))
+    bank.write_coil(3, 1)
+    bank.write_register(7, 99)
+    bank.set_input_register(1, 5)  # server-side: no callback
+    assert seen == [("coil", 3, 1), ("holding", 7, 99)]
+
+
+def test_databank_float_helpers():
+    bank = ModbusDataBank()
+    bank.set_input_float(10, -2.5)
+    assert bank.read_input_float(10) == pytest.approx(-2.5)
+    bank.set_holding_float(20, 7.25)
+    assert bank.read_holding_float(20) == pytest.approx(7.25)
+
+
+def test_databank_bounds_checked():
+    bank = ModbusDataBank(size=100)
+    with pytest.raises(IndexError):
+        bank.read_coils(99, 5)
+
+
+# ---------------------------------------------------------------------------
+# Client/server over the emulated network
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def modbus_pair(lan, sim):
+    bank = ModbusDataBank()
+    bank.set_input_float(0, 12.5)
+    bank.set_discrete_input(0, 1)
+    server = ModbusServer(lan.host("h2"), bank)
+    server.start()
+    client = ModbusClient(lan.host("h1"), "10.0.0.2")
+    client.connect()
+    sim.run_for(SECOND)
+    assert client.connected
+    return bank, server, client
+
+
+def test_modbus_read_input_float(modbus_pair, sim):
+    _, _, client = modbus_pair
+    out = {}
+    client.read_input_registers(0, 2, lambda r: out.update(values=r.values))
+    sim.run_for(SECOND)
+    assert registers_to_float(*out["values"]) == pytest.approx(12.5)
+
+
+def test_modbus_read_discrete(modbus_pair, sim):
+    _, _, client = modbus_pair
+    out = {}
+    client.read_discrete_inputs(0, 3, lambda r: out.update(values=r.values))
+    sim.run_for(SECOND)
+    assert out["values"] == [1, 0, 0]
+
+
+def test_modbus_write_coil_reaches_bank(modbus_pair, sim):
+    bank, _, client = modbus_pair
+    done = []
+    client.write_coil(5, 1, lambda r: done.append(r.ok))
+    sim.run_for(SECOND)
+    assert done == [True]
+    assert bank.coils[5] == 1
+
+
+def test_modbus_write_registers(modbus_pair, sim):
+    bank, _, client = modbus_pair
+    client.write_registers(10, [1, 2, 3])
+    sim.run_for(SECOND)
+    assert bank.read_holding_registers(10, 3) == [1, 2, 3]
+
+
+def test_modbus_illegal_address_exception(modbus_pair, sim):
+    _, _, client = modbus_pair
+    out = {}
+    client.read_coils(65530, 10, lambda r: out.update(exc=r.exception))
+    sim.run_for(SECOND)
+    assert out["exc"] is ExceptionCode.ILLEGAL_DATA_ADDRESS
+
+
+def test_modbus_server_counts_requests(modbus_pair, sim):
+    _, server, client = modbus_pair
+    for _ in range(5):
+        client.read_coils(0, 1, lambda r: None)
+    sim.run_for(SECOND)
+    assert server.request_count >= 5
+
+
+def test_modbus_client_requires_connection(lan):
+    client = ModbusClient(lan.host("h1"), "10.0.0.2")
+    with pytest.raises(ModbusError):
+        client.read_coils(0, 1, lambda r: None)

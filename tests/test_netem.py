@@ -1,0 +1,382 @@
+"""Network emulator: addressing, switching, ARP, UDP, TCP, captures."""
+
+import pytest
+
+from repro.kernel import MS, SECOND, Simulator
+from repro.netem import (
+    ETHERTYPE_ARP,
+    ETHERTYPE_GOOSE,
+    ETHERTYPE_IPV4,
+    EthernetFrame,
+    NetemError,
+    VirtualNetwork,
+    format_mac,
+    ip_in_subnet,
+    is_multicast_mac,
+    mac_for_index,
+)
+from repro.netem.addresses import (
+    int_to_ip,
+    ip_to_int,
+    is_multicast_ip,
+    is_valid_ip,
+    is_valid_mac,
+)
+from repro.netem.host import multicast_ip_to_mac
+from repro.netem.tcp import TcpState
+
+
+# ---------------------------------------------------------------------------
+# Addresses
+# ---------------------------------------------------------------------------
+
+
+def test_mac_formatting():
+    assert format_mac(0) == "00:00:00:00:00:00"
+    assert format_mac(0xAABBCCDDEEFF) == "aa:bb:cc:dd:ee:ff"
+    with pytest.raises(ValueError):
+        format_mac(1 << 48)
+
+
+def test_mac_for_index_deterministic_and_unique():
+    macs = {mac_for_index(i) for i in range(100)}
+    assert len(macs) == 100
+    assert mac_for_index(5) == mac_for_index(5)
+
+
+def test_multicast_mac_detection():
+    assert is_multicast_mac("ff:ff:ff:ff:ff:ff")
+    assert is_multicast_mac("01:0c:cd:01:00:01")  # GOOSE range
+    assert not is_multicast_mac("00:1a:22:00:00:01")
+    assert not is_multicast_mac("garbage")
+
+
+def test_ip_validation_and_conversion():
+    assert is_valid_ip("10.0.0.1")
+    assert not is_valid_ip("10.0.0.256")
+    assert not is_valid_ip("abc")
+    assert int_to_ip(ip_to_int("192.168.1.5")) == "192.168.1.5"
+
+
+def test_subnet_membership():
+    assert ip_in_subnet("10.0.1.5", "10.0.1.0", "255.255.255.0")
+    assert not ip_in_subnet("10.0.2.5", "10.0.1.0", "255.255.255.0")
+    assert ip_in_subnet("10.9.9.9", "10.0.0.0", "255.0.0.0")
+
+
+def test_multicast_ip_and_mac_mapping():
+    assert is_multicast_ip("239.192.0.1")
+    assert not is_multicast_ip("10.0.0.1")
+    assert multicast_ip_to_mac("239.192.0.1") == "01:00:5e:40:00:01"
+
+
+def test_mac_validation():
+    assert is_valid_mac("00:1a:22:00:00:01")
+    assert not is_valid_mac("00:1a:22:00:00")
+
+
+# ---------------------------------------------------------------------------
+# Topology construction
+# ---------------------------------------------------------------------------
+
+
+def test_duplicate_names_rejected(sim):
+    net = VirtualNetwork(sim)
+    net.add_switch("n1")
+    with pytest.raises(NetemError):
+        net.add_host("n1", "10.0.0.1")
+
+
+def test_duplicate_ip_rejected(sim):
+    net = VirtualNetwork(sim)
+    net.add_host("a", "10.0.0.1")
+    with pytest.raises(NetemError):
+        net.add_host("b", "10.0.0.1")
+
+
+def test_adjacency_and_summary(lan):
+    assert lan.summary() == {"hosts": 3, "switches": 1, "links": 3}
+    adjacency = lan.adjacency()
+    assert adjacency["sw"] == ["h1", "h2", "h3"]
+    assert adjacency["h1"] == ["sw"]
+
+
+def test_unknown_node_lookup(lan):
+    with pytest.raises(NetemError):
+        lan.host("nope")
+    with pytest.raises(NetemError):
+        lan.node("nope")
+
+
+def test_host_by_ip(lan):
+    assert lan.host_by_ip("10.0.0.2").name == "h2"
+    assert lan.host_by_ip("10.9.9.9") is None
+
+
+# ---------------------------------------------------------------------------
+# ARP + UDP
+# ---------------------------------------------------------------------------
+
+
+def test_udp_delivery_with_arp_resolution(lan, sim):
+    received = []
+    lan.host("h2").udp_bind(5000, lambda ip, port, data: received.append(data))
+    sender = lan.host("h1").udp_bind(5001, lambda *a: None)
+    sender.sendto("10.0.0.2", 5000, b"payload")
+    sim.run_for(SECOND)
+    assert received == [b"payload"]
+    assert lan.host("h1").arp_table["10.0.0.2"] == lan.host("h2").mac
+    # Reverse entry learned from the request.
+    assert lan.host("h2").arp_table["10.0.0.1"] == lan.host("h1").mac
+
+
+def test_udp_to_unbound_port_dropped(lan, sim):
+    sender = lan.host("h1").udp_bind(5001, lambda *a: None)
+    sender.sendto("10.0.0.2", 9999, b"x")
+    sim.run_for(SECOND)
+    assert lan.host("h2").rx_dropped >= 1
+
+
+def test_arp_retry_gives_up_for_missing_host(lan, sim):
+    sender = lan.host("h1").udp_bind(5001, lambda *a: None)
+    sender.sendto("10.0.0.99", 5000, b"x")  # no such host
+    sim.run_for(2 * SECOND)
+    assert "10.0.0.99" not in lan.host("h1").arp_table
+    assert lan.host("h1").rx_dropped >= 1  # queued packet dropped
+
+
+def test_gratuitous_arp_poisons_cache(lan, sim):
+    # Prime h1's cache with the real mapping first.
+    sock = lan.host("h1").udp_bind(5001, lambda *a: None)
+    lan.host("h2").udp_bind(5000, lambda *a: None)
+    sock.sendto("10.0.0.2", 5000, b"x")
+    sim.run_for(SECOND)
+    real_mac = lan.host("h2").mac
+    assert lan.host("h1").arp_table["10.0.0.2"] == real_mac
+    lan.host("h3").send_gratuitous_arp("10.0.0.2")
+    sim.run_for(SECOND)
+    assert lan.host("h1").arp_table["10.0.0.2"] == lan.host("h3").mac
+
+
+def test_multicast_group_delivery(lan, sim):
+    received = []
+    lan.host("h2").join_multicast_group("239.1.1.1")
+    lan.host("h2").udp_bind(6000, lambda ip, port, data: received.append(data))
+    lan.host("h3").udp_bind(6000, lambda ip, port, data: received.append(data))
+    sender = lan.host("h1").udp_bind(6001, lambda *a: None)
+    sender.sendto("239.1.1.1", 6000, b"mc")
+    sim.run_for(SECOND)
+    # Only the group member delivers; h3 drops (not joined).
+    assert received == [b"mc"]
+
+
+def test_ip_forwarding(sim):
+    net = VirtualNetwork(sim)
+    net.add_switch("sw")
+    a = net.add_host("a", "10.0.0.1", gateway="10.0.0.254")
+    router = net.add_host("r", "10.0.0.254")
+    router.ip_forward = True
+    b = net.add_host("b", "10.1.0.1", subnet_mask="255.255.255.0")
+    for name in ("a", "r", "b"):
+        net.add_link(name, "sw")
+    # b is on a different subnet from a; a routes via r.
+    received = []
+    b.udp_bind(7000, lambda ip, port, data: received.append((ip, data)))
+    router.arp_table["10.1.0.1"] = b.mac  # router knows the next hop
+    sock = a.udp_bind(7001, lambda *a_: None)
+    sock.sendto("10.1.0.1", 7000, b"routed")
+    sim.run_for(SECOND)
+    assert received == [("10.0.0.1", b"routed")]
+    assert router.forwarded == 1
+
+
+# ---------------------------------------------------------------------------
+# Switch behaviour
+# ---------------------------------------------------------------------------
+
+
+def test_switch_learns_and_stops_flooding(lan, sim):
+    h1, h2 = lan.host("h1"), lan.host("h2")
+    switch = lan.switch("sw")
+    h2.udp_bind(5000, lambda *a: None)
+    sock = h1.udp_bind(5001, lambda *a: None)
+    sock.sendto("10.0.0.2", 5000, b"one")
+    sim.run_for(SECOND)
+    assert h1.mac in switch.mac_table
+    assert h2.mac in switch.mac_table
+    flooded_before = switch.flooded
+    sock.sendto("10.0.0.2", 5000, b"two")
+    sim.run_for(SECOND)
+    # Known unicast: no new flooding beyond the first exchange.
+    assert switch.flooded == flooded_before
+    assert switch.forwarded > 0
+
+
+def test_switch_floods_multicast(lan, sim):
+    h1 = lan.host("h1")
+    seen = {"h2": 0, "h3": 0}
+    for name in ("h2", "h3"):
+        lan.host(name).register_ethertype_handler(
+            ETHERTYPE_GOOSE, lambda frame, n=name: seen.__setitem__(n, seen[n] + 1)
+        )
+    h1.send_ethernet("01:0c:cd:01:00:01", ETHERTYPE_GOOSE, b"goose")
+    sim.run_for(SECOND)
+    assert seen == {"h2": 1, "h3": 1}
+    # Multicast source addresses are never learned as multicast dst.
+    assert "01:0c:cd:01:00:01" not in lan.switch("sw").mac_table
+
+
+# ---------------------------------------------------------------------------
+# Links
+# ---------------------------------------------------------------------------
+
+
+def test_link_latency_delays_delivery(sim):
+    net = VirtualNetwork(sim)
+    a = net.add_host("a", "10.0.0.1")
+    b = net.add_host("b", "10.0.0.2")
+    net.add_link("a", "b", latency_us=10 * MS)
+    arrival = []
+    b.register_ethertype_handler(0x9999, lambda f: arrival.append(sim.now))
+    a.send_ethernet(b.mac, 0x9999, b"x")
+    sim.run_for(SECOND)
+    assert arrival and arrival[0] >= 10 * MS
+
+
+def test_link_down_drops(sim):
+    net = VirtualNetwork(sim)
+    a = net.add_host("a", "10.0.0.1")
+    b = net.add_host("b", "10.0.0.2")
+    link = net.add_link("a", "b")
+    got = []
+    b.register_ethertype_handler(0x9999, lambda f: got.append(1))
+    link.set_down()
+    a.send_ethernet(b.mac, 0x9999, b"x")
+    sim.run_for(SECOND)
+    assert got == []
+    assert link.drop_count == 1
+    link.set_up()
+    a.send_ethernet(b.mac, 0x9999, b"x")
+    sim.run_for(SECOND)
+    assert got == [1]
+
+
+def test_link_loss_injection_deterministic(sim):
+    net = VirtualNetwork(sim)
+    a = net.add_host("a", "10.0.0.1")
+    b = net.add_host("b", "10.0.0.2")
+    link = net.add_link("a", "b", drop_probability=0.5, seed=42)
+    got = []
+    b.register_ethertype_handler(0x9999, lambda f: got.append(1))
+    for _ in range(100):
+        a.send_ethernet(b.mac, 0x9999, b"x")
+    sim.run_for(SECOND)
+    assert 20 < len(got) < 80  # roughly half, seeded => reproducible
+    assert link.drop_count == 100 - len(got)
+
+
+def test_capture_records_frames(lan, sim):
+    cap = lan.capture("h1--sw")
+    lan.host("h2").udp_bind(5000, lambda *a: None)
+    sock = lan.host("h1").udp_bind(5001, lambda *a: None)
+    sock.sendto("10.0.0.2", 5000, b"x")
+    sim.run_for(SECOND)
+    kinds = cap.summary()
+    assert kinds.get(ETHERTYPE_ARP, 0) >= 2  # request + reply
+    assert kinds.get(ETHERTYPE_IPV4, 0) >= 1
+    assert "ARP" in cap.by_ethertype(ETHERTYPE_ARP)[0].describe()
+
+
+# ---------------------------------------------------------------------------
+# TCP
+# ---------------------------------------------------------------------------
+
+
+def _echo_server(host, port=9000):
+    received = []
+
+    def on_accept(conn):
+        conn.on_data = lambda data: (received.append(data), conn.send(data))
+
+    host.tcp.listen(port, on_accept)
+    return received
+
+
+def test_tcp_handshake_and_echo(lan, sim):
+    received = _echo_server(lan.host("h2"))
+    replies = []
+    conn = lan.host("h1").tcp.connect(
+        "10.0.0.2", 9000, on_data=replies.append
+    )
+    sim.run_for(SECOND)
+    assert conn.established
+    conn.send(b"hello tcp")
+    sim.run_for(SECOND)
+    assert received == [b"hello tcp"]
+    assert replies == [b"hello tcp"]
+
+
+def test_tcp_large_transfer_chunks(lan, sim):
+    received = _echo_server(lan.host("h2"))
+    conn = lan.host("h1").tcp.connect("10.0.0.2", 9000)
+    sim.run_for(SECOND)
+    payload = bytes(range(256)) * 20  # 5120 bytes > MSS
+    conn.send(payload)
+    sim.run_for(SECOND)
+    assert b"".join(received) == payload
+
+
+def test_tcp_refused_port_gets_rst(lan, sim):
+    closed = []
+    conn = lan.host("h1").tcp.connect(
+        "10.0.0.2", 12345, on_close=lambda: closed.append(1)
+    )
+    sim.run_for(SECOND)
+    assert not conn.established
+    assert closed == [1]
+
+
+def test_tcp_retransmission_recovers_loss(sim):
+    net = VirtualNetwork(sim)
+    a = net.add_host("a", "10.0.0.1")
+    b = net.add_host("b", "10.0.0.2")
+    link = net.add_link("a", "b", drop_probability=0.3, seed=7)
+    received = _echo_server(b)
+    conn = a.tcp.connect("10.0.0.2", 9000)
+    sim.run_for(5 * SECOND)
+    assert conn.established
+    conn.send(b"must-arrive")
+    sim.run_for(10 * SECOND)
+    assert b"must-arrive" in b"".join(received)
+
+
+def test_tcp_close_handshake(lan, sim):
+    _echo_server(lan.host("h2"))
+    closed = []
+    conn = lan.host("h1").tcp.connect(
+        "10.0.0.2", 9000, on_close=lambda: closed.append(1)
+    )
+    sim.run_for(SECOND)
+    conn.close()
+    sim.run_for(SECOND)
+    assert conn.state is TcpState.CLOSED
+    assert closed == [1]
+    assert not lan.host("h1").tcp.connections
+
+
+def test_tcp_duplicate_listen_rejected(lan):
+    lan.host("h1").tcp.listen(80, lambda c: None)
+    with pytest.raises(ValueError):
+        lan.host("h1").tcp.listen(80, lambda c: None)
+
+
+def test_tcp_out_of_order_reassembly(lan, sim):
+    """Segments arriving out of order are buffered and delivered in order."""
+    received = _echo_server(lan.host("h2"))
+    conn = lan.host("h1").tcp.connect("10.0.0.2", 9000)
+    sim.run_for(SECOND)
+    # Send three MSS-sized chunks in one call → three segments.
+    payload = b"A" * 1200 + b"B" * 1200 + b"C" * 1200
+    conn.send(payload)
+    sim.run_for(SECOND)
+    assert b"".join(received) == payload

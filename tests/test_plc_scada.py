@@ -1,0 +1,311 @@
+"""Virtual PLC runtime and SCADA HMI."""
+
+import pytest
+
+from repro.kernel import MS, SECOND
+from repro.netem import VirtualNetwork
+from repro.iec61131 import Program
+from repro.iec61850 import MmsError, MmsServer
+from repro.modbus import ModbusClient
+from repro.plc import PlcError, VirtualPlc, parse_location
+from repro.scada import (
+    AlarmLimits,
+    DataPointConfig,
+    DataSourceConfig,
+    PointQuality,
+    ScadaConfig,
+    ScadaError,
+    ScadaHmi,
+    import_scadabr_json,
+)
+
+
+# ---------------------------------------------------------------------------
+# Location parsing
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "text,direction,width,index,bit",
+    [
+        ("%QX0.1", "Q", "X", 0, 1),
+        ("%IX2.7", "I", "X", 2, 7),
+        ("%IW3", "I", "W", 3, 0),
+        ("%QW10", "Q", "W", 10, 0),
+        ("%QD4", "Q", "D", 4, 0),
+        ("%ID0", "I", "D", 0, 0),
+    ],
+)
+def test_parse_location(text, direction, width, index, bit):
+    location = parse_location(text)
+    assert (location.direction, location.width) == (direction, width)
+    assert (location.index, location.bit) == (index, bit)
+
+
+def test_parse_location_bit_address():
+    assert parse_location("%QX2.3").bit_address == 19
+
+
+@pytest.mark.parametrize("bad", ["%ZX0.0", "QX0.0", "%Q0", "%QX"])
+def test_parse_location_rejects(bad):
+    with pytest.raises(PlcError):
+        parse_location(bad)
+
+
+# ---------------------------------------------------------------------------
+# PLC scan cycle
+# ---------------------------------------------------------------------------
+
+PLC_SOURCE = """
+VAR
+  cmd AT %IX0.0 : BOOL;
+  setpoint AT %IW0 : INT;
+  status AT %QX0.0 : BOOL;
+  level AT %QD0 : REAL;
+  counter : INT;
+END_VAR
+IF cmd THEN counter := counter + 1; END_IF;
+status := counter > 2;
+level := INT_TO_REAL(setpoint) * 0.5;
+"""
+
+
+@pytest.fixture
+def plc_net(sim):
+    net = VirtualNetwork(sim)
+    net.add_switch("sw")
+    plc_host = net.add_host("plc", "10.0.0.20")
+    scada_host = net.add_host("scada", "10.0.0.100")
+    net.add_link("plc", "sw")
+    net.add_link("scada", "sw")
+    plc = VirtualPlc(
+        plc_host, Program.from_source(PLC_SOURCE), scan_interval_ms=50
+    )
+    plc.start()
+    return net, plc, scada_host
+
+
+def test_plc_scan_reads_coils_writes_outputs(plc_net, sim):
+    net, plc, scada_host = plc_net
+    client = ModbusClient(scada_host, "10.0.0.20")
+    client.connect()
+    sim.run_for(SECOND)
+    client.write_coil(0, 1)  # cmd := TRUE
+    client.write_register(0, 10)  # setpoint := 10
+    sim.run_for(SECOND)
+    assert plc.program.get_value("counter") > 2
+    assert plc.databank.discrete_inputs[0] == 1  # status exposed
+    assert plc.databank.read_input_float(0) == pytest.approx(5.0)
+
+
+def test_plc_initial_located_values_seed_image(sim):
+    net = VirtualNetwork(sim)
+    host = net.add_host("plc", "10.0.0.20")
+    plc = VirtualPlc(
+        host,
+        Program.from_source(
+            "VAR go AT %IX0.0 : BOOL := TRUE; n AT %IW1 : INT := 7; END_VAR\n"
+            "go := go;"
+        ),
+    )
+    assert plc.databank.coils[0] == 1
+    assert plc.databank.holding_registers[1] == 7
+
+
+def test_plc_mms_bindings_read_and_write(sim):
+    net = VirtualNetwork(sim)
+    net.add_switch("sw")
+    plc_host = net.add_host("plc", "10.0.0.20")
+    ied_host = net.add_host("ied", "10.0.0.10")
+    net.add_link("plc", "sw")
+    net.add_link("ied", "sw")
+
+    class Provider:
+        data = {"LD0/MMXU1.TotW.mag.f": 4.2}
+        writes = []
+
+        def mms_identify(self):
+            return {}
+
+        def mms_get_name_list(self, oc, domain):
+            return sorted(self.data)
+
+        def mms_read(self, ref):
+            if ref not in self.data:
+                raise MmsError("nope")
+            return self.data[ref]
+
+        def mms_write(self, ref, value):
+            self.writes.append((ref, value))
+
+    provider = Provider()
+    MmsServer(ied_host, provider).start()
+    source = """
+    VAR power : REAL; relay : BOOL; END_VAR
+    relay := power > 4.0;
+    """
+    plc = VirtualPlc(plc_host, Program.from_source(source), scan_interval_ms=50)
+    plc.bind_mms("power", "10.0.0.10", "LD0/MMXU1.TotW.mag.f", "read")
+    plc.bind_mms("relay", "10.0.0.10", "LD0/CSWI1.Oper.ctlVal", "write")
+    plc.start()
+    sim.run_for(2 * SECOND)
+    assert plc.program.get_value("power") == pytest.approx(4.2)
+    assert ("LD0/CSWI1.Oper.ctlVal", True) in provider.writes
+    # Writes are deadbanded: same value is not re-sent every scan.
+    assert plc.mms_write_count <= 2
+
+
+def test_plc_bad_binding_direction():
+    net = VirtualNetwork(__import__("repro.kernel", fromlist=["Simulator"]).Simulator())
+    host = net.add_host("plc", "10.0.0.20")
+    plc = VirtualPlc(host, Program.from_source("VAR x : INT; END_VAR x := 1;"))
+    with pytest.raises(PlcError):
+        plc.bind_mms("x", "10.0.0.10", "ref", "sideways")
+
+
+def test_plc_from_plcopen_requires_pou():
+    from repro.iec61131.plcopen import PlcOpenDocument
+
+    net = VirtualNetwork(__import__("repro.kernel", fromlist=["Simulator"]).Simulator())
+    host = net.add_host("plc", "10.0.0.20")
+    with pytest.raises(PlcError):
+        VirtualPlc.from_plcopen(host, PlcOpenDocument())
+
+
+# ---------------------------------------------------------------------------
+# SCADA config + importer
+# ---------------------------------------------------------------------------
+
+
+def _scada_config():
+    return ScadaConfig(
+        name="hmi",
+        sources=[
+            DataSourceConfig(
+                name="plc", protocol="MODBUS", host_ip="10.0.0.20",
+                poll_interval_ms=200,
+            )
+        ],
+        points=[
+            DataPointConfig(
+                name="LEVEL", source="plc", kind="analog",
+                table="input_float", address=0,
+                alarms=AlarmLimits(high=10.0, low=1.0),
+            ),
+            DataPointConfig(
+                name="CMD", source="plc", kind="binary", table="coil",
+                address=0, writable=True,
+            ),
+        ],
+    )
+
+
+def test_scada_config_validation():
+    config = _scada_config()
+    assert config.validate() == []
+    config.points.append(
+        DataPointConfig(name="BAD", source="ghost", table="coil")
+    )
+    assert any("unknown source" in p for p in config.validate())
+
+
+def test_scada_duplicate_point_detected():
+    config = _scada_config()
+    config.points.append(config.points[0])
+    assert any("duplicate" in p for p in config.validate())
+
+
+def test_alarm_limits():
+    limits = AlarmLimits(high=10.0, low=1.0)
+    assert limits.violated(11.0) == "HIGH"
+    assert limits.violated(0.5) == "LOW"
+    assert limits.violated(5.0) is None
+    assert AlarmLimits().violated(1e9) is None
+
+
+def test_import_scadabr_json():
+    json_text = """
+    {
+      "name": "imported",
+      "dataSources": [
+        {"name": "s", "type": "MODBUS", "host": "10.0.0.1",
+         "updatePeriodMs": 500}
+      ],
+      "dataPoints": [
+        {"name": "p", "dataSource": "s", "pointType": "analog",
+         "modbusTable": "input", "offset": 3, "alarmHigh": 7.5,
+         "settable": true, "writeTable": "holding", "writeOffset": 9}
+      ]
+    }
+    """
+    config = import_scadabr_json(json_text)
+    assert config.name == "imported"
+    point = config.points[0]
+    assert point.address == 3
+    assert point.alarms.high == 7.5
+    assert point.writable and point.write_address == 9
+
+
+def test_import_rejects_bad_json():
+    with pytest.raises(ScadaError):
+        import_scadabr_json("{not json")
+    with pytest.raises(ScadaError):
+        import_scadabr_json('{"dataPoints": [{"name": "x", "dataSource": "ghost"}]}')
+
+
+# ---------------------------------------------------------------------------
+# SCADA runtime against a live PLC
+# ---------------------------------------------------------------------------
+
+
+def test_scada_polls_and_alarms(plc_net, sim):
+    net, plc, scada_host = plc_net
+    config = _scada_config()
+    hmi = ScadaHmi(scada_host, config)
+    hmi.start()
+    # setpoint drives level = setpoint * 0.5; set 30 → level 15 > high alarm.
+    plc.databank.holding_registers[0] = 30
+    sim.run_for(3 * SECOND)
+    assert hmi.value_of("LEVEL") == pytest.approx(15.0)
+    assert hmi.active_alarms.get("LEVEL") == "HIGH"
+    assert any(e.kind == "HIGH" for e in hmi.events)
+    # Back to normal clears the alarm.
+    plc.databank.holding_registers[0] = 10
+    sim.run_for(2 * SECOND)
+    assert "LEVEL" not in hmi.active_alarms
+    assert any(e.kind == "RETURN_TO_NORMAL" for e in hmi.events)
+
+
+def test_scada_operate_writes_coil(plc_net, sim):
+    net, plc, scada_host = plc_net
+    hmi = ScadaHmi(scada_host, _scada_config())
+    hmi.start()
+    sim.run_for(SECOND)
+    hmi.operate("CMD", True)
+    sim.run_for(SECOND)
+    assert plc.databank.coils[0] == 1
+    assert any(e.kind == "COMMAND" for e in hmi.events)
+
+
+def test_scada_operate_rejects_non_writable(plc_net, sim):
+    _, _, scada_host = plc_net
+    hmi = ScadaHmi(scada_host, _scada_config())
+    hmi.start()
+    sim.run_for(SECOND)
+    with pytest.raises(ScadaError):
+        hmi.operate("LEVEL", 5)
+    with pytest.raises(ScadaError):
+        hmi.operate("GHOST", 5)
+
+
+def test_scada_quality_goes_stale_when_source_dies(plc_net, sim):
+    net, plc, scada_host = plc_net
+    hmi = ScadaHmi(scada_host, _scada_config())
+    hmi.start()
+    sim.run_for(2 * SECOND)
+    assert hmi.values["LEVEL"].quality is PointQuality.GOOD
+    # Kill the link to the PLC: polls stop returning.
+    net.links["plc--sw"].set_down()
+    sim.run_for(5 * SECOND)
+    assert hmi.values["LEVEL"].quality is PointQuality.STALE
+    assert any(e.kind == "QUALITY" for e in hmi.events)

@@ -1,0 +1,79 @@
+"""Point database: measurement cache and command-drain semantics."""
+
+from repro.pointdb import PointDatabase
+
+
+def test_set_get_defaults():
+    db = PointDatabase()
+    assert db.get("missing") is None
+    assert db.get("missing", 7) == 7
+    db.set("meas/bus/vm_pu", 1.02)
+    assert db.get("meas/bus/vm_pu") == 1.02
+
+
+def test_typed_getters():
+    db = PointDatabase()
+    db.set("a", "not-a-number")
+    assert db.get_float("a", 9.9) == 9.9
+    db.set("b", 3)
+    assert db.get_float("b") == 3.0
+    db.set("c", 0)
+    assert db.get_bool("c") is False
+    assert db.get_bool("missing", True) is True
+
+
+def test_keys_prefix_scan():
+    db = PointDatabase()
+    db.set("meas/a/p", 1)
+    db.set("meas/b/p", 2)
+    db.set("status/cb/closed", True)
+    assert db.keys("meas/") == ["meas/a/p", "meas/b/p"]
+    assert len(db.keys()) == 3
+    assert db.snapshot("status/") == {"status/cb/closed": True}
+
+
+def test_command_drain_exactly_once():
+    db = PointDatabase()
+    db.write_command("cmd/CB1/close", False, writer="ied1", time_us=100)
+    db.write_command("cmd/CB2/close", True, writer="ied2", time_us=200)
+    drained = db.drain_commands()
+    assert [(w.key, w.value, w.writer) for w in drained] == [
+        ("cmd/CB1/close", False, "ied1"),
+        ("cmd/CB2/close", True, "ied2"),
+    ]
+    assert db.drain_commands() == []
+    db.write_command("cmd/CB1/close", True, writer="ied1", time_us=300)
+    assert len(db.drain_commands()) == 1
+
+
+def test_command_visible_via_get_immediately():
+    db = PointDatabase()
+    db.write_command("cmd/CB1/close", False)
+    assert db.get("cmd/CB1/close") is False
+
+
+def test_command_history_is_audit_log():
+    db = PointDatabase()
+    for index in range(5):
+        db.write_command("cmd/CB1/close", index % 2 == 0, time_us=index)
+    db.drain_commands()
+    assert len(db.command_history) == 5
+
+
+def test_subscription_callbacks():
+    db = PointDatabase()
+    seen = []
+    db.subscribe("watched", lambda key, value: seen.append(value))
+    db.set("watched", 1)
+    db.set("other", 2)
+    db.write_command("watched", 3)
+    assert seen == [1, 3]
+
+
+def test_container_protocol():
+    db = PointDatabase()
+    db.set("b", 1)
+    db.set("a", 2)
+    assert len(db) == 2
+    assert list(db) == ["a", "b"]
+    assert db.exists("a") and not db.exists("z")

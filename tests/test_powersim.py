@@ -1,0 +1,368 @@
+"""Power flow: solver correctness, switch semantics, time series."""
+
+import math
+
+import pytest
+
+from repro.powersim import (
+    Network,
+    PowerFlowDiverged,
+    PowerSimError,
+    LoadProfile,
+    ProfilePoint,
+    ScenarioEvent,
+    SimulationScenario,
+    TimeSeriesRunner,
+    run_power_flow,
+)
+
+
+def _two_bus(load_mw=10.0, load_mvar=2.0, r=0.5, x=2.0):
+    net = Network("two-bus")
+    a = net.add_bus("A", 110.0)
+    b = net.add_bus("B", 110.0)
+    net.add_ext_grid("grid", a, vm_pu=1.0)
+    net.add_line("L", a, b, r_ohm=r, x_ohm=x, max_i_ka=0.5)
+    net.add_load("ld", b, p_mw=load_mw, q_mvar=load_mvar)
+    return net
+
+
+# ---------------------------------------------------------------------------
+# Builders / container
+# ---------------------------------------------------------------------------
+
+
+def test_duplicate_bus_name_rejected():
+    net = Network()
+    net.add_bus("A", 10.0)
+    with pytest.raises(PowerSimError):
+        net.add_bus("A", 10.0)
+
+
+def test_zero_impedance_line_rejected():
+    net = Network()
+    a = net.add_bus("A", 10.0)
+    b = net.add_bus("B", 10.0)
+    with pytest.raises(PowerSimError):
+        net.add_line("L", a, b, r_ohm=0, x_ohm=0)
+
+
+def test_self_loop_line_rejected():
+    net = Network()
+    a = net.add_bus("A", 10.0)
+    with pytest.raises(PowerSimError):
+        net.add_line("L", a, a, r_ohm=0.1, x_ohm=0.1)
+
+
+def test_unknown_bus_rejected():
+    net = Network()
+    with pytest.raises(PowerSimError):
+        net.add_load("ld", 5, p_mw=1.0)
+
+
+def test_lookup_helpers():
+    net = _two_bus()
+    assert net.bus_index("A") == 0
+    assert net.find_line("L") is not None
+    assert net.find_load("ld") is not None
+    assert net.find_switch("nope") is None
+    with pytest.raises(PowerSimError):
+        net.bus_index("missing")
+
+
+def test_summary_counts():
+    net = _two_bus()
+    summary = net.summary()
+    assert summary["bus"] == 2
+    assert summary["line"] == 1
+    assert summary["ext_grid"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Solver physics
+# ---------------------------------------------------------------------------
+
+
+def test_two_bus_analytic_voltage_drop():
+    """Compare against the hand-solved two-bus case."""
+    net = _two_bus(load_mw=10.0, load_mvar=2.0, r=0.5, x=2.0)
+    result = run_power_flow(net)
+    assert result.converged
+    # Z_base = 110^2/100 = 121 ohm; z_pu = (0.5+2j)/121.
+    # Iterative check: |V| should be slightly below 1.
+    vm = result.buses["B"].vm_pu
+    assert 0.99 < vm < 1.0
+    # Receiving-end power equals the load.
+    flow = result.lines["L"]
+    assert -flow.p_to_mw == pytest.approx(10.0, rel=1e-6)
+    assert -flow.q_to_mvar == pytest.approx(2.0, rel=1e-6)
+    # Sending end covers load + losses.
+    assert flow.p_from_mw > 10.0
+    assert result.slack_p_mw == pytest.approx(flow.p_from_mw, rel=1e-6)
+
+
+def test_losses_are_positive_and_consistent():
+    net = _two_bus()
+    result = run_power_flow(net)
+    losses = result.total_losses_mw
+    assert losses > 0
+    assert result.slack_p_mw == pytest.approx(
+        result.total_load_mw + losses, rel=1e-6
+    )
+
+
+def test_flat_case_no_load():
+    net = Network()
+    a = net.add_bus("A", 110.0)
+    b = net.add_bus("B", 110.0)
+    net.add_ext_grid("grid", a, vm_pu=1.0)
+    net.add_line("L", a, b, r_ohm=0.5, x_ohm=2.0)
+    result = run_power_flow(net)
+    assert result.buses["B"].vm_pu == pytest.approx(1.0, abs=1e-9)
+    assert result.lines["L"].p_from_mw == pytest.approx(0.0, abs=1e-9)
+
+
+def test_pv_bus_holds_voltage():
+    net = _two_bus(load_mw=50.0, load_mvar=10.0)
+    net.add_gen("G", 1, p_mw=20.0, vm_pu=1.03)
+    result = run_power_flow(net)
+    assert result.buses["B"].vm_pu == pytest.approx(1.03, abs=1e-9)
+
+
+def test_transformer_flow_and_loading():
+    net = Network()
+    hv = net.add_bus("HV", 110.0)
+    lv = net.add_bus("LV", 20.0)
+    net.add_ext_grid("grid", hv, vm_pu=1.0)
+    net.add_transformer("T", hv, lv, sn_mva=25.0, vk_percent=10.0)
+    net.add_load("ld", lv, p_mw=20.0, q_mvar=5.0)
+    result = run_power_flow(net)
+    assert result.converged
+    flow = result.transformers["T"]
+    assert -flow.p_to_mw == pytest.approx(20.0, rel=1e-6)
+    assert 60 < flow.loading_percent < 100  # ~82% of 25 MVA
+
+
+def test_transformer_tap_changes_lv_voltage():
+    def solve(tap):
+        net = Network()
+        hv = net.add_bus("HV", 110.0)
+        lv = net.add_bus("LV", 20.0)
+        net.add_ext_grid("grid", hv)
+        net.add_transformer("T", hv, lv, sn_mva=25.0, tap_pos=tap)
+        net.add_load("ld", lv, p_mw=10.0)
+        return run_power_flow(net).buses["LV"].vm_pu
+
+    # Raising the HV-side tap lowers the LV voltage.
+    assert solve(+2) < solve(0) < solve(-2)
+
+
+def test_sgen_reduces_slack_import():
+    net = _two_bus(load_mw=10.0)
+    base = run_power_flow(net).slack_p_mw
+    net.add_sgen("pv", 1, p_mw=4.0)
+    with_pv = run_power_flow(net).slack_p_mw
+    assert with_pv == pytest.approx(base - 4.0, rel=1e-2)
+
+
+def test_shunt_consumes_reactive():
+    net = _two_bus()
+    net.add_shunt("sh", 1, q_mvar=5.0)
+    result = run_power_flow(net)
+    assert result.slack_q_mvar > 2.0  # load q + shunt q
+
+
+def test_open_bus_bus_switch_isolates():
+    net = Network()
+    a = net.add_bus("A", 20.0)
+    b = net.add_bus("B", 20.0)
+    c = net.add_bus("C", 20.0)
+    net.add_ext_grid("g", a)
+    net.add_line("L", a, b, r_ohm=0.1, x_ohm=0.3)
+    net.add_switch_bus_bus("CB", b, c, closed=True)
+    net.add_load("ld", c, p_mw=3.0)
+    closed = run_power_flow(net)
+    assert closed.buses["C"].energized
+    assert closed.lines["L"].p_from_mw > 2.9
+    net.set_switch("CB", False)
+    opened = run_power_flow(net)
+    assert not opened.buses["C"].energized
+    assert opened.buses["C"].vm_pu == 0.0
+    assert opened.lines["L"].p_from_mw == pytest.approx(0.0, abs=1e-9)
+
+
+def test_closed_switch_fuses_buses_same_voltage():
+    net = Network()
+    a = net.add_bus("A", 20.0)
+    b = net.add_bus("B", 20.0)
+    net.add_ext_grid("g", a, vm_pu=1.02)
+    net.add_switch_bus_bus("CB", a, b)
+    result = run_power_flow(net)
+    assert result.buses["B"].vm_pu == pytest.approx(1.02)
+    assert result.buses["B"].va_degree == pytest.approx(0.0)
+
+
+def test_open_line_switch_takes_line_out():
+    net = _two_bus()
+    net.add_switch_bus_line("LS", 0, 0, closed=True)
+    assert run_power_flow(net).buses["B"].energized
+    net.set_switch("LS", False)
+    result = run_power_flow(net)
+    assert not result.buses["B"].energized
+    assert not result.lines["L"].in_service
+
+
+def test_out_of_service_bus_excluded():
+    net = _two_bus()
+    net.buses[1].in_service = False
+    result = run_power_flow(net)
+    assert not result.buses["B"].energized
+    assert result.slack_p_mw == pytest.approx(0.0, abs=1e-9)
+
+
+def test_island_without_slack_deenergized():
+    net = Network()
+    a = net.add_bus("A", 20.0)
+    b = net.add_bus("B", 20.0)
+    c = net.add_bus("C", 20.0)
+    d = net.add_bus("D", 20.0)
+    net.add_ext_grid("g", a)
+    net.add_line("L1", a, b, r_ohm=0.1, x_ohm=0.3)
+    net.add_line("L2", c, d, r_ohm=0.1, x_ohm=0.3)  # separate island
+    net.add_load("ld", d, p_mw=1.0)
+    result = run_power_flow(net)
+    assert result.buses["B"].energized
+    assert not result.buses["C"].energized
+    assert not result.buses["D"].energized
+
+
+def test_two_islands_each_with_slack():
+    net = Network()
+    a = net.add_bus("A", 20.0)
+    b = net.add_bus("B", 20.0)
+    c = net.add_bus("C", 20.0)
+    d = net.add_bus("D", 20.0)
+    net.add_ext_grid("g1", a, vm_pu=1.0)
+    net.add_ext_grid("g2", c, vm_pu=1.05)
+    net.add_line("L1", a, b, r_ohm=0.1, x_ohm=0.3)
+    net.add_line("L2", c, d, r_ohm=0.1, x_ohm=0.3)
+    net.add_load("ld1", b, p_mw=1.0)
+    net.add_load("ld2", d, p_mw=2.0)
+    result = run_power_flow(net)
+    assert result.buses["B"].energized and result.buses["D"].energized
+    assert result.buses["C"].vm_pu == pytest.approx(1.05)
+
+
+def test_divergence_raises():
+    net = _two_bus(load_mw=100000.0)  # far beyond the line's capability
+    with pytest.raises(PowerFlowDiverged):
+        run_power_flow(net)
+
+
+def test_empty_network_rejected():
+    with pytest.raises(PowerSimError):
+        run_power_flow(Network())
+
+
+def test_line_current_magnitude():
+    net = _two_bus(load_mw=10.0, load_mvar=0.0)
+    result = run_power_flow(net)
+    flow = result.lines["L"]
+    # I ≈ S / (sqrt(3) * V_ll) = 10 / (1.732 * 110 * vm) ≈ 0.0525 kA.
+    expected = 10.0 / (math.sqrt(3) * 110.0 * result.buses["B"].vm_pu)
+    assert flow.i_to_ka == pytest.approx(expected, rel=1e-3)
+    assert flow.loading_percent == pytest.approx(
+        max(flow.i_from_ka, flow.i_to_ka) / 0.5 * 100, rel=1e-9
+    )
+
+
+# ---------------------------------------------------------------------------
+# Time series / scenarios
+# ---------------------------------------------------------------------------
+
+
+def test_profile_step_interpolation():
+    profile = LoadProfile(
+        target="ld",
+        points=[ProfilePoint(10.0, 1.5), ProfilePoint(0.0, 1.0)],
+    )
+    assert profile.value_at(-1.0) is None
+    assert profile.value_at(0.0) == 1.0
+    assert profile.value_at(9.99) == 1.0
+    assert profile.value_at(10.0) == 1.5
+    assert profile.value_at(100.0) == 1.5
+
+
+def test_runner_applies_profile():
+    net = _two_bus(load_mw=10.0)
+    scenario = SimulationScenario(
+        profiles=[
+            LoadProfile(
+                target="ld",
+                points=[ProfilePoint(0.0, 1.0), ProfilePoint(5.0, 2.0)],
+            )
+        ]
+    )
+    runner = TimeSeriesRunner(net, scenario)
+    early = runner.step(1.0)
+    late = runner.step(6.0)
+    assert late.slack_p_mw > early.slack_p_mw * 1.8
+
+
+def test_runner_applies_events_once_in_order():
+    net = _two_bus()
+    net.add_switch_bus_bus("CB", 0, 1, closed=False)
+    scenario = SimulationScenario(
+        events=[
+            ScenarioEvent(time_s=2.0, action="line_out", target="L"),
+            ScenarioEvent(time_s=4.0, action="close_switch", target="CB"),
+        ]
+    )
+    runner = TimeSeriesRunner(net, scenario)
+    assert runner.step(1.0).buses["B"].energized
+    assert not runner.step(2.5).buses["B"].energized  # line lost
+    assert runner.step(5.0).buses["B"].energized  # bypass switch closed
+
+
+def test_runner_gen_loss_event():
+    net = _two_bus(load_mw=10.0)
+    net.add_gen("G", 1, p_mw=5.0, vm_pu=1.0)
+    scenario = SimulationScenario(
+        events=[ScenarioEvent(time_s=1.0, action="gen_out", target="G")]
+    )
+    runner = TimeSeriesRunner(net, scenario)
+    before = runner.step(0.5).slack_p_mw
+    after = runner.step(1.5).slack_p_mw
+    assert after == pytest.approx(before + 5.0, rel=5e-2)
+
+
+def test_runner_rejects_bad_scenario():
+    net = _two_bus()
+    scenario = SimulationScenario(
+        profiles=[LoadProfile(target="missing", points=[ProfilePoint(0, 1)])]
+    )
+    with pytest.raises(PowerSimError):
+        TimeSeriesRunner(net, scenario)
+
+
+def test_runner_rejects_unknown_action():
+    net = _two_bus()
+    scenario = SimulationScenario(
+        events=[ScenarioEvent(time_s=0, action="explode", target="L")]
+    )
+    with pytest.raises(PowerSimError):
+        TimeSeriesRunner(net, scenario)
+
+
+def test_scale_load_event():
+    net = _two_bus(load_mw=10.0)
+    scenario = SimulationScenario(
+        events=[
+            ScenarioEvent(
+                time_s=1.0, action="scale_load", target="ld", value=0.5
+            )
+        ]
+    )
+    runner = TimeSeriesRunner(net, scenario)
+    runner.step(2.0)
+    assert net.find_load("ld").scaling == 0.5

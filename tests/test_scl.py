@@ -1,0 +1,436 @@
+"""IEC 61850 SCL: object model, parser/writer round trips, mergers, paths."""
+
+import pytest
+
+from repro.scl import (
+    ConnectedAp,
+    ObjectReference,
+    SclDocument,
+    SclFileKind,
+    SclParseError,
+    SclValidationError,
+    SubNetwork,
+    merge_scd,
+    merge_ssd,
+    parse_scl,
+    write_scl,
+)
+from repro.scl.merge import WAN_SUBNETWORK
+from repro.scl.model import (
+    Bay,
+    CommunicationSection,
+    ConductingEquipment,
+    ConnectivityNode,
+    Header,
+    Substation,
+    Terminal,
+    TieLine,
+    VoltageLevel,
+)
+
+MINIMAL_SSD = """
+<SCL xmlns="http://www.iec.ch/61850/2003/SCL">
+  <Header id="demo"/>
+  <Substation name="S1">
+    <VoltageLevel name="VL1">
+      <Voltage unit="V" multiplier="k">11</Voltage>
+      <Bay name="Bay1">
+        <ConductingEquipment name="CB1" type="CBR">
+          <Terminal connectivityNode="S1/VL1/Bay1/N1"/>
+          <Terminal connectivityNode="S1/VL1/Bay1/N2"/>
+        </ConductingEquipment>
+        <ConductingEquipment name="G1" type="GEN">
+          <Terminal connectivityNode="S1/VL1/Bay1/N1"/>
+          <Private type="SG-ML:Params">
+            <Param name="p_mw" value="2.5"/>
+          </Private>
+        </ConductingEquipment>
+        <ConnectivityNode name="N1" pathName="S1/VL1/Bay1/N1"/>
+        <ConnectivityNode name="N2" pathName="S1/VL1/Bay1/N2"/>
+      </Bay>
+    </VoltageLevel>
+  </Substation>
+</SCL>
+"""
+
+MINIMAL_ICD = """
+<SCL>
+  <Header id="ied"/>
+  <IED name="IED1" type="Virtual" manufacturer="X">
+    <AccessPoint name="AP1">
+      <Server>
+        <LDevice inst="LD0">
+          <LN0 lnClass="LLN0" inst=""/>
+          <LN lnClass="PTOC" inst="1" lnType="ptoc_t"/>
+          <LN lnClass="XCBR" inst="1">
+            <DOI name="Pos">
+              <DAI name="stVal"><Val>true</Val></DAI>
+            </DOI>
+          </LN>
+        </LDevice>
+      </Server>
+    </AccessPoint>
+  </IED>
+  <DataTypeTemplates>
+    <LNodeType id="ptoc_t" lnClass="PTOC">
+      <DO name="Str" type="ACD"/>
+      <DO name="Op" type="ACT"/>
+    </LNodeType>
+    <DOType id="ACT" cdc="ACT">
+      <DA name="general" bType="BOOLEAN"/>
+    </DOType>
+    <EnumType id="Beh">
+      <EnumVal ord="1">on</EnumVal>
+    </EnumType>
+  </DataTypeTemplates>
+</SCL>
+"""
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+
+def test_parse_ssd_structure():
+    doc = parse_scl(MINIMAL_SSD)
+    assert doc.header.id == "demo"
+    assert len(doc.substations) == 1
+    substation = doc.substations[0]
+    level = substation.voltage_levels[0]
+    assert level.voltage_kv == pytest.approx(11.0)
+    bay = level.bays[0]
+    assert {eq.name for eq in bay.equipment} == {"CB1", "G1"}
+    assert bay.find_equipment("G1").attributes["p_mw"] == "2.5"
+    assert doc.kind is SclFileKind.SSD
+
+
+def test_parse_namespace_and_plain_identical():
+    plain = MINIMAL_SSD.replace(' xmlns="http://www.iec.ch/61850/2003/SCL"', "")
+    a = parse_scl(MINIMAL_SSD)
+    b = parse_scl(plain)
+    assert a.substations[0].name == b.substations[0].name
+    assert (
+        a.substations[0].voltage_levels[0].voltage_kv
+        == b.substations[0].voltage_levels[0].voltage_kv
+    )
+
+
+def test_parse_icd_structure():
+    doc = parse_scl(MINIMAL_ICD)
+    assert doc.kind is SclFileKind.ICD
+    ied = doc.ieds[0]
+    assert ied.ln_classes() == {"LLN0", "PTOC", "XCBR"}
+    ldevice = ied.find_ldevice("LD0")
+    xcbr = ldevice.find_ln("XCBR")
+    assert xcbr.find_doi("Pos").find_attribute("stVal").value == "true"
+    assert "ptoc_t" in doc.templates.lnode_types
+    assert doc.templates.lnode_types["ptoc_t"].dos == {"Str": "ACD", "Op": "ACT"}
+    assert doc.templates.enum_types["Beh"].values == {1: "on"}
+
+
+def test_parse_rejects_non_scl_root():
+    with pytest.raises(SclParseError):
+        parse_scl("<NotSCL/>")
+
+
+def test_parse_rejects_malformed_xml():
+    with pytest.raises(SclParseError):
+        parse_scl("<SCL><unclosed>")
+
+
+def test_parse_bad_numeric_attribute():
+    bad = """
+    <SCL><Header id="x"/>
+    <Private type="SG-ML:SED">
+      <TieLine name="T" fromSubstation="A" fromNode="n" toSubstation="B"
+               toNode="m" r="abc"/>
+    </Private></SCL>
+    """
+    with pytest.raises(SclParseError):
+        parse_scl(bad)
+
+
+def test_kind_inference_scd():
+    doc = parse_scl(MINIMAL_SSD)
+    doc.ieds.append(parse_scl(MINIMAL_ICD).ieds[0])
+    doc.communication = CommunicationSection(
+        subnetworks=[SubNetwork(name="LAN")]
+    )
+    assert doc.kind is SclFileKind.SCD
+
+
+def test_kind_inference_sed():
+    doc = SclDocument()
+    doc.tie_lines.append(
+        TieLine(
+            name="T1", from_substation="A", from_node="a",
+            to_substation="B", to_node="b",
+        )
+    )
+    assert doc.kind is SclFileKind.SED
+
+
+def test_file_kind_from_suffix():
+    assert SclFileKind.from_suffix("model.SSD") is SclFileKind.SSD
+    assert SclFileKind.from_suffix("a.cid") is SclFileKind.ICD
+    assert SclFileKind.from_suffix("a.txt") is None
+
+
+# ---------------------------------------------------------------------------
+# Writer round trip
+# ---------------------------------------------------------------------------
+
+
+def test_write_parse_round_trip_ssd():
+    original = parse_scl(MINIMAL_SSD)
+    rewritten = parse_scl(write_scl(original))
+    assert rewritten.substations[0].name == "S1"
+    bay = rewritten.substations[0].voltage_levels[0].bays[0]
+    assert bay.find_equipment("G1").attributes == {"p_mw": "2.5"}
+    assert len(bay.connectivity_nodes) == 2
+
+
+def test_write_parse_round_trip_icd():
+    original = parse_scl(MINIMAL_ICD)
+    rewritten = parse_scl(write_scl(original))
+    ied = rewritten.ieds[0]
+    assert ied.ln_classes() == {"LLN0", "PTOC", "XCBR"}
+    assert rewritten.templates.lnode_types["ptoc_t"].dos["Op"] == "ACT"
+
+
+def test_write_parse_round_trip_sed():
+    doc = SclDocument(header=Header(id="sed"))
+    doc.tie_lines.append(
+        TieLine(
+            name="T1", from_substation="A", from_node="A/v/b/n",
+            to_substation="B", to_node="B/v/b/n", r_ohm=0.7, x_ohm=2.5,
+        )
+    )
+    rewritten = parse_scl(write_scl(doc))
+    assert rewritten.kind is SclFileKind.SED
+    tie = rewritten.tie_lines[0]
+    assert tie.r_ohm == pytest.approx(0.7)
+    assert tie.to_node == "B/v/b/n"
+
+
+def test_write_communication_addresses():
+    doc = SclDocument()
+    doc.communication = CommunicationSection(
+        subnetworks=[
+            SubNetwork(
+                name="LAN",
+                connected_aps=[
+                    ConnectedAp(
+                        ied_name="IED1",
+                        address={"IP": "10.0.0.5", "MAC-Address": "aa:bb:cc:dd:ee:ff"},
+                    )
+                ],
+            )
+        ]
+    )
+    rewritten = parse_scl(write_scl(doc))
+    ap = rewritten.communication.subnetworks[0].connected_aps[0]
+    assert ap.ip == "10.0.0.5"
+    assert ap.mac == "aa:bb:cc:dd:ee:ff"
+
+
+# ---------------------------------------------------------------------------
+# Validation
+# ---------------------------------------------------------------------------
+
+
+def _make_substation(name="S1"):
+    return Substation(
+        name=name,
+        voltage_levels=[
+            VoltageLevel(
+                name="VL1",
+                voltage_kv=11.0,
+                bays=[
+                    Bay(
+                        name="Bay1",
+                        connectivity_nodes=[
+                            ConnectivityNode("N1", f"{name}/VL1/Bay1/N1")
+                        ],
+                        equipment=[
+                            ConductingEquipment(
+                                name="G1",
+                                type="GEN",
+                                terminals=[
+                                    Terminal(
+                                        connectivity_node=f"{name}/VL1/Bay1/N1"
+                                    )
+                                ],
+                            )
+                        ],
+                    )
+                ],
+            )
+        ],
+    )
+
+
+def test_validate_detects_dangling_terminal():
+    doc = SclDocument(substations=[_make_substation()])
+    equipment = doc.substations[0].voltage_levels[0].bays[0].equipment[0]
+    equipment.terminals[0] = Terminal(connectivity_node="S1/VL1/Bay1/MISSING")
+    problems = doc.validate()
+    assert any("unknown node" in problem for problem in problems)
+
+
+def test_validate_detects_duplicate_ip():
+    doc = SclDocument()
+    doc.communication = CommunicationSection(
+        subnetworks=[
+            SubNetwork(
+                name="LAN",
+                connected_aps=[
+                    ConnectedAp(ied_name="A", address={"IP": "10.0.0.1"}),
+                    ConnectedAp(ied_name="B", address={"IP": "10.0.0.1"}),
+                ],
+            )
+        ]
+    )
+    problems = doc.validate()
+    assert any("duplicate IP" in problem for problem in problems)
+
+
+def test_validate_or_raise():
+    doc = SclDocument()
+    doc.communication = CommunicationSection(
+        subnetworks=[
+            SubNetwork(
+                name="LAN",
+                connected_aps=[
+                    ConnectedAp(ied_name="A", address={"IP": "10.0.0.1"}),
+                    ConnectedAp(ied_name="B", address={"IP": "10.0.0.1"}),
+                ],
+            )
+        ]
+    )
+    with pytest.raises(SclValidationError):
+        doc.validate_or_raise()
+
+
+# ---------------------------------------------------------------------------
+# Mergers
+# ---------------------------------------------------------------------------
+
+
+def test_merge_ssd_combines_substations():
+    a = SclDocument(substations=[_make_substation("S1")])
+    b = SclDocument(substations=[_make_substation("S2")])
+    merged = merge_ssd([a, b])
+    assert {sub.name for sub in merged.substations} == {"S1", "S2"}
+
+
+def test_merge_ssd_rejects_duplicates():
+    a = SclDocument(substations=[_make_substation("S1")])
+    with pytest.raises(SclValidationError):
+        merge_ssd([a, a])
+
+
+def test_merge_ssd_applies_sed_ties():
+    a = SclDocument(substations=[_make_substation("S1")])
+    b = SclDocument(substations=[_make_substation("S2")])
+    sed = SclDocument(
+        tie_lines=[
+            TieLine(
+                name="T1", from_substation="S1", from_node="S1/VL1/Bay1/N1",
+                to_substation="S2", to_node="S2/VL1/Bay1/N1",
+            )
+        ]
+    )
+    merged = merge_ssd([a, b], sed=sed)
+    assert len(merged.tie_lines) == 1
+
+
+def test_merge_ssd_rejects_tie_to_unknown_substation():
+    a = SclDocument(substations=[_make_substation("S1")])
+    sed = SclDocument(
+        tie_lines=[
+            TieLine(
+                name="T1", from_substation="S1", from_node="n",
+                to_substation="S9", to_node="m",
+            )
+        ]
+    )
+    with pytest.raises(SclValidationError):
+        merge_ssd([a], sed=sed)
+
+
+def _scd_with_subnet(sub_name, subnet_name, ip):
+    doc = SclDocument(substations=[_make_substation(sub_name)])
+    doc.ieds.append(parse_scl(MINIMAL_ICD).ieds[0])
+    doc.ieds[0].name = f"{sub_name}IED"
+    doc.communication = CommunicationSection(
+        subnetworks=[
+            SubNetwork(
+                name=subnet_name,
+                connected_aps=[
+                    ConnectedAp(
+                        ied_name=f"{sub_name}IED",
+                        address={
+                            "IP": ip,
+                            "IP-GATEWAY": ip,  # self-gateway → WAN member
+                        },
+                    )
+                ],
+            )
+        ]
+    )
+    return doc
+
+
+def test_merge_scd_creates_wan_subnet():
+    a = _scd_with_subnet("S1", "S1LAN", "10.0.1.11")
+    b = _scd_with_subnet("S2", "S2LAN", "10.0.2.11")
+    merged = merge_scd([a, b])
+    names = [subnet.name for subnet in merged.communication.subnetworks]
+    assert names == ["S1LAN", "S2LAN", WAN_SUBNETWORK]
+    wan = merged.communication.find_subnetwork(WAN_SUBNETWORK)
+    assert {ap.ied_name for ap in wan.connected_aps} == {"S1IED", "S2IED"}
+
+
+def test_merge_scd_single_substation_no_wan():
+    a = _scd_with_subnet("S1", "S1LAN", "10.0.1.11")
+    merged = merge_scd([a])
+    names = [subnet.name for subnet in merged.communication.subnetworks]
+    assert WAN_SUBNETWORK not in names
+
+
+def test_merge_scd_rejects_duplicate_ieds():
+    a = _scd_with_subnet("S1", "S1LAN", "10.0.1.11")
+    b = _scd_with_subnet("S1B", "S1BLAN", "10.0.3.11")
+    b.ieds[0].name = "S1IED"
+    b.communication.subnetworks[0].connected_aps[0].ied_name = "S1IED"
+    with pytest.raises(SclValidationError):
+        merge_scd([a, b])
+
+
+# ---------------------------------------------------------------------------
+# Object references
+# ---------------------------------------------------------------------------
+
+
+def test_object_reference_parse():
+    ref = ObjectReference.parse("GIED1LD0/MMXU1.TotW.mag.f")
+    assert ref.ldevice == "GIED1LD0"
+    assert ref.ln_name == "MMXU1"
+    assert ref.do_name == "TotW"
+    assert ref.da_path == ("mag", "f")
+    assert str(ref) == "GIED1LD0/MMXU1.TotW.mag.f"
+
+
+def test_object_reference_child():
+    ref = ObjectReference.parse("LD/LN").child("Pos", "stVal")
+    assert str(ref) == "LD/LN.Pos.stVal"
+
+
+@pytest.mark.parametrize("bad", ["", "no-slash", "/LN.DO", "LD/"])
+def test_object_reference_rejects_malformed(bad):
+    from repro.scl.errors import SclError
+
+    with pytest.raises(SclError):
+        ObjectReference.parse(bad)

@@ -1,0 +1,110 @@
+"""SCL PowerTransformer handling: parse, write, and SSD→power-model path."""
+
+import pytest
+
+from repro.powersim import run_power_flow
+from repro.scl import parse_scl, write_scl
+from repro.sgml import generate_power_network
+from repro.sgml.errors import SgmlValidationError
+
+SSD_WITH_TRAFO = """
+<SCL>
+  <Header id="trafo-test"/>
+  <Substation name="S1">
+    <PowerTransformer name="T1" type="PTR">
+      <TransformerWinding name="HV" type="PTW" ratedKV="110" ratedMVA="25">
+        <Terminal connectivityNode="S1/HV/B1/N1"/>
+      </TransformerWinding>
+      <TransformerWinding name="LV" type="PTW" ratedKV="20" ratedMVA="25">
+        <Terminal connectivityNode="S1/MV/B1/N1"/>
+      </TransformerWinding>
+      <Private type="SG-ML:Params">
+        <Param name="vk_percent" value="12"/>
+        <Param name="vkr_percent" value="0.6"/>
+      </Private>
+    </PowerTransformer>
+    <VoltageLevel name="HV">
+      <Voltage unit="V" multiplier="k">110</Voltage>
+      <Bay name="B1">
+        <ConductingEquipment name="GRID" type="IFL">
+          <Terminal connectivityNode="S1/HV/B1/N1"/>
+        </ConductingEquipment>
+        <ConnectivityNode name="N1" pathName="S1/HV/B1/N1"/>
+      </Bay>
+    </VoltageLevel>
+    <VoltageLevel name="MV">
+      <Voltage unit="V" multiplier="k">20</Voltage>
+      <Bay name="B1">
+        <ConductingEquipment name="LD" type="MOT">
+          <Terminal connectivityNode="S1/MV/B1/N1"/>
+          <Private type="SG-ML:Params">
+            <Param name="p_mw" value="15"/><Param name="q_mvar" value="3"/>
+          </Private>
+        </ConductingEquipment>
+        <ConnectivityNode name="N1" pathName="S1/MV/B1/N1"/>
+      </Bay>
+    </VoltageLevel>
+  </Substation>
+</SCL>
+"""
+
+
+def test_parse_power_transformer():
+    document = parse_scl(SSD_WITH_TRAFO)
+    transformer = document.substations[0].power_transformers[0]
+    assert transformer.name == "T1"
+    assert len(transformer.windings) == 2
+    assert transformer.windings[0].rated_kv == 110
+    assert transformer.windings[0].rated_mva == 25
+    assert transformer.attributes["vk_percent"] == "12"
+
+
+def test_write_parse_round_trip_transformer():
+    document = parse_scl(SSD_WITH_TRAFO)
+    rewritten = parse_scl(write_scl(document))
+    transformer = rewritten.substations[0].power_transformers[0]
+    assert transformer.windings[1].rated_kv == 20
+    assert transformer.attributes == {"vk_percent": "12", "vkr_percent": "0.6"}
+    assert (
+        transformer.windings[0].terminals[0].connectivity_node == "S1/HV/B1/N1"
+    )
+
+
+def test_ssd_parser_builds_transformer():
+    net = generate_power_network(parse_scl(SSD_WITH_TRAFO))
+    assert net.summary()["trafo"] == 1
+    trafo = net.transformers[0]
+    assert trafo.sn_mva == 25
+    assert trafo.vk_percent == 12
+    # HV side detection by bus nominal voltage.
+    assert net.buses[trafo.hv_bus].vn_kv == 110
+    assert net.buses[trafo.lv_bus].vn_kv == 20
+
+
+def test_ssd_transformer_power_flow():
+    net = generate_power_network(parse_scl(SSD_WITH_TRAFO))
+    result = run_power_flow(net)
+    assert result.converged
+    flow = result.transformers["T1"]
+    assert -flow.p_to_mw == pytest.approx(15.0, rel=1e-6)
+    assert 40 < flow.loading_percent < 90
+    # LV voltage sags under load through the 12% impedance.
+    assert result.buses["S1/MV/B1/N1"].vm_pu < 1.0
+
+
+def test_ssd_transformer_missing_winding_rejected():
+    bad = SSD_WITH_TRAFO.replace(
+        '<TransformerWinding name="LV" type="PTW" ratedKV="20" ratedMVA="25">'
+        '\n        <Terminal connectivityNode="S1/MV/B1/N1"/>\n'
+        "      </TransformerWinding>",
+        "",
+    )
+    with pytest.raises(SgmlValidationError):
+        generate_power_network(parse_scl(bad))
+
+
+def test_ssd_transformer_unknown_node_rejected():
+    bad = SSD_WITH_TRAFO.replace('connectivityNode="S1/MV/B1/N1"/>\n      </TransformerWinding>',
+                                 'connectivityNode="S1/MV/B1/GHOST"/>\n      </TransformerWinding>')
+    with pytest.raises(SgmlValidationError):
+        generate_power_network(parse_scl(bad))

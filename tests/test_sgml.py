@@ -1,0 +1,449 @@
+"""SG-ML: supplementary schemas, generators, model set, processor."""
+
+import pytest
+
+from repro.ied.config import (
+    GooseLinkConfig,
+    IedRuntimeConfig,
+    PointMapping,
+    ProtectionSettings,
+)
+from repro.kernel import Simulator
+from repro.powersim import run_power_flow
+from repro.powersim.timeseries import (
+    LoadProfile,
+    ProfilePoint,
+    ScenarioEvent,
+    SimulationScenario,
+)
+from repro.scl import parse_scl
+from repro.sgml import (
+    NetworkPlan,
+    SgmlError,
+    SgmlModelSet,
+    SgmlProcessor,
+    SgmlValidationError,
+    generate_network_plan,
+    generate_power_network,
+    parse_ied_config,
+    parse_plc_config,
+    parse_ps_extra_config,
+    parse_scada_config,
+    scada_config_to_json,
+    write_ied_config,
+    write_plc_config,
+    write_ps_extra_config,
+    write_scada_config,
+)
+from repro.sgml.ps_extra import parse_ps_extra_config as _pex
+from repro.sgml.scada_config import ScadaConfigXml
+
+
+# ---------------------------------------------------------------------------
+# IED Config XML
+# ---------------------------------------------------------------------------
+
+
+def _sample_ied_configs():
+    return {
+        "IED1": IedRuntimeConfig(
+            ied_name="IED1",
+            points=[
+                PointMapping("IED1LD0/MMXU1.TotW.mag.f", "meas/L1/p_mw",
+                             scale=2.0),
+                PointMapping("IED1LD0/XCBR1.Oper.ctlVal", "cmd/CB1/close",
+                             direction="write"),
+            ],
+            protections=[
+                ProtectionSettings(
+                    ln_name="PTOC1", fn_type="PTOC", breaker="CB1",
+                    meas_ref="IED1LD0/MMXU1.A.phsA.cVal.mag.f",
+                    threshold=1.5, delay_ms=120,
+                ),
+                ProtectionSettings(
+                    ln_name="CILO1", fn_type="CILO", breaker="CB1",
+                    interlock_breaker="CB0",
+                ),
+                ProtectionSettings(
+                    ln_name="PDIF1", fn_type="PDIF", breaker="CB1",
+                    meas_ref="x", threshold=0.1, delay_ms=50,
+                    remote_sv_id="TIE-I",
+                ),
+            ],
+            goose=GooseLinkConfig("IED1LD0/LLN0$GO$g1", "ds1"),
+            goose_subscriptions=["IED2LD0/LLN0$GO$g1"],
+            sv_publish=("SV1", "IED1LD0/MMXU1.A.phsA.cVal.mag.f"),
+            scan_interval_ms=25,
+        )
+    }
+
+
+def test_ied_config_round_trip():
+    xml = write_ied_config(_sample_ied_configs())
+    parsed = parse_ied_config(xml)
+    config = parsed["IED1"]
+    assert config.scan_interval_ms == 25
+    assert config.points[0].scale == 2.0
+    assert config.write_points()[0].db_key == "cmd/CB1/close"
+    by_type = {p.fn_type: p for p in config.protections}
+    assert by_type["PTOC"].threshold == 1.5
+    assert by_type["CILO"].interlock_breaker == "CB0"
+    assert by_type["PDIF"].remote_sv_id == "TIE-I"
+    assert config.goose.gocb_ref == "IED1LD0/LLN0$GO$g1"
+    assert config.goose_subscriptions == ["IED2LD0/LLN0$GO$g1"]
+    assert config.sv_publish == ("SV1", "IED1LD0/MMXU1.A.phsA.cVal.mag.f")
+
+
+def test_ied_config_rejects_unknown_protection():
+    xml = """
+    <IEDConfigs><IEDConfig ied="X"><Protection>
+      <Function ln="Z1" type="ZAP" breaker="CB"/>
+    </Protection></IEDConfig></IEDConfigs>
+    """
+    with pytest.raises(SgmlError):
+        parse_ied_config(xml)
+
+
+def test_ied_config_rejects_duplicates():
+    xml = """
+    <IEDConfigs>
+      <IEDConfig ied="X"/><IEDConfig ied="X"/>
+    </IEDConfigs>
+    """
+    with pytest.raises(SgmlError):
+        parse_ied_config(xml)
+
+
+def test_ied_config_missing_name():
+    with pytest.raises(SgmlError):
+        parse_ied_config("<IEDConfigs><IEDConfig/></IEDConfigs>")
+
+
+# ---------------------------------------------------------------------------
+# SCADA Config XML → JSON
+# ---------------------------------------------------------------------------
+
+
+def test_scada_config_round_trip_and_json():
+    config = ScadaConfigXml(name="HMI", scada_node="SCADA1")
+    config.sources = [
+        {"name": "plc", "type": "MODBUS", "host": "CPLC", "updatePeriodMs": "500"}
+    ]
+    config.points = [
+        {
+            "name": "P1", "dataSource": "plc", "pointType": "analog",
+            "modbusTable": "input_float", "offset": "4", "alarmHigh": "2.5",
+        }
+    ]
+    parsed = parse_scada_config(write_scada_config(config))
+    assert parsed.scada_node == "SCADA1"
+    assert parsed.sources[0]["host"] == "CPLC"
+    json_text = scada_config_to_json(
+        parsed, resolve_host=lambda name: "10.0.1.20" if name == "CPLC" else ""
+    )
+    import json
+
+    document = json.loads(json_text)
+    assert document["dataSources"][0]["host"] == "10.0.1.20"
+    assert document["dataPoints"][0]["alarmHigh"] == 2.5
+    assert document["dataPoints"][0]["offset"] == 4
+
+
+def test_scada_config_rejects_wrong_root():
+    with pytest.raises(SgmlError):
+        parse_scada_config("<Wrong/>")
+
+
+# ---------------------------------------------------------------------------
+# Power System Extra Config XML
+# ---------------------------------------------------------------------------
+
+
+def test_ps_extra_round_trip():
+    scenario = SimulationScenario(
+        name="day1",
+        profiles=[
+            LoadProfile(
+                target="LD1",
+                points=[ProfilePoint(0, 1.0), ProfilePoint(30, 1.4)],
+            )
+        ],
+        events=[
+            ScenarioEvent(10.0, "open_switch", "CB1"),
+            ScenarioEvent(20.0, "scale_load", "LD1", 0.5),
+        ],
+    )
+    parsed = parse_ps_extra_config(write_ps_extra_config(scenario))
+    assert parsed.name == "day1"
+    assert parsed.profiles[0].value_at(31) == 1.4
+    assert parsed.events[0].action == "open_switch"
+    assert parsed.events[1].value == 0.5
+
+
+def test_ps_extra_rejects_wrong_root():
+    with pytest.raises(SgmlError):
+        _pex("<NotIt/>")
+
+
+# ---------------------------------------------------------------------------
+# PLC Config XML
+# ---------------------------------------------------------------------------
+
+
+def test_plc_config_round_trip():
+    from repro.sgml.plc_config import PlcConfig, PlcMmsBind
+
+    configs = {
+        "CPLC": PlcConfig(
+            plc_name="CPLC", pou="main", scan_interval_ms=75,
+            binds=[
+                PlcMmsBind("v1", "IED1", "IED1LD0/MMXU1.TotW.mag.f", "read"),
+                PlcMmsBind("c1", "IED1", "IED1LD0/XCBR1.Oper.ctlVal", "write"),
+            ],
+        )
+    }
+    parsed = parse_plc_config(write_plc_config(configs))
+    config = parsed["CPLC"]
+    assert config.scan_interval_ms == 75
+    assert config.binds[1].direction == "write"
+
+
+def test_plc_config_rejects_bad_direction():
+    xml = """
+    <PLCConfigs><PLCConfig plc="P">
+      <MmsBind variable="x" ied="I" ref="r" direction="diagonal"/>
+    </PLCConfig></PLCConfigs>
+    """
+    with pytest.raises(SgmlError):
+        parse_plc_config(xml)
+
+
+# ---------------------------------------------------------------------------
+# SSD Parser (power model generation)
+# ---------------------------------------------------------------------------
+
+SSD = """
+<SCL>
+  <Header id="gen-test"/>
+  <Substation name="S1">
+    <VoltageLevel name="VL1">
+      <Voltage unit="V" multiplier="k">11</Voltage>
+      <Bay name="B1">
+        <ConductingEquipment name="EXT" type="IFL">
+          <Terminal connectivityNode="S1/VL1/B1/N1"/>
+          <Private type="SG-ML:Params"><Param name="vm_pu" value="1.01"/></Private>
+        </ConductingEquipment>
+        <ConductingEquipment name="CB1" type="CBR">
+          <Terminal connectivityNode="S1/VL1/B1/N1"/>
+          <Terminal connectivityNode="S1/VL1/B1/N2"/>
+        </ConductingEquipment>
+        <ConductingEquipment name="L1" type="LIN">
+          <Terminal connectivityNode="S1/VL1/B1/N2"/>
+          <Terminal connectivityNode="S1/VL1/B1/N3"/>
+          <Private type="SG-ML:Params">
+            <Param name="r_ohm" value="0.2"/><Param name="x_ohm" value="0.8"/>
+          </Private>
+        </ConductingEquipment>
+        <ConductingEquipment name="LD1" type="MOT">
+          <Terminal connectivityNode="S1/VL1/B1/N3"/>
+          <Private type="SG-ML:Params">
+            <Param name="p_mw" value="3.0"/><Param name="q_mvar" value="0.5"/>
+          </Private>
+        </ConductingEquipment>
+        <ConductingEquipment name="PV" type="GEN">
+          <Terminal connectivityNode="S1/VL1/B1/N3"/>
+          <Private type="SG-ML:Params">
+            <Param name="model" value="sgen"/><Param name="p_mw" value="1.0"/>
+          </Private>
+        </ConductingEquipment>
+        <ConnectivityNode name="N1" pathName="S1/VL1/B1/N1"/>
+        <ConnectivityNode name="N2" pathName="S1/VL1/B1/N2"/>
+        <ConnectivityNode name="N3" pathName="S1/VL1/B1/N3"/>
+      </Bay>
+    </VoltageLevel>
+  </Substation>
+</SCL>
+"""
+
+
+def test_generate_power_network_from_ssd():
+    net = generate_power_network(parse_scl(SSD))
+    assert net.summary() == {
+        "bus": 3, "line": 1, "trafo": 0, "load": 1, "sgen": 1, "gen": 0,
+        "ext_grid": 1, "shunt": 0, "switch": 1,
+    }
+    result = run_power_flow(net)
+    assert result.converged
+    assert result.buses["S1/VL1/B1/N1"].vm_pu == pytest.approx(1.01)
+    # Slack covers load - PV + losses ≈ 2 MW.
+    assert 1.9 < result.slack_p_mw < 2.2
+
+
+def test_generate_power_network_switch_operable():
+    net = generate_power_network(parse_scl(SSD))
+    net.set_switch("CB1", False)
+    result = run_power_flow(net)
+    assert not result.buses["S1/VL1/B1/N3"].energized
+
+
+def test_generate_power_network_requires_substation():
+    with pytest.raises(SgmlValidationError):
+        generate_power_network(parse_scl("<SCL><Header id='x'/></SCL>"))
+
+
+def test_generate_power_network_rejects_dangling_terminal():
+    bad = SSD.replace("S1/VL1/B1/N3", "S1/VL1/B1/MISSING", 1)
+    with pytest.raises(SgmlValidationError):
+        generate_power_network(parse_scl(bad))
+
+
+def test_generate_power_network_promotes_gen_to_slack():
+    no_ifl = SSD.replace('type="IFL"', 'type="GEN"')
+    net = generate_power_network(parse_scl(no_ifl))
+    assert len(net.ext_grids) == 1
+    assert net.ext_grids[0].name == "EXT"
+
+
+# ---------------------------------------------------------------------------
+# Network plan generation
+# ---------------------------------------------------------------------------
+
+SCD_COMM = """
+<SCL>
+  <Header id="net-test"/>
+  <Communication>
+    <SubNetwork name="LAN1" type="8-MMS">
+      <ConnectedAP iedName="IED1" apName="AP1">
+        <Address><P type="IP">10.0.1.11</P>
+          <P type="IP-SUBNET">255.0.0.0</P>
+          <P type="MAC-Address">02:00:00:00:00:01</P></Address>
+      </ConnectedAP>
+      <ConnectedAP iedName="IED2" apName="AP1">
+        <Address><P type="IP">10.0.1.12</P></Address>
+      </ConnectedAP>
+    </SubNetwork>
+    <SubNetwork name="LAN2" type="8-MMS">
+      <Private type="SG-ML:Params"><Param name="uplink" value="LAN1"/></Private>
+      <ConnectedAP iedName="IED3" apName="AP1">
+        <Address><P type="IP">10.0.1.13</P></Address>
+      </ConnectedAP>
+    </SubNetwork>
+  </Communication>
+</SCL>
+"""
+
+
+def test_generate_network_plan_structure():
+    plan = generate_network_plan(parse_scl(SCD_COMM))
+    assert {switch.name for switch in plan.switches} == {"sw-LAN1", "sw-LAN2"}
+    assert {host.name for host in plan.hosts} == {"IED1", "IED2", "IED3"}
+    # uplink creates the inter-switch link.
+    keys = {tuple(sorted((l.node_a, l.node_b))) for l in plan.links}
+    assert ("sw-LAN1", "sw-LAN2") in keys
+    assert plan.host_ip("IED3") == "10.0.1.13"
+
+
+def test_network_plan_json_round_trip():
+    plan = generate_network_plan(parse_scl(SCD_COMM))
+    restored = NetworkPlan.from_json(plan.to_json())
+    assert len(restored.hosts) == len(plan.hosts)
+    assert restored.hosts[0].mac == plan.hosts[0].mac
+
+
+def test_network_plan_builds_working_network():
+    from repro.kernel import SECOND
+
+    plan = generate_network_plan(parse_scl(SCD_COMM))
+    simulator = Simulator()
+    net = plan.build(simulator)
+    got = []
+    net.host("IED3").udp_bind(9, lambda ip, port, data: got.append(data))
+    sock = net.host("IED1").udp_bind(10, lambda *a: None)
+    sock.sendto("10.0.1.13", 9, b"cross-segment")
+    simulator.run_for(SECOND)
+    assert got == [b"cross-segment"]
+
+
+def test_network_plan_requires_communication():
+    with pytest.raises(SgmlValidationError):
+        generate_network_plan(parse_scl("<SCL><Header id='x'/></SCL>"))
+
+
+def test_network_plan_requires_ip():
+    bad = SCD_COMM.replace("<P type=\"IP\">10.0.1.13</P>", "")
+    with pytest.raises(SgmlValidationError):
+        generate_network_plan(parse_scl(bad))
+
+
+# ---------------------------------------------------------------------------
+# Model set + processor (on the EPIC fixtures)
+# ---------------------------------------------------------------------------
+
+
+def test_modelset_discovery(epic_model):
+    assert len(epic_model.ssds) == 1
+    assert len(epic_model.scds) == 1
+    assert len(epic_model.icds) == 8
+    assert len(epic_model.ied_configs) == 8
+    assert epic_model.scada_config is not None
+    assert epic_model.scenario is not None
+    assert epic_model.plc_logic is not None
+    assert "CPLC" in epic_model.plc_configs
+
+
+def test_modelset_validates_clean(epic_model):
+    assert epic_model.validate() == []
+
+
+def test_modelset_detects_unknown_ied(epic_model):
+    from repro.ied.config import IedRuntimeConfig
+
+    epic_model.ied_configs["GHOST"] = IedRuntimeConfig(ied_name="GHOST")
+    problems = epic_model.validate()
+    assert any("GHOST" in p for p in problems)
+
+
+def test_modelset_missing_directory():
+    with pytest.raises(SgmlError):
+        SgmlModelSet.from_directory("/nonexistent/path")
+
+
+def test_processor_artifacts(epic_model):
+    processor = SgmlProcessor(epic_model)
+    cyber_range = processor.compile()
+    artifacts = processor.artifacts
+    assert artifacts.merged_ssd is not None
+    assert artifacts.power_net is not None
+    assert artifacts.ied_count == 8
+    assert artifacts.network_plan_json
+    assert artifacts.scadabr_json
+    assert set(artifacts.stage_timings_ms) == {
+        "ssd_merger", "scd_merger", "ssd_parser", "network_plan",
+        "network_launch", "ied_builder", "plc_builder", "scada_config",
+    }
+    assert cyber_range.architecture_summary()["ieds"] == 8
+
+
+def test_processor_disables_unlisted_protection(epic_model):
+    # GIED1's ICD has PTOC only; configure a PTOV → must be dropped.
+    from repro.ied.config import ProtectionSettings
+
+    epic_model.ied_configs["GIED1"].protections.append(
+        ProtectionSettings(
+            ln_name="PTOV9", fn_type="PTOV", breaker="CB_G1",
+            meas_ref="GIED1LD0/MMXU1.PhV.phsA.cVal.mag.f", threshold=1.1,
+        )
+    )
+    processor = SgmlProcessor(epic_model)
+    cyber_range = processor.compile()
+    assert "GIED1/PTOV9" in processor.disabled_protections
+    ied = cyber_range.ieds["GIED1"]
+    assert all(f.fn_type != "PTOV" for f in ied.engine.functions)
+
+
+def test_processor_strict_validation_raises(epic_model):
+    from repro.ied.config import IedRuntimeConfig
+
+    epic_model.ied_configs["GHOST"] = IedRuntimeConfig(ied_name="GHOST")
+    with pytest.raises(SgmlValidationError):
+        SgmlProcessor(epic_model, strict=True).compile()
