@@ -7,10 +7,45 @@ paper-vs-measured report (captured with ``pytest benchmarks/
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.epic import generate_epic_model, generate_scaleout_model
 from repro.sgml import SgmlModelSet, SgmlProcessor
+
+#: Scalability sweep results keyed by substation count; the sweep bench
+#: fills this via :func:`record_scalability_result` and the session-finish
+#: hook persists it so later PRs can track the perf trajectory.
+SCALABILITY_RESULTS: dict[int, dict] = {}
+
+_BENCH_JSON = Path(__file__).with_name("BENCH_scalability.json")
+
+
+def record_scalability_result(substations: int, result: dict) -> None:
+    SCALABILITY_RESULTS[substations] = result
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    # Only persist from a green session, and merge into the existing file
+    # so a partial sweep (-k filter, interrupted run) never clobbers the
+    # full trajectory recorded by an earlier complete run.
+    if not SCALABILITY_RESULTS or exitstatus != 0:
+        return
+    payload: dict[str, dict] = {}
+    if _BENCH_JSON.exists():
+        try:
+            payload = json.loads(_BENCH_JSON.read_text())
+        except (ValueError, OSError):
+            payload = {}
+    payload.update(
+        {
+            str(substations): SCALABILITY_RESULTS[substations]
+            for substations in sorted(SCALABILITY_RESULTS)
+        }
+    )
+    _BENCH_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 @pytest.fixture(scope="session")

@@ -12,6 +12,17 @@ simulator coupling).  The scan cycle matches the paper's architecture:
 Control commands arrive as MMS writes to a controllable object's
 ``Oper.ctlVal``; closing is gated by CILO interlocks.  This is the exact
 surface the false-command-injection case study attacks.
+
+Scheduling is **change driven**: every point-database input (read points,
+breaker statuses, interlock dependencies) is resolved into a typed handle
+at construction and subscribed for delta notification.  The kernel runs a
+scan only when an input actually changed — a tick, a peer GOOSE message
+with new breaker state, a fresh R-SV sample value, or an MMS setting
+write.  While a protection function is timing towards its operate delay
+the device re-arms itself at ``scan_interval_ms`` so trips still fire on
+schedule; a fully idle substation costs ~zero kernel events.  Setting
+``change_driven = False`` before :meth:`VirtualIed.start` restores the
+legacy fixed-period scan.
 """
 
 from __future__ import annotations
@@ -34,7 +45,7 @@ from repro.iec61850.mms import MmsError, MmsServer
 from repro.iec61850.rgoose import RSvPublisher, RSvSubscriber
 from repro.kernel import MS
 from repro.netem.host import Host
-from repro.pointdb import PointDatabase
+from repro.pointdb import PointDatabase, PointHandle, PointType
 
 
 class VirtualIed:
@@ -58,12 +69,26 @@ class VirtualIed:
         self.goose_subscribers: list[GooseSubscriber] = []
         self.sv_publisher: Optional[RSvPublisher] = None
         self._sv_subscribers: dict[str, RSvSubscriber] = {}
+        self._sv_last_sample: dict[str, float] = {}
         #: Breaker statuses learned from peer GOOSE messages.
         self.peer_breaker_status: dict[str, bool] = {}
         #: Breakers this IED commands: db breaker name → command db key.
         self._breakers: dict[str, str] = {}
         self._protection_by_ln: dict[str, Any] = {}
         self._scan_task = None
+        self._scan_event = None
+        self._running = False
+        #: Scan only when inputs changed (plus delay-timing re-arms).
+        self.change_driven = True
+        self.scan_count = 0
+        self.wake_count = 0
+        self._inputs_dirty = True
+        #: Point-db read points with pre-resolved handles + last synced
+        #: generation (−1 = never synced, so the first scan syncs all).
+        self._read_handles: list[tuple[PointMapping, PointHandle]] = []
+        self._read_gens: list[int] = []
+        self._status_handles: dict[str, PointHandle] = {}
+        self._wake_subscribed: set[int] = set()
         self.operate_log: list[tuple[int, str, bool, str]] = []
         self.rejected_operates: list[tuple[int, str, str]] = []
         self._build()
@@ -78,6 +103,7 @@ class VirtualIed:
                 self._breakers[breaker] = point.db_key
         for settings in self.config.protections:
             self._build_protection(settings)
+        self._resolve_handles()
         if self.config.goose is not None:
             self.goose_publisher = GoosePublisher(
                 self.host,
@@ -93,6 +119,48 @@ class VirtualIed:
             self.sv_publisher = RSvPublisher(self.host, sv_id)
             self.sv_publisher.start(lambda: [self._read_model_safe(meas_ref)])
         self.engine.on_trip = self._on_trip
+
+    def _resolve_handles(self) -> None:
+        """Intern every input key once; subscribe the wake callback.
+
+        The handle set is fixed at construction (compile time for ranges
+        built by the SG-ML processor): read points, own breaker statuses,
+        and interlock dependencies.  Changes to any of them mark the
+        device dirty and schedule a scan.
+        """
+        for point in self.config.read_points():
+            ptype = (
+                PointType.BOOL
+                if point.db_key.startswith("status/")
+                else PointType.ANY
+            )
+            handle = self.pointdb.resolve(point.db_key, ptype)
+            self._read_handles.append((point, handle))
+            self._read_gens.append(-1)
+            self._subscribe_wake(handle)
+        for breaker in self._breakers:
+            self._status_handle(breaker)
+
+    def _status_handle(self, breaker: str) -> PointHandle:
+        handle = self._status_handles.get(breaker)
+        if handle is None:
+            handle = self.pointdb.resolve(
+                f"status/{breaker}/closed", PointType.BOOL
+            )
+            self._status_handles[breaker] = handle
+            self._subscribe_wake(handle)
+        return handle
+
+    def _subscribe_wake(self, handle: PointHandle) -> None:
+        if handle.index in self._wake_subscribed:
+            return
+        self._wake_subscribed.add(handle.index)
+        self.pointdb.subscribe_handle(handle, self._on_input_change)
+
+    @property
+    def handle_count(self) -> int:
+        """Distinct point-db handles this device subscribes to."""
+        return len(self._wake_subscribed)
 
     def _build_protection(self, settings: ProtectionSettings) -> None:
         fn_type = settings.fn_type.upper()
@@ -155,9 +223,25 @@ class VirtualIed:
     def _sv_subscriber(self, sv_id: str) -> RSvSubscriber:
         subscriber = self._sv_subscribers.get(sv_id)
         if subscriber is None:
-            subscriber = RSvSubscriber(self.host, sv_id, lambda message: None)
+            subscriber = RSvSubscriber(
+                self.host,
+                sv_id,
+                lambda message, sv=sv_id: self._on_sv_message(sv, message),
+            )
             self._sv_subscribers[sv_id] = subscriber
         return subscriber
+
+    def _on_sv_message(self, sv_id: str, message) -> None:
+        """Wake on a *new* remote sample value, not on every heartbeat."""
+        sample = 0.0
+        if message is not None and message.samples:
+            try:
+                sample = float(message.samples[0])
+            except (TypeError, ValueError):
+                sample = 0.0
+        if self._sv_last_sample.get(sv_id) != sample:
+            self._sv_last_sample[sv_id] = sample
+            self._mark_inputs_dirty()
 
     def _measure_callable(self, meas_ref: str):
         def read() -> float:
@@ -171,12 +255,15 @@ class VirtualIed:
         return read
 
     def _breaker_status_callable(self, breaker: str):
+        handle = self._status_handle(breaker)
+        registry = self.pointdb.registry
+
         def read() -> bool:
             # Prefer the peer-published GOOSE status (protection-grade
             # source per the paper); fall back to the point database.
             if breaker in self.peer_breaker_status:
                 return self.peer_breaker_status[breaker]
-            return self.pointdb.get_bool(f"status/{breaker}/closed", True)
+            return registry.get_bool(handle, True)
 
         return read
 
@@ -185,38 +272,92 @@ class VirtualIed:
     # ------------------------------------------------------------------
     def start(self) -> None:
         self.mms_server.start()
+        self._running = True
+        self._inputs_dirty = True
         interval = int(self.config.scan_interval_ms * MS)
-        self._scan_task = self.host.simulator.every(
-            interval, self.scan, label=f"ied-scan:{self.name}"
-        )
+        if self.change_driven:
+            self._schedule_scan(interval)
+        else:
+            self._scan_task = self.host.simulator.every(
+                interval, self.scan, label=f"ied-scan:{self.name}"
+            )
         if self.goose_publisher is not None:
             self.goose_publisher.start(self._goose_dataset())
 
     def stop(self) -> None:
+        self._running = False
         if self._scan_task is not None:
             self._scan_task.stop()
             self._scan_task = None
+        if self._scan_event is not None:
+            self._scan_event.cancel()
+            self._scan_event = None
         if self.goose_publisher is not None:
             self.goose_publisher.stop()
         if self.sv_publisher is not None:
             self.sv_publisher.stop()
 
     # ------------------------------------------------------------------
+    # Change-driven scheduling
+    # ------------------------------------------------------------------
+    def _on_input_change(self, handle: PointHandle, value: Any) -> None:
+        self._mark_inputs_dirty()
+
+    def _mark_inputs_dirty(self) -> None:
+        self._inputs_dirty = True
+        if self._running and self.change_driven:
+            self.wake_count += 1
+            self._schedule_scan(0)
+
+    def _schedule_scan(self, delay_us: int) -> None:
+        if self._scan_event is not None:
+            return  # a scan is already pending
+        self._scan_event = self.host.simulator.schedule(
+            delay_us, self._scan_wake, label=f"ied-scan:{self.name}"
+        )
+
+    def _scan_wake(self) -> None:
+        self._scan_event = None
+        self.scan()
+
+    def _engine_hot(self) -> bool:
+        """A function timing towards its operate delay needs periodic
+        evaluation even without further input changes."""
+        return any(
+            function.started and not function.operated
+            for function in self.engine.functions
+        )
+
+    # ------------------------------------------------------------------
     # Scan cycle
     # ------------------------------------------------------------------
     def scan(self) -> None:
+        self.scan_count += 1
         now = self.host.simulator.now
+        self._inputs_dirty = False
         self._sync_measurements()
         self.engine.evaluate(now)
         self._update_protection_flags()
         if self.goose_publisher is not None:
             self.goose_publisher.update(self._goose_dataset())
+        if (
+            self.change_driven
+            and self._running
+            and (self._inputs_dirty or self._engine_hot())
+        ):
+            self._schedule_scan(int(self.config.scan_interval_ms * MS))
 
     def _sync_measurements(self) -> None:
-        for point in self.config.read_points():
-            if not self.pointdb.exists(point.db_key):
+        registry = self.pointdb.registry
+        gens = self._read_gens
+        for slot, (point, handle) in enumerate(self._read_handles):
+            generation = registry.generation(handle)
+            if generation == gens[slot]:
+                continue  # unchanged since the last sync
+            gens[slot] = generation
+            if not registry.present(handle):
                 continue
-            value = self.pointdb.get(point.db_key)
+            value = registry.read(handle)
             if isinstance(value, bool):
                 scaled: Any = value
             elif isinstance(value, (int, float)):
@@ -247,9 +388,10 @@ class VirtualIed:
 
     def _goose_dataset(self) -> list:
         """Self-describing dataset: [["breaker", name, closed], ["op", ln, flag]...]"""
+        registry = self.pointdb.registry
         data: list = [["ied", self.name]]
         for breaker in sorted(self._breakers):
-            closed = self.pointdb.get_bool(f"status/{breaker}/closed", True)
+            closed = registry.get_bool(self._status_handle(breaker), True)
             data.append(["breaker", breaker, closed])
         for ln_name, function in sorted(self._protection_by_ln.items()):
             if not isinstance(function, Cilo):
@@ -263,7 +405,11 @@ class VirtualIed:
                 and len(entry) == 3
                 and entry[0] == "breaker"
             ):
-                self.peer_breaker_status[str(entry[1])] = bool(entry[2])
+                breaker = str(entry[1])
+                closed = bool(entry[2])
+                if self.peer_breaker_status.get(breaker) is not closed:
+                    self.peer_breaker_status[breaker] = closed
+                    self._mark_inputs_dirty()
 
     # ------------------------------------------------------------------
     # Operate path
@@ -351,8 +497,10 @@ class VirtualIed:
                 continue
             if reference == self._setting_ref(ln_name, "StrVal.setMag.f"):
                 function.threshold = float(value)
+                self._mark_inputs_dirty()
             elif reference == self._setting_ref(ln_name, "OpDlTmms.setVal"):
                 function.delay_us = int(value) * MS
+                self._mark_inputs_dirty()
 
     # ------------------------------------------------------------------
     def _setting_ref(self, ln_name: str, suffix: str) -> str:

@@ -114,6 +114,10 @@ class Simulator:
         self._seq = itertools.count()
         self._running = False
         self._processed = 0
+        self._accounting = False
+        #: Executed-event counts per label prefix (the part before ``:``),
+        #: populated only while accounting is enabled.
+        self.label_counts: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Introspection
@@ -137,6 +141,17 @@ class Simulator:
     def processed(self) -> int:
         """Total events executed since construction."""
         return self._processed
+
+    def enable_accounting(self, enabled: bool = True) -> None:
+        """Count executed events per label prefix (``ied-scan``,
+        ``powerflow-tick``, …).  Off by default: the hot path must not pay
+        a dict update per event unless someone is looking.
+        """
+        self._accounting = enabled
+
+    def event_accounting(self) -> dict[str, int]:
+        """Per-label-prefix executed-event counts (accounting must be on)."""
+        return dict(self.label_counts)
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -183,6 +198,9 @@ class Simulator:
                 )
             self._now = event.when
             self._processed += 1
+            if self._accounting:
+                label = event.label.split(":", 1)[0] or "(unlabeled)"
+                self.label_counts[label] = self.label_counts.get(label, 0) + 1
             event.callback()
             return True
         return False

@@ -18,6 +18,15 @@ MMS bindings attach program variables to IED object references: ``read``
 bindings poll the IED every scan and update the variable before the program
 runs; ``write`` bindings push the variable to the IED when its value
 changes (deadband 0) after the program runs.
+
+Point bindings (:meth:`VirtualPlc.bind_point`) couple program variables
+directly to typed point-database handles: ``read`` bindings subscribe for
+delta notification — the variable is refreshed at the next scan only when
+the point actually changed — and ``write`` bindings push the variable into
+the database on change.  The program scan itself stays strictly periodic:
+IEC 61131 semantics (timers, counters, edge detection) require every cycle
+to execute even when inputs are unchanged, so only the I/O shuffling is
+delta-gated, not the logic.
 """
 
 from __future__ import annotations
@@ -32,6 +41,7 @@ from repro.iec61850.mms import MmsClient
 from repro.kernel import MS
 from repro.modbus import ModbusDataBank, ModbusServer
 from repro.netem.host import Host
+from repro.pointdb import PointDatabase, PointHandle
 
 _LOCATION_RE = re.compile(r"^%([IQ])([XWD])(\d+)(?:\.(\d+))?$")
 
@@ -76,6 +86,16 @@ class MmsBinding:
     direction: str = "read"  # "read" (IED→PLC) | "write" (PLC→IED)
 
 
+@dataclass
+class PointBinding:
+    """Couples a program variable to a point-database handle."""
+
+    variable: str
+    handle: PointHandle
+    pointdb: PointDatabase
+    direction: str = "read"  # "read" (db→PLC) | "write" (PLC→db)
+
+
 class VirtualPlc:
     """Scan-cycle PLC with Modbus server + MMS client bindings."""
 
@@ -109,6 +129,13 @@ class VirtualPlc:
         self._scan_task = None
         self.scan_count = 0
         self.mms_write_count = 0
+        #: Delta accounting: changed inputs observed / output writes skipped.
+        self.input_events = 0
+        self.suppressed_output_writes = 0
+        self.point_bindings: list[PointBinding] = []
+        self._point_pending: dict[str, Any] = {}
+        self._point_written: dict[str, Any] = {}
+        self._out_image: dict[tuple[str, int], Any] = {}
         self._locations: list[tuple[Variable, ParsedLocation]] = []
         self._index_locations()
 
@@ -172,6 +199,44 @@ class VirtualPlc:
             )
         )
 
+    def bind_point(
+        self,
+        variable: str,
+        pointdb: PointDatabase,
+        db_key: str,
+        direction: str = "read",
+    ) -> None:
+        """Couple ``variable`` to a point-database key via a typed handle.
+
+        Read bindings are change driven: the handle subscription records
+        the new value and the next scan applies it before the program
+        runs — an unchanged point costs nothing.  Write bindings push the
+        program value on change after the program runs (``cmd/...`` keys
+        go through the command log so the coupling drains them).
+        """
+        if direction not in ("read", "write"):
+            raise PlcError(f"binding direction must be read/write: {direction!r}")
+        handle = pointdb.resolve(db_key)
+        binding = PointBinding(
+            variable=variable, handle=handle, pointdb=pointdb,
+            direction=direction,
+        )
+        self.point_bindings.append(binding)
+        if direction == "read":
+            pointdb.subscribe_handle(
+                handle,
+                lambda _handle, value, name=variable: self._on_point_change(
+                    name, value
+                ),
+            )
+            current = pointdb.registry.read(handle)
+            if current is not None:
+                self._point_pending[variable] = current
+
+    def _on_point_change(self, variable: str, value: Any) -> None:
+        self.input_events += 1
+        self._point_pending[variable] = value
+
     def _client(self, server_ip: str) -> MmsClient:
         client = self._clients.get(server_ip)
         if client is None:
@@ -204,6 +269,14 @@ class VirtualPlc:
         self._write_outputs()
 
     def _read_inputs(self) -> None:
+        # Changed point-database inputs recorded by handle subscriptions.
+        if self._point_pending:
+            pending, self._point_pending = self._point_pending, {}
+            for variable, value in pending.items():
+                try:
+                    self.program.set_value(variable, value)
+                except Exception:
+                    pass
         # Located inputs from the Modbus image (SCADA-written).
         for variable, location in self._locations:
             if location.direction != "I":
@@ -246,18 +319,51 @@ class VirtualPlc:
             self._read_cache[binding.variable] = entry["value"]
 
     def _write_outputs(self) -> None:
+        image = self._out_image
         for variable, location in self._locations:
             if location.direction != "Q":
                 continue
             value = self.program.get_value(variable.name)
             if location.width == "X":
-                self.databank.set_discrete_input(
-                    location.bit_address, 1 if value else 0
-                )
+                out: Any = 1 if value else 0
+                slot = ("X", location.bit_address)
             elif location.width == "W":
-                self.databank.set_input_register(location.index, int(value))
+                out = int(value)
+                slot = ("W", location.index)
             else:
-                self.databank.set_input_float(location.index, float(value))
+                out = float(value)
+                slot = ("D", location.index)
+            # Delta gate: re-asserting an unchanged output into the Modbus
+            # image is a no-op for every reader, so skip it.
+            if image.get(slot) == out:
+                self.suppressed_output_writes += 1
+                continue
+            image[slot] = out
+            if location.width == "X":
+                self.databank.set_discrete_input(location.bit_address, out)
+            elif location.width == "W":
+                self.databank.set_input_register(location.index, out)
+            else:
+                self.databank.set_input_float(location.index, out)
+        for binding in self.point_bindings:
+            if binding.direction != "write":
+                continue
+            value = self.program.get_value(binding.variable)
+            if (
+                binding.variable in self._point_written
+                and self._point_written[binding.variable] == value
+            ):
+                continue
+            self._point_written[binding.variable] = value
+            if binding.handle.key.startswith("cmd/"):
+                binding.pointdb.write_command(
+                    binding.handle.key,
+                    value,
+                    writer=self.name,
+                    time_us=self.host.simulator.now,
+                )
+            else:
+                binding.pointdb.set(binding.handle.key, value)
         for binding in self.bindings:
             if binding.direction != "write":
                 continue
@@ -283,7 +389,9 @@ class VirtualPlc:
 
     def _on_master_write(self, table: str, address: int, value: int) -> None:
         """A Modbus master wrote a coil/register: re-arm bound writes."""
+        self.input_events += 1
         self._written.clear()
+        self._point_written.clear()
 
     # ------------------------------------------------------------------
     def mms_clients(self) -> dict[str, MmsClient]:

@@ -14,8 +14,53 @@ IED Config XML mapping):
 * ``status/<breaker>/closed``                        — breaker positions
 * ``cmd/<breaker>/close``                            — breaker commands
   (written by IEDs, drained by the co-simulation loop each tick)
+
+Data-plane architecture (handle refactor)
+-----------------------------------------
+
+The store is layered:
+
+* :class:`~repro.pointdb.registry.PointRegistry` — the data plane.  Every
+  key is interned **once** into an integer-indexed slot with a declared
+  :class:`~repro.pointdb.registry.PointType` (float/bool/int/any), a
+  per-point dirty bit and a monotonic generation counter.  Producers and
+  consumers resolve :class:`~repro.pointdb.registry.PointHandle` objects at
+  range compile time and then touch plain list slots on the hot path — no
+  f-string key formatting, no string hashing per tick.
+
+* **Delta publication** — the power-flow coupling writes each tick's
+  snapshot through handles (:meth:`PointRegistry.write` suppresses
+  unchanged values entirely) and performs **one** dirty-set
+  :meth:`PointRegistry.flush` per tick.  Handle subscribers therefore fire
+  exactly once per changed value per tick; a steady-state grid generates
+  ~zero data-plane events, which is what lets idle substations cost ~zero
+  scan work.
+
+* **Pull-side skipping** — consumers that sync on their own schedule (the
+  IED scan cycle) compare :meth:`PointRegistry.generation` against a
+  remembered value instead of subscribing, skipping unchanged points.
+
+* :class:`PointDatabase` — the **compatibility shim**.  It keeps the exact
+  string API the rest of the codebase (and the paper's MySQL contract)
+  expects — ``set``/``get``/``keys``/``snapshot``/``subscribe`` plus the
+  command-drain queue — while storing everything in the registry.  Legacy
+  per-key ``subscribe`` callbacks keep their fire-on-every-write
+  semantics; the new ``subscribe_handle`` path is strictly change-driven.
 """
 
 from repro.pointdb.database import PointDatabase, PointWrite
+from repro.pointdb.registry import (
+    PointHandle,
+    PointRegistry,
+    PointType,
+    parse_bool,
+)
 
-__all__ = ["PointDatabase", "PointWrite"]
+__all__ = [
+    "PointDatabase",
+    "PointHandle",
+    "PointRegistry",
+    "PointType",
+    "PointWrite",
+    "parse_bool",
+]

@@ -1,14 +1,27 @@
-"""In-process key-value store with a command-drain queue.
+"""String-keyed compatibility shim over the typed point registry.
 
 Reads are wait-free snapshots; command writes are recorded in arrival order
 so the co-simulation loop can apply them to the power network exactly once
 per tick (the paper's 100 ms granularity, §III-C).
+
+Since the handle refactor, :class:`PointDatabase` stores nothing itself:
+every key is interned into the owned :class:`~repro.pointdb.registry.
+PointRegistry` and all values live in its typed slots.  The string API is
+kept behaviorally identical for existing callers; hot-path components
+resolve handles once and bypass string lookup entirely.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Optional
+
+from repro.pointdb.registry import (
+    PointHandle,
+    PointRegistry,
+    PointType,
+    parse_bool,
+)
 
 
 @dataclass(frozen=True)
@@ -24,8 +37,8 @@ class PointWrite:
 class PointDatabase:
     """Key-value cache between the cyber side and the physical side."""
 
-    def __init__(self) -> None:
-        self._data: dict[str, Any] = {}
+    def __init__(self, registry: Optional[PointRegistry] = None) -> None:
+        self.registry = registry if registry is not None else PointRegistry()
         self._command_log: list[PointWrite] = []
         self._drained = 0
         self._subscribers: dict[str, list[Callable[[str, Any], None]]] = {}
@@ -33,16 +46,37 @@ class PointDatabase:
         self.write_count = 0
 
     # ------------------------------------------------------------------
+    # Handle API (hot-path callers resolve once, then index)
+    # ------------------------------------------------------------------
+    def resolve(
+        self, key: str, ptype: PointType = PointType.ANY
+    ) -> PointHandle:
+        """Intern ``key`` into the registry; stable across re-resolution."""
+        return self.registry.resolve(key, ptype)
+
+    def subscribe_handle(
+        self,
+        handle: PointHandle,
+        callback: Callable[[PointHandle, Any], None],
+    ) -> None:
+        """Delta subscription: fires once per *changed* value per flush."""
+        self.registry.subscribe(handle, callback)
+
+    # ------------------------------------------------------------------
     # Measurement side (power simulator publishes, IEDs read)
     # ------------------------------------------------------------------
     def set(self, key: str, value: Any) -> None:
-        self._data[key] = value
+        handle = self.registry.resolve(key)
+        self.registry.write_now(handle, value)
         for callback in self._subscribers.get(key, []):
             callback(key, value)
 
     def get(self, key: str, default: Any = None) -> Any:
         self.read_count += 1
-        return self._data.get(key, default)
+        handle = self.registry.handle_for(key)
+        if handle is None:
+            return default
+        return self.registry.read(handle, default)
 
     def get_float(self, key: str, default: float = 0.0) -> float:
         value = self.get(key, default)
@@ -53,18 +87,17 @@ class PointDatabase:
 
     def get_bool(self, key: str, default: bool = False) -> bool:
         value = self.get(key, default)
-        return bool(value)
+        return parse_bool(value, default)
 
     def exists(self, key: str) -> bool:
-        return key in self._data
+        handle = self.registry.handle_for(key)
+        return handle is not None and self.registry.present(handle)
 
     def keys(self, prefix: str = "") -> list[str]:
-        if not prefix:
-            return sorted(self._data)
-        return sorted(key for key in self._data if key.startswith(prefix))
+        return self.registry.keys(prefix)
 
     def snapshot(self, prefix: str = "") -> dict[str, Any]:
-        return {key: self._data[key] for key in self.keys(prefix)}
+        return self.registry.snapshot(prefix)
 
     # ------------------------------------------------------------------
     # Command side (IEDs write, co-simulation loop drains)
@@ -74,7 +107,8 @@ class PointDatabase:
     ) -> None:
         """Record a control command; also visible immediately via ``get``."""
         self.write_count += 1
-        self._data[key] = value
+        handle = self.registry.resolve(key)
+        self.registry.write_now(handle, value)
         self._command_log.append(
             PointWrite(time_us=time_us, key=key, value=value, writer=writer)
         )
@@ -94,11 +128,17 @@ class PointDatabase:
 
     # ------------------------------------------------------------------
     def subscribe(self, key: str, callback: Callable[[str, Any], None]) -> None:
-        """Invoke ``callback(key, value)`` on every update of ``key``."""
+        """Invoke ``callback(key, value)`` on every update of ``key``.
+
+        Legacy semantics: fires on each explicit :meth:`set` /
+        :meth:`write_command`, changed or not.  Batch publications through
+        the registry do not pass through here — use
+        :meth:`subscribe_handle` for delta notifications.
+        """
         self._subscribers.setdefault(key, []).append(callback)
 
     def __len__(self) -> int:
-        return len(self._data)
+        return len(self.registry)
 
     def __iter__(self) -> Iterator[str]:
-        return iter(sorted(self._data))
+        return iter(self.registry.keys())

@@ -17,7 +17,15 @@ Key conventions published per element (names are the SCL equipment names):
 * switches:   ``status/<switch>/closed``
 * gens/sgens: ``meas/<name>/p_mw``
 * loads:      ``meas/<name>/p_mw`` (scaled)
+* ext grids:  ``meas/<name>/p_mw`` (per-grid share of the slack power)
 * system:     ``meas/system/hz``, ``meas/system/slack_p_mw``
+
+Publication is **handle based**: every key above is resolved into a typed
+:class:`~repro.pointdb.registry.PointHandle` once, at construction, and the
+steady-state tick performs zero string formatting.  Values equal to the
+previous tick are suppressed by the registry; one dirty-set flush at the
+end of :meth:`PowerCoupling.publish` delivers each changed point to its
+subscribers exactly once.
 """
 
 from __future__ import annotations
@@ -26,7 +34,7 @@ from typing import Optional
 
 from repro.powersim import Network, PowerFlowDiverged, PowerFlowResult
 from repro.powersim.timeseries import TimeSeriesRunner
-from repro.pointdb import PointDatabase
+from repro.pointdb import PointDatabase, PointType
 
 
 class PowerCoupling:
@@ -46,6 +54,82 @@ class PowerCoupling:
         self.unknown_commands: list[str] = []
         self.diverged_ticks = 0
         self.last_result: Optional[PowerFlowResult] = None
+        #: Changed points delivered by the per-tick flush (accounting).
+        self.published_changes = 0
+        self._resolve_handles()
+
+    # ------------------------------------------------------------------
+    def _resolve_handles(self) -> None:
+        """Intern every published key once; the tick never formats keys."""
+        resolve = self.pointdb.resolve
+        float_t = PointType.FLOAT
+        bool_t = PointType.BOOL
+        self._bus_handles = [
+            (
+                bus.name,
+                resolve(f"meas/{bus.name}/vm_pu", float_t),
+                resolve(f"meas/{bus.name}/va_deg", float_t),
+            )
+            for bus in self.net.buses
+        ]
+        self._line_handles = [
+            (
+                line.name,
+                resolve(f"meas/{line.name}/p_mw", float_t),
+                resolve(f"meas/{line.name}/q_mvar", float_t),
+                resolve(f"meas/{line.name}/i_ka", float_t),
+                resolve(f"meas/{line.name}/i_to_ka", float_t),
+                resolve(f"meas/{line.name}/loading", float_t),
+            )
+            for line in self.net.lines
+        ]
+        self._trafo_handles = [
+            (
+                trafo.name,
+                resolve(f"meas/{trafo.name}/p_mw", float_t),
+                resolve(f"meas/{trafo.name}/q_mvar", float_t),
+                resolve(f"meas/{trafo.name}/loading", float_t),
+            )
+            for trafo in self.net.transformers
+        ]
+        self._switch_handles = [
+            (switch, resolve(f"status/{switch.name}/closed", bool_t))
+            for switch in self.net.switches
+        ]
+        self._gen_handles = [
+            (gen, resolve(f"meas/{gen.name}/p_mw", float_t))
+            for gen in self.net.gens
+        ]
+        self._grid_handles = [
+            (grid, resolve(f"meas/{grid.name}/p_mw", float_t))
+            for grid in self.net.ext_grids
+        ]
+        self._sgen_handles = [
+            (sgen, resolve(f"meas/{sgen.name}/p_mw", float_t))
+            for sgen in self.net.sgens
+        ]
+        self._load_handles = [
+            (load, resolve(f"meas/{load.name}/p_mw", float_t))
+            for load in self.net.loads
+        ]
+        self._h_hz = resolve("meas/system/hz", float_t)
+        self._h_slack = resolve("meas/system/slack_p_mw", float_t)
+        self._h_losses = resolve("meas/system/losses_mw", float_t)
+
+    @property
+    def handle_count(self) -> int:
+        """Handles this coupling resolved at construction."""
+        return (
+            2 * len(self._bus_handles)
+            + 5 * len(self._line_handles)
+            + 3 * len(self._trafo_handles)
+            + len(self._switch_handles)
+            + len(self._gen_handles)
+            + len(self._grid_handles)
+            + len(self._sgen_handles)
+            + len(self._load_handles)
+            + 3
+        )
 
     # ------------------------------------------------------------------
     def tick(self, time_s: float) -> Optional[PowerFlowResult]:
@@ -85,32 +169,59 @@ class PowerCoupling:
 
     # ------------------------------------------------------------------
     def publish(self, result: PowerFlowResult) -> None:
-        db = self.pointdb
-        for name, bus in result.buses.items():
-            db.set(f"meas/{name}/vm_pu", bus.vm_pu)
-            db.set(f"meas/{name}/va_deg", bus.va_degree)
-        for name, flow in result.lines.items():
-            db.set(f"meas/{name}/p_mw", flow.p_from_mw)
-            db.set(f"meas/{name}/q_mvar", flow.q_from_mvar)
-            db.set(f"meas/{name}/i_ka", flow.i_from_ka)
-            db.set(f"meas/{name}/i_to_ka", flow.i_to_ka)
-            db.set(f"meas/{name}/loading", flow.loading_percent)
-        for name, flow in result.transformers.items():
-            db.set(f"meas/{name}/p_mw", flow.p_from_mw)
-            db.set(f"meas/{name}/q_mvar", flow.q_from_mvar)
-            db.set(f"meas/{name}/loading", flow.loading_percent)
-        for switch in self.net.switches:
-            db.set(f"status/{switch.name}/closed", switch.closed)
-        for gen in self.net.gens:
-            db.set(f"meas/{gen.name}/p_mw", gen.p_mw if gen.in_service else 0.0)
-        for grid in self.net.ext_grids:
-            db.set(f"meas/{grid.name}/p_mw", result.slack_p_mw)
-        for sgen in self.net.sgens:
+        """Write the snapshot through pre-resolved handles, then flush.
+
+        Unchanged values never leave the registry's write path; the single
+        flush at the end wakes each subscriber once per changed point.
+        """
+        registry = self.pointdb.registry
+        write = registry.write
+        buses = result.buses
+        for name, h_vm, h_va in self._bus_handles:
+            bus = buses.get(name)
+            if bus is None:
+                continue
+            write(h_vm, bus.vm_pu)
+            write(h_va, bus.va_degree)
+        lines = result.lines
+        for name, h_p, h_q, h_i, h_i_to, h_loading in self._line_handles:
+            flow = lines.get(name)
+            if flow is None:
+                continue
+            write(h_p, flow.p_from_mw)
+            write(h_q, flow.q_from_mvar)
+            write(h_i, flow.i_from_ka)
+            write(h_i_to, flow.i_to_ka)
+            write(h_loading, flow.loading_percent)
+        trafos = result.transformers
+        for name, h_p, h_q, h_loading in self._trafo_handles:
+            flow = trafos.get(name)
+            if flow is None:
+                continue
+            write(h_p, flow.p_from_mw)
+            write(h_q, flow.q_from_mvar)
+            write(h_loading, flow.loading_percent)
+        for switch, handle in self._switch_handles:
+            write(handle, switch.closed)
+        for gen, handle in self._gen_handles:
+            write(handle, gen.p_mw if gen.in_service else 0.0)
+        # Slack power is a system total; attribute an equal share to each
+        # active external grid so two grids don't both report the whole.
+        active_grids = [
+            grid
+            for grid, _ in self._grid_handles
+            if grid.in_service and self.net.buses[grid.bus].in_service
+        ]
+        share = result.slack_p_mw / len(active_grids) if active_grids else 0.0
+        for grid, handle in self._grid_handles:
+            write(handle, share if grid in active_grids else 0.0)
+        for sgen, handle in self._sgen_handles:
             value = sgen.p_mw * sgen.scaling if sgen.in_service else 0.0
-            db.set(f"meas/{sgen.name}/p_mw", value)
-        for load in self.net.loads:
+            write(handle, value)
+        for load, handle in self._load_handles:
             value = load.p_mw * load.scaling if load.in_service else 0.0
-            db.set(f"meas/{load.name}/p_mw", value)
-        db.set("meas/system/hz", 50.0)
-        db.set("meas/system/slack_p_mw", result.slack_p_mw)
-        db.set("meas/system/losses_mw", result.total_losses_mw)
+            write(handle, value)
+        write(self._h_hz, 50.0)
+        write(self._h_slack, result.slack_p_mw)
+        write(self._h_losses, result.total_losses_mw)
+        self.published_changes += registry.flush()

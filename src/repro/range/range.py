@@ -168,3 +168,18 @@ class CyberRange:
 
     def measurement(self, key: str) -> float:
         return self.pointdb.get_float(key)
+
+    def data_plane_stats(self) -> dict[str, int]:
+        """Registry churn + device scheduling counters (bench/report).
+
+        ``suppressed_writes`` vs ``changed_writes`` shows how much of the
+        per-tick snapshot the delta layer absorbed; ``ied_scans`` vs
+        ``ied_wakes`` shows how often devices actually ran versus how often
+        a changed input asked them to.
+        """
+        stats = dict(self.pointdb.registry.stats())
+        stats["published_changes"] = self.coupling.published_changes
+        stats["ticks"] = self.coupling.tick_count
+        stats["ied_scans"] = sum(i.scan_count for i in self.ieds.values())
+        stats["ied_wakes"] = sum(i.wake_count for i in self.ieds.values())
+        return stats

@@ -1,4 +1,12 @@
-"""SCADA HMI runtime: polling, alarms, event log, operator commands."""
+"""SCADA HMI runtime: polling, alarms, event log, operator commands.
+
+The HMI's internal tag store is handle based: every configured point is
+interned once into a private :class:`~repro.pointdb.registry.PointRegistry`
+and alarm evaluation subscribes to the point's handle, so it runs only when
+a polled value actually *changed* — a steady plant costs poll traffic but
+no alarm/event processing.  Polling itself stays periodic because the data
+sources (Modbus/MMS servers across the emulated network) are pull-only.
+"""
 
 from __future__ import annotations
 
@@ -10,6 +18,7 @@ from repro.iec61850.mms import MmsClient
 from repro.kernel import MS, SECOND
 from repro.modbus import ModbusClient
 from repro.netem.host import Host
+from repro.pointdb import PointHandle, PointRegistry, PointType
 from repro.scada.config import DataPointConfig, DataSourceConfig, ScadaConfig
 
 
@@ -61,7 +70,25 @@ class ScadaHmi:
         self._tasks = []
         self.poll_count = 0
         self.command_count = 0
+        #: Polled values identical to the stored tag (no re-processing).
+        self.suppressed_updates = 0
         self.started = False
+        # Handle-based tag store: one typed slot per configured point;
+        # alarm checks ride the delta subscription, firing only on change.
+        self.registry = PointRegistry()
+        self._handles: dict[str, PointHandle] = {}
+        self._updaters: dict[str, Any] = {}
+        for point in config.points:
+            ptype = (
+                PointType.BOOL if point.kind == "binary" else PointType.FLOAT
+            )
+            handle = self.registry.resolve(point.name, ptype)
+            self._handles[point.name] = handle
+            self.registry.subscribe(
+                handle,
+                lambda _handle, value, p=point: self._on_tag_change(p, value),
+            )
+            self._updaters[point.name] = self._make_updater(point)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -127,7 +154,7 @@ class ScadaHmi:
         if not client.connected:
             return
         for point in points:
-            callback = self._make_updater(point)
+            callback = self._updaters[point.name]
             if point.table == "coil":
                 client.read_coils(
                     point.address, 1, lambda r, cb=callback: cb(_first(r.values))
@@ -171,11 +198,14 @@ class ScadaHmi:
                 if isinstance(entry, dict) and "value" in entry:
                     point = by_ref.get(reference)
                     if point is not None:
-                        self._make_updater(point)(entry["value"])
+                        self._updaters[point.name](entry["value"])
 
         client.read(references, on_reply)
 
     def _make_updater(self, point: DataPointConfig):
+        handle = self._handles[point.name]
+        point_value = self.values[point.name]
+
         def update(raw: Any) -> None:
             if raw is None:
                 return
@@ -186,13 +216,20 @@ class ScadaHmi:
                     value = float(raw) * point.scale
                 except (TypeError, ValueError):
                     return
-            now = self.host.simulator.now
-            self.values[point.name] = PointValue(
-                value=value, time_us=now, quality=PointQuality.GOOD
-            )
-            self._check_alarms(point, value, now)
+            # Freshness is tracked on every successful poll; value and
+            # alarm processing only when the tag actually changed (the
+            # registry write suppresses equal values and the subscription
+            # fires _on_tag_change otherwise).
+            point_value.time_us = self.host.simulator.now
+            point_value.quality = PointQuality.GOOD
+            if not self.registry.write_now(handle, value):
+                self.suppressed_updates += 1
 
         return update
+
+    def _on_tag_change(self, point: DataPointConfig, value: Any) -> None:
+        self.values[point.name].value = value
+        self._check_alarms(point, value, self.host.simulator.now)
 
     def _check_alarms(self, point: DataPointConfig, value: Any, now: int) -> None:
         if point.kind != "analog":

@@ -52,6 +52,13 @@ class CompiledArtifacts:
     scadabr_json: str = ""
     ied_count: int = 0
     stage_timings_ms: dict[str, float] = field(default_factory=dict)
+    #: Point-registry size after compile: every key the coupling publishes
+    #: and every device input, interned exactly once at compile time.
+    point_registry_size: int = 0
+    #: Handles resolved by the power-flow coupling (publisher side).
+    coupling_handle_count: int = 0
+    #: Point-db handles subscribed per device: IED name → handle count.
+    device_handle_counts: dict[str, int] = field(default_factory=dict)
 
 
 class SgmlProcessor:
@@ -135,6 +142,15 @@ class SgmlProcessor:
         self._timed(timings, "scada_config", lambda: self._build_scada(
             cyber_range, plan
         ))
+
+        # Data-plane accounting: every handle the range will ever touch is
+        # resolved by now (coupling + device constructors above), so the
+        # registry size is the compile-time point universe.
+        self.artifacts.point_registry_size = pointdb.registry.size
+        self.artifacts.coupling_handle_count = cyber_range.coupling.handle_count
+        self.artifacts.device_handle_counts = {
+            name: ied.handle_count for name, ied in cyber_range.ieds.items()
+        }
         return cyber_range
 
     # ------------------------------------------------------------------

@@ -149,3 +149,19 @@ def test_processed_counter(sim):
         sim.schedule(5, lambda: None)
     sim.run_until(10)
     assert sim.processed == 7
+
+
+def test_event_accounting_by_label_prefix(sim):
+    sim.schedule(1, lambda: None, label="ied-scan:IED1")
+    sim.run_until(2)
+    assert sim.event_accounting() == {}  # off by default: no hot-path cost
+    sim.enable_accounting()
+    sim.schedule(1, lambda: None, label="ied-scan:IED1")
+    sim.schedule(1, lambda: None, label="ied-scan:IED2")
+    sim.schedule(1, lambda: None, label="powerflow-tick")
+    sim.schedule(1, lambda: None)
+    sim.run_until(5)
+    counts = sim.event_accounting()
+    assert counts["ied-scan"] == 2  # label prefixes aggregate per component
+    assert counts["powerflow-tick"] == 1
+    assert counts["(unlabeled)"] == 1

@@ -1,6 +1,14 @@
-"""Point database: measurement cache and command-drain semantics."""
+"""Point database: measurement cache, command-drain semantics, and the
+typed point-handle registry (interning, dirty-set flush, delta subscribers)."""
 
-from repro.pointdb import PointDatabase
+import math
+
+from repro.pointdb import (
+    PointDatabase,
+    PointRegistry,
+    PointType,
+    parse_bool,
+)
 
 
 def test_set_get_defaults():
@@ -77,3 +85,169 @@ def test_container_protocol():
     assert len(db) == 2
     assert list(db) == ["a", "b"]
     assert db.exists("a") and not db.exists("z")
+
+
+# ---------------------------------------------------------------------------
+# get_bool string truthiness (regression: bool("false") is True)
+# ---------------------------------------------------------------------------
+
+
+def test_get_bool_parses_string_truthiness():
+    db = PointDatabase()
+    for text in ("false", "False", "0", "off", "no", ""):
+        db.set("s", text)
+        assert db.get_bool("s") is False, text
+    for text in ("true", "TRUE", "1", "on", "yes"):
+        db.set("s", text)
+        assert db.get_bool("s") is True, text
+    db.set("s", "2.5")
+    assert db.get_bool("s") is True
+    db.set("s", "garbage")
+    assert db.get_bool("s", True) is True
+    assert db.get_bool("s", False) is False
+
+
+def test_parse_bool_non_strings():
+    assert parse_bool(0) is False and parse_bool(3) is True
+    assert parse_bool(None, True) is True
+    assert parse_bool(True) is True and parse_bool(False) is False
+
+
+# ---------------------------------------------------------------------------
+# PointRegistry: interning, typed slots, dirty-set flush, delta subscribers
+# ---------------------------------------------------------------------------
+
+
+def test_registry_interning_stable_across_resolution():
+    registry = PointRegistry()
+    first = registry.resolve("meas/B1/vm_pu", PointType.FLOAT)
+    again = registry.resolve("meas/B1/vm_pu")
+    third = registry.resolve("meas/B1/vm_pu", PointType.BOOL)
+    assert first.index == again.index == third.index
+    assert again.ptype is PointType.FLOAT  # first non-ANY type sticks
+    other = registry.resolve("meas/B2/vm_pu")
+    assert other.index != first.index
+    assert registry.size == 2
+
+
+def test_registry_type_refinement_from_any():
+    registry = PointRegistry()
+    loose = registry.resolve("status/CB1/closed")
+    assert loose.ptype is PointType.ANY
+    typed = registry.resolve("status/CB1/closed", PointType.BOOL)
+    assert typed.index == loose.index
+    assert typed.ptype is PointType.BOOL
+    registry.write(typed, "false")
+    assert registry.read(typed) is False  # typed slot coerces strings
+
+
+def test_registry_write_suppresses_unchanged():
+    registry = PointRegistry()
+    handle = registry.resolve("meas/L1/p_mw", PointType.FLOAT)
+    assert registry.write(handle, 4.0) is True
+    assert registry.write(handle, 4.0) is False
+    assert registry.generation(handle) == 1
+    assert registry.write(handle, 4.1) is True
+    assert registry.generation(handle) == 2
+    assert registry.suppressed_writes == 1
+
+
+def test_registry_nan_writes_are_not_always_fresh():
+    registry = PointRegistry()
+    handle = registry.resolve("meas/L1/i_ka", PointType.FLOAT)
+    assert registry.write(handle, float("nan")) is True
+    assert registry.write(handle, float("nan")) is False
+    assert math.isnan(registry.read(handle))
+
+
+def test_registry_dirty_flush_clears_and_fires_once_per_change():
+    registry = PointRegistry()
+    h_a = registry.resolve("a", PointType.FLOAT)
+    h_b = registry.resolve("b", PointType.FLOAT)
+    seen = []
+    registry.subscribe(h_a, lambda handle, value: seen.append((handle.key, value)))
+    registry.subscribe(h_b, lambda handle, value: seen.append((handle.key, value)))
+    # A batch that writes a twice and b with an unchanged value.
+    registry.write(h_a, 1.0)
+    registry.write(h_a, 2.0)
+    registry.write(h_b, 5.0)
+    registry.write(h_b, 5.0)
+    assert registry.flush() == 2
+    # One callback per changed point, carrying the latest value.
+    assert seen == [("a", 2.0), ("b", 5.0)]
+    # The dirty set is clear: nothing more to flush, no more callbacks.
+    assert registry.flush() == 0
+    assert registry.pending_dirty == 0
+    registry.write(h_a, 2.0)  # unchanged → not dirty
+    assert registry.flush() == 0
+    assert seen == [("a", 2.0), ("b", 5.0)]
+
+
+def test_registry_write_now_immediate_delivery():
+    registry = PointRegistry()
+    handle = registry.resolve("x")
+    seen = []
+    registry.subscribe(handle, lambda h, v: seen.append(v))
+    assert registry.write_now(handle, 1) is True
+    assert seen == [1]
+    assert registry.write_now(handle, 1) is False
+    assert seen == [1]
+    assert registry.flush() == 0  # write_now left nothing dirty
+
+
+def test_registry_write_now_supersedes_batched_write():
+    registry = PointRegistry()
+    handle = registry.resolve("x")
+    seen = []
+    registry.subscribe(handle, lambda h, v: seen.append(v))
+    registry.write(handle, 1)  # batched, dirty
+    assert registry.write_now(handle, 2) is True  # delivered immediately
+    assert seen == [2]
+    assert registry.pending_dirty == 0  # the batched write is superseded
+    assert registry.flush() == 0  # nothing delivered twice
+    registry.write(handle, 3)
+    assert registry.pending_dirty == 1  # no double-count from stale entries
+    assert registry.flush() == 1
+    assert seen == [2, 3]
+
+
+def test_registry_generation_counters_for_pull_consumers():
+    registry = PointRegistry()
+    handle = registry.resolve("meas/B1/vm_pu", PointType.FLOAT)
+    assert registry.generation(handle) == 0  # never written
+    last_seen = registry.generation(handle)
+    registry.write(handle, 1.0)
+    assert registry.generation(handle) != last_seen
+    last_seen = registry.generation(handle)
+    registry.write(handle, 1.0)  # suppressed
+    assert registry.generation(handle) == last_seen
+
+
+def test_registry_string_views_match_database_api():
+    registry = PointRegistry()
+    db = PointDatabase(registry=registry)
+    db.set("meas/a/p", 1)
+    handle = registry.resolve("meas/b/p", PointType.FLOAT)
+    registry.write(handle, 2.0)
+    registry.flush()
+    assert db.keys("meas/") == ["meas/a/p", "meas/b/p"]
+    assert db.snapshot("meas/") == {"meas/a/p": 1, "meas/b/p": 2.0}
+    assert db.get("meas/b/p") == 2.0
+    # Keys interned but never written are invisible to the string API.
+    registry.resolve("meas/ghost/p")
+    assert not db.exists("meas/ghost/p")
+    assert "meas/ghost/p" not in db.keys()
+    assert registry.size == 3
+
+
+def test_registry_stats_accounting():
+    registry = PointRegistry()
+    handle = registry.resolve("a", PointType.FLOAT)
+    registry.write(handle, 1.0)
+    registry.write(handle, 1.0)
+    registry.flush()
+    stats = registry.stats()
+    assert stats["writes"] == 2
+    assert stats["changed_writes"] == 1
+    assert stats["suppressed_writes"] == 1
+    assert stats["flushes"] == 1

@@ -92,6 +92,61 @@ def test_coupling_survives_divergence():
     assert coupling.tick(0.2) is not None
 
 
+def test_coupling_delta_publication_suppresses_steady_state():
+    """Unchanged values are not re-published: handle subscribers fire
+    exactly once per changed value per tick, and a steady-state tick
+    delivers ~nothing."""
+    net = _small_power_net()
+    db = PointDatabase()
+    coupling = PowerCoupling(net, TimeSeriesRunner(net), db)
+    handle = db.resolve("meas/A/vm_pu")
+    seen = []
+    db.subscribe_handle(handle, lambda h, v: seen.append(v))
+    coupling.tick(0.0)
+    assert len(seen) == 1  # first tick: the value is new
+    changed_after_first = coupling.published_changes
+    coupling.tick(0.1)
+    coupling.tick(0.2)
+    # Identical solves → the registry swallows every write, no deliveries.
+    assert len(seen) == 1
+    assert coupling.published_changes == changed_after_first
+    # A real change is delivered exactly once on the tick that made it.
+    db.write_command("cmd/CB1/close", False, writer="test")
+    coupling.tick(0.3)
+    slack_handle = db.resolve("meas/A/vm_pu")
+    assert slack_handle.index == handle.index  # interning is stable
+    assert coupling.published_changes > changed_after_first
+
+
+def test_coupling_handles_resolved_once_at_construction():
+    net = _small_power_net()
+    db = PointDatabase()
+    coupling = PowerCoupling(net, TimeSeriesRunner(net), db)
+    before = db.registry.size
+    coupling.tick(0.0)
+    coupling.tick(0.1)
+    # The tick interns nothing new: the key universe is fixed up front.
+    assert db.registry.size == before
+    assert coupling.handle_count > 0
+
+
+def test_coupling_ext_grid_share_not_duplicated():
+    """Two external grids must not both report the full slack power."""
+    net = Network("twin-grid")
+    a = net.add_bus("A", 20.0)
+    b = net.add_bus("B", 20.0)
+    net.add_ext_grid("gridA", a, vm_pu=1.0)
+    net.add_ext_grid("gridB", b, vm_pu=1.0)
+    net.add_line("L1", a, b, r_ohm=0.05, x_ohm=0.2, max_i_ka=0.4)
+    net.add_load("LD1", b, p_mw=4.0, q_mvar=1.0)
+    db = PointDatabase()
+    coupling = PowerCoupling(net, TimeSeriesRunner(net), db)
+    result = coupling.tick(0.0)
+    assert result is not None
+    total = db.get_float("meas/gridA/p_mw") + db.get_float("meas/gridB/p_mw")
+    assert total == pytest.approx(result.slack_p_mw)
+
+
 def test_coupling_scenario_events_fire_at_tick_time():
     net = _small_power_net()
     scenario = SimulationScenario(
@@ -200,6 +255,27 @@ def test_epic_overload_trips_ptoc_selectively(running_epic):
         assert cr.breaker_state(breaker) is True
     assert cr.measurement("meas/TL1/loading") < 100.0
     assert cr.measurement(TBUS_VM) > 0.95
+
+
+def test_epic_change_driven_ieds_idle_when_grid_steady(running_epic):
+    """Once the grid settles, idle devices stop scanning: no input changes
+    means no kernel wakes, so further simulated time adds ~zero IED scans
+    while a disturbance immediately re-activates the affected devices."""
+    cr = running_epic
+    stats_before = cr.data_plane_stats()
+    cr.run_for(2.0)
+    stats_after = cr.data_plane_stats()
+    ticks = stats_after["ticks"] - stats_before["ticks"]
+    assert ticks >= 20  # the coupling kept ticking...
+    scans = stats_after["ied_scans"] - stats_before["ied_scans"]
+    # ...but a steady grid wakes almost nobody (legacy: every IED scans
+    # every 20 ms — 100 scans per IED over 2 s, ~1000 total for EPIC).
+    assert scans < 20 * len(cr.ieds)
+    # A disturbance re-activates the data plane and still trips protection.
+    cr.pointdb.write_command("cmd/Load_SH2/scale", 12.0, writer="test")
+    cr.run_for(3.0)
+    assert cr.data_plane_stats()["ied_scans"] > stats_after["ied_scans"]
+    assert cr.breaker_state("CB_SH1") is False
 
 
 def test_epic_scenario_event_gen_loss(epic_model):
