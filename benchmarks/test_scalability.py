@@ -17,14 +17,23 @@ Results are persisted to ``BENCH_scalability.json`` by the conftest
 session-finish hook.
 """
 
+import os
+
 import pytest
 from conftest import SCALABILITY_RESULTS, print_report, record_scalability_result
 
 from repro.sgml import SgmlModelSet, SgmlProcessor
 
+#: Smoke mode (CI): sweep only the 1-2 substation points so the bench
+#: finishes in seconds while still exercising the full co-simulation path
+#: and emitting a (partial, merged) BENCH_scalability.json.
+SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+
 
 @pytest.mark.parametrize("substations", [1, 2, 3, 4, 5])
 def test_scalability_sweep(benchmark, scaleout_dirs, substations):
+    if SMOKE and substations > 2:
+        pytest.skip("BENCH_SMOKE: sweep limited to 1-2 substations")
     model = SgmlModelSet.from_directory(scaleout_dirs[substations])
     cyber_range = SgmlProcessor(model).compile()
     cyber_range.start()

@@ -1,11 +1,19 @@
 #!/usr/bin/env python3
-"""Red-team exercise: the paper's §IV-B case studies on the EPIC range.
+"""Red-team exercise as an event-driven Scenario (paper §IV-B case studies).
 
-Phases (a realistic kill chain):
-  1. reconnaissance  — ARP sweep + port scan from a foothold box,
-  2. false command injection — CrashOverride-style MMS breaker-open,
-  3. man-in-the-middle — ARP spoofing + measurement falsification so the
-     operator's HMI shows a healthy value while phase 2 repeats.
+A realistic kill chain on the EPIC range, expressed with the
+:mod:`repro.scenario` API instead of a timestamp script:
+
+  1. *recon*       — ARP sweep + port scan from a foothold box (``at``),
+  2. *strike*      — CrashOverride-style MMS breaker-open (``after`` recon),
+  3. *blue-response* — the operator recloses the breaker, armed by the
+     data plane (``when`` the breaker status goes false — no timestamp
+     guessing; the phase fires the instant the attack lands),
+  4. *mitm*        — ARP spoofing + measurement falsification, then a
+     second strike while the operator is blind.
+
+Outcomes score the run: did the tie trip, did the blue team restore it,
+did the falsified HMI reading mask the second outage?
 
 Run with:  python examples/red_team_exercise.py
 """
@@ -13,16 +21,97 @@ Run with:  python examples/red_team_exercise.py
 import tempfile
 
 from repro.attacks import (
-    FalseCommandInjector,
     MeasurementSpoofer,
     MitmPipeline,
     NetworkScanner,
 )
 from repro.epic import generate_epic_model
+from repro.scenario import (
+    InjectBreakerAction,
+    OperateAction,
+    Scenario,
+    after,
+    at,
+    is_false,
+    point,
+    when,
+)
 from repro.sgml import SgmlModelSet, SgmlProcessor
 
 TBUS_VM = "meas/EPIC/VL1/TransmissionBay/TBUS/vm_pu"
 TIED1_V_REF = "TIED1LD0/MMXU1.PhV.phsA.cVal.mag.f"
+
+
+def build_scenario() -> Scenario:
+    scenario = Scenario(
+        "red-team-kill-chain",
+        description="recon -> FCI -> event-armed blue response -> MITM strike",
+    )
+    # Shared red-team state, created lazily on the running range.
+    toolkit: dict = {}
+
+    def recon(cyber_range):
+        foothold = cyber_range.add_attacker("sw-TransLAN", name="foothold")
+        report = NetworkScanner(foothold).run_full_scan("10.0.1.0")
+        targets = [
+            ip for ip, ports in report.open_ports.items() if 102 in ports
+        ]
+        return f"{len(report.live_hosts)} hosts up, MMS targets: {targets}"
+
+    scenario.phase("recon", at(1.0), team="red").action(
+        "ARP sweep + port scan from the foothold", recon
+    )
+
+    scenario.phase("strike", after("recon", 1.0), team="red").action(
+        InjectBreakerAction(
+            server_ip="10.0.1.13", ied="TIED1",
+            attacker="foothold", switch="sw-TransLAN",
+        )
+    ).outcome(
+        # The event-armed blue team recloses within two ticks, so the
+        # scored evidence is the forced-open breaker, not a long outage.
+        "breaker forced open", "not status/CB_T1/closed", after_s=0.15,
+    )
+
+    # Armed by the breaker-status transition, not a guessed timestamp.
+    scenario.phase(
+        "blue-response", when(is_false("status/CB_T1/closed")), team="blue"
+    ).action(
+        OperateAction(hmi="SCADA1", point="CB_T1", value=True)
+    ).outcome(
+        "service restored", point(TBUS_VM) > 0.9, after_s=2.0
+    )
+
+    def start_mitm(cyber_range):
+        spy = cyber_range.add_attacker("sw-CoreLAN", name="spy")
+        spoofer = MeasurementSpoofer({TIED1_V_REF: 0.9987})
+        mitm = MitmPipeline(
+            spy, "10.0.1.100", "10.0.1.13", transform=spoofer
+        )
+        mitm.start()
+        toolkit["mitm"] = mitm
+        toolkit["spoofer"] = spoofer
+        return "ARP spoofing 10.0.1.100 <-> 10.0.1.13"
+
+    mitm = scenario.phase("mitm", after("blue-response", 3.0), team="red")
+    mitm.action("blind the operator's direct MMS path", start_mitm)
+
+    # The broadcast ARP poisoning detours every frame addressed to the IED
+    # through the spy box, so the foothold's old path is dead — the second
+    # strike must come from the on-path MITM host itself.
+    blind = scenario.phase("blind-strike", after("mitm", 3.0), team="red")
+    blind.action(
+        InjectBreakerAction(server_ip="10.0.1.13", ied="TIED1", attacker="spy")
+    )
+    blind.outcome("outage is real", point(TBUS_VM) < 0.1, after_s=2.0)
+    blind.outcome(
+        "operator's direct reading is falsified",
+        lambda cr: abs(
+            (cr.hmis["SCADA1"].value_of("TBUS_V_DIRECT") or 0.0) - 0.9987
+        ) < 1e-6,
+        after_s=2.0,
+    )
+    return scenario
 
 
 def main() -> None:
@@ -30,58 +119,16 @@ def main() -> None:
     cyber_range = SgmlProcessor(SgmlModelSet.from_directory(model_dir)).compile()
     cyber_range.start()
     cyber_range.run_for(3.0)
-    hmi = cyber_range.hmis["SCADA1"]
 
-    # ------------------------------------------------------------------
-    print("== phase 1: reconnaissance ==")
-    foothold = cyber_range.add_attacker("sw-TransLAN", name="foothold")
-    scanner = NetworkScanner(foothold)
-    report = scanner.run_full_scan("10.0.1.0")
-    print(report.describe())
-    mms_targets = [ip for ip, ports in report.open_ports.items() if 102 in ports]
-    print(f"IEC 61850 MMS targets: {mms_targets}\n")
+    run = cyber_range.run_scenario(build_scenario(), duration_s=20.0)
+    print(run.after_action_report())
 
-    # ------------------------------------------------------------------
-    print("== phase 2: false command injection ==")
-    print(f"   TBUS voltage before: {cyber_range.measurement(TBUS_VM):.4f} pu")
-    injector = FalseCommandInjector(foothold)
-    result = injector.open_breaker("10.0.1.13", "TIED1")
-    cyber_range.run_for(1.0)
-    print(f"   CB-open accepted by TIED1: {result.accepted} "
-          f"({(result.completed_at_us - result.sent_at_us) / 1000:.2f} ms)")
-    print(f"   TBUS voltage after:  {cyber_range.measurement(TBUS_VM):.4f} pu")
-    print(f"   HMI alarms: {[e.describe() for e in hmi.events if e.kind == 'LOW']}")
-    print("   operator recloses the breaker ...")
-    hmi.operate("CB_T1", True)
-    cyber_range.run_for(2.0)
-    print(f"   TBUS voltage restored: {cyber_range.measurement(TBUS_VM):.4f} pu\n")
-
-    # ------------------------------------------------------------------
-    print("== phase 3: MITM — blind the operator, then strike again ==")
-    spy = cyber_range.add_attacker("sw-CoreLAN", name="spy")
-    # Freeze the HMI's direct voltage reading at a healthy value.
-    spoofer = MeasurementSpoofer({TIED1_V_REF: 0.9987})
-    mitm = MitmPipeline(spy, "10.0.1.100", "10.0.1.13", transform=spoofer)
-    mitm.start()
-    cyber_range.run_for(3.0)
-    injector.open_breaker("10.0.1.13", "TIED1")
-    cyber_range.run_for(3.0)
-    truth = cyber_range.measurement(TBUS_VM)
-    seen = hmi.value_of("TBUS_V_DIRECT")
-    print(f"   ground truth TBUS voltage: {truth:.4f} pu (dead bus)")
-    print(f"   HMI's direct MMS reading:  {seen:.4f} pu (falsified)")
-    print(f"   frames intercepted={mitm.intercepted} "
-          f"rewritten={spoofer.rewritten_count}")
-    print("   → the outage is hidden from the direct measurement path;")
-    print("     only the Modbus path via the CPLC still tells the truth:")
-    print(f"     HMI TBUS_V_PU (via CPLC): {hmi.value_of('TBUS_V_PU'):.4f} pu")
-
-    # ------------------------------------------------------------------
     print("\n== forensics ==")
     for write in cyber_range.pointdb.command_history:
         if write.value is False:
             print(f"   [{write.time_us / 1e6:8.3f}s] {write.key} "
-                  f"← False  (writer: {write.writer})")
+                  f"<- False  (writer: {write.writer})")
+    print(f"\nscenario verdict: {'PASS' if run.passed else 'FAIL'}")
 
 
 if __name__ == "__main__":

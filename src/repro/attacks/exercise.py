@@ -1,10 +1,20 @@
-"""Scripted training exercises (the paper's "hands-on training" use case).
+"""Scripted training exercises — legacy playbook API (compat shim).
 
-A :class:`ExercisePlaybook` schedules attack/defence actions at virtual
-times on a running cyber range and collects an after-action report — the
-artifact a trainer reviews with trainees.  Actions are plain callables so
-playbooks compose the attack primitives from this package with operator
-actions (HMI commands) and observations.
+.. deprecated::
+    :class:`ExercisePlaybook` is kept as a thin compatibility shim over the
+    event-driven :mod:`repro.scenario` subsystem: :meth:`ExercisePlaybook.
+    run` converts the playbook via :meth:`~repro.scenario.Scenario.
+    from_playbook` (one ``at()``-triggered phase per scripted action) and
+    executes it through ``CyberRange.run_scenario``.  New code should build
+    a :class:`~repro.scenario.Scenario` directly — it adds data-plane
+    ``when()`` triggers, phase sequencing with ``after()``, and scored
+    outcomes that a timestamp script cannot express.
+
+Ordering contract: actions are sorted by ``time_s`` with a *stable* sort
+and the engine arms same-instant phases in that order, so actions sharing
+a timestamp execute in the order they were added to the playbook (red
+before blue at the same instant iff red was added first).  Tests cover
+this; it is a guarantee, not an accident of the sort implementation.
 """
 
 from __future__ import annotations
@@ -12,8 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from repro.kernel import SECOND
 from repro.range import CyberRange
+from repro.scenario import Scenario
 
 ActionFn = Callable[[CyberRange], Any]
 
@@ -62,40 +72,28 @@ class ExercisePlaybook:
         return self
 
     # ------------------------------------------------------------------
+    def to_scenario(self) -> Scenario:
+        """The event-driven equivalent of this playbook."""
+        return Scenario.from_playbook(self)
+
     def run(self, cyber_range: CyberRange, duration_s: float) -> None:
-        """Schedule every action and run the range for ``duration_s``.
+        """Convert to a scenario and run it for ``duration_s``.
 
-        Must be called on a started range.  Action exceptions are caught
+        Starts the range if needed.  Action exceptions are caught
         and logged (a failed attack step is a legitimate exercise outcome,
-        not a harness crash).
+        not a harness crash).  Same-timestamp actions run in insertion
+        order (see the module docstring's ordering contract).
         """
-        base = cyber_range.simulator.now
-
-        def make_runner(action: ExerciseAction) -> Callable[[], None]:
-            def runner() -> None:
-                try:
-                    outcome = action.execute(cyber_range)
-                    result = "ok" if outcome is None else str(outcome)
-                except Exception as exc:  # after-action visibility
-                    result = f"FAILED: {exc}"
-                self.log.append(
-                    ExerciseLogEntry(
-                        time_s=(cyber_range.simulator.now - base) / SECOND,
-                        team=action.team,
-                        description=action.description,
-                        result=result,
-                    )
-                )
-
-            return runner
-
-        for action in sorted(self.actions, key=lambda a: a.time_s):
-            cyber_range.simulator.schedule(
-                int(action.time_s * SECOND),
-                make_runner(action),
-                label=f"exercise:{self.name}",
+        run = cyber_range.run_scenario(self.to_scenario(), duration_s)
+        self.log.extend(
+            ExerciseLogEntry(
+                time_s=entry.time_s,
+                team=entry.team,
+                description=entry.description,
+                result=entry.result,
             )
-        cyber_range.run_for(duration_s)
+            for entry in run.log
+        )
 
     # ------------------------------------------------------------------
     def after_action_report(self) -> str:

@@ -5,6 +5,7 @@ Usage::
     sgml validate <model-dir>          # parse + cross-file validation
     sgml compile <model-dir>           # run the processor, print artifacts
     sgml run <model-dir> [--seconds N] [--realtime]
+    sgml scenario <model-dir> <spec>   # run a declarative scenario, score it
     sgml epic <output-dir>             # generate the EPIC demo model
     sgml scaleout <output-dir> [--substations N] [--ieds M]
 """
@@ -12,6 +13,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.epic import generate_epic_model, generate_scaleout_model
@@ -37,6 +39,23 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument(
         "--realtime", action="store_true",
         help="pace virtual time against the wall clock",
+    )
+
+    p_scenario = sub.add_parser(
+        "scenario",
+        help="compile a range and run a declarative scenario spec against it",
+    )
+    p_scenario.add_argument("model_dir")
+    p_scenario.add_argument(
+        "spec_file", help="scenario spec (.json, or .yaml/.yml with PyYAML)"
+    )
+    p_scenario.add_argument(
+        "--seconds", type=float, default=None,
+        help="override the spec's duration_s (default 10)",
+    )
+    p_scenario.add_argument(
+        "--report-json", default="",
+        help="also write the structured after-action report to this path",
     )
 
     p_epic = sub.add_parser("epic", help="generate the EPIC demo model set")
@@ -79,6 +98,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     model = SgmlModelSet.from_directory(args.model_dir)
+    if args.command == "scenario":
+        return _run_scenario(model, args)
     if args.command == "deploy":
         from repro.sgml import export_compose_bundle
 
@@ -126,6 +147,48 @@ def _dispatch(args: argparse.Namespace) -> int:
     for trip in trips[:10]:
         print(f"  {trip.describe()}")
     return 0
+
+
+def _load_scenario_spec(path: str) -> dict:
+    """Read a JSON (always) or YAML (if PyYAML is present) scenario spec."""
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    if path.endswith((".yaml", ".yml")):
+        try:
+            import yaml
+        except ImportError:  # pragma: no cover - environment dependent
+            raise RuntimeError(
+                "PyYAML is not installed; use a .json scenario spec"
+            ) from None
+        spec = yaml.safe_load(text)
+    else:
+        spec = json.loads(text)
+    if not isinstance(spec, dict):
+        raise RuntimeError(f"scenario spec {path!r} is not a mapping")
+    return spec
+
+
+def _run_scenario(model: SgmlModelSet, args: argparse.Namespace) -> int:
+    """Compile the range, run the scenario spec, print + score the report."""
+    from repro.scenario import Scenario
+
+    spec = _load_scenario_spec(args.spec_file)
+    duration = args.seconds
+    if duration is None:
+        duration = float(spec.get("duration_s", 10.0))
+    scenario = Scenario.from_spec(spec)
+    cyber_range = SgmlProcessor(model).compile()
+    print(
+        f"running scenario {scenario.name!r} "
+        f"({len(scenario.phases)} phases) for {duration:.1f}s ..."
+    )
+    run = cyber_range.run_scenario(scenario, duration)
+    print(run.after_action_report())
+    if args.report_json:
+        with open(args.report_json, "w", encoding="utf-8") as handle:
+            json.dump(run.to_dict(), handle, indent=2)
+        print(f"structured report written to {args.report_json}")
+    return 0 if run.passed else 1
 
 
 if __name__ == "__main__":

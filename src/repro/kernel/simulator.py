@@ -172,6 +172,16 @@ class Simulator:
         """Run ``callback`` at absolute virtual time ``when``."""
         return self.schedule(when - self._now, callback, label)
 
+    def call_soon(self, callback: Callable[[], None], label: str = "") -> Event:
+        """Run ``callback`` at the current instant, after queued peers.
+
+        Used to hop out of a notification context (e.g. a point-registry
+        flush) into a first-class, labelled event: same virtual timestamp,
+        deterministic ordering after events already scheduled for now, and
+        visible to per-label accounting.
+        """
+        return self.schedule(0, callback, label)
+
     def every(
         self,
         period: SimTime,

@@ -62,6 +62,14 @@ class PointDatabase:
         """Delta subscription: fires once per *changed* value per flush."""
         self.registry.subscribe(handle, callback)
 
+    def unsubscribe_handle(
+        self,
+        handle: PointHandle,
+        callback: Callable[[PointHandle, Any], None],
+    ) -> bool:
+        """Detach a delta subscription; True if it was registered."""
+        return self.registry.unsubscribe(handle, callback)
+
     # ------------------------------------------------------------------
     # Measurement side (power simulator publishes, IEDs read)
     # ------------------------------------------------------------------

@@ -236,7 +236,9 @@ class PointRegistry:
             return
         handle = self._handles[slot]
         value = self._values[slot]
-        for callback in callbacks:
+        # Copy: a callback may unsubscribe itself (one-shot scenario
+        # triggers) without corrupting this delivery round.
+        for callback in tuple(callbacks):
             self.notifications += 1
             callback(handle, value)
 
@@ -280,6 +282,27 @@ class PointRegistry:
     ) -> None:
         """Invoke ``callback(handle, value)`` when the point *changes*."""
         self._subscribers.setdefault(handle.index, []).append(callback)
+
+    def unsubscribe(
+        self,
+        handle: PointHandle,
+        callback: Callable[[PointHandle, Any], None],
+    ) -> bool:
+        """Remove one registration of ``callback``; True if it was found.
+
+        Scenario triggers subscribe at arm time and must detach after
+        firing so a completed phase costs nothing on later flushes.
+        """
+        callbacks = self._subscribers.get(handle.index)
+        if not callbacks:
+            return False
+        try:
+            callbacks.remove(callback)
+        except ValueError:
+            return False
+        if not callbacks:
+            del self._subscribers[handle.index]
+        return True
 
     # ------------------------------------------------------------------
     # Introspection / string-keyed views (compat layer uses these)

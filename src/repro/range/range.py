@@ -2,17 +2,21 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.kernel import MS, SECOND, Simulator
 from repro.netem import Host, PacketCapture, VirtualNetwork
 from repro.plc import VirtualPlc
-from repro.pointdb import PointDatabase
+from repro.pointdb import PointDatabase, PointHandle, PointType
 from repro.powersim import Network
 from repro.powersim.timeseries import TimeSeriesRunner
 from repro.range.cosim import PowerCoupling
 from repro.ied import VirtualIed
 from repro.scada import ScadaHmi
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.scenario.engine import ScenarioRun
+    from repro.scenario.scenario import Scenario
 
 
 class RangeError(Exception):
@@ -43,6 +47,9 @@ class CyberRange:
         self._tick_task = None
         self.started = False
         self._attacker_count = 0
+        #: Resolved-handle caches for the string-keyed read fast paths.
+        self._meas_handles: dict[str, PointHandle] = {}
+        self._breaker_handles: dict[str, PointHandle] = {}
 
     # ------------------------------------------------------------------
     # Composition (used by the processor / tests)
@@ -117,6 +124,25 @@ class CyberRange:
             raise RangeError("call start() before run_realtime()")
         self.simulator.run_realtime(int(seconds * SECOND), speed=speed)
 
+    def run_scenario(
+        self, scenario: "Scenario", duration_s: float
+    ) -> "ScenarioRun":
+        """Execute an event-driven scenario: arm, run, score, report.
+
+        Starts the range if needed, arms every phase trigger, advances
+        ``duration_s`` of virtual time and returns the finished
+        :class:`~repro.scenario.engine.ScenarioRun` (per-phase timing,
+        action log, outcome verdicts).
+        """
+        from repro.scenario.engine import ScenarioRun
+
+        if not self.started:
+            self.start()
+        run = ScenarioRun(scenario, self)
+        run.start()
+        self.run_for(duration_s)
+        return run.finish()
+
     # ------------------------------------------------------------------
     # Attack / observation surface
     # ------------------------------------------------------------------
@@ -163,11 +189,45 @@ class CyberRange:
             "power_switches": len(self.power_net.switches),
         }
 
+    def point_handle(
+        self, key: str, ptype: PointType = PointType.ANY
+    ) -> PointHandle:
+        """Resolve (and intern) a typed handle for a point key.
+
+        The public entry point for handle-based fast paths: resolve once,
+        then read/subscribe through the registry without string lookups.
+        """
+        return self.pointdb.resolve(key, ptype)
+
     def breaker_state(self, breaker: str) -> bool:
-        return self.pointdb.get_bool(f"status/{breaker}/closed", True)
+        """Breaker position via a cached handle (True = closed).
+
+        Read-only: an unknown breaker returns the default without
+        interning a new registry slot.
+        """
+        registry = self.pointdb.registry
+        handle = self._breaker_handles.get(breaker)
+        if handle is None:
+            handle = registry.handle_for(f"status/{breaker}/closed")
+            if handle is None:
+                return True
+            self._breaker_handles[breaker] = handle
+        return registry.get_bool(handle, True)
 
     def measurement(self, key: str) -> float:
-        return self.pointdb.get_float(key)
+        """Float measurement via a cached handle (0.0 when absent).
+
+        Read-only: an unknown key returns 0.0 without interning a new
+        registry slot (misspelled keys must not grow the registry).
+        """
+        registry = self.pointdb.registry
+        handle = self._meas_handles.get(key)
+        if handle is None:
+            handle = registry.handle_for(key)
+            if handle is None:
+                return 0.0
+            self._meas_handles[key] = handle
+        return registry.get_float(handle)
 
     def data_plane_stats(self) -> dict[str, int]:
         """Registry churn + device scheduling counters (bench/report).

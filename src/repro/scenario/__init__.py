@@ -1,0 +1,118 @@
+"""Event-driven scenario subsystem (experiments + training as data).
+
+This package redesigns the scenario-facing API of the cyber range around
+declarative **phases** armed by **triggers** and scored by **outcomes**,
+replacing the timestamp-scripted :class:`~repro.attacks.exercise.
+ExercisePlaybook` (now a thin compat shim over :meth:`Scenario.
+from_playbook`):
+
+* triggers — :func:`at`, :func:`when` (compiled to point-registry delta
+  subscriptions: idle conditions cost zero polling and zero kernel
+  events), :func:`after`, :func:`all_of` / :func:`any_of`;
+* conditions — the :func:`point` expression DSL with edge/level and
+  hysteresis semantics, plus a string syntax for declarative specs;
+* actions — the attack primitives, HMI operator commands, point writes
+  and observations behind one ``execute(cyber_range)`` interface;
+* outcomes — named pass/fail checks producing structured per-phase
+  records in the after-action report (:class:`ScenarioRun`).
+
+Entry points: ``CyberRange.run_scenario(scenario, duration_s)``,
+``Scenario.from_spec`` (dict/YAML-shaped, wired to the ``sgml scenario``
+CLI subcommand) and ``Scenario.from_playbook`` for legacy playbooks.
+"""
+
+from repro.scenario.actions import (
+    Action,
+    ActionError,
+    CallAction,
+    InjectBreakerAction,
+    OperateAction,
+    Outcome,
+    RecordAction,
+    WritePointAction,
+    action_from_spec,
+    outcome_from_spec,
+)
+from repro.scenario.conditions import (
+    AllConditions,
+    AnyCondition,
+    BoolCondition,
+    Comparison,
+    Condition,
+    ConditionError,
+    PointExpr,
+    all_conditions,
+    any_condition,
+    is_false,
+    is_true,
+    parse_condition,
+    point,
+)
+from repro.scenario.engine import (
+    ActionRecord,
+    OutcomeRecord,
+    PhaseRecord,
+    ScenarioRun,
+    ScenarioRunError,
+)
+from repro.scenario.scenario import Phase, Scenario, ScenarioError
+from repro.scenario.triggers import (
+    AfterTrigger,
+    AllOfTrigger,
+    AnyOfTrigger,
+    AtTrigger,
+    Trigger,
+    TriggerError,
+    WhenTrigger,
+    after,
+    all_of,
+    any_of,
+    at,
+    when,
+)
+
+__all__ = [
+    "Action",
+    "ActionError",
+    "ActionRecord",
+    "AfterTrigger",
+    "AllConditions",
+    "AllOfTrigger",
+    "AnyCondition",
+    "AnyOfTrigger",
+    "AtTrigger",
+    "BoolCondition",
+    "CallAction",
+    "Comparison",
+    "Condition",
+    "ConditionError",
+    "InjectBreakerAction",
+    "OperateAction",
+    "Outcome",
+    "OutcomeRecord",
+    "Phase",
+    "PhaseRecord",
+    "PointExpr",
+    "RecordAction",
+    "Scenario",
+    "ScenarioError",
+    "ScenarioRun",
+    "ScenarioRunError",
+    "Trigger",
+    "TriggerError",
+    "WhenTrigger",
+    "WritePointAction",
+    "action_from_spec",
+    "after",
+    "all_conditions",
+    "all_of",
+    "any_condition",
+    "any_of",
+    "at",
+    "is_false",
+    "is_true",
+    "outcome_from_spec",
+    "parse_condition",
+    "point",
+    "when",
+]

@@ -1,0 +1,266 @@
+"""Point-expression DSL for scenario trigger conditions.
+
+A :class:`Condition` is a pure predicate over point-database values.  It
+names the keys it depends on (:meth:`Condition.keys`) so a trigger can
+subscribe to exactly those points' delta notifications — an idle condition
+costs zero polling because nothing evaluates until one of its inputs
+actually changes.
+
+Conditions are built either programmatically::
+
+    point("meas/TIE1/loading") > 80.0
+    (point("meas/S1/vm_pu") < 0.95).with_hysteresis(0.02)
+    is_false("status/CB_T1/closed")
+    all_conditions(point("meas/TIE1/loading") > 80, is_true("status/CB_T1/closed"))
+
+or parsed from the declarative spec syntax used by ``Scenario.from_spec``::
+
+    parse_condition("meas/TIE1/loading > 80")
+    parse_condition("not status/CB_T1/closed")
+
+Hysteresis gives :class:`Comparison` conditions a re-arm band: after a
+rising-edge fire, the trigger re-arms only once the value has left the band
+(e.g. ``> 80`` with hysteresis ``5`` re-arms below ``75``), so a value
+jittering around the threshold fires once, not once per tick.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Sequence
+
+from repro.pointdb.registry import parse_bool
+
+#: Reads a current point value by key (bound to a registry by the trigger).
+ReadFn = Callable[[str], Any]
+
+
+class ConditionError(ValueError):
+    """Malformed condition expression or spec string."""
+
+
+class Condition:
+    """Abstract predicate over point values."""
+
+    def keys(self) -> tuple[str, ...]:
+        raise NotImplementedError
+
+    def evaluate(self, read: ReadFn) -> bool:
+        """Current truth value given a point reader."""
+        raise NotImplementedError
+
+    def rearm_ready(self, read: ReadFn) -> bool:
+        """True once the value has exited the hysteresis band.
+
+        A fired edge trigger may only re-arm when this holds; conditions
+        without hysteresis re-arm as soon as they are false.
+        """
+        return not self.evaluate(read)
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def __and__(self, other: "Condition") -> "Condition":
+        return AllConditions((self, other))
+
+    def __or__(self, other: "Condition") -> "Condition":
+        return AnyCondition((self, other))
+
+
+@dataclass(frozen=True)
+class PointExpr:
+    """A named point, waiting for a comparison operator."""
+
+    key: str
+
+    def __gt__(self, threshold: float) -> "Comparison":
+        return Comparison(self.key, ">", float(threshold))
+
+    def __ge__(self, threshold: float) -> "Comparison":
+        return Comparison(self.key, ">=", float(threshold))
+
+    def __lt__(self, threshold: float) -> "Comparison":
+        return Comparison(self.key, "<", float(threshold))
+
+    def __le__(self, threshold: float) -> "Comparison":
+        return Comparison(self.key, "<=", float(threshold))
+
+    def eq(self, threshold: float) -> "Comparison":
+        return Comparison(self.key, "==", float(threshold))
+
+    def ne(self, threshold: float) -> "Comparison":
+        return Comparison(self.key, "!=", float(threshold))
+
+
+def point(key: str) -> PointExpr:
+    """Entry point of the DSL: ``point("meas/TIE1/loading") > 80``."""
+    return PointExpr(key)
+
+
+_OPS: dict[str, Callable[[float, float], bool]] = {
+    ">": lambda v, t: v > t,
+    ">=": lambda v, t: v >= t,
+    "<": lambda v, t: v < t,
+    "<=": lambda v, t: v <= t,
+    "==": lambda v, t: v == t,
+    "!=": lambda v, t: v != t,
+}
+
+
+@dataclass(frozen=True)
+class Comparison(Condition):
+    """``<key> <op> <threshold>`` over a float point, with a re-arm band."""
+
+    key: str
+    op: str
+    threshold: float
+    hysteresis: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ConditionError(f"unknown comparison operator {self.op!r}")
+        if self.hysteresis < 0:
+            raise ConditionError("hysteresis must be non-negative")
+
+    def with_hysteresis(self, band: float) -> "Comparison":
+        return replace(self, hysteresis=float(band))
+
+    def keys(self) -> tuple[str, ...]:
+        return (self.key,)
+
+    def _value(self, read: ReadFn) -> float:
+        raw = read(self.key)
+        try:
+            return float(raw)
+        except (TypeError, ValueError):
+            return float("nan")
+
+    def evaluate(self, read: ReadFn) -> bool:
+        return _OPS[self.op](self._value(read), self.threshold)
+
+    def rearm_ready(self, read: ReadFn) -> bool:
+        value = self._value(read)
+        band = self.hysteresis
+        if self.op in (">", ">="):
+            return value < self.threshold - band
+        if self.op in ("<", "<="):
+            return value > self.threshold + band
+        if self.op == "==":
+            return abs(value - self.threshold) > band
+        return value == self.threshold  # "!=" re-arms at exact equality
+
+    def describe(self) -> str:
+        text = f"{self.key} {self.op} {self.threshold:g}"
+        if self.hysteresis:
+            text += f" (hysteresis {self.hysteresis:g})"
+        return text
+
+
+@dataclass(frozen=True)
+class BoolCondition(Condition):
+    """Truthiness of a (usually boolean) point."""
+
+    key: str
+    expected: bool = True
+
+    def keys(self) -> tuple[str, ...]:
+        return (self.key,)
+
+    def evaluate(self, read: ReadFn) -> bool:
+        return parse_bool(read(self.key)) is self.expected
+
+    def describe(self) -> str:
+        return self.key if self.expected else f"not {self.key}"
+
+
+def is_true(key: str) -> BoolCondition:
+    return BoolCondition(key, expected=True)
+
+
+def is_false(key: str) -> BoolCondition:
+    return BoolCondition(key, expected=False)
+
+
+class _Compound(Condition):
+    def __init__(self, children: Sequence[Condition]) -> None:
+        if not children:
+            raise ConditionError("compound condition needs at least one child")
+        self.children = tuple(children)
+
+    def keys(self) -> tuple[str, ...]:
+        seen: list[str] = []
+        for child in self.children:
+            for key in child.keys():
+                if key not in seen:
+                    seen.append(key)
+        return tuple(seen)
+
+
+class AllConditions(_Compound):
+    """True when every child condition holds."""
+
+    def evaluate(self, read: ReadFn) -> bool:
+        return all(child.evaluate(read) for child in self.children)
+
+    def rearm_ready(self, read: ReadFn) -> bool:
+        # An AND re-fires once every child is true again; one child having
+        # cleanly exited its band is enough to consider the edge reset.
+        return any(child.rearm_ready(read) for child in self.children)
+
+    def describe(self) -> str:
+        return "(" + " and ".join(c.describe() for c in self.children) + ")"
+
+
+class AnyCondition(_Compound):
+    """True when at least one child condition holds."""
+
+    def evaluate(self, read: ReadFn) -> bool:
+        return any(child.evaluate(read) for child in self.children)
+
+    def rearm_ready(self, read: ReadFn) -> bool:
+        # An OR only resets once every child has cleanly exited its band.
+        return all(child.rearm_ready(read) for child in self.children)
+
+    def describe(self) -> str:
+        return "(" + " or ".join(c.describe() for c in self.children) + ")"
+
+
+def all_conditions(*children: Condition) -> AllConditions:
+    return AllConditions(children)
+
+
+def any_condition(*children: Condition) -> AnyCondition:
+    return AnyCondition(children)
+
+
+def parse_condition(text: str) -> Condition:
+    """Parse the spec syntax: ``<key> <op> <number>``, ``not <key>``, ``<key>``.
+
+    Used by ``Scenario.from_spec`` so declarative scenario files can express
+    trigger conditions and outcome checks as plain strings.
+    """
+    stripped = text.strip()
+    if not stripped:
+        raise ConditionError("empty condition")
+    if stripped.lower().startswith("not "):
+        key = stripped[4:].strip()
+        if not key or " " in key:
+            raise ConditionError(f"malformed negation {text!r}")
+        return is_false(key)
+    for op in ("<=", ">=", "==", "!=", "<", ">"):
+        if op in stripped:
+            key, _, value = stripped.partition(op)
+            key = key.strip()
+            value = value.strip()
+            if not key or " " in key:
+                raise ConditionError(f"malformed key in {text!r}")
+            try:
+                threshold = float(value)
+            except ValueError:
+                raise ConditionError(
+                    f"threshold {value!r} in {text!r} is not a number"
+                ) from None
+            return Comparison(key, op, threshold)
+    if " " in stripped:
+        raise ConditionError(f"cannot parse condition {text!r}")
+    return is_true(stripped)

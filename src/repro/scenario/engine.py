@@ -1,0 +1,366 @@
+"""Scenario execution engine: arming, firing, scoring, reporting.
+
+:class:`ScenarioRun` binds a declarative :class:`~repro.scenario.scenario.
+Scenario` to a running :class:`~repro.range.CyberRange`:
+
+* :meth:`ScenarioRun.start` arms every phase trigger.  ``at``/``after``
+  triggers become ``scenario:*``-labelled simulator events; ``when``
+  triggers become registry delta subscriptions and cost **no** simulator
+  events until an input point changes — kernel per-label accounting is the
+  audit trail for that claim.
+* A trigger fire is routed through one ``scenario:<name>:<phase>`` event
+  (``Simulator.call_soon``), so phase actions never run inside a registry
+  flush and every data-plane write they make lands in the next batch.
+* Actions execute in declaration order; an action that raises is recorded
+  as ``FAILED: ...`` and the remaining actions still run (a failed attack
+  step is a legitimate exercise outcome).
+* Outcomes are scored ``after_s`` seconds past the phase's actions and
+  recorded per phase; :attr:`ScenarioRun.passed` is the training verdict.
+
+Determinism: phases are armed in declaration order and same-instant events
+fire in scheduling order, so two phases triggered ``at`` the same virtual
+time execute in the order the scenario declared them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.kernel import SECOND, Event
+from repro.pointdb.registry import PointHandle
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.range import CyberRange
+    from repro.scenario.scenario import Phase, Scenario
+
+
+class ScenarioRunError(Exception):
+    """Engine misuse (double start, unknown phase reference, ...)."""
+
+
+@dataclass
+class ActionRecord:
+    """One executed action, playbook-log compatible."""
+
+    time_s: float
+    team: str
+    description: str
+    result: str
+    ok: bool
+    phase: str
+
+
+@dataclass
+class OutcomeRecord:
+    """One scored outcome check."""
+
+    name: str
+    status: str  # "pass" | "fail" | "pending"
+    detail: str = ""
+    time_s: Optional[float] = None
+
+    @property
+    def passed(self) -> bool:
+        return self.status == "pass"
+
+
+@dataclass
+class PhaseRecord:
+    """Structured per-phase timing + scoring for the after-action report."""
+
+    name: str
+    team: str
+    trigger: str
+    armed_at_s: float = 0.0
+    triggered_at_s: Optional[float] = None
+    completed_at_s: Optional[float] = None
+    fire_count: int = 0
+    trigger_reason: str = ""
+    actions: list[ActionRecord] = field(default_factory=list)
+    outcomes: list[OutcomeRecord] = field(default_factory=list)
+
+    @property
+    def fired(self) -> bool:
+        return self.triggered_at_s is not None
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "team": self.team,
+            "trigger": self.trigger,
+            "armed_at_s": self.armed_at_s,
+            "triggered_at_s": self.triggered_at_s,
+            "completed_at_s": self.completed_at_s,
+            "fire_count": self.fire_count,
+            "trigger_reason": self.trigger_reason,
+            "actions": [vars(a) for a in self.actions],
+            "outcomes": [
+                {
+                    "name": o.name,
+                    "status": o.status,
+                    "detail": o.detail,
+                    "time_s": o.time_s,
+                }
+                for o in self.outcomes
+            ],
+        }
+
+
+class ScenarioRun:
+    """One execution of a scenario against a cyber range.
+
+    Also implements the :class:`~repro.scenario.triggers.TriggerHost`
+    protocol triggers arm themselves against.
+    """
+
+    def __init__(self, scenario: "Scenario", cyber_range: "CyberRange") -> None:
+        self.scenario = scenario
+        self.cyber_range = cyber_range
+        self.simulator = cyber_range.simulator
+        self.pointdb = cyber_range.pointdb
+        self.records: dict[str, PhaseRecord] = {}
+        #: Chronological log across all phases (the after-action timeline).
+        self.log: list[ActionRecord] = []
+        self.started = False
+        self.finished = False
+        self._base_us = 0
+        self._completion_listeners: dict[str, list[Callable[[float], None]]] = {}
+        self._arming_phase: Optional["Phase"] = None
+        self._outcome_events: list[Event] = []
+
+    # ------------------------------------------------------------------
+    # TriggerHost protocol
+    # ------------------------------------------------------------------
+    def schedule_at_s(
+        self, time_s: float, callback: Callable[[], None], label: str
+    ) -> Event:
+        delay_us = self._base_us + int(time_s * SECOND) - self.simulator.now
+        return self.simulator.schedule(max(0, delay_us), callback, label=label)
+
+    def resolve_point(self, key: str) -> PointHandle:
+        return self.pointdb.resolve(key)
+
+    def read_point(self, key: str) -> Any:
+        return self.pointdb.get(key)
+
+    def read_handle(self, handle: PointHandle) -> Any:
+        return self.pointdb.registry.read(handle)
+
+    def subscribe_point(
+        self, handle: PointHandle, callback: Callable[[PointHandle, Any], None]
+    ) -> None:
+        self.pointdb.subscribe_handle(handle, callback)
+
+    def unsubscribe_point(
+        self, handle: PointHandle, callback: Callable[[PointHandle, Any], None]
+    ) -> None:
+        self.pointdb.unsubscribe_handle(handle, callback)
+
+    def on_phase_complete(
+        self, phase_name: str, callback: Callable[[float], None]
+    ) -> None:
+        if phase_name not in self.records:
+            raise ScenarioRunError(
+                f"after() references unknown phase {phase_name!r}"
+            )
+        record = self.records[phase_name]
+        if record.completed_at_s is not None:
+            callback(record.completed_at_s)
+            return
+        self._completion_listeners.setdefault(phase_name, []).append(callback)
+
+    def trigger_label(self) -> str:
+        phase = self._arming_phase
+        suffix = f":{phase.name}" if phase is not None else ""
+        return f"scenario:{self.scenario.name}{suffix}"
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def elapsed_s(self) -> float:
+        return (self.simulator.now - self._base_us) / SECOND
+
+    def start(self) -> "ScenarioRun":
+        """Arm every phase trigger.  The range must be started."""
+        if self.started:
+            raise ScenarioRunError("scenario run already started")
+        self.started = True
+        self._base_us = self.simulator.now
+        # Records first: after() triggers may reference any phase, including
+        # ones declared later.
+        for phase in self.scenario.phases:
+            self.records[phase.name] = PhaseRecord(
+                name=phase.name,
+                team=phase.team,
+                trigger=phase.trigger.describe(),
+            )
+        try:
+            for phase in self.scenario.phases:
+                self._arming_phase = phase
+                phase.trigger.arm(self, self._make_fire(phase))
+        except Exception:
+            # A half-armed run must not leave live subscriptions behind:
+            # an aborted scenario's phases would otherwise fire as
+            # phantoms on the next matching data-plane change.
+            for phase in self.scenario.phases:
+                phase.trigger.disarm()
+            raise
+        finally:
+            self._arming_phase = None
+        return self
+
+    def _make_fire(self, phase: "Phase") -> Callable[[str], None]:
+        def fire(reason: str) -> None:
+            record = self.records[phase.name]
+            record.fire_count += 1
+            if record.fire_count == 1:
+                record.triggered_at_s = self.elapsed_s()
+                record.trigger_reason = reason
+            # Hop through one labelled event so actions never execute inside
+            # a registry flush callback (and so the kernel accounts for them).
+            self.simulator.call_soon(
+                lambda: self._execute_phase(phase),
+                label=f"scenario:{self.scenario.name}:{phase.name}",
+            )
+
+        return fire
+
+    # ------------------------------------------------------------------
+    def _execute_phase(self, phase: "Phase") -> None:
+        record = self.records[phase.name]
+        for action in phase.actions:
+            try:
+                outcome = action.execute(self.cyber_range)
+                result = "ok" if outcome is None else str(outcome)
+                ok = True
+            except Exception as exc:  # after-action visibility, not a crash
+                result = f"FAILED: {exc}"
+                ok = False
+            entry = ActionRecord(
+                time_s=self.elapsed_s(),
+                team=phase.team,
+                description=action.description,
+                result=result,
+                ok=ok,
+                phase=phase.name,
+            )
+            record.actions.append(entry)
+            self.log.append(entry)
+        for outcome in phase.outcomes:
+            self._schedule_outcome(phase, record, outcome)
+        first_completion = record.completed_at_s is None
+        record.completed_at_s = self.elapsed_s()
+        if first_completion:
+            for callback in self._completion_listeners.pop(phase.name, []):
+                callback(record.completed_at_s)
+
+    def _schedule_outcome(self, phase: "Phase", record: PhaseRecord, outcome) -> None:
+        outcome_record = OutcomeRecord(name=outcome.name, status="pending")
+        record.outcomes.append(outcome_record)
+
+        def score() -> None:
+            passed, detail = outcome.evaluate(self.cyber_range)
+            outcome_record.status = "pass" if passed else "fail"
+            outcome_record.detail = detail
+            outcome_record.time_s = self.elapsed_s()
+
+        if outcome.after_s <= 0:
+            score()
+        else:
+            self._outcome_events.append(
+                self.simulator.schedule(
+                    int(outcome.after_s * SECOND),
+                    score,
+                    label=f"scenario:{self.scenario.name}:{phase.name}:outcome",
+                )
+            )
+
+    # ------------------------------------------------------------------
+    def finish(self) -> "ScenarioRun":
+        """Disarm all triggers and freeze the report.
+
+        Outcome checks still scheduled beyond this point are cancelled and
+        stay ``pending`` — the verdict cannot mutate after the report is
+        read, even if the same simulator keeps running.
+        """
+        if self.finished:
+            return self
+        self.finished = True
+        for phase in self.scenario.phases:
+            phase.trigger.disarm()
+        for event in self._outcome_events:
+            event.cancel()
+        self._outcome_events.clear()
+        return self
+
+    # ------------------------------------------------------------------
+    # Verdict + reporting
+    # ------------------------------------------------------------------
+    @property
+    def outcome_records(self) -> list[OutcomeRecord]:
+        return [o for record in self.records.values() for o in record.outcomes]
+
+    @property
+    def passed(self) -> bool:
+        """All scored outcomes pass and none are still pending.
+
+        A scenario with no outcomes passes vacuously (pure exercises).
+        Outcomes whose phase never fired were never scored and therefore
+        do not appear — phases that were *expected* to fire should carry
+        an outcome on a downstream (e.g. ``after``) phase to catch that.
+        """
+        outcomes = self.outcome_records
+        return all(o.status == "pass" for o in outcomes)
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario.name,
+            "description": self.scenario.description,
+            "passed": self.passed,
+            "duration_s": self.elapsed_s(),
+            "phases": [
+                self.records[phase.name].to_dict()
+                for phase in self.scenario.phases
+            ],
+        }
+
+    def after_action_report(self) -> str:
+        """Human-readable structured report: per-phase timing + outcomes."""
+        lines = [f"=== after-action report: {self.scenario.name} ==="]
+        if self.scenario.description:
+            lines.append(self.scenario.description)
+        for phase in self.scenario.phases:
+            record = self.records[phase.name]
+            if record.fired:
+                timing = (
+                    f"fired at {record.triggered_at_s:8.3f}s"
+                    f" ({record.trigger_reason})"
+                )
+                if record.fire_count > 1:
+                    timing += f" x{record.fire_count}"
+            else:
+                timing = "never fired"
+            lines.append(f"-- phase {record.name!r} [{record.trigger}]: {timing}")
+            for entry in record.actions:
+                lines.append(
+                    f"   [{entry.time_s:8.3f}s] ({entry.team:>5}) "
+                    f"{entry.description} -> {entry.result}"
+                )
+            for outcome in record.outcomes:
+                stamp = (
+                    f"{outcome.time_s:8.3f}s" if outcome.time_s is not None
+                    else "       -"
+                )
+                lines.append(
+                    f"   [{stamp}] OUTCOME {outcome.name}: "
+                    f"{outcome.status.upper()}"
+                    + (f" ({outcome.detail})" if outcome.detail else "")
+                )
+        verdict = "PASS" if self.passed else "FAIL"
+        scored = self.outcome_records
+        lines.append(
+            f"=== verdict: {verdict} "
+            f"({sum(1 for o in scored if o.passed)}/{len(scored)} outcomes) ==="
+        )
+        return "\n".join(lines)

@@ -1,0 +1,283 @@
+"""The declarative Scenario model: named phases, triggers, actions, outcomes.
+
+A :class:`Scenario` replaces the timestamp-scripted playbook as the
+first-class experiment/training artifact (the paper's "automated generation
+of cybersecurity experiments and training").  Each :class:`Phase` is armed
+by a trigger (:func:`~repro.scenario.triggers.at`, :func:`~repro.scenario.
+triggers.when`, :func:`~repro.scenario.triggers.after`, ``all_of`` /
+``any_of``) and carries an ordered list of actions plus optional scored
+outcomes.
+
+Construction styles:
+
+* **Fluent python** — ``Scenario("drill").phase("strike", when("meas/TIE1/
+  loading > 80")).action(...).outcome(...)``
+* **Declarative spec** — :meth:`Scenario.from_spec` consumes a plain dict
+  (JSON/YAML-shaped; the ``sgml scenario`` CLI subcommand loads such files),
+  making scenarios portable data rather than code.
+* **Playbook compat** — :meth:`Scenario.from_playbook` converts a legacy
+  :class:`~repro.attacks.exercise.ExercisePlaybook` into one ``at()``-
+  triggered phase per scripted action.  Actions sharing a timestamp keep
+  their insertion order: the playbook sort is stable and the engine arms
+  phases (and the kernel fires same-instant events) in declaration order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Optional, Union
+
+from repro.scenario.actions import (
+    Action,
+    ActionFn,
+    CallAction,
+    Outcome,
+    action_from_spec,
+    outcome_from_spec,
+)
+from repro.scenario.conditions import Condition
+from repro.scenario.engine import ScenarioRun
+from repro.scenario.triggers import (
+    AfterTrigger,
+    AllOfTrigger,
+    AnyOfTrigger,
+    AtTrigger,
+    Trigger,
+    WhenTrigger,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.range import CyberRange
+
+
+class ScenarioError(Exception):
+    """Malformed scenario definition or spec."""
+
+
+@dataclass
+class Phase:
+    """One named stage of a scenario."""
+
+    name: str
+    trigger: Trigger
+    team: str = "red"
+    actions: list[Action] = field(default_factory=list)
+    outcomes: list[Outcome] = field(default_factory=list)
+
+    # Fluent builders -------------------------------------------------
+    def action(self, action: Union[Action, str], fn: Optional[ActionFn] = None) -> "Phase":
+        """Append an action: either an :class:`Action` or ``(description, fn)``."""
+        if isinstance(action, Action):
+            if fn is not None:
+                raise ScenarioError("pass either an Action or (description, fn)")
+            self.actions.append(action)
+        else:
+            if fn is None:
+                raise ScenarioError(
+                    "string action description needs a callable: "
+                    ".action('desc', fn)"
+                )
+            self.actions.append(CallAction(description=action, fn=fn))
+        return self
+
+    def outcome(
+        self,
+        name: str,
+        check: Union[Condition, str, Any],
+        after_s: float = 0.0,
+    ) -> "Phase":
+        """Append a scored pass/fail check evaluated ``after_s`` post-fire."""
+        self.outcomes.append(Outcome(name=name, check=check, after_s=after_s))
+        return self
+
+
+class Scenario:
+    """An ordered set of named phases — the experiment/training artifact."""
+
+    def __init__(self, name: str = "scenario", description: str = "") -> None:
+        self.name = name
+        self.description = description
+        self.phases: list[Phase] = []
+        self._by_name: dict[str, Phase] = {}
+
+    # ------------------------------------------------------------------
+    def add(self, phase: Phase) -> Phase:
+        if phase.name in self._by_name:
+            raise ScenarioError(f"duplicate phase {phase.name!r}")
+        self.phases.append(phase)
+        self._by_name[phase.name] = phase
+        return phase
+
+    def phase(
+        self,
+        name: str,
+        trigger: Union[Trigger, Condition, str, float, int],
+        team: str = "red",
+    ) -> Phase:
+        """Create, register and return a phase (fluent entry point).
+
+        ``trigger`` may be a :class:`Trigger`, a condition (object or spec
+        string — wrapped in ``when()``), or a bare number (wrapped in
+        ``at()``).
+        """
+        if isinstance(trigger, (int, float)):
+            trigger = AtTrigger(float(trigger))
+        elif isinstance(trigger, (Condition, str)):
+            trigger = WhenTrigger(trigger)
+        return self.add(Phase(name=name, trigger=trigger, team=team))
+
+    def find_phase(self, name: str) -> Optional[Phase]:
+        return self._by_name.get(name)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, cyber_range: "CyberRange", duration_s: float) -> ScenarioRun:
+        """Convenience wrapper around :meth:`CyberRange.run_scenario`."""
+        return cyber_range.run_scenario(self, duration_s)
+
+    # ------------------------------------------------------------------
+    # Declarative spec
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_spec(cls, spec: dict) -> "Scenario":
+        """Build a scenario from a JSON/YAML-shaped dict.
+
+        Shape::
+
+            name: tie-overload-drill
+            description: ...
+            phases:
+              - name: stress
+                trigger: {at: 1.0}
+                team: white
+                actions:
+                  - write_point: {key: cmd/Load_S2_1/scale, value: 3.0}
+              - name: strike
+                trigger: {when: "meas/TIE1/loading > 80", hysteresis: 5.0}
+                actions:
+                  - inject_breaker: {server_ip: 10.0.1.12, ied: S1IED2,
+                                     switch: sw-S1LAN}
+                outcomes:
+                  - {name: tie tripped, check: "not status/CB_S1_TIE/closed",
+                     after_s: 1.0}
+
+        Trigger forms: ``{at: seconds}``, ``{when: "<cond>", mode?, repeat?,
+        hysteresis?}``, ``{after: <phase>, delay?: seconds}``, ``{all_of:
+        [trigger, ...]}``, ``{any_of: [trigger, ...]}``.
+        """
+        if not isinstance(spec, dict):
+            raise ScenarioError(f"scenario spec must be a mapping, got {type(spec)}")
+        scenario = cls(
+            name=str(spec.get("name", "scenario")),
+            description=str(spec.get("description", "")),
+        )
+        phases = spec.get("phases")
+        if not isinstance(phases, list) or not phases:
+            raise ScenarioError("scenario spec needs a non-empty 'phases' list")
+        for index, phase_spec in enumerate(phases):
+            if not isinstance(phase_spec, dict):
+                raise ScenarioError(f"phase #{index} must be a mapping")
+            name = phase_spec.get("name")
+            if not name:
+                raise ScenarioError(f"phase #{index} has no name")
+            unknown = set(phase_spec) - {
+                "name", "trigger", "team", "actions", "outcomes",
+            }
+            if unknown:
+                raise ScenarioError(
+                    f"phase {name!r} has unknown fields {sorted(unknown)}"
+                )
+            trigger_spec = phase_spec.get("trigger")
+            if trigger_spec is None:
+                raise ScenarioError(f"phase {name!r} has no trigger")
+            phase = Phase(
+                name=str(name),
+                trigger=_trigger_from_spec(trigger_spec),
+                team=str(phase_spec.get("team", "red")),
+            )
+            for action_spec in phase_spec.get("actions", []):
+                phase.actions.append(action_from_spec(action_spec))
+            for outcome_spec in phase_spec.get("outcomes", []):
+                phase.outcomes.append(outcome_from_spec(outcome_spec))
+            scenario.add(phase)
+        return scenario
+
+    # ------------------------------------------------------------------
+    # Playbook compatibility
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_playbook(cls, playbook: Any) -> "Scenario":
+        """Convert a legacy :class:`ExercisePlaybook` to a scenario.
+
+        One ``at()``-triggered phase per scripted action.  The sort by
+        ``time_s`` is *stable*, so actions scheduled at the same instant
+        keep the order they were added to the playbook — e.g. a red strike
+        added before a blue response at the same timestamp executes first.
+        This ordering is part of the compat contract and covered by tests.
+        """
+        scenario = cls(name=playbook.name)
+        ordered = sorted(playbook.actions, key=lambda a: a.time_s)
+        for index, step in enumerate(ordered, start=1):
+            phase = Phase(
+                name=f"step{index}",
+                trigger=AtTrigger(step.time_s),
+                team=step.team,
+            )
+            phase.actions.append(
+                CallAction(description=step.description, fn=step.execute)
+            )
+            scenario.add(phase)
+        return scenario
+
+
+#: Allowed companion keys per trigger form — a typo ('hysterisis') or two
+#: competing forms in one mapping must fail loudly, not half-parse: the
+#: spec is a portable training artifact.
+_TRIGGER_FIELDS = {
+    "at": {"at"},
+    "when": {"when", "mode", "repeat", "hysteresis"},
+    "after": {"after", "delay"},
+    "all_of": {"all_of"},
+    "any_of": {"any_of"},
+}
+
+
+def _trigger_from_spec(spec: Union[dict, float, int, str]) -> Trigger:
+    """Parse one trigger spec value (strict: unknown keys are errors)."""
+    if isinstance(spec, (int, float)):
+        return AtTrigger(float(spec))
+    if isinstance(spec, str):
+        return WhenTrigger(spec)
+    if not isinstance(spec, dict) or len(spec) < 1:
+        raise ScenarioError(f"cannot parse trigger spec {spec!r}")
+    forms = [form for form in _TRIGGER_FIELDS if form in spec]
+    if len(forms) != 1:
+        raise ScenarioError(
+            f"trigger spec {spec!r} must use exactly one of "
+            f"{sorted(_TRIGGER_FIELDS)}"
+        )
+    (form,) = forms
+    unknown = set(spec) - _TRIGGER_FIELDS[form]
+    if unknown:
+        raise ScenarioError(
+            f"trigger spec {spec!r} has unknown fields {sorted(unknown)}"
+        )
+    if form == "at":
+        return AtTrigger(float(spec["at"]))
+    if form == "when":
+        return WhenTrigger(
+            spec["when"],
+            mode=str(spec.get("mode", "rising")),
+            repeat=bool(spec.get("repeat", False)),
+            hysteresis=(
+                float(spec["hysteresis"]) if "hysteresis" in spec else None
+            ),
+        )
+    if form == "after":
+        return AfterTrigger(
+            str(spec["after"]), delay_s=float(spec.get("delay", 0.0))
+        )
+    if form == "all_of":
+        return AllOfTrigger([_trigger_from_spec(s) for s in spec["all_of"]])
+    return AnyOfTrigger([_trigger_from_spec(s) for s in spec["any_of"]])

@@ -60,6 +60,65 @@ def test_cli_validate_reports_problems(tmp_path, capsys):
     assert "PROBLEM" in capsys.readouterr().out
 
 
+def test_cli_scenario_runs_spec_and_scores(tmp_path, capsys):
+    model_dir = str(tmp_path / "model")
+    main(["epic", model_dir])
+    spec_path = tmp_path / "drill.json"
+    spec_path.write_text(json.dumps({
+        "name": "cli-drill",
+        "duration_s": 3.0,
+        "phases": [
+            {
+                "name": "observe",
+                "trigger": {"at": 1.0},
+                "team": "white",
+                "actions": [
+                    {"record": {"key":
+                        "meas/EPIC/VL1/TransmissionBay/TBUS/vm_pu"}}
+                ],
+                "outcomes": [
+                    {"name": "grid healthy",
+                     "check":
+                        "meas/EPIC/VL1/TransmissionBay/TBUS/vm_pu > 0.9",
+                     "after_s": 0.5}
+                ],
+            }
+        ],
+    }))
+    report_path = tmp_path / "report.json"
+    assert main([
+        "scenario", model_dir, str(spec_path),
+        "--report-json", str(report_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "after-action report: cli-drill" in out
+    assert "verdict: PASS" in out
+    report = json.loads(report_path.read_text())
+    assert report["passed"] is True
+    assert report["phases"][0]["outcomes"][0]["status"] == "pass"
+
+
+def test_cli_scenario_failing_outcome_exits_nonzero(tmp_path, capsys):
+    model_dir = str(tmp_path / "model")
+    main(["epic", model_dir])
+    spec_path = tmp_path / "impossible.json"
+    spec_path.write_text(json.dumps({
+        "name": "impossible",
+        "duration_s": 2.0,
+        "phases": [
+            {
+                "name": "check",
+                "trigger": {"at": 0.5},
+                "outcomes": [
+                    {"name": "never true", "check": "meas/system/hz > 99"}
+                ],
+            }
+        ],
+    }))
+    assert main(["scenario", model_dir, str(spec_path)]) == 1
+    assert "verdict: FAIL" in capsys.readouterr().out
+
+
 def test_cli_missing_model_dir_is_clean_error(capsys):
     assert main(["validate", "/nonexistent/dir"]) == 1
     assert "error:" in capsys.readouterr().err
