@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Bench regression gate for the scalability trajectory.
+
+Compares ``per_tick_ms`` (the directly measured power-flow tick cost) of a
+fresh ``BENCH_scalability.json`` against a committed baseline and fails on
+a >30% regression at any compared point.  CI runs the smoke sweep (1-2
+substations), so those are the default keys.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py BASELINE CURRENT [KEY ...]
+
+Exit code 1 on regression (or a compared key missing from the current
+run); points present only in the baseline but not requested are ignored.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+#: Allowed growth of per_tick_ms before the gate trips.
+THRESHOLD = 1.30
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 3:
+        print(__doc__)
+        return 2
+    baseline_path, current_path = argv[1], argv[2]
+    keys = argv[3:] or ["1", "2"]
+    with open(baseline_path, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    with open(current_path, encoding="utf-8") as handle:
+        current = json.load(handle)
+
+    failures = []
+    print(f"{'point':>14}  {'baseline ms':>12}  {'current ms':>11}  ratio")
+    for key in keys:
+        if key not in baseline:
+            print(f"{key:>14}  (no baseline — skipped)")
+            continue
+        if key not in current:
+            failures.append(f"point {key!r} missing from {current_path}")
+            continue
+        old = float(baseline[key]["per_tick_ms"])
+        new = float(current[key]["per_tick_ms"])
+        ratio = new / old if old > 0 else float("inf")
+        verdict = "REGRESSION" if ratio > THRESHOLD else "ok"
+        print(f"{key:>14}  {old:>12.4f}  {new:>11.4f}  {ratio:>5.2f}x  {verdict}")
+        if ratio > THRESHOLD:
+            failures.append(
+                f"point {key}: per_tick_ms {old:.4f} -> {new:.4f} "
+                f"({ratio:.2f}x > {THRESHOLD:.2f}x)"
+            )
+    if failures:
+        print("\nbench regression gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nbench regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -15,16 +15,17 @@ import pytest
 from repro.epic import generate_epic_model, generate_scaleout_model
 from repro.sgml import SgmlModelSet, SgmlProcessor
 
-#: Scalability sweep results keyed by substation count; the sweep bench
-#: fills this via :func:`record_scalability_result` and the session-finish
-#: hook persists it so later PRs can track the perf trajectory.
-SCALABILITY_RESULTS: dict[int, dict] = {}
+#: Scalability sweep results keyed by substation count (int) or named
+#: sweep point (str, e.g. ``"5_event_storm"``); the sweep bench fills this
+#: via :func:`record_scalability_result` and the session-finish hook
+#: persists it so later PRs can track the perf trajectory.
+SCALABILITY_RESULTS: dict = {}
 
 _BENCH_JSON = Path(__file__).with_name("BENCH_scalability.json")
 
 
-def record_scalability_result(substations: int, result: dict) -> None:
-    SCALABILITY_RESULTS[substations] = result
+def record_scalability_result(point, result: dict) -> None:
+    SCALABILITY_RESULTS[point] = result
 
 
 def pytest_sessionfinish(session, exitstatus) -> None:
@@ -41,8 +42,8 @@ def pytest_sessionfinish(session, exitstatus) -> None:
             payload = {}
     payload.update(
         {
-            str(substations): SCALABILITY_RESULTS[substations]
-            for substations in sorted(SCALABILITY_RESULTS)
+            str(point): SCALABILITY_RESULTS[point]
+            for point in sorted(SCALABILITY_RESULTS, key=str)
         }
     )
     _BENCH_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -7,12 +7,17 @@ states and load profiles (§III-C).  This package reproduces exactly that
 contract:
 
 * :class:`Network` — component tables (buses, lines, transformers, loads,
-  generators, static generators, external grids, switches).
-* :func:`run_power_flow` — Newton-Raphson AC power flow returning a
+  generators, static generators, external grids, switches), carrying the
+  ``topology_rev`` / ``injection_rev`` counters mutation tracking maintains.
+* :class:`SolverSession` — incremental Newton-Raphson AC power flow: cached
+  topology/Ybus, warm-started iterations, revision-counter invalidation.
+* :func:`run_power_flow` — one-shot wrapper returning a
   :class:`PowerFlowResult` snapshot.
 * :class:`TimeSeriesRunner` — applies load profiles and scenario events
   (contingencies: generator loss, line loss, breaker operations) between
-  snapshots, as configured by the Power System Extra Config XML.
+  snapshots, as configured by the Power System Extra Config XML; unchanged
+  revisions make :meth:`TimeSeriesRunner.step` return the cached snapshot
+  without solving.
 
 Bus fusion across closed bus-bus switches matches Pandapower semantics, so a
 circuit-breaker open/close from the cyber side changes the next snapshot.
@@ -38,7 +43,7 @@ from repro.powersim.results import (
     PowerFlowResult,
     PowerFlowDiverged,
 )
-from repro.powersim.solver import run_power_flow
+from repro.powersim.solver import SolverSession, run_power_flow
 from repro.powersim.timeseries import (
     LoadProfile,
     ProfilePoint,
@@ -64,6 +69,7 @@ __all__ = [
     "ScenarioEvent",
     "Shunt",
     "SimulationScenario",
+    "SolverSession",
     "StaticGenerator",
     "Switch",
     "SwitchType",

@@ -4,6 +4,25 @@ Component tables follow Pandapower's element vocabulary (bus, line, trafo,
 load, gen, sgen, ext_grid, switch, shunt) so the SSD Parser's output maps
 one-to-one onto what the paper's artifact generates.  All quantities are in
 engineering units (kV, MW, MVAr, ohm); the solver converts to per-unit.
+
+Revision counters
+-----------------
+The network carries two monotonic counters that make solver-cache staleness
+a comparison instead of a guess:
+
+* ``topology_rev`` — bumped by anything that changes the solved structure:
+  switch positions, ``in_service`` flags, impedances, tap positions, and
+  adding elements.
+* ``injection_rev`` — bumped by changes that only move power setpoints:
+  load/sgen scaling and P/Q values, generator setpoints, slack voltage.
+
+Every element dataclass routes attribute writes through
+:class:`_RevisionTracked`, so the counters also catch direct mutation
+(``load.scaling = 2.0``) — not just the named helper methods.  The
+:class:`~repro.powersim.solver.SolverSession` compares these counters to
+decide which cache layers to rebuild; the
+:class:`~repro.powersim.timeseries.TimeSeriesRunner` compares them to skip
+the solve entirely.
 """
 
 from __future__ import annotations
@@ -24,8 +43,62 @@ class SwitchType(enum.Enum):
     BUS_LINE = "l"
 
 
+#: Fields whose mutation changes the solved structure (bus fusion, branch
+#: set, Ybus, slack/PV membership, energization).
+_TOPOLOGY_FIELDS = frozenset(
+    {
+        "in_service",
+        "closed",
+        "tap_pos",
+        "tap_step_percent",
+        "r_ohm",
+        "x_ohm",
+        "b_us",
+        "max_i_ka",
+        "vk_percent",
+        "vkr_percent",
+        "sn_mva",
+        "vn_kv",
+        "bus",
+        "other_bus",
+        "element",
+        "from_bus",
+        "to_bus",
+        "hv_bus",
+        "lv_bus",
+    }
+)
+
+#: Fields whose mutation only moves power injections / setpoints.
+_INJECTION_FIELDS = frozenset({"scaling", "p_mw", "q_mvar", "vm_pu", "va_degree"})
+
+_UNSET = object()
+
+
+class _RevisionTracked:
+    """Mixin: attribute writes bump the owning network's revision counters.
+
+    ``_net`` is attached by the :class:`Network` builders after construction;
+    while it is ``None`` (during dataclass ``__init__``) writes are untracked.
+    Writing an equal value is a no-op for the counters, so re-asserting a
+    breaker position or re-applying an unchanged profile never invalidates
+    solver caches.
+    """
+
+    _net: "Optional[Network]" = None
+
+    def __setattr__(self, name: str, value: object) -> None:
+        net = self._net
+        if net is not None and getattr(self, name, _UNSET) != value:
+            if name in _TOPOLOGY_FIELDS:
+                net.topology_rev += 1
+            elif name in _INJECTION_FIELDS:
+                net.injection_rev += 1
+        object.__setattr__(self, name, value)
+
+
 @dataclass
-class Bus:
+class Bus(_RevisionTracked):
     index: int
     name: str
     vn_kv: float
@@ -35,7 +108,7 @@ class Bus:
 
 
 @dataclass
-class Line:
+class Line(_RevisionTracked):
     index: int
     name: str
     from_bus: int
@@ -49,7 +122,7 @@ class Line:
 
 
 @dataclass
-class Transformer:
+class Transformer(_RevisionTracked):
     index: int
     name: str
     hv_bus: int
@@ -65,7 +138,7 @@ class Transformer:
 
 
 @dataclass
-class Load:
+class Load(_RevisionTracked):
     index: int
     name: str
     bus: int
@@ -76,7 +149,7 @@ class Load:
 
 
 @dataclass
-class StaticGenerator:
+class StaticGenerator(_RevisionTracked):
     """PQ-injection source: PV arrays, batteries, small DG (sgen)."""
 
     index: int
@@ -91,7 +164,7 @@ class StaticGenerator:
 
 
 @dataclass
-class Generator:
+class Generator(_RevisionTracked):
     """Voltage-controlled (PV-bus) machine."""
 
     index: int
@@ -105,7 +178,7 @@ class Generator:
 
 
 @dataclass
-class ExternalGrid:
+class ExternalGrid(_RevisionTracked):
     """Slack connection (infeeding line / upstream grid)."""
 
     index: int
@@ -117,7 +190,7 @@ class ExternalGrid:
 
 
 @dataclass
-class Shunt:
+class Shunt(_RevisionTracked):
     index: int
     name: str
     bus: int
@@ -127,7 +200,7 @@ class Shunt:
 
 
 @dataclass
-class Switch:
+class Switch(_RevisionTracked):
     """Circuit breaker / disconnector.
 
     ``BUS_BUS`` switches fuse their two buses when closed.  ``BUS_LINE``
@@ -163,6 +236,15 @@ class Network:
         self.shunts: list[Shunt] = []
         self.switches: list[Switch] = []
         self._bus_names: dict[str, int] = {}
+        #: Monotonic revision of the solved structure (see module docstring).
+        self.topology_rev = 0
+        #: Monotonic revision of power injections / setpoints.
+        self.injection_rev = 0
+
+    def _adopt(self, element: _RevisionTracked) -> None:
+        """Track mutations of ``element``; adding it is a topology change."""
+        element._net = self
+        self.topology_rev += 1
 
     # ------------------------------------------------------------------
     # Builders
@@ -173,7 +255,9 @@ class Network:
         if vn_kv <= 0:
             raise PowerSimError(f"bus {name!r}: vn_kv must be positive ({vn_kv})")
         index = len(self.buses)
-        self.buses.append(Bus(index=index, name=name, vn_kv=vn_kv, zone=zone))
+        bus = Bus(index=index, name=name, vn_kv=vn_kv, zone=zone)
+        self.buses.append(bus)
+        self._adopt(bus)
         self._bus_names[name] = index
         return index
 
@@ -208,6 +292,7 @@ class Network:
                 length_km=length_km,
             )
         )
+        self._adopt(self.lines[index])
         return index
 
     def add_transformer(
@@ -241,6 +326,7 @@ class Network:
                 tap_step_percent=tap_step_percent,
             )
         )
+        self._adopt(self.transformers[index])
         return index
 
     def add_load(
@@ -251,6 +337,7 @@ class Network:
         self.loads.append(
             Load(index=index, name=name, bus=bus, p_mw=p_mw, q_mvar=q_mvar)
         )
+        self._adopt(self.loads[index])
         return index
 
     def add_sgen(
@@ -268,6 +355,7 @@ class Network:
                 index=index, name=name, bus=bus, p_mw=p_mw, q_mvar=q_mvar, kind=kind
             )
         )
+        self._adopt(self.sgens[index])
         return index
 
     def add_gen(
@@ -278,6 +366,7 @@ class Network:
         self.gens.append(
             Generator(index=index, name=name, bus=bus, p_mw=p_mw, vm_pu=vm_pu)
         )
+        self._adopt(self.gens[index])
         return index
 
     def add_ext_grid(
@@ -290,6 +379,7 @@ class Network:
                 index=index, name=name, bus=bus, vm_pu=vm_pu, va_degree=va_degree
             )
         )
+        self._adopt(self.ext_grids[index])
         return index
 
     def add_shunt(
@@ -300,6 +390,7 @@ class Network:
         self.shunts.append(
             Shunt(index=index, name=name, bus=bus, q_mvar=q_mvar, p_mw=p_mw)
         )
+        self._adopt(self.shunts[index])
         return index
 
     def add_switch_bus_bus(
@@ -320,6 +411,7 @@ class Network:
                 closed=closed,
             )
         )
+        self._adopt(self.switches[index])
         return index
 
     def add_switch_bus_line(
@@ -339,6 +431,7 @@ class Network:
                 closed=closed,
             )
         )
+        self._adopt(self.switches[index])
         return index
 
     # ------------------------------------------------------------------

@@ -1,20 +1,43 @@
-"""Newton-Raphson AC power flow.
+"""Incremental Newton-Raphson AC power flow.
 
-Implementation notes
+Session architecture
 --------------------
-* Closed bus-bus switches fuse buses (union-find), so operating a circuit
-  breaker from the cyber side restructures the next snapshot — the coupling
-  mechanism the paper's case studies rely on.
+The solver is built around :class:`SolverSession`, a persistent object that
+caches everything derivable from the network across solves and rebuilds only
+the layers invalidated by the network's revision counters
+(:attr:`~repro.powersim.network.Network.topology_rev` /
+:attr:`~repro.powersim.network.Network.injection_rev`):
+
+* **Topology layer** (``topology_rev``): bus fusion across closed bus-bus
+  switches (union-find), the reduced branch list, node/solve index maps, the
+  energization BFS, the Ybus matrix, the PV/PQ/slack partition, and the
+  per-bus element groupings used for result assembly.  A precomputed
+  line-index → open-switch map replaces the per-line switch-table scan.
+* **Injection layer** (``injection_rev``): vectorized P/Q specification
+  arrays, voltage setpoints, per-bus injection totals, and the co-located
+  slack-node specs.
+* **Voltage layer**: the previous converged solution warm-starts the next
+  Newton-Raphson run (PV/slack magnitudes re-pinned to their setpoints), so
+  a quasi-steady-state re-solve converges in 1–2 iterations instead of the
+  4–6 a flat start needs.  A warm start that diverges is retried cold
+  before the divergence is reported.
+
+The Jacobian is assembled with vectorized elementwise products and
+preallocated block writes — no ``np.diag`` materialization and no
+``np.block`` — and the slack summary reuses the cached Ybus.
+
+Physics notes (unchanged from the original one-shot solver):
+
+* Closed bus-bus switches fuse buses, so operating a circuit breaker from
+  the cyber side restructures the next snapshot — the coupling mechanism
+  the paper's case studies rely on.
 * Per-unit conversion uses the system base (``Network.sn_mva``) and each
   bus's nominal voltage.  Transformers use the standard off-nominal-tap
   branch model.
-* Islands without an in-service external grid (or with all sources
-  disconnected) are de-energized: their buses report 0 voltage, which the
-  virtual IEDs observe as a dead bus — the physically meaningful outcome of
-  e.g. a breaker-open attack.
-* The Jacobian uses the standard complex-matrix formulation (dS/dVa,
-  dS/dVm).  Networks at cyber-range scale are small, so dense algebra is
-  both simplest and fastest.
+* Islands without an in-service external grid are de-energized: their buses
+  report 0 voltage, which the virtual IEDs observe as a dead bus.
+* :func:`run_power_flow` remains the one-shot entry point; it is a thin
+  wrapper that runs a fresh session once.
 """
 
 from __future__ import annotations
@@ -34,6 +57,10 @@ from repro.powersim.results import (
 
 # Bus type codes.
 _PQ, _PV, _SLACK = 0, 1, 2
+
+#: Convergence tolerance on the per-unit power mismatch.  Tight enough that
+#: warm- and cold-started solves agree to well below 1e-9 in voltage.
+_DEFAULT_TOL = 1e-10
 
 
 @dataclass
@@ -71,71 +98,401 @@ class _UnionFind:
             self.parent[max(ra, rb)] = min(ra, rb)
 
 
-def run_power_flow(
-    net: Network, tol: float = 1e-8, max_iter: int = 30
-) -> PowerFlowResult:
-    """Solve the network; returns a :class:`PowerFlowResult` snapshot."""
-    n_bus = len(net.buses)
-    if n_bus == 0:
-        raise PowerSimError("network has no buses")
+# ---------------------------------------------------------------------------
+# Topology layer — rebuilt when Network.topology_rev moves
+# ---------------------------------------------------------------------------
 
-    fused = _fuse_buses(net)
-    rep_of = [fused.find(i) for i in range(n_bus)]
-    branches = _build_branches(net, rep_of)
-    nodes = sorted({rep_of[b.index] for b in net.buses if b.in_service})
-    node_index = {rep: i for i, rep in enumerate(nodes)}
-    n = len(nodes)
 
-    p_spec, q_spec, bus_type, vm_spec, va_spec = _injections(net, rep_of, node_index)
-    energized = _energized_nodes(branches, node_index, bus_type, n)
+class _FlowCtx:
+    """Per-branch constants for flow reporting, resolved once per topology."""
 
-    # Restrict the solve to energized nodes.
-    solve_nodes = [i for i in range(n) if energized[i]]
-    solve_index = {node: k for k, node in enumerate(solve_nodes)}
-    ns = len(solve_nodes)
+    __slots__ = (
+        "branch",
+        "from_name",
+        "to_name",
+        "live",
+        "sa",
+        "sb",
+        "i_base_from",
+        "i_base_to",
+        "limit",
+    )
 
-    result = PowerFlowResult(converged=True, iterations=0)
-    vm = np.zeros(n)
-    va = np.zeros(n)
+    def __init__(self, net: Network, topo: "_Topology", branch: _Branch) -> None:
+        self.branch = branch
+        self.from_name = net.buses[branch.from_bus].name
+        self.to_name = net.buses[branch.to_bus].name
+        a = topo.node_index[branch.from_node]
+        b = topo.node_index[branch.to_node]
+        self.live = bool(topo.energized[a] and topo.energized[b])
+        self.sa = topo.solve_index.get(a, -1)
+        self.sb = topo.solve_index.get(b, -1)
+        sqrt3 = math.sqrt(3.0)
+        self.i_base_from = net.sn_mva / (sqrt3 * net.buses[branch.from_bus].vn_kv)
+        self.i_base_to = net.sn_mva / (sqrt3 * net.buses[branch.to_bus].vn_kv)
+        if branch.kind == "line":
+            self.limit = branch.max_i_ka if branch.max_i_ka > 0 else 1.0
+        else:
+            self.limit = branch.sn_mva
 
-    if ns:
-        ybus = _build_ybus(net, branches, node_index, solve_index, ns)
-        v0 = np.ones(ns, dtype=complex)
-        types = np.array([bus_type[i] for i in solve_nodes])
-        for k, node in enumerate(solve_nodes):
-            if bus_type[node] in (_PV, _SLACK):
-                v0[k] = vm_spec[node] * np.exp(1j * va_spec[node])
-        s_spec = np.array(
-            [p_spec[i] + 1j * q_spec[i] for i in solve_nodes], dtype=complex
+
+class _Topology:
+    """Everything derivable from switch states, service flags, impedances."""
+
+    def __init__(self, net: Network) -> None:
+        n_bus = len(net.buses)
+        fused = _fuse_buses(net)
+        self.rep_of = [fused.find(i) for i in range(n_bus)]
+
+        # Line liveness: one pass over the switch table builds the
+        # line-index → open-bus-line-switch map (instead of scanning all
+        # switches once per line).
+        blocked: set[int] = set()
+        for switch in net.switches:
+            if switch.type is SwitchType.BUS_LINE and not switch.closed:
+                blocked.add(switch.element)
+        self.line_live = [
+            line.in_service
+            and net.buses[line.from_bus].in_service
+            and net.buses[line.to_bus].in_service
+            and line.index not in blocked
+            for line in net.lines
+        ]
+
+        self.branches = _build_branches(net, self.rep_of, self.line_live)
+        nodes = sorted(
+            {self.rep_of[bus.index] for bus in net.buses if bus.in_service}
         )
-        voltages, iterations = _newton_raphson(
-            ybus, v0, s_spec, types, tol, max_iter
-        )
-        result.iterations = iterations
-        for k, node in enumerate(solve_nodes):
-            vm[node] = abs(voltages[k])
-            va[node] = math.degrees(np.angle(voltages[k]))
-    else:
-        voltages = np.zeros(0, dtype=complex)
+        self.node_index = {rep: i for i, rep in enumerate(nodes)}
+        self.n = len(nodes)
+        n = self.n
 
-    _fill_bus_results(net, result, rep_of, node_index, energized, vm, va)
-    _fill_branch_flows(
-        net, result, branches, node_index, solve_index, energized, voltages
-    )
-    _fill_slack_summary(
-        net, result, rep_of, node_index, solve_index, energized, voltages, branches
-    )
-    result._total_load_p = sum(
-        load.p_mw * load.scaling
-        for load in net.loads
-        if load.in_service
-        and energized.get(node_index.get(rep_of[load.bus], -1), False)
-    )
-    return result
+        self.bus_node = np.array(
+            [
+                self.node_index[self.rep_of[bus.index]] if bus.in_service else -1
+                for bus in net.buses
+            ],
+            dtype=np.intp,
+        )
+
+        def node_of(bus: int) -> int:
+            return self.node_index[self.rep_of[bus]]
+
+        def alive(element) -> bool:
+            return element.in_service and net.buses[element.bus].in_service
+
+        # Live element groupings (service state is topology-class, so these
+        # survive pure injection changes).
+        self.live_loads = [load for load in net.loads if alive(load)]
+        self.live_sgens = [sgen for sgen in net.sgens if alive(sgen)]
+        self.live_shunts = [shunt for shunt in net.shunts if alive(shunt)]
+        self.live_gens = [gen for gen in net.gens if alive(gen)]
+        self.live_grids = [grid for grid in net.ext_grids if alive(grid)]
+        intp = np.intp
+        self.load_bus = np.array([l.bus for l in self.live_loads], dtype=intp)
+        self.sgen_bus = np.array([s.bus for s in self.live_sgens], dtype=intp)
+        self.gen_bus = np.array([g.bus for g in self.live_gens], dtype=intp)
+        self.load_node = np.array(
+            [node_of(l.bus) for l in self.live_loads], dtype=intp
+        )
+        self.sgen_node = np.array(
+            [node_of(s.bus) for s in self.live_sgens], dtype=intp
+        )
+        self.shunt_node = np.array(
+            [node_of(s.bus) for s in self.live_shunts], dtype=intp
+        )
+        self.gen_node = np.array(
+            [node_of(g.bus) for g in self.live_gens], dtype=intp
+        )
+        self.grid_node = np.array(
+            [node_of(g.bus) for g in self.live_grids], dtype=intp
+        )
+
+        # PV / slack membership (values of the setpoints live in the
+        # injection layer; membership is structural).
+        bus_type = np.full(n, _PQ)
+        bus_type[self.gen_node] = _PV
+        bus_type[self.grid_node] = _SLACK
+        self.bus_type = bus_type
+
+        # Energization BFS from slack nodes over in-service branches.
+        adjacency: list[list[int]] = [[] for _ in range(n)]
+        for branch in self.branches:
+            a = self.node_index[branch.from_node]
+            b = self.node_index[branch.to_node]
+            adjacency[a].append(b)
+            adjacency[b].append(a)
+        energized = np.zeros(n, dtype=bool)
+        frontier = [i for i in range(n) if bus_type[i] == _SLACK]
+        energized[frontier] = True
+        while frontier:
+            current = frontier.pop()
+            for neighbour in adjacency[current]:
+                if not energized[neighbour]:
+                    energized[neighbour] = True
+                    frontier.append(neighbour)
+        self.energized = energized
+
+        self.solve_nodes = np.flatnonzero(energized)
+        self.solve_index = {
+            int(node): k for k, node in enumerate(self.solve_nodes)
+        }
+        self.ns = int(self.solve_nodes.size)
+        self.ybus = _build_ybus(
+            net, self.branches, self.node_index, self.solve_index, self.ns
+        )
+        self.types = bus_type[self.solve_nodes]
+        self.pv = np.flatnonzero(self.types == _PV)
+        self.pq = np.flatnonzero(self.types == _PQ)
+        self.setpoint_mask = self.types != _PQ  # PV + slack: pinned |V|
+        self.slack_mask = self.types == _SLACK
+
+        # Distinct slack nodes present in the solve space, as
+        # (node, solve position) pairs for the slack summary.
+        slack_seen: set[int] = set()
+        self.slack_solve: list[tuple[int, int]] = []
+        for node in self.grid_node:
+            node = int(node)
+            if node in slack_seen:
+                continue
+            slack_seen.add(node)
+            if energized[node]:
+                self.slack_solve.append((node, self.solve_index[node]))
+
+        # Branch-flow contexts, grouped for report assembly.
+        self.line_ctx: dict[str, _FlowCtx] = {}
+        self.trafo_ctx: dict[str, _FlowCtx] = {}
+        for branch in self.branches:
+            ctx = _FlowCtx(net, self, branch)
+            if branch.kind == "line":
+                self.line_ctx[branch.name] = ctx
+            else:
+                self.trafo_ctx[branch.name] = ctx
 
 
 # ---------------------------------------------------------------------------
-# Topology processing
+# Injection layer — rebuilt when Network.injection_rev (or topology) moves
+# ---------------------------------------------------------------------------
+
+
+class _Injections:
+    """Vectorized P/Q/V specification arrays for the current setpoints."""
+
+    def __init__(self, net: Network, topo: _Topology) -> None:
+        sn = net.sn_mva
+        n = topo.n
+        self.load_p = np.array(
+            [l.p_mw * l.scaling for l in topo.live_loads], dtype=float
+        )
+        self.load_q = np.array(
+            [l.q_mvar * l.scaling for l in topo.live_loads], dtype=float
+        )
+        self.sgen_p = np.array(
+            [s.p_mw * s.scaling for s in topo.live_sgens], dtype=float
+        )
+        self.sgen_q = np.array(
+            [s.q_mvar * s.scaling for s in topo.live_sgens], dtype=float
+        )
+        shunt_p = np.array([s.p_mw for s in topo.live_shunts], dtype=float)
+        shunt_q = np.array([s.q_mvar for s in topo.live_shunts], dtype=float)
+        self.gen_p = np.array([g.p_mw for g in topo.live_gens], dtype=float)
+
+        p_spec = np.zeros(n)
+        q_spec = np.zeros(n)
+        np.subtract.at(p_spec, topo.load_node, self.load_p / sn)
+        np.subtract.at(q_spec, topo.load_node, self.load_q / sn)
+        np.add.at(p_spec, topo.sgen_node, self.sgen_p / sn)
+        np.add.at(q_spec, topo.sgen_node, self.sgen_q / sn)
+        np.subtract.at(p_spec, topo.shunt_node, shunt_p / sn)
+        np.subtract.at(q_spec, topo.shunt_node, shunt_q / sn)
+        np.add.at(p_spec, topo.gen_node, self.gen_p / sn)
+
+        vm_spec = np.ones(n)
+        va_spec = np.zeros(n)
+        for gen in topo.live_gens:
+            vm_spec[topo.node_index[topo.rep_of[gen.bus]]] = gen.vm_pu
+        for grid in topo.live_grids:
+            idx = topo.node_index[topo.rep_of[grid.bus]]
+            vm_spec[idx] = grid.vm_pu
+            va_spec[idx] = math.radians(grid.va_degree)
+
+        sel = topo.solve_nodes
+        self.s_spec = p_spec[sel] + 1j * q_spec[sel]
+        self.vm_solve = vm_spec[sel]
+        self.va_solve = va_spec[sel]
+
+        # Per-bus injection totals (MW/MVAr) for bus-result assembly — kills
+        # the O(buses × elements) scan of the original solver.
+        n_bus = len(net.buses)
+        bus_p = np.zeros(n_bus)
+        bus_q = np.zeros(n_bus)
+        np.subtract.at(bus_p, topo.load_bus, self.load_p)
+        np.subtract.at(bus_q, topo.load_bus, self.load_q)
+        np.add.at(bus_p, topo.sgen_bus, self.sgen_p)
+        np.add.at(bus_q, topo.sgen_bus, self.sgen_q)
+        np.add.at(bus_p, topo.gen_bus, self.gen_p)
+        self.bus_p = bus_p
+        self.bus_q = bus_q
+
+        # Specified injections co-located at each node (MW, complex) —
+        # subtracted from the computed slack-node injection.  Shunts are
+        # deliberately excluded: their consumption is physics, not spec.
+        slack_spec = np.zeros(n, dtype=complex)
+        np.add.at(slack_spec, topo.load_node, -(self.load_p + 1j * self.load_q))
+        np.add.at(slack_spec, topo.sgen_node, self.sgen_p + 1j * self.sgen_q)
+        np.add.at(slack_spec, topo.gen_node, self.gen_p.astype(complex))
+        self.slack_spec = slack_spec
+
+        if self.load_p.size:
+            on = topo.energized[topo.load_node]
+            self.total_load_p = float(self.load_p[on].sum())
+        else:
+            self.total_load_p = 0.0
+
+    def flat_start(self, topo: _Topology) -> np.ndarray:
+        v0 = np.ones(topo.ns, dtype=complex)
+        mask = topo.setpoint_mask
+        v0[mask] = self.vm_solve[mask] * np.exp(1j * self.va_solve[mask])
+        return v0
+
+    def repin(self, voltages: np.ndarray, topo: _Topology) -> np.ndarray:
+        """Warm-start vector: previous solution with setpoints re-pinned."""
+        vm = np.abs(voltages)
+        va = np.angle(voltages)
+        vm[topo.setpoint_mask] = self.vm_solve[topo.setpoint_mask]
+        va[topo.slack_mask] = self.va_solve[topo.slack_mask]
+        return vm * np.exp(1j * va)
+
+
+# ---------------------------------------------------------------------------
+# Solver session
+# ---------------------------------------------------------------------------
+
+
+class SolverSession:
+    """Persistent incremental solver bound to one :class:`Network`.
+
+    Call :meth:`solve` each time a fresh snapshot is needed; the session
+    compares the network's revision counters against the revisions its
+    caches were built from and rebuilds only what moved.  The previous
+    voltage solution warm-starts Newton-Raphson whenever the topology is
+    unchanged.
+
+    Counters exposed for benches and the data-plane stats:
+
+    * ``solve_count`` — snapshots produced,
+    * ``topology_rebuilds`` / ``injection_rebuilds`` — cache-layer misses,
+    * ``total_iterations`` — Newton-Raphson iterations across all solves,
+    * ``warm_starts`` / ``warm_iterations`` — warm-started solves and their
+      (much smaller) iteration cost,
+    * ``warm_retries`` — warm starts that diverged and were re-run cold.
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        tol: float = _DEFAULT_TOL,
+        max_iter: int = 30,
+    ) -> None:
+        self.net = net
+        self.tol = tol
+        self.max_iter = max_iter
+        self._topo: _Topology | None = None
+        self._inj: _Injections | None = None
+        self._topo_rev = -1
+        self._inj_rev = -1
+        self._prev_v: np.ndarray | None = None
+        self.last_result: PowerFlowResult | None = None
+        self.solve_count = 0
+        self.topology_rebuilds = 0
+        self.injection_rebuilds = 0
+        self.total_iterations = 0
+        self.warm_starts = 0
+        self.warm_iterations = 0
+        self.warm_retries = 0
+
+    # ------------------------------------------------------------------
+    def _refresh_caches(self) -> tuple[_Topology, _Injections]:
+        net = self.net
+        if self._topo is None or net.topology_rev != self._topo_rev:
+            self._topo = _Topology(net)
+            self._inj = _Injections(net, self._topo)
+            self._topo_rev = net.topology_rev
+            self._inj_rev = net.injection_rev
+            self._prev_v = None  # solve space may have changed shape/meaning
+            self.topology_rebuilds += 1
+            self.injection_rebuilds += 1
+        elif self._inj is None or net.injection_rev != self._inj_rev:
+            self._inj = _Injections(net, self._topo)
+            self._inj_rev = net.injection_rev
+            self.injection_rebuilds += 1
+        return self._topo, self._inj
+
+    # ------------------------------------------------------------------
+    def solve(self) -> PowerFlowResult:
+        """Produce a :class:`PowerFlowResult` for the network's current state."""
+        net = self.net
+        if not net.buses:
+            raise PowerSimError("network has no buses")
+        topo, inj = self._refresh_caches()
+
+        result = PowerFlowResult(converged=True, iterations=0)
+        vm = np.zeros(topo.n)
+        va = np.zeros(topo.n)
+        if topo.ns:
+            warm = self._prev_v is not None and self._prev_v.size == topo.ns
+            v0 = inj.repin(self._prev_v, topo) if warm else inj.flat_start(topo)
+            try:
+                voltages, iterations = _newton_raphson(
+                    topo.ybus, v0, inj.s_spec, topo.pv, topo.pq,
+                    self.tol, self.max_iter,
+                )
+            except PowerFlowDiverged:
+                if not warm:
+                    self._prev_v = None
+                    raise
+                # A bad warm start must never report divergence a cold
+                # start would have survived.
+                self.warm_retries += 1
+                warm = False
+                self._prev_v = None
+                voltages, iterations = _newton_raphson(
+                    topo.ybus, inj.flat_start(topo), inj.s_spec,
+                    topo.pv, topo.pq, self.tol, self.max_iter,
+                )
+            self._prev_v = voltages
+            self.total_iterations += iterations
+            if warm:
+                self.warm_starts += 1
+                self.warm_iterations += iterations
+            result.iterations = iterations
+            vm[topo.solve_nodes] = np.abs(voltages)
+            va[topo.solve_nodes] = np.degrees(np.angle(voltages))
+        else:
+            voltages = np.zeros(0, dtype=complex)
+
+        _fill_bus_results(net, result, topo, inj, vm, va)
+        _fill_branch_flows(net, result, topo, voltages)
+        _fill_slack_summary(net, result, topo, inj, voltages)
+        result._total_load_p = inj.total_load_p
+        self.solve_count += 1
+        self.last_result = result
+        return result
+
+
+def run_power_flow(
+    net: Network, tol: float = _DEFAULT_TOL, max_iter: int = 30
+) -> PowerFlowResult:
+    """One-shot solve; returns a :class:`PowerFlowResult` snapshot.
+
+    Equivalent to running a fresh :class:`SolverSession` once — callers that
+    re-solve the same network should hold a session instead.
+    """
+    return SolverSession(net, tol=tol, max_iter=max_iter).solve()
+
+
+# ---------------------------------------------------------------------------
+# Topology processing helpers
 # ---------------------------------------------------------------------------
 
 
@@ -151,28 +508,12 @@ def _fuse_buses(net: Network) -> _UnionFind:
     return fused
 
 
-def _line_in_service(net: Network, line_index: int) -> bool:
-    line = net.lines[line_index]
-    if not line.in_service:
-        return False
-    if not net.buses[line.from_bus].in_service:
-        return False
-    if not net.buses[line.to_bus].in_service:
-        return False
-    for switch in net.switches:
-        if (
-            switch.type is SwitchType.BUS_LINE
-            and switch.element == line_index
-            and not switch.closed
-        ):
-            return False
-    return True
-
-
-def _build_branches(net: Network, rep_of: list[int]) -> list[_Branch]:
+def _build_branches(
+    net: Network, rep_of: list[int], line_live: list[bool]
+) -> list[_Branch]:
     branches: list[_Branch] = []
     for line in net.lines:
-        if not _line_in_service(net, line.index):
+        if not line_live[line.index]:
             continue
         from_node, to_node = rep_of[line.from_bus], rep_of[line.to_bus]
         if from_node == to_node:
@@ -226,73 +567,6 @@ def _build_branches(net: Network, rep_of: list[int]) -> list[_Branch]:
     return branches
 
 
-def _injections(
-    net: Network, rep_of: list[int], node_index: dict[int, int]
-) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-    n = len(node_index)
-    p_spec = np.zeros(n)
-    q_spec = np.zeros(n)
-    bus_type = np.full(n, _PQ)
-    vm_spec = np.ones(n)
-    va_spec = np.zeros(n)
-
-    def node(bus: int) -> int:
-        return node_index[rep_of[bus]]
-
-    for load in net.loads:
-        if load.in_service and net.buses[load.bus].in_service:
-            p_spec[node(load.bus)] -= load.p_mw * load.scaling / net.sn_mva
-            q_spec[node(load.bus)] -= load.q_mvar * load.scaling / net.sn_mva
-    for sgen in net.sgens:
-        if sgen.in_service and net.buses[sgen.bus].in_service:
-            p_spec[node(sgen.bus)] += sgen.p_mw * sgen.scaling / net.sn_mva
-            q_spec[node(sgen.bus)] += sgen.q_mvar * sgen.scaling / net.sn_mva
-    for shunt in net.shunts:
-        if shunt.in_service and net.buses[shunt.bus].in_service:
-            p_spec[node(shunt.bus)] -= shunt.p_mw / net.sn_mva
-            q_spec[node(shunt.bus)] -= shunt.q_mvar / net.sn_mva
-    for gen in net.gens:
-        if gen.in_service and net.buses[gen.bus].in_service:
-            idx = node(gen.bus)
-            p_spec[idx] += gen.p_mw / net.sn_mva
-            if bus_type[idx] != _SLACK:
-                bus_type[idx] = _PV
-            vm_spec[idx] = gen.vm_pu
-    for grid in net.ext_grids:
-        if grid.in_service and net.buses[grid.bus].in_service:
-            idx = node(grid.bus)
-            vm_spec[idx] = grid.vm_pu
-            va_spec[idx] = math.radians(grid.va_degree)
-            bus_type[idx] = _SLACK
-    return p_spec, q_spec, bus_type, vm_spec, va_spec
-
-
-def _energized_nodes(
-    branches: list[_Branch],
-    node_index: dict[int, int],
-    bus_type: np.ndarray,
-    n: int,
-) -> dict[int, bool]:
-    """BFS from slack nodes over in-service branches."""
-    adjacency: dict[int, list[int]] = {i: [] for i in range(n)}
-    for branch in branches:
-        a = node_index[branch.from_node]
-        b = node_index[branch.to_node]
-        adjacency[a].append(b)
-        adjacency[b].append(a)
-    energized = {i: False for i in range(n)}
-    frontier = [i for i in range(n) if bus_type[i] == _SLACK]
-    for start in frontier:
-        energized[start] = True
-    while frontier:
-        current = frontier.pop()
-        for neighbour in adjacency[current]:
-            if not energized[neighbour]:
-                energized[neighbour] = True
-                frontier.append(neighbour)
-    return energized
-
-
 def _build_ybus(
     net: Network,
     branches: list[_Branch],
@@ -326,49 +600,57 @@ def _newton_raphson(
     ybus: np.ndarray,
     v0: np.ndarray,
     s_spec: np.ndarray,
-    types: np.ndarray,
+    pv: np.ndarray,
+    pq: np.ndarray,
     tol: float,
     max_iter: int,
 ) -> tuple[np.ndarray, int]:
     v = v0.copy()
-    pv = np.flatnonzero(types == _PV)
-    pq = np.flatnonzero(types == _PQ)
     pvpq = np.concatenate([pv, pq])
-
     if pvpq.size == 0:
         return v, 0
 
+    n = v.size
+    npvpq = pvpq.size
+    npq = pq.size
+    diag = np.arange(n)
+    rows_pvpq = pvpq[:, None]
+    rows_pq = pq[:, None]
+    cols_pvpq = pvpq[None, :]
+    cols_pq = pq[None, :]
+    jacobian = np.empty((npvpq + npq, npvpq + npq))
+    f = np.empty(0)
+
     for iteration in range(1, max_iter + 1):
         i_bus = ybus @ v
-        s_calc = v * np.conj(i_bus)
-        mismatch = s_calc - s_spec
+        mismatch = v * np.conj(i_bus) - s_spec
         f = np.concatenate([mismatch[pvpq].real, mismatch[pq].imag])
         if np.max(np.abs(f)) < tol:
             return v, iteration - 1
 
-        diag_v = np.diag(v)
-        diag_i = np.diag(i_bus)
-        v_norm = v / np.abs(v)
-        diag_vnorm = np.diag(v_norm)
-        ds_dva = 1j * diag_v @ np.conj(diag_i - ybus @ diag_v)
-        ds_dvm = diag_v @ np.conj(ybus @ diag_vnorm) + np.conj(diag_i) @ diag_vnorm
+        # dS/dVa = j·diag(V)·conj(diag(I) − Y·diag(V)) without forming any
+        # diagonal matrix: row/column scaling plus a diagonal correction.
+        m = ybus * (-v)[None, :]
+        m[diag, diag] += i_bus
+        ds_dva = (1j * v)[:, None] * np.conj(m)
+        vnorm = v / np.abs(v)
+        ds_dvm = v[:, None] * np.conj(ybus * vnorm[None, :])
+        ds_dvm[diag, diag] += np.conj(i_bus) * vnorm
 
-        j11 = ds_dva[np.ix_(pvpq, pvpq)].real
-        j12 = ds_dvm[np.ix_(pvpq, pq)].real
-        j21 = ds_dva[np.ix_(pq, pvpq)].imag
-        j22 = ds_dvm[np.ix_(pq, pq)].imag
-        jacobian = np.block([[j11, j12], [j21, j22]])
+        jacobian[:npvpq, :npvpq] = ds_dva[rows_pvpq, cols_pvpq].real
+        jacobian[:npvpq, npvpq:] = ds_dvm[rows_pvpq, cols_pq].real
+        jacobian[npvpq:, :npvpq] = ds_dva[rows_pq, cols_pvpq].imag
+        jacobian[npvpq:, npvpq:] = ds_dvm[rows_pq, cols_pq].imag
 
         try:
             dx = np.linalg.solve(jacobian, f)
         except np.linalg.LinAlgError as exc:
             raise PowerFlowDiverged(f"singular Jacobian: {exc}") from exc
 
-        n_pvpq = pvpq.size
         va = np.angle(v)
         vm = np.abs(v)
-        va[pvpq] -= dx[:n_pvpq]
-        vm[pq] -= dx[n_pvpq:]
+        va[pvpq] -= dx[:npvpq]
+        vm[pq] -= dx[npvpq:]
         v = vm * np.exp(1j * va)
 
     raise PowerFlowDiverged(
@@ -385,109 +667,90 @@ def _newton_raphson(
 def _fill_bus_results(
     net: Network,
     result: PowerFlowResult,
-    rep_of: list[int],
-    node_index: dict[int, int],
-    energized: dict[int, bool],
+    topo: _Topology,
+    inj: _Injections,
     vm: np.ndarray,
     va: np.ndarray,
 ) -> None:
+    bus_node = topo.bus_node
+    energized = topo.energized
+    bus_p = inj.bus_p
+    bus_q = inj.bus_q
+    buses = result.buses
     for bus in net.buses:
-        if not bus.in_service:
-            result.buses[bus.name] = BusResult(
+        node = bus_node[bus.index]
+        if node < 0:  # out of service
+            buses[bus.name] = BusResult(
                 name=bus.name, vm_pu=0.0, va_degree=0.0, p_mw=0.0, q_mvar=0.0,
                 energized=False,
             )
             continue
-        node = node_index[rep_of[bus.index]]
-        is_on = energized[node]
-        p_inj = 0.0
-        q_inj = 0.0
-        for load in net.loads:
-            if load.bus == bus.index and load.in_service:
-                p_inj -= load.p_mw * load.scaling
-                q_inj -= load.q_mvar * load.scaling
-        for sgen in net.sgens:
-            if sgen.bus == bus.index and sgen.in_service:
-                p_inj += sgen.p_mw * sgen.scaling
-                q_inj += sgen.q_mvar * sgen.scaling
-        for gen in net.gens:
-            if gen.bus == bus.index and gen.in_service:
-                p_inj += gen.p_mw
-        result.buses[bus.name] = BusResult(
+        is_on = bool(energized[node])
+        buses[bus.name] = BusResult(
             name=bus.name,
             vm_pu=float(vm[node]) if is_on else 0.0,
             va_degree=float(va[node]) if is_on else 0.0,
-            p_mw=p_inj if is_on else 0.0,
-            q_mvar=q_inj if is_on else 0.0,
+            p_mw=float(bus_p[bus.index]) if is_on else 0.0,
+            q_mvar=float(bus_q[bus.index]) if is_on else 0.0,
             energized=is_on,
         )
+
+
+def _flow_for(ctx: _FlowCtx, voltages: np.ndarray, sn_mva: float) -> BranchFlow:
+    branch = ctx.branch
+    if not ctx.live:
+        return _dead_flow(branch.name, ctx.from_name, ctx.to_name, in_service=True)
+    vf = complex(voltages[ctx.sa])
+    vt = complex(voltages[ctx.sb])
+    ys = branch.ys
+    bc = 1j * branch.b_charging / 2.0
+    tap = branch.tap
+    i_from = (ys + bc) / (tap * tap) * vf - ys / tap * vt
+    i_to = (ys + bc) * vt - ys / tap * vf
+    s_from = vf * i_from.conjugate() * sn_mva
+    s_to = vt * i_to.conjugate() * sn_mva
+    i_from_ka = abs(i_from) * ctx.i_base_from
+    i_to_ka = abs(i_to) * ctx.i_base_to
+    if branch.kind == "line":
+        loading = max(i_from_ka, i_to_ka) / ctx.limit * 100.0
+    else:
+        loading = max(abs(s_from), abs(s_to)) / ctx.limit * 100.0
+    return BranchFlow(
+        name=branch.name,
+        from_bus=ctx.from_name,
+        to_bus=ctx.to_name,
+        p_from_mw=s_from.real,
+        q_from_mvar=s_from.imag,
+        p_to_mw=s_to.real,
+        q_to_mvar=s_to.imag,
+        i_from_ka=i_from_ka,
+        i_to_ka=i_to_ka,
+        loading_percent=loading,
+    )
 
 
 def _fill_branch_flows(
     net: Network,
     result: PowerFlowResult,
-    branches: list[_Branch],
-    node_index: dict[int, int],
-    solve_index: dict[int, int],
-    energized: dict[int, bool],
+    topo: _Topology,
     voltages: np.ndarray,
 ) -> None:
-    live = {branch.name: branch for branch in branches}
-
-    def flow_for(branch: _Branch) -> BranchFlow:
-        a = node_index[branch.from_node]
-        b = node_index[branch.to_node]
-        from_name = net.buses[branch.from_bus].name
-        to_name = net.buses[branch.to_bus].name
-        if not (energized.get(a) and energized.get(b)):
-            return _dead_flow(branch.name, from_name, to_name, in_service=True)
-        vf = voltages[solve_index[a]]
-        vt = voltages[solve_index[b]]
-        ys = branch.ys
-        bc = 1j * branch.b_charging / 2.0
-        tap = branch.tap
-        i_from = (ys + bc) / (tap * tap) * vf - ys / tap * vt
-        i_to = (ys + bc) * vt - ys / tap * vf
-        s_from = vf * np.conj(i_from) * net.sn_mva
-        s_to = vt * np.conj(i_to) * net.sn_mva
-        i_base_from = net.sn_mva / (math.sqrt(3.0) * net.buses[branch.from_bus].vn_kv)
-        i_base_to = net.sn_mva / (math.sqrt(3.0) * net.buses[branch.to_bus].vn_kv)
-        i_from_ka = abs(i_from) * i_base_from
-        i_to_ka = abs(i_to) * i_base_to
-        if branch.kind == "line":
-            limit = branch.max_i_ka if branch.max_i_ka > 0 else 1.0
-            loading = max(i_from_ka, i_to_ka) / limit * 100.0
-        else:
-            loading = max(abs(s_from), abs(s_to)) / branch.sn_mva * 100.0
-        return BranchFlow(
-            name=branch.name,
-            from_bus=from_name,
-            to_bus=to_name,
-            p_from_mw=float(s_from.real),
-            q_from_mvar=float(s_from.imag),
-            p_to_mw=float(s_to.real),
-            q_to_mvar=float(s_to.imag),
-            i_from_ka=float(i_from_ka),
-            i_to_ka=float(i_to_ka),
-            loading_percent=float(loading),
-        )
-
+    sn = net.sn_mva
     for line in net.lines:
-        branch = live.get(line.name)
-        if branch is not None and branch.kind == "line":
-            result.lines[line.name] = flow_for(branch)
+        ctx = topo.line_ctx.get(line.name)
+        if ctx is not None:
+            result.lines[line.name] = _flow_for(ctx, voltages, sn)
         else:
-            in_service = _line_in_service(net, line.index)
             result.lines[line.name] = _dead_flow(
                 line.name,
                 net.buses[line.from_bus].name,
                 net.buses[line.to_bus].name,
-                in_service=in_service,
+                in_service=topo.line_live[line.index],
             )
     for trafo in net.transformers:
-        branch = live.get(trafo.name)
-        if branch is not None and branch.kind == "trafo":
-            result.transformers[trafo.name] = flow_for(branch)
+        ctx = topo.trafo_ctx.get(trafo.name)
+        if ctx is not None:
+            result.transformers[trafo.name] = _flow_for(ctx, voltages, sn)
         else:
             result.transformers[trafo.name] = _dead_flow(
                 trafo.name,
@@ -518,39 +781,22 @@ def _dead_flow(
 def _fill_slack_summary(
     net: Network,
     result: PowerFlowResult,
-    rep_of: list[int],
-    node_index: dict[int, int],
-    solve_index: dict[int, int],
-    energized: dict[int, bool],
+    topo: _Topology,
+    inj: _Injections,
     voltages: np.ndarray,
-    branches: list[_Branch],
 ) -> None:
-    """Slack power = total losses + load - specified generation."""
+    """Slack power = total losses + load - specified generation.
+
+    Reuses the session's cached Ybus — the original solver rebuilt it here.
+    """
     if voltages.size == 0:
         return
-    ybus = _build_ybus(net, branches, node_index, solve_index, len(voltages))
-    s_calc = voltages * np.conj(ybus @ voltages) * net.sn_mva
+    s_calc = voltages * np.conj(topo.ybus @ voltages) * net.sn_mva
     slack_p = 0.0
     slack_q = 0.0
-    slack_nodes = set()
-    for grid in net.ext_grids:
-        if grid.in_service and net.buses[grid.bus].in_service:
-            node = node_index[rep_of[grid.bus]]
-            if energized.get(node) and node in solve_index:
-                slack_nodes.add(node)
-    for node in slack_nodes:
-        injected = s_calc[solve_index[node]]
-        # Subtract the other specified injections co-located at the node.
-        spec = 0.0 + 0.0j
-        for load in net.loads:
-            if load.in_service and node_index.get(rep_of[load.bus]) == node:
-                spec -= complex(load.p_mw * load.scaling, load.q_mvar * load.scaling)
-        for sgen in net.sgens:
-            if sgen.in_service and node_index.get(rep_of[sgen.bus]) == node:
-                spec += complex(sgen.p_mw * sgen.scaling, sgen.q_mvar * sgen.scaling)
-        for gen in net.gens:
-            if gen.in_service and node_index.get(rep_of[gen.bus]) == node:
-                spec += complex(gen.p_mw, 0.0)
+    for node, k in topo.slack_solve:
+        injected = s_calc[k]
+        spec = inj.slack_spec[node]
         slack_p += injected.real - spec.real
         slack_q += injected.imag - spec.imag
     result.slack_p_mw = slack_p

@@ -6,17 +6,30 @@ simulation model.  The power system simulator in the cyber range reads these
 parameters at each step of the simulation."  This module implements that
 runtime: a :class:`SimulationScenario` holds profiles and events; the
 :class:`TimeSeriesRunner` applies them before each periodic solve.
+
+The runner owns a persistent :class:`~repro.powersim.solver.SolverSession`
+and checks the network's revision counters after applying scenario state:
+when neither the topology nor the injections moved since the last solve,
+:meth:`TimeSeriesRunner.step` returns the cached snapshot without solving —
+a steady-state tick costs a counter compare.  Profile targets are bound to
+their element objects at construction, so applying profiles never scans the
+component tables.
 """
 
 from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Union
 
-from repro.powersim.network import Network, PowerSimError
+from repro.powersim.network import (
+    Load,
+    Network,
+    PowerSimError,
+    StaticGenerator,
+)
 from repro.powersim.results import PowerFlowDiverged, PowerFlowResult
-from repro.powersim.solver import run_power_flow
+from repro.powersim.solver import SolverSession
 
 
 @dataclass(frozen=True)
@@ -33,23 +46,56 @@ class LoadProfile:
 
     ``target`` is the element name; ``kind`` selects the table ("load" or
     "sgen").  Values are multipliers applied to the element's base power.
+
+    The sorted point order is cached: lookups are O(log n) after the first
+    call instead of re-sorting per query.  The cache is keyed on the
+    identity of every point, so appends, removals, and in-place
+    replacements all invalidate it automatically (:class:`ProfilePoint` is
+    frozen — any edit installs a new object).
     """
 
     target: str
     kind: str = "load"
     points: list[ProfilePoint] = field(default_factory=list)
 
+    def __post_init__(self) -> None:
+        self._snapshot: tuple[ProfilePoint, ...] = ()
+        self._cached = False
+        self._ordered: list[ProfilePoint] = []
+        self._times: list[float] = []
+
+    def invalidate(self) -> None:
+        """Drop the sorted-point cache (kept for explicit control)."""
+        self._cached = False
+
+    def add_point(self, time_s: float, value: float) -> None:
+        self.points.append(ProfilePoint(time_s, value))
+
+    def _ensure_sorted(self) -> None:
+        points = self.points
+        snapshot = self._snapshot
+        if (
+            self._cached
+            and len(snapshot) == len(points)
+            and all(a is b for a, b in zip(snapshot, points))
+        ):
+            return
+        self._snapshot = tuple(points)
+        self._ordered = sorted(points, key=lambda point: point.time_s)
+        self._times = [point.time_s for point in self._ordered]
+        self._cached = True
+
     def sorted_points(self) -> list[ProfilePoint]:
-        return sorted(self.points, key=lambda point: point.time_s)
+        self._ensure_sorted()
+        return list(self._ordered)
 
     def value_at(self, time_s: float) -> Optional[float]:
         """Step interpolation; ``None`` before the first point."""
-        ordered = self.sorted_points()
-        times = [point.time_s for point in ordered]
-        position = bisect.bisect_right(times, time_s) - 1
+        self._ensure_sorted()
+        position = bisect.bisect_right(self._times, time_s) - 1
         if position < 0:
             return None
-        return ordered[position].value
+        return self._ordered[position].value
 
 
 @dataclass(frozen=True)
@@ -112,7 +158,10 @@ class TimeSeriesRunner:
     The cyber range calls :meth:`step` every power-flow interval (default
     100 ms per the paper).  Between solves the cyber side may have operated
     breakers directly on the network; ``step`` layers the scenario's
-    profile values and any newly due events on top, then solves.
+    profile values and any newly due events on top.  If, after all of that,
+    the network's revision counters still match the last solved state, the
+    cached :class:`PowerFlowResult` is returned without solving
+    (``solve_skipped`` counts these fast-path ticks).
     """
 
     def __init__(self, net: Network, scenario: Optional[SimulationScenario] = None):
@@ -121,39 +170,60 @@ class TimeSeriesRunner:
         problems = self.scenario.validate(net)
         if problems:
             raise PowerSimError("invalid scenario: " + "; ".join(problems))
+        self.session = SolverSession(net)
         self._pending = sorted(self.scenario.events, key=lambda e: e.time_s)
         self._cursor = 0
         self.last_result: Optional[PowerFlowResult] = None
         self.solve_count = 0
+        self.solve_skipped = 0
         self.diverged_count = 0
+        self._solved_topo_rev = -1
+        self._solved_inj_rev = -1
+        # Bind profile targets to element objects once — applying a profile
+        # is then a direct attribute write, not a table scan.
+        self._bound_profiles: list[
+            tuple[LoadProfile, Union[Load, StaticGenerator]]
+        ] = []
+        for profile in self.scenario.profiles:
+            element: Union[Load, StaticGenerator, None]
+            if profile.kind == "load":
+                element = net.find_load(profile.target)
+            elif profile.kind == "sgen":
+                element = net.find_sgen(profile.target)
+            else:
+                element = None
+            if element is not None:
+                self._bound_profiles.append((profile, element))
 
     def step(self, time_s: float) -> PowerFlowResult:
-        """Apply scenario state for ``time_s`` and solve."""
+        """Apply scenario state for ``time_s`` and solve (or skip)."""
         self._apply_profiles(time_s)
         self._apply_due_events(time_s)
+        net = self.net
+        if (
+            self.last_result is not None
+            and net.topology_rev == self._solved_topo_rev
+            and net.injection_rev == self._solved_inj_rev
+        ):
+            self.solve_skipped += 1
+            return self.last_result
         try:
-            result = run_power_flow(self.net)
+            result = self.session.solve()
         except PowerFlowDiverged:
             self.diverged_count += 1
             raise
         self.solve_count += 1
+        self._solved_topo_rev = net.topology_rev
+        self._solved_inj_rev = net.injection_rev
         self.last_result = result
         return result
 
     # ------------------------------------------------------------------
     def _apply_profiles(self, time_s: float) -> None:
-        for profile in self.scenario.profiles:
+        for profile, element in self._bound_profiles:
             value = profile.value_at(time_s)
-            if value is None:
-                continue
-            if profile.kind == "load":
-                load = self.net.find_load(profile.target)
-                if load is not None:
-                    load.scaling = value
-            elif profile.kind == "sgen":
-                sgen = self.net.find_sgen(profile.target)
-                if sgen is not None:
-                    sgen.scaling = value
+            if value is not None:
+                element.scaling = value
 
     def _apply_due_events(self, time_s: float) -> None:
         while self._cursor < len(self._pending):

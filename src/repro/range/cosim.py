@@ -30,6 +30,7 @@ subscribers exactly once.
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 from repro.powersim import Network, PowerFlowDiverged, PowerFlowResult
@@ -56,6 +57,22 @@ class PowerCoupling:
         self.last_result: Optional[PowerFlowResult] = None
         #: Changed points delivered by the per-tick flush (accounting).
         self.published_changes = 0
+        #: Wall-clock seconds spent inside :meth:`tick` (bench accounting).
+        self.tick_wall_s = 0.0
+        #: Grid-share cache, valid while the topology revision is unchanged.
+        self._grids_rev = -1
+        self._grid_active: list[bool] = []
+        self._active_grid_count = 0
+        # Command targets resolved by name once; draining commands must not
+        # scan the component tables per command.  First match wins (the
+        # contract of Network.find_switch/find_load); elements added after
+        # construction are found lazily in _command_target.
+        self._switch_by_name: dict[str, object] = {}
+        for switch in net.switches:
+            self._switch_by_name.setdefault(switch.name, switch)
+        self._load_by_name: dict[str, object] = {}
+        for load in net.loads:
+            self._load_by_name.setdefault(load.name, load)
         self._resolve_handles()
 
     # ------------------------------------------------------------------
@@ -134,15 +151,18 @@ class PowerCoupling:
     # ------------------------------------------------------------------
     def tick(self, time_s: float) -> Optional[PowerFlowResult]:
         """One co-simulation step at scenario time ``time_s``."""
+        started = time.perf_counter()
         self.tick_count += 1
         self._apply_commands()
         try:
             result = self.runner.step(time_s)
         except PowerFlowDiverged:
             self.diverged_ticks += 1
+            self.tick_wall_s += time.perf_counter() - started
             return None
         self.last_result = result
         self.publish(result)
+        self.tick_wall_s += time.perf_counter() - started
         return result
 
     # ------------------------------------------------------------------
@@ -153,19 +173,34 @@ class PowerCoupling:
                 continue
             target, action = parts[1], parts[2]
             if action == "close":
-                switch = self.net.find_switch(target)
+                switch = self._command_target(
+                    target, self._switch_by_name, self.net.find_switch
+                )
                 if switch is None:
                     self.unknown_commands.append(command.key)
                     continue
                 switch.closed = bool(command.value)
                 self.applied_commands += 1
             elif action == "scale":
-                load = self.net.find_load(target)
+                load = self._command_target(
+                    target, self._load_by_name, self.net.find_load
+                )
                 if load is None:
                     self.unknown_commands.append(command.key)
                     continue
                 load.scaling = float(command.value)
                 self.applied_commands += 1
+
+    @staticmethod
+    def _command_target(name: str, cache: dict, find):
+        """Cached name lookup, falling back to the live table scan for
+        elements added to the network after this coupling was built."""
+        element = cache.get(name)
+        if element is None:
+            element = find(name)
+            if element is not None:
+                cache[name] = element
+        return element
 
     # ------------------------------------------------------------------
     def publish(self, result: PowerFlowResult) -> None:
@@ -207,14 +242,19 @@ class PowerCoupling:
             write(handle, gen.p_mw if gen.in_service else 0.0)
         # Slack power is a system total; attribute an equal share to each
         # active external grid so two grids don't both report the whole.
-        active_grids = [
-            grid
-            for grid, _ in self._grid_handles
-            if grid.in_service and self.net.buses[grid.bus].in_service
-        ]
-        share = result.slack_p_mw / len(active_grids) if active_grids else 0.0
-        for grid, handle in self._grid_handles:
-            write(handle, share if grid in active_grids else 0.0)
+        # Which grids are active only changes with the topology revision,
+        # so the activity flags are cached against it.
+        if self.net.topology_rev != self._grids_rev:
+            self._grids_rev = self.net.topology_rev
+            self._grid_active = [
+                grid.in_service and self.net.buses[grid.bus].in_service
+                for grid, _ in self._grid_handles
+            ]
+            self._active_grid_count = sum(self._grid_active)
+        count = self._active_grid_count
+        share = result.slack_p_mw / count if count else 0.0
+        for (grid, handle), active in zip(self._grid_handles, self._grid_active):
+            write(handle, share if active else 0.0)
         for sgen, handle in self._sgen_handles:
             value = sgen.p_mw * sgen.scaling if sgen.in_service else 0.0
             write(handle, value)

@@ -229,17 +229,30 @@ class CyberRange:
             self._meas_handles[key] = handle
         return registry.get_float(handle)
 
-    def data_plane_stats(self) -> dict[str, int]:
-        """Registry churn + device scheduling counters (bench/report).
+    def data_plane_stats(self) -> dict[str, float]:
+        """Registry churn + device/solver scheduling counters (bench/report).
 
         ``suppressed_writes`` vs ``changed_writes`` shows how much of the
         per-tick snapshot the delta layer absorbed; ``ied_scans`` vs
         ``ied_wakes`` shows how often devices actually ran versus how often
-        a changed input asked them to.
+        a changed input asked them to.  ``solve_skipped`` vs ``solves``
+        shows how many ticks the incremental solver answered from cache;
+        ``warm_start_iterations`` is the Newton-Raphson cost of the
+        warm-started (topology-stable) solves.
         """
         stats = dict(self.pointdb.registry.stats())
         stats["published_changes"] = self.coupling.published_changes
         stats["ticks"] = self.coupling.tick_count
+        stats["tick_wall_s"] = self.coupling.tick_wall_s
         stats["ied_scans"] = sum(i.scan_count for i in self.ieds.values())
         stats["ied_wakes"] = sum(i.wake_count for i in self.ieds.values())
+        runner = self.coupling.runner
+        session = runner.session
+        stats["solves"] = runner.solve_count
+        stats["solve_skipped"] = runner.solve_skipped
+        stats["topology_rebuilds"] = session.topology_rebuilds
+        stats["injection_rebuilds"] = session.injection_rebuilds
+        stats["nr_iterations"] = session.total_iterations
+        stats["warm_starts"] = session.warm_starts
+        stats["warm_start_iterations"] = session.warm_iterations
         return stats
