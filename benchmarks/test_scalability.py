@@ -10,7 +10,8 @@ all IED scan cycles + GOOSE/R-SV traffic).  Feasibility criterion: one
 simulated second must cost at most one wall second — i.e. the range keeps
 up with real time, which is what "hosting at 100 ms interval" means.
 
-Two cost metrics go into ``BENCH_scalability.json`` per point:
+Three cost metrics go into ``BENCH_scalability.json`` per point (full
+schema: ``benchmarks/README.md``):
 
 * ``wall_per_sim_s`` — wall seconds per simulated second for the *whole*
   range (co-simulation tick + IED/PLC/SCADA traffic).  This is the paper's
@@ -22,6 +23,12 @@ Two cost metrics go into ``BENCH_scalability.json`` per point:
   delta-suppressed publish; ``solve_skipped`` / ``solves`` records how many
   ticks took the fast path and ``mean_nr_iterations`` the Newton-Raphson
   cost of the ticks that did solve.
+* ``netem_share_of_wall`` — the cut-through forwarding plane's transport
+  wall time (path resolution + inline hop semantics + delivery-event
+  scheduling) as a share of ``wall_per_sim_s``; endpoint protocol
+  processing is reported separately as ``netem_deliver_wall_s``.  The
+  5-substation point asserts this share stays below 50% — netem frame
+  delivery was ~85% of wall before the cut-through plane landed.
 
 The event-storm point (``5_event_storm``) re-runs the 5-substation model
 with a tie breaker toggling every tick, forcing a topology rebuild + cold
@@ -55,23 +62,40 @@ STEADY_TICK_BUDGET_MS = 2.0
 STORM_TICK_BUDGET_MS = 27.3
 
 
+#: Simulated seconds executed by one pedantic run (rounds × 1 s).
+_BENCH_ROUNDS = 3
+
+
 def _measure(cyber_range, benchmark):
     """Run the benchmark and derive both cost metrics + solver stats."""
     coupling = cyber_range.coupling
     wall_before = coupling.tick_wall_s
     ticks_before = coupling.tick_count
+    before = cyber_range.data_plane_stats()
+    events_before = cyber_range.simulator.processed
 
     def one_simulated_second():
         cyber_range.run_for(1.0)
 
-    benchmark.pedantic(one_simulated_second, rounds=3, iterations=1)
+    benchmark.pedantic(one_simulated_second, rounds=_BENCH_ROUNDS, iterations=1)
     ticks = coupling.tick_count - ticks_before
     tick_ms = (coupling.tick_wall_s - wall_before) * 1000.0 / max(1, ticks)
     stats = cyber_range.data_plane_stats()
     solves = stats["solves"]
+    wall = benchmark.stats.stats.mean
+    # Netem attribution, per simulated second: the forwarding walk (path
+    # resolution + inline hop semantics + event scheduling) is the netem
+    # *transport* cost; terminal delivery includes the virtual hosts'
+    # protocol stacks and is reported separately (see benchmarks/README.md).
+    forward_wall = (
+        stats["netem_forward_wall_s"] - before["netem_forward_wall_s"]
+    ) / _BENCH_ROUNDS
+    deliver_wall = (
+        stats["netem_deliver_wall_s"] - before["netem_deliver_wall_s"]
+    ) / _BENCH_ROUNDS
     return {
         "ieds": len(cyber_range.ieds),
-        "wall_per_sim_s": benchmark.stats.stats.mean,
+        "wall_per_sim_s": wall,
         "per_tick_ms": tick_ms,
         "sim_interval_ms": cyber_range.sim_interval_ms,
         "registry_points": stats["points"],
@@ -82,6 +106,25 @@ def _measure(cyber_range, benchmark):
         "solve_skipped": stats["solve_skipped"],
         "mean_nr_iterations": stats["nr_iterations"] / max(1, solves),
         "warm_starts": stats["warm_starts"],
+        "kernel_events_per_sim_s": (
+            (cyber_range.simulator.processed - events_before) / _BENCH_ROUNDS
+        ),
+        "netem_sends": stats["netem_sends"] - before["netem_sends"],
+        "netem_delivery_events": (
+            stats["netem_delivery_events"] - before["netem_delivery_events"]
+        ),
+        "netem_deliveries": (
+            stats["netem_deliveries"] - before["netem_deliveries"]
+        ),
+        "netem_cache_hits": (
+            stats["netem_cache_hits"] - before["netem_cache_hits"]
+        ),
+        "netem_path_compiles": (
+            stats["netem_path_compiles"] - before["netem_path_compiles"]
+        ),
+        "netem_forward_wall_s": forward_wall,
+        "netem_deliver_wall_s": deliver_wall,
+        "netem_share_of_wall": forward_wall / wall if wall else 0.0,
     }
 
 
@@ -113,15 +156,26 @@ def test_scalability_sweep(benchmark, scaleout_dirs, substations):
     assert result["solve_skipped"] > result["solves"], (
         f"skip-solve fast path inactive: {result}"
     )
+    # Cut-through plane: the path cache must serve the steady-state sweep
+    # (compiles only while MAC tables/ARP caches settle, hits afterwards).
+    assert result["netem_cache_hits"] > result["netem_path_compiles"], (
+        f"forwarding path cache inactive: {result}"
+    )
     if substations == 5:
         assert ied_count == 104
         assert result["per_tick_ms"] <= STEADY_TICK_BUDGET_MS, (
             f"steady-state tick {result['per_tick_ms']:.3f} ms exceeds the "
             f"{STEADY_TICK_BUDGET_MS} ms budget"
         )
+        # Tentpole acceptance: netem transport is no longer the dominant
+        # cost — its share of whole-range wall time stays below one half.
+        assert result["netem_share_of_wall"] < 0.5, (
+            f"netem transport share "
+            f"{result['netem_share_of_wall']:.2%} >= 50%: {result}"
+        )
         rows = [
             "paper: 5 substations / 104 IEDs @ 100 ms on a desktop PC",
-            "substations  IEDs  wall-s per sim-s   tick-ms   skipped",
+            "substations  IEDs  wall-s per sim-s   tick-ms   netem-share",
         ]
         for count in sorted(SCALABILITY_RESULTS, key=str):
             result_row = SCALABILITY_RESULTS[count]
@@ -129,7 +183,7 @@ def test_scalability_sweep(benchmark, scaleout_dirs, substations):
                 f"{count!s:^11}  {result_row['ieds']:>4}  "
                 f"{result_row['wall_per_sim_s']:>14.3f}   "
                 f"{result_row['per_tick_ms']:>7.3f}   "
-                f"{result_row.get('solve_skipped', 0):>7}"
+                f"{result_row.get('netem_share_of_wall', 0.0):>10.1%}"
             )
         feasible = SCALABILITY_RESULTS[5]["wall_per_sim_s"] < 1.0
         rows.append(

@@ -35,6 +35,31 @@ class CodecError(Exception):
     """Raised on malformed TLV input."""
 
 
+def memoize_by_identity(decode):
+    """One-slot decode memo keyed by payload *identity*.
+
+    A multicast frame is flooded to every subscriber with the *same*
+    payload bytes object, so wrapping a decoder with this helper makes the
+    decode happen once per frame instead of once per receiver.  Safe by
+    construction: the memo retains the bytes reference (so ``id()`` reuse
+    is impossible while cached), bytes are immutable, and callers treat
+    decoded messages as read-only.  Failed decodes are not cached.
+    """
+    last_payload = None
+    last_result = None
+
+    def memoized(payload):
+        nonlocal last_payload, last_result
+        if payload is last_payload:
+            return last_result
+        result = decode(payload)
+        last_payload = payload
+        last_result = result
+        return result
+
+    return memoized
+
+
 def encode_value(value: Any) -> bytes:
     """Encode a Python value to TLV bytes."""
     if value is None:

@@ -16,7 +16,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from repro.iec61850.codec import CodecError, decode_value, encode_value
+from repro.iec61850.codec import (
+    CodecError,
+    decode_value,
+    encode_value,
+    memoize_by_identity,
+)
 from repro.kernel import MS, SECOND, Simulator
 from repro.netem.frames import ETHERTYPE_GOOSE, EthernetFrame
 from repro.netem.host import Host
@@ -78,6 +83,12 @@ class GooseMessage:
             timestamp_us=int(decoded.get("t", 0)),
             all_data=list(decoded.get("allData", [])),
         )
+
+
+#: ``GooseMessage.from_bytes`` with per-frame receiver de-duplication: a
+#: flooded frame reaches every subscriber with the same payload object, so
+#: the decode runs once per frame (see :func:`codec.memoize_by_identity`).
+decode_goose = memoize_by_identity(GooseMessage.from_bytes)
 
 
 class GoosePublisher:
@@ -211,7 +222,7 @@ class GooseSubscriber:
         if not isinstance(frame.payload, bytes):
             return
         try:
-            message = GooseMessage.from_bytes(frame.payload)
+            message = decode_goose(frame.payload)
         except CodecError:
             return
         if message.gocb_ref != self.gocb_ref:

@@ -10,8 +10,13 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from repro.iec61850.codec import CodecError, decode_value, encode_value
-from repro.iec61850.goose import GooseMessage, GoosePublisher
+from repro.iec61850.codec import (
+    CodecError,
+    decode_value,
+    encode_value,
+    memoize_by_identity,
+)
+from repro.iec61850.goose import GooseMessage, GoosePublisher, decode_goose
 from repro.iec61850.sv import SvMessage
 from repro.kernel import MS, SECOND
 from repro.netem.host import Host, UdpSocket
@@ -29,11 +34,19 @@ def _wrap(session_type: str, payload: bytes) -> bytes:
     return encode_value({"sessionType": session_type, "payload": payload})
 
 
-def _unwrap(data: bytes) -> tuple[str, bytes]:
+def _unwrap_uncached(data: bytes) -> tuple[str, bytes]:
     decoded = decode_value(data)
     if not isinstance(decoded, dict):
         raise CodecError("session wrapper is not a map")
     return decoded.get("sessionType", ""), decoded.get("payload", b"")
+
+
+#: A routable multicast datagram reaches every group member with the same
+#: bytes object, so the session wrapper and the inner SV message are
+#: decoded once per frame, not once per receiver (see
+#: :func:`codec.memoize_by_identity`).
+_unwrap = memoize_by_identity(_unwrap_uncached)
+_decode_sv = memoize_by_identity(SvMessage.from_bytes)
 
 
 class _UdpMulticastEndpoint:
@@ -135,7 +148,7 @@ class RGooseSubscriber:
             session_type, payload = _unwrap(data)
             if session_type != _SESSION_RGOOSE:
                 return
-            message = GooseMessage.from_bytes(payload)
+            message = decode_goose(payload)
         except CodecError:
             return
         if message.gocb_ref != self.gocb_ref:
@@ -232,7 +245,7 @@ class RSvSubscriber:
             session_type, payload = _unwrap(data)
             if session_type != _SESSION_RSV:
                 return
-            message = SvMessage.from_bytes(payload)
+            message = _decode_sv(payload)
         except CodecError:
             return
         if message.sv_id != self.sv_id:

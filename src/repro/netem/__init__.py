@@ -43,9 +43,11 @@ from repro.netem.frames import (
     UdpDatagram,
 )
 from repro.netem.capture import CapturedFrame, PacketCapture
+from repro.netem.forwarding import ForwardingPlane
 from repro.netem.host import Host, UdpSocket
 from repro.netem.link import Link
 from repro.netem.network import NetemError, VirtualNetwork
+from repro.netem.node import ForwardingState
 from repro.netem.switch import Switch
 from repro.netem.tcp import TcpConnection
 
@@ -59,6 +61,8 @@ __all__ = [
     "ETHERTYPE_IPV4",
     "ETHERTYPE_SV",
     "EthernetFrame",
+    "ForwardingPlane",
+    "ForwardingState",
     "Host",
     "Ipv4Packet",
     "Link",

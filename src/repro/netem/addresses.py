@@ -47,13 +47,26 @@ def mac_for_index(index: int, oui: str = "00:1a:22") -> str:
     return oui + ":" + ":".join(f"{byte:02x}" for byte in tail)
 
 
+#: Parse-once memo for :func:`is_multicast_mac` — the hot receive path
+#: classifies the same handful of interned MAC strings millions of times.
+_MULTICAST_MEMO: dict[str, bool] = {}
+
+
 def is_multicast_mac(mac: str) -> bool:
     """True for group-addressed frames (includes broadcast)."""
+    cached = _MULTICAST_MEMO.get(mac)
+    if cached is not None:
+        return cached
     try:
         first_octet = int(mac.split(":", 1)[0], 16)
     except (ValueError, IndexError):
-        return False
-    return bool(first_octet & 0x01)
+        result = False
+    else:
+        result = bool(first_octet & 0x01)
+    if len(_MULTICAST_MEMO) > 4096:  # forged-MAC fuzzing must not grow it
+        _MULTICAST_MEMO.clear()
+    _MULTICAST_MEMO[mac] = result
+    return result
 
 
 def ip_to_int(ip: str) -> int:

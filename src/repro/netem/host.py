@@ -120,6 +120,9 @@ class Host(Node):
         self.packet_interceptor: Optional[Callable[[EthernetFrame], bool]] = None
         self.ip_forward = False
         self.promiscuous = False
+        #: Cut-through delivery plane (set by VirtualNetwork when enabled);
+        #: None → hop-by-hop emulation via Port.send.
+        self.plane = None
         # Counters.
         self.rx_dropped = 0
         self.forwarded = 0
@@ -132,8 +135,18 @@ class Host(Node):
     # Sending
     # ------------------------------------------------------------------
     def send_frame(self, frame: EthernetFrame) -> None:
-        """Emit a raw (possibly forged) frame on the wire."""
-        self.port.send(frame)
+        """Emit a raw (possibly forged) frame on the wire.
+
+        With a cut-through plane attached the whole journey (switching,
+        captures, loss, serialisation) is resolved here and only terminal
+        deliveries become kernel events; otherwise the frame travels the
+        hop-by-hop path one link event at a time.
+        """
+        plane = self.plane
+        if plane is not None:
+            plane.send(self.port, frame)
+        else:
+            self.port.send(frame)
 
     def send_ethernet(
         self, dst_mac: str, ethertype: int, payload: bytes

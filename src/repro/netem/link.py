@@ -14,7 +14,7 @@ from typing import Optional
 from repro.kernel import MS, Simulator
 from repro.netem.capture import PacketCapture
 from repro.netem.frames import EthernetFrame
-from repro.netem.node import Port
+from repro.netem.node import ForwardingState, Port
 
 
 class Link:
@@ -57,18 +57,59 @@ class Link:
         self._busy_until = {id(port_a): 0, id(port_b): 0}
         self.tx_count = 0
         self.drop_count = 0
+        #: Forwarding-revision sink; VirtualNetwork rebinds to its shared one.
+        self.fwd = ForwardingState()
+        #: Closed down-intervals ``(went_down_at, came_up_at)`` plus the
+        #: start of the current outage — consulted by in-flight cut-through
+        #: deliveries so "frames in flight on a failed link are lost" holds.
+        #: Pruned on ``set_up`` past :data:`DOWN_LOG_HORIZON_US` so
+        #: scenarios that flap links for hours don't grow it unboundedly.
+        self._down_log: list[tuple[int, int]] = []
+        self._down_since = 0
 
     # ------------------------------------------------------------------
     def attach_capture(self, capture: PacketCapture) -> PacketCapture:
         self.captures.append(capture)
+        self.fwd.rev += 1
+        self.fwd.captures += 1
         return capture
 
     def set_down(self) -> None:
         """Fail the link: all in-flight and future frames are lost."""
+        if not self.up:
+            return
         self.up = False
+        self._down_since = self.simulator.now
+        self.fwd.rev += 1
+        self.fwd.flaps += 1
 
     def set_up(self) -> None:
+        if self.up:
+            return
         self.up = True
+        now = self.simulator.now
+        self._down_log.append((self._down_since, now))
+        if self._down_log[0][1] < now - DOWN_LOG_HORIZON_US:
+            horizon = now - DOWN_LOG_HORIZON_US
+            self._down_log = [
+                interval for interval in self._down_log if interval[1] >= horizon
+            ]
+        self.fwd.rev += 1
+        self.fwd.flaps += 1
+
+    def was_down_at(self, time_us: int) -> bool:
+        """Whether the link was down at virtual instant ``time_us``.
+
+        Intervals are half-open: an instant where ``set_down`` ran counts
+        as down, the instant ``set_up`` ran counts as up — matching the
+        call-order semantics of the hop-by-hop up-state checks.
+        """
+        if not self.up and time_us >= self._down_since:
+            return True
+        for start, end in self._down_log:
+            if start <= time_us < end:
+                return True
+        return False
 
     def other_end(self, port: Port) -> Port:
         if port is self.port_a:
@@ -108,6 +149,11 @@ class Link:
             return
         port.deliver(frame)
 
+
+#: Down-intervals older than this are pruned from the flap log: no frame
+#: stays in flight for minutes of virtual time (end-to-end path delays are
+#: milliseconds), so intervals this old can never affect a delivery recheck.
+DOWN_LOG_HORIZON_US = 600 * 1_000_000
 
 #: Default latency used for LAN segments inside a substation.
 DEFAULT_LAN_LATENCY_US = 50

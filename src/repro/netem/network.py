@@ -7,14 +7,16 @@ the intermediate JSON extracted from the SCD file (paper §IV-A).
 
 from __future__ import annotations
 
+import os
 from typing import Optional
 
 from repro.kernel import Simulator
 from repro.netem.addresses import is_valid_ip, is_valid_mac, mac_for_index
 from repro.netem.capture import PacketCapture
+from repro.netem.forwarding import ForwardingPlane
 from repro.netem.host import Host
 from repro.netem.link import Link
-from repro.netem.node import Node
+from repro.netem.node import ForwardingState, Node
 from repro.netem.switch import Switch
 
 
@@ -22,16 +24,44 @@ class NetemError(Exception):
     """Raised on malformed topology operations."""
 
 
-class VirtualNetwork:
-    """Named collection of nodes and links on a shared simulator."""
+def _cut_through_default() -> bool:
+    """Cut-through delivery is on unless ``REPRO_NETEM_CUT_THROUGH`` says no."""
+    return os.environ.get("REPRO_NETEM_CUT_THROUGH", "1").lower() not in (
+        "0",
+        "false",
+        "off",
+    )
 
-    def __init__(self, simulator: Simulator, name: str = "net") -> None:
+
+class VirtualNetwork:
+    """Named collection of nodes and links on a shared simulator.
+
+    ``cut_through`` selects the delivery plane: ``True`` (the default, or
+    via the ``REPRO_NETEM_CUT_THROUGH`` environment variable) routes every
+    host-originated frame through the :class:`ForwardingPlane` path cache;
+    ``False`` keeps the hop-by-hop emulation, which serves as the
+    differential-test oracle.  Both planes share all link/switch state, so
+    the mode can be flipped mid-run with :meth:`set_cut_through`.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        name: str = "net",
+        cut_through: Optional[bool] = None,
+    ) -> None:
         self.simulator = simulator
         self.name = name
         self.hosts: dict[str, Host] = {}
         self.switches: dict[str, Switch] = {}
         self.links: dict[str, Link] = {}
         self._mac_counter = 1
+        #: Network-wide forwarding revision, shared by every node and link.
+        self.fwd = ForwardingState()
+        self.plane = ForwardingPlane(simulator, self.fwd)
+        self.cut_through = (
+            _cut_through_default() if cut_through is None else bool(cut_through)
+        )
 
     # ------------------------------------------------------------------
     # Topology construction
@@ -70,14 +100,20 @@ class VirtualNetwork:
             subnet_mask=subnet_mask,
             gateway=gateway,
         )
+        host.fwd = self.fwd
+        if self.cut_through:
+            host.plane = self.plane
         self.hosts[name] = host
+        self.fwd.rev += 1
         return host
 
     def add_switch(self, name: str) -> Switch:
         if name in self.hosts or name in self.switches:
             raise NetemError(f"duplicate node name {name!r}")
         switch = Switch(name, self.simulator)
+        switch.fwd = self.fwd
         self.switches[name] = switch
+        self.fwd.rev += 1
         return switch
 
     def add_link(
@@ -105,8 +141,26 @@ class VirtualNetwork:
             drop_probability=drop_probability,
             seed=seed,
         )
+        link.fwd = self.fwd
         self.links[link_name] = link
+        self.fwd.rev += 1
         return link
+
+    # ------------------------------------------------------------------
+    # Delivery plane
+    # ------------------------------------------------------------------
+    def set_cut_through(self, enabled: bool) -> None:
+        """Switch every host between cut-through and hop-by-hop delivery."""
+        self.cut_through = bool(enabled)
+        plane = self.plane if enabled else None
+        for host in self.hosts.values():
+            host.plane = plane
+
+    def forwarding_stats(self) -> dict[str, float]:
+        """Cut-through plane counters (cache churn, events, wall time)."""
+        stats = self.plane.stats()
+        stats["cut_through"] = 1.0 if self.cut_through else 0.0
+        return stats
 
     # ------------------------------------------------------------------
     # Lookup

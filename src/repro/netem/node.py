@@ -11,6 +11,31 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.netem.link import Link
 
 
+class ForwardingState:
+    """Shared invalidation counters for one virtual network's data plane.
+
+    ``rev`` is the monotonic forwarding revision: any event that can change
+    a forwarding decision (link up/down, MAC-table learn/move/eviction,
+    capture attachment, topology edit) bumps it, and every cached
+    cut-through path remembers the revision it was compiled under.
+    ``flaps`` counts link up/down transitions only — in-flight deliveries
+    re-validate their hop links when it moved.  ``captures`` counts
+    attached captures (selects the chronologically-ordered walk so capture
+    records interleave exactly like kernel events would).
+
+    Nodes and links created standalone get a private instance;
+    :class:`~repro.netem.network.VirtualNetwork` rebinds everything it owns
+    to one shared instance (see :mod:`repro.netem.forwarding`).
+    """
+
+    __slots__ = ("rev", "flaps", "captures")
+
+    def __init__(self) -> None:
+        self.rev = 0
+        self.flaps = 0
+        self.captures = 0
+
+
 class Port:
     """One attachment point of a node; connected to at most one link."""
 
@@ -49,6 +74,8 @@ class Node:
         self.name = name
         self.simulator = simulator
         self.ports: list[Port] = []
+        #: Forwarding-revision sink; shared per network (see above).
+        self.fwd = ForwardingState()
 
     def add_port(self) -> Port:
         port = Port(self, len(self.ports))

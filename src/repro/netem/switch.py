@@ -6,16 +6,29 @@ OVS bridge in standalone mode):
 * source MACs are learned per port with an ageing time,
 * known unicast is forwarded out of the learned port only,
 * unknown unicast, broadcast and multicast are flooded,
-* multicast group addresses are never learned (GOOSE/SV rely on flooding).
+* multicast group addresses are never learned (GOOSE/SV rely on flooding),
+* aged entries are evicted — on lookup, and in bulk once the table grows
+  past a threshold — so ``table_snapshot`` never reports stale ports and
+  long runs don't accumulate dead entries,
+* like a hardware CAM, capacity is bounded: at ``MAC_TABLE_MAX`` entries
+  (and nothing aged to evict) new addresses are simply not learned, so an
+  attacker spraying fresh forged source MACs saturates the table and
+  degrades to flooding instead of growing memory without bound.
 
 The MAC table being *learned* rather than configured is what makes ARP
 spoofing effective — after the attacker sends forged frames, traffic to the
 victim's IP flows to the attacker's port, exactly as on real switched LANs.
+
+Every learn that *changes* a mapping (new MAC, moved port, eviction) bumps
+the shared forwarding revision (see :mod:`repro.netem.forwarding`), which
+invalidates the cut-through plane's cached paths; a refresh of an existing
+``(mac, port)`` mapping only renews its ageing clock and is free.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.kernel import SECOND, Simulator
 from repro.netem.addresses import is_multicast_mac
@@ -23,6 +36,13 @@ from repro.netem.frames import EthernetFrame
 from repro.netem.node import Node, Port
 
 MAC_AGEING_US = 300 * SECOND  # 300 s, the common switch default
+
+#: Bulk-prune the table when it grows past this many entries.
+MAC_TABLE_PRUNE_LEN = 128
+
+#: Hard capacity, like a hardware CAM: when full (and nothing aged to
+#: evict) new source MACs are not learned and their traffic floods.
+MAC_TABLE_MAX = 4096
 
 
 @dataclass
@@ -39,23 +59,99 @@ class Switch(Node):
         self.mac_table: dict[str, _MacEntry] = {}
         self.forwarded = 0
         self.flooded = 0
+        self._prune_at = MAC_TABLE_PRUNE_LEN
 
+    # ------------------------------------------------------------------
+    def _learn(self, src_mac: str, port: Port, now: int) -> None:
+        """Learn/refresh ``src_mac`` behind ``port`` (seen at ``now``)."""
+        entry = self.mac_table.get(src_mac)
+        if entry is None:
+            if len(self.mac_table) >= MAC_TABLE_MAX:
+                self.prune(now)
+                if len(self.mac_table) >= MAC_TABLE_MAX:
+                    return  # CAM full: not learned, traffic floods
+            self.mac_table[src_mac] = _MacEntry(port=port, learned_at=now)
+            self.fwd.rev += 1
+            if len(self.mac_table) >= self._prune_at:
+                self.prune(now)
+                self._prune_at = max(
+                    MAC_TABLE_PRUNE_LEN, 2 * len(self.mac_table)
+                )
+        elif entry.port is not port:
+            entry.port = port
+            entry.learned_at = now
+            self.fwd.rev += 1
+        else:
+            entry.learned_at = now  # refresh only: forwarding unchanged
+
+    def _forward_decision(
+        self, in_port: Port, dst_mac: str
+    ) -> tuple[tuple[Port, ...], int, Optional[_MacEntry]]:
+        """Egress ports for a frame to ``dst_mac`` entering at ``in_port``.
+
+        Returns ``(egress ports, counter code, consulted entry)`` where the
+        counter code is 0 (swallowed: destination lives behind the ingress
+        port), 1 (known unicast, forwarded) or 2 (flooded).  The consulted
+        MAC entry, when any, lets the cut-through plane expire cached paths
+        at the entry's ageing deadline.
+        """
+        if not is_multicast_mac(dst_mac):
+            entry = self.mac_table.get(dst_mac)
+            if entry is not None:
+                if self.simulator.now - entry.learned_at <= MAC_AGEING_US:
+                    if entry.port is in_port:
+                        return (), 0, entry
+                    return (entry.port,), 1, entry
+                # Aged out: evict on access so a stale port never pins
+                # forwarding (and the snapshot never reports it).  No rev
+                # bump: lookups already treat aged entries as absent, and
+                # cached unicast paths expire independently at the same
+                # deadline (_Path.expires_at), so eviction cannot change
+                # any forwarding decision.
+                del self.mac_table[dst_mac]
+        return (
+            tuple(
+                port
+                for port in self.ports
+                if port is not in_port and port.connected
+            ),
+            2,
+            None,
+        )
+
+    # ------------------------------------------------------------------
     def on_frame(self, frame: EthernetFrame, port: Port) -> None:
         now = self.simulator.now
         if not is_multicast_mac(frame.src_mac):
-            self.mac_table[frame.src_mac] = _MacEntry(port=port, learned_at=now)
-        if not is_multicast_mac(frame.dst_mac):
-            entry = self.mac_table.get(frame.dst_mac)
-            if entry is not None and now - entry.learned_at <= MAC_AGEING_US:
-                if entry.port is not port:
-                    self.forwarded += 1
-                    entry.port.send(frame)
-                return
-        self.flooded += 1
-        for out_port in self.ports:
-            if out_port is not port and out_port.connected:
-                out_port.send(frame)
+            self._learn(frame.src_mac, port, now)
+        egress, counter, _ = self._forward_decision(port, frame.dst_mac)
+        if counter == 1:
+            self.forwarded += 1
+        elif counter == 2:
+            self.flooded += 1
+        for out_port in egress:
+            out_port.send(frame)
+
+    # ------------------------------------------------------------------
+    def prune(self, now: Optional[int] = None) -> int:
+        """Evict every aged entry; returns the number evicted.
+
+        No forwarding-revision bump: aged entries are already invisible to
+        lookups, so eviction is a pure garbage collection (diagnostics
+        reads via :meth:`table_snapshot` must not invalidate path caches).
+        """
+        if now is None:
+            now = self.simulator.now
+        aged = [
+            mac
+            for mac, entry in self.mac_table.items()
+            if now - entry.learned_at > MAC_AGEING_US
+        ]
+        for mac in aged:
+            del self.mac_table[mac]
+        return len(aged)
 
     def table_snapshot(self) -> dict[str, str]:
-        """MAC → port name view for diagnostics and tests."""
+        """MAC → port name view for diagnostics and tests (pruned first)."""
+        self.prune()
         return {mac: entry.port.name for mac, entry in self.mac_table.items()}

@@ -191,6 +191,30 @@ class PowerCoupling:
                 load.scaling = float(command.value)
                 self.applied_commands += 1
 
+    def stats(self) -> dict[str, float]:
+        """Tick/publish counters merged into ``CyberRange.data_plane_stats``.
+
+        ``tick_wall_s`` is the wall-clock cost of the power-flow side of a
+        range; together with the forwarding plane's ``forward_wall_s`` /
+        ``deliver_wall_s`` (see :mod:`repro.netem.forwarding`) it lets the
+        scalability bench attribute whole-range wall time to power flow
+        versus netem transport versus endpoint processing.
+        """
+        runner = self.runner
+        session = runner.session
+        return {
+            "published_changes": self.published_changes,
+            "ticks": self.tick_count,
+            "tick_wall_s": self.tick_wall_s,
+            "solves": runner.solve_count,
+            "solve_skipped": runner.solve_skipped,
+            "topology_rebuilds": session.topology_rebuilds,
+            "injection_rebuilds": session.injection_rebuilds,
+            "nr_iterations": session.total_iterations,
+            "warm_starts": session.warm_starts,
+            "warm_start_iterations": session.warm_iterations,
+        }
+
     @staticmethod
     def _command_target(name: str, cache: dict, find):
         """Cached name lookup, falling back to the live table scan for

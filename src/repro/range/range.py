@@ -238,21 +238,15 @@ class CyberRange:
         a changed input asked them to.  ``solve_skipped`` vs ``solves``
         shows how many ticks the incremental solver answered from cache;
         ``warm_start_iterations`` is the Newton-Raphson cost of the
-        warm-started (topology-stable) solves.
+        warm-started (topology-stable) solves.  The ``netem_*`` keys are
+        the cut-through delivery plane's counters (path-cache churn, kernel
+        events, forwarding vs endpoint wall time — see
+        :meth:`~repro.netem.network.VirtualNetwork.forwarding_stats`).
         """
         stats = dict(self.pointdb.registry.stats())
-        stats["published_changes"] = self.coupling.published_changes
-        stats["ticks"] = self.coupling.tick_count
-        stats["tick_wall_s"] = self.coupling.tick_wall_s
+        stats.update(self.coupling.stats())
         stats["ied_scans"] = sum(i.scan_count for i in self.ieds.values())
         stats["ied_wakes"] = sum(i.wake_count for i in self.ieds.values())
-        runner = self.coupling.runner
-        session = runner.session
-        stats["solves"] = runner.solve_count
-        stats["solve_skipped"] = runner.solve_skipped
-        stats["topology_rebuilds"] = session.topology_rebuilds
-        stats["injection_rebuilds"] = session.injection_rebuilds
-        stats["nr_iterations"] = session.total_iterations
-        stats["warm_starts"] = session.warm_starts
-        stats["warm_start_iterations"] = session.warm_iterations
+        for key, value in self.network.forwarding_stats().items():
+            stats[f"netem_{key}"] = value
         return stats

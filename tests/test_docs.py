@@ -1,0 +1,45 @@
+"""Documentation gate as a tier-1 test.
+
+Runs the same checker CI's docs job runs (``scripts/check_docs.py``):
+every relative markdown link must resolve and every fenced ``>>>`` snippet
+in the documentation set must execute — README quickstarts are executable
+specifications, not prose.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO_ROOT / "scripts" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_docs_links_and_snippets(capsys):
+    checker = _load_checker()
+    exit_code = checker.main([sys.argv[0]])
+    output = capsys.readouterr().out
+    assert exit_code == 0, f"docs gate failed:\n{output}"
+    assert "docs check passed" in output
+
+
+def test_docs_list_covers_existing_docs():
+    """Every markdown doc we ship is under the gate (no silent drift)."""
+    checker = _load_checker()
+    gated = {str(REPO_ROOT / name) for name in checker.DEFAULT_DOCS}
+    shipped = {
+        str(path)
+        for pattern in ("*.md", "docs/*.md", "benchmarks/*.md")
+        for path in REPO_ROOT.glob(pattern)
+        # Working notes for the growth process, not user documentation.
+        if path.name not in {"CHANGES.md", "ISSUE.md", "PAPER.md",
+                             "PAPERS.md", "SNIPPETS.md"}
+    }
+    assert shipped <= gated, f"docs missing from the gate: {shipped - gated}"
