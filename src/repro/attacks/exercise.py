@@ -19,6 +19,7 @@ this; it is a guarantee, not an accident of the sort implementation.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -83,7 +84,20 @@ class ExercisePlaybook:
         and logged (a failed attack step is a legitimate exercise outcome,
         not a harness crash).  Same-timestamp actions run in insertion
         order (see the module docstring's ordering contract).
+
+        .. deprecated:: emits :class:`DeprecationWarning`; build a
+           :class:`~repro.scenario.Scenario` directly (the ROADMAP's
+           playbook deprecation path — the shim is frozen and will be
+           removed once no in-repo caller remains).
         """
+        warnings.warn(
+            "ExercisePlaybook is deprecated: build a repro.scenario.Scenario "
+            "directly (at()-triggered phases replace timestamp scripts; "
+            "when()/after() triggers and scored outcomes replace manual "
+            "observation)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         run = cyber_range.run_scenario(self.to_scenario(), duration_s)
         self.log.extend(
             ExerciseLogEntry(

@@ -5,7 +5,9 @@ Usage::
     sgml validate <model-dir>          # parse + cross-file validation
     sgml compile <model-dir>           # run the processor, print artifacts
     sgml run <model-dir> [--seconds N] [--realtime]
-    sgml scenario <model-dir> <spec>   # run a declarative scenario, score it
+    sgml scenario <model-dir> <spec> [--dry-run] [--report out.json]
+    sgml campaign <model-dir> [--specs DIR | --families a,b] [--dry-run]
+                  [--report out.json] [--reuse-range] [--sites N]
     sgml epic <output-dir>             # generate the EPIC demo model
     sgml scaleout <output-dir> [--substations N] [--ieds M]
 """
@@ -54,8 +56,54 @@ def main(argv: list[str] | None = None) -> int:
         help="override the spec's duration_s (default 10)",
     )
     p_scenario.add_argument(
-        "--report-json", default="",
-        help="also write the structured after-action report to this path",
+        "--report", "--report-json", dest="report", default="",
+        help="also write the structured after-action report "
+             "(ScenarioRun.to_dict() JSON) to this path",
+    )
+    p_scenario.add_argument(
+        "--dry-run", action="store_true",
+        help="validate the spec (fields, actions, branch graph) without "
+             "compiling or running the range",
+    )
+
+    p_campaign = sub.add_parser(
+        "campaign",
+        help="sweep a scenario catalog (or a directory of specs) against "
+             "a model set and emit an aggregate report",
+    )
+    p_campaign.add_argument(
+        "model_dir", nargs="?", default="",
+        help="model set directory (not needed with --list-families)",
+    )
+    p_campaign.add_argument(
+        "--specs", default="",
+        help="directory of scenario spec files to sweep (default: generate "
+             "the built-in catalog for the model set)",
+    )
+    p_campaign.add_argument(
+        "--families", default="",
+        help="comma-separated catalog family subset (default: all)",
+    )
+    p_campaign.add_argument(
+        "--sites", type=int, default=1,
+        help="max sites each family instantiates (default 1)",
+    )
+    p_campaign.add_argument(
+        "--dry-run", action="store_true",
+        help="validate every spec without compiling or running anything",
+    )
+    p_campaign.add_argument(
+        "--report", default="",
+        help="write the aggregate campaign report JSON to this path",
+    )
+    p_campaign.add_argument(
+        "--reuse-range", action="store_true",
+        help="compile one range and run all scenarios on it sequentially "
+             "(faster, but state carries over between scenarios)",
+    )
+    p_campaign.add_argument(
+        "--list-families", action="store_true",
+        help="list the built-in catalog families and exit",
     )
 
     p_epic = sub.add_parser("epic", help="generate the EPIC demo model set")
@@ -97,9 +145,24 @@ def _dispatch(args: argparse.Namespace) -> int:
         )
         return 0
 
+    if args.command == "campaign" and args.list_families:
+        from repro.scenario.catalog import FAMILIES
+
+        for family in FAMILIES.values():
+            print(f"{family.name}: {family.description}")
+        return 0
+    if args.command == "campaign" and not args.model_dir:
+        print("error: campaign needs a model directory", file=sys.stderr)
+        return 1
+    if args.command == "scenario" and args.dry_run:
+        # Spec-only validation: no model parse, no compile, no run.
+        return _dry_run_scenario(args)
+
     model = SgmlModelSet.from_directory(args.model_dir)
     if args.command == "scenario":
         return _run_scenario(model, args)
+    if args.command == "campaign":
+        return _run_campaign(model, args)
     if args.command == "deploy":
         from repro.sgml import export_compose_bundle
 
@@ -149,34 +212,31 @@ def _dispatch(args: argparse.Namespace) -> int:
     return 0
 
 
-def _load_scenario_spec(path: str) -> dict:
-    """Read a JSON (always) or YAML (if PyYAML is present) scenario spec."""
-    with open(path, encoding="utf-8") as handle:
-        text = handle.read()
-    if path.endswith((".yaml", ".yml")):
-        try:
-            import yaml
-        except ImportError:  # pragma: no cover - environment dependent
-            raise RuntimeError(
-                "PyYAML is not installed; use a .json scenario spec"
-            ) from None
-        spec = yaml.safe_load(text)
-    else:
-        spec = json.loads(text)
-    if not isinstance(spec, dict):
-        raise RuntimeError(f"scenario spec {path!r} is not a mapping")
-    return spec
+def _dry_run_scenario(args: argparse.Namespace) -> int:
+    """Validate a spec — fields, actions, branch graph — without a range."""
+    from repro.scenario import Scenario
+    from repro.scenario.campaign import load_spec_file
+
+    scenario = Scenario.from_spec(load_spec_file(args.spec_file))
+    edges = sum(len(phase.edges) for phase in scenario.phases)
+    roots = len(scenario.root_phases())
+    print(
+        f"dry-run OK: scenario {scenario.name!r} is valid "
+        f"({len(scenario.phases)} phases, {roots} roots, "
+        f"{edges} branch edges)"
+    )
+    return 0
 
 
 def _run_scenario(model: SgmlModelSet, args: argparse.Namespace) -> int:
     """Compile the range, run the scenario spec, print + score the report."""
     from repro.scenario import Scenario
+    from repro.scenario.campaign import load_spec_file
 
-    spec = _load_scenario_spec(args.spec_file)
+    scenario = Scenario.from_spec(load_spec_file(args.spec_file))
     duration = args.seconds
     if duration is None:
-        duration = float(spec.get("duration_s", 10.0))
-    scenario = Scenario.from_spec(spec)
+        duration = scenario.duration_s if scenario.duration_s else 10.0
     cyber_range = SgmlProcessor(model).compile()
     print(
         f"running scenario {scenario.name!r} "
@@ -184,11 +244,40 @@ def _run_scenario(model: SgmlModelSet, args: argparse.Namespace) -> int:
     )
     run = cyber_range.run_scenario(scenario, duration)
     print(run.after_action_report())
-    if args.report_json:
-        with open(args.report_json, "w", encoding="utf-8") as handle:
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
             json.dump(run.to_dict(), handle, indent=2)
-        print(f"structured report written to {args.report_json}")
+        print(f"structured report written to {args.report}")
     return 0 if run.passed else 1
+
+
+def _run_campaign(model: SgmlModelSet, args: argparse.Namespace) -> int:
+    """Build the sweep (catalog or spec dir), validate or run, report."""
+    from repro.scenario import Campaign
+
+    kwargs = {"reuse_range": bool(args.reuse_range)}
+    if args.specs:
+        campaign = Campaign.from_spec_dir(model, args.specs, **kwargs)
+    else:
+        families = [
+            name.strip() for name in args.families.split(",") if name.strip()
+        ] or None
+        campaign = Campaign.from_catalog(
+            model, families=families, max_sites=max(1, args.sites), **kwargs
+        )
+    if args.dry_run:
+        report = campaign.dry_run()
+    else:
+        print(
+            f"running campaign: {len(campaign.scenarios)} scenarios, "
+            f"{'reused' if args.reuse_range else 'fresh'} range per run ..."
+        )
+        report = campaign.run()
+    print(report.summary())
+    if args.report:
+        report.write_json(args.report)
+        print(f"aggregate report written to {args.report}")
+    return 0 if report.passed else 1
 
 
 if __name__ == "__main__":

@@ -125,19 +125,25 @@ class CyberRange:
         self.simulator.run_realtime(int(seconds * SECOND), speed=speed)
 
     def run_scenario(
-        self, scenario: "Scenario", duration_s: float
+        self, scenario: "Scenario", duration_s: float, settle_s: float = 0.0
     ) -> "ScenarioRun":
         """Execute an event-driven scenario: arm, run, score, report.
 
-        Starts the range if needed, arms every phase trigger, advances
-        ``duration_s`` of virtual time and returns the finished
+        Starts the range if needed, optionally advances ``settle_s`` of
+        virtual time *before arming* (device associations, initial GOOSE,
+        first power-flow publishes — so ``when()`` conditions arm against
+        a settled data plane; the campaign runner uses this on freshly
+        compiled ranges), then arms every root phase trigger, advances
+        ``duration_s`` and returns the finished
         :class:`~repro.scenario.engine.ScenarioRun` (per-phase timing,
-        action log, outcome verdicts).
+        action log, branch path, outcome verdicts).
         """
         from repro.scenario.engine import ScenarioRun
 
         if not self.started:
             self.start()
+        if settle_s > 0:
+            self.run_for(settle_s)
         run = ScenarioRun(scenario, self)
         run.start()
         self.run_for(duration_s)

@@ -16,9 +16,18 @@ from_playbook`):
 * outcomes — named pass/fail checks producing structured per-phase
   records in the after-action report (:class:`ScenarioRun`).
 
+Phases form an **outcome-conditioned graph**: ``on_pass`` / ``on_fail`` /
+``on_timeout`` edges route to dormant branch-target phases (armed only
+when routed to — untaken branches cost nothing), with ``timeout_s``
+arming windows and ``max_visits``-bounded cycles.  The
+:mod:`repro.scenario.catalog` families *generate* branched scenario specs
+per model set, and :class:`Campaign` sweeps them (``sgml campaign``) into
+one aggregate report.
+
 Entry points: ``CyberRange.run_scenario(scenario, duration_s)``,
-``Scenario.from_spec`` (dict/YAML-shaped, wired to the ``sgml scenario``
-CLI subcommand) and ``Scenario.from_playbook`` for legacy playbooks.
+``Scenario.from_spec`` / ``to_spec`` (dict/YAML-shaped, wired to the
+``sgml scenario`` CLI subcommand), ``Campaign.from_catalog`` /
+``from_spec_dir``, and ``Scenario.from_playbook`` for legacy playbooks.
 """
 
 from repro.scenario.actions import (
@@ -26,6 +35,7 @@ from repro.scenario.actions import (
     ActionError,
     CallAction,
     InjectBreakerAction,
+    MitmSpoofAction,
     OperateAction,
     Outcome,
     RecordAction,
@@ -48,8 +58,15 @@ from repro.scenario.conditions import (
     parse_condition,
     point,
 )
+from repro.scenario.campaign import (
+    Campaign,
+    CampaignError,
+    CampaignReport,
+    CampaignScenario,
+)
 from repro.scenario.engine import (
     ActionRecord,
+    BranchRecord,
     OutcomeRecord,
     PhaseRecord,
     ScenarioRun,
@@ -82,11 +99,17 @@ __all__ = [
     "AnyOfTrigger",
     "AtTrigger",
     "BoolCondition",
+    "BranchRecord",
     "CallAction",
+    "Campaign",
+    "CampaignError",
+    "CampaignReport",
+    "CampaignScenario",
     "Comparison",
     "Condition",
     "ConditionError",
     "InjectBreakerAction",
+    "MitmSpoofAction",
     "OperateAction",
     "Outcome",
     "OutcomeRecord",

@@ -46,6 +46,14 @@ class Action:
     def execute(self, cyber_range: "CyberRange") -> Any:
         raise NotImplementedError
 
+    def to_spec(self) -> dict:
+        """The declarative ``{kind: params}`` form (inverse of
+        :func:`action_from_spec`).  Actions wrapping arbitrary python
+        callables are code, not data, and raise :class:`ActionError`."""
+        raise ActionError(
+            f"{type(self).__name__} has no declarative spec form"
+        )
+
 
 @dataclass
 class CallAction(Action):
@@ -78,6 +86,13 @@ class OperateAction(Action):
         hmi.operate(self.point, self.value)
         return f"{self.point} <- {self.value}"
 
+    def to_spec(self) -> dict:
+        params = {"hmi": self.hmi, "point": self.point, "value": self.value}
+        auto = f"HMI {self.hmi}: operate {self.point} = {self.value}"
+        if self.description != auto:
+            params["description"] = self.description
+        return {"operate": params}
+
 
 @dataclass
 class WritePointAction(Action):
@@ -109,6 +124,14 @@ class WritePointAction(Action):
             cyber_range.pointdb.set(self.key, self.value)
         return f"{self.key} <- {self.value}"
 
+    def to_spec(self) -> dict:
+        params: dict = {"key": self.key, "value": self.value}
+        if self.writer != "scenario":
+            params["writer"] = self.writer
+        if self.description != f"write {self.key} = {self.value}":
+            params["description"] = self.description
+        return {"write_point": params}
+
 
 @dataclass
 class RecordAction(Action):
@@ -123,6 +146,12 @@ class RecordAction(Action):
 
     def execute(self, cyber_range: "CyberRange") -> Any:
         return f"{self.key} = {cyber_range.measurement(self.key):.4f}"
+
+    def to_spec(self) -> dict:
+        params: dict = {"key": self.key}
+        if self.description != f"record {self.key}":
+            params["description"] = self.description
+        return {"record": params}
 
 
 @dataclass
@@ -178,6 +207,94 @@ class InjectBreakerAction(Action):
             result = injector.open_breaker(self.server_ip, self.ied)
         return result.reference
 
+    def to_spec(self) -> dict:
+        params: dict = {"server_ip": self.server_ip, "ied": self.ied}
+        if self.close:
+            params["close"] = True
+        if self.attacker != "red1":
+            params["attacker"] = self.attacker
+        if self.switch:
+            params["switch"] = self.switch
+        verb = "close" if self.close else "open"
+        auto = f"FCI: MMS breaker-{verb} against {self.ied} ({self.server_ip})"
+        if self.description != auto:
+            params["description"] = self.description
+        return {"inject_breaker": params}
+
+
+@dataclass
+class MitmSpoofAction(Action):
+    """Red-team ARP-spoofing MITM with optional measurement falsification.
+
+    Attaches (or reuses) an attacker host on ``switch``, poisons the two
+    victims' ARP caches with a :class:`~repro.attacks.mitm.MitmPipeline`
+    and — when ``ref`` is given — rewrites that MMS object reference to
+    ``value`` in intercepted responses (the paper's Fig. 6 falsification).
+    The pipeline stays up for the rest of the run: red-team persistence is
+    part of the exercise, and a later phase can strike from the on-path
+    ``attacker`` host while the operator is blind.
+    """
+
+    victim_a_ip: str
+    victim_b_ip: str
+    attacker: str = "spy"
+    switch: str = ""
+    ref: str = ""
+    value: float = 0.0
+    description: str = ""
+    _pipeline: Any = field(default=None, repr=False, compare=False)
+    _pipeline_range: Any = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.description:
+            self.description = self._auto_description()
+
+    def _auto_description(self) -> str:
+        text = f"MITM: ARP-spoof {self.victim_a_ip} <-> {self.victim_b_ip}"
+        if self.ref:
+            text += f", falsify {self.ref} = {self.value:g}"
+        return text
+
+    def execute(self, cyber_range: "CyberRange") -> Any:
+        # One pipeline per range: re-running against a fresh range must
+        # not reuse a host bound to the old one (InjectBreakerAction idiom).
+        if self._pipeline is None or self._pipeline_range is not cyber_range:
+            from repro.attacks.mitm import MeasurementSpoofer, MitmPipeline
+
+            host = cyber_range.network.hosts.get(self.attacker)
+            if host is None:
+                if not self.switch:
+                    raise ActionError(
+                        f"attacker {self.attacker!r} does not exist and no "
+                        "switch was given to attach it to"
+                    )
+                host = cyber_range.add_attacker(self.switch, name=self.attacker)
+            transform = (
+                MeasurementSpoofer({self.ref: self.value}) if self.ref else None
+            )
+            self._pipeline = MitmPipeline(
+                host, self.victim_a_ip, self.victim_b_ip, transform=transform
+            )
+            self._pipeline_range = cyber_range
+            self._pipeline.start()
+        return f"on-path between {self.victim_a_ip} and {self.victim_b_ip}"
+
+    def to_spec(self) -> dict:
+        params: dict = {
+            "victim_a_ip": self.victim_a_ip,
+            "victim_b_ip": self.victim_b_ip,
+        }
+        if self.attacker != "spy":
+            params["attacker"] = self.attacker
+        if self.switch:
+            params["switch"] = self.switch
+        if self.ref:
+            params["ref"] = self.ref
+            params["value"] = self.value
+        if self.description != self._auto_description():
+            params["description"] = self.description
+        return {"mitm_spoof": params}
+
 
 #: Outcome check: a condition over points, or any predicate on the range.
 CheckFn = Callable[["CyberRange"], bool]
@@ -185,11 +302,19 @@ CheckFn = Callable[["CyberRange"], bool]
 
 @dataclass
 class Outcome:
-    """A named pass/fail check scored ``after_s`` seconds past phase fire."""
+    """A named pass/fail check scored ``after_s`` seconds past phase fire.
+
+    ``gate=True`` marks a *gating* outcome: it still determines the owning
+    phase's verdict (and therefore which ``on_pass``/``on_fail`` branch is
+    taken) but is excluded from :attr:`ScenarioRun.passed` — the training
+    verdict of an *adaptive* scenario should score the path it actually
+    took, not punish the probe that chose it.
+    """
 
     name: str
     check: Union[Condition, str, CheckFn]
     after_s: float = 0.0
+    gate: bool = False
 
     def __post_init__(self) -> None:
         if isinstance(self.check, str):
@@ -204,6 +329,19 @@ class Outcome:
             return passed, self.check.describe()
         result = self.check(cyber_range)
         return bool(result), f"predicate -> {result!r}"
+
+    def to_spec(self) -> dict:
+        if not isinstance(self.check, Condition):
+            raise ActionError(
+                f"outcome {self.name!r} checks a python callable and has "
+                "no declarative spec form"
+            )
+        spec: dict = {"name": self.name, "check": self.check.to_spec_str()}
+        if self.after_s:
+            spec["after_s"] = self.after_s
+        if self.gate:
+            spec["gate"] = True
+        return spec
 
 
 # ---------------------------------------------------------------------------
@@ -251,6 +389,21 @@ _ACTION_BUILDERS: dict[str, tuple[Callable[[dict], Action], frozenset]] = {
             {"server_ip", "ied", "close", "attacker", "switch", "description"}
         ),
     ),
+    "mitm_spoof": (
+        lambda spec: MitmSpoofAction(
+            victim_a_ip=spec["victim_a_ip"],
+            victim_b_ip=spec["victim_b_ip"],
+            attacker=spec.get("attacker", "spy"),
+            switch=spec.get("switch", ""),
+            ref=spec.get("ref", ""),
+            value=float(spec.get("value", 0.0)),
+            description=spec.get("description", ""),
+        ),
+        frozenset(
+            {"victim_a_ip", "victim_b_ip", "attacker", "switch", "ref",
+             "value", "description"}
+        ),
+    ),
 }
 
 
@@ -286,7 +439,7 @@ def outcome_from_spec(spec: dict) -> Outcome:
         raise ActionError(
             f"outcome spec needs 'name' and 'check' fields, got {spec!r}"
         )
-    unknown = set(spec) - {"name", "check", "after_s"}
+    unknown = set(spec) - {"name", "check", "after_s", "gate"}
     if unknown:
         raise ActionError(
             f"outcome {spec['name']!r} has unknown fields {sorted(unknown)}"
@@ -295,4 +448,5 @@ def outcome_from_spec(spec: dict) -> Outcome:
         name=spec["name"],
         check=spec["check"],
         after_s=float(spec.get("after_s", 0.0)),
+        gate=bool(spec.get("gate", False)),
     )

@@ -1,0 +1,65 @@
+"""Scenario catalog: parameterized families generated per model set.
+
+The paper's end goal is automated *generation* of cybersecurity
+experiments and training content.  This package is that generation step:
+
+* :class:`ModelInventory` introspects an :class:`~repro.sgml.modelset.
+  SgmlModelSet` (or a compiled range's artifacts) into the attack surface —
+  buses, breakers, tie lines, loads, IED hosts, MMS client/server pairs;
+* :class:`ScenarioFamily` subclasses (``FAMILIES``) template concrete,
+  branch-on-outcome scenario specs over that inventory;
+* :func:`generate_catalog` sweeps the families over one model set and
+  returns :class:`CatalogEntry` records whose ``spec`` dicts are portable
+  ``Scenario.from_spec`` training artifacts.
+
+The ``sgml campaign`` CLI runs (or ``--dry-run`` validates) a generated
+catalog end to end; see :mod:`repro.scenario.campaign`.
+"""
+
+from repro.scenario.catalog.families import (
+    FAMILIES,
+    BreakerStormDrillFamily,
+    CascadingContingencyFamily,
+    CatalogEntry,
+    CatalogError,
+    FciOnOverloadFamily,
+    LoadStepStressFamily,
+    MitmBlindedStrikeFamily,
+    NoApplicableSite,
+    ScenarioFamily,
+    generate_catalog,
+)
+from repro.scenario.catalog.inventory import (
+    BreakerInfo,
+    FciTarget,
+    GuardedLine,
+    IedInfo,
+    InventoryError,
+    LineInfo,
+    LoadInfo,
+    MmsPair,
+    ModelInventory,
+)
+
+__all__ = [
+    "BreakerInfo",
+    "BreakerStormDrillFamily",
+    "CascadingContingencyFamily",
+    "CatalogEntry",
+    "CatalogError",
+    "FAMILIES",
+    "FciOnOverloadFamily",
+    "FciTarget",
+    "GuardedLine",
+    "IedInfo",
+    "InventoryError",
+    "LineInfo",
+    "LoadInfo",
+    "LoadStepStressFamily",
+    "MitmBlindedStrikeFamily",
+    "MmsPair",
+    "ModelInventory",
+    "NoApplicableSite",
+    "ScenarioFamily",
+    "generate_catalog",
+]

@@ -1,0 +1,663 @@
+"""Parameterized scenario families — the catalog's generation step.
+
+A :class:`ScenarioFamily` is a template over a :class:`~repro.scenario.
+catalog.inventory.ModelInventory`: given the model set's actual buses,
+breakers, tie lines, loads and IED hosts it emits concrete declarative
+scenario specs (plain dicts, the exact ``Scenario.from_spec`` format), one
+per applicable *site*.  The emitted specs are portable training artifacts:
+they round-trip through ``Scenario.from_spec(...).to_spec()`` and run from
+the ``sgml scenario`` / ``sgml campaign`` CLI on any range compiled from
+the same model set.
+
+Families ship branch-on-outcome graphs: probes carry *gate* outcomes that
+steer ``on_pass``/``on_fail``/``on_timeout`` edges, so the same spec adapts
+to what actually happens on the range (a strike that never gets its overload
+window escalates; a blinded strike that lands is confirmed, one that misses
+falls back to direct injection).
+
+Built-in families (``FAMILIES``):
+
+=====================  =====================================================
+``fci-on-overload``    white cell steps a load; when line loading crosses
+                       the threshold the red team injects an MMS breaker
+                       open; escalates to a direct strike on timeout/failure
+``mitm-blinded-strike``ARP-spoof MITM blinds an MMS client, strike from the
+                       on-path host; falls back to a direct strike on_fail
+``cascading-contingency`` forced line outage; when the far bus collapses a
+                       second breaker is tripped; white-cell relief on
+                       timeout restores the first breaker
+``load-step-stress``   staircase load steps; a sag watch routes to blue
+                       load-shedding or a ride-through check
+``breaker-storm-drill``open/reclose sweep across breakers with per-step
+                       status scoring (the event-storm workload)
+=====================  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.scenario.catalog.inventory import (
+    GuardedLine,
+    InventoryError,
+    MmsPair,
+    ModelInventory,
+)
+from repro.scenario.scenario import Scenario
+from repro.sgml.modelset import SgmlModelSet
+
+
+class CatalogError(Exception):
+    """Family misuse or a model set with no applicable site."""
+
+
+class NoApplicableSite(CatalogError):
+    """This model set has no site this family can parameterize over.
+
+    The only :class:`CatalogError` subtype a whole-catalog sweep may skip
+    over; parameter typos and unknown family names always surface.
+    """
+
+
+@dataclass
+class CatalogEntry:
+    """One generated scenario: family provenance + the concrete spec."""
+
+    family: str
+    name: str
+    site: str
+    spec: dict
+
+    def scenario(self) -> Scenario:
+        """Instantiate (and therefore validate) the spec."""
+        return Scenario.from_spec(self.spec)
+
+
+class ScenarioFamily:
+    """A parameterized scenario template over a model inventory."""
+
+    name: str = ""
+    description: str = ""
+    #: Tunable parameters with their defaults (overridable per generate()).
+    defaults: dict = {}
+
+    # ------------------------------------------------------------------
+    def sites(self, inventory: ModelInventory) -> list:
+        """Applicable sites in this model set (ordered, deterministic)."""
+        raise NotImplementedError
+
+    def build_spec(self, inventory: ModelInventory, site, params: dict) -> dict:
+        """One concrete scenario spec for one site."""
+        raise NotImplementedError
+
+    def site_label(self, site) -> str:
+        return str(site)
+
+    # ------------------------------------------------------------------
+    def generate(
+        self,
+        inventory: ModelInventory,
+        max_sites: int = 1,
+        **overrides,
+    ) -> list[CatalogEntry]:
+        """Emit up to ``max_sites`` concrete specs for this model set."""
+        unknown = set(overrides) - set(self.defaults)
+        if unknown:
+            raise CatalogError(
+                f"family {self.name!r} has no parameters {sorted(unknown)} "
+                f"(known: {sorted(self.defaults)})"
+            )
+        params = {**self.defaults, **overrides}
+        sites = self.sites(inventory)
+        if not sites:
+            raise NoApplicableSite(
+                f"family {self.name!r}: model set {inventory.name!r} has no "
+                "applicable site"
+            )
+        entries = []
+        for site in sites[: max(1, max_sites)]:
+            label = self.site_label(site)
+            spec = self.build_spec(inventory, site, params)
+            spec.setdefault("name", f"{self.name}-{label}")
+            entries.append(
+                CatalogEntry(
+                    family=self.name,
+                    name=spec["name"],
+                    site=label,
+                    spec=spec,
+                )
+            )
+        return entries
+
+
+# ---------------------------------------------------------------------------
+# Spec-building helpers (keep the families readable)
+# ---------------------------------------------------------------------------
+
+
+def _phase(name: str, trigger, team: str = "red", **extra) -> dict:
+    phase = {"name": name, "trigger": trigger, "team": team}
+    phase.update({k: v for k, v in extra.items() if v not in ("", None, [])})
+    return phase
+
+
+def _write(key: str, value) -> dict:
+    return {"write_point": {"key": key, "value": value}}
+
+
+def _record(key: str) -> dict:
+    return {"record": {"key": key}}
+
+
+def _fci(target, attacker: str = "red1", with_switch: bool = True) -> dict:
+    params = {"server_ip": target.server_ip, "ied": target.ied}
+    if attacker != "red1":
+        params["attacker"] = attacker
+    if with_switch:
+        params["switch"] = target.switch
+    return {"inject_breaker": params}
+
+
+def _outcome(name: str, check: str, after_s: float = 0.0, gate: bool = False) -> dict:
+    outcome: dict = {"name": name, "check": check}
+    if after_s:
+        outcome["after_s"] = after_s
+    if gate:
+        outcome["gate"] = True
+    return outcome
+
+
+# ---------------------------------------------------------------------------
+# The built-in families
+# ---------------------------------------------------------------------------
+
+
+class FciOnOverloadFamily(ScenarioFamily):
+    """Load-step a feeder until a guarded line overloads, then strike."""
+
+    name = "fci-on-overload"
+    description = (
+        "white cell steps a load; when the guarded line's loading crosses "
+        "the threshold, red injects an MMS breaker-open (FCI); a strike "
+        "window that never opens (or a strike that misses) escalates to a "
+        "direct injection"
+    )
+    defaults = {
+        "load_scale": 3.0,
+        "loading_threshold_pct": 35.0,
+        "hysteresis_pct": 5.0,
+        "strike_window_s": 6.0,
+        "duration_s": 15.0,
+    }
+
+    def sites(self, inventory: ModelInventory) -> list[GuardedLine]:
+        return [g for g in inventory.guarded_lines if inventory.loads]
+
+    def site_label(self, site: GuardedLine) -> str:
+        return site.line.name
+
+    def build_spec(self, inventory, site: GuardedLine, params) -> dict:
+        line, breaker = site.line, site.breaker
+        load = inventory.loads[0]  # biggest mover
+        tripped = f"not {breaker.status_key}"
+        return {
+            "name": f"{self.name}-{line.name}",
+            "description": (
+                f"overload {line.name} via {load.name} x"
+                f"{params['load_scale']:g}, FCI {breaker.name} through "
+                f"{breaker.fci.ied}"
+            ),
+            "duration_s": params["duration_s"],
+            "phases": [
+                _phase(
+                    "stress",
+                    {"at": 1.0},
+                    team="white",
+                    actions=[_write(load.scale_key, params["load_scale"])],
+                ),
+                _phase(
+                    "strike",
+                    {
+                        "when": (
+                            f"{line.loading_key} > "
+                            f"{params['loading_threshold_pct']:g}"
+                        ),
+                        "hysteresis": params["hysteresis_pct"],
+                    },
+                    actions=[_fci(breaker.fci)],
+                    outcomes=[
+                        _outcome(
+                            "breaker forced open", tripped,
+                            after_s=1.5, gate=True,
+                        )
+                    ],
+                    on_pass="confirm",
+                    on_fail="escalate",
+                    on_timeout="escalate",
+                    timeout_s=params["strike_window_s"],
+                ),
+                _phase(
+                    "confirm",
+                    {"at": 0.5},
+                    team="white",
+                    actions=[_record(f"meas/{site.far_bus}/vm_pu")],
+                    outcomes=[_outcome("line de-energized", tripped)],
+                ),
+                _phase(
+                    "escalate",
+                    {"at": 0.5},
+                    actions=[_fci(breaker.fci, attacker="red-direct")],
+                    outcomes=[
+                        _outcome(
+                            "breaker open after escalation", tripped,
+                            after_s=1.5,
+                        )
+                    ],
+                ),
+            ],
+        }
+
+
+class MitmBlindedStrikeFamily(ScenarioFamily):
+    """Blind an MMS client with an ARP-spoofing MITM, strike while blind."""
+
+    name = "mitm-blinded-strike"
+    description = (
+        "ARP-spoof the client/server MMS path, falsify the monitored "
+        "measurement, strike from the on-path host; a strike that misses "
+        "falls back to direct injection from the server's own LAN"
+    )
+    defaults = {
+        "spoof_value": 0.999,
+        "strike_delay_s": 2.0,
+        "duration_s": 20.0,
+    }
+
+    def sites(self, inventory: ModelInventory) -> list[tuple]:
+        sites = []
+        fci_by_ied = {
+            b.fci.ied: b for b in inventory.fci_breakers
+        }
+        for pair in inventory.mms_pairs:
+            breaker = fci_by_ied.get(pair.server)
+            if breaker is not None:
+                sites.append((pair, breaker))
+        return sites
+
+    def site_label(self, site) -> str:
+        pair, _breaker = site
+        return pair.server
+
+    def build_spec(self, inventory, site, params) -> dict:
+        pair, breaker = site
+        tripped = f"not {breaker.status_key}"
+        return {
+            "name": f"{self.name}-{pair.server}",
+            "description": (
+                f"MITM {pair.client} <-> {pair.server}, falsify "
+                f"{pair.spoof_ref}, strike {breaker.name} while blind"
+            ),
+            "duration_s": params["duration_s"],
+            "phases": [
+                _phase(
+                    "blind",
+                    {"at": 1.0},
+                    actions=[
+                        {
+                            "mitm_spoof": {
+                                "victim_a_ip": pair.client_ip,
+                                "victim_b_ip": pair.server_ip,
+                                "switch": pair.spy_switch,
+                                "ref": pair.spoof_ref,
+                                "value": params["spoof_value"],
+                            }
+                        }
+                    ],
+                ),
+                _phase(
+                    "strike",
+                    {"after": "blind", "delay": params["strike_delay_s"]},
+                    actions=[
+                        {
+                            "inject_breaker": {
+                                "server_ip": pair.server_ip,
+                                "ied": pair.server,
+                                "attacker": "spy",
+                                "switch": pair.spy_switch,
+                            }
+                        }
+                    ],
+                    outcomes=[
+                        _outcome(
+                            "breaker forced open while blind", tripped,
+                            after_s=1.0, gate=True,
+                        )
+                    ],
+                    on_pass="hold",
+                    on_fail="direct-strike",
+                ),
+                _phase(
+                    "hold",
+                    {"at": 0.5},
+                    team="white",
+                    outcomes=[_outcome("blinded strike landed", tripped)],
+                ),
+                _phase(
+                    "direct-strike",
+                    {"at": 0.5},
+                    actions=[_fci(breaker.fci, attacker="red-direct")],
+                    outcomes=[
+                        _outcome(
+                            "breaker open after fallback", tripped,
+                            after_s=1.5,
+                        )
+                    ],
+                ),
+            ],
+        }
+
+
+class CascadingContingencyFamily(ScenarioFamily):
+    """Forced line outage, then a second trip when the far bus collapses."""
+
+    name = "cascading-contingency"
+    description = (
+        "white cell forces a guarded line's breaker open; when the far-end "
+        "bus collapses the cascade trips a second breaker; if the grid "
+        "rides through, white-cell relief recloses the first breaker"
+    )
+    defaults = {
+        "collapse_vm_pu": 0.5,
+        "cascade_window_s": 6.0,
+        "duration_s": 15.0,
+    }
+
+    def sites(self, inventory: ModelInventory) -> list[tuple]:
+        sites = []
+        for guarded in inventory.guarded_lines:
+            second = next(
+                (
+                    b
+                    for b in inventory.breakers
+                    if b.name != guarded.breaker.name
+                ),
+                None,
+            )
+            if second is not None and guarded.far_bus:
+                sites.append((guarded, second))
+        return sites
+
+    def site_label(self, site) -> str:
+        guarded, _second = site
+        return guarded.line.name
+
+    def build_spec(self, inventory, site, params) -> dict:
+        guarded, second = site
+        far_vm = f"meas/{guarded.far_bus}/vm_pu"
+        return {
+            "name": f"{self.name}-{guarded.line.name}",
+            "description": (
+                f"force {guarded.breaker.name} open; on {guarded.far_bus} "
+                f"collapse, cascade to {second.name}; relief on ride-through"
+            ),
+            "duration_s": params["duration_s"],
+            "phases": [
+                _phase(
+                    "first-contingency",
+                    {"at": 1.0},
+                    team="white",
+                    actions=[
+                        _record(far_vm),
+                        _write(guarded.breaker.command_key, False),
+                    ],
+                ),
+                _phase(
+                    "cascade-watch",
+                    {"when": f"{far_vm} < {params['collapse_vm_pu']:g}"},
+                    actions=[
+                        _record(far_vm),
+                        _write(second.command_key, False),
+                    ],
+                    outcomes=[
+                        _outcome(
+                            "second breaker tripped",
+                            f"not {second.status_key}",
+                            after_s=1.0,
+                        )
+                    ],
+                    on_timeout="relief",
+                    timeout_s=params["cascade_window_s"],
+                ),
+                _phase(
+                    "relief",
+                    {"at": 0.5},
+                    team="blue",
+                    actions=[_write(guarded.breaker.command_key, True)],
+                    outcomes=[
+                        _outcome(
+                            "system restored", f"{far_vm} > 0.9", after_s=2.0
+                        )
+                    ],
+                ),
+            ],
+        }
+
+
+class LoadStepStressFamily(ScenarioFamily):
+    """Staircase load steps with a sag watch routing shed vs ride-through."""
+
+    name = "load-step-stress"
+    description = (
+        "step the biggest load up in a staircase; a voltage-sag watch "
+        "routes to blue-team load shedding (and checks recovery) or, if "
+        "the bus rides the steps out, to a ride-through check"
+    )
+    defaults = {
+        "steps": (1.5, 2.5, 4.0),
+        "step_interval_s": 3.0,
+        "sag_vm_pu": 0.97,
+        "recovery_vm_pu": 0.98,
+        "watch_window_s": 12.0,
+        "duration_s": 25.0,
+    }
+
+    def sites(self, inventory: ModelInventory) -> list:
+        return [load for load in inventory.loads if load.bus][:1] or []
+
+    def site_label(self, site) -> str:
+        return site.name
+
+    def build_spec(self, inventory, site, params) -> dict:
+        bus_vm = f"meas/{site.bus}/vm_pu"
+        phases = []
+        previous = None
+        for index, scale in enumerate(params["steps"], start=1):
+            trigger: Union[dict, float]
+            if previous is None:
+                trigger = {"at": 1.0}
+            else:
+                trigger = {
+                    "after": previous, "delay": params["step_interval_s"]
+                }
+            name = f"step-{index}"
+            phases.append(
+                _phase(
+                    name,
+                    trigger,
+                    team="white",
+                    actions=[_write(site.scale_key, scale)],
+                )
+            )
+            previous = name
+        phases.append(
+            _phase(
+                "sag-watch",
+                {"when": f"{bus_vm} < {params['sag_vm_pu']:g}"},
+                team="blue",
+                actions=[_record(bus_vm)],
+                on_pass="shed",
+                on_timeout="ride-through",
+                timeout_s=params["watch_window_s"],
+            )
+        )
+        phases.append(
+            _phase(
+                "shed",
+                {"at": 0.5},
+                team="blue",
+                actions=[_write(site.scale_key, 1.0)],
+                outcomes=[
+                    _outcome(
+                        "voltage recovered",
+                        f"{bus_vm} > {params['recovery_vm_pu']:g}",
+                        after_s=3.0,
+                    )
+                ],
+            )
+        )
+        phases.append(
+            _phase(
+                "ride-through",
+                {"at": 0.0},
+                team="white",
+                actions=[_record(bus_vm)],
+                outcomes=[
+                    _outcome(
+                        "bus rode the steps out",
+                        f"{bus_vm} > {params['sag_vm_pu']:g}",
+                    )
+                ],
+            )
+        )
+        return {
+            "name": f"{self.name}-{site.name}",
+            "description": (
+                f"staircase {site.name} through {params['steps']}, watch "
+                f"{site.bus} for sag below {params['sag_vm_pu']:g} pu"
+            ),
+            "duration_s": params["duration_s"],
+            "phases": phases,
+        }
+
+
+class BreakerStormDrillFamily(ScenarioFamily):
+    """Open/reclose sweep across breakers — the event-storm drill."""
+
+    name = "breaker-storm-drill"
+    description = (
+        "operator drill: open then reclose a sweep of breakers in "
+        "sequence, scoring every transition on the published status points"
+    )
+    defaults = {
+        "breaker_count": 3,
+        "step_s": 1.5,
+        "duration_s": 20.0,
+    }
+
+    def sites(self, inventory: ModelInventory) -> list[tuple]:
+        return [tuple(inventory.breakers)] if inventory.breakers else []
+
+    def site_label(self, site) -> str:
+        return f"{len(site)}-breakers"
+
+    def build_spec(self, inventory, site, params) -> dict:
+        breakers = list(site)[: int(params["breaker_count"])]
+        phases = []
+        time_s = 1.0
+        for breaker in breakers:
+            phases.append(
+                _phase(
+                    f"open-{breaker.name}",
+                    {"at": time_s},
+                    team="blue",
+                    actions=[_write(breaker.command_key, False)],
+                    outcomes=[
+                        _outcome(
+                            f"{breaker.name} opened",
+                            f"not {breaker.status_key}",
+                            after_s=0.5,
+                        )
+                    ],
+                )
+            )
+            phases.append(
+                _phase(
+                    f"reclose-{breaker.name}",
+                    {"at": time_s + params["step_s"]},
+                    team="blue",
+                    actions=[_write(breaker.command_key, True)],
+                    outcomes=[
+                        _outcome(
+                            f"{breaker.name} reclosed",
+                            breaker.status_key,
+                            after_s=0.5,
+                        )
+                    ],
+                )
+            )
+            time_s += 2 * params["step_s"]
+        return {
+            "name": f"{self.name}-{len(breakers)}x",
+            "description": (
+                f"open/reclose sweep over "
+                f"{', '.join(b.name for b in breakers)}"
+            ),
+            "duration_s": max(params["duration_s"], time_s + 2.0),
+            "phases": phases,
+        }
+
+
+#: The shipped catalog, in presentation order.
+FAMILIES: dict[str, ScenarioFamily] = {
+    family.name: family
+    for family in (
+        FciOnOverloadFamily(),
+        MitmBlindedStrikeFamily(),
+        CascadingContingencyFamily(),
+        LoadStepStressFamily(),
+        BreakerStormDrillFamily(),
+    )
+}
+
+
+def generate_catalog(
+    model: Union[SgmlModelSet, ModelInventory],
+    families: Optional[list[str]] = None,
+    max_sites: int = 1,
+    params: Optional[dict] = None,
+) -> list[CatalogEntry]:
+    """Generate the scenario catalog for one model set.
+
+    ``families`` selects a subset by name (default: all).  ``max_sites``
+    bounds how many sites each family instantiates.  ``params`` maps
+    family name → parameter overrides.  Families with no applicable site
+    in this model set are skipped (generating across heterogeneous model
+    sets must not fail on the sparse ones) — unless they were requested by
+    name, in which case the error surfaces.  Parameter errors (a typo'd
+    override key, an unknown family name) always surface: a sweep must
+    never silently drop a family the user tried to configure.
+    """
+    inventory = (
+        model
+        if isinstance(model, ModelInventory)
+        else ModelInventory.from_model(model)
+    )
+    selected = list(FAMILIES) if families is None else list(families)
+    unknown = [name for name in selected if name not in FAMILIES]
+    if unknown:
+        raise CatalogError(
+            f"unknown families {unknown} (known: {sorted(FAMILIES)})"
+        )
+    entries: list[CatalogEntry] = []
+    for name in selected:
+        family = FAMILIES[name]
+        overrides = (params or {}).get(name, {})
+        try:
+            entries.extend(
+                family.generate(inventory, max_sites=max_sites, **overrides)
+            )
+        except NoApplicableSite:
+            if families is not None:
+                raise
+    return entries

@@ -1,0 +1,370 @@
+"""Model-set introspection for scenario generation (the paper's step 2).
+
+The catalog derives training content *from the standard model set itself*
+(SG-ML / Auto-SGCR): a :class:`ModelInventory` digests a
+:class:`~repro.sgml.modelset.SgmlModelSet` — or the
+:class:`~repro.sgml.processor.CompiledArtifacts` of an already-compiled
+range — into the attack surface scenario families parameterize over:
+
+* **buses** (connectivity-node paths; ``meas/<bus>/vm_pu`` point keys),
+* **lines** incl. SED tie lines (``meas/<line>/loading`` keys, endpoints),
+* **breakers** (``status``/``cmd`` keys, adjacency, and — when an IED
+  config carries a writable ``cmd/<breaker>/close`` mapping — the
+  :class:`FciTarget` describing how to strike it over MMS),
+* **loads** (``cmd/<load>/scale`` white-cell step keys),
+* **IED hosts** (IP + attach switch from the network plan), and
+* **MMS client/server pairs** (SCADA direct sources, PLC read binds, or —
+  on model sets with no SCADA/PLC — a same-LAN fallback pair) for
+  man-in-the-middle families.
+
+Building an inventory does **not** compile a range: it runs only the
+SSD/SCD mergers and the network planner, so catalog generation and
+``--dry-run`` validation stay cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.scl.merge import merge_scd, merge_ssd
+from repro.sgml.modelset import SgmlModelSet
+from repro.sgml.network_gen import NetworkPlan, generate_network_plan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sgml.processor import CompiledArtifacts
+
+
+class InventoryError(Exception):
+    """The model set lacks something introspection requires."""
+
+
+@dataclass(frozen=True)
+class FciTarget:
+    """How to false-command-inject a breaker: which MMS server to hit."""
+
+    breaker: str
+    ied: str
+    server_ip: str
+    switch: str
+
+
+@dataclass(frozen=True)
+class BreakerInfo:
+    name: str
+    nodes: tuple[str, ...]  # terminal connectivity-node paths
+    fci: Optional[FciTarget] = None
+
+    @property
+    def status_key(self) -> str:
+        return f"status/{self.name}/closed"
+
+    @property
+    def command_key(self) -> str:
+        return f"cmd/{self.name}/close"
+
+
+@dataclass(frozen=True)
+class LineInfo:
+    name: str
+    endpoints: tuple[str, ...]  # connectivity-node paths
+    is_tie: bool = False
+
+    @property
+    def loading_key(self) -> str:
+        return f"meas/{self.name}/loading"
+
+    @property
+    def current_key(self) -> str:
+        return f"meas/{self.name}/i_ka"
+
+
+@dataclass(frozen=True)
+class GuardedLine:
+    """A line whose current is measured by an IED that can also trip an
+    adjacent breaker — the site shape of overload/cascade families."""
+
+    line: LineInfo
+    breaker: BreakerInfo
+
+    @property
+    def far_bus(self) -> str:
+        """The line endpoint on the side away from the breaker."""
+        far = [n for n in self.line.endpoints if n not in self.breaker.nodes]
+        return far[0] if far else self.line.endpoints[-1]
+
+
+@dataclass(frozen=True)
+class LoadInfo:
+    name: str
+    bus: str
+    p_mw: float
+
+    @property
+    def scale_key(self) -> str:
+        return f"cmd/{self.name}/scale"
+
+
+@dataclass(frozen=True)
+class IedInfo:
+    name: str
+    ip: str
+    switch: str
+
+
+@dataclass(frozen=True)
+class MmsPair:
+    """An interceptable client/server MMS relationship (MITM site)."""
+
+    client: str
+    client_ip: str
+    server: str
+    server_ip: str
+    spy_switch: str  # where the on-path attacker attaches
+    spoof_ref: str = ""  # MMS object reference worth falsifying
+
+
+def _vm_key(bus: str) -> str:
+    return f"meas/{bus}/vm_pu"
+
+
+@dataclass
+class ModelInventory:
+    """Everything the scenario families parameterize over."""
+
+    name: str = "model"
+    substations: list[str] = field(default_factory=list)
+    buses: list[str] = field(default_factory=list)
+    lines: list[LineInfo] = field(default_factory=list)
+    breakers: list[BreakerInfo] = field(default_factory=list)
+    loads: list[LoadInfo] = field(default_factory=list)
+    ieds: dict[str, IedInfo] = field(default_factory=dict)
+    hmis: list[str] = field(default_factory=list)
+    guarded_lines: list[GuardedLine] = field(default_factory=list)
+    mms_pairs: list[MmsPair] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    bus_vm_key = staticmethod(_vm_key)
+
+    @property
+    def tie_lines(self) -> list[LineInfo]:
+        return [line for line in self.lines if line.is_tie]
+
+    @property
+    def fci_breakers(self) -> list[BreakerInfo]:
+        return [b for b in self.breakers if b.fci is not None]
+
+    def summary(self) -> dict[str, int]:
+        return {
+            "substations": len(self.substations),
+            "buses": len(self.buses),
+            "lines": len(self.lines),
+            "tie_lines": len(self.tie_lines),
+            "breakers": len(self.breakers),
+            "fci_breakers": len(self.fci_breakers),
+            "loads": len(self.loads),
+            "ieds": len(self.ieds),
+            "hmis": len(self.hmis),
+            "guarded_lines": len(self.guarded_lines),
+            "mms_pairs": len(self.mms_pairs),
+        }
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_model(cls, model: SgmlModelSet) -> "ModelInventory":
+        """Introspect a parsed model set (mergers + planner only)."""
+        ssd_sources = model.ssds or model.scds
+        scd_sources = model.scds or model.ssds
+        if not ssd_sources:
+            raise InventoryError("model set has no SSD or SCD files")
+        merged_ssd = merge_ssd(ssd_sources, sed=model.sed)
+        plan = generate_network_plan(merge_scd(scd_sources, sed=model.sed))
+        return cls._build(merged_ssd, plan, model)
+
+    @classmethod
+    def from_artifacts(
+        cls, model: SgmlModelSet, artifacts: "CompiledArtifacts"
+    ) -> "ModelInventory":
+        """Reuse an already-compiled range's merged documents and plan."""
+        if artifacts.merged_ssd is None or artifacts.network_plan is None:
+            raise InventoryError("artifacts are not compiled yet")
+        return cls._build(artifacts.merged_ssd, artifacts.network_plan, model)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def _build(cls, merged_ssd, plan: NetworkPlan, model: SgmlModelSet):
+        inventory = cls(name=merged_ssd.header.id or "model")
+        for substation in merged_ssd.substations:
+            inventory.substations.append(substation.name)
+            for level, bay in substation.iter_bays():
+                for node in bay.connectivity_nodes:
+                    path = node.path_name or (
+                        f"{substation.name}/{level.name}/{bay.name}/{node.name}"
+                    )
+                    inventory.buses.append(path)
+            for _level, _bay, equipment in substation.iter_equipment():
+                nodes = tuple(
+                    t.connectivity_node for t in equipment.terminals
+                )
+                if equipment.type in ("CBR", "DIS"):
+                    inventory.breakers.append(
+                        BreakerInfo(name=equipment.name, nodes=nodes)
+                    )
+                elif equipment.type == "LIN":
+                    inventory.lines.append(
+                        LineInfo(name=equipment.name, endpoints=nodes)
+                    )
+                elif equipment.type == "MOT":
+                    inventory.loads.append(
+                        LoadInfo(
+                            name=equipment.name,
+                            bus=nodes[0] if nodes else "",
+                            p_mw=float(
+                                equipment.attributes.get("p_mw", "0") or 0.0
+                            ),
+                        )
+                    )
+        for tie in merged_ssd.tie_lines:
+            inventory.lines.append(
+                LineInfo(
+                    name=tie.name,
+                    endpoints=(tie.from_node, tie.to_node),
+                    is_tie=True,
+                )
+            )
+        for host in plan.hosts:
+            inventory.ieds[host.name] = IedInfo(
+                name=host.name, ip=host.ip, switch=host.switch
+            )
+        inventory._attach_fci_targets(model)
+        inventory._derive_guarded_lines(model)
+        inventory._derive_mms_pairs(model)
+        # Biggest loads first: families that step "the" load step the one
+        # that moves the grid most.
+        inventory.loads.sort(key=lambda load: -load.p_mw)
+        return inventory
+
+    # ------------------------------------------------------------------
+    def _writable_breakers_of(self, config) -> list[str]:
+        names = []
+        for mapping in config.points:
+            if mapping.direction != "write":
+                continue
+            parts = mapping.db_key.split("/")
+            if len(parts) == 3 and parts[0] == "cmd" and parts[2] == "close":
+                names.append(parts[1])
+        return names
+
+    def _attach_fci_targets(self, model: SgmlModelSet) -> None:
+        by_name = {b.name: b for b in self.breakers}
+        for ied_name, config in model.ied_configs.items():
+            host = self.ieds.get(ied_name)
+            if host is None:
+                continue
+            for breaker_name in self._writable_breakers_of(config):
+                breaker = by_name.get(breaker_name)
+                if breaker is None or breaker.fci is not None:
+                    continue  # first writer wins (deterministic)
+                by_name[breaker_name] = BreakerInfo(
+                    name=breaker.name,
+                    nodes=breaker.nodes,
+                    fci=FciTarget(
+                        breaker=breaker.name,
+                        ied=ied_name,
+                        server_ip=host.ip,
+                        switch=host.switch,
+                    ),
+                )
+        self.breakers = [by_name[b.name] for b in self.breakers]
+
+    def _derive_guarded_lines(self, model: SgmlModelSet) -> None:
+        """Pair each line with an FCI-strikeable breaker *adjacent* to it,
+        preferring the IED that also measures the line's current."""
+        by_line = {line.name: line for line in self.lines}
+        by_breaker = {b.name: b for b in self.breakers}
+        seen: set[str] = set()
+        for ied_name, config in model.ied_configs.items():
+            measured = {
+                key.split("/")[1]
+                for key in (m.db_key for m in config.points)
+                if key.startswith("meas/") and key.endswith("/i_ka")
+            }
+            writable = self._writable_breakers_of(config)
+            for line_name in measured:
+                line = by_line.get(line_name)
+                if line is None or line_name in seen:
+                    continue
+                for breaker_name in writable:
+                    breaker = by_breaker.get(breaker_name)
+                    if breaker is None or breaker.fci is None:
+                        continue
+                    # Adjacency: the breaker shares a connectivity node with
+                    # the line, so opening it actually de-energizes it.
+                    if not set(breaker.nodes) & set(line.endpoints):
+                        continue
+                    self.guarded_lines.append(GuardedLine(line, breaker))
+                    seen.add(line_name)
+                    break
+        # Deterministic order regardless of dict iteration.
+        self.guarded_lines.sort(key=lambda g: g.line.name)
+
+    def _derive_mms_pairs(self, model: SgmlModelSet) -> None:
+        def add(client, server, spoof_ref=""):
+            client_host = self.ieds.get(client)
+            server_host = self.ieds.get(server)
+            if client_host is None or server_host is None:
+                return
+            self.mms_pairs.append(
+                MmsPair(
+                    client=client,
+                    client_ip=client_host.ip,
+                    server=server,
+                    server_ip=server_host.ip,
+                    spy_switch=client_host.switch,
+                    spoof_ref=spoof_ref
+                    or f"{server}LD0/MMXU1.PhV.phsA.cVal.mag.f",
+                )
+            )
+
+        scada = model.scada_config
+        if scada is not None and scada.scada_node:
+            self.hmis.append(scada.scada_node)
+            for source in scada.sources:
+                if str(source.get("type", "")).upper() != "MMS":
+                    continue
+                server = source.get("host", "")
+                ref = next(
+                    (
+                        point.get("objectRef", "")
+                        for point in scada.points
+                        if point.get("dataSource") == source.get("name")
+                        and point.get("objectRef")
+                    ),
+                    "",
+                )
+                add(scada.scada_node, server, ref)
+        for plc_name, plc_config in model.plc_configs.items():
+            for bind in plc_config.binds:
+                if bind.direction == "read":
+                    add(plc_name, bind.ied, bind.ref)
+                    break  # one representative pair per PLC
+        if not self.mms_pairs:
+            # No SCADA/PLC clients (e.g. the scale-out model): fall back to
+            # a same-LAN neighbour of an FCI-strikeable server, so MITM
+            # families still have an interception site to parameterize.
+            for breaker in self.fci_breakers:
+                server = self.ieds.get(breaker.fci.ied)
+                if server is None:
+                    continue
+                neighbour = next(
+                    (
+                        host
+                        for host in self.ieds.values()
+                        if host.switch == server.switch
+                        and host.name != server.name
+                    ),
+                    None,
+                )
+                if neighbour is not None:
+                    add(neighbour.name, server.name)
+                    break

@@ -35,6 +35,17 @@ from repro.pointdb.registry import parse_bool
 ReadFn = Callable[[str], Any]
 
 
+def _spec_number(value: float) -> str:
+    """Shortest spelling of ``value`` that parses back *exactly*.
+
+    ``%g`` (used for display) truncates past 6 significant digits, which
+    would make ``to_spec_str`` lossy; fall back to ``repr`` (guaranteed
+    round-trip for python floats) whenever the compact form drifts.
+    """
+    compact = f"{value:g}"
+    return compact if float(compact) == value else repr(value)
+
+
 class ConditionError(ValueError):
     """Malformed condition expression or spec string."""
 
@@ -48,6 +59,18 @@ class Condition:
     def evaluate(self, read: ReadFn) -> bool:
         """Current truth value given a point reader."""
         raise NotImplementedError
+
+    def to_spec_str(self) -> str:
+        """The ``parse_condition`` spelling of this condition.
+
+        Inverse of :func:`parse_condition`:
+        ``parse_condition(c.to_spec_str())`` is equivalent to ``c``.
+        Compound conditions (``&`` / ``|``) have no spec spelling and
+        raise — they are python artifacts, not portable data.
+        """
+        raise ConditionError(
+            f"{type(self).__name__} has no declarative spec spelling"
+        )
 
     def rearm_ready(self, read: ReadFn) -> bool:
         """True once the value has exited the hysteresis band.
@@ -155,6 +178,12 @@ class Comparison(Condition):
             text += f" (hysteresis {self.hysteresis:g})"
         return text
 
+    def to_spec_str(self) -> str:
+        """Band-free spec spelling; a hysteresis band is carried by the
+        *trigger* spec (``{"when": ..., "hysteresis": ...}``), never by the
+        condition string itself."""
+        return f"{self.key} {self.op} {_spec_number(self.threshold)}"
+
 
 @dataclass(frozen=True)
 class BoolCondition(Condition):
@@ -170,6 +199,9 @@ class BoolCondition(Condition):
         return parse_bool(read(self.key)) is self.expected
 
     def describe(self) -> str:
+        return self.key if self.expected else f"not {self.key}"
+
+    def to_spec_str(self) -> str:
         return self.key if self.expected else f"not {self.key}"
 
 

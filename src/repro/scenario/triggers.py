@@ -50,6 +50,10 @@ class TriggerHost(Protocol):
         self, time_s: float, callback: Callable[[], None], label: str
     ) -> Any: ...
 
+    def schedule_in_s(
+        self, delay_s: float, callback: Callable[[], None], label: str
+    ) -> Any: ...
+
     def resolve_point(self, key: str) -> PointHandle: ...
 
     def read_point(self, key: str) -> Any: ...
@@ -85,9 +89,23 @@ class Trigger:
     def describe(self) -> str:
         raise NotImplementedError
 
+    def to_spec(self) -> Union[dict, float, str]:
+        """The declarative spec form of this trigger (inverse of
+        ``Scenario.from_spec``'s trigger parser).  Raises
+        :class:`TriggerError` for triggers that are not expressible as
+        portable data (e.g. compound python conditions)."""
+        raise TriggerError(
+            f"{type(self).__name__} has no declarative spec form"
+        )
+
 
 class AtTrigger(Trigger):
-    """Fire at a fixed offset (seconds) from scenario start."""
+    """Fire at a fixed offset (seconds) from scenario start.
+
+    A phase armed by *branch routing* (an ``on_pass``/``on_fail``/
+    ``on_timeout`` edge) interprets the offset relative to the instant it
+    was routed to, not scenario start — the engine supplies the epoch.
+    """
 
     def __init__(self, time_s: float) -> None:
         if time_s < 0:
@@ -109,6 +127,9 @@ class AtTrigger(Trigger):
 
     def describe(self) -> str:
         return f"at {self.time_s:g}s"
+
+    def to_spec(self) -> dict:
+        return {"at": self.time_s}
 
 
 class WhenTrigger(Trigger):
@@ -221,6 +242,17 @@ class WhenTrigger(Trigger):
             text += " [repeat]"
         return text
 
+    def to_spec(self) -> dict:
+        spec: dict = {"when": self.condition.to_spec_str()}
+        if self.mode != "rising":
+            spec["mode"] = self.mode
+        if self.repeat:
+            spec["repeat"] = True
+        hysteresis = getattr(self.condition, "hysteresis", 0.0)
+        if hysteresis:
+            spec["hysteresis"] = hysteresis
+        return spec
+
 
 class AfterTrigger(Trigger):
     """Fire ``delay_s`` after another phase completes."""
@@ -239,11 +271,14 @@ class AfterTrigger(Trigger):
         # this phase and the label would lose its ':<phase>' suffix.
         label = host.trigger_label()
 
-        def on_complete(completed_at_s: float) -> None:
+        def on_complete(_completed_at_s: float) -> None:
             if not self._armed:
                 return
-            self._event = host.schedule_at_s(
-                completed_at_s + self.delay_s,
+            # The callback runs at the completion instant itself (or, for a
+            # branch-routed phase whose reference already completed, at the
+            # instant of routing) — a relative delay is exact in both cases.
+            self._event = host.schedule_in_s(
+                self.delay_s,
                 lambda: fire(
                     f"{self.delay_s:g}s after phase {self.phase!r}"
                 ),
@@ -260,6 +295,12 @@ class AfterTrigger(Trigger):
 
     def describe(self) -> str:
         return f"{self.delay_s:g}s after {self.phase!r}"
+
+    def to_spec(self) -> dict:
+        spec: dict = {"after": self.phase}
+        if self.delay_s:
+            spec["delay"] = self.delay_s
+        return spec
 
 
 def _as_trigger(item: Union[Trigger, Condition, str]) -> Trigger:
@@ -307,6 +348,9 @@ class AllOfTrigger(_Combinator):
     def describe(self) -> str:
         return "all of (" + "; ".join(c.describe() for c in self.children) + ")"
 
+    def to_spec(self) -> dict:
+        return {"all_of": [child.to_spec() for child in self.children]}
+
 
 class AnyOfTrigger(_Combinator):
     """Fire on the first child trigger; the rest are disarmed."""
@@ -333,6 +377,9 @@ class AnyOfTrigger(_Combinator):
 
     def describe(self) -> str:
         return "any of (" + "; ".join(c.describe() for c in self.children) + ")"
+
+    def to_spec(self) -> dict:
+        return {"any_of": [child.to_spec() for child in self.children]}
 
 
 # ---------------------------------------------------------------------------

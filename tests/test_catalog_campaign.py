@@ -1,0 +1,236 @@
+"""Catalog generation + campaign sweeps (the paper's generation step).
+
+Acceptance coverage: every shipped family instantiates and dry-run
+validates on both the EPIC model set and the 5-substation scale-out
+(paper §IV-A scale), generated specs are serializable round-trip
+artifacts, and `Campaign.run` produces an aggregate JSON report over a
+>= 4-scenario sweep with branch paths recorded.
+"""
+
+import json
+
+import pytest
+
+from repro.epic import generate_scaleout_model
+from repro.scenario import Campaign, CampaignError, Scenario
+from repro.scenario.catalog import (
+    FAMILIES,
+    CatalogError,
+    ModelInventory,
+    generate_catalog,
+)
+from repro.sgml import SgmlModelSet, SgmlProcessor
+
+
+@pytest.fixture(scope="module")
+def scale5_model(tmp_path_factory) -> SgmlModelSet:
+    """The full 5-substation / 104-IED model set (files only, no compile)."""
+    directory = tmp_path_factory.mktemp("scale5-catalog")
+    generate_scaleout_model(str(directory), substations=5, total_ieds=104)
+    return SgmlModelSet.from_directory(str(directory))
+
+
+# ---------------------------------------------------------------------------
+# Inventory introspection
+# ---------------------------------------------------------------------------
+
+
+def test_epic_inventory_surfaces(epic_model):
+    inventory = ModelInventory.from_model(epic_model)
+    assert inventory.substations == ["EPIC"]
+    assert "EPIC/VL1/TransmissionBay/TBUS" in inventory.buses
+    assert {line.name for line in inventory.lines} == {"TL1", "ML1", "SHL1"}
+    assert not inventory.tie_lines
+    by_name = {b.name: b for b in inventory.breakers}
+    cb_t1 = by_name["CB_T1"]
+    assert cb_t1.status_key == "status/CB_T1/closed"
+    assert cb_t1.fci is not None
+    assert cb_t1.fci.ied == "TIED1"
+    assert cb_t1.fci.server_ip == "10.0.1.13"
+    assert cb_t1.fci.switch == "sw-TransLAN"
+    # Loads sorted biggest first (families step "the" load).
+    assert inventory.loads[0].name == "Load_SH1"
+    assert inventory.loads[0].scale_key == "cmd/Load_SH1/scale"
+    # Guarded lines pair a line with an *adjacent* strikeable breaker.
+    guards = {g.line.name: g.breaker.name for g in inventory.guarded_lines}
+    assert guards["TL1"] == "CB_T1"
+    tl1 = next(g for g in inventory.guarded_lines if g.line.name == "TL1")
+    assert tl1.far_bus == "EPIC/VL1/TransmissionBay/TBUS"
+    # MITM sites: the SCADA direct-MMS source is the first pair.
+    assert inventory.hmis == ["SCADA1"]
+    pair = inventory.mms_pairs[0]
+    assert (pair.client, pair.server) == ("SCADA1", "TIED1")
+    assert pair.spoof_ref == "TIED1LD0/MMXU1.PhV.phsA.cVal.mag.f"
+
+
+def test_scale5_inventory_surfaces(scale5_model):
+    inventory = ModelInventory.from_model(scale5_model)
+    assert len(inventory.substations) == 5
+    assert len(inventory.ieds) == 104
+    assert {line.name for line in inventory.tie_lines} == {
+        "TIE1", "TIE2", "TIE3", "TIE4",
+    }
+    guards = {g.line.name: g for g in inventory.guarded_lines}
+    assert guards["TIE1"].breaker.name == "CB_S1_TIE"
+    assert guards["TIE1"].breaker.fci.ied == "S1IED2"
+    assert guards["TIE1"].far_bus == "S2/VL1/MainBay/TIN"
+    # No SCADA/PLC in the scale-out set: the MITM fallback pair is a
+    # same-LAN neighbour of an FCI server.
+    assert inventory.hmis == []
+    (pair,) = inventory.mms_pairs
+    assert pair.client != pair.server
+    assert inventory.ieds[pair.client].switch == inventory.ieds[pair.server].switch
+
+
+def test_inventory_from_artifacts_matches_from_model(epic_model):
+    processor = SgmlProcessor(epic_model)
+    processor.compile()
+    via_artifacts = ModelInventory.from_artifacts(
+        epic_model, processor.artifacts
+    )
+    via_model = ModelInventory.from_model(epic_model)
+    assert via_artifacts.summary() == via_model.summary()
+
+
+# ---------------------------------------------------------------------------
+# Catalog generation (acceptance: >= 4 families on both model sets)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("model_fixture", ["epic_model", "scale5_model"])
+def test_catalog_generates_all_families_and_validates(model_fixture, request):
+    model = request.getfixturevalue(model_fixture)
+    entries = generate_catalog(model)
+    assert {e.family for e in entries} == set(FAMILIES)
+    assert len(entries) >= 4
+    for entry in entries:
+        scenario = entry.scenario()  # from_spec: full validation incl. graph
+        assert scenario.phases
+        # Generated specs are serializable training artifacts (satellite):
+        # to_spec is the inverse of from_spec and a fixed point, and the
+        # suggested duration survives the round trip.
+        round_tripped = scenario.to_spec()
+        assert Scenario.from_spec(round_tripped).to_spec() == round_tripped
+        assert round_tripped["duration_s"] == entry.spec["duration_s"]
+        json.dumps(entry.spec)  # portable: plain JSON data
+
+
+def test_catalog_specs_are_branched(epic_model):
+    """The adaptive families ship real branch edges, not linear scripts."""
+    entries = {e.family: e for e in generate_catalog(epic_model)}
+    strike = next(
+        p for p in entries["fci-on-overload"].spec["phases"]
+        if p["name"] == "strike"
+    )
+    assert strike["on_timeout"] == "escalate"
+    assert strike["on_fail"] == "escalate"
+    assert strike["on_pass"] == "confirm"
+    assert strike["timeout_s"] > 0
+    mitm_strike = next(
+        p for p in entries["mitm-blinded-strike"].spec["phases"]
+        if p["name"] == "strike"
+    )
+    assert mitm_strike["on_fail"] == "direct-strike"
+
+
+def test_family_parameters_and_errors(epic_model):
+    inventory = ModelInventory.from_model(epic_model)
+    family = FAMILIES["fci-on-overload"]
+    (entry,) = family.generate(
+        inventory, loading_threshold_pct=60.0, load_scale=5.0
+    )
+    strike = next(
+        p for p in entry.spec["phases"] if p["name"] == "strike"
+    )
+    assert "> 60" in strike["trigger"]["when"]
+    with pytest.raises(CatalogError, match="no parameters"):
+        family.generate(inventory, bogus_knob=1)
+    with pytest.raises(CatalogError, match="unknown families"):
+        generate_catalog(epic_model, families=["not-a-family"])
+    # A typo'd override must surface even in a whole-catalog sweep — the
+    # family must not be silently dropped from the generated catalog.
+    with pytest.raises(CatalogError, match="no parameters"):
+        generate_catalog(
+            epic_model, params={"fci-on-overload": {"loading_threshold": 60}}
+        )
+
+
+def test_catalog_max_sites_expands_sweep(scale5_model):
+    entries = generate_catalog(
+        scale5_model, families=["fci-on-overload"], max_sites=4
+    )
+    assert [e.site for e in entries] == ["TIE1", "TIE2", "TIE3", "TIE4"]
+    assert len({e.name for e in entries}) == 4
+
+
+# ---------------------------------------------------------------------------
+# Campaign: dry-run + executed sweep with aggregate report
+# ---------------------------------------------------------------------------
+
+
+def test_campaign_dry_run_validates_without_compiling(scale5_model):
+    campaign = Campaign.from_catalog(scale5_model)
+    assert campaign.validate() == []
+    report = campaign.dry_run()
+    assert report.dry_run and report.passed
+    assert len(report.results) >= 4
+    assert all(r["valid"] for r in report.results)
+    assert "dry-run" in report.summary()
+
+
+def test_campaign_from_spec_dir(tmp_path, epic_model):
+    specs = generate_catalog(epic_model, families=["breaker-storm-drill"])
+    for index, entry in enumerate(specs):
+        (tmp_path / f"{index}-{entry.name}.json").write_text(
+            json.dumps(entry.spec)
+        )
+    (tmp_path / "notes.txt").write_text("ignored")
+    campaign = Campaign.from_spec_dir(epic_model, str(tmp_path))
+    assert [s.name for s in campaign.scenarios] == [e.name for e in specs]
+    assert campaign.scenarios[0].source.endswith(".json")
+    with pytest.raises(CampaignError):
+        Campaign.from_spec_dir(epic_model, str(tmp_path / "missing"))
+
+
+def test_campaign_rejects_duplicates_and_empty(epic_model):
+    with pytest.raises(CampaignError):
+        Campaign(epic_model, [])
+    entries = generate_catalog(epic_model, families=["breaker-storm-drill"])
+    from repro.scenario import CampaignScenario
+
+    member = CampaignScenario.from_entry(entries[0])
+    with pytest.raises(CampaignError, match="duplicate"):
+        Campaign(epic_model, [member, member])
+
+
+def test_campaign_full_epic_sweep_aggregate_report(tmp_path, epic_model):
+    """Acceptance: a >= 4-scenario sweep with one aggregate JSON report."""
+    campaign = Campaign.from_catalog(epic_model)
+    report = campaign.run()
+    assert len(report.results) >= 4
+    assert report.passed, report.summary()
+    # Branch-on-outcome graphs actually branched somewhere in the sweep.
+    taken = [path for r in report.results for path in r.get("branch_path", [])]
+    assert taken, "no branch edge was taken across the whole sweep"
+    for result in report.results:
+        assert result["phases"], result["name"]
+        assert "wall_s" in result and result["wall_s"] > 0
+        assert "data_plane_delta" in result
+        assert result["data_plane_delta"].get("solves", 0) > 0
+    payload = report.to_dict()
+    assert payload["scenario_count"] == len(report.results)
+    assert payload["passed_count"] == len(report.results)
+    out = tmp_path / "campaign.json"
+    report.write_json(str(out))
+    assert json.loads(out.read_text())["passed"] is True
+
+
+def test_campaign_reused_range_runs_sequentially(epic_model):
+    """Reuse mode: one compile, state carries across (documented trade)."""
+    campaign = Campaign.from_catalog(
+        epic_model, families=["breaker-storm-drill"], reuse_range=True
+    )
+    report = campaign.run()
+    (result,) = report.results
+    assert result["passed"], report.summary()
+    assert report.reuse_range

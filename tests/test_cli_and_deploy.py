@@ -119,6 +119,94 @@ def test_cli_scenario_failing_outcome_exits_nonzero(tmp_path, capsys):
     assert "verdict: FAIL" in capsys.readouterr().out
 
 
+def test_cli_scenario_dry_run_validates_without_running(tmp_path, capsys):
+    model_dir = str(tmp_path / "model")
+    main(["epic", model_dir])
+    spec_path = tmp_path / "branchy.json"
+    spec_path.write_text(json.dumps({
+        "name": "branchy",
+        "phases": [
+            {"name": "probe", "trigger": {"at": 1.0},
+             "outcomes": [{"name": "g", "check": "flag >= 1", "gate": True}],
+             "on_pass": "a", "on_fail": "b"},
+            {"name": "a", "trigger": {"at": 0.5}},
+            {"name": "b", "trigger": {"at": 0.5}},
+        ],
+    }))
+    assert main(["scenario", model_dir, str(spec_path), "--dry-run"]) == 0
+    out = capsys.readouterr().out
+    assert "dry-run OK" in out
+    assert "2 branch edges" in out
+    # Spec-only validation: the model dir is not even parsed, so a spec
+    # can be vetted before (or without) generating its model set.
+    assert main(["scenario", "/nonexistent", str(spec_path), "--dry-run"]) == 0
+    assert "dry-run OK" in capsys.readouterr().out
+    # An invalid graph (dangling edge) fails the dry run with exit 1.
+    spec_path.write_text(json.dumps({
+        "name": "dangling",
+        "phases": [{"name": "p", "trigger": {"at": 1.0},
+                    "on_pass": "ghost"}],
+    }))
+    assert main(["scenario", model_dir, str(spec_path), "--dry-run"]) == 1
+    assert "ghost" in capsys.readouterr().err
+
+
+def test_cli_scenario_report_flag_writes_json(tmp_path, capsys):
+    model_dir = str(tmp_path / "model")
+    main(["epic", model_dir])
+    spec_path = tmp_path / "observe.json"
+    spec_path.write_text(json.dumps({
+        "name": "observe",
+        "duration_s": 2.0,
+        "phases": [{"name": "look", "trigger": {"at": 0.5},
+                    "team": "white",
+                    "actions": [{"record": {"key": "meas/system/hz"}}]}],
+    }))
+    report_path = tmp_path / "aar.json"
+    assert main([
+        "scenario", model_dir, str(spec_path), "--report", str(report_path),
+    ]) == 0
+    report = json.loads(report_path.read_text())
+    assert report["scenario"] == "observe"
+    assert report["branches"] == []
+
+
+def test_cli_campaign_list_families(capsys):
+    assert main(["campaign", "--list-families"]) == 0
+    out = capsys.readouterr().out
+    assert "fci-on-overload" in out
+    assert "breaker-storm-drill" in out
+
+
+def test_cli_campaign_dry_run_and_sweep(tmp_path, capsys):
+    model_dir = str(tmp_path / "model")
+    main(["epic", model_dir])
+    report_path = tmp_path / "campaign.json"
+    assert main([
+        "campaign", model_dir, "--dry-run", "--report", str(report_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "dry-run" in out and "VALID" in out
+    payload = json.loads(report_path.read_text())
+    assert payload["dry_run"] is True
+    assert payload["scenario_count"] >= 4
+
+    # Executed sweep over one family (the cheap drill), aggregate report.
+    assert main([
+        "campaign", model_dir, "--families", "breaker-storm-drill",
+        "--report", str(report_path),
+    ]) == 0
+    payload = json.loads(report_path.read_text())
+    assert payload["dry_run"] is False
+    assert payload["passed"] is True
+    assert payload["scenarios"][0]["phases"]
+
+
+def test_cli_campaign_needs_model_dir(capsys):
+    assert main(["campaign"]) == 1
+    assert "model directory" in capsys.readouterr().err
+
+
 def test_cli_missing_model_dir_is_clean_error(capsys):
     assert main(["validate", "/nonexistent/dir"]) == 1
     assert "error:" in capsys.readouterr().err

@@ -1,75 +1,103 @@
-"""Training-exercise playbook on the EPIC range."""
+"""Training-exercise drill on the EPIC range — scenario API edition.
+
+The drill that used to live on :class:`ExercisePlaybook` now builds a
+:class:`~repro.scenario.Scenario` directly (the ROADMAP deprecation path);
+only the shim-contract tests at the bottom still touch the playbook, and
+they assert the :class:`DeprecationWarning` it now emits.
+"""
 
 import pytest
 
 from repro.attacks import ExercisePlaybook, FalseCommandInjector
+from repro.scenario import Scenario, at
+
+TBUS_VM = "meas/EPIC/VL1/TransmissionBay/TBUS/vm_pu"
 
 
 @pytest.fixture
-def playbook_run(running_epic):
+def drill_run(running_epic):
+    """The CB_T1 open/reclose drill, expressed as timed scenario phases."""
     cr = running_epic
     attacker = cr.add_attacker("sw-TransLAN", name="red1")
     injector = FalseCommandInjector(attacker)
-    playbook = ExercisePlaybook(name="cb-open-drill")
-    playbook.add(
-        1.0,
+
+    scenario = Scenario("cb-open-drill")
+    scenario.phase("strike", at(1.0), team="red").action(
         "red team injects CB_T1 open via MMS",
         lambda r: injector.open_breaker("10.0.1.13", "TIED1").reference,
     )
-    playbook.add(
-        3.0,
+    scenario.phase("observe-outage", at(3.0), team="white").action(
         "white cell records TBUS voltage",
-        lambda r: f"{r.measurement('meas/EPIC/VL1/TransmissionBay/TBUS/vm_pu'):.3f} pu",
-        team="white",
+        lambda r: f"{r.measurement(TBUS_VM):.3f} pu",
     )
-    playbook.add(
-        5.0,
+    scenario.phase("reclose", at(5.0), team="blue").action(
         "blue team recloses CB_T1 from the HMI",
         lambda r: r.hmis["SCADA1"].operate("CB_T1", True),
-        team="blue",
     )
-    playbook.add(
-        8.0,
+    scenario.phase("observe-recovery", at(8.0), team="white").action(
         "white cell records TBUS voltage after restoration",
-        lambda r: f"{r.measurement('meas/EPIC/VL1/TransmissionBay/TBUS/vm_pu'):.3f} pu",
-        team="white",
+        lambda r: f"{r.measurement(TBUS_VM):.3f} pu",
     )
-    playbook.add(
-        9.0,
+    scenario.phase("hardened-probe", at(9.0), team="red").action(
         "red team tries a bogus reference (expected to fail)",
         lambda r: (_ for _ in ()).throw(RuntimeError("target hardened")),
     )
-    playbook.run(cr, duration_s=10.0)
-    return cr, playbook
+    run = cr.run_scenario(scenario, 10.0)
+    return cr, run
 
 
-def test_playbook_executes_in_order(playbook_run):
-    _, playbook = playbook_run
-    assert len(playbook.log) == 5
-    times = [entry.time_s for entry in playbook.log]
+def test_drill_executes_in_order(drill_run):
+    _, run = drill_run
+    assert len(run.log) == 5
+    times = [entry.time_s for entry in run.log]
     assert times == sorted(times)
-    assert [entry.team for entry in playbook.log] == [
+    assert [entry.team for entry in run.log] == [
         "red", "white", "blue", "white", "red",
     ]
 
 
-def test_playbook_observes_attack_and_recovery(playbook_run):
-    cr, playbook = playbook_run
-    outage_reading = playbook.log[1].result
-    restored_reading = playbook.log[3].result
+def test_drill_observes_attack_and_recovery(drill_run):
+    cr, run = drill_run
+    outage_reading = run.log[1].result
+    restored_reading = run.log[3].result
     assert outage_reading.startswith("0.000")  # dead bus during the attack
     assert restored_reading.startswith("0.99")  # restored by the blue team
     assert cr.breaker_state("CB_T1") is True
 
 
-def test_playbook_logs_failures_without_crashing(playbook_run):
-    _, playbook = playbook_run
-    assert playbook.log[-1].result.startswith("FAILED: target hardened")
+def test_drill_logs_failures_without_crashing(drill_run):
+    _, run = drill_run
+    assert run.log[-1].result.startswith("FAILED: target hardened")
+    assert not run.log[-1].ok
 
 
-def test_after_action_report_format(playbook_run):
-    _, playbook = playbook_run
-    report = playbook.after_action_report()
+def test_drill_after_action_report_format(drill_run):
+    _, run = drill_run
+    report = run.after_action_report()
     assert "after-action report: cb-open-drill" in report
     assert "( blue)" in report or "(blue)" in report.replace(" ", "")
     assert "FAILED" in report
+
+
+# ---------------------------------------------------------------------------
+# Playbook shim contract (the frozen compat surface, nothing more)
+# ---------------------------------------------------------------------------
+
+
+def test_playbook_shim_warns_and_still_runs(running_epic):
+    cr = running_epic
+    playbook = ExercisePlaybook(name="legacy-drill")
+    playbook.add(1.0, "white marker", lambda r: "noted", team="white")
+    with pytest.deprecated_call():
+        playbook.run(cr, duration_s=2.0)
+    assert [entry.result for entry in playbook.log] == ["noted"]
+
+
+def test_playbook_to_scenario_does_not_warn(recwarn):
+    playbook = ExercisePlaybook(name="convert-only")
+    playbook.add(1.0, "step", lambda r: None)
+    scenario = playbook.to_scenario()
+    assert [p.trigger.describe() for p in scenario.phases] == ["at 1s"]
+    assert not [
+        w for w in recwarn.list if issubclass(w.category, DeprecationWarning)
+    ]

@@ -505,6 +505,87 @@ def test_from_spec_rejects_malformed(spec):
         Scenario.from_spec(spec)
 
 
+def test_to_spec_round_trips_every_trigger_and_action_kind():
+    """to_spec is the inverse of from_spec and a fixed point over it."""
+    spec = {
+        "name": "zoo",
+        "description": "every spec-able construct",
+        "duration_s": 12.5,
+        "phases": [
+            {"name": "a", "trigger": {"at": 1.5}, "team": "white",
+             "actions": [
+                 {"write_point": {"key": "cmd/L/scale", "value": 2.0}},
+                 {"record": {"key": "meas/system/hz"}},
+                 {"operate": {"hmi": "SCADA1", "point": "CB_T1",
+                              "value": True}},
+             ]},
+            {"name": "b",
+             "trigger": {"when": "load > 5", "mode": "level",
+                         "repeat": True, "hysteresis": 1.0},
+             "actions": [
+                 {"inject_breaker": {"server_ip": "10.0.1.13",
+                                     "ied": "TIED1", "switch": "sw-X"}},
+                 {"mitm_spoof": {"victim_a_ip": "10.0.1.100",
+                                 "victim_b_ip": "10.0.1.13",
+                                 "switch": "sw-X",
+                                 "ref": "TIED1LD0/MMXU1.x",
+                                 "value": 0.99}},
+             ],
+             "outcomes": [
+                 {"name": "tripped", "check": "not status/CB_T1/closed",
+                  "after_s": 1.0},
+             ]},
+            {"name": "c", "trigger": {"after": "a", "delay": 2.0}},
+            {"name": "d",
+             "trigger": {"any_of": [{"at": 9.0},
+                                    {"all_of": [{"when": "x > 1"},
+                                                {"at": 3.0}]}]}},
+        ],
+    }
+    scenario = Scenario.from_spec(spec)
+    round_tripped = scenario.to_spec()
+    assert round_tripped == spec
+    assert Scenario.from_spec(round_tripped).to_spec() == round_tripped
+
+
+def test_from_spec_rejects_unknown_top_level_fields():
+    with pytest.raises(ScenarioError, match="durations_s"):
+        Scenario.from_spec({
+            "name": "typo",
+            "durations_s": 30.0,  # typo'd duration must not pass --dry-run
+            "phases": [{"name": "p", "trigger": {"at": 1.0}}],
+        })
+
+
+def test_to_spec_preserves_high_precision_thresholds():
+    """%g display formatting must not leak into serialization."""
+    spec = {
+        "name": "precise",
+        "phases": [{"name": "p", "trigger": {"when": "meas/x > 0.1234567"}}],
+    }
+    round_tripped = Scenario.from_spec(spec).to_spec()
+    assert round_tripped["phases"][0]["trigger"]["when"] == "meas/x > 0.1234567"
+    # Compact values keep their compact spelling.
+    assert parse_condition("meas/x > 80").to_spec_str() == "meas/x > 80"
+
+
+def test_to_spec_rejects_python_only_constructs():
+    code_action = Scenario("code-action")
+    code_action.phase("p", at(1.0)).action("callable", lambda r: None)
+    with pytest.raises(ScenarioError, match="not spec-serializable"):
+        code_action.to_spec()
+
+    compound = Scenario("compound-cond")
+    compound.phase("p", when(is_true("a") & is_false("b")))
+    with pytest.raises(ScenarioError, match="not spec-serializable"):
+        compound.to_spec()
+
+    callable_check = Scenario("callable-check")
+    callable_check.phase("p", at(1.0)).outcome("pred", lambda cr: True)
+    with pytest.raises(ScenarioError, match="not spec-serializable"):
+        callable_check.to_spec()
+
+
 def test_failed_start_disarms_already_armed_triggers(rng):
     """An aborted start() must not leave phantom subscriptions behind."""
     fired = []
@@ -535,6 +616,7 @@ def test_playbook_converts_to_at_phases():
     assert [p.team for p in scenario.phases] == ["red", "blue"]
 
 
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
 def test_playbook_equal_timestamp_preserves_insertion_order(rng):
     """Satellite contract: ties execute in add() order (stable sort +
     declaration-order arming), red-before-blue iff red was added first."""
