@@ -10,6 +10,13 @@ and fails on a regression at any compared point:
   metric the cut-through netem plane optimises) may grow at most 50% —
   wall time is noisier than the tick, hence the wider band.  ``--no-wall``
   skips it on known-noisy runners.
+* ``netem_deliver_share`` (derived: ``netem_deliver_wall_s`` /
+  ``wall_per_sim_s``, the endpoint-processing share that multicast pruning
+  collapsed) may grow at most 50%.  Points whose baseline deliver wall is
+  under 2 ms are skipped — a share computed from sub-millisecond walls is
+  noise, not signal.  Unlike ``wall_per_sim_s`` this share survives
+  ``--no-wall``: it is a *ratio* of two walls measured in the same run, so
+  runner speed cancels out.
 
 CI runs the smoke sweep (1-2 substations), so those are the default keys.
 
@@ -31,7 +38,28 @@ import sys
 THRESHOLDS = {
     "per_tick_ms": 1.30,
     "wall_per_sim_s": 1.50,
+    "netem_deliver_share": 1.50,
 }
+
+#: Baseline ``netem_deliver_wall_s`` below which the share gate is noise.
+DELIVER_NOISE_FLOOR_S = 0.002
+
+
+def _deliver_share(point: dict) -> float | None:
+    """Derived metric: endpoint delivery wall as a share of total wall.
+
+    Prefers the share recorded by the bench itself
+    (``netem_deliver_share_of_wall``); falls back to deriving it from the
+    two walls for older files that only carry the raw numbers.
+    """
+    share = point.get("netem_deliver_share_of_wall")
+    if share is not None:
+        return float(share)
+    deliver = point.get("netem_deliver_wall_s")
+    wall = point.get("wall_per_sim_s")
+    if deliver is None or not wall:
+        return None
+    return float(deliver) / float(wall)
 
 
 def main(argv: list[str]) -> int:
@@ -61,14 +89,29 @@ def main(argv: list[str]) -> int:
             failures.append(f"point {key!r} missing from {current_path}")
             continue
         for metric, threshold in metrics.items():
-            if metric not in baseline[key]:
-                continue  # older baseline without this metric
-            old = float(baseline[key][metric])
-            if metric == "wall_per_sim_s" and old < 0.005:
-                # Sub-5ms walls are measurement noise, not signal.
-                print(f"{key:>14}  {metric:>14}  {old:>10.4f}  (below noise floor — skipped)")
-                continue
-            new = float(current[key].get(metric, float("inf")))
+            if metric == "netem_deliver_share":
+                old_share = _deliver_share(baseline[key])
+                if old_share is None:
+                    continue  # older baseline without the netem walls
+                old_wall = float(baseline[key].get("netem_deliver_wall_s", 0))
+                if old_wall < DELIVER_NOISE_FLOOR_S:
+                    print(
+                        f"{key:>14}  {metric:>18}  {old_share:>10.4f}  "
+                        f"(deliver wall below noise floor — skipped)"
+                    )
+                    continue
+                old = old_share
+                new_share = _deliver_share(current[key])
+                new = float("inf") if new_share is None else new_share
+            else:
+                if metric not in baseline[key]:
+                    continue  # older baseline without this metric
+                old = float(baseline[key][metric])
+                if metric == "wall_per_sim_s" and old < 0.005:
+                    # Sub-5ms walls are measurement noise, not signal.
+                    print(f"{key:>14}  {metric:>14}  {old:>10.4f}  (below noise floor — skipped)")
+                    continue
+                new = float(current[key].get(metric, float("inf")))
             ratio = new / old if old > 0 else float("inf")
             verdict = "REGRESSION" if ratio > threshold else "ok"
             print(

@@ -66,17 +66,40 @@ def epic_range(epic_model_dir):
     return SgmlProcessor(model).compile()
 
 
+#: IED count per scalability sweep point.  1..5 follows the paper's EPIC
+#: scale-out (104 IEDs at 5 substations); 10 and 20 extrapolate the same
+#: ~21-IEDs-per-substation density for the ROADMAP's scalability story.
+SCALEOUT_IED_COUNTS = {1: 21, 2: 42, 3: 63, 4: 84, 5: 104, 10: 208, 20: 416}
+
+
+class _LazyScaleoutDirs:
+    """Dict-like: generates each sweep point's model on first access.
+
+    Lazy so a smoke run (``BENCH_SMOKE``) or a ``-k``-filtered session
+    never pays the generation cost of the big 10/20-substation models.
+    """
+
+    def __init__(self, tmp_path_factory) -> None:
+        self._factory = tmp_path_factory
+        self._dirs: dict[int, str] = {}
+
+    def __getitem__(self, substations: int) -> str:
+        directory = self._dirs.get(substations)
+        if directory is None:
+            tmp = self._factory.mktemp(f"scale-{substations}")
+            directory = generate_scaleout_model(
+                str(tmp),
+                substations=substations,
+                total_ieds=SCALEOUT_IED_COUNTS[substations],
+            )
+            self._dirs[substations] = directory
+        return directory
+
+
 @pytest.fixture(scope="session")
-def scaleout_dirs(tmp_path_factory) -> dict[int, str]:
-    """Model dirs for the scalability sweep: 1..5 substations."""
-    dirs = {}
-    counts = {1: 21, 2: 42, 3: 63, 4: 84, 5: 104}
-    for substations, ieds in counts.items():
-        directory = tmp_path_factory.mktemp(f"scale-{substations}")
-        dirs[substations] = generate_scaleout_model(
-            str(directory), substations=substations, total_ieds=ieds
-        )
-    return dirs
+def scaleout_dirs(tmp_path_factory) -> _LazyScaleoutDirs:
+    """Model dirs for the scalability sweep, generated on demand."""
+    return _LazyScaleoutDirs(tmp_path_factory)
 
 
 def print_report(title: str, rows: list[str]) -> None:

@@ -16,6 +16,7 @@ STAGE_NAMES = {
     "ssd_parser": "SSD Parser",
     "network_plan": "Mininet Launcher (extract JSON)",
     "network_launch": "Mininet Launcher (start network)",
+    "multicast_plan": "Multicast group derivation",
     "ied_builder": "Virtual IED Builder",
     "plc_builder": "OpenPLC61850 configuration",
     "scada_config": "SCADA Config Parser",

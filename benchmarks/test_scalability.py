@@ -4,11 +4,13 @@ Paper: "a commodity desktop PC with Intel Core i9 Processor and 16GB RAM
 can host a 5-substation model including 104 virtual IEDs with 100ms power
 flow simulation interval."
 
-The bench sweeps 1..5 substations (21..104 IEDs), measuring the wall-clock
-cost of one simulated second of the full co-simulation (power flow ticks +
-all IED scan cycles + GOOSE/R-SV traffic).  Feasibility criterion: one
-simulated second must cost at most one wall second — i.e. the range keeps
-up with real time, which is what "hosting at 100 ms interval" means.
+The bench sweeps 1..5 substations (21..104 IEDs, the paper's scale) and
+extrapolates to 10 and 20 substations (208/416 IEDs, the ROADMAP's
+target), measuring the wall-clock cost of one simulated second of the full
+co-simulation (power flow ticks + all IED scan cycles + GOOSE/R-SV
+traffic).  Feasibility criterion: one simulated second must cost at most
+one wall second — i.e. the range keeps up with real time, which is what
+"hosting at 100 ms interval" means.
 
 Three cost metrics go into ``BENCH_scalability.json`` per point (full
 schema: ``benchmarks/README.md``):
@@ -26,9 +28,12 @@ schema: ``benchmarks/README.md``):
 * ``netem_share_of_wall`` — the cut-through forwarding plane's transport
   wall time (path resolution + inline hop semantics + delivery-event
   scheduling) as a share of ``wall_per_sim_s``; endpoint protocol
-  processing is reported separately as ``netem_deliver_wall_s``.  The
-  5-substation point asserts this share stays below 50% — netem frame
-  delivery was ~85% of wall before the cut-through plane landed.
+  processing is reported separately as ``netem_deliver_wall_s`` and
+  ``netem_deliver_share_of_wall``.  With subscription-aware multicast
+  pruning, the 5-substation point asserts both shares stay below 20%
+  (netem frame delivery was ~85% of wall before the cut-through plane,
+  and endpoint flood processing ~42% before pruning) and that
+  ``netem_deliveries`` dropped ~10× versus the flood baseline.
 
 The event-storm point (``5_event_storm``) re-runs the 5-substation model
 with a tie breaker toggling every tick, forcing a topology rebuild + cold
@@ -60,6 +65,16 @@ STEADY_TICK_BUDGET_MS = 2.0
 #: cost (13.65 ms at 5 substations) — a full rebuild every tick must not
 #: regress past what the non-incremental solver spent per tick.
 STORM_TICK_BUDGET_MS = 27.3
+
+#: Multicast-pruning acceptance at 5 substations: the flood baseline
+#: delivered ~56.8k frames×receivers per 3 simulated seconds (552 sends ×
+#: ~103 receivers); pruning must cut that at least ~10×.
+PRUNED_DELIVERIES_BUDGET = 5700
+
+#: Netem wall-share bars at 5 substations (was <50% transport post
+#: cut-through; pruning halves both transport and endpoint cost).
+NETEM_SHARE_BUDGET = 0.20
+NETEM_DELIVER_SHARE_BUDGET = 0.20
 
 
 #: Simulated seconds executed by one pedantic run (rounds × 1 s).
@@ -116,6 +131,19 @@ def _measure(cyber_range, benchmark):
         "netem_deliveries": (
             stats["netem_deliveries"] - before["netem_deliveries"]
         ),
+        "netem_batched_frames": (
+            stats["netem_batched_frames"] - before["netem_batched_frames"]
+        ),
+        "netem_mcast_pruned_sends": (
+            stats["netem_mcast_pruned_sends"]
+            - before["netem_mcast_pruned_sends"]
+        ),
+        "netem_mcast_flooded_sends": (
+            stats["netem_mcast_flooded_sends"]
+            - before["netem_mcast_flooded_sends"]
+        ),
+        "netem_mcast_prune_ratio": stats["netem_mcast_prune_ratio"],
+        "netem_mcast_groups": stats["netem_mcast_groups"],
         "netem_cache_hits": (
             stats["netem_cache_hits"] - before["netem_cache_hits"]
         ),
@@ -125,10 +153,11 @@ def _measure(cyber_range, benchmark):
         "netem_forward_wall_s": forward_wall,
         "netem_deliver_wall_s": deliver_wall,
         "netem_share_of_wall": forward_wall / wall if wall else 0.0,
+        "netem_deliver_share_of_wall": deliver_wall / wall if wall else 0.0,
     }
 
 
-@pytest.mark.parametrize("substations", [1, 2, 3, 4, 5])
+@pytest.mark.parametrize("substations", [1, 2, 3, 4, 5, 10, 20])
 def test_scalability_sweep(benchmark, scaleout_dirs, substations):
     if SMOKE and substations > 2:
         pytest.skip("BENCH_SMOKE: sweep limited to 1-2 substations")
@@ -161,17 +190,38 @@ def test_scalability_sweep(benchmark, scaleout_dirs, substations):
     assert result["netem_cache_hits"] > result["netem_path_compiles"], (
         f"forwarding path cache inactive: {result}"
     )
+    # Multicast pruning: every GOOSE/R-SV send hits a registered group
+    # (the compiler registers all publisher groups), so nothing floods.
+    assert result["netem_mcast_flooded_sends"] == 0, (
+        f"multicast sends escaped the group table: {result}"
+    )
     if substations == 5:
         assert ied_count == 104
         assert result["per_tick_ms"] <= STEADY_TICK_BUDGET_MS, (
             f"steady-state tick {result['per_tick_ms']:.3f} ms exceeds the "
             f"{STEADY_TICK_BUDGET_MS} ms budget"
         )
-        # Tentpole acceptance: netem transport is no longer the dominant
-        # cost — its share of whole-range wall time stays below one half.
-        assert result["netem_share_of_wall"] < 0.5, (
+        # Tentpole acceptance: with subscription-aware pruning, netem
+        # transport AND endpoint processing each stay below 20% of wall
+        # (transport was ~40% post-cut-through, endpoint ~26%).
+        assert result["netem_share_of_wall"] < NETEM_SHARE_BUDGET, (
             f"netem transport share "
-            f"{result['netem_share_of_wall']:.2%} >= 50%: {result}"
+            f"{result['netem_share_of_wall']:.2%} >= "
+            f"{NETEM_SHARE_BUDGET:.0%}: {result}"
+        )
+        assert (
+            result["netem_deliver_share_of_wall"] < NETEM_DELIVER_SHARE_BUDGET
+        ), (
+            f"netem endpoint share "
+            f"{result['netem_deliver_share_of_wall']:.2%} >= "
+            f"{NETEM_DELIVER_SHARE_BUDGET:.0%}: {result}"
+        )
+        # "Kill the flood": deliveries collapse from ~103 receivers per
+        # multicast frame to actual subscribers only (~10× or better).
+        assert result["netem_deliveries"] <= PRUNED_DELIVERIES_BUDGET, (
+            f"netem_deliveries {result['netem_deliveries']} exceeds the "
+            f"pruned budget {PRUNED_DELIVERIES_BUDGET} "
+            f"(flood baseline was ~56856): {result}"
         )
         rows = [
             "paper: 5 substations / 104 IEDs @ 100 ms on a desktop PC",
@@ -189,6 +239,12 @@ def test_scalability_sweep(benchmark, scaleout_dirs, substations):
         rows.append(
             f"5-substation/104-IED real-time feasible: {feasible} "
             f"(paper: yes)"
+        )
+        rows.append(
+            f"deliveries/3 sim-s: {result['netem_deliveries']} "
+            f"(flood baseline ~56856), prune ratio "
+            f"{result['netem_mcast_prune_ratio']:.0%}, batched frames "
+            f"{result['netem_batched_frames']}"
         )
         print_report("§IV-A / scalability sweep", rows)
 

@@ -35,26 +35,45 @@ class CodecError(Exception):
     """Raised on malformed TLV input."""
 
 
-def memoize_by_identity(decode):
-    """One-slot decode memo keyed by payload *identity*.
+def memoize_by_identity(decode, slots: int = 1):
+    """Decode memo of ``slots`` entries keyed by payload *identity*.
 
-    A multicast frame is flooded to every subscriber with the *same*
+    A multicast frame is delivered to every subscriber with the *same*
     payload bytes object, so wrapping a decoder with this helper makes the
-    decode happen once per frame instead of once per receiver.  Safe by
-    construction: the memo retains the bytes reference (so ``id()`` reuse
-    is impossible while cached), bytes are immutable, and callers treat
-    decoded messages as read-only.  Failed decodes are not cached.
+    decode happen once per frame instead of once per receiver.  With the
+    batched receive path several frames (distinct payloads) land on a host
+    in one kernel event, interleaving subscribers across payloads — a
+    batch-sized memo (``slots > 1``) keeps every payload of the batch
+    cached across the whole dispatch loop.  Safe by construction: the memo
+    retains the bytes references (so ``id()`` reuse is impossible while
+    cached), bytes are immutable, and callers treat decoded messages as
+    read-only.  Failed decodes are not cached; eviction is FIFO.
     """
-    last_payload = None
-    last_result = None
+    if slots <= 1:
+        last_payload = None
+        last_result = None
+
+        def memoized(payload):
+            nonlocal last_payload, last_result
+            if payload is last_payload:
+                return last_result
+            result = decode(payload)
+            last_payload = payload
+            last_result = result
+            return result
+
+        return memoized
+
+    cache: dict[int, tuple[Any, Any]] = {}
 
     def memoized(payload):
-        nonlocal last_payload, last_result
-        if payload is last_payload:
-            return last_result
+        entry = cache.get(id(payload))
+        if entry is not None and entry[0] is payload:
+            return entry[1]
         result = decode(payload)
-        last_payload = payload
-        last_result = result
+        if len(cache) >= slots:
+            cache.pop(next(iter(cache)))
+        cache[id(payload)] = (payload, result)
         return result
 
     return memoized

@@ -86,9 +86,11 @@ class GooseMessage:
 
 
 #: ``GooseMessage.from_bytes`` with per-frame receiver de-duplication: a
-#: flooded frame reaches every subscriber with the same payload object, so
-#: the decode runs once per frame (see :func:`codec.memoize_by_identity`).
-decode_goose = memoize_by_identity(GooseMessage.from_bytes)
+#: delivered frame reaches every subscriber with the same payload object,
+#: so the decode runs once per frame (see :func:`codec.memoize_by_identity`).
+#: Batch-sized (8 slots): the cut-through plane delivers same-instant
+#: frames in one event, interleaving subscribers across payloads.
+decode_goose = memoize_by_identity(GooseMessage.from_bytes, slots=8)
 
 
 class GoosePublisher:
@@ -169,7 +171,15 @@ class GoosePublisher:
             timestamp_us=self.simulator.now,
             all_data=self._values,
         )
-        self.host.send_ethernet(self.dst_mac, ETHERTYPE_GOOSE, message.to_bytes())
+        # The appid tag (the control block reference, standing in for the
+        # APPID of a real GOOSE header) lets subscription-aware switches
+        # prune this stream to its subscribers on the shared group MAC.
+        self.host.send_ethernet(
+            self.dst_mac,
+            ETHERTYPE_GOOSE,
+            message.to_bytes(),
+            appid=self.gocb_ref,
+        )
         self.tx_count += 1
         self.sq_num += 1
         # Exponential backoff towards the heartbeat interval.
@@ -193,6 +203,7 @@ class GooseSubscriber:
         on_update: Callable[[GooseMessage], None],
         stale_timeout_us: int = 3 * SECOND,
         on_stale: Optional[Callable[[], None]] = None,
+        dst_mac: str = DEFAULT_GOOSE_MAC,
     ) -> None:
         self.host = host
         self.gocb_ref = gocb_ref
@@ -205,6 +216,9 @@ class GooseSubscriber:
         self.state_changes = 0
         self._stale_event = None
         host.register_ethertype_handler(ETHERTYPE_GOOSE, self._on_frame)
+        # GMRP-analog join: tell the network's multicast pruner this host
+        # subscribes to the control block's stream on the group MAC.
+        host.join_l2_group(dst_mac, gocb_ref)
 
     @property
     def values(self) -> list:

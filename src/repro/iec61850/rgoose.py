@@ -45,8 +45,8 @@ def _unwrap_uncached(data: bytes) -> tuple[str, bytes]:
 #: bytes object, so the session wrapper and the inner SV message are
 #: decoded once per frame, not once per receiver (see
 #: :func:`codec.memoize_by_identity`).
-_unwrap = memoize_by_identity(_unwrap_uncached)
-_decode_sv = memoize_by_identity(SvMessage.from_bytes)
+_unwrap = memoize_by_identity(_unwrap_uncached, slots=8)
+_decode_sv = memoize_by_identity(SvMessage.from_bytes, slots=8)
 
 
 class _UdpMulticastEndpoint:
@@ -99,7 +99,10 @@ class RGoosePublisher(GoosePublisher):
             all_data=self._values,
         )
         self._endpoint.socket.sendto(
-            self.group_ip, RGOOSE_PORT, _wrap(_SESSION_RGOOSE, message.to_bytes())
+            self.group_ip,
+            RGOOSE_PORT,
+            _wrap(_SESSION_RGOOSE, message.to_bytes()),
+            appid=self.gocb_ref,
         )
         self.tx_count += 1
         self.sq_num += 1
@@ -129,7 +132,7 @@ class RGooseSubscriber:
         self.last_message: Optional[GooseMessage] = None
         self.last_seen_us = -1
         self.rx_count = 0
-        host.join_multicast_group(group_ip)
+        host.join_multicast_group(group_ip, appid=gocb_ref)
         endpoint = _UdpMulticastEndpoint.for_host(host)
         endpoint.handlers.append(self._on_payload)
 
@@ -208,7 +211,10 @@ class RSvPublisher:
         self.smp_cnt = (self.smp_cnt + 1) & 0xFFFF
         self.tx_count += 1
         self._endpoint.socket.sendto(
-            self.group_ip, RGOOSE_PORT, _wrap(_SESSION_RSV, message.to_bytes())
+            self.group_ip,
+            RGOOSE_PORT,
+            _wrap(_SESSION_RSV, message.to_bytes()),
+            appid=self.sv_id,
         )
 
 
@@ -230,7 +236,7 @@ class RSvSubscriber:
         self.last_message: Optional[SvMessage] = None
         self.last_seen_us = -1
         self.rx_count = 0
-        host.join_multicast_group(group_ip)
+        host.join_multicast_group(group_ip, appid=sv_id)
         endpoint = _UdpMulticastEndpoint.for_host(host)
         endpoint.handlers.append(self._on_payload)
 

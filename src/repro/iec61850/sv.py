@@ -11,7 +11,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
-from repro.iec61850.codec import CodecError, decode_value, encode_value
+from repro.iec61850.codec import (
+    CodecError,
+    decode_value,
+    encode_value,
+    memoize_by_identity,
+)
 from repro.kernel import MS
 from repro.netem.frames import ETHERTYPE_SV, EthernetFrame
 from repro.netem.host import Host
@@ -93,14 +98,26 @@ class SvPublisher:
         )
         self.smp_cnt = (self.smp_cnt + 1) & 0xFFFF
         self.tx_count += 1
-        self.host.send_ethernet(self.dst_mac, ETHERTYPE_SV, message.to_bytes())
+        # appid = svID: lets subscription-aware switches prune the stream.
+        self.host.send_ethernet(
+            self.dst_mac, ETHERTYPE_SV, message.to_bytes(), appid=self.sv_id
+        )
+
+
+#: Shared decode memo: one decode per frame even when a delivery batch
+#: interleaves several subscribers across several payloads.
+decode_sv = memoize_by_identity(SvMessage.from_bytes, slots=8)
 
 
 class SvSubscriber:
     """Receives an L2 SV stream by svID."""
 
     def __init__(
-        self, host: Host, sv_id: str, on_samples: Callable[[SvMessage], None]
+        self,
+        host: Host,
+        sv_id: str,
+        on_samples: Callable[[SvMessage], None],
+        dst_mac: str = DEFAULT_SV_MAC,
     ) -> None:
         self.host = host
         self.sv_id = sv_id
@@ -108,12 +125,13 @@ class SvSubscriber:
         self.last_message: Optional[SvMessage] = None
         self.rx_count = 0
         host.register_ethertype_handler(ETHERTYPE_SV, self._on_frame)
+        host.join_l2_group(dst_mac, sv_id)
 
     def _on_frame(self, frame: EthernetFrame) -> None:
         if not isinstance(frame.payload, bytes):
             return
         try:
-            message = SvMessage.from_bytes(frame.payload)
+            message = decode_sv(frame.payload)
         except CodecError:
             return
         if message.sv_id != self.sv_id:

@@ -8,8 +8,9 @@ package reproduces that environment inside the simulation kernel:
 * :class:`Host` — full ARP + IPv4 + UDP + TCP endpoint with raw-Ethernet
   hooks (used by GOOSE) and attacker-grade facilities: promiscuous packet
   interception, IP forwarding, and forged-frame transmission.
-* :class:`Switch` — transparent learning bridge; floods unknown unicast,
-  broadcast and multicast (GOOSE uses multicast MACs).
+* :class:`Switch` — transparent learning bridge; floods unknown unicast
+  and broadcast; *registered* multicast groups (GOOSE/SV) are pruned to
+  subscriber-bearing ports via the shared :class:`MulticastGroupTable`.
 * :class:`Link` — propagation latency + serialisation delay from the
   configured bandwidth, plus failure/loss injection hooks.
 
@@ -46,6 +47,7 @@ from repro.netem.capture import CapturedFrame, PacketCapture
 from repro.netem.forwarding import ForwardingPlane
 from repro.netem.host import Host, UdpSocket
 from repro.netem.link import Link
+from repro.netem.multicast import MulticastGroupTable
 from repro.netem.network import NetemError, VirtualNetwork
 from repro.netem.node import ForwardingState
 from repro.netem.switch import Switch
@@ -66,6 +68,7 @@ __all__ = [
     "Host",
     "Ipv4Packet",
     "Link",
+    "MulticastGroupTable",
     "NetemError",
     "PROTO_TCP",
     "PROTO_UDP",

@@ -16,7 +16,15 @@ from the middle of the journey:
   the exact order and at the exact virtual timestamps the hop-by-hop path
   would have produced,
 * only the **terminal deliveries** become kernel events, and receivers that
-  share an arrival instant share one event.
+  share an arrival instant share one event — including receivers of
+  *different frames*: all frames arriving anywhere at the same scheduling
+  instant coalesce into one ``_flush`` event that runs one decode-dispatch
+  loop per receiving host (``Port.deliver_batch``),
+* multicast frames consult the network's
+  :class:`~repro.netem.multicast.MulticastGroupTable` (via
+  ``Switch._forward_decision``), so a registered GOOSE/SV group compiles
+  into a path program that terminates only at subscribers, spies and
+  captured links instead of flooding every edge port.
 
 Cache invalidation mirrors the incremental power-flow solver (PR 3): a
 monotonic revision counter (:class:`ForwardingState`, shared by every link
@@ -61,7 +69,7 @@ from functools import partial
 from heapq import heappop, heappush
 from typing import TYPE_CHECKING, Optional
 
-from repro.netem.addresses import is_multicast_mac
+from repro.netem.addresses import BROADCAST_MAC, is_multicast_mac
 from repro.netem.frames import EthernetFrame
 from repro.netem.node import ForwardingState
 from repro.netem.switch import MAC_AGEING_US, Switch
@@ -69,12 +77,14 @@ from repro.netem.switch import MAC_AGEING_US, Switch
 if TYPE_CHECKING:  # pragma: no cover - import cycle guards
     from repro.kernel import Simulator
     from repro.netem.link import Link
+    from repro.netem.multicast import MulticastGroupTable
     from repro.netem.node import Port
 
 #: Counter codes compiled into a hop (match Switch counter semantics).
 _FWD_NONE = 0
 _FWD_FORWARDED = 1
 _FWD_FLOODED = 2
+_FWD_PRUNED = 3
 
 #: Path-cache entries are dropped wholesale past this size (an attacker
 #: spraying random destination MACs must not grow the cache unboundedly).
@@ -138,13 +148,23 @@ class ForwardingPlane:
     def __init__(self, simulator: "Simulator", state: ForwardingState) -> None:
         self.simulator = simulator
         self.state = state
-        self._cache: dict[tuple[int, str], _Path] = {}
+        self._cache: dict[tuple[int, str, Optional[str]], _Path] = {}
+        #: Shared multicast group table (set by VirtualNetwork; ``None``
+        #: for a standalone plane — multicast floods).
+        self.groups: Optional["MulticastGroupTable"] = None
+        #: Same-instant delivery coalescing: arrival instant → pending
+        #: ``(frame, path, times, sent_at, items, flaps, counted)``
+        #: entries, flushed by one kernel event per instant.
+        self._pending: dict[int, list[tuple]] = {}
         # Accounting (flows into CyberRange.data_plane_stats and the bench).
         self.sends = 0
         self.path_compiles = 0
         self.cache_hits = 0
         self.delivery_events = 0
         self.deliveries = 0
+        self.batched_frames = 0
+        self.mcast_pruned_sends = 0
+        self.mcast_flooded_sends = 0
         self.crossings = 0
         #: Wall-clock seconds in the forwarding walk (path resolution,
         #: inline hop semantics, event scheduling) — the netem *transport*
@@ -158,7 +178,9 @@ class ForwardingPlane:
     # ------------------------------------------------------------------
     # Path compilation
     # ------------------------------------------------------------------
-    def _compile(self, origin_port: "Port", dst_mac: str) -> _Path:
+    def _compile(
+        self, origin_port: "Port", dst_mac: str, appid: Optional[str]
+    ) -> _Path:
         self.path_compiles += 1
         expires: list[int] = []
         visited: set[int] = set()
@@ -183,7 +205,7 @@ class ForwardingPlane:
                     return -1
                 visited.add(id(node))
                 egress_ports, counter, entry = node._forward_decision(
-                    to_port, dst_mac
+                    to_port, dst_mac, appid
                 )
                 if entry is not None:
                     expires.append(entry.learned_at + MAC_AGEING_US)
@@ -222,9 +244,20 @@ class ForwardingPlane:
         path.expires_at = min(expires) if expires else None
         return path
 
-    def resolve(self, origin_port: "Port", dst_mac: str) -> _Path:
-        """The cached forwarding tree for ``(origin_port, dst_mac)``."""
-        key = (id(origin_port), dst_mac)
+    def resolve(
+        self,
+        origin_port: "Port",
+        dst_mac: str,
+        appid: Optional[str] = None,
+    ) -> _Path:
+        """The cached forwarding tree for ``(origin_port, dst_mac, appid)``.
+
+        The appid is part of the key because registered multicast groups
+        prune per control block on a shared MAC; any membership or
+        spy-flag change bumps ``state.rev``, so paths compiled before a
+        mid-run subscription go stale immediately.
+        """
+        key = (id(origin_port), dst_mac, appid)
         path = self._cache.get(key)
         if (
             path is not None
@@ -236,7 +269,7 @@ class ForwardingPlane:
             return path
         if len(self._cache) >= MAX_CACHED_PATHS and key not in self._cache:
             self._cache.clear()  # anti-spray bound; refreshes just replace
-        path = self._compile(origin_port, dst_mac)
+        path = self._compile(origin_port, dst_mac, appid)
         self._cache[key] = path
         return path
 
@@ -252,7 +285,20 @@ class ForwardingPlane:
         """
         started = time.perf_counter()
         self.sends += 1
-        path = self.resolve(origin_port, frame.dst_mac)
+        dst_mac = frame.dst_mac
+        appid = frame.appid
+        groups = self.groups
+        mcast = is_multicast_mac(dst_mac) and dst_mac != BROADCAST_MAC
+        if mcast:
+            if (
+                groups is not None
+                and groups.enabled
+                and groups.is_registered(dst_mac)
+            ):
+                self.mcast_pruned_sends += 1
+            else:
+                self.mcast_flooded_sends += 1
+        path = self.resolve(origin_port, dst_mac, appid)
         flat = path.flat
         if not flat:  # detached port: Port.send drops silently
             self.forward_wall_s += time.perf_counter() - started
@@ -280,18 +326,29 @@ class ForwardingPlane:
         if deliveries:
             flaps = self.state.flaps
             schedule = self.simulator.schedule
+            pending = self._pending
             counted: set[int] = set()  # crossings already drop-counted
+            total = 0
             for arrival, items in deliveries.items():
-                self.delivery_events += 1
-                self.deliveries += len(items)
-                schedule(
-                    arrival - now,
-                    partial(
-                        self._deliver, frame, path, times, now, items,
-                        flaps, counted,
-                    ),
-                    label="netem:deliver",
-                )
+                total += len(items)
+                entry = (frame, path, times, now, items, flaps, counted)
+                bucket = pending.get(arrival)
+                if bucket is None:
+                    # First frame for this instant: one kernel event
+                    # flushes every frame that lands on it.
+                    pending[arrival] = [entry]
+                    self.delivery_events += 1
+                    schedule(
+                        arrival - now,
+                        partial(self._flush, arrival),
+                        label="netem:deliver",
+                    )
+                else:
+                    bucket.append(entry)
+                    self.batched_frames += 1
+            self.deliveries += total
+            if mcast and groups is not None and groups.is_registered(dst_mac):
+                groups.count_delivery(dst_mac, appid, total)
         self.forward_wall_s += time.perf_counter() - started
 
     def _walk(self, path: _Path, now: int, size8: int, learn: bool,
@@ -337,6 +394,8 @@ class ForwardingPlane:
                     switch.forwarded += 1
                 elif counter == _FWD_FLOODED:
                     switch.flooded += 1
+                elif counter == _FWD_PRUNED:
+                    switch.pruned += 1
         return times
 
     def _walk_ordered(self, path: _Path, frame: EthernetFrame, now: int,
@@ -391,6 +450,8 @@ class ForwardingPlane:
                     switch.forwarded += 1
                 elif counter == _FWD_FLOODED:
                     switch.flooded += 1
+                elif counter == _FWD_PRUNED:
+                    switch.pruned += 1
                 for child in children[index]:
                     flat[child][_FROM].tx_frames += 1
                     seq += 1
@@ -398,15 +459,29 @@ class ForwardingPlane:
         return times
 
     # ------------------------------------------------------------------
-    def _deliver(self, frame: EthernetFrame, path: _Path, times: list[int],
-                 sent_at: int, items: list, flaps: int,
-                 counted: set[int]) -> None:
-        """Terminal delivery for one arrival instant (one kernel event)."""
+    def _flush(self, arrival: int) -> None:
+        """Deliver every frame that lands at ``arrival`` (one kernel event).
+
+        Frames are regrouped per receiving port — each host gets one
+        ``deliver_batch`` call, i.e. one decode-dispatch loop — with ports
+        in first-arrival order and frames in send order per port, matching
+        the per-frame event order the unbatched plane produced.  The
+        bucket is popped *before* executing so a handler that sends a new
+        same-instant frame starts a fresh bucket (and a fresh event).
+        """
         started = time.perf_counter()
-        if self.state.flaps == flaps:
-            for port, _ in items:
-                port.deliver(frame)
-        else:
+        entries = self._pending.pop(arrival, ())
+        by_port: dict[int, tuple["Port", list[EthernetFrame]]] = {}
+        current_flaps = self.state.flaps
+        for frame, path, times, sent_at, items, flaps, counted in entries:
+            if current_flaps == flaps:
+                for port, _ in items:
+                    bucket = by_port.get(id(port))
+                    if bucket is None:
+                        by_port[id(port)] = (port, [frame])
+                    else:
+                        bucket[1].append(frame)
+                continue
             # A link flapped while this frame was in flight: re-run the
             # hop-by-hop up-state checks (at transmit and at delivery time,
             # exactly the two instants Link.transmit/_deliver check)
@@ -426,7 +501,16 @@ class ForwardingPlane:
                         lost = True
                         break
                 if not lost:
-                    port.deliver(frame)
+                    bucket = by_port.get(id(port))
+                    if bucket is None:
+                        by_port[id(port)] = (port, [frame])
+                    else:
+                        bucket[1].append(frame)
+        for port, frames in by_port.values():
+            if len(frames) == 1:
+                port.deliver(frames[0])
+            else:
+                port.deliver_batch(frames)
         self.deliver_wall_s += time.perf_counter() - started
 
     # ------------------------------------------------------------------
@@ -438,6 +522,9 @@ class ForwardingPlane:
             "cache_hits": self.cache_hits,
             "delivery_events": self.delivery_events,
             "deliveries": self.deliveries,
+            "batched_frames": self.batched_frames,
+            "mcast_pruned_sends": self.mcast_pruned_sends,
+            "mcast_flooded_sends": self.mcast_flooded_sends,
             "crossings": self.crossings,
             "cached_paths": len(self._cache),
             "forwarding_rev": self.state.rev,

@@ -119,6 +119,13 @@ class EthernetFrame:
     payload: Union[ArpPacket, Ipv4Packet, bytes]
     #: Optional VLAN id (GOOSE traffic is commonly VLAN-tagged).
     vlan: Optional[int] = None
+    #: Application id of the multicast stream this frame belongs to — the
+    #: analog of the APPID in a real GOOSE/SV header.  Publishers stamp
+    #: their ``gocbRef``/``svID`` so subscription-aware switches can prune
+    #: per control block on a shared group MAC (see
+    #: :mod:`repro.netem.multicast`).  ``None`` (e.g. forged frames) falls
+    #: back to per-MAC semantics.
+    appid: Optional[str] = None
     #: Metadata for captures; not visible to receivers.
     meta: dict = field(default_factory=dict, compare=False)
 

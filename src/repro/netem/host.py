@@ -76,11 +76,17 @@ class UdpSocket:
         self.on_datagram = on_datagram
         self.rx_count = 0
 
-    def sendto(self, dst_ip: str, dst_port: int, payload: bytes) -> None:
+    def sendto(
+        self,
+        dst_ip: str,
+        dst_port: int,
+        payload: bytes,
+        appid: Optional[str] = None,
+    ) -> None:
         datagram = UdpDatagram(
             src_port=self.port, dst_port=dst_port, payload=payload
         )
-        self.host.send_ip(dst_ip, PROTO_UDP, datagram)
+        self.host.send_ip(dst_ip, PROTO_UDP, datagram, appid=appid)
 
     def close(self) -> None:
         self.host._udp_sockets.pop(self.port, None)
@@ -114,15 +120,23 @@ class Host(Node):
         self._udp_sockets: dict[int, UdpSocket] = {}
         self.tcp = TcpStack(self)
         self._multicast_groups: set[str] = set()
+        #: L2 group membership refcounts: ``(mac, appid)`` → join count.
+        self._l2_groups: dict[tuple[str, Optional[str]], int] = {}
         # Raw Ethernet (GOOSE / SV).
         self._ethertype_handlers: dict[int, list[Callable[[EthernetFrame], None]]] = {}
-        # Attack hooks.
-        self.packet_interceptor: Optional[Callable[[EthernetFrame], bool]] = None
-        self.ip_forward = False
-        self.promiscuous = False
+        # Attack hooks (private backing fields: the public names are
+        # properties whose setters bump the forwarding revision, because
+        # the multicast pruner must stop pruning a host that turns
+        # promiscuous / installs an interceptor / starts routing).
+        self._packet_interceptor: Optional[Callable[[EthernetFrame], bool]] = None
+        self._ip_forward = False
+        self._promiscuous = False
         #: Cut-through delivery plane (set by VirtualNetwork when enabled);
         #: None → hop-by-hop emulation via Port.send.
         self.plane = None
+        #: Shared multicast group table (set by VirtualNetwork); ``None``
+        #: for standalone hosts — joins are tracked locally only.
+        self.groups = None
         # Counters.
         self.rx_dropped = 0
         self.forwarded = 0
@@ -130,6 +144,48 @@ class Host(Node):
     @property
     def port(self) -> Port:
         return self.ports[0]
+
+    # ------------------------------------------------------------------
+    # Visibility flags (rev-bumping: the multicast pruner caches per-host
+    # spy status, and cached path programs embed pruning decisions)
+    # ------------------------------------------------------------------
+    def _visibility_changed(self) -> None:
+        self.fwd.rev += 1
+        self.fwd.groups += 1
+
+    @property
+    def packet_interceptor(self) -> Optional[Callable[[EthernetFrame], bool]]:
+        return self._packet_interceptor
+
+    @packet_interceptor.setter
+    def packet_interceptor(
+        self, hook: Optional[Callable[[EthernetFrame], bool]]
+    ) -> None:
+        if hook is not self._packet_interceptor:
+            self._packet_interceptor = hook
+            self._visibility_changed()
+
+    @property
+    def ip_forward(self) -> bool:
+        return self._ip_forward
+
+    @ip_forward.setter
+    def ip_forward(self, value: bool) -> None:
+        value = bool(value)
+        if value != self._ip_forward:
+            self._ip_forward = value
+            self._visibility_changed()
+
+    @property
+    def promiscuous(self) -> bool:
+        return self._promiscuous
+
+    @promiscuous.setter
+    def promiscuous(self, value: bool) -> None:
+        value = bool(value)
+        if value != self._promiscuous:
+            self._promiscuous = value
+            self._visibility_changed()
 
     # ------------------------------------------------------------------
     # Sending
@@ -149,29 +205,45 @@ class Host(Node):
             self.port.send(frame)
 
     def send_ethernet(
-        self, dst_mac: str, ethertype: int, payload: bytes
+        self,
+        dst_mac: str,
+        ethertype: int,
+        payload: bytes,
+        appid: Optional[str] = None,
     ) -> None:
-        """L2 send with this host's real MAC (GOOSE publishers use this)."""
+        """L2 send with this host's real MAC (GOOSE publishers use this).
+
+        ``appid`` tags multicast frames with their stream id (the APPID of
+        a real GOOSE/SV header) so subscription-aware switches can prune
+        per control block; see :mod:`repro.netem.multicast`.
+        """
         self.send_frame(
             EthernetFrame(
                 src_mac=self.mac,
                 dst_mac=dst_mac,
                 ethertype=ethertype,
                 payload=payload,
+                appid=appid,
             )
         )
 
-    def send_ip(self, dst_ip: str, protocol: int, payload) -> None:
+    def send_ip(
+        self,
+        dst_ip: str,
+        protocol: int,
+        payload,
+        appid: Optional[str] = None,
+    ) -> None:
         """Route an IPv4 payload: local subnet direct, else via gateway."""
         packet = Ipv4Packet(
             src_ip=self.ip, dst_ip=dst_ip, protocol=protocol, payload=payload
         )
-        self._route(packet)
+        self._route(packet, appid=appid)
 
-    def _route(self, packet: Ipv4Packet) -> None:
+    def _route(self, packet: Ipv4Packet, appid: Optional[str] = None) -> None:
         dst_ip = packet.dst_ip
         if is_multicast_ip(dst_ip):
-            self._transmit_ip(packet, multicast_ip_to_mac(dst_ip))
+            self._transmit_ip(packet, multicast_ip_to_mac(dst_ip), appid=appid)
             return
         if dst_ip == "255.255.255.255":
             self._transmit_ip(packet, BROADCAST_MAC)
@@ -198,13 +270,19 @@ class Host(Node):
             return None
         return mac
 
-    def _transmit_ip(self, packet: Ipv4Packet, dst_mac: str) -> None:
+    def _transmit_ip(
+        self,
+        packet: Ipv4Packet,
+        dst_mac: str,
+        appid: Optional[str] = None,
+    ) -> None:
         self.send_frame(
             EthernetFrame(
                 src_mac=self.mac,
                 dst_mac=dst_mac,
                 ethertype=ETHERTYPE_IPV4,
                 payload=packet,
+                appid=appid,
             )
         )
 
@@ -326,11 +404,43 @@ class Host(Node):
         self._udp_sockets[port] = socket
         return socket
 
-    def join_multicast_group(self, group_ip: str) -> None:
+    def join_multicast_group(
+        self, group_ip: str, appid: Optional[str] = None
+    ) -> None:
+        """IGMP-style join: accept datagrams for ``group_ip`` and register
+        with the network's multicast pruner under the group's RFC 1112
+        MAC (optionally scoped to one ``appid`` stream on that MAC)."""
         self._multicast_groups.add(group_ip)
+        self.join_l2_group(multicast_ip_to_mac(group_ip), appid)
 
-    def leave_multicast_group(self, group_ip: str) -> None:
+    def leave_multicast_group(
+        self, group_ip: str, appid: Optional[str] = None
+    ) -> None:
         self._multicast_groups.discard(group_ip)
+        self.leave_l2_group(multicast_ip_to_mac(group_ip), appid)
+
+    # ------------------------------------------------------------------
+    # L2 multicast group membership (GMRP analog)
+    # ------------------------------------------------------------------
+    def join_l2_group(self, mac: str, appid: Optional[str] = None) -> None:
+        """Declare interest in multicast ``mac`` (scoped to ``appid`` when
+        given).  Refcounted per ``(mac, appid)``: only the 0→1 transition
+        reaches the shared group table (and bumps the forwarding rev)."""
+        key = (mac.lower(), appid)
+        count = self._l2_groups.get(key, 0)
+        self._l2_groups[key] = count + 1
+        if count == 0 and self.groups is not None:
+            self.groups.join(key[0], appid, self)
+
+    def leave_l2_group(self, mac: str, appid: Optional[str] = None) -> None:
+        key = (mac.lower(), appid)
+        count = self._l2_groups.get(key, 0)
+        if count <= 1:
+            self._l2_groups.pop(key, None)
+            if count == 1 and self.groups is not None:
+                self.groups.leave(key[0], appid, self)
+        else:
+            self._l2_groups[key] = count - 1
 
     # ------------------------------------------------------------------
     # Raw ethertype handlers (GOOSE / SV subscribers)
@@ -343,8 +453,21 @@ class Host(Node):
     # ------------------------------------------------------------------
     # Receive path
     # ------------------------------------------------------------------
+    def on_frames(self, frames: list[EthernetFrame], port: Port) -> None:
+        """Batched receive: all frames that arrived in one kernel event.
+
+        One dispatch loop replaces per-frame events (the cut-through
+        plane's ``_flush`` coalesces same-instant arrivals); per-payload
+        decode work is further amortised by the subscribers' batch-sized
+        decode memos (:func:`repro.iec61850.codec.memoize_by_identity`).
+        """
+        on_frame = self.on_frame
+        for frame in frames:
+            on_frame(frame, port)
+
     def on_frame(self, frame: EthernetFrame, port: Port) -> None:
-        if self.packet_interceptor is not None and self.packet_interceptor(frame):
+        interceptor = self._packet_interceptor
+        if interceptor is not None and interceptor(frame):
             return
         if frame.ethertype == ETHERTYPE_ARP:
             self._handle_arp(frame)
@@ -366,7 +489,7 @@ class Host(Node):
         addressed_to_us = frame.dst_mac == self.mac or is_multicast_mac(
             frame.dst_mac
         )
-        if not addressed_to_us and not self.promiscuous:
+        if not addressed_to_us and not self._promiscuous:
             self.rx_dropped += 1
             return
         for_our_ip = (
@@ -376,7 +499,7 @@ class Host(Node):
         )
         if for_our_ip:
             self._deliver_ipv4(packet)
-        elif self.ip_forward and packet.ttl > 1:
+        elif self._ip_forward and packet.ttl > 1:
             self.forwarded += 1
             self._route(packet.decremented())
         else:

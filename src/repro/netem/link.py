@@ -72,6 +72,9 @@ class Link:
         self.captures.append(capture)
         self.fwd.rev += 1
         self.fwd.captures += 1
+        # A captured link must keep seeing pruned multicast (tcpdump
+        # semantics), so the pruner's reachability scopes recompute.
+        self.fwd.topo += 1
         return capture
 
     def set_down(self) -> None:

@@ -16,6 +16,7 @@ from repro.netem.capture import PacketCapture
 from repro.netem.forwarding import ForwardingPlane
 from repro.netem.host import Host
 from repro.netem.link import Link
+from repro.netem.multicast import MulticastGroupTable
 from repro.netem.node import ForwardingState, Node
 from repro.netem.switch import Switch
 
@@ -33,6 +34,15 @@ def _cut_through_default() -> bool:
     )
 
 
+def _mcast_prune_default() -> bool:
+    """Multicast pruning is on unless ``REPRO_NETEM_MCAST_PRUNE`` says no."""
+    return os.environ.get("REPRO_NETEM_MCAST_PRUNE", "1").lower() not in (
+        "0",
+        "false",
+        "off",
+    )
+
+
 class VirtualNetwork:
     """Named collection of nodes and links on a shared simulator.
 
@@ -42,6 +52,13 @@ class VirtualNetwork:
     ``False`` keeps the hop-by-hop emulation, which serves as the
     differential-test oracle.  Both planes share all link/switch state, so
     the mode can be flipped mid-run with :meth:`set_cut_through`.
+
+    ``multicast_prune`` selects subscription-aware multicast delivery
+    (:mod:`repro.netem.multicast`): ``True`` (the default, or via
+    ``REPRO_NETEM_MCAST_PRUNE``) lets switches prune *registered* group
+    MACs down to subscriber/spy/capture ports; ``False`` keeps classic
+    flooding everywhere, serving as the pruning differential-test oracle.
+    Flip mid-run with :meth:`set_multicast_prune`.
     """
 
     def __init__(
@@ -49,6 +66,7 @@ class VirtualNetwork:
         simulator: Simulator,
         name: str = "net",
         cut_through: Optional[bool] = None,
+        multicast_prune: Optional[bool] = None,
     ) -> None:
         self.simulator = simulator
         self.name = name
@@ -59,6 +77,14 @@ class VirtualNetwork:
         #: Network-wide forwarding revision, shared by every node and link.
         self.fwd = ForwardingState()
         self.plane = ForwardingPlane(simulator, self.fwd)
+        #: Network-wide multicast group table, consulted by every switch.
+        self.groups = MulticastGroupTable(self.fwd)
+        self.groups.set_enabled(
+            _mcast_prune_default()
+            if multicast_prune is None
+            else bool(multicast_prune)
+        )
+        self.plane.groups = self.groups
         self.cut_through = (
             _cut_through_default() if cut_through is None else bool(cut_through)
         )
@@ -101,10 +127,13 @@ class VirtualNetwork:
             gateway=gateway,
         )
         host.fwd = self.fwd
+        host.groups = self.groups
+        self.groups.track_host(host)
         if self.cut_through:
             host.plane = self.plane
         self.hosts[name] = host
         self.fwd.rev += 1
+        self.fwd.topo += 1
         return host
 
     def add_switch(self, name: str) -> Switch:
@@ -112,8 +141,10 @@ class VirtualNetwork:
             raise NetemError(f"duplicate node name {name!r}")
         switch = Switch(name, self.simulator)
         switch.fwd = self.fwd
+        switch.groups = self.groups
         self.switches[name] = switch
         self.fwd.rev += 1
+        self.fwd.topo += 1
         return switch
 
     def add_link(
@@ -144,6 +175,7 @@ class VirtualNetwork:
         link.fwd = self.fwd
         self.links[link_name] = link
         self.fwd.rev += 1
+        self.fwd.topo += 1
         return link
 
     # ------------------------------------------------------------------
@@ -156,10 +188,31 @@ class VirtualNetwork:
         for host in self.hosts.values():
             host.plane = plane
 
+    @property
+    def multicast_prune(self) -> bool:
+        return self.groups.enabled
+
+    def set_multicast_prune(self, enabled: bool) -> None:
+        """Toggle subscription-aware multicast pruning network-wide.
+
+        Bumps the forwarding revision (via the group table), so cached
+        cut-through paths recompile under the new policy.
+        """
+        self.groups.set_enabled(enabled)
+
     def forwarding_stats(self) -> dict[str, float]:
         """Cut-through plane counters (cache churn, events, wall time)."""
         stats = self.plane.stats()
         stats["cut_through"] = 1.0 if self.cut_through else 0.0
+        stats["multicast_prune"] = 1.0 if self.groups.enabled else 0.0
+        stats.update(self.groups.stats())
+        stats["mcast_pruned_hops"] = float(
+            sum(switch.pruned for switch in self.switches.values())
+        )
+        sends = stats["mcast_pruned_sends"] + stats["mcast_flooded_sends"]
+        stats["mcast_prune_ratio"] = (
+            stats["mcast_pruned_sends"] / sends if sends else 0.0
+        )
         return stats
 
     # ------------------------------------------------------------------

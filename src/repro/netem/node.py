@@ -21,19 +21,26 @@ class ForwardingState:
     ``flaps`` counts link up/down transitions only — in-flight deliveries
     re-validate their hop links when it moved.  ``captures`` counts
     attached captures (selects the chronologically-ordered walk so capture
-    records interleave exactly like kernel events would).
+    records interleave exactly like kernel events would).  ``topo`` counts
+    topology edits and capture attachments only (not MAC learns), scoping
+    the multicast table's port-reachability caches so steady-state
+    learning doesn't recompute them.  ``groups`` counts multicast
+    membership and host-visibility-flag changes, scoping the table's
+    member/spy caches (see :mod:`repro.netem.multicast`).
 
     Nodes and links created standalone get a private instance;
     :class:`~repro.netem.network.VirtualNetwork` rebinds everything it owns
     to one shared instance (see :mod:`repro.netem.forwarding`).
     """
 
-    __slots__ = ("rev", "flaps", "captures")
+    __slots__ = ("rev", "flaps", "captures", "topo", "groups")
 
     def __init__(self) -> None:
         self.rev = 0
         self.flaps = 0
         self.captures = 0
+        self.topo = 0
+        self.groups = 0
 
 
 class Port:
@@ -65,6 +72,22 @@ class Port:
         """Called by the link when a frame arrives at this port."""
         self.rx_frames += 1
         self.node.on_frame(frame, self)
+
+    def deliver_batch(self, frames: list[EthernetFrame]) -> None:
+        """Deliver several frames that arrived at the same instant.
+
+        The cut-through plane coalesces same-instant arrivals into one
+        kernel event; nodes that implement ``on_frames`` get the whole
+        batch in one dispatch loop, others see per-frame ``on_frame``
+        calls in arrival order.
+        """
+        self.rx_frames += len(frames)
+        on_frames = getattr(self.node, "on_frames", None)
+        if on_frames is not None:
+            on_frames(frames, self)
+        else:
+            for frame in frames:
+                self.node.on_frame(frame, self)
 
 
 class Node:

@@ -6,7 +6,10 @@ OVS bridge in standalone mode):
 * source MACs are learned per port with an ageing time,
 * known unicast is forwarded out of the learned port only,
 * unknown unicast, broadcast and multicast are flooded,
-* multicast group addresses are never learned (GOOSE/SV rely on flooding),
+* multicast group addresses are never learned; *registered* groups are
+  pruned to subscriber-bearing ports via the network's shared
+  :class:`~repro.netem.multicast.MulticastGroupTable` (GMRP/IGMP-snooping
+  analog), unregistered multicast and broadcast still flood,
 * aged entries are evicted — on lookup, and in bulk once the table grows
   past a threshold — so ``table_snapshot`` never reports stale ports and
   long runs don't accumulate dead entries,
@@ -31,7 +34,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.kernel import SECOND, Simulator
-from repro.netem.addresses import is_multicast_mac
+from repro.netem.addresses import BROADCAST_MAC, is_multicast_mac
 from repro.netem.frames import EthernetFrame
 from repro.netem.node import Node, Port
 
@@ -59,6 +62,10 @@ class Switch(Node):
         self.mac_table: dict[str, _MacEntry] = {}
         self.forwarded = 0
         self.flooded = 0
+        self.pruned = 0
+        #: Shared multicast group table; ``None`` for standalone switches
+        #: (set by :class:`~repro.netem.network.VirtualNetwork`).
+        self.groups = None
         self._prune_at = MAC_TABLE_PRUNE_LEN
 
     # ------------------------------------------------------------------
@@ -85,17 +92,25 @@ class Switch(Node):
             entry.learned_at = now  # refresh only: forwarding unchanged
 
     def _forward_decision(
-        self, in_port: Port, dst_mac: str
+        self, in_port: Port, dst_mac: str, appid: Optional[str] = None
     ) -> tuple[tuple[Port, ...], int, Optional[_MacEntry]]:
         """Egress ports for a frame to ``dst_mac`` entering at ``in_port``.
 
         Returns ``(egress ports, counter code, consulted entry)`` where the
         counter code is 0 (swallowed: destination lives behind the ingress
-        port), 1 (known unicast, forwarded) or 2 (flooded).  The consulted
-        MAC entry, when any, lets the cut-through plane expire cached paths
-        at the entry's ageing deadline.
+        port), 1 (known unicast, forwarded), 2 (flooded) or 3 (multicast,
+        pruned to subscriber-bearing ports).  The consulted MAC entry,
+        when any, lets the cut-through plane expire cached paths at the
+        entry's ageing deadline.
         """
-        if not is_multicast_mac(dst_mac):
+        if is_multicast_mac(dst_mac):
+            # Broadcast always floods (ARP correctness); registered
+            # multicast groups prune to subscriber/spy/capture ports.
+            if self.groups is not None and dst_mac != BROADCAST_MAC:
+                egress = self.groups.egress(self, in_port, dst_mac, appid)
+                if egress is not None:
+                    return egress, 3, None
+        else:
             entry = self.mac_table.get(dst_mac)
             if entry is not None:
                 if self.simulator.now - entry.learned_at <= MAC_AGEING_US:
@@ -124,11 +139,15 @@ class Switch(Node):
         now = self.simulator.now
         if not is_multicast_mac(frame.src_mac):
             self._learn(frame.src_mac, port, now)
-        egress, counter, _ = self._forward_decision(port, frame.dst_mac)
+        egress, counter, _ = self._forward_decision(
+            port, frame.dst_mac, frame.appid
+        )
         if counter == 1:
             self.forwarded += 1
         elif counter == 2:
             self.flooded += 1
+        elif counter == 3:
+            self.pruned += 1
         for out_port in egress:
             out_port.send(frame)
 

@@ -246,8 +246,12 @@ class CyberRange:
         ``warm_start_iterations`` is the Newton-Raphson cost of the
         warm-started (topology-stable) solves.  The ``netem_*`` keys are
         the cut-through delivery plane's counters (path-cache churn, kernel
-        events, forwarding vs endpoint wall time — see
+        events, delivery batching, multicast prune ratios, forwarding vs
+        endpoint wall time — see
         :meth:`~repro.netem.network.VirtualNetwork.forwarding_stats`).
+        Per-group multicast delivery counts live in
+        :meth:`multicast_group_stats` (string-keyed, so kept out of this
+        flat float map).
         """
         stats = dict(self.pointdb.registry.stats())
         stats.update(self.coupling.stats())
@@ -256,3 +260,12 @@ class CyberRange:
         for key, value in self.network.forwarding_stats().items():
             stats[f"netem_{key}"] = value
         return stats
+
+    def multicast_group_stats(self) -> dict[str, int]:
+        """Deliveries per multicast group (``mac|appid`` → frame×receiver).
+
+        Counted by the cut-through plane per registered group; the
+        pruned-vs-flooded aggregate ratios are in
+        :meth:`data_plane_stats` (``netem_mcast_*``).
+        """
+        return dict(self.network.groups.group_deliveries)

@@ -1,0 +1,135 @@
+"""Multicast group plan — the compiler side of "kill the flood".
+
+The SCL subscription model already names every GOOSE/SV publisher and
+subscriber (paper §III-A: the IED Config XML's ``goose_subscriptions`` and
+the PDIF ``remote_sv_id`` links), so the SG-ML Processor can derive the
+complete multicast group table *at compile time* — the static equivalent
+of what GMRP/IGMP snooping learns dynamically on a real substation LAN.
+
+:func:`derive_multicast_plan` walks the IED runtime configs and produces a
+:class:`MulticastGroupPlan`: one :class:`MulticastGroup` per published
+stream, keyed the way the network emulator prunes — ``(group MAC,
+appid)``, where the appid is the control block reference (GOOSE) or svID
+(R-SV).  Crucially, **every publisher's group is registered even when it
+has no subscribers**: a registered group with zero members prunes to zero
+deliveries, whereas an unregistered MAC floods (the conservative fallback
+for traffic the compiler never saw — e.g. attacker-forged frames).
+
+:meth:`MulticastGroupPlan.apply` hands the registrations to a
+:class:`~repro.netem.network.VirtualNetwork`'s group table.  Subscriber
+*joins* are not applied here: they happen organically when the Virtual IED
+Builder constructs ``GooseSubscriber``/``RSvSubscriber`` instances (whose
+constructors call ``Host.join_l2_group``/``join_multicast_group``), so a
+subscriber added mid-run — by a scenario branch phase, say — is
+indistinguishable from a compiled one.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.iec61850.goose import DEFAULT_GOOSE_MAC
+from repro.iec61850.rgoose import DEFAULT_RSV_GROUP
+from repro.netem.host import multicast_ip_to_mac
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.ied import IedRuntimeConfig
+    from repro.netem.network import VirtualNetwork
+
+
+@dataclass
+class MulticastGroup:
+    """One published multicast stream and its compile-time subscribers."""
+
+    mac: str
+    appid: str
+    kind: str  # "goose" | "r-sv"
+    publisher: str
+    subscribers: tuple[str, ...] = ()
+
+
+@dataclass
+class MulticastGroupPlan:
+    """All multicast groups of one compiled model set."""
+
+    groups: list[MulticastGroup] = field(default_factory=list)
+
+    @property
+    def group_count(self) -> int:
+        return len(self.groups)
+
+    @property
+    def subscription_count(self) -> int:
+        return sum(len(group.subscribers) for group in self.groups)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            [
+                {
+                    "mac": group.mac,
+                    "appid": group.appid,
+                    "kind": group.kind,
+                    "publisher": group.publisher,
+                    "subscribers": list(group.subscribers),
+                }
+                for group in self.groups
+            ],
+            indent=2,
+        )
+
+    def apply(self, network: "VirtualNetwork") -> None:
+        """Register every published group with the network's pruner."""
+        for group in self.groups:
+            network.groups.register(group.mac, group.appid)
+
+
+def derive_multicast_plan(
+    ied_configs: dict[str, "IedRuntimeConfig"],
+) -> MulticastGroupPlan:
+    """Derive the group table from the SCL/IED-config subscription model."""
+    plan = MulticastGroupPlan()
+    for ied_name, config in sorted(ied_configs.items()):
+        if config.goose is not None:
+            gocb_ref = config.goose.gocb_ref
+            subscribers = tuple(
+                sorted(
+                    other_name
+                    for other_name, other in ied_configs.items()
+                    if other_name != ied_name
+                    and gocb_ref in other.goose_subscriptions
+                )
+            )
+            plan.groups.append(
+                MulticastGroup(
+                    mac=DEFAULT_GOOSE_MAC,
+                    appid=gocb_ref,
+                    kind="goose",
+                    publisher=ied_name,
+                    subscribers=subscribers,
+                )
+            )
+        if config.sv_publish is not None:
+            sv_id = config.sv_publish[0]
+            subscribers = tuple(
+                sorted(
+                    other_name
+                    for other_name, other in ied_configs.items()
+                    if other_name != ied_name
+                    and any(
+                        settings.remote_sv_id == sv_id
+                        for settings in other.protections
+                    )
+                )
+            )
+            plan.groups.append(
+                MulticastGroup(
+                    mac=multicast_ip_to_mac(DEFAULT_RSV_GROUP),
+                    appid=sv_id,
+                    kind="r-sv",
+                    publisher=ied_name,
+                    subscribers=subscribers,
+                )
+            )
+    return plan

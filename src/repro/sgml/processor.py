@@ -35,6 +35,7 @@ from repro.scl.merge import merge_scd, merge_ssd
 from repro.scl.model import SclDocument
 from repro.sgml.errors import SgmlError, SgmlValidationError
 from repro.sgml.modelset import SgmlModelSet
+from repro.sgml.multicast_gen import MulticastGroupPlan, derive_multicast_plan
 from repro.sgml.network_gen import NetworkPlan, generate_network_plan
 from repro.sgml.powersim_gen import generate_power_network
 from repro.sgml.scada_config import scada_config_to_json
@@ -49,6 +50,11 @@ class CompiledArtifacts:
     power_net: Optional[Network] = None
     network_plan: Optional[NetworkPlan] = None
     network_plan_json: str = ""
+    #: Multicast groups derived from the SCL subscription model (dst MAC /
+    #: appID → subscriber hosts), applied to the network's pruner.
+    multicast_plan: Optional[MulticastGroupPlan] = None
+    multicast_plan_json: str = ""
+    multicast_group_count: int = 0
     scadabr_json: str = ""
     ied_count: int = 0
     stage_timings_ms: dict[str, float] = field(default_factory=dict)
@@ -125,6 +131,20 @@ class SgmlProcessor:
             pointdb,
             sim_interval_ms=self.sim_interval_ms,
         )
+
+        # Stage 4b: multicast group table.  Registering every *publisher*
+        # group (even subscriber-less ones) before any traffic flows is
+        # what lets the switches prune instead of flood; subscriber joins
+        # follow in stage 5 when the subscriber objects are constructed.
+        multicast_plan = self._timed(
+            timings,
+            "multicast_plan",
+            lambda: derive_multicast_plan(self.model.ied_configs),
+        )
+        self.artifacts.multicast_plan = multicast_plan
+        self.artifacts.multicast_plan_json = multicast_plan.to_json()
+        self.artifacts.multicast_group_count = multicast_plan.group_count
+        multicast_plan.apply(network)
 
         # Stage 5: Virtual IED Builder.
         self._timed(

@@ -419,7 +419,8 @@ def test_processor_artifacts(epic_model):
     assert artifacts.scadabr_json
     assert set(artifacts.stage_timings_ms) == {
         "ssd_merger", "scd_merger", "ssd_parser", "network_plan",
-        "network_launch", "ied_builder", "plc_builder", "scada_config",
+        "network_launch", "multicast_plan", "ied_builder", "plc_builder",
+        "scada_config",
     }
     assert cyber_range.architecture_summary()["ieds"] == 8
 
