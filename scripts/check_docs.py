@@ -35,6 +35,7 @@ DEFAULT_DOCS = [
     "ROADMAP.md",
     "docs/architecture.md",
     "docs/scenarios.md",
+    "docs/service.md",
     "benchmarks/README.md",
 ]
 

@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""CI smoke test for ``sgml serve``: the service end to end, over TCP.
+
+Starts the real server as a subprocess (exactly what an operator runs),
+then from this process:
+
+1. creates **two concurrent sessions** for different tenants over HTTP,
+2. verifies both advance independently (one paced, one unpaced),
+3. streams WebSocket events (points + stats channels) from the unpaced
+   session,
+4. arms a scenario and pulls the after-action report, asserting the
+   campaign-schema fields (``passed``, ``wall_s``, ``seed``) are present,
+5. injects a breaker-open FCI action and waits for the breaker status
+   point to flip (after the scenario: opening the generation breaker
+   collapses the bus voltage the scenario asserts on),
+6. checks tenant isolation (tenant B cannot see tenant A's session).
+
+Usage::
+
+    PYTHONPATH=src python scripts/service_smoke.py <model-dir>
+
+Exit code 0 on success; prints a step-by-step transcript.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.service.client import ClientError, ServiceClient  # noqa: E402
+
+WAIT_S = 30.0
+
+
+def _step(message: str) -> None:
+    print(f"[smoke] {message}", flush=True)
+
+
+def _wait_until(predicate, what: str, timeout_s: float = WAIT_S):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(0.1)
+    raise AssertionError(f"timed out waiting for {what}")
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__)
+        return 2
+    model_dir = sys.argv[1]
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env={**os.environ, "PYTHONPATH": "src"},
+    )
+    try:
+        banner = server.stdout.readline()
+        match = re.search(r"http://[\d.]+:(\d+)", banner)
+        if not match:
+            raise AssertionError(f"no listen banner from server: {banner!r}")
+        port = int(match.group(1))
+        _step(f"server up on port {port}")
+
+        blue = ServiceClient(port=port, tenant="blue")
+        red = ServiceClient(port=port, tenant="red")
+        assert blue.health()["ok"]
+
+        paced = blue.create_session(
+            model_dir=model_dir, speed=1.0, name="paced"
+        )
+        burst = red.create_session(
+            model_dir=model_dir, speed=0.0, name="burst"
+        )
+        _step(f"two sessions created: {paced['id']} (blue), "
+              f"{burst['id']} (red)")
+
+        _wait_until(
+            lambda: red.session(burst["id"])["time_s"] > 1.0
+            and blue.session(paced["id"])["time_s"] > 0.2,
+            "both sessions advancing",
+        )
+        assert red.session(burst["id"])["time_s"] > blue.session(
+            paced["id"]
+        )["time_s"], "unpaced session should outrun the paced one"
+        _step("both sessions advance; unpaced outruns paced")
+
+        events = red.stream_events(
+            burst["id"], channels=["points", "stats"], max_events=10,
+            timeout_s=WAIT_S,
+        )
+        data = [e for e in events if "seq" in e]
+        assert len(data) >= 10, f"streamed only {len(data)} events"
+        assert {e["channel"] for e in data} <= {"points", "stats"}
+        _step(f"websocket streamed {len(data)} events "
+              f"({sorted({e['channel'] for e in data})})")
+
+        spec = {
+            "name": "smoke-drill",
+            "phases": [{
+                "name": "watch",
+                "trigger": {"at": 0.5},
+                "outcomes": [{
+                    "name": "bus live",
+                    "check": "meas/EPIC/VL1/GenerationBay/GBUS/vm_pu > 0.5",
+                    "after_s": 0.5,
+                }],
+            }],
+        }
+        red.start_scenario(burst["id"], spec, duration_s=2.0)
+        report = _wait_until(
+            lambda: (
+                lambda r: r if r["scenarios"]
+                and r["scenarios"][0]["finished"] else None
+            )(red.report(burst["id"])),
+            "scenario to finish",
+        )
+        entry = report["scenarios"][0]
+        assert entry["passed"], f"scenario failed: {entry}"
+        assert "wall_s" in entry and "seed" in entry, (
+            "after-action report must use the campaign per-run schema"
+        )
+        _step("after-action report: scenario passed, campaign schema ok")
+
+        ack = red.inject(
+            burst["id"],
+            {"inject_breaker": {"ied": "GIED1", "server_ip": "10.0.1.11",
+                                "switch": "sw-GenLAN"}},
+        )
+        assert "XCBR" in ack["result"]
+        _wait_until(
+            lambda: red.points(burst["id"], prefix="status/CB_G1").get(
+                "status/CB_G1/closed"
+            ) is False,
+            "breaker CB_G1 to open after FCI injection",
+        )
+        _step("FCI breaker injection landed: status/CB_G1/closed -> False")
+
+        try:
+            blue.session(burst["id"])
+            raise AssertionError("tenant isolation breached")
+        except ClientError as exc:
+            assert exc.status == 404
+        _step("tenant isolation holds (cross-tenant lookup -> 404)")
+
+        blue.close_session(paced["id"])
+        red.close_session(burst["id"])
+        _step("sessions closed — service smoke PASSED")
+        return 0
+    finally:
+        server.terminate()
+        try:
+            server.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            server.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

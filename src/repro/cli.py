@@ -10,6 +10,7 @@ Usage::
                   [--report out.json] [--reuse-range] [--sites N]
     sgml epic <output-dir>             # generate the EPIC demo model
     sgml scaleout <output-dir> [--substations N] [--ieds M]
+    sgml serve [--host H] [--port P] [--max-sessions N] [--ttl S]
 """
 
 from __future__ import annotations
@@ -122,6 +123,30 @@ def main(argv: list[str] | None = None) -> int:
     p_deploy.add_argument("model_dir")
     p_deploy.add_argument("output_dir")
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="host multi-tenant cyber range sessions over HTTP + WebSocket "
+             "(Range-as-a-Service; see docs/service.md)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8471,
+        help="listen port (0 = ephemeral; default 8471)",
+    )
+    p_serve.add_argument(
+        "--max-sessions", type=int, default=32,
+        help="process-wide concurrent session limit (default 32)",
+    )
+    p_serve.add_argument(
+        "--max-per-tenant", type=int, default=8,
+        help="per-tenant concurrent session limit (default 8)",
+    )
+    p_serve.add_argument(
+        "--ttl", type=float, default=900.0,
+        help="idle seconds before a session is evicted (0 = never; "
+             "default 900)",
+    )
+
     args = parser.parse_args(argv)
     try:
         return _dispatch(args)
@@ -145,6 +170,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         )
         return 0
 
+    if args.command == "serve":
+        return _serve(args)
     if args.command == "campaign" and args.list_families:
         from repro.scenario.catalog import FAMILIES
 
@@ -209,6 +236,41 @@ def _dispatch(args: argparse.Namespace) -> int:
     print(f"protection trips: {len(trips)}")
     for trip in trips[:10]:
         print(f"  {trip.describe()}")
+    return 0
+
+
+def _serve(args: argparse.Namespace) -> int:
+    """Run the Range-as-a-Service front end until interrupted."""
+    import asyncio
+
+    from repro.service import RangeService, SessionManager
+
+    async def run() -> None:
+        service = RangeService(
+            SessionManager(
+                max_sessions=args.max_sessions,
+                max_per_tenant=args.max_per_tenant,
+                ttl_s=args.ttl,
+            ),
+            host=args.host,
+            port=args.port,
+        )
+        await service.start()
+        print(
+            f"range service listening on http://{args.host}:{service.port} "
+            f"(max {args.max_sessions} sessions, "
+            f"{args.max_per_tenant}/tenant, ttl {args.ttl:.0f}s)",
+            flush=True,
+        )
+        try:
+            await service.serve_forever()
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("range service stopped")
     return 0
 
 

@@ -89,6 +89,8 @@ class VirtualIed:
         self._read_gens: list[int] = []
         self._status_handles: dict[str, PointHandle] = {}
         self._wake_subscribed: set[int] = set()
+        #: Handles subscribed with the wake callback, kept for close().
+        self._subscribed_handles: list[PointHandle] = []
         self.operate_log: list[tuple[int, str, bool, str]] = []
         self.rejected_operates: list[tuple[int, str, str]] = []
         self._build()
@@ -155,6 +157,7 @@ class VirtualIed:
         if handle.index in self._wake_subscribed:
             return
         self._wake_subscribed.add(handle.index)
+        self._subscribed_handles.append(handle)
         self.pointdb.subscribe_handle(handle, self._on_input_change)
 
     @property
@@ -296,6 +299,20 @@ class VirtualIed:
             self.goose_publisher.stop()
         if self.sv_publisher is not None:
             self.sv_publisher.stop()
+
+    def close(self) -> None:
+        """Stop + detach every shared-registry subscription.
+
+        After close the device costs nothing on later registry flushes —
+        required for session eviction in :mod:`repro.service`, where the
+        registry may outlive the device (diagnostics reads) and where a
+        closed range must not wake dead devices.
+        """
+        self.stop()
+        for handle in self._subscribed_handles:
+            self.pointdb.unsubscribe_handle(handle, self._on_input_change)
+        self._subscribed_handles.clear()
+        self._wake_subscribed.clear()
 
     # ------------------------------------------------------------------
     # Change-driven scheduling

@@ -20,6 +20,7 @@ from repro.kernel.simulator import (
     SimTime,
     Simulator,
     SimulatorError,
+    StepSlice,
 )
 
 __all__ = [
@@ -30,5 +31,6 @@ __all__ = [
     "SimTime",
     "Simulator",
     "SimulatorError",
+    "StepSlice",
     "US",
 ]

@@ -19,7 +19,7 @@ import heapq
 import itertools
 import time as _wallclock
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, NamedTuple, Optional
 
 SimTime = int
 """Virtual time in integer microseconds."""
@@ -47,6 +47,19 @@ class Event:
     def cancel(self) -> None:
         """Prevent the event from firing.  Safe to call more than once."""
         self.cancelled = True
+
+
+class StepSlice(NamedTuple):
+    """Result of one :meth:`Simulator.step_until` slice.
+
+    ``executed`` is the number of events run inside the slice; ``done`` is
+    ``True`` once every event up to the slice deadline has run and the
+    clock sits exactly at that deadline — i.e. the point where a sequence
+    of slices is indistinguishable from one :meth:`Simulator.run_until`.
+    """
+
+    executed: int
+    done: bool
 
 
 class PeriodicTask:
@@ -231,6 +244,42 @@ class Simulator:
     def run_for(self, duration: SimTime) -> None:
         """Advance virtual time by ``duration`` microseconds."""
         self.run_until(self._now + int(duration))
+
+    def step_until(
+        self, deadline: SimTime, max_events: Optional[int] = None
+    ) -> StepSlice:
+        """Cooperative, budget-bounded slice of :meth:`run_until`.
+
+        Executes events with ``when <= deadline`` — at most ``max_events``
+        of them — and returns a :class:`StepSlice`.  When the budget runs
+        out first, the clock stays at the last executed event and a later
+        call resumes exactly where this one stopped; once the queue is
+        drained past ``deadline`` the clock is advanced there and ``done``
+        is ``True``.
+
+        Determinism contract: for any deadline and any (positive) budget
+        sequence, repeating ``step_until(deadline, budget)`` until ``done``
+        executes the *same events in the same order at the same virtual
+        times* as a single ``run_until(deadline)``.  This is what lets an
+        asyncio service interleave many ranges on one thread without
+        perturbing any of them (see :mod:`repro.service`).
+        """
+        if deadline < self._now:
+            raise SimulatorError(
+                f"deadline {deadline} is before current time {self._now}"
+            )
+        if max_events is not None and max_events <= 0:
+            raise SimulatorError(f"max_events must be positive, got {max_events}")
+        executed = 0
+        while True:
+            head = self._peek()
+            if head is None or head.when > deadline:
+                self._now = deadline
+                return StepSlice(executed, True)
+            if max_events is not None and executed >= max_events:
+                return StepSlice(executed, False)
+            self.step()
+            executed += 1
 
     def run_to_completion(self, max_events: int = 1_000_000) -> int:
         """Drain the queue entirely; returns events executed.

@@ -175,6 +175,15 @@ class ForwardingPlane:
         #: ``Port.deliver``), so this is endpoint cost, not transport cost.
         self.deliver_wall_s = 0.0
 
+    def drop_caches(self) -> None:
+        """Release every compiled path program (range teardown).
+
+        Correctness never depends on this — revision checks invalidate
+        stale entries — but a closed range must not pin path programs (and
+        their serialisation memos) for the registry's lifetime.
+        """
+        self._cache.clear()
+
     # ------------------------------------------------------------------
     # Path compilation
     # ------------------------------------------------------------------

@@ -89,6 +89,20 @@ class MulticastGroupTable:
         self._egress_rev: tuple[int, int] = (-1, -1)
         self._egress: dict[tuple[int, str, Optional[str]], tuple] = {}
 
+    def drop_caches(self) -> None:
+        """Release derived member/spy/egress caches (range teardown).
+
+        The membership itself (``_groups``) survives — only the derived
+        caches go; they rebuild lazily on the next lookup, validated by
+        the usual revision checks.
+        """
+        self._scope_topo = -1
+        self._scopes.clear()
+        self._groups_rev = -1
+        self._members_cache.clear()
+        self._egress_rev = (-1, -1)
+        self._egress.clear()
+
     # ------------------------------------------------------------------
     # Registration
     # ------------------------------------------------------------------

@@ -200,6 +200,17 @@ class VirtualNetwork:
         """
         self.groups.set_enabled(enabled)
 
+    def drop_caches(self) -> None:
+        """Release compiled-path + multicast caches (range teardown).
+
+        Called from :meth:`repro.range.CyberRange.close`: a closed
+        session's network must not pin cached path programs or derived
+        group scopes.  Safe mid-run too — caches rebuild lazily under the
+        usual revision validation.
+        """
+        self.plane.drop_caches()
+        self.groups.drop_caches()
+
     def forwarding_stats(self) -> dict[str, float]:
         """Cut-through plane counters (cache churn, events, wall time)."""
         stats = self.plane.stats()

@@ -133,6 +133,9 @@ class VirtualPlc:
         self.input_events = 0
         self.suppressed_output_writes = 0
         self.point_bindings: list[PointBinding] = []
+        #: (pointdb, handle, callback) triples of live read-binding
+        #: subscriptions, kept so close() can detach them.
+        self._point_subscriptions: list[tuple[Any, Any, Any]] = []
         self._point_pending: dict[str, Any] = {}
         self._point_written: dict[str, Any] = {}
         self._out_image: dict[tuple[str, int], Any] = {}
@@ -223,12 +226,11 @@ class VirtualPlc:
         )
         self.point_bindings.append(binding)
         if direction == "read":
-            pointdb.subscribe_handle(
-                handle,
-                lambda _handle, value, name=variable: self._on_point_change(
-                    name, value
-                ),
-            )
+            def on_change(_handle, value, name=variable) -> None:
+                self._on_point_change(name, value)
+
+            pointdb.subscribe_handle(handle, on_change)
+            self._point_subscriptions.append((pointdb, handle, on_change))
             current = pointdb.registry.read(handle)
             if current is not None:
                 self._point_pending[variable] = current
@@ -258,6 +260,14 @@ class VirtualPlc:
         if self._scan_task is not None:
             self._scan_task.stop()
             self._scan_task = None
+
+    def close(self) -> None:
+        """Stop + detach every shared-registry subscription (see
+        :meth:`repro.range.CyberRange.close`)."""
+        self.stop()
+        for pointdb, handle, callback in self._point_subscriptions:
+            pointdb.unsubscribe_handle(handle, callback)
+        self._point_subscriptions.clear()
 
     # ------------------------------------------------------------------
     # Scan cycle

@@ -109,6 +109,11 @@ class PointRegistry:
         self._dirty: list[bool] = []
         self._dirty_indices: list[int] = []
         self._subscribers: dict[int, list[Callable[[PointHandle, Any], None]]] = {}
+        #: Wildcard subscribers: notified for *every* changed point,
+        #: including points interned after they subscribed.  Used by the
+        #: service event broker; empty (one falsy check per notify) in
+        #: batch runs.
+        self._global_subscribers: list[Callable[[PointHandle, Any], None]] = []
         self._handles: list[PointHandle] = []
         self._present_count = 0
         #: Write-path accounting (benchmarks report these).
@@ -232,13 +237,16 @@ class PointRegistry:
 
     def _notify(self, slot: int) -> None:
         callbacks = self._subscribers.get(slot)
-        if not callbacks:
+        if not callbacks and not self._global_subscribers:
             return
         handle = self._handles[slot]
         value = self._values[slot]
         # Copy: a callback may unsubscribe itself (one-shot scenario
         # triggers) without corrupting this delivery round.
-        for callback in tuple(callbacks):
+        for callback in tuple(callbacks or ()):
+            self.notifications += 1
+            callback(handle, value)
+        for callback in tuple(self._global_subscribers):
             self.notifications += 1
             callback(handle, value)
 
@@ -302,6 +310,28 @@ class PointRegistry:
             return False
         if not callbacks:
             del self._subscribers[handle.index]
+        return True
+
+    def subscribe_all(
+        self, callback: Callable[[PointHandle, Any], None]
+    ) -> None:
+        """Invoke ``callback(handle, value)`` for *every* changed point.
+
+        Unlike per-handle subscription this also covers points interned
+        after the call, which is what a live event stream needs: a
+        scenario armed mid-session may intern new keys and subscribers
+        must still see them change.
+        """
+        self._global_subscribers.append(callback)
+
+    def unsubscribe_all(
+        self, callback: Callable[[PointHandle, Any], None]
+    ) -> bool:
+        """Remove one wildcard registration; ``True`` if it was found."""
+        try:
+            self._global_subscribers.remove(callback)
+        except ValueError:
+            return False
         return True
 
     # ------------------------------------------------------------------

@@ -34,6 +34,7 @@ class CyberRange:
         runner: TimeSeriesRunner,
         pointdb: PointDatabase,
         sim_interval_ms: float = 100.0,
+        seed: int = 0,
     ) -> None:
         self.simulator = simulator
         self.network = network
@@ -41,11 +42,15 @@ class CyberRange:
         self.pointdb = pointdb
         self.coupling = PowerCoupling(power_net, runner, pointdb)
         self.sim_interval_ms = sim_interval_ms
+        #: Effective RNG seed of the stochastic parts (netem loss draws);
+        #: campaign and service after-action reports record it.
+        self.seed = seed
         self.ieds: dict[str, VirtualIed] = {}
         self.plcs: dict[str, VirtualPlc] = {}
         self.hmis: dict[str, ScadaHmi] = {}
         self._tick_task = None
         self.started = False
+        self.closed = False
         self._attacker_count = 0
         #: Resolved-handle caches for the string-keyed read fast paths.
         self._meas_handles: dict[str, PointHandle] = {}
@@ -77,6 +82,8 @@ class CyberRange:
     # ------------------------------------------------------------------
     def start(self) -> None:
         """Start every device and the co-simulation tick."""
+        if self.closed:
+            raise RangeError("cyber range is closed")
         if self.started:
             return
         self.started = True
@@ -106,6 +113,36 @@ class CyberRange:
             hmi.stop()
         self.started = False
 
+    def close(self) -> None:
+        """Deterministic teardown: stop, unsubscribe, drop caches.
+
+        After close every shared-registry subscription the range's devices
+        made is detached (a later registry flush wakes nobody), the netem
+        path/multicast caches are released, and the range refuses to start
+        again.  Idempotent.  This is what session eviction in
+        :mod:`repro.service` relies on: a closed session must cost nothing
+        beyond its (garbage-collectable) object graph.
+        """
+        if self.closed:
+            return
+        self.stop()
+        self.closed = True
+        for ied in self.ieds.values():
+            ied.close()
+        for plc in self.plcs.values():
+            plc.close()
+        for hmi in self.hmis.values():
+            hmi.close()
+        self.network.drop_caches()
+        self._meas_handles.clear()
+        self._breaker_handles.clear()
+
+    def __enter__(self) -> "CyberRange":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
     def _on_tick(self) -> None:
         self.coupling.tick(self.simulator.now / SECOND)
 
@@ -117,6 +154,20 @@ class CyberRange:
         if not self.started:
             raise RangeError("call start() before run_for()")
         self.simulator.run_for(int(seconds * SECOND))
+
+    def step_until(self, deadline_us: int, max_events: int | None = None):
+        """Budget-bounded cooperative slice toward an absolute deadline.
+
+        Thin wrapper over :meth:`repro.kernel.Simulator.step_until` with
+        the range lifecycle guard; the service layer drives many ranges on
+        one thread with this.  Returns the kernel's
+        :class:`~repro.kernel.StepSlice`.
+        """
+        if not self.started:
+            raise RangeError("call start() before step_until()")
+        if self.closed:
+            raise RangeError("cyber range is closed")
+        return self.simulator.step_until(deadline_us, max_events)
 
     def run_realtime(self, seconds: float, speed: float = 1.0) -> None:
         """Advance pacing against the wall clock (interactive exercises)."""

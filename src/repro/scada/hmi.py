@@ -65,6 +65,9 @@ class ScadaHmi:
         }
         self.events: list[AlarmEvent] = []
         self.active_alarms: dict[str, str] = {}
+        #: Live alarm observer (service event broker); called with each
+        #: :class:`AlarmEvent` as it is recorded.  ``None`` in batch runs.
+        self.alarm_observer: Optional[Any] = None
         self._modbus: dict[str, ModbusClient] = {}
         self._mms: dict[str, MmsClient] = {}
         self._tasks = []
@@ -112,6 +115,18 @@ class ScadaHmi:
             task.stop()
         self._tasks.clear()
         self.started = False
+
+    def close(self) -> None:
+        """Stop polling and drop protocol clients + the alarm observer.
+
+        The HMI's tag registry is private, so there are no shared-registry
+        subscriptions to detach; close exists for symmetric teardown from
+        :meth:`repro.range.CyberRange.close`.
+        """
+        self.stop()
+        self.alarm_observer = None
+        self._modbus.clear()
+        self._mms.clear()
 
     def _connect_source(self, source: DataSourceConfig) -> None:
         if source.protocol == "MODBUS":
@@ -227,6 +242,14 @@ class ScadaHmi:
 
         return update
 
+    def _record_event(self, event: AlarmEvent) -> None:
+        self.events.append(event)
+        if self.alarm_observer is not None:
+            try:
+                self.alarm_observer(event)
+            except Exception:  # observer bugs must not break polling
+                pass
+
     def _on_tag_change(self, point: DataPointConfig, value: Any) -> None:
         self.values[point.name].value = value
         self._check_alarms(point, value, self.host.simulator.now)
@@ -238,10 +261,10 @@ class ScadaHmi:
         active = self.active_alarms.get(point.name)
         if violation and violation != active:
             self.active_alarms[point.name] = violation
-            self.events.append(AlarmEvent(now, point.name, violation, value))
+            self._record_event(AlarmEvent(now, point.name, violation, value))
         elif not violation and active:
             del self.active_alarms[point.name]
-            self.events.append(
+            self._record_event(
                 AlarmEvent(now, point.name, "RETURN_TO_NORMAL", value)
             )
 
@@ -257,7 +280,7 @@ class ScadaHmi:
             if now - current.time_us > stale_after:
                 if current.quality is not PointQuality.STALE:
                     current.quality = PointQuality.STALE
-                    self.events.append(
+                    self._record_event(
                         AlarmEvent(now, point.name, "QUALITY", "stale")
                     )
 
@@ -283,7 +306,7 @@ class ScadaHmi:
         assert source is not None  # validated at construction
         now = self.host.simulator.now
         self.command_count += 1
-        self.events.append(AlarmEvent(now, point_name, "COMMAND", value))
+        self._record_event(AlarmEvent(now, point_name, "COMMAND", value))
         if source.protocol == "MODBUS":
             client = self._modbus[source.name]
             if not client.connected:

@@ -24,6 +24,7 @@ time execute in the order the scenario declared them.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
@@ -173,6 +174,32 @@ class ScenarioRun:
         self._armed: set[str] = set()
         #: Pending timeout events per armed phase name.
         self._timeout_events: dict[str, Event] = {}
+        #: Live progress observer (service event broker); ``None`` costs
+        #: one falsy check per emission point.
+        self._observer: Optional[Callable[[dict], None]] = None
+        #: Wall-clock run cost, frozen by :meth:`finish`.
+        self.wall_s: float = 0.0
+        self._wall_start: Optional[float] = None
+
+    def set_observer(self, callback: Optional[Callable[[dict], None]]) -> None:
+        """Stream structured progress events to ``callback`` as they happen.
+
+        Events are dicts with an ``event`` key (``scenario_started``,
+        ``phase_fired``, ``phase_verdict``, ``branch``,
+        ``scenario_finished``) plus event-specific fields; the service
+        layer fans them out to WebSocket subscribers.  An observer that
+        raises would corrupt the run, so emission swallows exceptions.
+        """
+        self._observer = callback
+
+    def _emit(self, event: str, **data: Any) -> None:
+        if self._observer is None:
+            return
+        payload = {"event": event, "scenario": self.scenario.name, **data}
+        try:
+            self._observer(payload)
+        except Exception:  # observer bugs must not perturb the run
+            pass
 
     # ------------------------------------------------------------------
     # TriggerHost protocol
@@ -249,8 +276,10 @@ class ScenarioRun:
                 "invalid scenario graph: " + "; ".join(problems)
             )
         self.started = True
+        self._wall_start = time.perf_counter()
         self._base_us = self.simulator.now
         self._epoch_us = self._base_us
+        self._emit("scenario_started", time_s=0.0)
         # Records first: after() triggers may reference any phase, including
         # ones declared later (and dormant branch targets need records too).
         for phase in self.scenario.phases:
@@ -320,6 +349,12 @@ class ScenarioRun:
         phase.trigger.disarm()
         self._armed.discard(phase.name)
         record.verdict = "timeout"
+        self._emit(
+            "phase_verdict",
+            phase=phase.name,
+            verdict="timeout",
+            time_s=self.elapsed_s(),
+        )
         if phase.on_timeout:
             self._route(phase, "on_timeout", phase.on_timeout)
 
@@ -336,6 +371,12 @@ class ScenarioRun:
         record = self.records[phase.name]
         verdict = "pass" if all(o.passed for o in outcomes) else "fail"
         record.verdict = verdict
+        self._emit(
+            "phase_verdict",
+            phase=phase.name,
+            verdict=verdict,
+            time_s=self.elapsed_s(),
+        )
         edge = "on_pass" if verdict == "pass" else "on_fail"
         target = phase.edges.get(edge, "")
         if target:
@@ -360,6 +401,14 @@ class ScenarioRun:
             reason=reason,
         )
         self.branches.append(decision)
+        self._emit(
+            "branch",
+            source=source.name,
+            edge=edge,
+            target=target_name,
+            armed=decision.armed,
+            time_s=decision.time_s,
+        )
         source_record = self.records[source.name]
         if not source_record.branch_taken and decision.armed:
             source_record.branch_taken = f"{edge} -> {target_name}"
@@ -373,6 +422,13 @@ class ScenarioRun:
             if record.fire_count == 1:
                 record.triggered_at_s = self.elapsed_s()
                 record.trigger_reason = reason
+            self._emit(
+                "phase_fired",
+                phase=phase.name,
+                reason=reason,
+                fire_count=record.fire_count,
+                time_s=self.elapsed_s(),
+            )
             self._cancel_timeout(phase.name)
             if not phase.trigger.repeat:
                 self._armed.discard(phase.name)
@@ -472,6 +528,8 @@ class ScenarioRun:
         if self.finished:
             return self
         self.finished = True
+        if self._wall_start is not None:
+            self.wall_s = time.perf_counter() - self._wall_start
         for phase in self.scenario.phases:
             phase.trigger.disarm()
         self._armed.clear()
@@ -481,6 +539,9 @@ class ScenarioRun:
         for event in self._outcome_events:
             event.cancel()
         self._outcome_events.clear()
+        self._emit(
+            "scenario_finished", passed=self.passed, time_s=self.elapsed_s()
+        )
         return self
 
     # ------------------------------------------------------------------
@@ -513,11 +574,21 @@ class ScenarioRun:
         ]
 
     def to_dict(self) -> dict:
+        """Structured after-action report.
+
+        ``wall_s`` (wall clock between :meth:`start` and :meth:`finish`)
+        and ``seed`` (the compiled range's effective RNG seed) make this
+        the same per-run schema the campaign aggregate report uses, so a
+        service after-action report and a campaign entry are
+        interchangeable.
+        """
         return {
             "scenario": self.scenario.name,
             "description": self.scenario.description,
             "passed": self.passed,
             "duration_s": self.elapsed_s(),
+            "wall_s": self.wall_s,
+            "seed": getattr(self.cyber_range, "seed", 0),
             "branches": [b.to_dict() for b in self.branches],
             "phases": [
                 self.records[phase.name].to_dict()

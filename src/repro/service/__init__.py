@@ -1,0 +1,52 @@
+"""Range-as-a-Service: an async multi-tenant session layer over live ranges.
+
+The simulator got fast enough (PR 6: ~0.010 s wall per simulated second at
+5 substations) that one process can host dozens of concurrent cyber
+ranges.  This package turns that headroom into a *service*:
+
+* :mod:`repro.service.broker` — fans a live range's point deltas, scenario
+  phase transitions, HMI alarms and multicast stats snapshots out to
+  bounded subscriber queues (drop-oldest backpressure, per-subscriber drop
+  accounting);
+* :mod:`repro.service.session` — :class:`RangeSession` (lifecycle,
+  per-session speed control, wall-clock pacing over the kernel's
+  :meth:`~repro.kernel.Simulator.step_until` slices, mid-run action
+  injection, after-action reports) and :class:`SessionManager`
+  (per-tenant isolation, session limits, TTL eviction);
+* :mod:`repro.service.server` — the asyncio driver loop interleaving every
+  running session cooperatively on one thread, plus the HTTP + WebSocket
+  wire layer (stdlib only, JSON protocol — ``sgml serve``);
+* :mod:`repro.service.client` — a small blocking client for scripts,
+  docs and CI smoke tests.
+
+Protocol reference: ``docs/service.md``.
+"""
+
+from repro.service.broker import EventBroker, Subscription
+from repro.service.session import (
+    RangeSession,
+    ServiceError,
+    SessionManager,
+    SessionState,
+)
+from repro.service.server import (
+    RangeService,
+    ServiceHandle,
+    default_model_resolver,
+    launch_service,
+)
+from repro.service.client import ServiceClient
+
+__all__ = [
+    "EventBroker",
+    "RangeService",
+    "RangeSession",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceHandle",
+    "SessionManager",
+    "SessionState",
+    "Subscription",
+    "default_model_resolver",
+    "launch_service",
+]

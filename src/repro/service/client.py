@@ -1,0 +1,223 @@
+"""A small blocking client for the range service (stdlib only).
+
+Wraps the JSON-over-HTTP protocol plus a minimal WebSocket consumer so
+scripts, docs and the CI smoke test can drive a live service without any
+async plumbing::
+
+    client = ServiceClient(port=handle.port, tenant="blue-team")
+    session = client.create_session(model="epic", speed=0.0)
+    client.inject(session["id"], {"inject_breaker": {"ied": "SIED1"}})
+    events = client.stream_events(session["id"], channels=["alarms"],
+                                  max_events=5)
+    report = client.report(session["id"])
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from typing import Any, Optional
+
+from repro.service import http as wire
+from repro.service.session import ServiceError
+
+
+class ClientError(ServiceError):
+    """Non-2xx response from the service."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    """Blocking JSON client; one connection per request."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8471,
+        *,
+        tenant: str = "default",
+        timeout_s: float = 30.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.timeout_s = timeout_s
+
+    # ------------------------------------------------------------------
+    def _request(
+        self, method: str, path: str, payload: Optional[dict] = None
+    ) -> Any:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            body = None if payload is None else json.dumps(payload)
+            connection.request(
+                method,
+                path,
+                body=body,
+                headers={
+                    "Content-Type": "application/json",
+                    "X-Tenant": self.tenant,
+                },
+            )
+            response = connection.getresponse()
+            data = response.read()
+            decoded = json.loads(data) if data else {}
+            if response.status >= 400:
+                raise ClientError(
+                    response.status,
+                    decoded.get("error", data.decode("utf-8", "replace")),
+                )
+            return decoded
+        finally:
+            connection.close()
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def create_session(self, **body: Any) -> dict:
+        """Create a session; see ``docs/service.md`` for body fields."""
+        return self._request("POST", "/v1/sessions", body)
+
+    def list_sessions(self) -> list[dict]:
+        return self._request("GET", "/v1/sessions")["sessions"]
+
+    def session(self, session_id: str) -> dict:
+        return self._request("GET", f"/v1/sessions/{session_id}")
+
+    def close_session(self, session_id: str) -> dict:
+        return self._request("DELETE", f"/v1/sessions/{session_id}")
+
+    def pause(self, session_id: str) -> dict:
+        return self._request(
+            "POST", f"/v1/sessions/{session_id}/lifecycle", {"op": "pause"}
+        )
+
+    def resume(self, session_id: str) -> dict:
+        return self._request(
+            "POST", f"/v1/sessions/{session_id}/lifecycle", {"op": "resume"}
+        )
+
+    def set_speed(self, session_id: str, speed: float) -> dict:
+        return self._request(
+            "POST",
+            f"/v1/sessions/{session_id}/lifecycle",
+            {"op": "speed", "speed": speed},
+        )
+
+    def inject(self, session_id: str, spec: dict) -> dict:
+        """Inject one ``{kind: params}`` action spec into the live range."""
+        return self._request(
+            "POST", f"/v1/sessions/{session_id}/actions", spec
+        )
+
+    def start_scenario(
+        self,
+        session_id: str,
+        spec: dict,
+        duration_s: Optional[float] = None,
+    ) -> dict:
+        body = dict(spec)
+        if duration_s is not None:
+            body["duration_s"] = duration_s
+        return self._request(
+            "POST", f"/v1/sessions/{session_id}/scenarios", body
+        )
+
+    def report(self, session_id: str) -> dict:
+        return self._request("GET", f"/v1/sessions/{session_id}/report")
+
+    def points(self, session_id: str, prefix: str = "") -> dict:
+        suffix = f"?prefix={prefix}" if prefix else ""
+        return self._request(
+            "GET", f"/v1/sessions/{session_id}/points{suffix}"
+        )["points"]
+
+    def stats(self, session_id: str) -> dict:
+        return self._request("GET", f"/v1/sessions/{session_id}/stats")
+
+    # ------------------------------------------------------------------
+    # WebSocket streaming
+    # ------------------------------------------------------------------
+    def stream_events(
+        self,
+        session_id: str,
+        channels: Optional[list[str]] = None,
+        *,
+        max_events: int = 10,
+        timeout_s: Optional[float] = None,
+    ) -> list[dict]:
+        """Open the event stream, collect ``max_events`` events, close.
+
+        Keepalive and ``stream_open`` meta events do not count toward
+        ``max_events`` but are included in the returned list, so callers
+        see drop accounting (``keepalive.dropped``) too.
+        """
+        deadline_s = timeout_s if timeout_s is not None else self.timeout_s
+        query = f"?channels={','.join(channels)}" if channels else ""
+        path = f"/v1/sessions/{session_id}/events{query}"
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=deadline_s
+        )
+        try:
+            key = "c2dtbC1zZXJ2aWNlLXdz"  # any 16-byte base64 token works
+            sock.sendall(
+                (
+                    f"GET {path} HTTP/1.1\r\n"
+                    f"Host: {self.host}:{self.port}\r\n"
+                    f"Upgrade: websocket\r\n"
+                    f"Connection: Upgrade\r\n"
+                    f"Sec-WebSocket-Key: {key}\r\n"
+                    f"Sec-WebSocket-Version: 13\r\n"
+                    f"X-Tenant: {self.tenant}\r\n\r\n"
+                ).encode("latin-1")
+            )
+            buffer = b""
+            while b"\r\n\r\n" not in buffer:
+                chunk = sock.recv(4096)
+                if not chunk:
+                    raise ServiceError("connection closed during handshake")
+                buffer += chunk
+            head, _, buffer = buffer.partition(b"\r\n\r\n")
+            status_line = head.split(b"\r\n", 1)[0].decode("latin-1")
+            if " 101 " not in status_line:
+                raise ServiceError(f"websocket upgrade refused: {status_line}")
+            expected = wire.websocket_accept_key(key)
+            if expected.encode("latin-1") not in head:
+                raise ServiceError("bad Sec-WebSocket-Accept from server")
+            events: list[dict] = []
+            counted = 0
+            while counted < max_events:
+                frames, buffer = wire.decode_frames(buffer)
+                for opcode, payload in frames:
+                    if opcode == wire.WS_OP_CLOSE:
+                        return events
+                    if opcode != wire.WS_OP_TEXT:
+                        continue
+                    event = json.loads(payload)
+                    events.append(event)
+                    if event.get("event") not in ("keepalive", "stream_open"):
+                        counted += 1
+                        if counted >= max_events:
+                            break
+                if counted >= max_events:
+                    break
+                try:
+                    chunk = sock.recv(4096)
+                except socket.timeout:
+                    return events
+                if not chunk:
+                    return events
+                buffer += chunk
+            sock.sendall(wire.encode_close(mask=True))
+            return events
+        finally:
+            sock.close()

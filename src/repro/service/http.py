@@ -1,0 +1,247 @@
+"""Minimal HTTP/1.1 + WebSocket (RFC 6455) wire primitives, stdlib only.
+
+The service speaks a deliberately small dialect:
+
+* requests: one line + headers + optional ``Content-Length`` body (no
+  chunked uploads, no pipelining — each connection carries one request,
+  except WebSocket upgrades which hold the connection open);
+* responses: JSON bodies, ``Connection: close``;
+* WebSocket: the server accepts the upgrade (``Sec-WebSocket-Accept`` =
+  base64(SHA1(key + GUID))), sends unmasked text frames, and understands
+  masked client frames (text/ping/close) as RFC 6455 requires of clients.
+
+Everything here is transport; routing and semantics live in
+:mod:`repro.service.server`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import hashlib
+import json
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Optional
+from urllib.parse import parse_qsl, urlsplit
+
+MAX_HEADER_BYTES = 16384
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+WS_OP_TEXT = 0x1
+WS_OP_CLOSE = 0x8
+WS_OP_PING = 0x9
+WS_OP_PONG = 0xA
+
+STATUS_PHRASES = {
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+class WireError(Exception):
+    """Malformed request or frame; the connection is dropped."""
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request."""
+
+    method: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> Any:
+        """Decode the body as JSON (``{}`` when empty)."""
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body)
+        except ValueError as exc:
+            raise WireError(f"request body is not valid JSON: {exc}") from exc
+
+    @property
+    def wants_websocket(self) -> bool:
+        return (
+            self.headers.get("upgrade", "").lower() == "websocket"
+            and "sec-websocket-key" in self.headers
+        )
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[HttpRequest]:
+    """Parse one request off the stream; ``None`` on a clean EOF."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise WireError("connection closed mid-request") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise WireError("request head too large") from exc
+    if len(head) > MAX_HEADER_BYTES:
+        raise WireError("request head too large")
+    lines = head.decode("latin-1").split("\r\n")
+    try:
+        method, target, _version = lines[0].split(" ", 2)
+    except ValueError as exc:
+        raise WireError(f"malformed request line {lines[0]!r}") from exc
+    parts = urlsplit(target)
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    length = int(headers.get("content-length", "0") or "0")
+    if length > MAX_BODY_BYTES:
+        raise WireError(f"request body too large ({length} bytes)")
+    if length:
+        body = await reader.readexactly(length)
+    return HttpRequest(
+        method=method.upper(),
+        path=parts.path,
+        query=dict(parse_qsl(parts.query)),
+        headers=headers,
+        body=body,
+    )
+
+
+def json_response(status: int, payload: Any) -> bytes:
+    """Serialize one complete JSON response."""
+    body = json.dumps(payload, indent=None).encode("utf-8")
+    phrase = STATUS_PHRASES.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {phrase}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+# ----------------------------------------------------------------------
+# WebSocket
+# ----------------------------------------------------------------------
+def websocket_accept_key(client_key: str) -> str:
+    digest = hashlib.sha1((client_key + WS_GUID).encode("latin-1")).digest()
+    return base64.b64encode(digest).decode("latin-1")
+
+
+def websocket_handshake_response(request: HttpRequest) -> bytes:
+    key = request.headers.get("sec-websocket-key", "")
+    if not key:
+        raise WireError("websocket upgrade without Sec-WebSocket-Key")
+    return (
+        "HTTP/1.1 101 Switching Protocols\r\n"
+        "Upgrade: websocket\r\n"
+        "Connection: Upgrade\r\n"
+        f"Sec-WebSocket-Accept: {websocket_accept_key(key)}\r\n\r\n"
+    ).encode("latin-1")
+
+
+def encode_frame(opcode: int, payload: bytes, mask: bool = False) -> bytes:
+    """One FIN frame.  Servers send unmasked; clients must mask."""
+    head = bytearray([0x80 | opcode])
+    length = len(payload)
+    mask_bit = 0x80 if mask else 0
+    if length < 126:
+        head.append(mask_bit | length)
+    elif length < 65536:
+        head.append(mask_bit | 126)
+        head += struct.pack(">H", length)
+    else:
+        head.append(mask_bit | 127)
+        head += struct.pack(">Q", length)
+    if mask:
+        # Deterministic masking is RFC-legal (the key must only be
+        # unpredictable to *intermediaries*; there are none in-process)
+        # and keeps the test client reproducible.
+        key = hashlib.sha1(payload).digest()[:4]
+        head += key
+        payload = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+    return bytes(head) + payload
+
+
+def encode_text(payload: str, mask: bool = False) -> bytes:
+    return encode_frame(WS_OP_TEXT, payload.encode("utf-8"), mask)
+
+
+def encode_close(code: int = 1000, mask: bool = False) -> bytes:
+    return encode_frame(WS_OP_CLOSE, struct.pack(">H", code), mask)
+
+
+async def read_frame(
+    reader: asyncio.StreamReader,
+) -> Optional[tuple[int, bytes]]:
+    """Read one frame → ``(opcode, payload)``; ``None`` on clean EOF."""
+    try:
+        head = await reader.readexactly(2)
+    except asyncio.IncompleteReadError:
+        return None
+    opcode = head[0] & 0x0F
+    masked = bool(head[1] & 0x80)
+    length = head[1] & 0x7F
+    if length == 126:
+        length = struct.unpack(">H", await reader.readexactly(2))[0]
+    elif length == 127:
+        length = struct.unpack(">Q", await reader.readexactly(8))[0]
+    if length > MAX_BODY_BYTES:
+        raise WireError(f"websocket frame too large ({length} bytes)")
+    key = await reader.readexactly(4) if masked else b""
+    payload = await reader.readexactly(length) if length else b""
+    if masked:
+        payload = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+    return opcode, payload
+
+
+def decode_frames(buffer: bytes) -> tuple[list[tuple[int, bytes]], bytes]:
+    """Synchronously split ``buffer`` into complete frames + remainder.
+
+    The blocking test client reads from a plain socket and feeds bytes in
+    here; server frames are unmasked.
+    """
+    frames: list[tuple[int, bytes]] = []
+    offset = 0
+    while True:
+        if len(buffer) - offset < 2:
+            break
+        opcode = buffer[offset] & 0x0F
+        masked = bool(buffer[offset + 1] & 0x80)
+        length = buffer[offset + 1] & 0x7F
+        cursor = offset + 2
+        if length == 126:
+            if len(buffer) - cursor < 2:
+                break
+            length = struct.unpack(">H", buffer[cursor : cursor + 2])[0]
+            cursor += 2
+        elif length == 127:
+            if len(buffer) - cursor < 8:
+                break
+            length = struct.unpack(">Q", buffer[cursor : cursor + 8])[0]
+            cursor += 8
+        key = b""
+        if masked:
+            if len(buffer) - cursor < 4:
+                break
+            key = buffer[cursor : cursor + 4]
+            cursor += 4
+        if len(buffer) - cursor < length:
+            break
+        payload = buffer[cursor : cursor + length]
+        if masked:
+            payload = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+        frames.append((opcode, payload))
+        offset = cursor + length
+    return frames, buffer[offset:]

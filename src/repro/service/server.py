@@ -1,0 +1,542 @@
+"""The Range-as-a-Service server: asyncio driver + HTTP/WebSocket routes.
+
+One thread, one event loop, many ranges.  The **driver task** round-robins
+every running session each pass, giving each a bounded
+:meth:`~repro.service.session.RangeSession.advance` slice toward its
+wall-clock pacing target; between passes it yields to the event loop so
+HTTP handlers and WebSocket pumps interleave with simulation.  Sessions
+never share a simulator — cooperative slicing is the only coupling.
+
+Routes (JSON in/out; tenant from the ``X-Tenant`` header, default
+``default``):
+
+=======  =====================================  ==========================
+GET      /healthz                               liveness + manager stats
+GET      /v1/sessions                           list this tenant's sessions
+POST     /v1/sessions                           create (model/speed/seed/…)
+GET      /v1/sessions/{id}                      inspect
+DELETE   /v1/sessions/{id}                      close
+POST     /v1/sessions/{id}/lifecycle            pause / resume / speed
+POST     /v1/sessions/{id}/actions              inject one action spec
+POST     /v1/sessions/{id}/scenarios            arm a scenario
+GET      /v1/sessions/{id}/report               after-action report
+GET      /v1/sessions/{id}/points?prefix=       live point snapshot
+GET      /v1/sessions/{id}/stats                driver/broker/data-plane
+GET      /v1/sessions/{id}/events?channels=     WebSocket event stream
+=======  =====================================  ==========================
+
+Protocol reference with payload shapes: ``docs/service.md``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import tempfile
+import threading
+from typing import Any, Callable, Optional
+
+from repro.range import CyberRange
+from repro.service import http as wire
+from repro.service.session import ServiceError, SessionManager, SessionState
+
+DEFAULT_SLICE_EVENTS = 2000
+DEFAULT_IDLE_SLEEP_S = 0.005
+DEFAULT_EVICT_PERIOD_S = 5.0
+STREAM_BATCH = 256
+STREAM_KEEPALIVE_S = 2.0
+
+
+def default_model_resolver(body: dict) -> Callable[[], CyberRange]:
+    """Map a create-session body to a zero-arg range compiler.
+
+    Accepted forms:
+
+    * ``{"model_dir": "/path/to/modelset"}`` — any on-disk SG-ML set;
+    * ``{"model": "epic"}`` — the generated EPIC reference model;
+    * ``{"model": "scaleout", "substations": N, "ieds": M}`` — the
+      N-substation synthetic set (defaults 5/104, the bench shape).
+
+    Generated model sets are cached per shape in a temp directory so the
+    Nth session pays only compile time, not generation time.  ``seed``
+    and ``sim_interval_ms`` in the body are forwarded to the processor.
+    """
+    from repro.sgml import SgmlModelSet, SgmlProcessor
+
+    seed = int(body.get("seed", 0))
+    interval_ms = float(body.get("sim_interval_ms", 100.0))
+    model_dir = body.get("model_dir")
+    if not model_dir:
+        kind = str(body.get("model", "epic"))
+        if kind == "epic":
+            model_dir = _generated_model_dir("epic")
+        elif kind == "scaleout":
+            substations = int(body.get("substations", 5))
+            ieds = int(body.get("ieds", 104))
+            model_dir = _generated_model_dir("scaleout", substations, ieds)
+        else:
+            raise ServiceError(
+                f"unknown model {kind!r}; use 'epic', 'scaleout' or model_dir"
+            )
+    model = SgmlModelSet.from_directory(model_dir)
+
+    def compile_range() -> CyberRange:
+        return SgmlProcessor(
+            model, sim_interval_ms=interval_ms, seed=seed
+        ).compile()
+
+    return compile_range
+
+
+_model_dir_cache: dict[tuple, str] = {}
+_model_dir_lock = threading.Lock()
+
+
+def _generated_model_dir(kind: str, *params: int) -> str:
+    key = (kind, *params)
+    with _model_dir_lock:
+        cached = _model_dir_cache.get(key)
+        if cached is not None:
+            return cached
+        directory = tempfile.mkdtemp(prefix=f"sgml-{kind}-")
+        if kind == "epic":
+            from repro.epic import generate_epic_model
+
+            generate_epic_model(directory)
+        else:
+            from repro.epic import generate_scaleout_model
+
+            generate_scaleout_model(
+                directory, substations=params[0], total_ieds=params[1]
+            )
+        _model_dir_cache[key] = directory
+        return directory
+
+
+class RangeService:
+    """The HTTP/WebSocket front end plus the cooperative session driver."""
+
+    def __init__(
+        self,
+        manager: Optional[SessionManager] = None,
+        *,
+        model_resolver: Callable[[dict], Callable[[], CyberRange]] = (
+            default_model_resolver
+        ),
+        host: str = "127.0.0.1",
+        port: int = 0,
+        slice_events: int = DEFAULT_SLICE_EVENTS,
+        idle_sleep_s: float = DEFAULT_IDLE_SLEEP_S,
+        clock: Callable[[], float] = None,  # type: ignore[assignment]
+    ) -> None:
+        import time
+
+        self.manager = manager or SessionManager()
+        self.model_resolver = model_resolver
+        self.host = host
+        self._requested_port = port
+        self.slice_events = slice_events
+        self.idle_sleep_s = idle_sleep_s
+        self._clock = clock or time.monotonic
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._driver_task: Optional[asyncio.Task] = None
+        self._running = False
+        #: Driver passes / total kernel events executed across sessions.
+        self.driver_passes = 0
+        self.driver_events = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            return self._requested_port
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self._requested_port
+        )
+        self._running = True
+        self._driver_task = asyncio.ensure_future(self._drive())
+
+    async def stop(self) -> None:
+        self._running = False
+        if self._driver_task is not None:
+            self._driver_task.cancel()
+            try:
+                await self._driver_task
+            except asyncio.CancelledError:
+                pass
+            self._driver_task = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.manager.close_all()
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    # ------------------------------------------------------------------
+    # The driver: cooperative multitasking over every running session
+    # ------------------------------------------------------------------
+    async def _drive(self) -> None:
+        last_evict = self._clock()
+        while self._running:
+            wall_now = self._clock()
+            executed = 0
+            pending = False
+            for session in self.manager.running():
+                try:
+                    result = session.advance(wall_now, self.slice_events)
+                except Exception:
+                    # A session whose kernel throws must not take the
+                    # service down; freeze it and keep serving the rest.
+                    session.pause()
+                    continue
+                executed += result.executed
+                pending = pending or not result.done
+            self.driver_passes += 1
+            self.driver_events += executed
+            if wall_now - last_evict > DEFAULT_EVICT_PERIOD_S:
+                self.manager.evict_idle(wall_now)
+                last_evict = wall_now
+            # Behind on budget: yield only to the loop.  Caught up: sleep
+            # a real interval so an idle service costs ~0 CPU.
+            await asyncio.sleep(0 if pending else self.idle_sleep_s)
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await wire.read_request(reader)
+            if request is None:
+                return
+            if request.wants_websocket:
+                await self._handle_websocket(request, reader, writer)
+                return
+            status, payload = self._route(request)
+            writer.write(wire.json_response(status, payload))
+            await writer.drain()
+        except wire.WireError as exc:
+            try:
+                writer.write(wire.json_response(400, {"error": str(exc)}))
+                await writer.drain()
+            except (ConnectionError, RuntimeError):
+                pass
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _route(self, request: wire.HttpRequest) -> tuple[int, Any]:
+        tenant = request.headers.get("x-tenant", "default")
+        segments = [s for s in request.path.split("/") if s]
+        try:
+            if request.path == "/healthz" and request.method == "GET":
+                return 200, {
+                    "ok": True,
+                    "driver_passes": self.driver_passes,
+                    "driver_events": self.driver_events,
+                    "manager": self.manager.stats(),
+                }
+            if segments[:2] == ["v1", "sessions"]:
+                return self._route_sessions(request, segments[2:], tenant)
+            return 404, {"error": f"no route for {request.path}"}
+        except ServiceError as exc:
+            message = str(exc)
+            if "unknown session" in message:
+                return 404, {"error": message}
+            if "limit reached" in message:
+                return 429, {"error": message}
+            return 400, {"error": message}
+        except wire.WireError as exc:
+            return 400, {"error": str(exc)}
+        except Exception as exc:  # route bugs must produce a response
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+
+    def _route_sessions(
+        self, request: wire.HttpRequest, rest: list[str], tenant: str
+    ) -> tuple[int, Any]:
+        if not rest:
+            if request.method == "GET":
+                return 200, {
+                    "sessions": [
+                        s.describe() for s in self.manager.list(tenant)
+                    ]
+                }
+            if request.method == "POST":
+                return self._create_session(request.json(), tenant)
+            return 405, {"error": "use GET or POST"}
+        session_id = rest[0]
+        sub = rest[1] if len(rest) > 1 else ""
+        if not sub:
+            if request.method == "GET":
+                return 200, self.manager.get(session_id, tenant).describe()
+            if request.method == "DELETE":
+                session = self.manager.close(session_id, tenant)
+                return 200, session.describe()
+            return 405, {"error": "use GET or DELETE"}
+        session = self.manager.get(session_id, tenant)
+        if sub == "lifecycle" and request.method == "POST":
+            return self._lifecycle(session, request.json())
+        if sub == "actions" and request.method == "POST":
+            return 200, session.inject(request.json())
+        if sub == "scenarios" and request.method == "POST":
+            body = request.json()
+            duration = body.pop("duration_s", None)
+            return 201, session.start_scenario(
+                body, float(duration) if duration is not None else None
+            )
+        if sub == "report" and request.method == "GET":
+            return 200, session.report()
+        if sub == "points" and request.method == "GET":
+            prefix = request.query.get("prefix", "")
+            return 200, {"points": session.points(prefix)}
+        if sub == "stats" and request.method == "GET":
+            return 200, session.stats()
+        return 404, {"error": f"no route for {request.path}"}
+
+    def _create_session(self, body: dict, tenant: str) -> tuple[int, Any]:
+        if not isinstance(body, dict):
+            raise ServiceError("create body must be a JSON object")
+        compile_range = self.model_resolver(body)
+        session = self.manager.create(
+            compile_range,
+            tenant=tenant,
+            name=str(body.get("name", "")),
+            model=str(body.get("model", body.get("model_dir", "epic"))),
+            speed=float(body.get("speed", 1.0)),
+            autostart=bool(body.get("autostart", True)),
+        )
+        return 201, session.describe()
+
+    @staticmethod
+    def _lifecycle(session, body: dict) -> tuple[int, Any]:
+        op = body.get("op", "")
+        if op == "pause":
+            session.pause()
+        elif op == "resume":
+            session.resume()
+        elif op == "speed":
+            session.set_speed(float(body.get("speed", 1.0)))
+        else:
+            raise ServiceError(
+                f"unknown lifecycle op {op!r}; use pause/resume/speed"
+            )
+        return 200, session.describe()
+
+    # ------------------------------------------------------------------
+    # WebSocket event streaming
+    # ------------------------------------------------------------------
+    async def _handle_websocket(
+        self,
+        request: wire.HttpRequest,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        segments = [s for s in request.path.split("/") if s]
+        if (
+            len(segments) != 4
+            or segments[:2] != ["v1", "sessions"]
+            or segments[3] != "events"
+        ):
+            writer.write(
+                wire.json_response(404, {"error": "websocket endpoint is "
+                                         "/v1/sessions/{id}/events"})
+            )
+            await writer.drain()
+            return
+        tenant = request.headers.get("x-tenant", "default")
+        try:
+            session = self.manager.get(segments[2], tenant)
+        except ServiceError as exc:
+            writer.write(wire.json_response(404, {"error": str(exc)}))
+            await writer.drain()
+            return
+        raw = request.query.get("channels", "")
+        channels = [c for c in raw.split(",") if c] or None
+        try:
+            subscription = session.broker.subscribe(channels)
+        except Exception as exc:
+            writer.write(wire.json_response(400, {"error": str(exc)}))
+            await writer.drain()
+            return
+        writer.write(wire.websocket_handshake_response(request))
+        await writer.drain()
+        ready = asyncio.Event()
+        subscription.set_notify(ready.set)
+        closed = asyncio.Event()
+        reader_task = asyncio.ensure_future(
+            self._ws_reader(reader, writer, closed)
+        )
+        try:
+            hello = {
+                "channel": "session",
+                "event": "stream_open",
+                "session": session.id,
+                "channels": sorted(subscription.channels),
+            }
+            writer.write(wire.encode_text(json.dumps(hello)))
+            await writer.drain()
+            while not closed.is_set() and not writer.is_closing():
+                batch = subscription.take(STREAM_BATCH)
+                if batch:
+                    for event in batch:
+                        if writer.is_closing():
+                            break
+                        writer.write(wire.encode_text(json.dumps(event)))
+                    # drain() is the backpressure point: while a slow
+                    # client blocks here the bounded queue absorbs (and
+                    # eventually drops + counts) the overflow.
+                    await writer.drain()
+                    session.touch()
+                    continue
+                ready.clear()
+                try:
+                    await asyncio.wait_for(ready.wait(), STREAM_KEEPALIVE_S)
+                except asyncio.TimeoutError:
+                    keepalive = {
+                        "channel": "session",
+                        "event": "keepalive",
+                        "dropped": subscription.dropped,
+                        "delivered": subscription.delivered,
+                    }
+                    writer.write(wire.encode_text(json.dumps(keepalive)))
+                    await writer.drain()
+        except (ConnectionError, RuntimeError):
+            pass
+        finally:
+            subscription.close()
+            reader_task.cancel()
+            try:
+                await reader_task
+            except asyncio.CancelledError:
+                pass
+
+    @staticmethod
+    async def _ws_reader(
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        closed: asyncio.Event,
+    ) -> None:
+        """Drain client frames: answer pings, notice close/EOF."""
+        try:
+            while True:
+                frame = await wire.read_frame(reader)
+                if frame is None:
+                    break
+                opcode, payload = frame
+                if opcode == wire.WS_OP_CLOSE:
+                    try:
+                        writer.write(wire.encode_close())
+                        await writer.drain()
+                    except (ConnectionError, RuntimeError):
+                        pass
+                    break
+                if opcode == wire.WS_OP_PING:
+                    writer.write(wire.encode_frame(wire.WS_OP_PONG, payload))
+                    await writer.drain()
+        except (ConnectionError, wire.WireError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            closed.set()
+
+
+# ----------------------------------------------------------------------
+# In-process launcher (tests, docs, smoke scripts)
+# ----------------------------------------------------------------------
+class ServiceHandle:
+    """A service running on a background thread's event loop."""
+
+    def __init__(self, service: RangeService, loop: asyncio.AbstractEventLoop,
+                 thread: threading.Thread) -> None:
+        self.service = service
+        self._loop = loop
+        self._thread = thread
+
+    @property
+    def port(self) -> int:
+        return self.service.port
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.service.host}:{self.port}"
+
+    def stop(self) -> None:
+        """Stop the service and join the thread (idempotent)."""
+        if not self._thread.is_alive():
+            return
+        future = asyncio.run_coroutine_threadsafe(
+            self.service.stop(), self._loop
+        )
+        future.result(timeout=30)
+        # Cancel lingering connection handlers (open WebSocket pumps) so
+        # the loop closes without "task was destroyed" noise.
+        drained = asyncio.run_coroutine_threadsafe(_drain_tasks(), self._loop)
+        drained.result(timeout=30)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=30)
+        self._loop.close()
+
+    def __enter__(self) -> "ServiceHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+async def _drain_tasks() -> None:
+    tasks = [
+        task
+        for task in asyncio.all_tasks()
+        if task is not asyncio.current_task()
+    ]
+    for task in tasks:
+        task.cancel()
+    await asyncio.gather(*tasks, return_exceptions=True)
+
+
+def launch_service(
+    host: str = "127.0.0.1", port: int = 0, **service_kwargs: Any
+) -> ServiceHandle:
+    """Start a :class:`RangeService` on a daemon thread and wait for bind.
+
+    The returned :class:`ServiceHandle` is a context manager::
+
+        with launch_service() as handle:
+            client = ServiceClient(port=handle.port)
+            ...
+
+    Keyword arguments go to :class:`RangeService` (pass ``manager=`` for
+    custom limits).
+    """
+    loop = asyncio.new_event_loop()
+    service = RangeService(host=host, port=port, **service_kwargs)
+    started = threading.Event()
+
+    def run() -> None:
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(service.start())
+        started.set()
+        loop.run_forever()
+
+    thread = threading.Thread(target=run, name="range-service", daemon=True)
+    thread.start()
+    if not started.wait(timeout=30):
+        raise ServiceError("service failed to start within 30s")
+    return ServiceHandle(service, loop, thread)

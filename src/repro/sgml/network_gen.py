@@ -94,8 +94,14 @@ class NetworkPlan:
                 return host.ip
         return ""
 
-    def build(self, simulator: Simulator) -> VirtualNetwork:
-        """Instantiate the plan on the network emulator ("start Mininet")."""
+    def build(self, simulator: Simulator, seed: int = 0) -> VirtualNetwork:
+        """Instantiate the plan on the network emulator ("start Mininet").
+
+        ``seed`` feeds every link's loss-injection RNG (each link XORs in
+        its own name), so the range's stochastic behaviour is fixed by one
+        number — recorded as ``CyberRange.seed`` and reported in campaign
+        and service after-action reports.
+        """
         net = VirtualNetwork(simulator, name="sgml")
         for switch in self.switches:
             net.add_switch(switch.name)
@@ -113,6 +119,7 @@ class NetworkPlan:
                 link.node_b,
                 latency_us=link.latency_us,
                 bandwidth_mbps=link.bandwidth_mbps,
+                seed=seed,
             )
         return net
 

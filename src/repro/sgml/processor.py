@@ -75,10 +75,14 @@ class SgmlProcessor:
         model: SgmlModelSet,
         sim_interval_ms: float = 100.0,
         strict: bool = True,
+        seed: int = 0,
     ) -> None:
         self.model = model
         self.sim_interval_ms = sim_interval_ms
         self.strict = strict
+        #: Effective RNG seed for the compiled range's stochastic parts
+        #: (netem link loss draws); recorded on the range and in reports.
+        self.seed = seed
         self.artifacts = CompiledArtifacts()
         #: Protection functions configured but disabled because their LN
         #: class is absent from the IED's ICD (paper's enablement rule).
@@ -116,7 +120,7 @@ class SgmlProcessor:
         self.artifacts.network_plan_json = plan.to_json()
         simulator = simulator or Simulator()
         network = self._timed(
-            timings, "network_launch", lambda: plan.build(simulator)
+            timings, "network_launch", lambda: plan.build(simulator, self.seed)
         )
 
         # Shared infrastructure.
@@ -130,6 +134,7 @@ class SgmlProcessor:
             runner,
             pointdb,
             sim_interval_ms=self.sim_interval_ms,
+            seed=self.seed,
         )
 
         # Stage 4b: multicast group table.  Registering every *publisher*

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.kernel import MS, SECOND, Simulator, SimulatorError
+from repro.kernel import MS, SECOND, Simulator, SimulatorError, StepSlice
 
 
 def test_clock_starts_at_zero(sim):
@@ -165,3 +165,80 @@ def test_event_accounting_by_label_prefix(sim):
     assert counts["ied-scan"] == 2  # label prefixes aggregate per component
     assert counts["powerflow-tick"] == 1
     assert counts["(unlabeled)"] == 1
+
+
+# ----------------------------------------------------------------------
+# step_until: budget-bounded cooperative slices
+# ----------------------------------------------------------------------
+def test_step_until_drains_to_deadline(sim):
+    fired = []
+    sim.schedule(1, lambda: fired.append(1))
+    sim.schedule(5, lambda: fired.append(5))
+    sim.schedule(11, lambda: fired.append(11))
+    result = sim.step_until(10)
+    assert result == StepSlice(executed=2, done=True)
+    assert fired == [1, 5]
+    assert sim.now == 10  # clock lands exactly on the deadline
+
+
+def test_step_until_budget_exhaustion_holds_clock(sim):
+    for delay in (1, 2, 3, 4):
+        sim.schedule(delay, lambda: None)
+    result = sim.step_until(10, max_events=2)
+    assert result == StepSlice(executed=2, done=False)
+    # Not done: the clock stays at the last executed event, not the
+    # deadline, so the next slice resumes exactly where this one stopped.
+    assert sim.now == 2
+    result = sim.step_until(10, max_events=2)
+    assert result == StepSlice(executed=2, done=True) or not result.done
+    sim.step_until(10)
+    assert sim.now == 10
+
+
+def test_step_until_slices_equal_run_until():
+    """Any budget sequence replays run_until's event order exactly."""
+
+    def build(simulator, log):
+        def rearm(tag, delay):
+            def fire():
+                log.append((simulator.now, tag))
+                if simulator.now < 80:
+                    simulator.schedule(delay, fire)
+
+            simulator.schedule(delay, fire)
+
+        rearm("a", 3)
+        rearm("b", 5)
+        rearm("c", 7)
+
+    reference_sim, reference_log = Simulator(), []
+    build(reference_sim, reference_log)
+    reference_sim.run_until(100)
+
+    sliced_sim, sliced_log = Simulator(), []
+    build(sliced_sim, sliced_log)
+    budgets = [1, 3, 2, 5, 1, 4]
+    index = 0
+    while True:
+        result = sliced_sim.step_until(100, budgets[index % len(budgets)])
+        index += 1
+        if result.done:
+            break
+    assert sliced_log == reference_log
+    assert sliced_sim.now == reference_sim.now == 100
+
+
+def test_step_until_empty_queue_advances_clock(sim):
+    assert sim.step_until(500) == StepSlice(executed=0, done=True)
+    assert sim.now == 500
+
+
+def test_step_until_rejects_past_deadline(sim):
+    sim.run_until(100)
+    with pytest.raises(SimulatorError):
+        sim.step_until(50)
+
+
+def test_step_until_rejects_bad_budget(sim):
+    with pytest.raises(SimulatorError):
+        sim.step_until(10, max_events=0)

@@ -1,0 +1,237 @@
+"""Session layer: broker backpressure, lifecycle, pacing, tenancy, TTL."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel import SECOND
+from repro.service import (
+    EventBroker,
+    RangeSession,
+    ServiceError,
+    SessionManager,
+    SessionState,
+)
+from repro.service.broker import BrokerError
+from repro.sgml import SgmlProcessor
+
+
+@pytest.fixture
+def compile_epic(epic_model):
+    return lambda: SgmlProcessor(epic_model, seed=3).compile()
+
+
+@pytest.fixture
+def session(compile_epic):
+    session = RangeSession("s1", compile_epic(), tenant="blue")
+    yield session
+    session.close()
+
+
+# ----------------------------------------------------------------------
+# Broker
+# ----------------------------------------------------------------------
+def test_broker_streams_point_deltas(session):
+    subscription = session.broker.subscribe(["points"])
+    session.start()
+    session.cyber_range.run_for(1.0)
+    events = subscription.take()
+    assert events, "a running range must produce point deltas"
+    assert all(e["channel"] == "points" for e in events)
+    assert all("point" in e and "value" in e for e in events)
+    seqs = [e["seq"] for e in events]
+    assert seqs == sorted(seqs)
+
+
+def test_broker_bounded_queue_drops_oldest(session):
+    subscription = session.broker.subscribe(["points"], depth=10)
+    session.start()
+    session.cyber_range.run_for(3.0)
+    assert len(subscription) == 10
+    assert subscription.dropped > 0
+    # Accounting closes: every points publish was either kept or counted
+    # as dropped, and what's left is the most recent tail of the stream.
+    assert subscription.dropped + 10 == session.broker.published["points"]
+    remaining = subscription.take()
+    seqs = [e["seq"] for e in remaining]
+    assert seqs == sorted(seqs) and seqs[0] > subscription.dropped
+
+
+def test_broker_channel_filter_and_unknown_channel(session):
+    with pytest.raises(BrokerError):
+        session.broker.subscribe(["points", "nope"])
+    stats_only = session.broker.subscribe(["stats"])
+    session.start()
+    session.cyber_range.run_for(2.5)
+    events = stats_only.take()
+    assert events and all(e["channel"] == "stats" for e in events)
+    assert "multicast_groups" in events[0]
+
+
+def test_broker_detach_stops_delivery(session):
+    subscription = session.broker.subscribe(["points"])
+    session.start()
+    session.cyber_range.run_for(0.5)
+    subscription.take()
+    session.broker.detach()
+    session.cyber_range.run_for(0.5)
+    assert not subscription.take()
+
+
+def test_subscription_notify_fires_on_delivery(session):
+    pokes = []
+    subscription = session.broker.subscribe(["points"])
+    subscription.set_notify(lambda: pokes.append(1))
+    session.start()
+    session.cyber_range.run_for(0.3)
+    assert pokes
+
+
+# ----------------------------------------------------------------------
+# Session lifecycle + pacing
+# ----------------------------------------------------------------------
+def test_session_lifecycle_states(session):
+    assert session.state is SessionState.CREATED
+    session.start()
+    assert session.state is SessionState.RUNNING
+    session.pause()
+    assert session.state is SessionState.PAUSED
+    session.resume()
+    assert session.state is SessionState.RUNNING
+    session.close()
+    assert session.state is SessionState.CLOSED
+    assert session.cyber_range.closed
+    with pytest.raises(ServiceError):
+        session.start()
+
+
+def test_session_advance_paces_against_clock(compile_epic):
+    wall = [0.0]
+    session = RangeSession(
+        "paced", compile_epic(), speed=2.0, clock=lambda: wall[0]
+    )
+    session.start()
+    wall[0] = 1.0  # 1 wall second at speed 2.0 -> 2 virtual seconds
+    while not session.advance(wall[0]).done:
+        pass
+    assert session.cyber_range.simulator.now == 2 * SECOND
+    # Caught up: another advance at the same instant is a no-op.
+    assert session.advance(wall[0]).executed == 0
+    session.close()
+
+
+def test_session_unpaced_speed_zero_always_has_work(compile_epic):
+    session = RangeSession("burst", compile_epic(), speed=0.0)
+    session.start()
+    before = session.cyber_range.simulator.now
+    while not session.advance(session._clock()).done:
+        pass
+    assert session.cyber_range.simulator.now > before
+    session.close()
+
+
+def test_session_lag_reanchors_instead_of_catching_up(compile_epic):
+    wall = [0.0]
+    session = RangeSession(
+        "laggy", compile_epic(), speed=1.0, max_lag_s=2.0,
+        clock=lambda: wall[0],
+    )
+    session.start()
+    wall[0] = 60.0  # a 60 s stall: never try to replay 60 virtual seconds
+    result = session.advance(wall[0], max_events=10_000)
+    assert session.lag_resets == 1
+    assert result.done
+    assert session.cyber_range.simulator.now < 2 * SECOND
+    session.close()
+
+
+def test_session_inject_requires_running(session):
+    with pytest.raises(ServiceError):
+        session.inject({"write_point": {"key": "cmd/x", "value": 1}})
+    session.start()
+    ack = session.inject(
+        {"write_point": {"key": "cmd/Load1/scale", "value": 2.0}}
+    )
+    assert ack["result"]
+    assert session.action_log == [ack]
+
+
+def test_session_inject_bad_spec_is_service_error(session):
+    session.start()
+    with pytest.raises(ServiceError):
+        session.inject({"no_such_action": {}})
+
+
+def test_session_scenario_report_uses_campaign_schema(session):
+    session.start()
+    spec = {
+        "name": "drill",
+        "phases": [
+            {
+                "name": "watch",
+                "trigger": {"at": 0.5},
+                "outcomes": [
+                    {"name": "live",
+                     "check": "meas/EPIC/VL1/GenerationBay/GBUS/vm_pu > 0.5",
+                     "after_s": 0.5}
+                ],
+            }
+        ],
+    }
+    armed = session.start_scenario(spec, duration_s=2.0)
+    assert armed["scenario"] == "drill"
+    session.cyber_range.run_for(3.0)  # finish fires at 2.0 virtual seconds
+    report = session.report()
+    assert report["seed"] == 3
+    (entry,) = report["scenarios"]
+    assert entry["finished"] and entry["passed"]
+    # The per-run schema matches campaign entries: wall_s + seed present.
+    assert "wall_s" in entry and entry["seed"] == 3
+    assert report["passed"] is True
+
+
+# ----------------------------------------------------------------------
+# Manager: tenancy, limits, TTL
+# ----------------------------------------------------------------------
+def test_manager_tenant_isolation(compile_epic):
+    manager = SessionManager()
+    blue = manager.create(compile_epic, tenant="blue", autostart=False)
+    manager.create(compile_epic, tenant="red", autostart=False)
+    assert [s.tenant for s in manager.list("blue")] == ["blue"]
+    assert len(manager.list()) == 2
+    # A wrong-tenant lookup is indistinguishable from an unknown id.
+    with pytest.raises(ServiceError, match="unknown session"):
+        manager.get(blue.id, tenant="red")
+    manager.close_all()
+
+
+def test_manager_limits(compile_epic):
+    manager = SessionManager(max_sessions=2, max_per_tenant=1)
+    manager.create(compile_epic, tenant="blue", autostart=False)
+    with pytest.raises(ServiceError, match="tenant 'blue'"):
+        manager.create(compile_epic, tenant="blue", autostart=False)
+    manager.create(compile_epic, tenant="red", autostart=False)
+    with pytest.raises(ServiceError, match="session limit"):
+        manager.create(compile_epic, tenant="green", autostart=False)
+    # Closing frees the slot.
+    manager.close(manager.list("red")[0].id)
+    manager.create(compile_epic, tenant="green", autostart=False)
+    manager.close_all()
+
+
+def test_manager_ttl_eviction(compile_epic):
+    wall = [0.0]
+    manager = SessionManager(ttl_s=10.0, clock=lambda: wall[0])
+    session = manager.create(compile_epic, autostart=False)
+    wall[0] = 9.0
+    assert manager.evict_idle() == []
+    manager.get(session.id)  # API touch resets the idle clock
+    wall[0] = 18.0
+    assert manager.evict_idle() == []
+    wall[0] = 30.0
+    assert manager.evict_idle() == [session]
+    assert session.state is SessionState.CLOSED
+    # Evicted sessions stay visible until the hard delete.
+    assert manager.count == 1 and manager.evicted[session.id] > 10.0
+    assert manager.remove_closed() == 1
+    assert manager.count == 0
