@@ -1,0 +1,153 @@
+"""Recovery replay throughput — restoring a crashed range must be fast.
+
+The acceptance bar for crash recovery: replaying a journaled
+5-substation / 104-IED session back to its pre-crash virtual time must
+run at **≥ 50 simulated seconds per wall second** — a session an hour
+into an exercise restores in about a minute, and a supervisor restart
+after a transient crash is near-instant at typical session ages.
+
+The bench journals a realistic run (journaled session, mid-run action
+injection, progress marks), abandons it crashed (no close record), then
+times :func:`repro.service.recovery.replay_session` rebuilding it
+through driver-style ``step_until`` slices, digest-verification on.
+
+Two ``BENCH_scalability.json`` points: ``recovery_replay`` (the full
+5-substation shape at 20 simulated seconds; skipped under
+``BENCH_SMOKE``) and ``recovery_replay_smoke`` (the same shape at 10
+simulated seconds — re-measured and gated by
+``check_bench_regression.py`` every CI run).
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import time
+
+import pytest
+from conftest import print_report, record_scalability_result
+
+from repro.kernel import SECOND
+from repro.service import SessionManager
+from repro.service.recovery import journal_path, load_journal, replay_session
+from repro.sgml import SgmlModelSet, SgmlProcessor
+
+SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+
+#: Minimum acceptable replay throughput (simulated s per wall s).
+MIN_SIM_PER_WALL = 50.0
+#: The driver's slice budget — replay uses the same regime.
+SLICE_EVENTS = 2000
+#: Replay is deterministic, so only timing noise varies between runs:
+#: take the best of a few attempts (standard min-of-N benchmarking).
+ATTEMPTS = 3
+
+
+def _journal_a_crashed_run(model_dir: str, journal_dir: str, sim_s: float):
+    """Run a journaled session to ``sim_s`` and abandon it mid-exercise."""
+    model = SgmlModelSet.from_directory(model_dir)
+    compile_range = lambda: SgmlProcessor(model, seed=5).compile()  # noqa: E731
+    manager = SessionManager(journal_dir=journal_dir)
+    session = manager.create(
+        compile_range,
+        tenant="bench",
+        name="replay-bench",
+        model="scaleout",
+        speed=0.0,
+        create_spec={"model": "scaleout", "speed": 0.0},
+    )
+    end_us = int(sim_s * SECOND)
+    simulator = session.cyber_range.simulator
+    injected = False
+    while True:
+        result = session.advance(time.monotonic(), SLICE_EVENTS)
+        if result.done:
+            # only done slices are replay-safe mark boundaries
+            session.journal_mark()
+            if simulator.now >= end_us:
+                break
+        if not injected and simulator.now >= end_us // 2:
+            session.inject(
+                {"write_point": {"key": "cmd/Load_S1_1/scale", "value": 1.5}}
+            )
+            injected = True
+    journal_stats = session.journal.stats()
+    # Crash, don't close: release the handle without a terminal record so
+    # the journal stays restorable (the SIGKILL shape, minus the signal).
+    session.journal.close()
+    session.journal = None
+    session.close(journal_reason=None)
+    manager.forget(session.id)
+    return session.id, compile_range, journal_stats
+
+
+def _measure_replay(model_dir: str, journal_dir: str, sim_s: float) -> dict:
+    session_id, compile_range, journal_stats = _journal_a_crashed_run(
+        model_dir, journal_dir, sim_s
+    )
+    state = load_journal(journal_path(journal_dir, session_id))
+    assert state.restorable, "bench journal must be restorable"
+    replay_wall_s = float("inf")
+    for _ in range(ATTEMPTS):
+        gc.collect()
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            session = replay_session(
+                state, compile_range, slice_events=SLICE_EVENTS, verify=True
+            )
+            replay_wall_s = min(replay_wall_s, time.perf_counter() - start)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        replayed_us = session.cyber_range.simulator.now
+        ieds = len(session.cyber_range.ieds)
+        session.close(journal_reason=None)
+    replayed_s = replayed_us / SECOND
+    return {
+        "ieds": ieds,
+        "sim_s": replayed_s,
+        "replay_wall_s": replay_wall_s,
+        "replay_sim_s_per_wall_s": replayed_s / replay_wall_s,
+        "replay_wall_per_sim_s": replay_wall_s / replayed_s,
+        "mutations": len(state.mutations),
+        "journal_bytes": journal_stats["size_bytes"],
+        "journal_records": journal_stats["records_written"],
+        "journal_marks_coalesced": journal_stats["marks_coalesced"],
+    }
+
+
+def _report(point: str, result: dict) -> None:
+    print_report(
+        f"recovery replay — {result['ieds']} IEDs, "
+        f"{result['sim_s']:.1f} simulated s ({point})",
+        [
+            f"replay wall: {result['replay_wall_s']:.2f} s "
+            f"(digest-verified, sliced step_until)",
+            f"throughput: {result['replay_sim_s_per_wall_s']:.1f} "
+            f"simulated s / wall s (floor: {MIN_SIM_PER_WALL:.0f})",
+            f"journal: {result['journal_bytes']} bytes, "
+            f"{result['journal_records']} records "
+            f"({result['journal_marks_coalesced']} marks coalesced), "
+            f"{result['mutations']} mutations",
+        ],
+    )
+
+
+def test_recovery_replay_full(scaleout_dirs, tmp_path):
+    """Acceptance: 20 simulated s on the paper's 5-substation shape."""
+    if SMOKE:
+        pytest.skip("BENCH_SMOKE: the smoke point gates CI")
+    result = _measure_replay(scaleout_dirs[5], str(tmp_path), 20.0)
+    _report("recovery_replay", result)
+    assert result["replay_sim_s_per_wall_s"] >= MIN_SIM_PER_WALL
+    record_scalability_result("recovery_replay", result)
+
+
+def test_recovery_replay_smoke_point(scaleout_dirs, tmp_path):
+    """The 10-simulated-second shape CI re-measures and gates every run."""
+    result = _measure_replay(scaleout_dirs[5], str(tmp_path), 10.0)
+    _report("recovery_replay_smoke", result)
+    assert result["replay_sim_s_per_wall_s"] >= MIN_SIM_PER_WALL
+    record_scalability_result("recovery_replay_smoke", result)

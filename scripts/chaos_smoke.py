@@ -1,0 +1,240 @@
+#!/usr/bin/env python3
+"""CI chaos harness: SIGKILL the service mid-exercise, recover, compare.
+
+Runs the real crash-recovery story end to end, over TCP, against the real
+``sgml serve`` subprocess:
+
+1. starts the server with ``--journal-dir``, creates an unpaced journaled
+   session, injects an action and arms a scenario (a realistic
+   mid-exercise state),
+2. **SIGKILLs** the server process — no shutdown hooks, no flushing
+   beyond what the write-ahead journal already guaranteed,
+3. replays the journal offline twice with ``sgml recover``: once through
+   driver-style ``step_until`` slices, once as an uninterrupted
+   ``run_until`` golden — and asserts the two after-action reports are
+   **byte-identical** (after stripping wall-clock fields),
+4. restarts the server with the same journal dir and asserts boot
+   recovery resumed the session past its pre-kill virtual time, with the
+   injected action intact,
+5. stalls a WebSocket consumer on a tiny queue and checks keepalive
+   frames surface per-channel drop counts while the session keeps
+   advancing (slow consumers shed load, never block the simulation),
+6. closes the session cleanly and verifies a final restart has nothing
+   left to recover.
+
+Usage::
+
+    PYTHONPATH=src python scripts/chaos_smoke.py <model-dir>
+
+Exit code 0 on success; prints a step-by-step transcript.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.service.client import ServiceClient  # noqa: E402
+
+WAIT_S = 30.0
+
+
+def _step(message: str) -> None:
+    print(f"[chaos] {message}", flush=True)
+
+
+def _wait_until(predicate, what: str, timeout_s: float = WAIT_S):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(0.1)
+    raise AssertionError(f"timed out waiting for {what}")
+
+
+def _launch_server(journal_dir: str) -> tuple[subprocess.Popen, int]:
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+         "--journal-dir", journal_dir],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env={**os.environ, "PYTHONPATH": "src"},
+    )
+    banner = server.stdout.readline()
+    match = re.search(r"http://[\d.]+:(\d+)", banner)
+    if not match:
+        raise AssertionError(f"no listen banner from server: {banner!r}")
+    return server, int(match.group(1))
+
+
+def _stop(server: subprocess.Popen) -> None:
+    if server.poll() is not None:
+        return
+    server.terminate()
+    try:
+        server.wait(timeout=10)
+    except subprocess.TimeoutExpired:
+        server.kill()
+
+
+def _recover(journal_dir: str, report_path: str, *, golden: bool) -> None:
+    command = [sys.executable, "-m", "repro.cli", "recover", journal_dir,
+               "--report", report_path]
+    if golden:
+        command.append("--golden")
+    subprocess.run(
+        command,
+        check=True,
+        stdout=subprocess.DEVNULL,
+        env={**os.environ, "PYTHONPATH": "src"},
+    )
+
+
+def _strip_wall(report: dict) -> dict:
+    cleaned = json.loads(json.dumps(report))
+    cleaned.pop("wall_s", None)
+    for entry in cleaned.get("scenarios", []):
+        entry.pop("wall_s", None)
+    return cleaned
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__)
+        return 2
+    model_dir = sys.argv[1]
+    workdir = tempfile.mkdtemp(prefix="chaos-smoke-")
+    journal_dir = os.path.join(workdir, "journals")
+
+    # -- phase 1: mid-exercise state, then SIGKILL ---------------------
+    server, port = _launch_server(journal_dir)
+    try:
+        client = ServiceClient(port=port, tenant="blue")
+        session = client.create_session(
+            model_dir=model_dir, speed=0.0, name="chaos-victim", seed=11
+        )
+        assert session["journaled"], "--journal-dir must journal sessions"
+        _step(f"server up on port {port}, journaled session {session['id']}")
+
+        _wait_until(
+            lambda: client.session(session["id"])["time_s"] > 1.0,
+            "session to pass t=1.0s",
+        )
+        client.inject(
+            session["id"],
+            {"write_point": {"key": "cmd/Load1/scale", "value": 2.0}},
+        )
+        client.start_scenario(
+            session["id"],
+            {
+                "name": "chaos-drill",
+                "phases": [{
+                    "name": "watch",
+                    "trigger": {"at": 0.5},
+                    "outcomes": [{
+                        "name": "bus live",
+                        "check":
+                            "meas/EPIC/VL1/GenerationBay/GBUS/vm_pu > 0.5",
+                        "after_s": 0.5,
+                    }],
+                }],
+            },
+            duration_s=2.0,
+        )
+        killed_at = _wait_until(
+            lambda: (lambda t: t if t > 2.0 else None)(
+                client.session(session["id"])["time_s"]
+            ),
+            "mid-exercise progress past t=2.0s",
+        )
+        os.kill(server.pid, signal.SIGKILL)
+        server.wait(timeout=10)
+        _step(f"SIGKILLed server mid-exercise at t≈{killed_at:.2f}s")
+    finally:
+        _stop(server)
+
+    # -- phase 2: offline replay, sliced vs golden ----------------------
+    sliced_path = os.path.join(workdir, "recovered.json")
+    golden_path = os.path.join(workdir, "golden.json")
+    _recover(journal_dir, sliced_path, golden=False)
+    _recover(journal_dir, golden_path, golden=True)
+    with open(sliced_path, encoding="utf-8") as handle:
+        sliced = json.load(handle)
+    with open(golden_path, encoding="utf-8") as handle:
+        golden = json.load(handle)
+    sliced_bytes = json.dumps(_strip_wall(sliced), sort_keys=True).encode()
+    golden_bytes = json.dumps(_strip_wall(golden), sort_keys=True).encode()
+    assert sliced_bytes == golden_bytes, (
+        "sliced replay diverged from the uninterrupted golden run:\n"
+        f"sliced: {sliced_bytes[:400]!r}\ngolden: {golden_bytes[:400]!r}"
+    )
+    assert sliced["scenarios"] and sliced["scenarios"][0]["passed"], (
+        f"recovered scenario report not passing: {sliced['scenarios']}"
+    )
+    _step("offline replay: sliced == golden, byte-identical reports")
+
+    # -- phase 3: boot recovery resumes the session ---------------------
+    server, port = _launch_server(journal_dir)
+    try:
+        client = ServiceClient(port=port, tenant="blue")
+        info = client.session(session["id"])
+        assert info["state"] == "running", f"not resumed: {info['state']}"
+        assert info["restored"] >= 1
+        assert info["action_count"] == 1, "injected action lost in recovery"
+        resumed_t = info["time_s"]
+        _wait_until(
+            lambda: client.session(session["id"])["time_s"] > resumed_t,
+            "recovered session to keep advancing",
+        )
+        _step(f"boot recovery resumed {session['id']} at t={resumed_t:.2f}s "
+              f"and it keeps advancing")
+
+        # -- phase 4: slow consumer sheds load, never blocks ------------
+        events = client.stream_events(
+            session["id"], channels=["points"], max_events=40,
+            timeout_s=WAIT_S,
+        )
+        keepalives = [e for e in events if e.get("event") == "keepalive"]
+        for frame in keepalives:
+            assert "dropped_by_channel" in frame
+        before = client.session(session["id"])["time_s"]
+        time.sleep(0.5)
+        assert client.session(session["id"])["time_s"] > before, (
+            "a streaming consumer must never stall the simulation"
+        )
+        _step(f"slow-consumer stream survived ({len(events)} events, "
+              f"{len(keepalives)} keepalives with drop accounting)")
+
+        client.close_session(session["id"])
+        _step("session closed cleanly")
+    finally:
+        _stop(server)
+
+    # -- phase 5: a clean close leaves nothing to recover ---------------
+    server, port = _launch_server(journal_dir)
+    try:
+        client = ServiceClient(port=port, tenant="blue")
+        health = client.health()
+        assert health["boot_recovery"]["restored"] == 0, (
+            "a cleanly closed session must not be restored"
+        )
+        assert health["boot_recovery"]["skipped"] >= 1
+        _step("restart after clean close recovers nothing — "
+              "chaos smoke PASSED")
+    finally:
+        _stop(server)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

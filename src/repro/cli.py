@@ -11,6 +11,9 @@ Usage::
     sgml epic <output-dir>             # generate the EPIC demo model
     sgml scaleout <output-dir> [--substations N] [--ieds M]
     sgml serve [--host H] [--port P] [--max-sessions N] [--ttl S]
+               [--journal-dir DIR]
+    sgml recover <journal-dir-or-file> [--session ID] [--list]
+                 [--report out.json] [--golden] [--no-finish]
 """
 
 from __future__ import annotations
@@ -146,6 +149,48 @@ def main(argv: list[str] | None = None) -> int:
         help="idle seconds before a session is evicted (0 = never; "
              "default 900)",
     )
+    p_serve.add_argument(
+        "--journal-dir", default="",
+        help="write-ahead journal directory: sessions become crash-safe "
+             "(replay-restored on boot and after crashes; see "
+             "docs/service.md § Durability & recovery)",
+    )
+    p_serve.add_argument(
+        "--shed-busy-share", type=float, default=None,
+        help="driver busy-share above which new session creates are shed "
+             "with 503 + Retry-After (default 0.9)",
+    )
+
+    p_recover = sub.add_parser(
+        "recover",
+        help="replay a session's write-ahead journal offline: list "
+             "restorable sessions or rebuild one and print its report",
+    )
+    p_recover.add_argument(
+        "journal", help="journal directory (or one .jsonl journal file)"
+    )
+    p_recover.add_argument(
+        "--session", default="",
+        help="session id to replay (default: the only restorable one)",
+    )
+    p_recover.add_argument(
+        "--list", action="store_true", dest="list_sessions",
+        help="list journaled sessions and their restore targets, then exit",
+    )
+    p_recover.add_argument(
+        "--report", default="",
+        help="write the replayed session's after-action report JSON here",
+    )
+    p_recover.add_argument(
+        "--golden", action="store_true",
+        help="replay with one uninterrupted run_until instead of slices "
+             "(bit-for-bit reference for the sliced replay)",
+    )
+    p_recover.add_argument(
+        "--no-finish", action="store_true",
+        help="stop at the journal's last durable point instead of running "
+             "armed scenarios to their horizon",
+    )
 
     args = parser.parse_args(argv)
     try:
@@ -172,6 +217,8 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "serve":
         return _serve(args)
+    if args.command == "recover":
+        return _recover(args)
     if args.command == "campaign" and args.list_families:
         from repro.scenario.catalog import FAMILIES
 
@@ -246,6 +293,11 @@ def _serve(args: argparse.Namespace) -> int:
     from repro.service import RangeService, SessionManager
 
     async def run() -> None:
+        service_kwargs = {}
+        if args.journal_dir:
+            service_kwargs["journal_dir"] = args.journal_dir
+        if args.shed_busy_share is not None:
+            service_kwargs["shed_busy_share"] = args.shed_busy_share
         service = RangeService(
             SessionManager(
                 max_sessions=args.max_sessions,
@@ -254,6 +306,7 @@ def _serve(args: argparse.Namespace) -> int:
             ),
             host=args.host,
             port=args.port,
+            **service_kwargs,
         )
         await service.start()
         print(
@@ -262,6 +315,15 @@ def _serve(args: argparse.Namespace) -> int:
             f"{args.max_per_tenant}/tenant, ttl {args.ttl:.0f}s)",
             flush=True,
         )
+        if args.journal_dir:
+            recovery = service.boot_recovery
+            print(
+                f"journaling to {args.journal_dir} "
+                f"(boot recovery: {len(recovery['restored'])} restored, "
+                f"{len(recovery['skipped'])} skipped, "
+                f"{len(recovery['failed'])} failed)",
+                flush=True,
+            )
         try:
             await service.serve_forever()
         finally:
@@ -271,6 +333,99 @@ def _serve(args: argparse.Namespace) -> int:
         asyncio.run(run())
     except KeyboardInterrupt:
         print("range service stopped")
+    return 0
+
+
+def _recover(args: argparse.Namespace) -> int:
+    """Offline journal replay: list sessions, or rebuild one + report.
+
+    Read-only — the replayed session gets no journal attached, so a
+    post-mortem replay can never perturb the journal it reads.
+    """
+    import os
+
+    from repro.service.recovery import (
+        RecoveryError,
+        list_journals,
+        load_journal,
+        replay_session,
+    )
+    from repro.service.server import default_model_resolver
+
+    if os.path.isdir(args.journal):
+        paths = list_journals(args.journal)
+    else:
+        paths = [args.journal]
+    states = []
+    for path in paths:
+        try:
+            states.append(load_journal(path))
+        except RecoveryError as exc:
+            print(f"skipping {path}: {exc}", file=sys.stderr)
+    if args.list_sessions:
+        if not states:
+            print("no journaled sessions found")
+            return 0
+        for state in states:
+            info = state.summary()
+            flags = "restorable" if state.restorable else (
+                f"closed ({state.closed_reason})"
+            )
+            print(
+                f"{state.session_id}  model={state.model} "
+                f"seed={state.seed} t={info['time_s']:.3f}s "
+                f"mutations={len(state.mutations)} {flags}"
+            )
+        return 0
+
+    if args.session:
+        matches = [s for s in states if s.session_id == args.session]
+        if not matches:
+            raise RecoveryError(f"no journal for session {args.session!r}")
+        state = matches[0]
+    else:
+        restorable = [s for s in states if s.restorable]
+        if len(restorable) != 1:
+            raise RecoveryError(
+                f"{len(restorable)} restorable sessions found; "
+                f"pick one with --session (or --list to enumerate)"
+            )
+        state = restorable[0]
+    if not state.restorable:
+        raise RecoveryError(
+            f"session {state.session_id!r} closed cleanly "
+            f"({state.closed_reason}); nothing to recover"
+        )
+
+    spec = dict(state.spec)
+    spec.setdefault("seed", state.seed)
+    mode = "run_until" if args.golden else "slices"
+    session = replay_session(
+        state, default_model_resolver(spec), mode=mode
+    )
+    simulator = session.cyber_range.simulator
+    print(
+        f"replayed session {state.session_id} ({mode}) to "
+        f"t={simulator.now / 1_000_000:.6f}s "
+        f"({simulator.processed} events, "
+        f"{len(state.mutations)} journaled mutations)"
+    )
+    if not args.no_finish:
+        horizon = state.scenario_horizon_us()
+        if horizon > simulator.now:
+            simulator.run_until(horizon)
+            print(
+                f"ran armed scenarios to their horizon: "
+                f"t={simulator.now / 1_000_000:.6f}s"
+            )
+    report = session.report()
+    session.close(journal_reason=None)
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"after-action report written to {args.report}")
+    else:
+        print(json.dumps(report, indent=2))
     return 0
 
 

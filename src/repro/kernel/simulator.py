@@ -281,6 +281,28 @@ class Simulator:
             self.step()
             executed += 1
 
+    def drain_current(self) -> int:
+        """Execute every event scheduled at or before the current instant.
+
+        Returns the number of events executed.  This is the *replay
+        boundary* hook: after draining, the kernel state is exactly what a
+        fresh run reaching ``run_until(now)`` would produce, so a mutation
+        applied here (an injected action, an armed scenario) lands at a
+        point a journal replay can reproduce — never in the middle of a
+        budget-exhausted slice where some same-instant events are still
+        queued.
+        """
+        return self.step_until(self._now).executed
+
+    def digest(self) -> dict:
+        """Cheap determinism fingerprint: ``{"now": µs, "processed": n}``.
+
+        Two kernels that ran the same schedule agree on both numbers;
+        journal progress marks embed this so a replay can verify it
+        reconverged bit-for-bit with the live run it is restoring.
+        """
+        return {"now": self._now, "processed": self._processed}
+
     def run_to_completion(self, max_events: int = 1_000_000) -> int:
         """Drain the queue entirely; returns events executed.
 

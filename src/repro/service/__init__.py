@@ -17,36 +17,79 @@ ranges.  This package turns that headroom into a *service*:
   running session cooperatively on one thread, plus the HTTP + WebSocket
   wire layer (stdlib only, JSON protocol — ``sgml serve``);
 * :mod:`repro.service.client` — a small blocking client for scripts,
-  docs and CI smoke tests.
+  docs and CI smoke tests (typed errors, bounded retries, idempotency
+  keys);
+* :mod:`repro.service.recovery` — crash-safe sessions: per-session
+  write-ahead journals and deterministic replay restore;
+* :mod:`repro.service.supervisor` — per-session failure domains with
+  crash quarantine and capped-backoff restart-from-journal.
 
-Protocol reference: ``docs/service.md``.
+Protocol reference: ``docs/service.md`` (including the "Durability &
+recovery" section).
 """
 
 from repro.service.broker import EventBroker, Subscription
 from repro.service.session import (
+    OverloadedError,
     RangeSession,
     ServiceError,
+    SessionLimitError,
     SessionManager,
     SessionState,
+    UnknownSessionError,
 )
+from repro.service.recovery import (
+    JournalState,
+    RecoveryError,
+    SessionJournal,
+    journal_path,
+    list_journals,
+    load_journal,
+    read_journal,
+    replay_session,
+)
+from repro.service.supervisor import HealthState, SessionSupervisor
 from repro.service.server import (
     RangeService,
     ServiceHandle,
     default_model_resolver,
     launch_service,
 )
-from repro.service.client import ServiceClient
+from repro.service.client import (
+    BadRequestError,
+    ClientError,
+    ServerError,
+    ServiceClient,
+    ServiceOverloadedError,
+)
 
 __all__ = [
+    "BadRequestError",
+    "ClientError",
     "EventBroker",
+    "HealthState",
+    "JournalState",
+    "OverloadedError",
     "RangeService",
     "RangeSession",
+    "RecoveryError",
+    "ServerError",
     "ServiceClient",
     "ServiceError",
     "ServiceHandle",
+    "ServiceOverloadedError",
+    "SessionJournal",
+    "SessionLimitError",
     "SessionManager",
     "SessionState",
+    "SessionSupervisor",
     "Subscription",
+    "UnknownSessionError",
     "default_model_resolver",
+    "journal_path",
     "launch_service",
+    "list_journals",
+    "load_journal",
+    "read_journal",
+    "replay_session",
 ]

@@ -67,6 +67,9 @@ class Subscription:
         self._events: deque[dict] = deque(maxlen=depth)
         #: Events discarded because the consumer fell ``depth`` behind.
         self.dropped = 0
+        #: Drop counts per channel — a stalled consumer can see *which*
+        #: stream it is losing (surfaced in keepalive frames).
+        self.dropped_by_channel: dict[str, int] = {}
         #: Events handed to the consumer via :meth:`take`.
         self.delivered = 0
         self.closed = False
@@ -84,6 +87,10 @@ class Subscription:
     def _offer(self, event: dict) -> None:
         if len(self._events) == self.depth:
             self.dropped += 1  # deque(maxlen) evicts the oldest
+            victim = self._events[0].get("channel", "")
+            self.dropped_by_channel[victim] = (
+                self.dropped_by_channel.get(victim, 0) + 1
+            )
         self._events.append(event)
         if self._notify is not None:
             self._notify()
@@ -256,8 +263,15 @@ class EventBroker:
 
     def stats(self) -> dict:
         """Broker-level accounting for the session stats endpoint."""
+        dropped_by_channel: dict[str, int] = {}
+        for subscription in self._subscriptions:
+            for channel, count in subscription.dropped_by_channel.items():
+                dropped_by_channel[channel] = (
+                    dropped_by_channel.get(channel, 0) + count
+                )
         return {
             "subscribers": len(self._subscriptions),
             "published": dict(self.published),
             "dropped_total": sum(s.dropped for s in self._subscriptions),
+            "dropped_by_channel": dropped_by_channel,
         }

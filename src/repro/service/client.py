@@ -16,7 +16,10 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
+import secrets
 import socket
+import time
 from typing import Any, Optional
 
 from repro.service import http as wire
@@ -24,15 +27,107 @@ from repro.service.session import ServiceError
 
 
 class ClientError(ServiceError):
-    """Non-2xx response from the service."""
+    """Non-2xx response from the service.
 
-    def __init__(self, status: int, message: str) -> None:
+    Carries the typed error envelope the service returns
+    (``{"error": {"code", "message", "retryable"}}``): ``status``,
+    ``code``, ``retryable`` and, on 503 responses, the server's
+    ``retry_after_s`` hint.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        *,
+        code: str = "",
+        retryable: bool = False,
+        retry_after_s: Optional[float] = None,
+    ) -> None:
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
+        self.code = code
+        self.retryable = retryable
+        self.retry_after_s = retry_after_s
+
+
+class BadRequestError(ClientError):
+    """400 — malformed body, bad spec, bad lifecycle op."""
+
+
+class UnknownSessionError(ClientError):
+    """404 — no such session for this tenant (or no such route)."""
+
+
+class SessionLimitError(ClientError):
+    """429 — global or per-tenant session limit reached."""
+
+
+class ServiceOverloadedError(ClientError):
+    """503 — admission refused; honor ``retry_after_s`` and retry."""
+
+
+class ServerError(ClientError):
+    """5xx — the service hit an internal error."""
+
+
+_ERROR_BY_CODE = {
+    "bad_request": BadRequestError,
+    "unknown_session": UnknownSessionError,
+    "not_found": UnknownSessionError,
+    "limit_reached": SessionLimitError,
+    "overloaded": ServiceOverloadedError,
+    "internal": ServerError,
+}
+_ERROR_BY_STATUS = {
+    400: BadRequestError,
+    404: UnknownSessionError,
+    405: BadRequestError,
+    429: SessionLimitError,
+    500: ServerError,
+    503: ServiceOverloadedError,
+}
+
+#: Transport-level failures worth retrying (the request may never have
+#: reached the service — idempotency keys make the retry safe).
+_TRANSPORT_ERRORS = (ConnectionError, socket.timeout, http.client.HTTPException)
+
+
+def _raise_typed(
+    status: int, decoded: Any, raw: bytes, retry_after_s: Optional[float]
+) -> None:
+    envelope = decoded.get("error") if isinstance(decoded, dict) else None
+    if isinstance(envelope, dict):
+        code = str(envelope.get("code", ""))
+        message = str(envelope.get("message", ""))
+        retryable = bool(envelope.get("retryable", False))
+    else:  # pre-envelope server or plain-text body
+        code = ""
+        message = (
+            str(envelope)
+            if envelope is not None
+            else raw.decode("utf-8", "replace")
+        )
+        retryable = status == 503
+    exc_type = _ERROR_BY_CODE.get(code, _ERROR_BY_STATUS.get(status, ClientError))
+    raise exc_type(
+        status,
+        message,
+        code=code,
+        retryable=retryable,
+        retry_after_s=retry_after_s,
+    )
 
 
 class ServiceClient:
-    """Blocking JSON client; one connection per request."""
+    """Blocking JSON client; one connection per request.
+
+    Mutating requests (POST/DELETE) carry an ``Idempotency-Key`` header
+    generated once per logical call, so the bounded retry loop — which
+    fires on connection errors, timeouts and 503 load-shedding responses
+    (honoring ``Retry-After``) — can never double-apply an action: the
+    server replays its stored response instead of re-executing.
+    """
 
     def __init__(
         self,
@@ -41,37 +136,88 @@ class ServiceClient:
         *,
         tenant: str = "default",
         timeout_s: float = 30.0,
+        retries: int = 2,
+        retry_backoff_s: float = 0.2,
+        retry_backoff_cap_s: float = 5.0,
     ) -> None:
         self.host = host
         self.port = port
         self.tenant = tenant
         self.timeout_s = timeout_s
+        self.retries = retries
+        self.retry_backoff_s = retry_backoff_s
+        self.retry_backoff_cap_s = retry_backoff_cap_s
+        #: Retries performed over this client's lifetime (observability).
+        self.retries_used = 0
 
     # ------------------------------------------------------------------
     def _request(
-        self, method: str, path: str, payload: Optional[dict] = None
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+        *,
+        timeout_s: Optional[float] = None,
+    ) -> Any:
+        timeout = self.timeout_s if timeout_s is None else timeout_s
+        idempotency_key = (
+            secrets.token_hex(8) if method in ("POST", "DELETE") else None
+        )
+        delay = self.retry_backoff_s
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(
+                    method, path, payload, timeout, idempotency_key
+                )
+            except ServiceOverloadedError as exc:
+                if attempt >= self.retries:
+                    raise
+                # Honor the server's Retry-After hint; jittered backoff is
+                # the floor so a shed herd does not return in lockstep.
+                wait_s = max(
+                    exc.retry_after_s or 0.0,
+                    delay * (0.5 + random.random()),
+                )
+            except _TRANSPORT_ERRORS:
+                if attempt >= self.retries:
+                    raise
+                wait_s = delay * (0.5 + random.random())
+            attempt += 1
+            self.retries_used += 1
+            time.sleep(wait_s)
+            delay = min(delay * 2, self.retry_backoff_cap_s)
+
+    def _request_once(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict],
+        timeout: float,
+        idempotency_key: Optional[str],
     ) -> Any:
         connection = http.client.HTTPConnection(
-            self.host, self.port, timeout=self.timeout_s
+            self.host, self.port, timeout=timeout
         )
         try:
             body = None if payload is None else json.dumps(payload)
-            connection.request(
-                method,
-                path,
-                body=body,
-                headers={
-                    "Content-Type": "application/json",
-                    "X-Tenant": self.tenant,
-                },
-            )
+            headers = {
+                "Content-Type": "application/json",
+                "X-Tenant": self.tenant,
+            }
+            if idempotency_key is not None:
+                headers["Idempotency-Key"] = idempotency_key
+            connection.request(method, path, body=body, headers=headers)
             response = connection.getresponse()
             data = response.read()
             decoded = json.loads(data) if data else {}
             if response.status >= 400:
-                raise ClientError(
+                retry_after = response.getheader("Retry-After")
+                _raise_typed(
                     response.status,
-                    decoded.get("error", data.decode("utf-8", "replace")),
+                    decoded,
+                    data,
+                    float(retry_after) if retry_after else None,
                 )
             return decoded
         finally:

@@ -45,6 +45,7 @@ STATUS_PHRASES = {
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 
@@ -118,16 +119,24 @@ async def read_request(reader: asyncio.StreamReader) -> Optional[HttpRequest]:
     )
 
 
-def json_response(status: int, payload: Any) -> bytes:
-    """Serialize one complete JSON response."""
+def json_response(
+    status: int, payload: Any, extra_headers: Optional[dict[str, str]] = None
+) -> bytes:
+    """Serialize one complete JSON response.
+
+    ``extra_headers`` adds response headers (e.g. ``Retry-After`` on 503
+    load-shedding responses).
+    """
     body = json.dumps(payload, indent=None).encode("utf-8")
     phrase = STATUS_PHRASES.get(status, "Unknown")
     head = (
         f"HTTP/1.1 {status} {phrase}\r\n"
         f"Content-Type: application/json\r\n"
         f"Content-Length: {len(body)}\r\n"
-        f"Connection: close\r\n\r\n"
     )
+    for name, value in (extra_headers or {}).items():
+        head += f"{name}: {value}\r\n"
+    head += "Connection: close\r\n\r\n"
     return head.encode("latin-1") + body
 
 

@@ -1,0 +1,545 @@
+"""Crash-safe sessions: write-ahead journal + deterministic replay restore.
+
+The service's determinism contract (any :meth:`~repro.kernel.Simulator.
+step_until` slicing schedule replays ``run_until`` byte-for-byte) means a
+session's entire state is a pure function of three durable inputs:
+
+1. the **creation spec** (model selector + seed + interval + broker
+   config),
+2. the **ordered mutation log** (action injections and scenario arms,
+   each stamped with the virtual time it landed at), and
+3. how far the run has **progressed** (the last durable virtual time).
+
+:class:`SessionJournal` persists exactly those inputs as a per-session
+JSONL file, appended *before* each mutation is applied (write-ahead), so
+a SIGKILL at any instant loses at most un-fsynced progress marks — never
+an applied-but-unrecorded mutation.  :func:`replay_session` rebuilds a
+crashed session by compiling a fresh range from the spec and re-running
+the journal through ``step_until``: advance to each mutation's virtual
+time, re-apply it, repeat, then advance to the last progress mark.  Each
+mark embeds the kernel digest (``processed`` event count) recorded live,
+so the replay *verifies* it reconverged bit-for-bit instead of assuming.
+
+Journal record vocabulary (one JSON object per line, ``v`` = 1):
+
+==========  ==========================================================
+``create``  session id/tenant/name/model, resolved seed, the create
+            spec, speed and broker config — everything replay needs
+``start``   first transition to running (virtual t=0)
+``action``  one injected action spec at its virtual time
+``scenario``one armed scenario spec + effective horizon at its time
+``lifecycle`` pause / resume / speed changes (state + pacing restore)
+``mark``    durable progress: virtual time + kernel event digest
+``suspend`` orderly service shutdown — session is *resumable*
+``close``   tenant close or TTL eviction — clean, **not** resumable
+``crash``   supervisor-recorded failure (diagnostic, resumable)
+``restored``a restore re-opened this journal and resumed appending
+==========  ==========================================================
+
+Durability model: every record is flushed to the OS before the mutation
+applies (survives process death); ``fsync`` is batched (every
+``fsync_every`` records or ``fsync_interval_s`` seconds) so the journal
+costs one buffered write per op, not one disk sync.  Size is bounded:
+progress marks are coalesced (at most one per ``mark_min_interval_s``
+virtual seconds) and compaction rewrites the file keeping the create
+record, every mutation and only the latest mark.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Optional
+
+from repro.kernel import SECOND
+from repro.range import CyberRange
+from repro.service.session import (
+    RangeSession,
+    ServiceError,
+    SessionState,
+)
+
+JOURNAL_VERSION = 1
+JOURNAL_SUFFIX = ".jsonl"
+
+#: Coalesce progress marks to at most one per this many *virtual* seconds.
+DEFAULT_MARK_MIN_INTERVAL_S = 0.5
+#: fsync after this many records ...
+DEFAULT_FSYNC_EVERY = 16
+#: ... or this many wall seconds since the last sync, whichever first.
+DEFAULT_FSYNC_INTERVAL_S = 0.5
+#: Rewrite the journal once this many marks accumulated since compaction.
+DEFAULT_COMPACT_EVERY = 256
+#: Replay slice budget (mirrors the driver's default).
+DEFAULT_REPLAY_SLICE_EVENTS = 2000
+
+
+class RecoveryError(ServiceError):
+    """Journal unreadable, not restorable, or replay diverged."""
+
+
+# ----------------------------------------------------------------------
+# The write-ahead journal
+# ----------------------------------------------------------------------
+class SessionJournal:
+    """Append-only JSONL write-ahead log for one session.
+
+    Callers append a record *before* applying the operation it describes;
+    :meth:`append` flushes to the OS (crash-of-process safe) and batches
+    ``fsync`` (crash-of-host safe within the batch window).
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        fsync_every: int = DEFAULT_FSYNC_EVERY,
+        fsync_interval_s: float = DEFAULT_FSYNC_INTERVAL_S,
+        mark_min_interval_s: float = DEFAULT_MARK_MIN_INTERVAL_S,
+        compact_every: int = DEFAULT_COMPACT_EVERY,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.path = Path(path)
+        self.fsync_every = fsync_every
+        self.fsync_interval_s = fsync_interval_s
+        self.mark_min_interval_s = mark_min_interval_s
+        self.compact_every = compact_every
+        self._clock = clock
+        self._file = open(self.path, "a", encoding="utf-8")
+        self._unsynced = 0
+        self._last_sync_wall = clock()
+        self._last_mark_us = -1
+        self._marks_since_compact = 0
+        #: Lifetime counters (observability; surfaced in session stats).
+        self.records_written = 0
+        self.marks_written = 0
+        self.marks_coalesced = 0
+        self.fsyncs = 0
+        self.compactions = 0
+
+    # ------------------------------------------------------------------
+    def append(self, record: dict, *, sync: bool = False) -> None:
+        """Write one record: flush always, fsync batched (or forced)."""
+        if self._file.closed:
+            return
+        record.setdefault("v", JOURNAL_VERSION)
+        self._file.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._file.flush()
+        self.records_written += 1
+        self._unsynced += 1
+        now = self._clock()
+        if (
+            sync
+            or self._unsynced >= self.fsync_every
+            or now - self._last_sync_wall >= self.fsync_interval_s
+        ):
+            os.fsync(self._file.fileno())
+            self.fsyncs += 1
+            self._unsynced = 0
+            self._last_sync_wall = now
+
+    # -- typed record helpers ------------------------------------------
+    def record_create(
+        self,
+        *,
+        session_id: str,
+        tenant: str,
+        name: str,
+        model: str,
+        spec: dict,
+        seed: int,
+        speed: float,
+        max_lag_s: float,
+        queue_depth: int,
+        stats_period_s: float,
+    ) -> None:
+        self.append(
+            {
+                "op": "create",
+                "session": session_id,
+                "tenant": tenant,
+                "name": name,
+                "model": model,
+                "spec": spec,
+                "seed": seed,
+                "speed": speed,
+                "max_lag_s": max_lag_s,
+                "queue_depth": queue_depth,
+                "stats_period_s": stats_period_s,
+            },
+            sync=True,
+        )
+
+    def record_start(self, t_us: int) -> None:
+        self.append({"op": "start", "t_us": t_us})
+
+    def record_action(self, t_us: int, spec: dict) -> None:
+        self.append({"op": "action", "t_us": t_us, "spec": spec})
+
+    def record_scenario(self, t_us: int, spec: dict, duration_s: float) -> None:
+        self.append(
+            {"op": "scenario", "t_us": t_us, "spec": spec,
+             "duration_s": duration_s}
+        )
+
+    def record_lifecycle(
+        self, t_us: int, kind: str, speed: Optional[float] = None
+    ) -> None:
+        record: dict = {"op": "lifecycle", "t_us": t_us, "kind": kind}
+        if speed is not None:
+            record["speed"] = speed
+        self.append(record)
+
+    def record_close(self, t_us: int, reason: str) -> None:
+        self.append({"op": "close", "t_us": t_us, "reason": reason}, sync=True)
+
+    def record_suspend(self, t_us: int, events: int) -> None:
+        """Orderly shutdown: durable progress point, session resumable."""
+        self.append(
+            {"op": "suspend", "t_us": t_us, "events": events}, sync=True
+        )
+
+    def record_crash(self, t_us: int, error: str) -> None:
+        self.append({"op": "crash", "t_us": t_us, "error": error}, sync=True)
+
+    def record_restored(self, t_us: int) -> None:
+        self.append({"op": "restored", "t_us": t_us}, sync=True)
+
+    def mark(self, t_us: int, events: int) -> bool:
+        """Record durable progress (coalesced; triggers compaction).
+
+        Only replay-safe boundaries may be marked: the caller guarantees
+        every event at or before ``t_us`` has executed (a ``done`` slice
+        or a just-drained instant), so ``events`` is exactly what a fresh
+        replay reaching ``t_us`` will have processed.
+        """
+        if (
+            self._last_mark_us >= 0
+            and t_us - self._last_mark_us
+            < int(self.mark_min_interval_s * SECOND)
+        ):
+            self.marks_coalesced += 1
+            return False
+        self.append({"op": "mark", "t_us": t_us, "events": events})
+        self._last_mark_us = t_us
+        self.marks_written += 1
+        self._marks_since_compact += 1
+        if self._marks_since_compact >= self.compact_every:
+            self.compact()
+        return True
+
+    # ------------------------------------------------------------------
+    def compact(self) -> None:
+        """Rewrite the journal keeping everything but stale marks.
+
+        Marks dominate a long-running session's journal (mutations are
+        tenant-driven and rare); only the latest one matters for restore.
+        The rewrite goes to a temp file then atomically replaces the
+        journal, so a crash mid-compaction leaves the old file intact.
+        """
+        if self._file.closed:
+            return
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        records = read_journal(self.path)
+        last_mark = None
+        for record in records:
+            if record.get("op") == "mark":
+                last_mark = record
+        kept = [r for r in records if r.get("op") != "mark"]
+        if last_mark is not None:
+            kept.append(last_mark)
+        tmp_path = self.path.with_suffix(self.path.suffix + ".tmp")
+        with open(tmp_path, "w", encoding="utf-8") as tmp:
+            for record in kept:
+                tmp.write(json.dumps(record, separators=(",", ":")) + "\n")
+            tmp.flush()
+            os.fsync(tmp.fileno())
+        self._file.close()
+        os.replace(tmp_path, self.path)
+        self._file = open(self.path, "a", encoding="utf-8")
+        self._marks_since_compact = 0
+        self._unsynced = 0
+        self.compactions += 1
+
+    @property
+    def size_bytes(self) -> int:
+        try:
+            return self.path.stat().st_size
+        except OSError:
+            return 0
+
+    def stats(self) -> dict:
+        return {
+            "path": str(self.path),
+            "size_bytes": self.size_bytes,
+            "records_written": self.records_written,
+            "marks_written": self.marks_written,
+            "marks_coalesced": self.marks_coalesced,
+            "fsyncs": self.fsyncs,
+            "compactions": self.compactions,
+        }
+
+    def close(self) -> None:
+        """Flush, sync and release the file handle (idempotent)."""
+        if self._file.closed:
+            return
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._file.close()
+
+
+# ----------------------------------------------------------------------
+# Reading + parsing
+# ----------------------------------------------------------------------
+def journal_path(journal_dir: str | Path, session_id: str) -> Path:
+    return Path(journal_dir) / f"{session_id}{JOURNAL_SUFFIX}"
+
+
+def list_journals(journal_dir: str | Path) -> list[Path]:
+    directory = Path(journal_dir)
+    if not directory.is_dir():
+        return []
+    return sorted(directory.glob(f"*{JOURNAL_SUFFIX}"))
+
+
+def read_journal(path: str | Path) -> list[dict]:
+    """Read raw records, tolerating one torn (SIGKILL mid-write) tail line."""
+    records: list[dict] = []
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    for index, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except ValueError as exc:
+            if index == len(lines) - 1:
+                break  # torn final write: the op never applied, drop it
+            raise RecoveryError(
+                f"{path}: corrupt journal line {index + 1}: {exc}"
+            ) from exc
+    return records
+
+
+@dataclass
+class JournalState:
+    """Parsed journal: everything :func:`replay_session` needs."""
+
+    path: Path
+    session_id: str = ""
+    tenant: str = "default"
+    name: str = ""
+    model: str = ""
+    spec: dict = field(default_factory=dict)
+    seed: int = 0
+    speed: float = 1.0
+    max_lag_s: float = 2.0
+    queue_depth: int = 2048
+    stats_period_s: float = 1.0
+    #: Ordered action/scenario records (virtual-time stamped).
+    mutations: list[dict] = field(default_factory=list)
+    #: Latest durable progress: ``{"t_us": ..., "events": ...}`` or None.
+    last_mark: Optional[dict] = None
+    #: ``close``/``evicted`` reason when the session ended cleanly.
+    closed_reason: Optional[str] = None
+    suspended: bool = False
+    crashes: list[str] = field(default_factory=list)
+    restores: int = 0
+    #: ``running`` or ``paused`` — the state to restore into.
+    last_state: str = "running"
+
+    @property
+    def restorable(self) -> bool:
+        return self.closed_reason is None and bool(self.session_id)
+
+    @property
+    def target_us(self) -> int:
+        """The virtual time restore rebuilds to (last durable boundary)."""
+        target = 0
+        if self.last_mark is not None:
+            target = max(target, int(self.last_mark["t_us"]))
+        for mutation in self.mutations:
+            target = max(target, int(mutation["t_us"]))
+        return target
+
+    def scenario_horizon_us(self) -> int:
+        """Latest scheduled scenario finish (0 when none armed)."""
+        horizon = 0
+        for mutation in self.mutations:
+            if mutation["op"] == "scenario":
+                finish = int(mutation["t_us"]) + int(
+                    float(mutation["duration_s"]) * SECOND
+                )
+                horizon = max(horizon, finish)
+        return horizon
+
+    def summary(self) -> dict:
+        status = "active"
+        if self.closed_reason is not None:
+            status = self.closed_reason
+        elif self.crashes:
+            status = "crashed"
+        elif self.suspended:
+            status = "suspended"
+        return {
+            "session": self.session_id,
+            "tenant": self.tenant,
+            "name": self.name,
+            "model": self.model,
+            "status": status,
+            "state": self.last_state,
+            "time_s": self.target_us / SECOND,
+            "mutations": len(self.mutations),
+            "crashes": len(self.crashes),
+            "restorable": self.restorable,
+        }
+
+
+def load_journal(path: str | Path) -> JournalState:
+    """Parse a journal file into a :class:`JournalState`."""
+    path = Path(path)
+    if not path.exists():
+        raise RecoveryError(f"no journal at {path}")
+    state = JournalState(path=path)
+    records = read_journal(path)
+    if not records:
+        raise RecoveryError(f"{path}: empty journal")
+    for record in records:
+        op = record.get("op")
+        if op == "create":
+            state.session_id = record["session"]
+            state.tenant = record.get("tenant", "default")
+            state.name = record.get("name", "")
+            state.model = record.get("model", "")
+            state.spec = record.get("spec", {})
+            state.seed = int(record.get("seed", 0))
+            state.speed = float(record.get("speed", 1.0))
+            state.max_lag_s = float(record.get("max_lag_s", 2.0))
+            state.queue_depth = int(record.get("queue_depth", 2048))
+            state.stats_period_s = float(record.get("stats_period_s", 1.0))
+        elif op in ("action", "scenario"):
+            state.mutations.append(record)
+        elif op == "mark":
+            state.last_mark = record
+        elif op == "suspend":
+            state.suspended = True
+            state.last_mark = record  # suspend carries an exact digest
+        elif op == "lifecycle":
+            kind = record.get("kind")
+            if kind == "pause":
+                state.last_state = "paused"
+            elif kind == "resume":
+                state.last_state = "running"
+            elif kind == "speed":
+                state.speed = float(record.get("speed", state.speed))
+        elif op == "close":
+            state.closed_reason = record.get("reason", "close")
+        elif op == "crash":
+            state.crashes.append(record.get("error", ""))
+        elif op == "restored":
+            state.restores += 1
+            state.suspended = False
+    if not state.session_id:
+        raise RecoveryError(f"{path}: journal has no create record")
+    return state
+
+
+# ----------------------------------------------------------------------
+# Deterministic replay
+# ----------------------------------------------------------------------
+def replay_session(
+    state: JournalState,
+    compile_range: Callable[[], CyberRange],
+    *,
+    clock: Callable[[], float] = time.monotonic,
+    mode: str = "slices",
+    slice_events: int = DEFAULT_REPLAY_SLICE_EVENTS,
+    verify: bool = True,
+    observe: Optional[Callable[[RangeSession], None]] = None,
+) -> RangeSession:
+    """Rebuild a session to its exact pre-crash virtual time.
+
+    Compiles a fresh range from the journaled spec, constructs the session
+    exactly as the live path did (broker attached with the same config, so
+    kernel event counts line up), then walks the mutation log: advance to
+    each mutation's virtual time, re-apply it, and finally advance to the
+    last durable mark.  ``mode="slices"`` drives the kernel through
+    bounded ``step_until`` slices (the service's own regime);
+    ``mode="run_until"`` replays uninterrupted — by the determinism
+    contract both produce byte-identical histories, which is what the
+    chaos harness asserts.
+
+    With ``verify=True`` (default) the replay cross-checks the kernel
+    digest embedded in the final mark and raises :class:`RecoveryError`
+    on divergence rather than returning a silently-wrong session.
+    ``observe`` (called with the constructed session before it starts)
+    lets tests hook point-history recorders at the same place the live
+    path would.
+    """
+    if not state.restorable:
+        raise RecoveryError(
+            f"session {state.session_id!r} was closed cleanly "
+            f"({state.closed_reason}); nothing to restore"
+        )
+    if mode not in ("slices", "run_until"):
+        raise RecoveryError(f"unknown replay mode {mode!r}")
+    session = RangeSession(
+        state.session_id,
+        compile_range(),
+        tenant=state.tenant,
+        name=state.name,
+        model=state.model,
+        speed=state.speed,
+        max_lag_s=state.max_lag_s,
+        queue_depth=state.queue_depth,
+        stats_period_s=state.stats_period_s,
+        clock=clock,
+    )
+    if observe is not None:
+        observe(session)
+    session.start()
+    simulator = session.cyber_range.simulator
+
+    def advance_to(t_us: int) -> None:
+        if t_us <= simulator.now:
+            simulator.drain_current()
+            return
+        if mode == "run_until":
+            simulator.run_until(t_us)
+        else:
+            while not session.cyber_range.step_until(t_us, slice_events).done:
+                pass
+
+    for mutation in state.mutations:
+        advance_to(int(mutation["t_us"]))
+        if mutation["op"] == "action":
+            session.replay_action(mutation["spec"])
+        else:
+            session.replay_scenario(
+                mutation["spec"], float(mutation["duration_s"])
+            )
+    advance_to(state.target_us)
+    if (
+        verify
+        and state.last_mark is not None
+        and int(state.last_mark["t_us"]) == state.target_us
+        and "events" in state.last_mark
+    ):
+        expected = int(state.last_mark["events"])
+        actual = simulator.processed
+        if actual != expected:
+            session.close(journal_reason=None)
+            raise RecoveryError(
+                f"replay of session {state.session_id!r} diverged: journal "
+                f"digest says {expected} events at t={state.target_us}µs, "
+                f"replay processed {actual}"
+            )
+    session.restored = state.restores + 1
+    if state.last_state == "paused":
+        session.pause(journal=False)
+    else:
+        session._anchor()
+    return session

@@ -34,17 +34,34 @@ import asyncio
 import json
 import tempfile
 import threading
+from collections import OrderedDict
 from typing import Any, Callable, Optional
 
 from repro.range import CyberRange
 from repro.service import http as wire
-from repro.service.session import ServiceError, SessionManager, SessionState
+from repro.service.session import (
+    OverloadedError,
+    RangeSession,
+    ServiceError,
+    SessionManager,
+    SessionState,
+)
+from repro.service.supervisor import SessionSupervisor
 
 DEFAULT_SLICE_EVENTS = 2000
 DEFAULT_IDLE_SLEEP_S = 0.005
 DEFAULT_EVICT_PERIOD_S = 5.0
 STREAM_BATCH = 256
 STREAM_KEEPALIVE_S = 2.0
+#: Driver busy-share measurement window (wall seconds).
+BUSY_WINDOW_S = 1.0
+#: Default admission-control thresholds: shed session creates when the
+#: driver spends more than this share of wall time advancing sessions...
+DEFAULT_SHED_BUSY_SHARE = 0.9
+#: ...and suggest retrying after this many seconds (Retry-After header).
+DEFAULT_SHED_RETRY_AFTER_S = 1.0
+#: Bounded idempotency-store size (responses kept for retried mutations).
+IDEMPOTENCY_CAPACITY = 1024
 
 
 def default_model_resolver(body: dict) -> Callable[[], CyberRange]:
@@ -113,6 +130,19 @@ def _generated_model_dir(kind: str, *params: int) -> str:
         return directory
 
 
+def _error_envelope(code: str, message: str, retryable: bool = False) -> dict:
+    """The structured error body every route returns:
+    ``{"error": {"code", "message", "retryable"}}``."""
+    return {
+        "error": {"code": code, "message": message, "retryable": retryable}
+    }
+
+
+def _retry_after_value(seconds: float) -> str:
+    """Retry-After header value (RFC 9110 wants non-negative integers)."""
+    return str(max(1, int(round(seconds))))
+
+
 class RangeService:
     """The HTTP/WebSocket front end plus the cooperative session driver."""
 
@@ -127,11 +157,24 @@ class RangeService:
         port: int = 0,
         slice_events: int = DEFAULT_SLICE_EVENTS,
         idle_sleep_s: float = DEFAULT_IDLE_SLEEP_S,
+        journal_dir: Optional[str] = None,
+        shed_busy_share: float = DEFAULT_SHED_BUSY_SHARE,
+        shed_sessions: Optional[int] = None,
+        shed_retry_after_s: float = DEFAULT_SHED_RETRY_AFTER_S,
+        backoff_base_s: Optional[float] = None,
+        backoff_cap_s: Optional[float] = None,
+        max_restarts: Optional[int] = None,
         clock: Callable[[], float] = None,  # type: ignore[assignment]
     ) -> None:
         import time
 
-        self.manager = manager or SessionManager()
+        self.manager = manager or SessionManager(journal_dir=journal_dir)
+        if journal_dir is not None and self.manager.journal_dir is None:
+            # A caller-supplied manager adopts the service's journal dir.
+            from pathlib import Path
+
+            Path(journal_dir).mkdir(parents=True, exist_ok=True)
+            self.manager.journal_dir = journal_dir
         self.model_resolver = model_resolver
         self.host = host
         self._requested_port = port
@@ -144,6 +187,37 @@ class RangeService:
         #: Driver passes / total kernel events executed across sessions.
         self.driver_passes = 0
         self.driver_events = 0
+        # --- supervision -------------------------------------------------
+        supervisor_kwargs: dict[str, Any] = {}
+        if backoff_base_s is not None:
+            supervisor_kwargs["backoff_base_s"] = backoff_base_s
+        if backoff_cap_s is not None:
+            supervisor_kwargs["backoff_cap_s"] = backoff_cap_s
+        if max_restarts is not None:
+            supervisor_kwargs["max_restarts"] = max_restarts
+        self.supervisor = SessionSupervisor(
+            self.manager,
+            restore=self._restore_from_journal,
+            clock=self._clock,
+            **supervisor_kwargs,
+        )
+        # --- admission control -------------------------------------------
+        #: Share of wall time the driver spent advancing sessions over the
+        #: last :data:`BUSY_WINDOW_S` window (0.0 on an idle service).
+        self.busy_share = 0.0
+        self.shed_busy_share = shed_busy_share
+        self.shed_sessions = shed_sessions
+        self.shed_retry_after_s = shed_retry_after_s
+        #: Session creates refused by load shedding (lifetime).
+        self.shed_count = 0
+        #: Bounded response store for retried idempotent mutations.
+        self._idempotency: OrderedDict[tuple[str, str], tuple[int, Any]] = (
+            OrderedDict()
+        )
+        #: Boot-recovery outcome (populated by :meth:`start`).
+        self.boot_recovery: dict[str, list] = {
+            "restored": [], "skipped": [], "failed": []
+        }
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -155,11 +229,82 @@ class RangeService:
         return self._server.sockets[0].getsockname()[1]
 
     async def start(self) -> None:
+        self._boot_recover()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self._requested_port
         )
         self._running = True
         self._driver_task = asyncio.ensure_future(self._drive())
+
+    def _boot_recover(self) -> None:
+        """Restore every resumable journal in the journal dir.
+
+        Runs before the listener binds: a service restarted with the same
+        ``--journal-dir`` comes back with its crashed/suspended sessions
+        already rebuilt to their last durable virtual time.  Cleanly
+        closed journals are skipped; unreadable ones are reported on
+        ``/healthz``, never fatal.
+        """
+        journal_dir = self.manager.journal_dir
+        self.boot_recovery = {"restored": [], "skipped": [], "failed": []}
+        if journal_dir is None:
+            return
+        from repro.service.recovery import (
+            RecoveryError,
+            list_journals,
+            load_journal,
+        )
+
+        for path in list_journals(journal_dir):
+            try:
+                state = load_journal(path)
+            except RecoveryError as exc:
+                self.boot_recovery["failed"].append(
+                    {"journal": str(path), "error": str(exc)}
+                )
+                continue
+            if not state.restorable:
+                self.boot_recovery["skipped"].append(
+                    {"session": state.session_id,
+                     "reason": state.closed_reason}
+                )
+                continue
+            if state.session_id in self.manager._sessions:
+                continue
+            try:
+                session = self.manager.restore(
+                    path, resolver=self.model_resolver
+                )
+            except Exception as exc:
+                self.boot_recovery["failed"].append(
+                    {"journal": str(path),
+                     "error": f"{type(exc).__name__}: {exc}"}
+                )
+                continue
+            self.boot_recovery["restored"].append(session.id)
+
+    def _restore_from_journal(self, wreck: RangeSession) -> RangeSession:
+        """Supervisor restart path: replace a crashed session in place.
+
+        Releases the wreck's journal handle, forgets and tears the wreck
+        down *without* a clean-close record (the journal must stay
+        restorable), then replays the journal back into the registry
+        under the original session id.
+        """
+        journal = wreck.journal
+        if journal is None:
+            raise ServiceError(
+                f"session {wreck.id} has no journal to restart from"
+            )
+        path = journal.path
+        journal.close()
+        wreck.journal = None
+        self.manager.forget(wreck.id)
+        try:
+            wreck.close(journal_reason=None)
+        except Exception:
+            pass  # the wreck may be arbitrarily broken; the journal is not
+        return self.manager.restore(path, resolver=self.model_resolver)
 
     async def stop(self) -> None:
         self._running = False
@@ -186,6 +331,8 @@ class RangeService:
     # ------------------------------------------------------------------
     async def _drive(self) -> None:
         last_evict = self._clock()
+        window_start = self._clock()
+        busy_acc = 0.0
         while self._running:
             wall_now = self._clock()
             executed = 0
@@ -193,21 +340,57 @@ class RangeService:
             for session in self.manager.running():
                 try:
                     result = session.advance(wall_now, self.slice_events)
-                except Exception:
+                except Exception as exc:
                     # A session whose kernel throws must not take the
-                    # service down; freeze it and keep serving the rest.
-                    session.pause()
+                    # service down: quarantine its failure domain and let
+                    # the supervisor backoff-restart it from its journal.
+                    self.supervisor.record_failure(session, exc, wall_now)
                     continue
+                self.supervisor.record_ok(session.id, wall_now)
                 executed += result.executed
                 pending = pending or not result.done
+                if result.done:
+                    # The slice drained to its deadline — a replay-safe
+                    # boundary; journal it as durable progress.
+                    session.journal_mark()
+            for session_id in self.supervisor.due_restarts(wall_now):
+                self.supervisor.attempt_restart(session_id)
             self.driver_passes += 1
             self.driver_events += executed
+            busy_acc += max(0.0, self._clock() - wall_now)
+            if wall_now - window_start >= BUSY_WINDOW_S:
+                elapsed = max(wall_now - window_start, 1e-9)
+                self.busy_share = min(1.0, busy_acc / elapsed)
+                window_start = wall_now
+                busy_acc = 0.0
             if wall_now - last_evict > DEFAULT_EVICT_PERIOD_S:
                 self.manager.evict_idle(wall_now)
                 last_evict = wall_now
             # Behind on budget: yield only to the loop.  Caught up: sleep
             # a real interval so an idle service costs ~0 CPU.
             await asyncio.sleep(0 if pending else self.idle_sleep_s)
+
+    # ------------------------------------------------------------------
+    # Admission control
+    # ------------------------------------------------------------------
+    def _overload_reason(self) -> Optional[str]:
+        """Why a new session should be shed right now (None = admit)."""
+        if self.busy_share > self.shed_busy_share:
+            return (
+                f"driver busy share {self.busy_share:.2f} exceeds "
+                f"{self.shed_busy_share:.2f}"
+            )
+        if self.shed_sessions is not None:
+            open_count = sum(
+                1 for s in self.manager.list()
+                if s.state is not SessionState.CLOSED
+            )
+            if open_count >= self.shed_sessions:
+                return (
+                    f"{open_count} open sessions at/over the shed "
+                    f"threshold ({self.shed_sessions})"
+                )
+        return None
 
     # ------------------------------------------------------------------
     # Connection handling
@@ -222,12 +405,16 @@ class RangeService:
             if request.wants_websocket:
                 await self._handle_websocket(request, reader, writer)
                 return
-            status, payload = self._route(request)
-            writer.write(wire.json_response(status, payload))
+            status, payload, headers = self._route(request)
+            writer.write(wire.json_response(status, payload, headers))
             await writer.drain()
         except wire.WireError as exc:
             try:
-                writer.write(wire.json_response(400, {"error": str(exc)}))
+                writer.write(
+                    wire.json_response(
+                        400, _error_envelope("bad_request", str(exc))
+                    )
+                )
                 await writer.drain()
             except (ConnectionError, RuntimeError):
                 pass
@@ -243,31 +430,84 @@ class RangeService:
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
-    def _route(self, request: wire.HttpRequest) -> tuple[int, Any]:
+    def _route(
+        self, request: wire.HttpRequest
+    ) -> tuple[int, Any, Optional[dict[str, str]]]:
         tenant = request.headers.get("x-tenant", "default")
         segments = [s for s in request.path.split("/") if s]
+        idem_key: Optional[tuple[str, str]] = None
+        raw_key = request.headers.get("idempotency-key", "")
+        if raw_key and request.method in ("POST", "DELETE"):
+            # Keys are tenant-scoped so one tenant cannot replay another's
+            # stored response by guessing a key.
+            idem_key = (tenant, raw_key)
+            cached = self._idempotency.get(idem_key)
+            if cached is not None:
+                status, payload = cached
+                return status, payload, {"X-Idempotent-Replay": "true"}
         try:
             if request.path == "/healthz" and request.method == "GET":
                 return 200, {
                     "ok": True,
                     "driver_passes": self.driver_passes,
                     "driver_events": self.driver_events,
+                    "busy_share": round(self.busy_share, 4),
+                    "shedding": {
+                        "busy_share_threshold": self.shed_busy_share,
+                        "session_threshold": self.shed_sessions,
+                        "retry_after_s": self.shed_retry_after_s,
+                        "shed_count": self.shed_count,
+                    },
+                    "supervisor": self.supervisor.summary(),
+                    "boot_recovery": {
+                        key: len(value)
+                        for key, value in self.boot_recovery.items()
+                    },
                     "manager": self.manager.stats(),
-                }
+                }, None
             if segments[:2] == ["v1", "sessions"]:
-                return self._route_sessions(request, segments[2:], tenant)
-            return 404, {"error": f"no route for {request.path}"}
+                status, payload = self._route_sessions(
+                    request, segments[2:], tenant
+                )
+            else:
+                return 404, _error_envelope(
+                    "not_found", f"no route for {request.path}"
+                ), None
+        except OverloadedError as exc:
+            self.shed_count += 1
+            return (
+                503,
+                _error_envelope(exc.code, str(exc), retryable=True),
+                {"Retry-After": _retry_after_value(self.shed_retry_after_s)},
+            )
         except ServiceError as exc:
-            message = str(exc)
-            if "unknown session" in message:
-                return 404, {"error": message}
-            if "limit reached" in message:
-                return 429, {"error": message}
-            return 400, {"error": message}
+            status = {
+                "unknown_session": 404,
+                "limit_reached": 429,
+            }.get(exc.code, 400)
+            return status, _error_envelope(
+                exc.code, str(exc), retryable=exc.retryable
+            ), None
         except wire.WireError as exc:
-            return 400, {"error": str(exc)}
+            return 400, _error_envelope("bad_request", str(exc)), None
         except Exception as exc:  # route bugs must produce a response
-            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+            return 500, _error_envelope(
+                "internal", f"{type(exc).__name__}: {exc}"
+            ), None
+        # Only successful (and deterministic-client-error) outcomes are
+        # stored for idempotent replay; 503 shedding is transient and a
+        # retried mutation should get a fresh admission decision.
+        if idem_key is not None:
+            self._idempotency[idem_key] = (status, payload)
+            while len(self._idempotency) > IDEMPOTENCY_CAPACITY:
+                self._idempotency.popitem(last=False)
+        return status, payload, None
+
+    def _describe(self, session: RangeSession) -> dict:
+        """A session's wire summary + its supervision health block."""
+        info = session.describe()
+        info["health"] = self.supervisor.health(session.id)
+        return info
 
     def _route_sessions(
         self, request: wire.HttpRequest, rest: list[str], tenant: str
@@ -276,21 +516,25 @@ class RangeService:
             if request.method == "GET":
                 return 200, {
                     "sessions": [
-                        s.describe() for s in self.manager.list(tenant)
+                        self._describe(s) for s in self.manager.list(tenant)
                     ]
                 }
             if request.method == "POST":
                 return self._create_session(request.json(), tenant)
-            return 405, {"error": "use GET or POST"}
+            return 405, _error_envelope("method_not_allowed",
+                                        "use GET or POST")
         session_id = rest[0]
         sub = rest[1] if len(rest) > 1 else ""
         if not sub:
             if request.method == "GET":
-                return 200, self.manager.get(session_id, tenant).describe()
+                return 200, self._describe(
+                    self.manager.get(session_id, tenant)
+                )
             if request.method == "DELETE":
                 session = self.manager.close(session_id, tenant)
-                return 200, session.describe()
-            return 405, {"error": "use GET or DELETE"}
+                return 200, self._describe(session)
+            return 405, _error_envelope("method_not_allowed",
+                                        "use GET or DELETE")
         session = self.manager.get(session_id, tenant)
         if sub == "lifecycle" and request.method == "POST":
             return self._lifecycle(session, request.json())
@@ -309,12 +553,22 @@ class RangeService:
             return 200, {"points": session.points(prefix)}
         if sub == "stats" and request.method == "GET":
             return 200, session.stats()
-        return 404, {"error": f"no route for {request.path}"}
+        return 404, _error_envelope(
+            "not_found", f"no route for {request.path}"
+        )
 
     def _create_session(self, body: dict, tenant: str) -> tuple[int, Any]:
         if not isinstance(body, dict):
             raise ServiceError("create body must be a JSON object")
+        reason = self._overload_reason()
+        if reason is not None:
+            raise OverloadedError(f"service overloaded: {reason}")
         compile_range = self.model_resolver(body)
+        session_kwargs: dict[str, Any] = {}
+        if "queue_depth" in body:
+            session_kwargs["queue_depth"] = int(body["queue_depth"])
+        if "max_lag_s" in body:
+            session_kwargs["max_lag_s"] = float(body["max_lag_s"])
         session = self.manager.create(
             compile_range,
             tenant=tenant,
@@ -322,11 +576,12 @@ class RangeService:
             model=str(body.get("model", body.get("model_dir", "epic"))),
             speed=float(body.get("speed", 1.0)),
             autostart=bool(body.get("autostart", True)),
+            create_spec=dict(body),
+            **session_kwargs,
         )
-        return 201, session.describe()
+        return 201, self._describe(session)
 
-    @staticmethod
-    def _lifecycle(session, body: dict) -> tuple[int, Any]:
+    def _lifecycle(self, session, body: dict) -> tuple[int, Any]:
         op = body.get("op", "")
         if op == "pause":
             session.pause()
@@ -338,7 +593,7 @@ class RangeService:
             raise ServiceError(
                 f"unknown lifecycle op {op!r}; use pause/resume/speed"
             )
-        return 200, session.describe()
+        return 200, self._describe(session)
 
     # ------------------------------------------------------------------
     # WebSocket event streaming
@@ -356,8 +611,13 @@ class RangeService:
             or segments[3] != "events"
         ):
             writer.write(
-                wire.json_response(404, {"error": "websocket endpoint is "
-                                         "/v1/sessions/{id}/events"})
+                wire.json_response(
+                    404,
+                    _error_envelope(
+                        "not_found",
+                        "websocket endpoint is /v1/sessions/{id}/events",
+                    ),
+                )
             )
             await writer.drain()
             return
@@ -365,7 +625,9 @@ class RangeService:
         try:
             session = self.manager.get(segments[2], tenant)
         except ServiceError as exc:
-            writer.write(wire.json_response(404, {"error": str(exc)}))
+            writer.write(
+                wire.json_response(404, _error_envelope(exc.code, str(exc)))
+            )
             await writer.drain()
             return
         raw = request.query.get("channels", "")
@@ -373,7 +635,11 @@ class RangeService:
         try:
             subscription = session.broker.subscribe(channels)
         except Exception as exc:
-            writer.write(wire.json_response(400, {"error": str(exc)}))
+            writer.write(
+                wire.json_response(
+                    400, _error_envelope("bad_request", str(exc))
+                )
+            )
             await writer.drain()
             return
         writer.write(wire.websocket_handshake_response(request))
@@ -414,6 +680,9 @@ class RangeService:
                         "channel": "session",
                         "event": "keepalive",
                         "dropped": subscription.dropped,
+                        "dropped_by_channel": dict(
+                            subscription.dropped_by_channel
+                        ),
                         "delivered": subscription.delivered,
                     }
                     writer.write(wire.encode_text(json.dumps(keepalive)))

@@ -35,6 +35,7 @@ from __future__ import annotations
 import enum
 import secrets
 import time
+from pathlib import Path
 from typing import Any, Callable, Optional
 
 from repro.kernel import SECOND, StepSlice
@@ -53,7 +54,35 @@ UNPACED_SLICE_S = 0.5
 
 
 class ServiceError(Exception):
-    """Session/service layer misuse (bad state, unknown id, limits)."""
+    """Session/service layer misuse (bad state, unknown id, limits).
+
+    ``code``/``retryable`` feed the wire error envelope
+    (``{"error": {"code", "message", "retryable"}}``); subclasses carry
+    route-specific codes so the server never sniffs message strings.
+    """
+
+    code = "bad_request"
+    retryable = False
+
+
+class UnknownSessionError(ServiceError):
+    """No such session for this tenant (maps to HTTP 404)."""
+
+    code = "unknown_session"
+
+
+class SessionLimitError(ServiceError):
+    """Global or per-tenant session limit hit (maps to HTTP 429)."""
+
+    code = "limit_reached"
+    retryable = True
+
+
+class OverloadedError(ServiceError):
+    """Driver is saturated; admission refused (maps to HTTP 503)."""
+
+    code = "overloaded"
+    retryable = True
 
 
 class SessionState(str, enum.Enum):
@@ -79,6 +108,7 @@ class RangeSession:
         queue_depth: int = 2048,
         stats_period_s: float = 1.0,
         clock: Callable[[], float] = time.monotonic,
+        journal: Optional[Any] = None,
     ) -> None:
         if speed < 0:
             raise ServiceError(f"speed must be >= 0, got {speed}")
@@ -110,6 +140,12 @@ class RangeSession:
         self.events_executed = 0
         self.scenario_runs: list[ScenarioRun] = []
         self.action_log: list[dict] = []
+        #: Write-ahead journal (``repro.service.recovery.SessionJournal``)
+        #: or ``None``; every state-mutating op is appended *before* it
+        #: applies so a crash never loses an applied-but-unrecorded op.
+        self.journal = journal
+        #: How many times this session was rebuilt from its journal.
+        self.restored = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -121,26 +157,52 @@ class RangeSession:
         if self.state is SessionState.CLOSED:
             raise ServiceError(f"session {self.id} is closed")
 
+    def _journal_now(self) -> int:
+        return self.cyber_range.simulator.now
+
+    def journal_mark(self) -> None:
+        """Record durable progress (only at replay-safe boundaries).
+
+        The driver calls this after a ``done`` slice — every event at or
+        before the clock has executed, so a replay reaching the same
+        virtual time processes the same event count (the mark embeds the
+        kernel digest to verify exactly that).
+        """
+        if self.journal is None or self.state is not SessionState.RUNNING:
+            return
+        digest = self.cyber_range.simulator.digest()
+        self.journal.mark(digest["now"], digest["processed"])
+
     def start(self) -> None:
         """created/paused → running; (re)anchors pacing at the call instant."""
         self._require_open()
         if self.state is SessionState.RUNNING:
             return
+        if self.journal is not None:
+            if self.state is SessionState.CREATED:
+                self.journal.record_start(self._journal_now())
+            else:
+                self.journal.record_lifecycle(self._journal_now(), "resume")
         self.cyber_range.start()
         self._anchor()
         self.state = SessionState.RUNNING
         self.broker.publish("session", {"event": "running", "session": self.id})
 
-    def pause(self) -> None:
+    def pause(self, journal: bool = True) -> None:
         """running → paused: the driver stops advancing this session.
 
         Virtual time freezes exactly where the last slice left it; nothing
         is torn down, and :meth:`resume` re-anchors pacing so no wall-clock
         gap is ever "caught up" — pause is free, not a debt.
+        ``journal=False`` is the supervisor's quarantine path: a crash
+        record already explains the freeze, and a restore should bring the
+        session back *running*, not paused.
         """
         self._require_open()
         if self.state is not SessionState.RUNNING:
             return
+        if journal and self.journal is not None:
+            self.journal.record_lifecycle(self._journal_now(), "pause")
         self.state = SessionState.PAUSED
         self.broker.publish("session", {"event": "paused", "session": self.id})
 
@@ -152,20 +214,52 @@ class RangeSession:
         if speed < 0:
             raise ServiceError(f"speed must be >= 0, got {speed}")
         self._require_open()
+        if self.journal is not None:
+            self.journal.record_lifecycle(self._journal_now(), "speed", speed)
         self.speed = speed
         self._anchor()
         self.broker.publish(
             "session", {"event": "speed", "session": self.id, "speed": speed}
         )
 
-    def close(self) -> None:
-        """Tear the range down (idempotent).  Queued events stay readable."""
+    def close(self, journal_reason: Optional[str] = "close") -> None:
+        """Tear the range down (idempotent).  Queued events stay readable.
+
+        ``journal_reason`` ("close", "evicted") is written to the journal
+        as a *clean* end — a later restore refuses it.  Pass ``None`` to
+        tear down without recording (the supervisor's restart path, where
+        the journal must stay restorable).
+        """
         if self.state is SessionState.CLOSED:
             return
+        if self.journal is not None and journal_reason is not None:
+            self.journal.record_close(self._journal_now(), journal_reason)
         self.state = SessionState.CLOSED
         self.broker.publish("session", {"event": "closed", "session": self.id})
         self.broker.detach()
         self.cyber_range.close()
+        if self.journal is not None:
+            self.journal.close()
+
+    def suspend(self) -> None:
+        """Orderly shutdown: journal exact progress, tear down, stay
+        restorable.
+
+        Unlike :meth:`close` this records a ``suspend`` (with the kernel
+        digest) instead of a clean ``close`` — a service restart with the
+        same ``--journal-dir`` rebuilds the session to this exact virtual
+        time.  Without a journal this degrades to a plain close.
+        """
+        if self.state is SessionState.CLOSED:
+            return
+        if self.journal is not None:
+            # Finish the current instant first: a budget-exhausted slice
+            # can leave same-instant events queued, and a digest taken
+            # there would not be reproducible by replay's step_until.
+            self.cyber_range.simulator.drain_current()
+            digest = self.cyber_range.simulator.digest()
+            self.journal.record_suspend(digest["now"], digest["processed"])
+        self.close(journal_reason=None)
 
     def __enter__(self) -> "RangeSession":
         return self
@@ -235,6 +329,20 @@ class RangeSession:
         if not self.cyber_range.started:
             raise ServiceError(f"session {self.id} has not been started")
         try:
+            action_from_spec(spec)  # validate before journaling (WAL)
+        except ActionError as exc:
+            raise ServiceError(str(exc)) from exc
+        # Land mutations only at replay-safe boundaries: finish the
+        # current instant so the action can never fall in the middle of a
+        # budget-exhausted slice (replay drains the instant too).
+        self.cyber_range.simulator.drain_current()
+        if self.journal is not None:
+            self.journal.record_action(self._journal_now(), spec)
+        return self._apply_action(spec)
+
+    def _apply_action(self, spec: dict) -> dict:
+        """Execute a (pre-validated) action spec; shared with replay."""
+        try:
             action = action_from_spec(spec)
             result = action.execute(self.cyber_range)
         except ActionError as exc:
@@ -248,6 +356,18 @@ class RangeSession:
         self.action_log.append(ack)
         self.broker.publish("actions", dict(ack))
         return ack
+
+    def replay_action(self, spec: dict) -> None:
+        """Re-apply a journaled action during restore.
+
+        A journaled action that *failed* mid-execution live fails the
+        same way on replay (same state, same code path); live returned
+        the error to the caller and moved on, so replay swallows it too.
+        """
+        try:
+            self._apply_action(spec)
+        except ServiceError:
+            pass
 
     def start_scenario(
         self, spec: dict, duration_s: Optional[float] = None
@@ -266,11 +386,28 @@ class RangeSession:
                 f"session {self.id} is {self.state.value}; start it before "
                 f"arming a scenario"
             )
-        scenario = Scenario.from_spec(spec)
+        try:
+            scenario = Scenario.from_spec(spec)
+        except Exception as exc:  # spec errors journal nothing (WAL)
+            raise ServiceError(f"bad scenario spec: {exc}") from exc
+        problems = scenario.validate_graph()
+        if problems:
+            raise ServiceError(
+                f"bad scenario spec: {'; '.join(problems)}"
+            )
+        effective_s = duration_s or scenario.duration_s or 10.0
+        self.cyber_range.simulator.drain_current()
+        if self.journal is not None:
+            self.journal.record_scenario(
+                self._journal_now(), spec, effective_s
+            )
+        return self._arm_scenario(scenario, effective_s)
+
+    def _arm_scenario(self, scenario: Scenario, effective_s: float) -> dict:
+        """Arm a validated scenario now; shared with journal replay."""
         run = ScenarioRun(scenario, self.cyber_range)
         run.set_observer(self.broker.scenario_observer)
         run.start()
-        effective_s = duration_s or scenario.duration_s or 10.0
         self.cyber_range.simulator.schedule(
             int(effective_s * SECOND),
             run.finish,
@@ -283,6 +420,14 @@ class RangeSession:
             "duration_s": effective_s,
             "armed_at_s": self.cyber_range.simulator.now / SECOND,
         }
+
+    def replay_scenario(self, spec: dict, duration_s: float) -> None:
+        """Re-arm a journaled scenario during restore (errors replay as
+        no-ops, exactly as a live arming failure left no run behind)."""
+        try:
+            self._arm_scenario(Scenario.from_spec(spec), duration_s)
+        except Exception:
+            pass
 
     # ------------------------------------------------------------------
     # Introspection / reporting
@@ -335,6 +480,8 @@ class RangeSession:
             "idle_s": wall_now - self.last_activity,
             "scenario_count": len(self.scenario_runs),
             "action_count": len(self.action_log),
+            "journaled": self.journal is not None,
+            "restored": self.restored,
         }
         if self.state is SessionState.RUNNING and self.speed > 0:
             info["behind_s"] = round(self.behind_s(wall_now), 3)
@@ -343,7 +490,7 @@ class RangeSession:
     def stats(self) -> dict:
         """Driver + broker + data-plane counters for one session."""
         self._require_open()
-        return {
+        info = {
             "session": self.id,
             "state": self.state.value,
             "time_s": self.cyber_range.simulator.now / SECOND,
@@ -354,6 +501,9 @@ class RangeSession:
             "architecture": self.cyber_range.architecture_summary(),
             "data_plane": self.cyber_range.data_plane_stats(),
         }
+        if self.journal is not None:
+            info["journal"] = self.journal.stats()
+        return info
 
 
 class SessionManager:
@@ -365,15 +515,23 @@ class SessionManager:
         max_sessions: int = 32,
         max_per_tenant: int = 8,
         ttl_s: float = 900.0,
+        journal_dir: Optional[str] = None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self.max_sessions = max_sessions
         self.max_per_tenant = max_per_tenant
         self.ttl_s = ttl_s
+        #: When set, every session gets a write-ahead journal file here
+        #: (``<journal_dir>/<session_id>.jsonl``) and becomes restorable.
+        self.journal_dir = journal_dir
+        if journal_dir is not None:
+            Path(journal_dir).mkdir(parents=True, exist_ok=True)
         self._clock = clock
         self._sessions: dict[str, RangeSession] = {}
         #: Sessions evicted by TTL (id → idle seconds at eviction).
         self.evicted: dict[str, float] = {}
+        #: Sessions rebuilt from journals (id → restore count).
+        self.restored: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     def create(
@@ -385,42 +543,124 @@ class SessionManager:
         model: str = "",
         speed: float = DEFAULT_SPEED,
         autostart: bool = True,
+        create_spec: Optional[dict] = None,
         **session_kwargs: Any,
     ) -> RangeSession:
         """Compile a fresh range and register a session around it.
 
         ``compile_range`` is a zero-argument callable (the server binds
         the model resolution + seed into it) so the manager stays ignorant
-        of model formats.  Limits are checked *before* compiling.
+        of model formats.  Limits are checked *before* compiling.  With a
+        ``journal_dir``, ``create_spec`` (the wire create body) plus the
+        resolved seed are journaled before the session starts, making it
+        restorable via :meth:`restore`.
         """
         open_sessions = [
             s for s in self._sessions.values()
             if s.state is not SessionState.CLOSED
         ]
         if len(open_sessions) >= self.max_sessions:
-            raise ServiceError(
+            raise SessionLimitError(
                 f"session limit reached ({self.max_sessions}); close one first"
             )
         tenant_open = sum(1 for s in open_sessions if s.tenant == tenant)
         if tenant_open >= self.max_per_tenant:
-            raise ServiceError(
+            raise SessionLimitError(
                 f"tenant {tenant!r} session limit reached "
                 f"({self.max_per_tenant}); close one first"
             )
         session_id = secrets.token_hex(6)
-        session = RangeSession(
-            session_id,
-            compile_range(),
-            tenant=tenant,
-            name=name,
-            model=model,
-            speed=speed,
-            clock=self._clock,
-            **session_kwargs,
+        cyber_range = compile_range()
+        journal = None
+        if self.journal_dir is not None:
+            from repro.service.recovery import SessionJournal, journal_path
+
+            journal = SessionJournal(
+                journal_path(self.journal_dir, session_id), clock=self._clock
+            )
+            journal.record_create(
+                session_id=session_id,
+                tenant=tenant,
+                name=name,
+                model=model,
+                spec=dict(create_spec or {}),
+                seed=cyber_range.seed,
+                speed=speed,
+                max_lag_s=float(
+                    session_kwargs.get("max_lag_s", DEFAULT_MAX_LAG_S)
+                ),
+                queue_depth=int(session_kwargs.get("queue_depth", 2048)),
+                stats_period_s=float(
+                    session_kwargs.get("stats_period_s", 1.0)
+                ),
+            )
+        try:
+            session = RangeSession(
+                session_id,
+                cyber_range,
+                tenant=tenant,
+                name=name,
+                model=model,
+                speed=speed,
+                clock=self._clock,
+                journal=journal,
+                **session_kwargs,
+            )
+            self._sessions[session_id] = session
+            if autostart:
+                session.start()
+        except Exception:
+            if journal is not None:
+                journal.close()
+                journal.path.unlink(missing_ok=True)
+            self._sessions.pop(session_id, None)
+            raise
+        return session
+
+    def restore(
+        self,
+        journal: str | Path,
+        *,
+        resolver: Optional[Callable[[dict], Callable[[], CyberRange]]] = None,
+        observe: Optional[Callable[[RangeSession], None]] = None,
+    ) -> RangeSession:
+        """Rebuild a crashed/suspended session from its journal.
+
+        Re-resolves the journaled create spec to a fresh range compiler
+        (``resolver`` defaults to the server's model resolver), replays
+        the journal through ``step_until`` to the exact pre-crash virtual
+        time (digest-verified), registers the session under its original
+        id and re-attaches the journal so the restored session keeps
+        appending — a second crash restores too.  Cleanly-closed journals
+        are refused (:class:`~repro.service.recovery.RecoveryError`).
+        """
+        from repro.service.recovery import (
+            RecoveryError,
+            SessionJournal,
+            load_journal,
+            replay_session,
         )
-        self._sessions[session_id] = session
-        if autostart:
-            session.start()
+
+        state = load_journal(journal)
+        if state.session_id in self._sessions:
+            raise RecoveryError(
+                f"session {state.session_id!r} is already registered; "
+                f"close it before restoring"
+            )
+        if resolver is None:
+            from repro.service.server import default_model_resolver
+
+            resolver = default_model_resolver
+        spec = dict(state.spec)
+        spec.setdefault("seed", state.seed)
+        session = replay_session(
+            state, resolver(spec), clock=self._clock, observe=observe
+        )
+        journal_file = SessionJournal(state.path, clock=self._clock)
+        journal_file.record_restored(session.cyber_range.simulator.now)
+        session.journal = journal_file
+        self._sessions[session.id] = session
+        self.restored[session.id] = self.restored.get(session.id, 0) + 1
         return session
 
     def get(self, session_id: str, tenant: Optional[str] = None) -> RangeSession:
@@ -431,9 +671,14 @@ class SessionManager:
         """
         session = self._sessions.get(session_id)
         if session is None or (tenant is not None and session.tenant != tenant):
-            raise ServiceError(f"unknown session {session_id!r}")
+            raise UnknownSessionError(f"unknown session {session_id!r}")
         session.touch()
         return session
+
+    def forget(self, session_id: str) -> None:
+        """Drop a session from the registry without touching its journal
+        (the supervisor's restart path removes the wreck this way)."""
+        self._sessions.pop(session_id, None)
 
     def list(self, tenant: Optional[str] = None) -> list[RangeSession]:
         sessions = [
@@ -482,7 +727,7 @@ class SessionManager:
         ]
         for session in victims:
             self.evicted[session.id] = now - session.last_activity
-            session.close()
+            session.close(journal_reason="evicted")
         return victims
 
     # ------------------------------------------------------------------
@@ -501,6 +746,8 @@ class SessionManager:
             "by_state": by_state,
             "tenants": len({s.tenant for s in self._sessions.values()}),
             "evicted": len(self.evicted),
+            "restored": sum(self.restored.values()),
+            "journal_dir": self.journal_dir,
             "limits": {
                 "max_sessions": self.max_sessions,
                 "max_per_tenant": self.max_per_tenant,
@@ -508,6 +755,12 @@ class SessionManager:
             },
         }
 
-    def close_all(self) -> None:
+    def close_all(self, suspend: bool = True) -> None:
+        """Tear every session down.  Journaled sessions are *suspended*
+        (resumable on the next service start) rather than cleanly closed,
+        unless ``suspend=False`` forces the terminal record."""
         for session in self._sessions.values():
-            session.close()
+            if suspend and session.journal is not None:
+                session.suspend()
+            else:
+                session.close()

@@ -1,0 +1,225 @@
+"""Per-session supervision: failure domains, quarantine, backoff restarts.
+
+The driver loop treats every session as its own failure domain: an
+exception escaping one session's :meth:`~repro.service.session.
+RangeSession.advance` must never take the process — or a neighbour's
+pacing — down.  :class:`SessionSupervisor` owns what happens next:
+
+* **quarantine** — the wreck is frozen (paused without journaling, so a
+  restore comes back *running*) and a ``crash`` record lands in its
+  journal for the post-mortem;
+* **restart-from-journal** — after a capped exponential backoff
+  (``backoff_base_s · 2^(failures-1)``, capped at ``backoff_cap_s``) the
+  supervisor tears the wreck down and rebuilds the session from its
+  write-ahead journal via :meth:`SessionManager.restore` — deterministic
+  replay to the last durable boundary, same session id.  Transient
+  poison (a one-off event injected outside the journaled inputs) simply
+  does not exist in the replay; deterministic poison crashes again,
+  failures accumulate, and after ``max_restarts`` the session is marked
+  ``failed`` and left quarantined;
+* **health** — every session carries a supervision state
+  (``healthy → quarantined → restarting → healthy`` or ``failed``) plus
+  heartbeat (seconds since its last clean slice), surfaced on
+  ``GET /v1/sessions`` and ``/healthz``.
+
+Sessions without a journal can only be quarantined (``failed`` after the
+first crash) — exactly the pre-supervision pause-and-forget behaviour,
+but visible.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.service.session import RangeSession, SessionManager
+
+DEFAULT_BACKOFF_BASE_S = 0.5
+DEFAULT_BACKOFF_CAP_S = 30.0
+DEFAULT_MAX_RESTARTS = 5
+
+
+class HealthState(str, enum.Enum):
+    HEALTHY = "healthy"
+    QUARANTINED = "quarantined"
+    RESTARTING = "restarting"
+    FAILED = "failed"
+
+
+@dataclass
+class SupervisedEntry:
+    """Supervision record for one session id."""
+
+    session_id: str
+    state: HealthState = HealthState.HEALTHY
+    #: Consecutive failures since the last clean slice.
+    failures: int = 0
+    #: Successful restarts over the session's lifetime.
+    restarts: int = 0
+    last_error: str = ""
+    last_ok_wall: float = 0.0
+    #: Wall time the next restart attempt is due (None = not scheduled).
+    next_restart_wall: Optional[float] = None
+
+    def health(self, wall_now: float) -> dict:
+        info = {
+            "state": self.state.value,
+            "failures": self.failures,
+            "restarts": self.restarts,
+            "heartbeat_s": round(max(0.0, wall_now - self.last_ok_wall), 3),
+        }
+        if self.last_error:
+            info["last_error"] = self.last_error
+        if self.next_restart_wall is not None:
+            info["restart_in_s"] = round(
+                max(0.0, self.next_restart_wall - wall_now), 3
+            )
+        return info
+
+
+class SessionSupervisor:
+    """Crash quarantine + capped-backoff restart-from-journal."""
+
+    def __init__(
+        self,
+        manager: SessionManager,
+        *,
+        restore: Optional[Callable[[RangeSession], RangeSession]] = None,
+        backoff_base_s: float = DEFAULT_BACKOFF_BASE_S,
+        backoff_cap_s: float = DEFAULT_BACKOFF_CAP_S,
+        max_restarts: int = DEFAULT_MAX_RESTARTS,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.manager = manager
+        #: Rebuilds a crashed session (the server binds journal + model
+        #: resolver in here).  ``None`` disables restarts: crashes jump
+        #: straight to ``failed``.
+        self._restore = restore
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.max_restarts = max_restarts
+        self._clock = clock
+        self._entries: dict[str, SupervisedEntry] = {}
+        #: Lifetime counters.
+        self.crashes_seen = 0
+        self.restarts_done = 0
+
+    # ------------------------------------------------------------------
+    def _entry(self, session_id: str) -> SupervisedEntry:
+        entry = self._entries.get(session_id)
+        if entry is None:
+            entry = SupervisedEntry(session_id, last_ok_wall=self._clock())
+            self._entries[session_id] = entry
+        return entry
+
+    def record_ok(self, session_id: str, wall_now: float) -> None:
+        """Heartbeat: one clean driver slice for this session."""
+        entry = self._entry(session_id)
+        entry.last_ok_wall = wall_now
+        if entry.state is HealthState.HEALTHY:
+            entry.failures = 0
+
+    def record_failure(
+        self, session: RangeSession, exc: BaseException, wall_now: float
+    ) -> SupervisedEntry:
+        """A session's slice raised: journal the crash, quarantine it,
+        and schedule a backoff restart (if it has a journal to restart
+        from)."""
+        self.crashes_seen += 1
+        entry = self._entry(session.id)
+        entry.failures += 1
+        entry.last_error = f"{type(exc).__name__}: {exc}"
+        if session.journal is not None:
+            try:
+                session.journal.record_crash(
+                    session.cyber_range.simulator.now, entry.last_error
+                )
+            except OSError:
+                pass
+        try:
+            session.pause(journal=False)
+        except Exception:
+            pass  # a wreck that cannot even pause is still quarantined
+        restartable = (
+            self._restore is not None
+            and session.journal is not None
+            and entry.failures <= self.max_restarts
+        )
+        if restartable:
+            entry.state = HealthState.QUARANTINED
+            backoff = min(
+                self.backoff_cap_s,
+                self.backoff_base_s * (2 ** (entry.failures - 1)),
+            )
+            entry.next_restart_wall = wall_now + backoff
+        else:
+            entry.state = HealthState.FAILED
+            entry.next_restart_wall = None
+        return entry
+
+    # ------------------------------------------------------------------
+    def due_restarts(self, wall_now: float) -> list[str]:
+        return [
+            entry.session_id
+            for entry in self._entries.values()
+            if entry.state is HealthState.QUARANTINED
+            and entry.next_restart_wall is not None
+            and wall_now >= entry.next_restart_wall
+        ]
+
+    def attempt_restart(self, session_id: str) -> Optional[RangeSession]:
+        """Tear the wreck down and rebuild it from its journal.
+
+        On success the entry goes back to ``healthy`` (restart counter
+        up, failure streak kept so a crash-loop keeps escalating its
+        backoff until a full heartbeat clears it).  On failure the entry
+        re-enters quarantine with a longer backoff, or ``failed`` once
+        ``max_restarts`` is exhausted.
+        """
+        entry = self._entries.get(session_id)
+        wreck = self.manager._sessions.get(session_id)
+        if entry is None or wreck is None or self._restore is None:
+            return None
+        entry.state = HealthState.RESTARTING
+        entry.next_restart_wall = None
+        try:
+            session = self._restore(wreck)
+        except Exception as exc:
+            entry.failures += 1
+            entry.last_error = f"restart failed: {type(exc).__name__}: {exc}"
+            if entry.failures <= self.max_restarts:
+                entry.state = HealthState.QUARANTINED
+                backoff = min(
+                    self.backoff_cap_s,
+                    self.backoff_base_s * (2 ** (entry.failures - 1)),
+                )
+                entry.next_restart_wall = self._clock() + backoff
+            else:
+                entry.state = HealthState.FAILED
+            return None
+        entry.state = HealthState.HEALTHY
+        entry.restarts += 1
+        entry.last_ok_wall = self._clock()
+        self.restarts_done += 1
+        return session
+
+    # ------------------------------------------------------------------
+    def health(self, session_id: str, wall_now: Optional[float] = None) -> dict:
+        wall = self._clock() if wall_now is None else wall_now
+        return self._entry(session_id).health(wall)
+
+    def forget(self, session_id: str) -> None:
+        self._entries.pop(session_id, None)
+
+    def summary(self) -> dict:
+        by_state: dict[str, int] = {}
+        for entry in self._entries.values():
+            by_state[entry.state.value] = by_state.get(entry.state.value, 0) + 1
+        return {
+            "supervised": len(self._entries),
+            "by_state": by_state,
+            "crashes_seen": self.crashes_seen,
+            "restarts_done": self.restarts_done,
+        }

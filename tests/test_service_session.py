@@ -78,6 +78,28 @@ def test_broker_detach_stops_delivery(session):
     assert not subscription.take()
 
 
+def test_stalled_consumer_drops_counted_per_channel(session):
+    """A stalled subscriber loses the oldest events of *its* queue only,
+    with per-channel accounting; a healthy subscriber sees everything."""
+    stalled = session.broker.subscribe(["points", "stats"], depth=10)
+    healthy = session.broker.subscribe(["points", "stats"])
+    session.start()
+    session.cyber_range.run_for(3.0)
+    # the stalled consumer never calls take(): oldest events evicted
+    assert stalled.dropped > 0
+    assert sum(stalled.dropped_by_channel.values()) == stalled.dropped
+    assert stalled.dropped_by_channel.get("points", 0) > 0
+    # the healthy subscriber on the same broker lost nothing
+    assert healthy.dropped == 0 and healthy.dropped_by_channel == {}
+    assert len(healthy.take()) == (
+        session.broker.published["points"] + session.broker.published["stats"]
+    )
+    # broker-level stats aggregate the per-channel loss
+    broker_stats = session.broker.stats()
+    assert broker_stats["dropped_total"] == stalled.dropped
+    assert broker_stats["dropped_by_channel"] == stalled.dropped_by_channel
+
+
 def test_subscription_notify_fires_on_delivery(session):
     pokes = []
     subscription = session.broker.subscribe(["points"])
@@ -142,6 +164,28 @@ def test_session_lag_reanchors_instead_of_catching_up(compile_epic):
     assert session.lag_resets == 1
     assert result.done
     assert session.cyber_range.simulator.now < 2 * SECOND
+    session.close()
+
+
+def test_session_reanchors_on_every_repeated_stall(compile_epic):
+    """Injected wall-clock stalls: each one re-anchors (bounded catch-up)
+    instead of accumulating virtual debt."""
+    wall = [0.0]
+    session = RangeSession(
+        "stally", compile_epic(), speed=1.0, max_lag_s=1.0,
+        clock=lambda: wall[0],
+    )
+    session.start()
+    for stall in range(1, 4):
+        wall[0] += 30.0  # a 30 s GC-pause-style stall
+        start_virtual = session.cyber_range.simulator.now
+        while not session.advance(wall[0], max_events=10_000).done:
+            pass
+        assert session.lag_resets == stall
+        # after re-anchoring the session caught up at most max_lag_s,
+        # never the 30 virtual seconds the stall "owes"
+        advanced = session.cyber_range.simulator.now - start_virtual
+        assert advanced <= 1.0 * SECOND
     session.close()
 
 
