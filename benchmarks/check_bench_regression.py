@@ -21,6 +21,15 @@ and fails on a regression at any compared point:
   from the recovery bench) may grow at most 50%.  Wall-clock like
   ``wall_per_sim_s``, so ``--no-wall`` skips it too; the recovery bench
   itself enforces the absolute ≥50 sim-s/wall-s floor on every run.
+* ``scenarios_per_minute`` (sharded campaign throughput) is
+  **higher-is-better**: it may *shrink* at most 33% (the gate compares
+  ``old/new`` against the same 1.50 band).  Absolute wall throughput, so
+  ``--no-wall`` skips it.
+* ``campaign_speedup_x`` (per-run wall sum over sweep wall — the process
+  pool's parallel speedup) is also higher-is-better with the 1.50 band.
+  Like ``netem_deliver_share`` it is a same-run ratio of two walls, so it
+  survives ``--no-wall``: a sweep that quietly serialised fails the gate
+  on any runner.
 
 CI runs the smoke sweep (1-2 substations), so those are the default keys.
 
@@ -44,7 +53,17 @@ THRESHOLDS = {
     "wall_per_sim_s": 1.50,
     "netem_deliver_share": 1.50,
     "replay_wall_per_sim_s": 1.50,
+    "scenarios_per_minute": 1.50,
+    "campaign_speedup_x": 1.50,
 }
+
+#: Metrics where *larger* is better: the gate inverts the ratio
+#: (``old/new``) so the same threshold bands a shrink instead of a growth.
+HIGHER_IS_BETTER = {"scenarios_per_minute", "campaign_speedup_x"}
+
+#: Wall-clock-dependent metrics skipped by ``--no-wall`` (absolute times
+#: or throughputs that only compare on the baseline's hardware).
+WALL_METRICS = {"wall_per_sim_s", "replay_wall_per_sim_s", "scenarios_per_minute"}
 
 #: Baseline ``netem_deliver_wall_s`` below which the share gate is noise.
 DELIVER_NOISE_FLOOR_S = 0.002
@@ -71,8 +90,8 @@ def main(argv: list[str]) -> int:
     args = [arg for arg in argv[1:] if arg != "--no-wall"]
     metrics = dict(THRESHOLDS)
     if "--no-wall" in argv:
-        metrics.pop("wall_per_sim_s")
-        metrics.pop("replay_wall_per_sim_s")
+        for metric in WALL_METRICS:
+            metrics.pop(metric, None)
     if len(args) < 2:
         print(__doc__)
         return 2
@@ -117,8 +136,14 @@ def main(argv: list[str]) -> int:
                     # Sub-5ms walls are measurement noise, not signal.
                     print(f"{key:>14}  {metric:>14}  {old:>10.4f}  (below noise floor — skipped)")
                     continue
-                new = float(current[key].get(metric, float("inf")))
-            ratio = new / old if old > 0 else float("inf")
+                # Missing from the current run must read as a regression
+                # in either direction.
+                worst = 0.0 if metric in HIGHER_IS_BETTER else float("inf")
+                new = float(current[key].get(metric, worst))
+            if metric in HIGHER_IS_BETTER:
+                ratio = old / new if new > 0 else float("inf")
+            else:
+                ratio = new / old if old > 0 else float("inf")
             verdict = "REGRESSION" if ratio > threshold else "ok"
             print(
                 f"{key:>14}  {metric:>14}  {old:>10.4f}  {new:>10.4f}  "

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Determinism differential between two campaign report JSONs.
+
+The sharding contract (``docs/scenarios.md``): a sharded sweep and a
+serial sweep of the same campaign produce **field-for-field identical**
+per-scenario results — only wall-clock fields may differ.  CI enforces it
+end to end by running ``sgml campaign`` twice (``--workers 2`` and
+``--workers 1``) and feeding both ``--report`` files through this script:
+
+    PYTHONPATH=src python scripts/campaign_differential.py \\
+        serial-report.json sharded-report.json
+
+Exit code 1 lists every diverging field (member sets, seeds, outcomes,
+branch paths, data-plane counters...); exit 0 prints the matched member
+count.  Comparison logic is :func:`repro.scenario.sharding.differential`
+— the same function the test suite pins — so CI and the tests cannot
+drift apart on what "identical" means.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.scenario.sharding import differential
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 3:
+        print(__doc__)
+        return 2
+    with open(argv[1], encoding="utf-8") as handle:
+        serial = json.load(handle)
+    with open(argv[2], encoding="utf-8") as handle:
+        sharded = json.load(handle)
+    for label, report in (("serial", serial), ("sharded", sharded)):
+        if "scenarios" not in report:
+            print(f"{label} file {argv[1:][0]}: not a campaign report "
+                  f"(no 'scenarios' key)")
+            return 2
+    problems = differential(serial["scenarios"], sharded["scenarios"])
+    if problems:
+        print("campaign determinism differential FAILED:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    names = sorted(r["name"] for r in serial["scenarios"])
+    print(
+        f"campaign determinism differential passed: "
+        f"{len(names)} scenarios identical "
+        f"(serial workers={serial.get('workers', 1)} vs "
+        f"sharded workers={sharded.get('workers', 1)})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

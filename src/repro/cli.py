@@ -8,6 +8,9 @@ Usage::
     sgml scenario <model-dir> <spec> [--dry-run] [--report out.json]
     sgml campaign <model-dir> [--specs DIR | --families a,b] [--dry-run]
                   [--report out.json] [--reuse-range] [--sites N]
+                  [--workers N] [--per-run-timeout S]
+    sgml campaign --matrix epic,scaleout [--families a,b] [--workers N]
+                  [--report out.json]
     sgml epic <output-dir>             # generate the EPIC demo model
     sgml scaleout <output-dir> [--substations N] [--ieds M]
     sgml serve [--host H] [--port P] [--max-sessions N] [--ttl S]
@@ -108,6 +111,33 @@ def main(argv: list[str] | None = None) -> int:
     p_campaign.add_argument(
         "--list-families", action="store_true",
         help="list the built-in catalog families and exit",
+    )
+    p_campaign.add_argument(
+        "--workers", type=int, default=0,
+        help="process-pool width for fresh-range sweeps (0 = auto: one "
+             "per CPU; 1 = the exact serial path; forced to 1 with "
+             "--reuse-range and --dry-run)",
+    )
+    p_campaign.add_argument(
+        "--per-run-timeout", type=float, default=None, metavar="S",
+        help="per-scenario wall-clock budget in sharded sweeps; a run "
+             "over budget becomes a structured failed result",
+    )
+    p_campaign.add_argument(
+        "--matrix", default="",
+        help="comma-separated model sets to sweep in one matrix run: "
+             "'epic', 'scaleout' (generated on the fly) or model "
+             "directories; replaces the positional model_dir",
+    )
+    p_campaign.add_argument(
+        "--scaleout-substations", type=int, default=5,
+        help="substations for the generated 'scaleout' matrix entry "
+             "(default 5)",
+    )
+    p_campaign.add_argument(
+        "--scaleout-ieds", type=int, default=104,
+        help="total IEDs for the generated 'scaleout' matrix entry "
+             "(default 104)",
     )
 
     p_epic = sub.add_parser("epic", help="generate the EPIC demo model set")
@@ -225,6 +255,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         for family in FAMILIES.values():
             print(f"{family.name}: {family.description}")
         return 0
+    if args.command == "campaign" and args.matrix:
+        return _run_matrix(args)
     if args.command == "campaign" and not args.model_dir:
         print("error: campaign needs a model directory", file=sys.stderr)
         return 1
@@ -468,32 +500,112 @@ def _run_scenario(model: SgmlModelSet, args: argparse.Namespace) -> int:
     return 0 if run.passed else 1
 
 
+def _campaign_families(args: argparse.Namespace):
+    return [
+        name.strip() for name in args.families.split(",") if name.strip()
+    ] or None
+
+
+def _campaign_workers(args: argparse.Namespace) -> int:
+    """Resolve ``--workers``: 0 = auto (one per CPU); sequential modes 1."""
+    import os
+
+    if args.reuse_range or getattr(args, "dry_run", False):
+        return 1
+    if args.workers and args.workers > 0:
+        return args.workers
+    return os.cpu_count() or 1
+
+
 def _run_campaign(model: SgmlModelSet, args: argparse.Namespace) -> int:
     """Build the sweep (catalog or spec dir), validate or run, report."""
-    from repro.scenario import Campaign
+    from repro.scenario import Campaign, ShardedCampaign
 
     kwargs = {"reuse_range": bool(args.reuse_range)}
     if args.specs:
         campaign = Campaign.from_spec_dir(model, args.specs, **kwargs)
     else:
-        families = [
-            name.strip() for name in args.families.split(",") if name.strip()
-        ] or None
         campaign = Campaign.from_catalog(
-            model, families=families, max_sites=max(1, args.sites), **kwargs
+            model,
+            families=_campaign_families(args),
+            max_sites=max(1, args.sites),
+            **kwargs,
         )
     if args.dry_run:
         report = campaign.dry_run()
     else:
+        workers = _campaign_workers(args)
         print(
             f"running campaign: {len(campaign.scenarios)} scenarios, "
-            f"{'reused' if args.reuse_range else 'fresh'} range per run ..."
+            f"{'reused' if args.reuse_range else 'fresh'} range per run, "
+            f"{workers} worker{'s' if workers != 1 else ''} ..."
         )
-        report = campaign.run()
+        report = ShardedCampaign(
+            campaign,
+            workers=workers,
+            per_run_timeout_s=args.per_run_timeout,
+        ).run()
     print(report.summary())
     if args.report:
         report.write_json(args.report)
         print(f"aggregate report written to {args.report}")
+    return 0 if report.passed else 1
+
+
+def _run_matrix(args: argparse.Namespace) -> int:
+    """Cross-model matrix sweep: model sets x families in one report."""
+    import os
+    import tempfile
+
+    from repro.scenario.sharding import run_matrix
+
+    if args.dry_run or args.reuse_range or args.specs:
+        print(
+            "error: --matrix sweeps generated catalogs on fresh ranges; "
+            "it does not combine with --dry-run, --reuse-range or --specs",
+            file=sys.stderr,
+        )
+        return 1
+    model_sets = []
+    for token in (t.strip() for t in args.matrix.split(",")):
+        if not token:
+            continue
+        if token == "epic":
+            directory = generate_epic_model(
+                tempfile.mkdtemp(prefix="sgml-matrix-epic-")
+            )
+        elif token == "scaleout":
+            directory = generate_scaleout_model(
+                tempfile.mkdtemp(prefix="sgml-matrix-scaleout-"),
+                substations=args.scaleout_substations,
+                total_ieds=args.scaleout_ieds,
+            )
+        elif os.path.isdir(token):
+            directory = token
+        else:
+            print(
+                f"error: matrix entry {token!r} is neither a builtin "
+                f"(epic, scaleout) nor a model directory",
+                file=sys.stderr,
+            )
+            return 1
+        model_sets.append((token, SgmlModelSet.from_directory(directory)))
+    workers = _campaign_workers(args)
+    print(
+        f"running matrix sweep: {len(model_sets)} model sets, "
+        f"{workers} worker{'s' if workers != 1 else ''} ..."
+    )
+    report = run_matrix(
+        model_sets,
+        families=_campaign_families(args),
+        max_sites=max(1, args.sites),
+        workers=workers,
+        per_run_timeout_s=args.per_run_timeout,
+    )
+    print(report.summary())
+    if args.report:
+        report.write_json(args.report)
+        print(f"matrix report written to {args.report}")
     return 0 if report.passed else 1
 
 

@@ -73,6 +73,14 @@ from repro.scenario.engine import (
     ScenarioRunError,
 )
 from repro.scenario.scenario import Phase, Scenario, ScenarioError
+from repro.scenario.sharding import (
+    MatrixReport,
+    ShardedCampaign,
+    aggregate_results,
+    derive_seed,
+    run_matrix,
+    run_one,
+)
 from repro.scenario.triggers import (
     AfterTrigger,
     AllOfTrigger,
@@ -109,6 +117,7 @@ __all__ = [
     "Condition",
     "ConditionError",
     "InjectBreakerAction",
+    "MatrixReport",
     "MitmSpoofAction",
     "OperateAction",
     "Outcome",
@@ -121,21 +130,26 @@ __all__ = [
     "ScenarioError",
     "ScenarioRun",
     "ScenarioRunError",
+    "ShardedCampaign",
     "Trigger",
     "TriggerError",
     "WhenTrigger",
     "WritePointAction",
     "action_from_spec",
     "after",
+    "aggregate_results",
     "all_conditions",
     "all_of",
     "any_condition",
     "any_of",
     "at",
+    "derive_seed",
     "is_false",
     "is_true",
     "outcome_from_spec",
     "parse_condition",
     "point",
+    "run_matrix",
+    "run_one",
     "when",
 ]
