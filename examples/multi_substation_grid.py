@@ -60,8 +60,10 @@ def main() -> None:
 
     # --- quick scalability sanity check ------------------------------
     print("\nwall-clock cost of one simulated second at this scale:")
+    # sgml: lint-ok[det-wallclock] wall accounting
     start = time.perf_counter()
     cyber_range.run_for(1.0)
+    # sgml: lint-ok[det-wallclock] wall accounting
     print(f"  {time.perf_counter() - start:.3f} s "
           "(< 1.0 → real-time capable, cf. paper §IV-A)")
 

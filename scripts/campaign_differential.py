@@ -20,12 +20,34 @@ drift apart on what "identical" means.
 from __future__ import annotations
 
 import json
+import multiprocessing
 import sys
 
 from repro.scenario.sharding import differential
 
+#: Distinct exit code (EX_TEMPFAIL) for "this environment cannot run the
+#: check" — CI treats it as a legible skip, not a determinism failure.
+EXIT_SKIP_NO_FORK = 75
+
+
+def require_fork() -> int | None:
+    """The sharded sweep this differential validates uses ``fork`` workers
+    (the serial==sharded contract is only pinned on that path).  Without
+    it, skip with one line and a distinct code instead of failing mid-run.
+    """
+    if "fork" not in multiprocessing.get_all_start_methods():
+        print(
+            "SKIP: environment lacks the 'fork' start method (non-Linux?); "
+            "the sharded-campaign determinism differential is fork-only"
+        )
+        return EXIT_SKIP_NO_FORK
+    return None
+
 
 def main(argv: list[str]) -> int:
+    skip = require_fork()
+    if skip is not None:
+        return skip
     if len(argv) != 3:
         print(__doc__)
         return 2

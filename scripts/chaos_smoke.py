@@ -46,6 +46,25 @@ from repro.service.client import ServiceClient  # noqa: E402
 
 WAIT_S = 30.0
 
+#: Distinct exit code (EX_TEMPFAIL) for "this environment cannot run the
+#: harness" — CI treats it as a legible skip, not a chaos failure.
+EXIT_SKIP_NO_FORK = 75
+
+
+def require_fork() -> int | None:
+    """The harness SIGKILLs a forked server and asserts POSIX process
+    semantics; without the ``fork`` start method (non-Linux), skip with
+    one line and a distinct code instead of failing mid-run."""
+    import multiprocessing
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        print(
+            "SKIP: environment lacks the 'fork' start method (non-Linux?); "
+            "the crash-recovery chaos harness needs POSIX fork/SIGKILL"
+        )
+        return EXIT_SKIP_NO_FORK
+    return None
+
 
 def _step(message: str) -> None:
     print(f"[chaos] {message}", flush=True)
@@ -109,6 +128,9 @@ def _strip_wall(report: dict) -> dict:
 
 
 def main() -> int:
+    skip = require_fork()
+    if skip is not None:
+        return skip
     if len(sys.argv) != 2:
         print(__doc__)
         return 2

@@ -33,6 +33,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_DOCS = [
     "README.md",
     "ROADMAP.md",
+    "docs/analysis.md",
     "docs/architecture.md",
     "docs/scenarios.md",
     "docs/service.md",

@@ -1,0 +1,80 @@
+"""Static analysis for the SG-ML toolchain (``sgml lint``).
+
+Three passes make the repo's determinism and liveness invariants cheap
+and local instead of runtime-differential-enforced:
+
+* :mod:`repro.analysis.determinism` — nondeterminism hazards in
+  simulation-path modules (wall clocks, unseeded RNG, builtin ``hash``,
+  set-iteration order, unflushed journal writes);
+* :mod:`repro.analysis.asynchazards` — event-loop blockers and dropped
+  coroutines in :mod:`repro.service`;
+* :mod:`repro.analysis.specs` — scenario-spec graph and target checks
+  beyond ``validate_graph`` (reachability, dead cycles, gate-only
+  cycles, model-inventory target existence).
+
+:mod:`repro.analysis.findings` carries the shared currency — structured
+:class:`Finding` records, ``# sgml: lint-ok[rule]`` inline suppressions,
+the committed baseline — and :mod:`repro.analysis.engine` orchestrates a
+run into one :class:`LintReport` (the CI artifact + exit-code gate).
+See ``docs/analysis.md`` for the rule catalog and workflows.
+"""
+
+from repro.analysis.asynchazards import check_async_hazards
+from repro.analysis.determinism import check_determinism
+from repro.analysis.engine import (
+    BUILTIN_CATALOGS,
+    DEFAULT_BASELINE,
+    build_inventory,
+    builtin_inventory,
+    iter_python_files,
+    lint_catalog,
+    lint_source_paths,
+    lint_source_text,
+    lint_spec_paths,
+    module_path,
+    run_lint,
+)
+from repro.analysis.findings import (
+    AnalysisError,
+    Finding,
+    LintReport,
+    fingerprint_findings,
+    is_suppressed,
+    load_baseline,
+    make_finding,
+    parse_suppressions,
+    write_baseline,
+)
+from repro.analysis.specs import (
+    analyze_spec,
+    analyze_spec_file,
+    inventory_targets,
+)
+
+__all__ = [
+    "AnalysisError",
+    "BUILTIN_CATALOGS",
+    "DEFAULT_BASELINE",
+    "Finding",
+    "LintReport",
+    "analyze_spec",
+    "analyze_spec_file",
+    "build_inventory",
+    "builtin_inventory",
+    "check_async_hazards",
+    "check_determinism",
+    "fingerprint_findings",
+    "inventory_targets",
+    "is_suppressed",
+    "iter_python_files",
+    "lint_catalog",
+    "lint_source_paths",
+    "lint_source_text",
+    "lint_spec_paths",
+    "load_baseline",
+    "make_finding",
+    "module_path",
+    "parse_suppressions",
+    "run_lint",
+    "write_baseline",
+]

@@ -1,0 +1,235 @@
+"""Async-hazard detector: event-loop blockers and dropped coroutines.
+
+:mod:`repro.service` runs every tenant on one asyncio loop; a single
+blocking call inside an ``async def`` stalls *all* sessions (pacing,
+heartbeats, the supervisor's crash detection).  Dropped coroutines are
+the quieter failure: an un-awaited ``self._send(...)`` never runs and
+Python only mentions it in a destructor warning nobody reads.  These are
+classic review-time misses, so the lint pass mechanizes them.
+
+Rules:
+
+``async-blocking-call``
+    A known blocking call inside an ``async def``: ``time.sleep``,
+    synchronous socket ops (``socket.socket``, ``.accept()``/``.recv()``
+    on sockets), ``subprocess.run`` / ``check_output`` / ``call`` /
+    ``Popen(...).wait()``, ``os.system``, executor
+    ``.submit(...).result()`` (blocking on a future defeats the point of
+    the pool), bare ``.result()`` / ``.join()`` on futures/processes,
+    ``input()``, ``requests.*`` and ``urllib.request.urlopen``.  Builtin
+    ``open()`` + ``.read()``/``.write()`` on files are *not* flagged —
+    the service layer does small config reads deliberately and local
+    file I/O latency is accepted there; the journal's write-path
+    blocking is a recovery-layer decision, not an accident.
+``async-unawaited-coroutine``
+    A call whose target is an ``async def`` *defined in the same
+    module*, appearing as a bare expression statement (not awaited, not
+    gathered, not passed to ``create_task`` / ``ensure_future`` /
+    ``gather`` / ``wait`` / ``run``).  Same-module scope keeps the rule
+    zero-false-positive: we never guess about imported names.
+
+Both rules only ever fire inside ``async def`` bodies, so the pass is
+safe to run over the whole tree — synchronous modules are untouched.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.findings import Finding, make_finding
+
+#: ``module.attr`` spellings that block the loop.
+_BLOCKING_MODULE_CALLS = {
+    ("time", "sleep"): "time.sleep() blocks the event loop",
+    ("os", "system"): "os.system() blocks the event loop",
+    ("subprocess", "run"): "subprocess.run() blocks the event loop",
+    ("subprocess", "call"): "subprocess.call() blocks the event loop",
+    ("subprocess", "check_call"):
+        "subprocess.check_call() blocks the event loop",
+    ("subprocess", "check_output"):
+        "subprocess.check_output() blocks the event loop",
+    ("socket", "create_connection"):
+        "socket.create_connection() blocks the event loop",
+    ("socket", "getaddrinfo"): "socket.getaddrinfo() blocks the event loop",
+    ("requests", "get"): "requests.get() blocks the event loop",
+    ("requests", "post"): "requests.post() blocks the event loop",
+    ("requests", "request"): "requests.request() blocks the event loop",
+    ("urllib", "urlopen"): "urllib.request.urlopen() blocks the event loop",
+}
+
+#: Method names that block when called on any receiver inside async code.
+#: Restricted to names that are unambiguous blockers in this codebase:
+#: concurrent.futures Future.result(), Thread/Process.join(), and the
+#: socket accept/recv family (asyncio code never spells these directly —
+#: it goes through loop.sock_* or streams).
+_BLOCKING_METHODS = {
+    "result": "blocking .result() on a future stalls the event loop",
+    "join": "blocking .join() stalls the event loop",
+    "accept": "synchronous socket .accept() blocks the event loop",
+    "recv": "synchronous socket .recv() blocks the event loop",
+    "recvfrom": "synchronous socket .recvfrom() blocks the event loop",
+    "sendall": "synchronous socket .sendall() blocks the event loop",
+    "wait_for_completion":
+        "blocking .wait_for_completion() stalls the event loop",
+}
+
+#: Method names exempted when the receiver is obviously asyncio-native:
+#: ``await fut.result()`` is not a thing, but ``task.result()`` *after*
+#: an await/gather is fine and common.  We only flag ``.result()`` when
+#: it is chained directly onto ``.submit(...)`` — the unambiguous
+#: "submit to a pool then block on it" anti-pattern — plus `.join()` on
+#: non-string receivers.
+_HINT = (
+    "await an async equivalent (asyncio.sleep, loop.run_in_executor, "
+    "asyncio streams) or move the work off the loop"
+)
+
+
+def _asyncio_wrapped(call: ast.Call, parents: dict[int, ast.AST]) -> bool:
+    """Is this call consumed by create_task/ensure_future/gather/...?"""
+    parent = parents.get(id(call))
+    while isinstance(parent, (ast.Starred, ast.keyword)):
+        parent = parents.get(id(parent))
+    if isinstance(parent, ast.Call):
+        func = parent.func
+        name = ""
+        if isinstance(func, ast.Attribute):
+            name = func.attr
+        elif isinstance(func, ast.Name):
+            name = func.id
+        return name in (
+            "create_task", "ensure_future", "gather", "wait", "wait_for",
+            "run", "run_coroutine_threadsafe", "shield", "timeout",
+        )
+    return False
+
+
+def _build_parents(tree: ast.AST) -> dict[int, ast.AST]:
+    parents: dict[int, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[id(child)] = node
+    return parents
+
+
+def _context_line(lines: list[str], lineno: int) -> str:
+    if 1 <= lineno <= len(lines):
+        return lines[lineno - 1].strip()
+    return ""
+
+
+def check_async_hazards(
+    module: str, tree: ast.AST, lines: list[str]
+) -> list[Finding]:
+    """Run the async-hazard rules over one parsed module."""
+    findings: list[Finding] = []
+    parents = _build_parents(tree)
+
+    # Every async def defined anywhere in this module, by name.  Methods
+    # and functions share the namespace deliberately: `self._drive()` and
+    # `_drive()` both resolve by attr/name.
+    local_coroutines: set[str] = {
+        node.name
+        for node in ast.walk(tree)
+        if isinstance(node, ast.AsyncFunctionDef)
+    }
+
+    def emit(rule: str, message: str, node: ast.AST, hint: str) -> None:
+        findings.append(make_finding(
+            rule, message,
+            path=module,
+            line=getattr(node, "lineno", 0),
+            severity="error",
+            hint=hint,
+            context=_context_line(lines, getattr(node, "lineno", 0)),
+        ))
+
+    for func in ast.walk(tree):
+        if not isinstance(func, ast.AsyncFunctionDef):
+            continue
+        for node in ast.walk(func):
+            if isinstance(node, ast.AsyncFunctionDef) and node is not func:
+                continue  # nested async defs are walked in their own turn
+            if not isinstance(node, ast.Call):
+                continue
+            _check_blocking(emit, func, node, parents)
+            _check_unawaited(emit, func, node, parents, local_coroutines)
+    return findings
+
+
+def _check_blocking(
+    emit, func: ast.AsyncFunctionDef, call: ast.Call,
+    parents: dict[int, ast.AST],
+) -> None:
+    node = call.func
+    if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+        key = (node.value.id, node.attr)
+        if key in _BLOCKING_MODULE_CALLS:
+            emit(
+                "async-blocking-call",
+                f"{_BLOCKING_MODULE_CALLS[key]} (inside async "
+                f"def {func.name})",
+                call, _HINT,
+            )
+            return
+    if isinstance(node, ast.Attribute):
+        # submit(...).result() — the executor anti-pattern.
+        if (
+            node.attr == "result"
+            and isinstance(node.value, ast.Call)
+            and isinstance(node.value.func, ast.Attribute)
+            and node.value.func.attr == "submit"
+        ):
+            emit(
+                "async-blocking-call",
+                f".submit(...).result() blocks the event loop on a pool "
+                f"future (inside async def {func.name})",
+                call, "await loop.run_in_executor(pool, fn, *args) instead",
+            )
+            return
+        if node.attr in _BLOCKING_METHODS and node.attr not in (
+            "result", "join",
+        ):
+            emit(
+                "async-blocking-call",
+                f"{_BLOCKING_METHODS[node.attr]} (inside async "
+                f"def {func.name})",
+                call, _HINT,
+            )
+            return
+    if isinstance(node, ast.Name) and node.id == "input":
+        emit(
+            "async-blocking-call",
+            f"input() blocks the event loop (inside async def {func.name})",
+            call, _HINT,
+        )
+
+
+def _check_unawaited(
+    emit, func: ast.AsyncFunctionDef, call: ast.Call,
+    parents: dict[int, ast.AST], local_coroutines: set[str],
+) -> None:
+    node = call.func
+    name = ""
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    if name not in local_coroutines:
+        return
+    parent = parents.get(id(call))
+    if isinstance(parent, ast.Await):
+        return
+    if _asyncio_wrapped(call, parents):
+        return
+    # Only flag the unambiguous drop: the coroutine call as a bare
+    # expression statement.  Assignments may legitimately hold the
+    # coroutine object for a later gather.
+    if isinstance(parent, ast.Expr):
+        emit(
+            "async-unawaited-coroutine",
+            f"coroutine {name}() is called but never awaited — it will "
+            f"not run",
+            call,
+            "await it, or hand it to asyncio.create_task/gather",
+        )

@@ -1,0 +1,194 @@
+"""Lint orchestration: file walking, suppression filtering, baselines.
+
+This is the layer behind ``sgml lint``: it classifies each input, runs
+the right passes, folds inline suppressions and the committed baseline
+in, and produces one :class:`~repro.analysis.findings.LintReport` whose
+``failed`` flag is the process exit code.
+
+Inputs it understands:
+
+* **Python files / directories** — parsed once with :mod:`ast`, then run
+  through the determinism pass (:mod:`repro.analysis.determinism`) and
+  the async-hazard pass (:mod:`repro.analysis.asynchazards`).  Paths are
+  normalized to a ``repro/...``-rooted module path (taken from the *last*
+  ``repro`` path segment) so allowlist classification works on copies of
+  the tree (tmp dirs, worktrees) exactly as on ``src/repro``.
+* **Scenario spec files** (``--spec``) — JSON/YAML dicts through the
+  spec analyzer (:mod:`repro.analysis.specs`), optionally against a
+  :class:`ModelInventory` for target-existence checks.
+* **Builtin catalogs** (``--catalog epic|scaleout``) — the model set is
+  generated into a temp dir, its inventory built, and every generated
+  :class:`CatalogEntry` analyzed against that same inventory.
+
+A file that does not parse is itself a finding (``parse-error``), not a
+crash: the lint gate must not be bypassable by committing a syntax error.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Any, Iterable, Optional
+
+from repro.analysis.asynchazards import check_async_hazards
+from repro.analysis.determinism import check_determinism
+from repro.analysis.findings import (
+    AnalysisError,
+    Finding,
+    LintReport,
+    is_suppressed,
+    load_baseline,
+    make_finding,
+    parse_suppressions,
+)
+from repro.analysis.specs import analyze_spec, analyze_spec_file
+
+#: Baseline location relative to the repo root (committed; see docs).
+DEFAULT_BASELINE = "lint-baseline.json"
+
+#: Builtin catalog tokens ``sgml lint --catalog`` accepts.
+BUILTIN_CATALOGS = ("epic", "scaleout")
+
+
+def module_path(path: str) -> str:
+    """Normalize a file path to its ``repro/...`` module path.
+
+    The last ``repro`` segment anchors the module root, so
+    ``/tmp/x/src/repro/service/server.py`` and ``src/repro/service/
+    server.py`` both classify as ``repro/service/server.py`` (pacing
+    allowlist, journal detection).  Paths outside a ``repro`` tree keep
+    their normalized relative form.
+    """
+    parts = os.path.normpath(path).replace(os.sep, "/").split("/")
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return "/".join(parts[index:])
+    return "/".join(p for p in parts if p not in ("", "."))
+
+
+def lint_source_text(
+    module: str, text: str
+) -> tuple[list[Finding], int]:
+    """Lint one python source: ``(reported findings, suppressed count)``."""
+    try:
+        tree = ast.parse(text)
+    except SyntaxError as exc:
+        return [make_finding(
+            "parse-error",
+            f"file does not parse: {exc.msg}",
+            path=module,
+            line=exc.lineno or 0,
+            hint="the lint gate cannot analyze what does not parse",
+        )], 0
+    lines = text.splitlines()
+    findings = check_determinism(module, tree, lines)
+    findings += check_async_hazards(module, tree, lines)
+    findings.sort(key=lambda f: (f.line, f.rule))
+    suppressions = parse_suppressions(lines)
+    reported = [f for f in findings if not is_suppressed(f, suppressions)]
+    return reported, len(findings) - len(reported)
+
+
+def iter_python_files(root: str) -> list[str]:
+    """Every ``.py`` under ``root`` (sorted; a file path passes through)."""
+    if os.path.isfile(root):
+        return [root]
+    result: list[str] = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames.sort()
+        dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+        for filename in sorted(filenames):
+            if filename.endswith(".py"):
+                result.append(os.path.join(dirpath, filename))
+    return result
+
+
+def lint_source_paths(paths: Iterable[str], report: LintReport) -> None:
+    """Lint every python file under the given paths into ``report``."""
+    for root in paths:
+        if not os.path.exists(root):
+            raise AnalysisError(f"no such path: {root!r}")
+        for path in iter_python_files(root):
+            with open(path, encoding="utf-8") as handle:
+                text = handle.read()
+            findings, suppressed = lint_source_text(module_path(path), text)
+            report.extend(findings)
+            report.suppressed += suppressed
+            report.sources += 1
+
+
+def lint_spec_paths(
+    paths: Iterable[str],
+    report: LintReport,
+    inventory: Optional[Any] = None,
+) -> None:
+    """Analyze scenario spec files (JSON/YAML) into ``report``."""
+    for path in paths:
+        report.extend(analyze_spec_file(path, inventory=inventory))
+        report.specs += 1
+
+
+def build_inventory(model_dir: str) -> Any:
+    """Model-set directory -> :class:`ModelInventory` (mergers only)."""
+    from repro.scenario.catalog.inventory import ModelInventory
+    from repro.sgml.modelset import SgmlModelSet
+
+    return ModelInventory.from_model(SgmlModelSet.from_directory(model_dir))
+
+
+def builtin_inventory(token: str) -> Any:
+    """Generate a builtin model set in a temp dir and introspect it."""
+    import tempfile
+
+    from repro.epic import generate_epic_model, generate_scaleout_model
+
+    if token == "epic":
+        directory = generate_epic_model(
+            tempfile.mkdtemp(prefix="sgml-lint-epic-")
+        )
+    elif token == "scaleout":
+        directory = generate_scaleout_model(
+            tempfile.mkdtemp(prefix="sgml-lint-scaleout-")
+        )
+    else:
+        raise AnalysisError(
+            f"unknown catalog {token!r} (builtin: {', '.join(BUILTIN_CATALOGS)})"
+        )
+    return build_inventory(directory)
+
+
+def lint_catalog(
+    token: str, report: LintReport, inventory: Optional[Any] = None
+) -> None:
+    """Generate a builtin catalog and analyze every entry it emits."""
+    from repro.scenario.catalog.families import generate_catalog
+
+    if inventory is None:
+        inventory = builtin_inventory(token)
+    for entry in generate_catalog(inventory):
+        report.extend(analyze_spec(
+            entry.spec,
+            path=f"catalog:{token}/{entry.name}",
+            inventory=inventory,
+        ))
+        report.specs += 1
+
+
+def run_lint(
+    source_paths: Iterable[str] = (),
+    spec_paths: Iterable[str] = (),
+    catalogs: Iterable[str] = (),
+    *,
+    model_dir: str = "",
+    baseline_path: str = "",
+) -> LintReport:
+    """One full lint run: sources + specs + catalogs, baseline applied."""
+    report = LintReport()
+    lint_source_paths(source_paths, report)
+    inventory = build_inventory(model_dir) if model_dir else None
+    lint_spec_paths(spec_paths, report, inventory=inventory)
+    for token in catalogs:
+        lint_catalog(token, report)
+    if baseline_path:
+        report.apply_baseline(load_baseline(baseline_path))
+    return report

@@ -1,0 +1,287 @@
+"""Structured lint findings, inline suppressions and the committed baseline.
+
+Every pass in :mod:`repro.analysis` reports problems as :class:`Finding`
+records — rule id, location (``file:line`` for source rules, ``file:phase``
+for spec rules), severity and a fix hint — which aggregate into a
+:class:`LintReport` whose :attr:`~LintReport.failed` flag is the CI gate.
+
+Two escape hatches keep the gate honest without blocking work:
+
+* **Inline suppressions** — ``# sgml: lint-ok[rule-id]`` on the flagged
+  line (or the line directly above it) acknowledges a reviewed, intended
+  hazard in place.  Suppressions are rule-scoped: a blanket "ignore this
+  file" spelling deliberately does not exist.
+* **Baseline file** — a committed JSON file of *grandfathered* finding
+  fingerprints (:func:`load_baseline` / :meth:`LintReport.apply_baseline`).
+  Baselined findings are reported but do not fail the run; new findings
+  always do.  The shipped baseline is empty for the determinism pass —
+  see ``docs/analysis.md``.
+
+Fingerprints hash the rule id, the normalized path and the *content* of
+the flagged line (plus an occurrence index for duplicates), so baselines
+survive unrelated edits that only shift line numbers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+#: Severity levels, gate-relevant in both cases: severities rank findings
+#: for a human reader; the CI gate fails on *any* non-baselined finding.
+SEVERITIES = ("error", "warning")
+
+#: Inline suppression comment: ``# sgml: lint-ok[rule-a,rule-b] reason...``
+_SUPPRESS = re.compile(r"#\s*sgml:\s*lint-ok\[([a-zA-Z0-9_,\s-]+)\]")
+
+BASELINE_VERSION = 1
+
+
+class AnalysisError(Exception):
+    """Lint engine misuse (bad baseline file, unknown catalog token, ...)."""
+
+
+@dataclass
+class Finding:
+    """One rule violation with enough context to locate and fix it."""
+
+    rule: str
+    message: str
+    path: str
+    line: int = 0
+    severity: str = "error"
+    hint: str = ""
+    #: Spec findings anchor to a phase name instead of a line.
+    phase: str = ""
+    #: The stripped source text of the flagged line (fingerprint input).
+    context: str = ""
+
+    @property
+    def location(self) -> str:
+        if self.phase:
+            anchor = f"phase {self.phase!r}"
+            if self.line:
+                anchor += f" (line {self.line})"
+            return f"{self.path}: {anchor}"
+        return f"{self.path}:{self.line}"
+
+    def render(self) -> str:
+        text = f"{self.location}: {self.severity}: [{self.rule}] {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def to_dict(self) -> dict:
+        data = {
+            "rule": self.rule,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "severity": self.severity,
+        }
+        if self.hint:
+            data["hint"] = self.hint
+        if self.phase:
+            data["phase"] = self.phase
+        if self.context:
+            data["context"] = self.context
+        return data
+
+    def fingerprint(self, occurrence: int = 0) -> str:
+        """Content-addressed identity: stable across pure line shifts."""
+        anchor = self.phase or self.context
+        raw = f"{self.rule}|{self.path}|{anchor}|{occurrence}"
+        return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:20]
+
+
+def parse_suppressions(lines: Iterable[str]) -> dict[int, set[str]]:
+    """Map 1-based line number -> rule ids suppressed *on* that line.
+
+    The engine honours a suppression on the finding's own line or on the
+    line directly above it (for lines too long to carry a comment).
+    """
+    suppressions: dict[int, set[str]] = {}
+    for number, line in enumerate(lines, start=1):
+        match = _SUPPRESS.search(line)
+        if match is None:
+            continue
+        rules = {r.strip() for r in match.group(1).split(",") if r.strip()}
+        if rules:
+            suppressions[number] = rules
+    return suppressions
+
+
+def is_suppressed(
+    finding: Finding, suppressions: dict[int, set[str]]
+) -> bool:
+    for line in (finding.line, finding.line - 1):
+        if finding.rule in suppressions.get(line, set()):
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Baseline
+# ---------------------------------------------------------------------------
+
+
+def fingerprint_findings(findings: Iterable[Finding]) -> dict[str, Finding]:
+    """Fingerprint every finding, disambiguating identical anchors.
+
+    Two findings of the same rule on identical source lines in one file
+    get occurrence indices in report order, so a baseline distinguishes
+    "the first of the two identical writes" from a third, new one.
+    """
+    seen: dict[tuple, int] = {}
+    result: dict[str, Finding] = {}
+    for finding in findings:
+        key = (finding.rule, finding.path, finding.phase or finding.context)
+        occurrence = seen.get(key, 0)
+        seen[key] = occurrence + 1
+        result[finding.fingerprint(occurrence)] = finding
+    return result
+
+
+def load_baseline(path: str) -> dict[str, dict]:
+    """Read a baseline file -> ``{fingerprint: entry}`` (empty if absent)."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except FileNotFoundError:
+        return {}
+    except (OSError, ValueError) as exc:
+        raise AnalysisError(f"unreadable baseline {path!r}: {exc}") from exc
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise AnalysisError(
+            f"baseline {path!r} is not a v{BASELINE_VERSION} lint baseline"
+        )
+    entries = data.get("findings", {})
+    if not isinstance(entries, dict):
+        raise AnalysisError(f"baseline {path!r}: 'findings' must be a mapping")
+    return entries
+
+
+def write_baseline(path: str, findings: Iterable[Finding]) -> int:
+    """Grandfather the given findings; returns how many were written."""
+    entries = {
+        fp: {
+            "rule": finding.rule,
+            "path": finding.path,
+            "anchor": finding.phase or finding.context,
+        }
+        for fp, finding in fingerprint_findings(findings).items()
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(
+            {"version": BASELINE_VERSION, "findings": entries},
+            handle,
+            indent=2,
+            sort_keys=True,
+        )
+        handle.write("\n")
+    return len(entries)
+
+
+# ---------------------------------------------------------------------------
+# Report
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LintReport:
+    """Aggregate result of one lint run (the CI artifact + gate)."""
+
+    findings: list[Finding] = field(default_factory=list)
+    #: Grandfathered findings (present in the baseline): shown, not gating.
+    baselined: list[Finding] = field(default_factory=list)
+    #: Count of findings silenced by inline ``lint-ok`` comments.
+    suppressed: int = 0
+    #: Files / specs examined (coverage accounting for the summary line).
+    sources: int = 0
+    specs: int = 0
+
+    @property
+    def failed(self) -> bool:
+        """CI gate: any non-baselined, non-suppressed finding fails."""
+        return bool(self.findings)
+
+    def extend(self, findings: Iterable[Finding]) -> None:
+        self.findings.extend(findings)
+
+    def apply_baseline(self, baseline: dict[str, dict]) -> None:
+        """Split findings into new vs grandfathered using the baseline."""
+        if not baseline:
+            return
+        fresh: list[Finding] = []
+        for fp, finding in fingerprint_findings(self.findings).items():
+            if fp in baseline:
+                self.baselined.append(finding)
+            else:
+                fresh.append(finding)
+        self.findings = fresh
+
+    def counts_by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def to_dict(self) -> dict:
+        return {
+            "version": 1,
+            "failed": self.failed,
+            "sources": self.sources,
+            "specs": self.specs,
+            "suppressed": self.suppressed,
+            "counts_by_rule": self.counts_by_rule(),
+            "findings": [f.to_dict() for f in self.findings],
+            "baselined": [f.to_dict() for f in self.baselined],
+        }
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2)
+            handle.write("\n")
+
+    def summary(self) -> str:
+        lines = [finding.render() for finding in self.findings]
+        if self.baselined:
+            lines.append(
+                f"({len(self.baselined)} baselined finding(s) not shown; "
+                f"see the baseline file)"
+            )
+        verdict = "FAILED" if self.failed else "passed"
+        lines.append(
+            f"sgml lint {verdict}: {len(self.findings)} finding(s), "
+            f"{len(self.baselined)} baselined, {self.suppressed} suppressed "
+            f"({self.sources} source files, {self.specs} specs)"
+        )
+        return "\n".join(lines)
+
+
+def make_finding(
+    rule: str,
+    message: str,
+    *,
+    path: str,
+    line: int = 0,
+    severity: str = "error",
+    hint: str = "",
+    phase: str = "",
+    context: str = "",
+) -> Finding:
+    if severity not in SEVERITIES:
+        raise AnalysisError(f"unknown severity {severity!r}")
+    return Finding(
+        rule=rule,
+        message=message,
+        path=path,
+        line=line,
+        severity=severity,
+        hint=hint,
+        phase=phase,
+        context=context,
+    )

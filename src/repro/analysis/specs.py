@@ -1,0 +1,434 @@
+"""Scenario-spec static analyzer: graph + target checks beyond validate_graph.
+
+``Scenario.validate_graph`` guarantees the *mechanics* — every edge names
+a real phase, something is armed at start, bounds are sane.  This pass
+checks whether the spec can actually *do* anything: a catalog entry that
+validates but contains an unreachable strike phase, or targets a breaker
+the model set doesn't have, burns a full campaign slot before anyone
+notices.  Analysis is purely structural — no range is compiled, no model
+is loaded beyond the (cheap) :class:`ModelInventory`.
+
+The pass runs on the **raw spec dict** first, so graph findings are
+reported even for specs ``from_spec`` rejects, then attempts the real
+parse and reports any residual constructor error as ``spec-invalid``.
+
+Rules (anchored to ``file: phase 'name'`` instead of line numbers):
+
+``spec-invalid``
+    ``Scenario.from_spec`` rejected the spec for a reason not already
+    covered by a structural finding (bad trigger form, unknown field,
+    malformed condition...).
+``spec-unknown-edge-target``
+    A branch edge (``on_pass``/``on_fail``/``on_timeout``) or an
+    ``{after: ...}`` trigger references a phase that does not exist.
+``spec-unreachable-phase``
+    A declared phase no execution can arm: not a root and not in the
+    transitive closure of branch edges from the roots.  Two phases
+    referencing only each other pass ``validate_graph`` (a root exists
+    elsewhere) yet are dead weight.
+``spec-dead-cycle``
+    A cycle-closing edge whose target has ``max_visits=1``: by the time
+    the edge is taken the target's only visit is already spent, so the
+    "retry loop" can never actually loop.  Raise ``max_visits`` on the
+    re-entered phase or drop the edge.
+``spec-gate-only-cycle`` (warning)
+    A cycle in which no phase carries a scored (non-gate) outcome: the
+    loop routes gate verdicts around forever (until ``max_visits`` runs
+    out) without ever contributing to the run verdict.
+``spec-no-scoring-outcome`` (warning)
+    No phase in the whole spec has a scored outcome, so
+    ``ScenarioRun.passed`` is vacuously true — the scenario cannot fail.
+``spec-missing-target``
+    With a :class:`ModelInventory` in hand: a trigger/outcome condition
+    key, ``write_point``/``record`` key, ``operate`` HMI, or
+    ``inject_breaker``/``mitm_spoof`` network target that the model set
+    does not define.  The exact generation-time mismatch the catalog's
+    ``--dry-run`` only catches by running.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.analysis.findings import Finding, make_finding
+from repro.scenario.conditions import ConditionError, parse_condition
+from repro.scenario.scenario import (
+    Scenario,
+    ScenarioError,
+    find_back_edges,
+    reachable_phases,
+)
+
+#: Branch-edge field names on a phase spec.
+_EDGE_KEYS = ("on_pass", "on_fail", "on_timeout")
+
+
+def analyze_spec(
+    spec: Any,
+    *,
+    path: str = "<spec>",
+    inventory: Optional[Any] = None,
+) -> list[Finding]:
+    """All spec findings for one raw scenario spec dict."""
+    findings: list[Finding] = []
+
+    def emit(rule: str, message: str, *, phase: str = "", severity="error",
+             hint: str = "") -> None:
+        findings.append(make_finding(
+            rule, message, path=path, phase=phase or "<spec>",
+            severity=severity, hint=hint,
+        ))
+
+    if not isinstance(spec, dict) or not isinstance(
+        spec.get("phases"), list
+    ):
+        emit(
+            "spec-invalid",
+            "not a scenario spec (expected a mapping with a 'phases' list)",
+            hint="see Scenario.from_spec in docs/scenarios.md for the shape",
+        )
+        return findings
+
+    phases = [p for p in spec["phases"] if isinstance(p, dict)]
+    names = [str(p.get("name", "")) for p in phases if p.get("name")]
+    by_name = {
+        str(p["name"]): p for p in phases if p.get("name")
+    }
+    edges = {
+        name: {
+            kind: str(p[kind])
+            for kind in _EDGE_KEYS
+            if p.get(kind)
+        }
+        for name, p in by_name.items()
+    }
+
+    structural_edge_problem = _check_edges(emit, by_name, edges)
+    reachable = _check_reachability(emit, names, edges)
+    _check_cycles(emit, by_name, edges, reachable)
+    _check_scoring(emit, by_name, edges)
+    if inventory is not None:
+        _check_targets(emit, by_name, inventory)
+
+    # Finally the real constructor: anything it still rejects that the
+    # structural rules did not already explain is reported verbatim.
+    try:
+        Scenario.from_spec(spec)
+    except ScenarioError as exc:
+        message = str(exc)
+        if structural_edge_problem and "references unknown phase" in message:
+            pass  # already reported as spec-unknown-edge-target
+        else:
+            emit(
+                "spec-invalid",
+                f"rejected by Scenario.from_spec: {message}",
+                hint="see docs/scenarios.md for the spec grammar",
+            )
+    return findings
+
+
+def analyze_spec_file(
+    path: str, *, inventory: Optional[Any] = None
+) -> list[Finding]:
+    """Load a JSON/YAML spec file and analyze it."""
+    import json
+
+    try:
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        return [make_finding(
+            "spec-invalid", f"unreadable spec file: {exc}",
+            path=path, phase="<spec>",
+        )]
+    spec: Any = None
+    try:
+        spec = json.loads(text)
+    except ValueError:
+        try:
+            import yaml
+
+            spec = yaml.safe_load(text)
+        except Exception as exc:
+            return [make_finding(
+                "spec-invalid", f"neither JSON nor YAML: {exc}",
+                path=path, phase="<spec>",
+            )]
+    return analyze_spec(spec, path=path, inventory=inventory)
+
+
+# ---------------------------------------------------------------------------
+# Structural rules
+# ---------------------------------------------------------------------------
+
+
+def _check_edges(emit, by_name: dict, edges: dict) -> bool:
+    """Unknown branch-edge and after-trigger targets; True if any found."""
+    found = False
+    for name, phase_edges in edges.items():
+        for kind, target in phase_edges.items():
+            if target not in by_name:
+                found = True
+                emit(
+                    "spec-unknown-edge-target",
+                    f"{kind} references unknown phase {target!r}",
+                    phase=name,
+                    hint="edge targets must name a declared phase",
+                )
+    for name, phase in by_name.items():
+        for target in _after_targets(phase.get("trigger")):
+            if target not in by_name:
+                found = True
+                emit(
+                    "spec-unknown-edge-target",
+                    f"after-trigger references unknown phase {target!r}",
+                    phase=name,
+                    hint="'after' must name a declared phase",
+                )
+    return found
+
+
+def _after_targets(trigger: Any) -> list[str]:
+    """Phase names referenced by ``{after: ...}`` triggers (recursing
+    through ``all_of``/``any_of`` combinators)."""
+    targets: list[str] = []
+    if isinstance(trigger, dict):
+        if "after" in trigger:
+            targets.append(str(trigger["after"]))
+        for combo in ("all_of", "any_of"):
+            for child in trigger.get(combo) or []:
+                targets.extend(_after_targets(child))
+    return targets
+
+
+def _check_reachability(emit, names: list[str], edges: dict) -> set[str]:
+    """Report unreachable phases; returns the reachable set (cycle rules
+    are confined to it — diagnosing a cycle among phases that can never
+    arm would just pile noise on the unreachability finding)."""
+    targets = {t for e in edges.values() for t in e.values()}
+    roots = [name for name in names if name not in targets]
+    if not roots:
+        # Nothing would ever arm; from_spec reports "no root phase" and
+        # per-phase unreachability findings would just be noise on top.
+        return set()
+    reachable = reachable_phases(roots, edges)
+    for name in names:
+        if name not in reachable:
+            emit(
+                "spec-unreachable-phase",
+                "no execution can arm this phase: it is not a root and no "
+                "root routes to it",
+                phase=name,
+                hint=(
+                    "connect it via an on_pass/on_fail/on_timeout edge "
+                    "from a reachable phase, or delete it"
+                ),
+            )
+    return reachable
+
+
+def _check_cycles(
+    emit, by_name: dict, edges: dict, reachable: set[str]
+) -> None:
+    edges = {
+        name: phase_edges
+        for name, phase_edges in edges.items()
+        if name in reachable
+    }
+    for src, kind, target in find_back_edges(edges):
+        target_spec = by_name.get(target, {})
+        max_visits = target_spec.get("max_visits", 1)
+        if isinstance(max_visits, int) and max_visits <= 1:
+            emit(
+                "spec-dead-cycle",
+                f"{kind} re-enters ancestor phase {target!r} whose "
+                f"max_visits=1 is already spent by the first pass — the "
+                f"cycle can never be taken",
+                phase=src,
+                hint=(
+                    f"set max_visits >= 2 on phase {target!r} to make the "
+                    f"retry loop real, or drop the edge"
+                ),
+            )
+    _check_gate_only_cycles(emit, by_name, edges)
+
+
+def _cycle_members(edges: dict) -> set[str]:
+    """Phases on at least one cycle: reachable from a back-edge target
+    while also reaching it back."""
+    members: set[str] = set()
+    for _src, _kind, target in find_back_edges(edges):
+        downstream = reachable_phases([target], edges)
+        members |= {
+            name for name in downstream
+            if target in reachable_phases(
+                list(edges.get(name, {}).values()), edges
+            ) or name == target
+        }
+    return members
+
+
+def _check_gate_only_cycles(emit, by_name: dict, edges: dict) -> None:
+    members = _cycle_members(edges)
+    if not members:
+        return
+    def scored(name: str) -> bool:
+        outcomes = by_name.get(name, {}).get("outcomes") or []
+        return any(
+            isinstance(o, dict) and not o.get("gate", False)
+            for o in outcomes
+        )
+    if not any(scored(name) for name in members):
+        anchor = sorted(members)[0]
+        emit(
+            "spec-gate-only-cycle",
+            f"cycle {sorted(members)} routes on gate outcomes only — no "
+            f"iteration can ever score",
+            phase=anchor,
+            severity="warning",
+            hint=(
+                "add a scored (non-gate) outcome to a phase in the cycle, "
+                "or the loop only burns max_visits budget"
+            ),
+        )
+
+
+def _check_scoring(emit, by_name: dict, edges: dict) -> None:
+    def has_scored(phase: dict) -> bool:
+        return any(
+            isinstance(o, dict) and not o.get("gate", False)
+            for o in (phase.get("outcomes") or [])
+        )
+
+    if by_name and not any(has_scored(p) for p in by_name.values()):
+        anchor = next(iter(by_name))
+        emit(
+            "spec-no-scoring-outcome",
+            "no phase has a scored (non-gate) outcome: ScenarioRun.passed "
+            "is vacuously true and the scenario can never fail",
+            phase=anchor,
+            severity="warning",
+            hint="add at least one non-gate outcome to a phase",
+        )
+
+
+# ---------------------------------------------------------------------------
+# spec-missing-target (inventory-aware)
+# ---------------------------------------------------------------------------
+
+
+def inventory_targets(inventory: Any) -> dict[str, set[str]]:
+    """The point-key / network-target vocabulary a model set defines."""
+    point_keys: set[str] = set()
+    for line in inventory.lines:
+        point_keys.add(line.loading_key)
+        point_keys.add(line.current_key)
+    for bus in inventory.buses:
+        point_keys.add(inventory.bus_vm_key(bus))
+    for breaker in inventory.breakers:
+        point_keys.add(breaker.status_key)
+        point_keys.add(breaker.command_key)
+    for load in inventory.loads:
+        point_keys.add(load.scale_key)
+    ied_ips = {ied.ip for ied in inventory.ieds.values()}
+    switches = {ied.switch for ied in inventory.ieds.values()}
+    return {
+        "point_keys": point_keys,
+        "hmis": set(inventory.hmis),
+        "ieds": set(inventory.ieds),
+        "ips": ied_ips,
+        "switches": switches,
+    }
+
+
+def _condition_keys(check: Any) -> tuple[str, ...]:
+    if not isinstance(check, str):
+        return ()
+    try:
+        return parse_condition(check).keys()
+    except ConditionError:
+        return ()  # from_spec reports the malformed condition itself
+
+
+def _check_targets(emit, by_name: dict, inventory: Any) -> None:
+    vocab = inventory_targets(inventory)
+    hint = (
+        "regenerate the spec against this model set (sgml campaign "
+        "--dry-run) or fix the target name"
+    )
+
+    def check_key(phase: str, key: str, role: str) -> None:
+        if key and key not in vocab["point_keys"]:
+            emit(
+                "spec-missing-target",
+                f"{role} references point {key!r} which this model set "
+                f"does not define",
+                phase=phase, hint=hint,
+            )
+
+    for name, phase in by_name.items():
+        for trigger_check in _trigger_conditions(phase.get("trigger")):
+            for key in _condition_keys(trigger_check):
+                check_key(name, key, "trigger condition")
+        for outcome in phase.get("outcomes") or []:
+            if isinstance(outcome, dict):
+                for key in _condition_keys(outcome.get("check")):
+                    check_key(name, key, "outcome check")
+        for action in phase.get("actions") or []:
+            if not isinstance(action, dict) or len(action) != 1:
+                continue
+            (kind, params), = action.items()
+            if not isinstance(params, dict):
+                continue
+            if kind in ("write_point", "record"):
+                check_key(name, str(params.get("key", "")), kind)
+            elif kind == "operate":
+                hmi = str(params.get("hmi", ""))
+                if hmi and hmi not in vocab["hmis"]:
+                    emit(
+                        "spec-missing-target",
+                        f"operate references HMI {hmi!r} which this model "
+                        f"set does not define",
+                        phase=name, hint=hint,
+                    )
+            elif kind == "inject_breaker":
+                ied = str(params.get("ied", ""))
+                server_ip = str(params.get("server_ip", ""))
+                if ied and ied not in vocab["ieds"]:
+                    emit(
+                        "spec-missing-target",
+                        f"inject_breaker targets IED {ied!r} which this "
+                        f"model set does not define",
+                        phase=name, hint=hint,
+                    )
+                elif server_ip and server_ip not in vocab["ips"]:
+                    emit(
+                        "spec-missing-target",
+                        f"inject_breaker targets server_ip {server_ip!r} "
+                        f"which no IED in this model set owns",
+                        phase=name, hint=hint,
+                    )
+            elif kind == "mitm_spoof":
+                for field in ("victim_a_ip", "victim_b_ip"):
+                    ip = str(params.get(field, ""))
+                    if ip and ip not in vocab["ips"]:
+                        emit(
+                            "spec-missing-target",
+                            f"mitm_spoof {field} {ip!r} matches no IED in "
+                            f"this model set",
+                            phase=name, hint=hint,
+                        )
+
+
+def _trigger_conditions(trigger: Any) -> list[str]:
+    """Condition strings inside a trigger spec (when / combinators)."""
+    checks: list[str] = []
+    if isinstance(trigger, str):
+        checks.append(trigger)
+    elif isinstance(trigger, dict):
+        if isinstance(trigger.get("when"), str):
+            checks.append(trigger["when"])
+        for combo in ("all_of", "any_of"):
+            for child in trigger.get(combo) or []:
+                checks.extend(_trigger_conditions(child))
+    return checks

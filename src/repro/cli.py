@@ -13,6 +13,9 @@ Usage::
                   [--report out.json]
     sgml epic <output-dir>             # generate the EPIC demo model
     sgml scaleout <output-dir> [--substations N] [--ieds M]
+    sgml lint [paths...] [--spec FILE] [--catalog epic|scaleout] [--all]
+              [--model DIR] [--json OUT] [--baseline FILE]
+              [--update-baseline]
     sgml serve [--host H] [--port P] [--max-sessions N] [--ttl S]
                [--journal-dir DIR]
     sgml recover <journal-dir-or-file> [--session ID] [--list]
@@ -156,6 +159,51 @@ def main(argv: list[str] | None = None) -> int:
     p_deploy.add_argument("model_dir")
     p_deploy.add_argument("output_dir")
 
+    p_lint = sub.add_parser(
+        "lint",
+        help="static analysis: determinism linter, async-hazard detector "
+             "and scenario-spec analyzer (see docs/analysis.md)",
+    )
+    p_lint.add_argument(
+        "paths", nargs="*",
+        help="python files or directories to lint (determinism + async "
+             "passes)",
+    )
+    p_lint.add_argument(
+        "--spec", action="append", default=[], metavar="FILE",
+        help="scenario spec file (.json/.yaml) for the spec analyzer "
+             "(repeatable)",
+    )
+    p_lint.add_argument(
+        "--catalog", action="append", default=[], metavar="TOKEN",
+        help="builtin catalog to generate and analyze: 'epic' or "
+             "'scaleout' (repeatable)",
+    )
+    p_lint.add_argument(
+        "--all", action="store_true",
+        help="lint the full surface: src/repro + examples/ (python and "
+             "spec files) + both builtin catalogs",
+    )
+    p_lint.add_argument(
+        "--model", default="", metavar="DIR",
+        help="model set directory; enables target-existence checks "
+             "(spec-missing-target) for --spec files",
+    )
+    p_lint.add_argument(
+        "--json", default="", metavar="OUT",
+        help="write the structured findings report (LintReport JSON) here",
+    )
+    p_lint.add_argument(
+        "--baseline", default="", metavar="FILE",
+        help="baseline file of grandfathered findings (default: "
+             "lint-baseline.json if present)",
+    )
+    p_lint.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline to grandfather every current finding, "
+             "then exit 0",
+    )
+
     p_serve = sub.add_parser(
         "serve",
         help="host multi-tenant cyber range sessions over HTTP + WebSocket "
@@ -245,6 +293,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         )
         return 0
 
+    if args.command == "lint":
+        return _lint(args)
     if args.command == "serve":
         return _serve(args)
     if args.command == "recover":
@@ -316,6 +366,78 @@ def _dispatch(args: argparse.Namespace) -> int:
     for trip in trips[:10]:
         print(f"  {trip.describe()}")
     return 0
+
+
+def _lint(args: argparse.Namespace) -> int:
+    """Run the static-analysis passes and gate the exit code on findings."""
+    import glob
+    import os
+
+    from repro.analysis import (
+        BUILTIN_CATALOGS,
+        DEFAULT_BASELINE,
+        LintReport,
+        build_inventory,
+        builtin_inventory,
+        lint_catalog,
+        lint_source_paths,
+        lint_spec_paths,
+        load_baseline,
+        write_baseline,
+    )
+
+    source_paths = list(args.paths)
+    spec_paths = list(args.spec)
+    catalogs = list(args.catalog)
+    inventory = build_inventory(args.model) if args.model else None
+    if args.all:
+        source_paths += [p for p in ("src/repro", "examples")
+                         if os.path.isdir(p)]
+        spec_paths += sorted(
+            glob.glob(os.path.join("examples", "*.json"))
+            + glob.glob(os.path.join("examples", "*.yaml"))
+        )
+        catalogs += [t for t in BUILTIN_CATALOGS if t not in catalogs]
+    if not source_paths and not spec_paths and not catalogs:
+        print(
+            "error: nothing to lint (give paths, --spec, --catalog or "
+            "--all)",
+            file=sys.stderr,
+        )
+        return 2
+
+    # Builtin inventories are built once and shared: with --all, the
+    # examples/ specs (EPIC-generated) are checked against the same EPIC
+    # inventory the epic catalog is.
+    builtin_cache: dict = {}
+
+    def builtin(token: str):
+        if token not in builtin_cache:
+            builtin_cache[token] = builtin_inventory(token)
+        return builtin_cache[token]
+
+    report = LintReport()
+    lint_source_paths(source_paths, report)
+    spec_inventory = inventory
+    if spec_inventory is None and args.all and spec_paths:
+        spec_inventory = builtin("epic")
+    lint_spec_paths(spec_paths, report, inventory=spec_inventory)
+    for token in catalogs:
+        lint_catalog(token, report, inventory=builtin(token))
+
+    baseline_path = args.baseline or DEFAULT_BASELINE
+    if args.update_baseline:
+        count = write_baseline(baseline_path, report.findings)
+        print(f"baseline {baseline_path} rewritten: {count} finding(s) "
+              f"grandfathered")
+        return 0
+    if args.baseline or os.path.exists(baseline_path):
+        report.apply_baseline(load_baseline(baseline_path))
+    print(report.summary())
+    if args.json:
+        report.write_json(args.json)
+        print(f"findings report written to {args.json}")
+    return 1 if report.failed else 0
 
 
 def _serve(args: argparse.Namespace) -> int:

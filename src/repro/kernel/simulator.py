@@ -331,12 +331,14 @@ class Simulator:
         if speed <= 0:
             raise SimulatorError(f"speed must be positive, got {speed}")
         deadline = self._now + int(duration)
+        # sgml: lint-ok[det-wallclock] realtime pacing
         wall_start = _wallclock.monotonic()
         sim_start = self._now
         while self._now < deadline:
             head = self._peek()
             next_when = deadline if head is None else min(head.when, deadline)
             target_wall = wall_start + (next_when - sim_start) / SECOND / speed
+            # sgml: lint-ok[det-wallclock] realtime pacing
             lag = target_wall - _wallclock.monotonic()
             if lag > 0:
                 sleep(lag)

@@ -292,6 +292,7 @@ class ForwardingPlane:
         semantics inline and schedules one kernel event per distinct
         terminal arrival instant.
         """
+        # sgml: lint-ok[det-wallclock] wall accounting
         started = time.perf_counter()
         self.sends += 1
         dst_mac = frame.dst_mac
@@ -310,6 +311,7 @@ class ForwardingPlane:
         path = self.resolve(origin_port, dst_mac, appid)
         flat = path.flat
         if not flat:  # detached port: Port.send drops silently
+            # sgml: lint-ok[det-wallclock] wall accounting
             self.forward_wall_s += time.perf_counter() - started
             return
         origin_port.tx_frames += 1
@@ -358,6 +360,7 @@ class ForwardingPlane:
             self.deliveries += total
             if mcast and groups is not None and groups.is_registered(dst_mac):
                 groups.count_delivery(dst_mac, appid, total)
+        # sgml: lint-ok[det-wallclock] wall accounting
         self.forward_wall_s += time.perf_counter() - started
 
     def _walk(self, path: _Path, now: int, size8: int, learn: bool,
@@ -478,6 +481,7 @@ class ForwardingPlane:
         bucket is popped *before* executing so a handler that sends a new
         same-instant frame starts a fresh bucket (and a fresh event).
         """
+        # sgml: lint-ok[det-wallclock] wall accounting
         started = time.perf_counter()
         entries = self._pending.pop(arrival, ())
         by_port: dict[int, tuple["Port", list[EthernetFrame]]] = {}
@@ -520,6 +524,7 @@ class ForwardingPlane:
                 port.deliver(frames[0])
             else:
                 port.deliver_batch(frames)
+        # sgml: lint-ok[det-wallclock] wall accounting
         self.deliver_wall_s += time.perf_counter() - started
 
     # ------------------------------------------------------------------

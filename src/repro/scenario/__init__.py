@@ -72,7 +72,13 @@ from repro.scenario.engine import (
     ScenarioRun,
     ScenarioRunError,
 )
-from repro.scenario.scenario import Phase, Scenario, ScenarioError
+from repro.scenario.scenario import (
+    Phase,
+    Scenario,
+    ScenarioError,
+    find_back_edges,
+    reachable_phases,
+)
 from repro.scenario.sharding import (
     MatrixReport,
     ShardedCampaign,
@@ -144,11 +150,13 @@ __all__ = [
     "any_of",
     "at",
     "derive_seed",
+    "find_back_edges",
     "is_false",
     "is_true",
     "outcome_from_spec",
     "parse_condition",
     "point",
+    "reachable_phases",
     "run_matrix",
     "run_one",
     "when",

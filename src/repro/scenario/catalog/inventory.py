@@ -290,7 +290,7 @@ class ModelInventory:
                 if key.startswith("meas/") and key.endswith("/i_ka")
             }
             writable = self._writable_breakers_of(config)
-            for line_name in measured:
+            for line_name in sorted(measured):
                 line = by_line.get(line_name)
                 if line is None or line_name in seen:
                     continue

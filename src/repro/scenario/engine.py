@@ -276,6 +276,7 @@ class ScenarioRun:
                 "invalid scenario graph: " + "; ".join(problems)
             )
         self.started = True
+        # sgml: lint-ok[det-wallclock] wall accounting
         self._wall_start = time.perf_counter()
         self._base_us = self.simulator.now
         self._epoch_us = self._base_us
@@ -529,6 +530,7 @@ class ScenarioRun:
             return self
         self.finished = True
         if self._wall_start is not None:
+            # sgml: lint-ok[det-wallclock] wall accounting
             self.wall_s = time.perf_counter() - self._wall_start
         for phase in self.scenario.phases:
             phase.trigger.disarm()

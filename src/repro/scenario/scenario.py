@@ -25,7 +25,7 @@ Construction styles:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Optional, Union
+from typing import TYPE_CHECKING, Any, Iterable, Optional, Union
 
 from repro.scenario.actions import (
     Action,
@@ -270,6 +270,35 @@ class Scenario:
         return self
 
     # ------------------------------------------------------------------
+    # Graph introspection (static analysis beyond validate_graph)
+    # ------------------------------------------------------------------
+    def edge_map(self) -> dict[str, dict[str, str]]:
+        """``{phase: {"on_pass": target, ...}}`` for every phase."""
+        return {phase.name: phase.edges for phase in self.phases}
+
+    def reachable_phases(self) -> set[str]:
+        """Names of phases some execution can arm: the roots plus the
+        transitive closure of branch edges from them."""
+        return reachable_phases(
+            [phase.name for phase in self.root_phases()], self.edge_map()
+        )
+
+    def unreachable_phases(self) -> list[str]:
+        """Declared phases no execution can ever arm (declaration order).
+
+        ``validate_graph`` accepts these — e.g. two phases referencing
+        only each other pass the has-a-root check — but they are dead
+        weight: no root routes into them.
+        """
+        reachable = self.reachable_phases()
+        return [p.name for p in self.phases if p.name not in reachable]
+
+    def back_edges(self) -> list[tuple[str, str, str]]:
+        """Cycle-closing edges as ``(src, edge_kind, target)`` triples:
+        every edge whose target can already reach its source."""
+        return find_back_edges(self.edge_map())
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def run(self, cyber_range: "CyberRange", duration_s: float) -> ScenarioRun:
@@ -501,3 +530,33 @@ def _trigger_from_spec(spec: Union[dict, float, int, str]) -> Trigger:
     if form == "all_of":
         return AllOfTrigger([_trigger_from_spec(s) for s in spec["all_of"]])
     return AnyOfTrigger([_trigger_from_spec(s) for s in spec["any_of"]])
+
+
+def reachable_phases(
+    roots: Iterable[str], edges: dict[str, dict[str, str]]
+) -> set[str]:
+    """Transitive closure of ``edges`` from ``roots`` (module-level so the
+    spec analyzer can run it over raw dicts that fail ``from_spec``)."""
+    reachable: set[str] = set()
+    frontier = list(roots)
+    while frontier:
+        name = frontier.pop()
+        if name in reachable:
+            continue
+        reachable.add(name)
+        frontier.extend(edges.get(name, {}).values())
+    return reachable
+
+
+def find_back_edges(
+    edges: dict[str, dict[str, str]]
+) -> list[tuple[str, str, str]]:
+    """Every cycle-closing edge ``(src, edge_kind, target)``: the target
+    reaches the source through the graph, so taking the edge re-enters a
+    phase already on the current path (bounded only by ``max_visits``)."""
+    result: list[tuple[str, str, str]] = []
+    for src, src_edges in edges.items():
+        for kind, target in src_edges.items():
+            if src in reachable_phases([target], edges):
+                result.append((src, kind, target))
+    return result

@@ -174,6 +174,7 @@ def run_one(
         "source": source,
         "seed": int(seed),
     }
+    # sgml: lint-ok[det-wallclock] wall accounting
     wall_start = time.perf_counter()
     timer_armed = False
     try:
@@ -232,6 +233,7 @@ def run_one(
 
             signal.setitimer(signal.ITIMER_REAL, 0.0)
             signal.signal(signal.SIGALRM, signal.SIG_DFL)
+    # sgml: lint-ok[det-wallclock] wall accounting
     result["wall_s"] = time.perf_counter() - wall_start
     return result
 
@@ -318,12 +320,14 @@ class ShardedCampaign:
                     "reuse_range campaigns are sequential by design; "
                     "run with workers=1 (or drop reuse_range to shard)"
                 )
+            # sgml: lint-ok[det-wallclock] wall accounting
             start = time.perf_counter()
             serial = campaign.run()
             return aggregate_results(
                 serial.results,
                 model=serial.model,
                 workers=1,
+                # sgml: lint-ok[det-wallclock] wall accounting
                 wall_s=time.perf_counter() - start,
                 reuse_range=serial.reuse_range,
             )
@@ -334,12 +338,14 @@ class ShardedCampaign:
                 "workers (SgmlModelSet.source_dir is empty); "
                 "use workers=1 for in-memory model sets"
             )
+        # sgml: lint-ok[det-wallclock] wall accounting
         start = time.perf_counter()
         results = self._run_pool(model_ref, campaign.scenarios)
         return aggregate_results(
             results,
             model=campaign._model_name(),
             workers=self.workers,
+            # sgml: lint-ok[det-wallclock] wall accounting
             wall_s=time.perf_counter() - start,
         )
 
@@ -563,6 +569,7 @@ def run_matrix(
     matrix = MatrixReport(
         workers=max(1, int(workers if workers else os.cpu_count() or 1))
     )
+    # sgml: lint-ok[det-wallclock] wall accounting
     start = time.perf_counter()
     for label, model in model_sets:
         campaign = Campaign.from_catalog(
@@ -581,6 +588,7 @@ def run_matrix(
         matrix.reports.append(
             {"model_set": label, "report": report.to_dict()}
         )
+    # sgml: lint-ok[det-wallclock] wall accounting
     matrix.wall_s = time.perf_counter() - start
     return matrix
 

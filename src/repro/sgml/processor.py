@@ -282,7 +282,9 @@ class SgmlProcessor:
     # ------------------------------------------------------------------
     @staticmethod
     def _timed(timings: dict[str, float], stage: str, fn):
+        # sgml: lint-ok[det-wallclock] stage timing
         start = time.perf_counter()
         result = fn()
+        # sgml: lint-ok[det-wallclock] stage timing
         timings[stage] = (time.perf_counter() - start) * 1000.0
         return result
